@@ -1,0 +1,97 @@
+// Ablation: does the choice of host model change the *conclusions* of
+// scheduling research? (§I: "the performance of such algorithms are
+// arguably tied to the assumed distributions.")
+//
+// The same bag-of-tasks workload is scheduled on populations from the
+// actual trace, the correlated model, the uncorrelated-normal model and
+// the Grid model. We report the makespan of each policy — if a simpler
+// host model predicts materially different makespans (or a different
+// policy ranking) than the actual hosts, experiments built on it mislead.
+#include <iostream>
+
+#include "common.h"
+#include "sim/bag_of_tasks.h"
+#include "sim/experiment.h"
+#include "stats/descriptive.h"
+#include "trace/lifetime.h"
+#include "util/rng.h"
+
+using namespace resmodel;
+
+int main() {
+  bench::print_header("Ablation",
+                      "Bag-of-tasks makespan under different host models");
+
+  constexpr std::size_t kHosts = 2000;
+  const auto date = util::ModelDate::from_ymd(2010, 6, 1);
+
+  // Actual hosts from the (filtered) trace snapshot, truncated to kHosts.
+  std::vector<sim::HostResources> actual = sim::to_host_resources(
+      bench::bench_trace().snapshot(date));
+  if (actual.size() > kHosts) actual.resize(kHosts);
+
+  // Model-synthesized populations of the same size.
+  const core::FitReport& fit = bench::bench_fit();
+  const sim::CorrelatedModel correlated(fit.params);
+  const auto normal = sim::NormalDistributionModel::fit(bench::bench_trace(),
+                                                        bench::yearly_dates());
+  const std::vector<double> lifetimes = trace::host_lifetimes(
+      bench::bench_trace(), util::ModelDate::from_ymd(2010, 7, 1));
+  const sim::GridResourceModel grid(fit.params,
+                                    stats::mean(lifetimes) / 365.25);
+
+  util::Rng rng(123);
+  struct Population {
+    std::string name;
+    std::vector<sim::HostResources> hosts;
+  };
+  std::vector<Population> populations;
+  populations.push_back({"Actual trace", actual});
+  populations.push_back(
+      {"Correlated model", correlated.synthesize(date, actual.size(), rng)});
+  populations.push_back(
+      {"Normal model", normal.synthesize(date, actual.size(), rng)});
+  populations.push_back(
+      {"Grid model", grid.synthesize(date, actual.size(), rng)});
+
+  const sim::SchedulingPolicy policies[] = {
+      sim::SchedulingPolicy::kStaticRoundRobin,
+      sim::SchedulingPolicy::kStaticSpeedWeighted,
+      sim::SchedulingPolicy::kDynamicPull,
+      sim::SchedulingPolicy::kDynamicEct,
+  };
+
+  sim::BagOfTasksConfig config;
+  config.task_count = 20000;
+
+  util::Table table({"Population", "static RR", "speed-weighted",
+                     "dynamic pull", "dynamic ECT"});
+  std::vector<double> actual_makespans;
+  for (const Population& pop : populations) {
+    std::vector<std::string> cells = {pop.name};
+    for (const sim::SchedulingPolicy policy : policies) {
+      // Same workload seed for every (population, policy) cell.
+      util::Rng workload_rng(999);
+      const sim::BagOfTasksResult result =
+          sim::run_bag_of_tasks(pop.hosts, config, policy, workload_rng);
+      cells.push_back(util::Table::num(result.makespan_days, 1) + "d");
+      if (pop.name == "Actual trace") {
+        actual_makespans.push_back(result.makespan_days);
+      }
+    }
+    table.add_row(std::move(cells));
+  }
+  std::cout << "Makespan of a 20,000-task bag (log-normal cost, mean 4000 "
+               "MIPS-days) on\n"
+            << actual.size() << " hosts at " << date.to_string() << ":\n";
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading: the correlated model's row should track the actual "
+         "row closely\n(same heterogeneity, same straggler tail), while "
+         "the uncorrelated-normal and\nGrid rows misjudge the slow-host "
+         "tail that dominates static striping and\nnaive pull — the "
+         "quantitative version of the paper's motivation that\nscheduling "
+         "conclusions depend on the host model.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace resmodel::bench {
+
+synth::PopulationConfig bench_config() {
+  synth::PopulationConfig config;
+  config.seed = 2011;
+  config.target_active_hosts = 8000;
+  if (const char* env = std::getenv("RESMODEL_BENCH_HOSTS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 100) config.target_active_hosts = static_cast<std::size_t>(v);
+  }
+  return config;
+}
+
+namespace {
+struct TraceCache {
+  trace::TraceStore store;
+  std::size_t discarded = 0;
+  TraceCache() {
+    store = synth::generate_population(bench_config());
+    discarded = store.discard_implausible();
+  }
+};
+const TraceCache& cache() {
+  static const TraceCache kCache;
+  return kCache;
+}
+}  // namespace
+
+const trace::TraceStore& bench_trace() { return cache().store; }
+
+std::size_t bench_discarded() { return cache().discarded; }
+
+const core::FitReport& bench_fit() {
+  static const core::FitReport kReport = core::fit_model(bench_trace());
+  return kReport;
+}
+
+std::vector<util::ModelDate> yearly_dates() {
+  std::vector<util::ModelDate> dates;
+  for (int y = 2006; y <= 2010; ++y) {
+    dates.push_back(util::ModelDate::from_ymd(y, 1, 1));
+  }
+  return dates;
+}
+
+void print_header(const std::string& experiment, const std::string& caption) {
+  std::cout << "==============================================================="
+               "=================\n"
+            << experiment << " — " << caption << '\n'
+            << "Synthetic SETI@home-substitute trace: "
+            << bench_trace().size() << " hosts (+" << bench_discarded()
+            << " discarded by the §V-B rules), seed "
+            << bench_config().seed << '\n'
+            << "==============================================================="
+               "=================\n";
+}
+
+std::string vs_paper(double measured, double paper, int precision) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%.*f (paper %.*f)", precision, measured,
+                precision, paper);
+  return buf;
+}
+
+}  // namespace resmodel::bench

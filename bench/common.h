@@ -1,0 +1,41 @@
+// Shared setup for the per-table/per-figure bench binaries.
+//
+// Every bench regenerates its data from the same synthetic ground-truth
+// trace (the SETI@home substitute) so the printed rows are deterministic,
+// then prints the paper's published values next to the measured ones.
+// Scale can be overridden with RESMODEL_BENCH_HOSTS (default 8000 active).
+#pragma once
+
+#include <iostream>
+#include <vector>
+
+#include "core/fit_pipeline.h"
+#include "synth/population.h"
+#include "trace/trace_store.h"
+#include "util/table.h"
+
+namespace resmodel::bench {
+
+/// The bench-wide population config (seed 2011, scaled active count).
+synth::PopulationConfig bench_config();
+
+/// The shared trace, generated once per process and filtered with the
+/// §V-B plausibility rules (as the paper does before all analysis).
+const trace::TraceStore& bench_trace();
+
+/// Count of records the plausibility filter removed from bench_trace().
+std::size_t bench_discarded();
+
+/// The fit of the full pipeline on bench_trace().
+const core::FitReport& bench_fit();
+
+/// Yearly snapshot dates Jan 1 2006..2010 (the tables' columns).
+std::vector<util::ModelDate> yearly_dates();
+
+/// Prints the standard bench header naming the experiment.
+void print_header(const std::string& experiment, const std::string& caption);
+
+/// Formats "measured (paper X)" cells.
+std::string vs_paper(double measured, double paper, int precision = 3);
+
+}  // namespace resmodel::bench

@@ -1,0 +1,80 @@
+// Figure 1: distribution of host lifetimes.
+// Paper: mean 192.4 days, median 71.14 days; best Weibull fit k = 0.58,
+// lambda = 135, i.e. a decreasing dropout rate.
+#include <iostream>
+
+#include "common.h"
+#include "stats/descriptive.h"
+#include "stats/fitting.h"
+#include "stats/histogram.h"
+#include "trace/lifetime.h"
+#include "util/ascii_plot.h"
+
+using namespace resmodel;
+
+int main() {
+  bench::print_header("Figure 1", "Distribution of host lifetimes");
+
+  // The paper excludes hosts that connected after July 1, 2010.
+  std::vector<double> lifetimes = trace::host_lifetimes(
+      bench::bench_trace(), util::ModelDate::from_ymd(2010, 7, 1));
+  std::erase_if(lifetimes, [](double v) { return v <= 0.0; });
+
+  const stats::Summary summary = stats::summarize(lifetimes);
+  util::Table stats_table({"Statistic", "Measured", "Paper"});
+  stats_table.add_row({"Hosts", util::Table::num(
+                                    static_cast<double>(summary.count), 0),
+                       "~2.7M (full scale)"});
+  stats_table.add_row({"Mean (days)", util::Table::num(summary.mean, 1),
+                       "192.4"});
+  stats_table.add_row({"Median (days)", util::Table::num(summary.median, 2),
+                       "71.14"});
+  stats_table.print(std::cout);
+
+  const auto weibull = stats::fit_weibull(lifetimes);
+  util::Table fit_table({"Weibull MLE", "Measured", "Paper"});
+  if (weibull) {
+    fit_table.add_row({"k (shape)", util::Table::num(weibull->k(), 3),
+                       "0.58"});
+    fit_table.add_row({"lambda (scale)", util::Table::num(weibull->lambda(), 1),
+                       "135"});
+    fit_table.add_row(
+        {"k < 1 (decreasing dropout)", weibull->k() < 1.0 ? "yes" : "NO",
+         "yes"});
+  }
+  fit_table.print(std::cout);
+
+  // Model selection over the seven families (the paper reports Weibull).
+  const auto ranked = stats::select_best_distribution(lifetimes);
+  util::Table sel({"Family", "avg p-value", "KS D"});
+  for (const auto& r : ranked) {
+    sel.add_row({stats::family_name(r.family),
+                 util::Table::num(r.avg_p_value, 3),
+                 util::Table::num(r.ks_statistic, 4)});
+  }
+  std::cout << "\nBest-fit family ranking (paper's 100x50 subsampled KS):\n";
+  sel.print(std::cout);
+
+  // PDF / CDF series (the figure's two curves).
+  stats::Histogram hist(0.0, 1400.0, 28);
+  hist.add_all(lifetimes);
+  std::vector<double> centers, pdf;
+  for (std::size_t b = 0; b < hist.bin_count(); ++b) {
+    centers.push_back(hist.bin_center(b));
+  }
+  pdf = hist.density();
+  const std::vector<double> cdf = hist.cumulative();
+
+  std::cout << "\nLifetime PDF/CDF (days, bin width 50):\n";
+  util::Table series({"Bin center", "PDF", "CDF"});
+  for (std::size_t b = 0; b < hist.bin_count(); b += 2) {
+    series.add_row({util::Table::num(centers[b], 0),
+                    util::Table::sci(pdf[b], 2), util::Table::num(cdf[b], 3)});
+  }
+  series.print(std::cout);
+
+  util::AsciiChart chart("CDF of host lifetimes", centers);
+  chart.add_series({"CDF", cdf});
+  chart.print(std::cout, 64, 14);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 8: Dhrystone/Whetstone histograms over time with the KS-based
+// model selection.
+// Paper anchors (mean/median/stddev): Dhrystone 2006 (2056/1943/1046),
+// 2008 (2715/2417/1450), 2010 (3880/3534/2061); Whetstone 2006
+// (1136/1168/472.1), 2008 (1408/1355/555.8), 2010 (1771/1733/669.5).
+// The normal distribution fits best with subsampled p-values 0.19-0.43.
+#include <iostream>
+
+#include "common.h"
+#include "stats/descriptive.h"
+#include "stats/fitting.h"
+#include "stats/histogram.h"
+
+using namespace resmodel;
+
+namespace {
+
+struct PaperMoments {
+  double mean, median, stddev;
+};
+
+void report(const std::string& name, const std::vector<double>& values,
+            const PaperMoments& paper) {
+  const stats::Summary s = stats::summarize(values);
+  util::Table table({name, "Measured", "Paper"});
+  table.add_row({"Mean", util::Table::num(s.mean, 0),
+                 util::Table::num(paper.mean, 0)});
+  table.add_row({"Median", util::Table::num(s.median, 0),
+                 util::Table::num(paper.median, 0)});
+  table.add_row({"Stddev", util::Table::num(s.stddev, 0),
+                 util::Table::num(paper.stddev, 1)});
+  const auto ranked = stats::select_best_distribution(values);
+  if (!ranked.empty()) {
+    table.add_row({"Best family (subsampled KS)",
+                   stats::family_name(ranked.front().family) + " p=" +
+                       util::Table::num(ranked.front().avg_p_value, 2),
+                   "normal, p 0.19-0.43"});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 8",
+                      "Dhrystone/Whetstone benchmark histograms over time");
+
+  struct Anchor {
+    int year;
+    PaperMoments dhry, whet;
+  };
+  static constexpr Anchor kAnchors[] = {
+      {2006, {2056, 1943, 1046}, {1136, 1168, 472.1}},
+      {2008, {2715, 2417, 1450}, {1408, 1355, 555.8}},
+      {2010, {3880, 3534, 2061}, {1771, 1733, 669.5}},
+  };
+
+  for (const Anchor& anchor : kAnchors) {
+    const trace::ResourceSnapshot snap = bench::bench_trace().snapshot(
+        util::ModelDate::from_ymd(anchor.year, 1, 1));
+    std::cout << "\n--- " << anchor.year << " (" << snap.size()
+              << " active hosts) ---\n";
+    report("Dhrystone MIPS", snap.dhrystone_mips, anchor.dhry);
+    report("Whetstone MIPS", snap.whetstone_mips, anchor.whet);
+
+    stats::Histogram hist(0.0, 10000.0, 20);
+    hist.add_all(snap.dhrystone_mips);
+    const std::vector<double> density = hist.density();
+    std::cout << "Dhrystone density (x1e-4 per MIPS): ";
+    for (std::size_t b = 0; b < hist.bin_count(); b += 2) {
+      std::cout << util::Table::num(density[b] * 1e4, 1) << ' ';
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

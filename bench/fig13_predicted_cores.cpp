@@ -1,0 +1,56 @@
+// Figure 13: predicted future multicore distribution, 2009-2014.
+// Paper: single-core hosts become negligible within three years; 2-core
+// hosts still ~40% in 2014; average 4.6 cores per host in 2014 (vs 3.7 by
+// naive linear extrapolation of Figure 2).
+#include <iostream>
+
+#include "common.h"
+#include "core/prediction.h"
+#include "util/ascii_plot.h"
+
+using namespace resmodel;
+
+int main() {
+  bench::print_header("Figure 13", "Predicted future multicore distribution");
+
+  // Use the published model (the prediction section extends the fitted
+  // laws; Table X + the 8:16 estimate a=12, b=-0.2).
+  const core::ModelParams params = core::paper_params();
+
+  std::vector<double> ts;
+  for (double t = 3.0; t <= 8.01; t += 0.5) ts.push_back(t);
+  const auto fractions = core::predicted_core_fractions(params, ts);
+
+  util::Table table({"Year", "1 core", ">=2 cores", ">=4 cores", ">=8 cores",
+                     ">=16 cores", "mean cores"});
+  std::vector<double> years;
+  for (std::size_t j = 0; j < ts.size(); ++j) {
+    const double f1 = fractions[0][j];
+    const double f2 = fractions[1][j];
+    const double f4 = fractions[2][j];
+    const double f8 = fractions[3][j];
+    const double f16 = fractions[4][j];
+    table.add_row({util::Table::num(2006.0 + ts[j], 1),
+                   util::Table::pct(f1), util::Table::pct(f2 + f4 + f8 + f16),
+                   util::Table::pct(f4 + f8 + f16),
+                   util::Table::pct(f8 + f16), util::Table::pct(f16),
+                   util::Table::num(core::predicted_mean_cores(params, ts[j]),
+                                    2)});
+    years.push_back(2006.0 + ts[j]);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper checkpoints: 1-core negligible by ~2013; 2-core ~40% "
+               "of hosts in 2014;\n  mean cores 2014 = "
+            << util::Table::num(core::predicted_mean_cores(params, 8.0), 2)
+            << " (paper 4.6; naive extrapolation gives 3.7)\n";
+
+  util::AsciiChart chart("Predicted core-count fractions", years);
+  chart.add_series({"1 core", fractions[0]});
+  chart.add_series({"2 cores", fractions[1]});
+  chart.add_series({"4 cores", fractions[2]});
+  chart.add_series({"8 cores", fractions[3]});
+  chart.add_series({"16 cores", fractions[4]});
+  chart.print(std::cout, 64, 14);
+  return 0;
+}

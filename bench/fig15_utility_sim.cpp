@@ -1,0 +1,110 @@
+// Figure 15 (+ Table IX): the utility-simulation validation.
+// For each month Jan-Sep 2010, each model synthesizes a host population
+// matching the actual active count, the greedy round-robin scheduler
+// allocates hosts to the four Table-IX applications, and the total utility
+// per application is compared against the allocation on the actual hosts.
+// Paper's reported difference bands vs actual:
+//   SETI@home:          correlated 3-10%,  grid 3-9%,   normal 9-17%
+//   Folding@home:       correlated 0-7%,   grid 5-15%,  normal 20-31%
+//   Climate Prediction: correlated 0-7%,   grid 3-14%,  normal 14-28%
+//   P2P:                correlated 0-5%,   grid 46-57%, normal 0-11%
+#include <algorithm>
+#include <iostream>
+
+#include "common.h"
+#include "sim/experiment.h"
+#include "stats/descriptive.h"
+#include "trace/lifetime.h"
+
+using namespace resmodel;
+
+int main() {
+  bench::print_header("Figure 15 / Table IX",
+                      "Utility simulation difference vs actual data (%)");
+
+  // Table IX (inputs).
+  std::cout << "Table IX — application utility exponents:\n";
+  util::Table apps_table(
+      {"Application", "Cores a", "Memory b", "Dhry g", "Whet d", "Disk e"});
+  for (const sim::ApplicationSpec& app : sim::paper_applications()) {
+    apps_table.add_row({app.name, util::Table::num(app.alpha, 2),
+                        util::Table::num(app.beta, 2),
+                        util::Table::num(app.gamma, 2),
+                        util::Table::num(app.delta, 2),
+                        util::Table::num(app.epsilon, 2)});
+  }
+  apps_table.print(std::cout);
+
+  // Build the three models exactly as §VII describes: the correlated model
+  // from the fitted params; the normal model from linear extrapolation of
+  // the Figure-2 series; the Grid model re-parameterized with our fitted
+  // values and an age mixture from the average host lifetime.
+  const core::FitReport& fit = bench::bench_fit();
+  const sim::CorrelatedModel correlated(fit.params);
+  const auto normal = sim::NormalDistributionModel::fit(bench::bench_trace(),
+                                                        bench::yearly_dates());
+  const std::vector<double> lifetimes = trace::host_lifetimes(
+      bench::bench_trace(), util::ModelDate::from_ymd(2010, 7, 1));
+  const double mean_lifetime_years = stats::mean(lifetimes) / 365.25;
+  const sim::GridResourceModel grid(fit.params, mean_lifetime_years);
+
+  const std::vector<const sim::HostSynthesisModel*> models = {
+      &normal, &grid, &correlated};
+  util::Rng rng(15);
+  const sim::UtilityExperimentResult result = sim::run_utility_experiment(
+      bench::bench_trace(), models, sim::paper_applications(),
+      sim::default_experiment_dates(), rng);
+
+  static constexpr const char* kPaperBands[4][3] = {
+      {"9-17%", "3-9%", "3-10%"},    // SETI@home: normal, grid, correlated
+      {"20-31%", "5-15%", "0-7%"},   // Folding@home
+      {"14-28%", "3-14%", "0-7%"},   // Climate Prediction
+      {"0-11%", "46-57%", "0-5%"},   // P2P
+  };
+
+  for (std::size_t a = 0; a < result.app_names.size(); ++a) {
+    std::cout << "\n--- " << result.app_names[a]
+              << " — % difference vs actual utility ---\n";
+    util::Table table({"Month", result.model_names[0], result.model_names[1],
+                       result.model_names[2]});
+    for (std::size_t d = 0; d < result.dates.size(); ++d) {
+      table.add_row({result.dates[d].to_string(),
+                     util::Table::num(result.diff_percent[0][a][d], 1) + "%",
+                     util::Table::num(result.diff_percent[1][a][d], 1) + "%",
+                     util::Table::num(result.diff_percent[2][a][d], 1) + "%"});
+    }
+    std::vector<std::string> range_cells = {"Range (paper)"};
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      const auto& series = result.diff_percent[m][a];
+      const auto [lo, hi] = std::minmax_element(series.begin(), series.end());
+      range_cells.push_back(util::Table::num(*lo, 1) + "-" +
+                            util::Table::num(*hi, 1) + "% (" +
+                            kPaperBands[a][m] + ")");
+    }
+    table.add_separator();
+    table.add_row(std::move(range_cells));
+    table.print(std::cout);
+  }
+
+  // The headline: who wins on average.
+  std::cout << "\nMean difference across apps and months:\n";
+  util::Table summary({"Model", "Mean diff"});
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& app_series : result.diff_percent[m]) {
+      for (double v : app_series) {
+        sum += v;
+        ++n;
+      }
+    }
+    summary.add_row({result.model_names[m],
+                     util::Table::num(sum / static_cast<double>(n), 1) + "%"});
+  }
+  summary.print(std::cout);
+  std::cout << "\nPaper's conclusion: the correlated model is the most "
+               "accurate overall;\nthe Grid model collapses on P2P (disk "
+               "overestimate); the normal model\nmisses correlation-"
+               "sensitive apps (Folding, Climate) by 14-31%.\n";
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Performance microbenchmarks (google-benchmark) plus the copula ablation
+// called out in DESIGN.md: correlated vs independent sampling, showing why
+// the Cholesky step is cheap enough to be the default.
+#include <benchmark/benchmark.h>
+
+#include "core/fit_pipeline.h"
+#include "core/host_generator.h"
+#include "sim/allocator.h"
+#include "stats/correlation.h"
+#include "stats/fitting.h"
+#include "stats/kstest.h"
+#include "stats/matrix.h"
+#include "synth/population.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace resmodel;
+
+void BM_HostGeneration(benchmark::State& state) {
+  const core::HostGenerator generator(core::paper_params());
+  util::Rng rng(1);
+  const auto date = util::ModelDate::from_ymd(2010, 9, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.generate(date, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HostGeneration);
+
+void BM_HostGenerationBatch(benchmark::State& state) {
+  const core::HostGenerator generator(core::paper_params());
+  util::Rng rng(2);
+  const auto date = util::ModelDate::from_ymd(2010, 9, 1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.generate_many(date, n, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HostGenerationBatch)->Arg(1000)->Arg(10000);
+
+void BM_Cholesky3x3(benchmark::State& state) {
+  const stats::Matrix r = stats::Matrix::from_rows({
+      {1.0, 0.250, 0.306},
+      {0.250, 1.0, 0.639},
+      {0.306, 0.639, 1.0},
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::cholesky(r));
+  }
+}
+BENCHMARK(BM_Cholesky3x3);
+
+// Ablation: correlated triple vs three independent normals. The copula
+// costs only the L*z multiply; this quantifies it.
+void BM_CorrelatedTriple(benchmark::State& state) {
+  const auto lower = stats::cholesky(stats::Matrix::from_rows({
+      {1.0, 0.250, 0.306},
+      {0.250, 1.0, 0.639},
+      {0.306, 0.639, 1.0},
+  }));
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::correlated_normals(rng, *lower));
+  }
+}
+BENCHMARK(BM_CorrelatedTriple);
+
+void BM_IndependentTriple(benchmark::State& state) {
+  util::Rng rng(4);
+  for (auto _ : state) {
+    double v[3] = {rng.normal(), rng.normal(), rng.normal()};
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_IndependentTriple);
+
+void BM_KsTestSubsampled(benchmark::State& state) {
+  const stats::NormalDist dist(2056.0, 1046.0);
+  util::Rng rng(5);
+  std::vector<double> xs(static_cast<std::size_t>(state.range(0)));
+  for (double& x : xs) x = dist.sample(rng);
+  for (auto _ : state) {
+    util::Rng sub_rng(6);
+    benchmark::DoNotOptimize(
+        stats::subsampled_ks_p_value(xs, dist, 100, 50, sub_rng));
+  }
+}
+BENCHMARK(BM_KsTestSubsampled)->Arg(10000)->Arg(100000);
+
+void BM_WeibullMle(benchmark::State& state) {
+  const stats::WeibullDist truth(0.58, 135.0);
+  util::Rng rng(7);
+  std::vector<double> xs(static_cast<std::size_t>(state.range(0)));
+  for (double& x : xs) x = truth.sample(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_weibull(xs));
+  }
+}
+BENCHMARK(BM_WeibullMle)->Arg(10000);
+
+void BM_PopulationGeneration(benchmark::State& state) {
+  synth::PopulationConfig config;
+  config.target_active_hosts = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::generate_population(config));
+  }
+}
+BENCHMARK(BM_PopulationGeneration)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_FitPipeline(benchmark::State& state) {
+  synth::PopulationConfig config;
+  config.target_active_hosts = 2000;
+  const trace::TraceStore store = synth::generate_population(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fit_model(store));
+  }
+  state.counters["hosts"] = static_cast<double>(store.size());
+}
+BENCHMARK(BM_FitPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_RoundRobinAllocation(benchmark::State& state) {
+  const core::HostGenerator generator(core::paper_params());
+  util::Rng rng(8);
+  const auto generated = generator.generate_many(
+      util::ModelDate::from_ymd(2010, 1, 1),
+      static_cast<std::size_t>(state.range(0)), rng);
+  std::vector<sim::HostResources> hosts;
+  for (const core::GeneratedHost& g : generated) {
+    hosts.push_back({static_cast<double>(g.n_cores), g.memory_mb,
+                     g.dhrystone_mips, g.whetstone_mips, g.disk_avail_gb});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::allocate_round_robin(sim::paper_applications(), hosts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RoundRobinAllocation)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PearsonCorrelation(benchmark::State& state) {
+  util::Rng rng(9);
+  std::vector<double> xs(100000), ys(100000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.normal();
+    ys[i] = 0.5 * xs[i] + rng.normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::pearson(xs, ys));
+  }
+}
+BENCHMARK(BM_PearsonCorrelation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Table I: host processor families over time (% of active hosts).
+#include <array>
+#include <iostream>
+
+#include "common.h"
+#include "trace/composition.h"
+
+using namespace resmodel;
+
+int main() {
+  bench::print_header("Table I", "Host processors over time (% of total)");
+
+  // The paper's published shares for 2006..2010 (row order = CpuFamily).
+  static constexpr std::array<std::array<double, 5>, 13> kPaper = {{
+      {5.1, 6.5, 4.7, 3.5, 2.7},       // PowerPC
+      {12.3, 9.0, 6.2, 4.0, 2.5},      // Athlon XP
+      {6.5, 9.5, 11.4, 11.6, 10.2},    // Athlon 64
+      {8.3, 8.2, 7.8, 7.9, 9.5},       // Other AMD
+      {36.8, 33.0, 27.2, 20.7, 15.5},  // Pentium 4
+      {5.4, 5.5, 4.3, 3.1, 2.1},       // Pentium M
+      {0.7, 3.0, 4.2, 3.9, 3.1},       // Pentium D
+      {4.1, 2.6, 2.1, 3.3, 5.2},       // Other Pentium
+      {0.9, 3.3, 13.2, 24.8, 32.0},    // Intel Core 2
+      {5.6, 6.4, 6.3, 5.9, 4.9},       // Intel Celeron
+      {2.1, 2.8, 3.3, 3.9, 4.3},       // Intel Xeon
+      {9.9, 7.7, 7.6, 6.1, 5.1},       // Other x86
+      {2.3, 2.6, 1.6, 1.3, 2.9},       // Other
+  }};
+
+  const trace::CompositionTable comp =
+      trace::cpu_composition(bench::bench_trace(), bench::yearly_dates());
+
+  util::Table table({"Family", "2006", "2007", "2008", "2009", "2010"});
+  for (std::size_t r = 0; r < comp.categories.size(); ++r) {
+    std::vector<std::string> cells = {comp.categories[r]};
+    for (std::size_t c = 0; c < comp.dates.size(); ++c) {
+      cells.push_back(util::Table::num(comp.shares[r][c] * 100.0, 1) + " (" +
+                      util::Table::num(kPaper[r][c], 1) + ")");
+    }
+    table.add_row(std::move(cells));
+  }
+  std::cout << "Measured share, paper's Table I value in parentheses.\n";
+  table.print(std::cout);
+
+  std::cout << "\nShape checks: Pentium 4 declines (paper 36.8 -> 15.5), "
+               "Intel Core 2 rises (0.9 -> 32.0).\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table III: Pearson correlation coefficients between host measurements.
+// Paper: cores-memory 0.606, memory-mem/core 0.627, whet-dhry 0.639,
+// mem/core-whet 0.250, mem/core-dhry 0.306, disk ~uncorrelated with all.
+#include <array>
+#include <iostream>
+
+#include "common.h"
+
+using namespace resmodel;
+
+int main() {
+  bench::print_header("Table III",
+                      "Correlation coefficients between host measurements");
+
+  static constexpr std::array<std::array<double, 6>, 6> kPaper = {{
+      {1.000, 0.606, -0.010, 0.161, 0.130, 0.089},
+      {0.606, 1.000, 0.627, 0.230, 0.271, 0.114},
+      {-0.010, 0.627, 1.000, 0.250, 0.306, 0.065},
+      {0.161, 0.230, 0.250, 1.000, 0.639, -0.016},
+      {0.130, 0.271, 0.306, 0.639, 1.000, -0.004},
+      {0.089, 0.114, 0.065, -0.016, -0.004, 1.000},
+  }};
+
+  const stats::Matrix& m = bench::bench_fit().full_correlation;
+  const auto labels = core::full_correlation_labels();
+
+  util::Table table({"", labels[0], labels[1], labels[2], labels[3],
+                     labels[4], labels[5]});
+  for (std::size_t r = 0; r < 6; ++r) {
+    std::vector<std::string> cells = {labels[r]};
+    for (std::size_t c = 0; c < 6; ++c) {
+      cells.push_back(util::Table::num(m(r, c), 3));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::cout << "Measured (pooled over all plausible hosts):\n";
+  table.print(std::cout);
+
+  util::Table paper({"", labels[0], labels[1], labels[2], labels[3],
+                     labels[4], labels[5]});
+  for (std::size_t r = 0; r < 6; ++r) {
+    std::vector<std::string> cells = {labels[r]};
+    for (std::size_t c = 0; c < 6; ++c) {
+      cells.push_back(util::Table::num(kPaper[r][c], 3));
+    }
+    paper.add_row(std::move(cells));
+  }
+  std::cout << "\nPaper's Table III:\n";
+  paper.print(std::cout);
+
+  std::cout << "\nStructure checks: cores-memory and whet-dhry > 0.6; "
+               "cores vs mem/core ~ 0; disk uncorrelated with everything.\n";
+  return 0;
+}

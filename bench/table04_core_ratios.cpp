@@ -1,0 +1,70 @@
+// Table IV + Figure 5: core-count ratios over time and their exponential
+// fits a*e^(b(year-2006)).
+// Paper: 1:2 a=3.369 b=-0.5004 r=-0.9984; 2:4 a=17.49 b=-0.3217 r=-0.9730;
+// 4:8 a=12.8 b=-0.2377 r=-0.9557.
+#include <iostream>
+
+#include "common.h"
+#include "util/ascii_plot.h"
+
+using namespace resmodel;
+
+int main() {
+  bench::print_header("Table IV / Figure 5",
+                      "Core ratio model values and fits");
+
+  struct PaperRow {
+    const char* name;
+    double a, b, r;
+  };
+  static constexpr PaperRow kPaper[] = {
+      {"1:2", 3.369, -0.5004, -0.9984},
+      {"2:4", 17.49, -0.3217, -0.9730},
+      {"4:8", 12.8, -0.2377, -0.9557},
+      {"8:16", 12.0, -0.2, 0.0},  // §VI-C estimate, no fit r published
+  };
+
+  const auto& series = bench::bench_fit().core_ratios;
+  util::Table table({"Ratio", "a", "b", "r"});
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const auto& s = series[i];
+    const PaperRow& p = kPaper[i];
+    table.add_row(
+        {std::to_string(static_cast<int>(s.numerator_value)) + ":" +
+             std::to_string(static_cast<int>(s.denominator_value)),
+         bench::vs_paper(s.law.a, p.a, 3), bench::vs_paper(s.law.b, p.b, 4),
+         bench::vs_paper(s.law.r, p.r, 4)});
+  }
+  table.print(std::cout);
+
+  // Figure 5's series: observed ratios (log scale) with the fit.
+  std::cout << "\nObserved ratio series (Figure 5, log-y):\n";
+  util::Table obs({"t (yr)", "1:2 obs", "1:2 fit", "2:4 obs", "2:4 fit",
+                   "4:8 obs", "4:8 fit"});
+  for (std::size_t j = 0; j < series[0].t.size(); ++j) {
+    std::vector<std::string> cells = {util::Table::num(series[0].t[j], 2)};
+    for (std::size_t s = 0; s < 3; ++s) {
+      // Snapshot grids are shared, so index j aligns across series.
+      if (j < series[s].ratio.size()) {
+        cells.push_back(util::Table::num(series[s].ratio[j], 2));
+        cells.push_back(util::Table::num(series[s].law(series[s].t[j]), 2));
+      } else {
+        cells.push_back("-");
+        cells.push_back("-");
+      }
+    }
+    obs.add_row(std::move(cells));
+  }
+  obs.print(std::cout);
+
+  util::AsciiChart chart("Core ratios over time (log scale)", series[0].t);
+  for (std::size_t s = 0; s < 3; ++s) {
+    if (series[s].ratio.size() == series[0].t.size()) {
+      chart.add_series({std::string(kPaper[s].name) + " ratio",
+                        series[s].ratio});
+    }
+  }
+  chart.set_log_y(true);
+  chart.print(std::cout, 64, 14);
+  return 0;
+}

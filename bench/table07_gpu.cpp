@@ -1,0 +1,87 @@
+// Table VII + Figure 10: GPU types among GPU-equipped hosts and the GPU
+// memory distribution, September 2009 vs September 2010.
+// Paper: GPU hosts 12.7% -> 23.8% of active hosts. Types: GeForce 82.5 ->
+// 63.6%, Radeon 12.2 -> 31.5%, Quadro 4.7 -> 4.0%, Other 0.6 -> 0.8%.
+// GPU memory mean 592.7 -> 659.4 MB, median 512 MB, >=1GB share 19 -> 31%.
+#include <iostream>
+
+#include "common.h"
+#include "stats/descriptive.h"
+#include "trace/composition.h"
+#include "util/ascii_plot.h"
+
+using namespace resmodel;
+
+int main() {
+  bench::print_header("Table VII / Figure 10", "GPU analysis");
+
+  const std::vector<util::ModelDate> dates = {
+      util::ModelDate::from_ymd(2009, 9, 1),
+      util::ModelDate::from_ymd(2010, 8, 31)};
+  const trace::GpuComposition gpu =
+      trace::gpu_composition(bench::bench_trace(), dates);
+
+  std::cout << "GPU-equipped fraction of active hosts:\n";
+  util::Table adoption({"Date", "Measured", "Paper"});
+  adoption.add_row({"Sep 2009", util::Table::pct(gpu.gpu_host_fraction[0]),
+                    "12.7%"});
+  adoption.add_row({"Sep 2010", util::Table::pct(gpu.gpu_host_fraction[1]),
+                    "23.8%"});
+  adoption.print(std::cout);
+
+  static constexpr double kPaperTypes[4][2] = {
+      {82.5, 63.6}, {12.2, 31.5}, {4.7, 4.0}, {0.6, 0.8}};
+  std::cout << "\nGPU types among GPU-equipped hosts (% of GPU hosts):\n";
+  util::Table types({"Type", "Sep 2009", "Sep 2010"});
+  for (std::size_t r = 0; r < gpu.types.categories.size(); ++r) {
+    types.add_row(
+        {gpu.types.categories[r],
+         util::Table::num(gpu.types.shares[r][0] * 100.0, 1) + " (" +
+             util::Table::num(kPaperTypes[r][0], 1) + ")",
+         util::Table::num(gpu.types.shares[r][1] * 100.0, 1) + " (" +
+             util::Table::num(kPaperTypes[r][1], 1) + ")"});
+  }
+  types.print(std::cout);
+
+  std::cout << "\nGPU memory distribution (Figure 10):\n";
+  util::Table memory({"Statistic", "Sep 2009", "Sep 2010", "Paper"});
+  std::vector<stats::Summary> summaries;
+  std::vector<double> ge_1gb;
+  for (const util::ModelDate& d : dates) {
+    const std::vector<double> mem =
+        bench::bench_trace().gpu_memory_snapshot(d);
+    summaries.push_back(stats::summarize(mem));
+    double count = 0;
+    for (double v : mem) {
+      if (v >= 1024.0) ++count;
+    }
+    ge_1gb.push_back(mem.empty() ? 0.0 : count / mem.size());
+  }
+  memory.add_row({"Mean (MB)", util::Table::num(summaries[0].mean, 1),
+                  util::Table::num(summaries[1].mean, 1),
+                  "592.7 -> 659.4"});
+  memory.add_row({"Median (MB)", util::Table::num(summaries[0].median, 0),
+                  util::Table::num(summaries[1].median, 0), "512 -> 512"});
+  memory.add_row({"Stddev (MB)", util::Table::num(summaries[0].stddev, 1),
+                  util::Table::num(summaries[1].stddev, 1),
+                  "329.7 -> 362.7"});
+  memory.add_row({">= 1GB share", util::Table::pct(ge_1gb[0]),
+                  util::Table::pct(ge_1gb[1]), "19% -> 31%"});
+  memory.print(std::cout);
+
+  // Bar chart of the Sep 2010 distribution.
+  const std::vector<double> mem2010 =
+      bench::bench_trace().gpu_memory_snapshot(dates[1]);
+  std::vector<std::pair<std::string, double>> bars;
+  for (double value : {128.0, 256.0, 512.0, 768.0, 1024.0, 1536.0, 2048.0}) {
+    double count = 0;
+    for (double v : mem2010) {
+      if (v == value) ++count;
+    }
+    bars.emplace_back(util::Table::num(value, 0) + " MB",
+                      mem2010.empty() ? 0.0 : 100.0 * count / mem2010.size());
+  }
+  util::print_bar_chart(std::cout, "\nGPU memory, Sep 2010 (% of GPU hosts):",
+                        bars, 40);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Table X: the condensed summary of the model — every a/b pair, fitted
+// from the trace and printed next to the published values.
+#include <iostream>
+
+#include "common.h"
+
+using namespace resmodel;
+
+int main() {
+  bench::print_header("Table X", "Summary of model parameters");
+
+  const core::ModelParams& fitted = bench::bench_fit().params;
+  const core::ModelParams paper = core::paper_params();
+
+  util::Table table({"Resource", "Value", "Method", "a (fit)", "a (paper)",
+                     "b (fit)", "b (paper)"});
+
+  const auto chain_rows = [&table](const std::string& resource,
+                                   const core::DiscreteRatioChain& fit_chain,
+                                   const core::DiscreteRatioChain& paper_chain,
+                                   const std::string& unit) {
+    for (std::size_t i = 0; i < fit_chain.ratios.size(); ++i) {
+      const auto label = [&](double v) {
+        if (unit == "MB" && v >= 1024) {
+          return util::Table::num(v / 1024.0, v == 1536 ? 1 : 0) + "GB";
+        }
+        return util::Table::num(v, 0) + unit;
+      };
+      table.add_row({i == 0 ? resource : "",
+                     label(fit_chain.values[i]) + ":" +
+                         label(fit_chain.values[i + 1]),
+                     "Relative Ratio",
+                     util::Table::num(fit_chain.ratios[i].a, 3),
+                     i < paper_chain.ratios.size()
+                         ? util::Table::num(paper_chain.ratios[i].a, 3)
+                         : "-",
+                     util::Table::num(fit_chain.ratios[i].b, 4),
+                     i < paper_chain.ratios.size()
+                         ? util::Table::num(paper_chain.ratios[i].b, 4)
+                         : "-"});
+    }
+  };
+  chain_rows("Cores", fitted.cores, paper.cores, "");
+  table.add_separator();
+  chain_rows("Mem/Core", fitted.memory_per_core_mb, paper.memory_per_core_mb,
+             "MB");
+  table.add_separator();
+
+  const auto moment_rows = [&table](const std::string& resource,
+                                    const core::MomentLaws& fit_laws,
+                                    const core::MomentLaws& paper_laws,
+                                    const std::string& dist) {
+    table.add_row({resource, "Mean", dist,
+                   util::Table::num(fit_laws.mean_law.a, 1),
+                   util::Table::num(paper_laws.mean_law.a, 1),
+                   util::Table::num(fit_laws.mean_law.b, 4),
+                   util::Table::num(paper_laws.mean_law.b, 4)});
+    table.add_row({"", "Variance", dist,
+                   util::Table::sci(fit_laws.variance_law.a, 3),
+                   util::Table::sci(paper_laws.variance_law.a, 3),
+                   util::Table::num(fit_laws.variance_law.b, 4),
+                   util::Table::num(paper_laws.variance_law.b, 4)});
+  };
+  moment_rows("Dhrystone", fitted.dhrystone, paper.dhrystone, "Normal Dist.");
+  moment_rows("Whetstone", fitted.whetstone, paper.whetstone, "Normal Dist.");
+  moment_rows("Disk Space", fitted.disk_gb, paper.disk_gb, "Lognorm Dist.");
+
+  table.print(std::cout);
+
+  std::cout << "\nCorrelation matrix R over {mem/core, whet, dhry} "
+               "(fit vs paper):\n";
+  util::Table corr({"", "Mem/Core", "Whet", "Dhry"});
+  const char* names[3] = {"Mem/Core", "Whet", "Dhry"};
+  for (std::size_t r = 0; r < 3; ++r) {
+    corr.add_row({names[r],
+                  bench::vs_paper(fitted.resource_correlation(r, 0),
+                                  paper.resource_correlation(r, 0), 3),
+                  bench::vs_paper(fitted.resource_correlation(r, 1),
+                                  paper.resource_correlation(r, 1), 3),
+                  bench::vs_paper(fitted.resource_correlation(r, 2),
+                                  paper.resource_correlation(r, 2), 3)});
+  }
+  corr.print(std::cout);
+
+  std::cout << "\nSerialized model (the public tool's output format):\n"
+            << fitted.serialize();
+  return 0;
+}

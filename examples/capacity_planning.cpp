@@ -1,0 +1,68 @@
+// Capacity planning with model-based prediction (§VI-C): what will the
+// host population look like through 2014, and what are the best/worst
+// hosts an application can expect?
+//
+//   ./capacity_planning
+#include <iostream>
+
+#include "core/model_params.h"
+#include "core/prediction.h"
+#include "util/table.h"
+
+using namespace resmodel;
+
+int main() {
+  const core::ModelParams params = core::paper_params();
+  // Memory predictions use the §V-E six-value per-core chain (see
+  // core/prediction.h for why).
+  const core::ModelParams memory_params =
+      core::with_memory_capped(params, 2048.0);
+
+  std::cout << "Predicted host composition, 2010-2014 (published model):\n\n";
+  util::Table table({"Year", "Mean cores", "1-core share", ">=8-core share",
+                     "Mean mem (GB)", "Dhry mean", "Whet mean",
+                     "Disk mean (GB)"});
+  for (int year = 2010; year <= 2014; ++year) {
+    const double t = year - 2006.0;
+    const auto fractions = core::predicted_core_fractions(params, {t});
+    const double ge8 = fractions[3][0] + fractions[4][0];
+    table.add_row(
+        {std::to_string(year),
+         util::Table::num(core::predicted_mean_cores(params, t), 2),
+         util::Table::pct(fractions[0][0]), util::Table::pct(ge8),
+         util::Table::num(
+             core::predicted_mean_memory_mb(memory_params, t) / 1024.0, 2),
+         util::Table::num(core::predicted_dhrystone(params, t).mean, 0),
+         util::Table::num(core::predicted_whetstone(params, t).mean, 0),
+         util::Table::num(core::predicted_disk_gb(params, t).mean, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper's 2014 checkpoints: 4.6 mean cores, 6.8 GB mean "
+               "memory, Dhrystone\n(8100, 4419), Whetstone (2975, 868), "
+               "disk (272.0, 434.5).\n";
+
+  // Best/worst host prediction (the §VI-C sketch).
+  std::cout << "\nBest/median/worst widely-available host in 2014 "
+               "(1%/50%/99% quantiles):\n";
+  util::Table quantiles({"Quantile", "Cores", "Memory (MB)", "Whetstone",
+                         "Dhrystone", "Disk (GB)"});
+  for (const auto& [label, q] :
+       {std::pair<const char*, double>{"Worst (1%)", 0.01},
+        {"Median", 0.50},
+        {"Best (99%)", 0.99}}) {
+    const core::QuantileHost h =
+        core::predicted_quantile_host(params, 8.0, q);
+    quantiles.add_row({label, util::Table::num(h.cores, 0),
+                       util::Table::num(h.memory_mb, 0),
+                       util::Table::num(h.whetstone_mips, 0),
+                       util::Table::num(h.dhrystone_mips, 0),
+                       util::Table::num(h.disk_avail_gb, 1)});
+  }
+  quantiles.print(std::cout);
+
+  std::cout << "\nPlanning guidance: an application needing >= 4 cores and "
+               ">= 4 GB can target\nthe majority of hosts by 2014; one "
+               "needing > 1 TB of free disk can only count\non the top few "
+               "percent.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Scheduling study on modeled hosts — the research workflow from the
+// paper's introduction: evaluate bag-of-tasks scheduling policies on a
+// realistic host population, with and without the availability overlay.
+//
+//   ./scheduling_study [hosts] [tasks]
+#include <iostream>
+#include <string>
+
+#include "core/host_generator.h"
+#include "sim/bag_of_tasks.h"
+#include "util/table.h"
+
+using namespace resmodel;
+
+namespace {
+
+std::vector<sim::HostResources> make_hosts(std::size_t n, int year) {
+  const core::HostGenerator gen(core::paper_params());
+  util::Rng rng(2024);
+  const auto generated =
+      gen.generate_many(util::ModelDate::from_ymd(year, 1, 1), n, rng);
+  std::vector<sim::HostResources> hosts;
+  hosts.reserve(generated.size());
+  for (const core::GeneratedHost& g : generated) {
+    hosts.push_back({static_cast<double>(g.n_cores), g.memory_mb,
+                     g.dhrystone_mips, g.whetstone_mips, g.disk_avail_gb});
+  }
+  return hosts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t host_count = 1000;
+  std::size_t task_count = 10000;
+  if (argc > 1) host_count = std::stoul(argv[1]);
+  if (argc > 2) task_count = std::stoul(argv[2]);
+
+  const sim::SchedulingPolicy policies[] = {
+      sim::SchedulingPolicy::kStaticRoundRobin,
+      sim::SchedulingPolicy::kStaticSpeedWeighted,
+      sim::SchedulingPolicy::kDynamicPull,
+      sim::SchedulingPolicy::kDynamicEct,
+  };
+
+  std::cout << "Bag of " << task_count << " tasks on " << host_count
+            << " hosts generated from the published correlated model.\n\n";
+
+  for (const int year : {2006, 2010, 2014}) {
+    const auto hosts = make_hosts(host_count, year);
+    util::Table table({"Policy (" + std::to_string(year) + " hosts)",
+                       "Makespan (days)", "Makespan w/ availability",
+                       "Hosts used"});
+    for (const sim::SchedulingPolicy policy : policies) {
+      sim::BagOfTasksConfig config;
+      config.task_count = task_count;
+      util::Rng rng(1);
+      const auto plain = sim::run_bag_of_tasks(hosts, config, policy, rng);
+
+      config.model_availability = true;
+      util::Rng rng2(1);
+      const auto avail = sim::run_bag_of_tasks(hosts, config, policy, rng2);
+
+      table.add_row({to_string(policy),
+                     util::Table::num(plain.makespan_days, 1),
+                     util::Table::num(avail.makespan_days, 1),
+                     std::to_string(plain.hosts_used)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout
+      << "Observations: knowledge-free static striping degrades severely on "
+         "the\nheterogeneous (correlated) population; ECT is robust; naive "
+         "pull sits in\nbetween, exposed to slow-host stragglers; the "
+         "availability overlay stretches\nevery policy's makespan by "
+         "roughly the inverse mean ON fraction. Hardware\nprogress "
+         "2006 -> 2014 shortens the same bag by the model's compound "
+         "speed\ngrowth.\n";
+  return 0;
+}

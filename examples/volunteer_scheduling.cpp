@@ -1,0 +1,72 @@
+// Volunteer-computing scheduling study — the workload the paper's
+// introduction motivates: a project operator wants to know how much
+// utility four very different applications (Table IX) extract from the
+// host population of a given year, and how that changes as hardware
+// evolves.
+//
+//   ./volunteer_scheduling [hosts-per-year]
+//
+// For each year 2006-2014, synthesizes a population from the published
+// correlated model, allocates it to the applications with the greedy
+// round-robin scheduler, and reports per-application utility shares and
+// the per-host utility growth relative to 2006.
+#include <iostream>
+#include <string>
+
+#include "core/host_generator.h"
+#include "sim/allocator.h"
+#include "sim/baseline_models.h"
+#include "util/table.h"
+
+using namespace resmodel;
+
+int main(int argc, char** argv) {
+  std::size_t hosts_per_year = 20000;
+  if (argc > 1) {
+    hosts_per_year = static_cast<std::size_t>(std::stoul(argv[1]));
+  }
+
+  const sim::CorrelatedModel model(core::paper_params());
+  const auto apps = sim::paper_applications();
+  util::Rng rng(7);
+
+  std::cout << "Greedy round-robin allocation of " << hosts_per_year
+            << " synthesized hosts per year across the Table-IX "
+               "applications.\n\n";
+
+  std::vector<double> base_per_host(apps.size(), 0.0);
+  util::Table table({"Year", "SETI util/host", "Folding util/host",
+                     "Climate util/host", "P2P util/host",
+                     "Growth vs 2006"});
+  for (int year = 2006; year <= 2014; ++year) {
+    const auto hosts = model.synthesize(
+        util::ModelDate::from_ymd(year, 1, 1), hosts_per_year, rng);
+    const sim::AllocationResult alloc = sim::allocate_round_robin(apps, hosts);
+
+    std::vector<std::string> cells = {std::to_string(year)};
+    double total_growth = 0.0;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      const double per_host =
+          alloc.hosts_assigned[a] > 0
+              ? alloc.total_utility[a] /
+                    static_cast<double>(alloc.hosts_assigned[a])
+              : 0.0;
+      if (year == 2006) base_per_host[a] = per_host;
+      cells.push_back(util::Table::num(per_host, 1));
+      total_growth += per_host / base_per_host[a];
+    }
+    cells.push_back(
+        util::Table::num(total_growth / static_cast<double>(apps.size()), 2) +
+        "x");
+    table.add_row(std::move(cells));
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReading the table: P2P utility/host grows fastest (disk grows "
+         "+27%/yr in the\nmodel), Folding@home benefits from multicore "
+         "adoption, SETI@home — dominated by\nsingle-core floating point — "
+         "grows slowest. This is exactly the kind of\ncapacity question the "
+         "paper built the model to answer.\n";
+  return 0;
+}

@@ -1,0 +1,222 @@
+#include "bench_suite/dhrystone.h"
+
+#include <array>
+#include <chrono>
+#include <cstring>
+
+namespace resmodel::bench_suite {
+
+namespace {
+
+// Dhrystone 2.1 structure kinds.
+enum Identification : int { kIdent1, kIdent2, kIdent3, kIdent4, kIdent5 };
+
+struct Record {
+  Record* next = nullptr;
+  Identification discr = kIdent1;
+  Identification variant = kIdent1;
+  int int_comp = 0;
+  char string_comp[31] = {};
+};
+
+// The benchmark state that in the original lives in globals.
+struct State {
+  Record record_a;
+  Record record_b;
+  int int_glob = 0;
+  bool bool_glob = false;
+  char char_1 = 'A';
+  char char_2 = 'B';
+  std::array<int, 50> array_1{};
+  std::array<std::array<int, 50>, 50> array_2{};
+};
+
+bool func_2(const char* s1, const char* s2, State& st);
+
+int func_1(char ch_1, char ch_2, State& st) {
+  const char ch_1_loc = ch_1;
+  char ch_2_loc = ch_1_loc;
+  if (ch_2_loc != ch_2) return 0;  // Ident_1
+  st.char_1 = ch_1_loc;
+  return 1;
+}
+
+bool func_3(Identification enum_par) { return enum_par == kIdent3; }
+
+bool func_2(const char* s1, const char* s2, State& st) {
+  int int_loc = 2;
+  char ch_loc = 'A';
+  while (int_loc <= 2) {
+    if (func_1(s1[int_loc], s2[int_loc + 1], st) == 0) {
+      ch_loc = 'A';
+      int_loc += 1;
+    } else {
+      break;
+    }
+  }
+  if (ch_loc >= 'W' && ch_loc < 'Z') int_loc = 7;
+  if (ch_loc == 'R') return true;
+  if (std::strcmp(s1, s2) > 0) {
+    int_loc += 7;
+    st.int_glob = int_loc;
+    return true;
+  }
+  return false;
+}
+
+void proc_7(int in_1, int in_2, int& out) { out = in_2 + (in_1 + 2); }
+
+void proc_8(std::array<int, 50>& arr_1,
+            std::array<std::array<int, 50>, 50>& arr_2, int in_1, int in_2,
+            State& st) {
+  const int loc = in_1 + 5;
+  arr_1[static_cast<std::size_t>(loc)] = in_2;
+  arr_1[static_cast<std::size_t>(loc + 1)] =
+      arr_1[static_cast<std::size_t>(loc)];
+  arr_1[static_cast<std::size_t>(loc + 30)] = loc;
+  for (int i = loc; i <= loc + 1; ++i) {
+    arr_2[static_cast<std::size_t>(loc)][static_cast<std::size_t>(i)] = loc;
+  }
+  arr_2[static_cast<std::size_t>(loc)][static_cast<std::size_t>(loc - 1)] += 1;
+  arr_2[static_cast<std::size_t>(loc + 20)][static_cast<std::size_t>(loc)] =
+      arr_1[static_cast<std::size_t>(loc)];
+  st.int_glob = 5;
+}
+
+void proc_6(Identification enum_in, Identification& enum_out, State& st) {
+  enum_out = enum_in;
+  if (!func_3(enum_in)) enum_out = kIdent4;
+  switch (enum_in) {
+    case kIdent1: enum_out = kIdent1; break;
+    case kIdent2: enum_out = st.int_glob > 100 ? kIdent1 : kIdent4; break;
+    case kIdent3: enum_out = kIdent2; break;
+    case kIdent4: break;
+    case kIdent5: enum_out = kIdent3; break;
+  }
+}
+
+void proc_3(Record*& ptr_out, State& st) {
+  ptr_out = st.record_a.next;
+  proc_7(10, st.int_glob, st.record_a.int_comp);
+}
+
+void proc_1(Record* ptr_in, State& st) {
+  Record* next = ptr_in->next;
+  *ptr_in->next = st.record_a;
+  ptr_in->int_comp = 5;
+  next->int_comp = ptr_in->int_comp;
+  next->next = ptr_in->next;
+  proc_3(next->next, st);
+  if (next->discr == kIdent1) {
+    next->int_comp = 6;
+    proc_6(ptr_in->variant, next->variant, st);
+    next->next = st.record_a.next;
+    proc_7(next->int_comp, 10, next->int_comp);
+  } else {
+    *ptr_in = *ptr_in->next;
+  }
+}
+
+void proc_2(int& int_io, const State& st) {
+  int int_loc = int_io + 10;
+  for (;;) {
+    if (st.char_1 == 'A') {
+      int_loc -= 1;
+      int_io = int_loc - st.int_glob;
+      break;
+    }
+  }
+}
+
+void proc_4(State& st) {
+  const bool bool_loc = st.char_1 == 'A';
+  st.bool_glob = bool_loc | st.bool_glob;
+  st.char_2 = 'B';
+}
+
+void proc_5(State& st) {
+  st.char_1 = 'A';
+  st.bool_glob = false;
+}
+
+// One Dhrystone iteration (the body of the original main loop).
+void one_iteration(State& st, int run_index) {
+  char string_1[31];
+  char string_2[31];
+  std::strcpy(string_1, "DHRYSTONE PROGRAM, 1'ST STRING");
+
+  proc_5(st);
+  proc_4(st);
+  int int_1 = 2;
+  int int_2 = 3;
+  std::strcpy(string_2, "DHRYSTONE PROGRAM, 2'ND STRING");
+  Identification enum_loc = kIdent2;
+  st.bool_glob = !func_2(string_1, string_2, st);
+  int int_3 = 0;
+  while (int_1 < int_2) {
+    int_3 = 5 * int_1 - int_2;
+    proc_7(int_1, int_2, int_3);
+    int_1 += 1;
+  }
+  proc_8(st.array_1, st.array_2, int_1, int_3, st);
+  proc_1(&st.record_b, st);
+  for (char ch_index = 'A'; ch_index <= st.char_2; ++ch_index) {
+    if (enum_loc == (func_3(kIdent3) ? kIdent1 : kIdent2)) {
+      proc_6(kIdent1, enum_loc, st);
+      std::strcpy(string_2, "DHRYSTONE PROGRAM, 3'RD STRING");
+      int_2 = run_index;
+      st.int_glob = run_index;
+    }
+  }
+  int_2 = int_2 * int_1;
+  int_1 = int_2 / int_3;
+  int_2 = 7 * (int_2 - int_3) - int_1;
+  proc_2(int_1, st);
+}
+
+}  // namespace
+
+BenchmarkScore run_dhrystone(double seconds) {
+  State st;
+  st.record_a.next = &st.record_b;
+  st.record_a.discr = kIdent1;
+  st.record_a.variant = kIdent3;
+  st.record_a.int_comp = 40;
+  std::strcpy(st.record_a.string_comp, "DHRYSTONE PROGRAM, SOME STRING");
+  st.record_b = st.record_a;
+  st.record_b.next = &st.record_a;
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(seconds));
+  std::uint64_t iterations = 0;
+  // Check the clock in batches; the batch body must not be optimized away,
+  // which the state dependencies already prevent.
+  constexpr std::uint64_t kBatch = 2000;
+  auto now = start;
+  while (now < deadline) {
+    for (std::uint64_t i = 0; i < kBatch; ++i) {
+      one_iteration(st, static_cast<int>(iterations + i));
+    }
+    iterations += kBatch;
+    now = Clock::now();
+  }
+  // Fold the state into a volatile sink so the optimizer keeps the work.
+  volatile int sink = st.int_glob + st.array_1[7] + st.record_a.int_comp;
+  (void)sink;
+
+  BenchmarkScore score;
+  score.elapsed_seconds =
+      std::chrono::duration<double>(now - start).count();
+  score.iterations = iterations;
+  if (score.elapsed_seconds > 0.0) {
+    const double dhrystones_per_second =
+        static_cast<double>(iterations) / score.elapsed_seconds;
+    score.mips = dhrystones_per_second / 1757.0;  // VAX 11/780 baseline
+  }
+  return score;
+}
+
+}  // namespace resmodel::bench_suite

@@ -1,0 +1,27 @@
+// A self-contained Dhrystone-2.1-style integer benchmark.
+//
+// BOINC measures each host's integer speed with Dhrystone 2.1 compiled
+// with -O2 (Section V-A of the paper). This implementation reproduces the
+// benchmark's characteristic workload — record assignment, string
+// copy/compare, pointer chasing, enum/array manipulation, function calls —
+// in standard C++ without the original's global-variable style. Scores are
+// reported in DMIPS (Dhrystones/second divided by 1757, the VAX 11/780
+// baseline), the same unit as the paper's "Dhrystone MIPS".
+#pragma once
+
+#include <cstdint>
+
+namespace resmodel::bench_suite {
+
+/// Result of one benchmark run.
+struct BenchmarkScore {
+  double mips = 0.0;          ///< DMIPS (or MWIPS for Whetstone)
+  double elapsed_seconds = 0.0;
+  std::uint64_t iterations = 0;
+};
+
+/// Runs the Dhrystone loop for approximately `seconds` of wall time
+/// (>= a few milliseconds; longer runs give stabler scores).
+BenchmarkScore run_dhrystone(double seconds);
+
+}  // namespace resmodel::bench_suite

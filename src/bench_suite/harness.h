@@ -1,0 +1,27 @@
+// Multi-core benchmark execution, matching BOINC's procedure: "the
+// benchmarks are executed on all available cores simultaneously and the
+// average speed is taken" (§V-A) — which is why shared caches and memory
+// buses depress multicore per-core scores in the trace.
+#pragma once
+
+#include <functional>
+
+#include "bench_suite/dhrystone.h"
+
+namespace resmodel::bench_suite {
+
+/// Aggregate of a simultaneous multi-thread run.
+struct MultiCoreScore {
+  double average_mips = 0.0;  ///< mean per-core score
+  double min_mips = 0.0;
+  double max_mips = 0.0;
+  int threads = 0;
+};
+
+/// Runs `benchmark` simultaneously on `threads` threads (0 = one per
+/// hardware core) for ~`seconds` each and averages the per-core scores.
+MultiCoreScore run_on_all_cores(
+    const std::function<BenchmarkScore(double)>& benchmark, double seconds,
+    int threads = 0);
+
+}  // namespace resmodel::bench_suite

@@ -1,0 +1,52 @@
+#include "bench_suite/local_probe.h"
+
+#include <sys/statvfs.h>
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include "bench_suite/harness.h"
+#include "bench_suite/whetstone.h"
+
+namespace resmodel::bench_suite {
+
+LocalHostInfo probe_local_host(const std::string& disk_path) {
+  LocalHostInfo info;
+
+  const long cores = sysconf(_SC_NPROCESSORS_ONLN);
+  if (cores > 0) info.n_cores = static_cast<int>(cores);
+
+  const long pages = sysconf(_SC_PHYS_PAGES);
+  const long page_size = sysconf(_SC_PAGESIZE);
+  if (pages > 0 && page_size > 0) {
+    info.memory_mb = static_cast<double>(pages) *
+                     static_cast<double>(page_size) / (1024.0 * 1024.0);
+  }
+
+  struct statvfs fs{};
+  if (statvfs(disk_path.c_str(), &fs) == 0) {
+    const double frsize = static_cast<double>(fs.f_frsize);
+    info.disk_avail_gb = static_cast<double>(fs.f_bavail) * frsize /
+                         (1024.0 * 1024.0 * 1024.0);
+    info.disk_total_gb = static_cast<double>(fs.f_blocks) * frsize /
+                         (1024.0 * 1024.0 * 1024.0);
+  }
+
+  struct utsname uts{};
+  if (uname(&uts) == 0) {
+    info.os_name = std::string(uts.sysname) + " " + uts.release;
+  }
+  return info;
+}
+
+LocalMeasurement measure_local_host(double benchmark_seconds,
+                                    const std::string& disk_path) {
+  LocalMeasurement m;
+  m.info = probe_local_host(disk_path);
+  m.dhrystone_mips =
+      run_on_all_cores(run_dhrystone, benchmark_seconds).average_mips;
+  m.whetstone_mips =
+      run_on_all_cores(run_whetstone, benchmark_seconds).average_mips;
+  return m;
+}
+
+}  // namespace resmodel::bench_suite

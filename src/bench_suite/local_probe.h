@@ -1,0 +1,37 @@
+// Local host measurement — the client-side functions §V-A lists
+// (GetSystemInfo / sysconf for cores, GlobalMemoryStatusEx / sysconf for
+// memory, GetDiskFreeSpaceEx / statvfs for disk), here the POSIX side.
+// Combined with the benchmark suite this measures the machine the library
+// itself runs on, completing the measurement path of Section IV.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace resmodel::bench_suite {
+
+/// A local hardware measurement. Fields that could not be determined are
+/// zero/empty.
+struct LocalHostInfo {
+  int n_cores = 0;
+  double memory_mb = 0.0;
+  double disk_avail_gb = 0.0;
+  double disk_total_gb = 0.0;
+  std::string os_name;
+};
+
+/// Probes core count (sysconf), physical memory (sysconf page counts) and
+/// disk space (statvfs on `disk_path`).
+LocalHostInfo probe_local_host(const std::string& disk_path = "/");
+
+/// Full BOINC-style measurement: probe + both benchmarks run on all cores
+/// simultaneously for `benchmark_seconds` each.
+struct LocalMeasurement {
+  LocalHostInfo info;
+  double dhrystone_mips = 0.0;  ///< per-core average
+  double whetstone_mips = 0.0;  ///< per-core average
+};
+LocalMeasurement measure_local_host(double benchmark_seconds = 0.5,
+                                    const std::string& disk_path = "/");
+
+}  // namespace resmodel::bench_suite

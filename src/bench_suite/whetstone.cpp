@@ -1,0 +1,162 @@
+#include "bench_suite/whetstone.h"
+
+#include <array>
+#include <chrono>
+#include <cmath>
+
+namespace resmodel::bench_suite {
+
+namespace {
+
+// Classic Whetstone helpers.
+void pa(std::array<double, 4>& e, double t, double t2) {
+  for (int j = 0; j < 6; ++j) {
+    e[0] = (e[0] + e[1] + e[2] - e[3]) * t;
+    e[1] = (e[0] + e[1] - e[2] + e[3]) * t;
+    e[2] = (e[0] - e[1] + e[2] + e[3]) * t;
+    e[3] = (-e[0] + e[1] + e[2] + e[3]) / t2;
+  }
+}
+
+void p3(double x, double y, double& z, double t, double t2) {
+  const double x1 = t * (x + y);
+  const double y1 = t * (x1 + y);
+  z = (x1 + y1) / t2;
+}
+
+void p0(std::array<double, 4>& e, int j, int k, int l) {
+  e[static_cast<std::size_t>(j)] = e[static_cast<std::size_t>(k)];
+  e[static_cast<std::size_t>(k)] = e[static_cast<std::size_t>(l)];
+  e[static_cast<std::size_t>(l)] = e[static_cast<std::size_t>(j)];
+}
+
+// One "major loop" of the Whetstone mix; returns a fold of the state so
+// callers can keep the work alive. Loop counts follow the classic
+// distribution scaled for one composite iteration.
+double one_major_loop(int scale) {
+  constexpr double t = 0.499975;
+  constexpr double t1 = 0.50025;
+  constexpr double t2 = 2.0;
+
+  const int n1 = 0 * scale;
+  const int n2 = 12 * scale;
+  const int n3 = 14 * scale;
+  const int n4 = 345 * scale;
+  const int n6 = 210 * scale;
+  const int n7 = 32 * scale;
+  const int n8 = 899 * scale;
+  const int n9 = 616 * scale;
+  const int n10 = 0 * scale;
+  const int n11 = 93 * scale;
+
+  double x1 = 1.0, x2 = -1.0, x3 = -1.0, x4 = -1.0;
+  // Module 1: simple identifiers (weight 0 in the classic mix).
+  for (int i = 0; i < n1; ++i) {
+    x1 = (x1 + x2 + x3 - x4) * t;
+    x2 = (x1 + x2 - x3 + x4) * t;
+    x3 = (x1 - x2 + x3 + x4) * t;
+    x4 = (-x1 + x2 + x3 + x4) * t;
+  }
+
+  // Module 2: array elements.
+  std::array<double, 4> e1 = {1.0, -1.0, -1.0, -1.0};
+  for (int i = 0; i < n2; ++i) {
+    e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+    e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+    e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+    e1[3] = (-e1[0] + e1[1] + e1[2] + e1[3]) * t;
+  }
+
+  // Module 3: array as parameter.
+  for (int i = 0; i < n3; ++i) pa(e1, t, t2);
+
+  // Module 4: conditional jumps.
+  int j = 1;
+  for (int i = 0; i < n4; ++i) {
+    j = j == 1 ? 2 : 3;
+    j = j > 2 ? 0 : 1;
+    j = j < 1 ? 1 : 0;
+  }
+
+  // Module 6: integer arithmetic.
+  int j6 = 1;
+  int k = 2;
+  int l = 3;
+  for (int i = 0; i < n6; ++i) {
+    j6 = j6 * (k - j6) * (l - k);
+    k = l * k - (l - j6) * k;
+    l = (l - k) * (k + j6);
+    e1[static_cast<std::size_t>(l - 2 < 0 ? 0 : (l - 2) % 4)] = j6 + k + l;
+    e1[static_cast<std::size_t>(k - 2 < 0 ? 0 : (k - 2) % 4)] = j6 * k * l;
+  }
+
+  // Module 7: trigonometric functions.
+  double x = 0.5, y = 0.5;
+  for (int i = 1; i <= n7; ++i) {
+    x = t * std::atan(t2 * std::sin(x) * std::cos(x) /
+                      (std::cos(x + y) + std::cos(x - y) - 1.0));
+    y = t * std::atan(t2 * std::sin(y) * std::cos(y) /
+                      (std::cos(x + y) + std::cos(x - y) - 1.0));
+  }
+
+  // Module 8: procedure calls.
+  double x8 = 1.0, y8 = 1.0, z8 = 1.0;
+  for (int i = 0; i < n8; ++i) p3(x8, y8, z8, t, t2);
+
+  // Module 9: array references / p0.
+  e1[0] = 1.0;
+  e1[1] = 2.0;
+  e1[2] = 3.0;
+  for (int i = 0; i < n9; ++i) p0(e1, 0, 1, 2);
+
+  // Module 10: integer arithmetic (weight 0 in the classic mix).
+  int j10 = 2, k10 = 3;
+  for (int i = 0; i < n10; ++i) {
+    j10 = j10 + k10;
+    k10 = j10 + k10;
+    j10 = k10 - j10;
+    k10 = k10 - j10 - j10;
+  }
+
+  // Module 11: standard functions.
+  double x11 = 0.75;
+  for (int i = 0; i < n11; ++i) {
+    x11 = std::sqrt(std::exp(std::log(x11) / t1));
+  }
+
+  return x1 + x2 + x3 + x4 + e1[0] + e1[1] + e1[2] + e1[3] + x + y + z8 +
+         x11 + j + j6 + k + l + j10 + k10;
+}
+
+}  // namespace
+
+BenchmarkScore run_whetstone(double seconds) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(seconds));
+  std::uint64_t loops = 0;
+  double sink_acc = 0.0;
+  auto now = start;
+  while (now < deadline) {
+    sink_acc += one_major_loop(1);
+    ++loops;
+    now = Clock::now();
+  }
+  volatile double sink = sink_acc;
+  (void)sink;
+
+  BenchmarkScore score;
+  score.elapsed_seconds = std::chrono::duration<double>(now - start).count();
+  score.iterations = loops;
+  if (score.elapsed_seconds > 0.0) {
+    // One major loop at scale 1 approximates 1/100 of a classic
+    // 10-iteration whetstone run; calibrate so loops/sec maps to MWIPS
+    // with the conventional 0.1 factor.
+    score.mips = static_cast<double>(loops) / score.elapsed_seconds / 10.0;
+  }
+  return score;
+}
+
+}  // namespace resmodel::bench_suite

@@ -1,0 +1,18 @@
+// A self-contained Whetstone-style floating point benchmark.
+//
+// BOINC measures floating point speed with the 1997 C Whetstone (Section
+// V-A). This implementation reproduces the classic module mix — array
+// element arithmetic, trigonometric identities, procedure calls with
+// floating parameters, exp/log/sqrt chains, conditional jumps and integer
+// arithmetic — with the standard per-module loop weights. Scores are
+// MWIPS, the unit the paper calls "Whetstone MIPS".
+#pragma once
+
+#include "bench_suite/dhrystone.h"  // BenchmarkScore
+
+namespace resmodel::bench_suite {
+
+/// Runs the Whetstone module mix for approximately `seconds` of wall time.
+BenchmarkScore run_whetstone(double seconds);
+
+}  // namespace resmodel::bench_suite

@@ -1,0 +1,91 @@
+#include "boinc/client.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace resmodel::boinc {
+
+VirtualClient::VirtualClient(trace::HostRecord spec, ClientConfig config,
+                             util::Rng rng) noexcept
+    : spec_(spec),
+      config_(config),
+      rng_(rng),
+      next_contact_day_(static_cast<double>(spec.created_day)),
+      current_disk_avail_gb_(spec.disk_avail_gb),
+      last_contact_day_done_(static_cast<double>(spec.created_day)),
+      on_interval_end_(static_cast<double>(spec.created_day)) {
+  if (config_.model_availability) {
+    config_.availability.validate();
+    // The first contact happens while the host is up: start an ON
+    // interval at birth.
+    const stats::WeibullDist on_dist(config_.availability.on_weibull_k,
+                                     config_.availability.on_weibull_lambda);
+    on_interval_end_ =
+        next_contact_day_ + std::max(1e-6, on_dist.sample(rng_));
+  }
+}
+
+void VirtualClient::defer_to_available() {
+  if (!config_.model_availability) return;
+  const stats::WeibullDist on_dist(config_.availability.on_weibull_k,
+                                   config_.availability.on_weibull_lambda);
+  const stats::LogNormalDist off_dist(config_.availability.off_lognormal_mu,
+                                      config_.availability.off_lognormal_sigma);
+  while (next_contact_day_ > on_interval_end_) {
+    const double off_len = std::max(1e-6, off_dist.sample(rng_));
+    const double on_start = on_interval_end_ + off_len;
+    const double on_len = std::max(1e-6, on_dist.sample(rng_));
+    if (next_contact_day_ < on_start) next_contact_day_ = on_start;
+    on_interval_end_ = on_start + on_len;
+  }
+}
+
+SchedulerRequest VirtualClient::make_request() {
+  SchedulerRequest request;
+  request.host_id = spec_.id;
+  request.day = static_cast<std::int32_t>(std::floor(next_contact_day_));
+
+  // Re-measure: fixed hardware, jittered benchmarks, drifting disk.
+  HostMeasurement& m = request.measurement;
+  m.n_cores = spec_.n_cores;
+  m.memory_mb = spec_.memory_mb;
+  m.dhrystone_mips = spec_.dhrystone_mips *
+                     std::exp(rng_.normal(0.0, config_.benchmark_jitter_sigma));
+  m.whetstone_mips = spec_.whetstone_mips *
+                     std::exp(rng_.normal(0.0, config_.benchmark_jitter_sigma));
+  current_disk_avail_gb_ *=
+      std::exp(rng_.normal(0.0, config_.disk_drift_sigma));
+  current_disk_avail_gb_ =
+      std::clamp(current_disk_avail_gb_, 0.01, spec_.disk_total_gb);
+  m.disk_avail_gb = current_disk_avail_gb_;
+  m.disk_total_gb = spec_.disk_total_gb;
+  m.cpu = spec_.cpu;
+  m.os = spec_.os;
+  m.gpu = spec_.gpu;
+  m.gpu_memory_mb = spec_.gpu_memory_mb;
+
+  // Work completed since the last contact: everything that fit in the
+  // elapsed wall time at the host's speed (bounded by the local queue).
+  const double elapsed_days = next_contact_day_ - last_contact_day_done_;
+  const double units_per_day = m.n_cores * spec_.whetstone_mips / 4000.0;
+  const auto doable = static_cast<std::uint32_t>(
+      std::clamp(elapsed_days * units_per_day, 0.0, 1e6));
+  request.completed_work_units = std::min(doable, queued_units_);
+  queued_units_ -= request.completed_work_units;
+
+  request.requested_work_seconds = config_.work_request_seconds;
+
+  last_contact_day_done_ = next_contact_day_;
+  next_contact_day_ +=
+      rng_.exponential(1.0 / config_.mean_contact_interval_days);
+  defer_to_available();
+  return request;
+}
+
+void VirtualClient::handle_reply(const SchedulerReply& reply) noexcept {
+  queued_units_ += reply.granted_work_units;
+}
+
+}  // namespace resmodel::boinc

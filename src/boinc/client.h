@@ -1,0 +1,73 @@
+// The worker side: a virtual host with fixed hardware that periodically
+// contacts the server, re-measuring itself each time. Benchmarks jitter
+// per measurement (background load) and available disk performs a slow
+// random walk, so the server's record reflects the *latest* measurement,
+// exactly as in the real system.
+#pragma once
+
+#include "boinc/messages.h"
+#include "synth/availability.h"
+#include "trace/host_record.h"
+#include "util/rng.h"
+
+namespace resmodel::boinc {
+
+/// Per-client behaviour parameters.
+struct ClientConfig {
+  /// Mean days between scheduler contacts (exponential).
+  double mean_contact_interval_days = 2.0;
+  /// Log-sigma of the per-measurement benchmark jitter.
+  double benchmark_jitter_sigma = 0.03;
+  /// Log-sigma of the per-contact available-disk random walk.
+  double disk_drift_sigma = 0.02;
+  /// Seconds of work requested per contact.
+  double work_request_seconds = 86400.0;
+  /// When true, contacts only happen while the host is available
+  /// according to the alternating ON/OFF availability model (§VIII future
+  /// work; see synth/availability.h). A contact scheduled during an OFF
+  /// interval is deferred to the start of the next ON interval.
+  bool model_availability = false;
+  synth::AvailabilityParams availability;
+};
+
+class VirtualClient {
+ public:
+  /// `spec` carries the host's true hardware and its lifetime window
+  /// (created_day / last_contact_day are interpreted as birth/death days).
+  VirtualClient(trace::HostRecord spec, ClientConfig config,
+                util::Rng rng) noexcept;
+
+  std::uint64_t id() const noexcept { return spec_.id; }
+
+  /// Day of the next scheduled contact, or a negative value if the host
+  /// has died.
+  double next_contact_day() const noexcept { return next_contact_day_; }
+  bool alive() const noexcept {
+    return next_contact_day_ <= spec_.last_contact_day;
+  }
+
+  /// Produces the request for the current contact and schedules the next
+  /// one. Call only while alive().
+  SchedulerRequest make_request();
+
+  /// Delivers the server's reply (queues granted work).
+  void handle_reply(const SchedulerReply& reply) noexcept;
+
+  const trace::HostRecord& spec() const noexcept { return spec_; }
+
+ private:
+  /// Advances the ON/OFF state machine so next_contact_day_ lands inside
+  /// an ON interval (no-op unless config_.model_availability).
+  void defer_to_available();
+
+  trace::HostRecord spec_;
+  ClientConfig config_;
+  util::Rng rng_;
+  double next_contact_day_ = 0.0;
+  double current_disk_avail_gb_ = 0.0;
+  std::uint32_t queued_units_ = 0;
+  double last_contact_day_done_ = 0.0;
+  double on_interval_end_ = 0.0;  ///< end of the current ON interval
+};
+
+}  // namespace resmodel::boinc

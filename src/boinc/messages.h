@@ -1,0 +1,49 @@
+// Scheduler RPC message types for the BOINC-style measurement substrate.
+//
+// In BOINC, "host resource measurements occur every time the host contacts
+// the server, [allowing] the server to allocate the appropriate work for
+// the available host resources" (Section IV). These structs are that RPC.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/host_record.h"
+
+namespace resmodel::boinc {
+
+/// The hardware self-measurement a client ships with every request.
+struct HostMeasurement {
+  std::int32_t n_cores = 1;
+  double memory_mb = 0.0;
+  double dhrystone_mips = 0.0;
+  double whetstone_mips = 0.0;
+  double disk_avail_gb = 0.0;
+  double disk_total_gb = 0.0;
+  trace::CpuFamily cpu = trace::CpuFamily::kOther;
+  trace::OsFamily os = trace::OsFamily::kOther;
+  trace::GpuType gpu = trace::GpuType::kNone;
+  double gpu_memory_mb = 0.0;
+};
+
+/// Client -> server: a scheduler request.
+struct SchedulerRequest {
+  std::uint64_t host_id = 0;
+  std::int32_t day = 0;  ///< contact day index
+  HostMeasurement measurement;
+  /// Seconds of work the client wants queued (BOINC's work_req_seconds).
+  double requested_work_seconds = 0.0;
+  /// Work units completed since the previous contact.
+  std::uint32_t completed_work_units = 0;
+};
+
+/// Server -> client: the scheduler reply.
+struct SchedulerReply {
+  /// Work units granted this contact (sized to the host's speed).
+  std::uint32_t granted_work_units = 0;
+  /// Credit granted for the completed units reported in the request.
+  double granted_credit = 0.0;
+  /// Server-suggested delay before the next contact (days).
+  double next_contact_delay_days = 0.0;
+};
+
+}  // namespace resmodel::boinc

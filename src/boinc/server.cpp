@@ -1,0 +1,70 @@
+#include "boinc/server.h"
+
+#include <algorithm>
+
+namespace resmodel::boinc {
+
+SchedulerReply ProjectServer::handle_request(const SchedulerRequest& request) {
+  ++total_contacts_;
+  auto [it, inserted] = records_.try_emplace(request.host_id);
+  HostState& state = it->second;
+  const HostMeasurement& m = request.measurement;
+
+  if (inserted) {
+    state.record.id = request.host_id;
+    state.record.created_day = request.day;
+    state.record.last_contact_day = request.day;
+  } else {
+    state.record.last_contact_day =
+        std::max(state.record.last_contact_day, request.day);
+  }
+  state.record.n_cores = m.n_cores;
+  state.record.memory_mb = m.memory_mb;
+  state.record.dhrystone_mips = m.dhrystone_mips;
+  state.record.whetstone_mips = m.whetstone_mips;
+  state.record.disk_avail_gb = m.disk_avail_gb;
+  state.record.disk_total_gb = m.disk_total_gb;
+  state.record.cpu = m.cpu;
+  state.record.os = m.os;
+  state.record.gpu = m.gpu;
+  state.record.gpu_memory_mb = m.gpu_memory_mb;
+
+  SchedulerReply reply;
+
+  // Credit the completed units.
+  const std::uint32_t completed =
+      std::min(request.completed_work_units, state.queued_units);
+  state.queued_units -= completed;
+  reply.granted_credit = completed * config_.credit_per_unit;
+  state.credit += reply.granted_credit;
+  total_credit_granted_ += reply.granted_credit;
+
+  // Grant new work sized to the host's measured speed: enough units to
+  // cover the requested seconds of computation, capped by the queue limit.
+  const double units_per_day =
+      m.n_cores * m.whetstone_mips / config_.work_unit_cost_mips_days;
+  const double requested_days = request.requested_work_seconds / 86400.0;
+  const auto wanted = static_cast<std::uint32_t>(
+      std::clamp(units_per_day * requested_days, 0.0, 1e6));
+  const std::uint32_t room = config_.max_queued_units > state.queued_units
+                                 ? config_.max_queued_units -
+                                       state.queued_units
+                                 : 0;
+  reply.granted_work_units = std::min(wanted, room);
+  state.queued_units += reply.granted_work_units;
+  total_units_granted_ += reply.granted_work_units;
+
+  reply.next_contact_delay_days = config_.contact_interval_days;
+  return reply;
+}
+
+trace::TraceStore ProjectServer::dump_trace() const {
+  trace::TraceStore store;
+  store.reserve(records_.size());
+  for (const auto& [id, state] : records_) {
+    store.add(state.record);
+  }
+  return store;
+}
+
+}  // namespace resmodel::boinc

@@ -1,0 +1,66 @@
+// The master side of the measurement substrate: records every host's
+// latest measurement, grants work sized to the host's measured speed, and
+// periodically "writes host data to publicly available files" — here, a
+// TraceStore snapshot identical in schema to the synthetic ground truth.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "boinc/messages.h"
+#include "trace/trace_store.h"
+
+namespace resmodel::boinc {
+
+/// Work-unit sizing policy.
+struct ServerConfig {
+  /// One work unit's floating point cost, in Whetstone-MIPS-days: a host
+  /// with W MIPS per core and C cores completes C*W/work_unit_cost units
+  /// per day of computation.
+  double work_unit_cost_mips_days = 4000.0;
+  /// Maximum work units in flight per host.
+  std::uint32_t max_queued_units = 16;
+  /// Credit per completed work unit.
+  double credit_per_unit = 10.0;
+  /// Suggested contact cadence (days).
+  double contact_interval_days = 2.0;
+};
+
+class ProjectServer {
+ public:
+  explicit ProjectServer(ServerConfig config = {}) : config_(config) {}
+
+  /// Handles one scheduler request: upserts the host's trace record,
+  /// grants credit for completed work, and assigns new work units.
+  SchedulerReply handle_request(const SchedulerRequest& request);
+
+  /// Number of distinct hosts that ever contacted the server.
+  std::size_t host_count() const noexcept { return records_.size(); }
+
+  std::uint64_t total_contacts() const noexcept { return total_contacts_; }
+  std::uint64_t total_units_granted() const noexcept {
+    return total_units_granted_;
+  }
+  double total_credit_granted() const noexcept {
+    return total_credit_granted_;
+  }
+
+  /// The periodic public dump: one record per host with its most recent
+  /// measurements and first/last contact days.
+  trace::TraceStore dump_trace() const;
+
+ private:
+  struct HostState {
+    trace::HostRecord record;
+    std::uint32_t queued_units = 0;
+    double credit = 0.0;
+  };
+
+  ServerConfig config_;
+  std::unordered_map<std::uint64_t, HostState> records_;
+  std::uint64_t total_contacts_ = 0;
+  std::uint64_t total_units_granted_ = 0;
+  double total_credit_granted_ = 0.0;
+};
+
+}  // namespace resmodel::boinc

@@ -1,0 +1,88 @@
+#include "boinc/simulation.h"
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <queue>
+#include <vector>
+
+#include "core/host_generator.h"
+#include "synth/population.h"
+
+namespace resmodel::boinc {
+
+namespace {
+
+// Min-heap entry: next contact time of a client.
+struct Event {
+  double day;
+  std::size_t client_index;
+};
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    return a.day > b.day;
+  }
+};
+
+}  // namespace
+
+CollectionResult run_collection(const CollectionConfig& config) {
+  const synth::PopulationConfig& pop = config.population;
+  util::Rng rng(pop.seed ^ 0x9e3779b97f4a7c15ULL);
+  const core::HostGenerator generator(pop.model);
+
+  ProjectServer server(config.server);
+  std::vector<VirtualClient> clients;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+
+  const double gamma_factor =
+      std::exp(std::lgamma(1.0 + 1.0 / pop.lifetime_k));
+  const std::int32_t end_day = pop.sim_end.day_index();
+  std::uint64_t next_id = 1;
+
+  // Day loop spawns arrivals; the event queue drives contacts between
+  // arrivals. Processing order within a day does not matter to the trace.
+  for (std::int32_t day = pop.sim_start.day_index(); day <= end_day; ++day) {
+    const util::ModelDate date = util::ModelDate::from_day_index(day);
+    const double t = date.t();
+    const double mean_lifetime =
+        synth::lifetime_lambda(pop, t) * gamma_factor;
+    double rate = static_cast<double>(pop.target_active_hosts) /
+                  std::max(1.0, mean_lifetime);
+    rate *= 1.0 + pop.seasonal_amplitude *
+                      std::sin(2.0 * std::numbers::pi * (t - 0.2));
+    const std::uint64_t arrivals = synth::sample_poisson(rng, rate);
+    for (std::uint64_t i = 0; i < arrivals; ++i) {
+      trace::HostRecord spec =
+          synth::sample_host(pop, generator, date, next_id++, rng);
+      // The spec's last_contact_day is the host's death day; the client
+      // stops contacting after it.
+      clients.emplace_back(spec, config.client, rng.fork());
+      events.push({static_cast<double>(day), clients.size() - 1});
+    }
+
+    // Drain every contact scheduled up to the end of this day.
+    while (!events.empty() && events.top().day < day + 1) {
+      const Event ev = events.top();
+      events.pop();
+      VirtualClient& client = clients[ev.client_index];
+      if (ev.day > end_day || !client.alive()) continue;
+      const SchedulerRequest request = client.make_request();
+      const SchedulerReply reply = server.handle_request(request);
+      client.handle_reply(reply);
+      if (client.alive()) {
+        events.push({client.next_contact_day(), ev.client_index});
+      }
+    }
+  }
+
+  CollectionResult result;
+  result.trace = server.dump_trace();
+  result.hosts_created = clients.size();
+  result.total_contacts = server.total_contacts();
+  result.total_units_granted = server.total_units_granted();
+  result.total_credit_granted = server.total_credit_granted();
+  return result;
+}
+
+}  // namespace resmodel::boinc

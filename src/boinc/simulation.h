@@ -1,0 +1,35 @@
+// Discrete-event simulation of the data-collection method (Section IV):
+// hosts arrive, periodically contact the project server with fresh
+// self-measurements, receive work, and eventually disappear. The output is
+// the server's public trace dump — the same schema the synthetic ground
+// truth and the fitting pipeline use, so the entire
+// collect -> dump -> fit -> generate loop can run end to end.
+#pragma once
+
+#include "boinc/client.h"
+#include "boinc/server.h"
+#include "synth/population_config.h"
+#include "trace/trace_store.h"
+
+namespace resmodel::boinc {
+
+struct CollectionConfig {
+  /// Hardware population, arrivals and lifetimes (shared with synth so the
+  /// collected trace matches the ground-truth statistics).
+  synth::PopulationConfig population;
+  ClientConfig client;
+  ServerConfig server;
+};
+
+struct CollectionResult {
+  trace::TraceStore trace;  ///< the server's public dump at the end
+  std::size_t hosts_created = 0;
+  std::uint64_t total_contacts = 0;
+  std::uint64_t total_units_granted = 0;
+  double total_credit_granted = 0.0;
+};
+
+/// Runs the full collection window. Deterministic for a fixed config.
+CollectionResult run_collection(const CollectionConfig& config);
+
+}  // namespace resmodel::boinc

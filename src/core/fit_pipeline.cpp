@@ -1,0 +1,221 @@
+#include "core/fit_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+
+namespace resmodel::core {
+
+namespace {
+
+// Index of the nearest discrete value within the relative tolerance, or
+// nullopt when the reading falls between values.
+std::optional<std::size_t> snap_to_value(double x,
+                                         const std::vector<double>& values,
+                                         double tolerance) {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double d = std::fabs(x - values[i]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  if (best_dist <= tolerance * values[best]) return best;
+  return std::nullopt;
+}
+
+// Builds ratio series for one discrete resource across snapshots.
+// counts_per_snapshot[s][v] = hosts with values[v] at snapshot s.
+std::vector<RatioSeries> build_ratio_series(
+    const std::vector<double>& values,
+    const std::vector<double>& ts,
+    const std::vector<std::vector<std::size_t>>& counts_per_snapshot) {
+  std::vector<RatioSeries> out;
+  for (std::size_t v = 0; v + 1 < values.size(); ++v) {
+    RatioSeries series;
+    series.numerator_value = values[v];
+    series.denominator_value = values[v + 1];
+    for (std::size_t s = 0; s < ts.size(); ++s) {
+      const std::size_t num = counts_per_snapshot[s][v];
+      const std::size_t den = counts_per_snapshot[s][v + 1];
+      if (num == 0 || den == 0) continue;  // ratio undefined this snapshot
+      series.t.push_back(ts[s]);
+      series.ratio.push_back(static_cast<double>(num) /
+                             static_cast<double>(den));
+    }
+    if (series.t.size() < 2) {
+      throw std::invalid_argument(
+          "fit_model: ratio series " + std::to_string(values[v]) + ":" +
+          std::to_string(values[v + 1]) +
+          " has fewer than 2 usable snapshots");
+    }
+    series.law = stats::ExponentialLaw::fit(series.t, series.ratio);
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+MomentSeries fit_moment_series(std::vector<double> ts,
+                               std::vector<double> values) {
+  if (ts.size() < 2) {
+    throw std::invalid_argument(
+        "fit_model: moment series has fewer than 2 snapshots");
+  }
+  MomentSeries series;
+  series.law = stats::ExponentialLaw::fit(ts, values);
+  series.t = std::move(ts);
+  series.value = std::move(values);
+  return series;
+}
+
+}  // namespace
+
+std::vector<util::ModelDate> default_snapshot_dates() {
+  std::vector<util::ModelDate> dates;
+  for (int year = 2006; year <= 2009; ++year) {
+    for (int month : {1, 4, 7, 10}) {
+      dates.push_back(util::ModelDate::from_ymd(year, month, 1));
+    }
+  }
+  dates.push_back(util::ModelDate::from_ymd(2010, 1, 1));
+  return dates;
+}
+
+std::vector<std::string> full_correlation_labels() {
+  return {"Cores", "Memory", "Mem/Core", "Whet", "Dhry", "Disk"};
+}
+
+stats::Matrix resource_correlation_matrix(
+    const std::vector<double>& cores, const std::vector<double>& memory,
+    const std::vector<double>& mem_per_core, const std::vector<double>& whet,
+    const std::vector<double>& dhry, const std::vector<double>& disk) {
+  std::vector<stats::NamedColumn> columns = {
+      {"Cores", cores},   {"Memory", memory}, {"Mem/Core", mem_per_core},
+      {"Whet", whet},     {"Dhry", dhry},     {"Disk", disk},
+  };
+  return stats::correlation_matrix(columns);
+}
+
+FitReport fit_model(const trace::TraceStore& store, const FitOptions& options) {
+  FitReport report;
+
+  // Copy + plausibility filter (§V-B).
+  trace::TraceStore filtered;
+  filtered.reserve(store.size());
+  for (const trace::HostRecord& h : store.hosts()) filtered.add(h);
+  report.discarded_hosts = filtered.discard_implausible();
+  report.fitted_hosts = filtered.size();
+  if (filtered.empty()) {
+    throw std::invalid_argument("fit_model: no plausible hosts in trace");
+  }
+
+  const std::vector<util::ModelDate> dates = options.snapshot_dates.empty()
+                                                 ? default_snapshot_dates()
+                                                 : options.snapshot_dates;
+  if (dates.size() < 2) {
+    throw std::invalid_argument("fit_model: need >= 2 snapshot dates");
+  }
+
+  std::vector<double> ts;
+  ts.reserve(dates.size());
+  for (const util::ModelDate& d : dates) ts.push_back(d.t());
+
+  // Per-snapshot discrete compositions and continuous moments.
+  std::vector<std::vector<std::size_t>> core_counts(
+      dates.size(), std::vector<std::size_t>(options.core_values.size(), 0));
+  std::vector<std::vector<std::size_t>> mem_counts(
+      dates.size(), std::vector<std::size_t>(options.memory_values.size(), 0));
+  std::vector<double> dhry_mean, dhry_var, whet_mean, whet_var, disk_mean,
+      disk_var;
+
+  for (std::size_t s = 0; s < dates.size(); ++s) {
+    const trace::ResourceSnapshot snap = filtered.snapshot(dates[s]);
+    if (snap.size() < 2) {
+      throw std::invalid_argument("fit_model: snapshot at " +
+                                  dates[s].to_string() +
+                                  " has fewer than 2 active hosts");
+    }
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      if (const auto ci = snap_to_value(snap.cores[i], options.core_values,
+                                        1e-9)) {
+        ++core_counts[s][*ci];
+      }
+      if (const auto mi =
+              snap_to_value(snap.memory_per_core_mb[i], options.memory_values,
+                            options.memory_snap_tolerance)) {
+        ++mem_counts[s][*mi];
+      }
+    }
+    dhry_mean.push_back(stats::mean(snap.dhrystone_mips));
+    dhry_var.push_back(stats::variance(snap.dhrystone_mips));
+    whet_mean.push_back(stats::mean(snap.whetstone_mips));
+    whet_var.push_back(stats::variance(snap.whetstone_mips));
+    disk_mean.push_back(stats::mean(snap.disk_avail_gb));
+    disk_var.push_back(stats::variance(snap.disk_avail_gb));
+  }
+
+  report.core_ratios =
+      build_ratio_series(options.core_values, ts, core_counts);
+  report.memory_ratios =
+      build_ratio_series(options.memory_values, ts, mem_counts);
+  report.dhrystone_mean = fit_moment_series(ts, dhry_mean);
+  report.dhrystone_variance = fit_moment_series(ts, dhry_var);
+  report.whetstone_mean = fit_moment_series(ts, whet_mean);
+  report.whetstone_variance = fit_moment_series(ts, whet_var);
+  report.disk_mean = fit_moment_series(ts, disk_mean);
+  report.disk_variance = fit_moment_series(ts, disk_var);
+
+  // Pooled correlations over all plausible hosts (§V-C pools the data set).
+  {
+    std::vector<double> cores, memory, mpc, whet, dhry, disk;
+    cores.reserve(filtered.size());
+    for (const trace::HostRecord& h : filtered.hosts()) {
+      cores.push_back(static_cast<double>(h.n_cores));
+      memory.push_back(h.memory_mb);
+      mpc.push_back(h.memory_per_core_mb());
+      whet.push_back(h.whetstone_mips);
+      dhry.push_back(h.dhrystone_mips);
+      disk.push_back(h.disk_avail_gb);
+    }
+    report.full_correlation =
+        resource_correlation_matrix(cores, memory, mpc, whet, dhry, disk);
+  }
+
+  // Assemble ModelParams.
+  ModelParams params;
+  params.cores.values = options.core_values;
+  for (const RatioSeries& s : report.core_ratios) {
+    params.cores.ratios.push_back(s.law);
+  }
+  params.memory_per_core_mb.values = options.memory_values;
+  for (const RatioSeries& s : report.memory_ratios) {
+    params.memory_per_core_mb.ratios.push_back(s.law);
+  }
+  params.dhrystone = {report.dhrystone_mean.law,
+                      report.dhrystone_variance.law};
+  params.whetstone = {report.whetstone_mean.law,
+                      report.whetstone_variance.law};
+  params.disk_gb = {report.disk_mean.law, report.disk_variance.law};
+
+  // 3x3 sub-matrix over {mem/core, whet, dhry}: rows/cols 2, 3, 4 of the
+  // full table.
+  params.resource_correlation = stats::Matrix(3, 3);
+  const std::size_t order[3] = {2, 3, 4};
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      params.resource_correlation(r, c) =
+          r == c ? 1.0 : report.full_correlation(order[r], order[c]);
+    }
+  }
+  params.validate();
+  report.params = std::move(params);
+  return report;
+}
+
+}  // namespace resmodel::core

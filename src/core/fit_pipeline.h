@@ -1,0 +1,96 @@
+// Trace -> model fitting (the paper's "tool for automated model
+// generation").
+//
+// From a host trace the pipeline extracts, at each snapshot date:
+//   - core-count composition and the adjacent ratios 1:2, 2:4, ... (Fig 5);
+//   - per-core-memory composition over the discrete value set and its
+//     adjacent ratios (Fig 7);
+//   - mean/variance of the Dhrystone and Whetstone samples (Fig 8);
+//   - mean/variance of available disk (Fig 9);
+// fits the exponential law a*e^(b t) to every series (Tables IV-VI), and
+// estimates the 3x3 correlation matrix among {mem/core, Whet, Dhry} over
+// all plausible hosts (§V-C).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/model_params.h"
+#include "trace/trace_store.h"
+#include "util/model_date.h"
+
+namespace resmodel::core {
+
+/// Options for the fitting pipeline.
+struct FitOptions {
+  /// Snapshot dates; empty selects the default grid (quarterly from
+  /// 2006-01-01 through 2010-01-01, the paper's model-building window).
+  std::vector<util::ModelDate> snapshot_dates;
+
+  /// Discrete core values considered (powers of two; the paper ignores
+  /// non-power-of-two hosts, < 0.3% of its data).
+  std::vector<double> core_values = {1, 2, 4, 8, 16};
+
+  /// Discrete per-core-memory values (MB). The paper keeps the six values
+  /// covering > 80% of hosts plus the 4 GB endpoint of the last ratio.
+  std::vector<double> memory_values = {256, 512, 768, 1024, 1536, 2048, 4096};
+
+  /// A host's per-core memory is snapped to the nearest discrete value if
+  /// within this relative distance; otherwise the host is skipped for the
+  /// memory composition (the paper "discards some intermediate values").
+  double memory_snap_tolerance = 0.30;
+};
+
+/// Default quarterly snapshot grid for the model-building window.
+std::vector<util::ModelDate> default_snapshot_dates();
+
+/// One ratio series observed over time plus its fitted law.
+struct RatioSeries {
+  double numerator_value = 0.0;    ///< e.g. 1 (core)
+  double denominator_value = 0.0;  ///< e.g. 2 (cores)
+  std::vector<double> t;           ///< years since 2006
+  std::vector<double> ratio;       ///< observed count ratio at each t
+  stats::ExponentialLaw law;       ///< fit of ratio ~ a e^(bt)
+};
+
+/// A moment series (mean or variance) plus its fitted law.
+struct MomentSeries {
+  std::vector<double> t;
+  std::vector<double> value;
+  stats::ExponentialLaw law;
+};
+
+/// Everything the pipeline extracted; ModelParams is assembled from it.
+struct FitReport {
+  std::vector<RatioSeries> core_ratios;
+  std::vector<RatioSeries> memory_ratios;
+  MomentSeries dhrystone_mean, dhrystone_variance;
+  MomentSeries whetstone_mean, whetstone_variance;
+  MomentSeries disk_mean, disk_variance;
+  /// 6x6 Pearson matrix over {cores, memory, mem/core, whet, dhry, disk}
+  /// pooled across all plausible hosts (Table III).
+  stats::Matrix full_correlation;
+  /// Hosts discarded by the plausibility rules before fitting.
+  std::size_t discarded_hosts = 0;
+  std::size_t fitted_hosts = 0;
+
+  ModelParams params;
+};
+
+/// Runs the pipeline. The store is copied and filtered internally; the
+/// original is not modified. Throws std::invalid_argument when a ratio or
+/// moment series has fewer than two usable points.
+FitReport fit_model(const trace::TraceStore& store,
+                    const FitOptions& options = {});
+
+/// Column order of FitReport::full_correlation.
+std::vector<std::string> full_correlation_labels();
+
+/// Computes the Table-III-style 6x6 correlation matrix for an arbitrary
+/// set of resource columns.
+stats::Matrix resource_correlation_matrix(
+    const std::vector<double>& cores, const std::vector<double>& memory,
+    const std::vector<double>& mem_per_core, const std::vector<double>& whet,
+    const std::vector<double>& dhry, const std::vector<double>& disk);
+
+}  // namespace resmodel::core

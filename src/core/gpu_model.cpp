@@ -1,0 +1,187 @@
+#include "core/gpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace resmodel::core {
+
+namespace {
+
+void require_pmf(const std::vector<double>& pmf, std::size_t size,
+                 const char* what) {
+  if (pmf.size() != size) {
+    throw std::invalid_argument(std::string("GpuModelParams: ") + what +
+                                " has wrong size");
+  }
+  double total = 0.0;
+  for (double p : pmf) {
+    if (p < 0.0) {
+      throw std::invalid_argument(std::string("GpuModelParams: ") + what +
+                                  " has negative entries");
+    }
+    total += p;
+  }
+  if (!(total > 0.0)) {
+    throw std::invalid_argument(std::string("GpuModelParams: ") + what +
+                                " sums to zero");
+  }
+}
+
+std::vector<double> interpolate_pmf(const std::vector<double>& p0,
+                                    const std::vector<double>& p1,
+                                    double frac) {
+  std::vector<double> out(p0.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < p0.size(); ++i) {
+    out[i] = std::max(0.0, p0[i] * (1.0 - frac) + p1[i] * frac);
+    total += out[i];
+  }
+  for (double& v : out) v /= total;
+  return out;
+}
+
+std::size_t sample_pmf(const std::vector<double>& pmf, util::Rng& rng) {
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pmf.size(); ++i) {
+    acc += pmf[i];
+    if (u <= acc) return i;
+  }
+  return pmf.size() - 1;
+}
+
+}  // namespace
+
+void GpuModelParams::validate() const {
+  if (!(anchor_t[1] > anchor_t[0])) {
+    throw std::invalid_argument("GpuModelParams: anchors must ascend");
+  }
+  require_pmf(vendor_share_t0, 4, "vendor_share_t0");
+  require_pmf(vendor_share_t1, 4, "vendor_share_t1");
+  if (memory_values_mb.size() < 2) {
+    throw std::invalid_argument("GpuModelParams: need >= 2 memory values");
+  }
+  for (std::size_t i = 1; i < memory_values_mb.size(); ++i) {
+    if (!(memory_values_mb[i] > memory_values_mb[i - 1])) {
+      throw std::invalid_argument(
+          "GpuModelParams: memory values must ascend");
+    }
+  }
+  require_pmf(memory_pmf_t0, memory_values_mb.size(), "memory_pmf_t0");
+  require_pmf(memory_pmf_t1, memory_values_mb.size(), "memory_pmf_t1");
+  if (!(adoption_cap > 0.0) || adoption_cap > 1.0) {
+    throw std::invalid_argument("GpuModelParams: cap must be in (0, 1]");
+  }
+}
+
+GpuModelParams paper_gpu_params() { return GpuModelParams{}; }
+
+GpuModel::GpuModel(GpuModelParams params) : params_(std::move(params)) {
+  params_.validate();
+}
+
+double GpuModel::adoption_fraction(double t) const noexcept {
+  const double f = params_.adoption_at_t0 +
+                   params_.adoption_slope * (t - params_.adoption_t0);
+  return std::clamp(f, 0.0, params_.adoption_cap);
+}
+
+std::vector<double> GpuModel::vendor_pmf(double t) const {
+  const double span = params_.anchor_t[1] - params_.anchor_t[0];
+  const double frac =
+      std::clamp((t - params_.anchor_t[0]) / span, 0.0, 1.0);
+  return interpolate_pmf(params_.vendor_share_t0, params_.vendor_share_t1,
+                         frac);
+}
+
+std::vector<double> GpuModel::memory_pmf(double t) const {
+  const double span = params_.anchor_t[1] - params_.anchor_t[0];
+  const double frac =
+      std::clamp((t - params_.anchor_t[0]) / span, 0.0, 1.0);
+  return interpolate_pmf(params_.memory_pmf_t0, params_.memory_pmf_t1, frac);
+}
+
+double GpuModel::mean_memory_mb(double t) const {
+  const std::vector<double> pmf = memory_pmf(t);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < pmf.size(); ++i) {
+    mean += pmf[i] * params_.memory_values_mb[i];
+  }
+  return mean;
+}
+
+GeneratedGpu GpuModel::sample(util::ModelDate date, util::Rng& rng) const {
+  const double t = date.t();
+  GeneratedGpu gpu;
+  if (rng.uniform() >= adoption_fraction(t)) return gpu;  // kNone
+  // Vendor index 0..3 maps to GpuType 1..4 (kNone is 0).
+  gpu.type = static_cast<trace::GpuType>(1 + sample_pmf(vendor_pmf(t), rng));
+  gpu.memory_mb =
+      params_.memory_values_mb[sample_pmf(memory_pmf(t), rng)];
+  return gpu;
+}
+
+std::optional<GpuModelParams> fit_gpu_model(const trace::TraceStore& store,
+                                            util::ModelDate anchor0,
+                                            util::ModelDate anchor1) {
+  GpuModelParams params;
+  params.adoption_t0 = anchor0.t();
+  params.anchor_t[0] = anchor0.t();
+  params.anchor_t[1] = anchor1.t();
+  if (!(params.anchor_t[1] > params.anchor_t[0])) return std::nullopt;
+
+  const auto measure = [&store](util::ModelDate d, double& adoption,
+                                std::vector<double>& vendors,
+                                std::vector<double>& memory_pmf,
+                                const std::vector<double>& memory_values)
+      -> bool {
+    const std::vector<std::size_t> counts = store.gpu_type_counts(d);
+    std::size_t active = 0;
+    for (std::size_t c : counts) active += c;
+    const std::size_t gpu_hosts = active - counts[0];
+    if (active == 0 || gpu_hosts == 0) return false;
+    adoption = static_cast<double>(gpu_hosts) / static_cast<double>(active);
+    vendors.assign(4, 0.0);
+    for (std::size_t i = 1; i < counts.size(); ++i) {
+      vendors[i - 1] =
+          static_cast<double>(counts[i]) / static_cast<double>(gpu_hosts);
+    }
+    const std::vector<double> mem = store.gpu_memory_snapshot(d);
+    memory_pmf.assign(memory_values.size(), 0.0);
+    std::size_t snapped = 0;
+    for (double v : mem) {
+      // Snap to the nearest discrete value.
+      std::size_t best = 0;
+      double best_dist = std::abs(v - memory_values[0]);
+      for (std::size_t i = 1; i < memory_values.size(); ++i) {
+        const double dist = std::abs(v - memory_values[i]);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = i;
+        }
+      }
+      memory_pmf[best] += 1.0;
+      ++snapped;
+    }
+    if (snapped == 0) return false;
+    for (double& p : memory_pmf) p /= static_cast<double>(snapped);
+    return true;
+  };
+
+  double adoption1 = 0.0;
+  if (!measure(anchor0, params.adoption_at_t0, params.vendor_share_t0,
+               params.memory_pmf_t0, params.memory_values_mb)) {
+    return std::nullopt;
+  }
+  if (!measure(anchor1, adoption1, params.vendor_share_t1,
+               params.memory_pmf_t1, params.memory_values_mb)) {
+    return std::nullopt;
+  }
+  params.adoption_slope = (adoption1 - params.adoption_at_t0) /
+                          (params.anchor_t[1] - params.anchor_t[0]);
+  params.validate();
+  return params;
+}
+
+}  // namespace resmodel::core

@@ -1,0 +1,92 @@
+// GPU model extension (the paper's §VIII future work: "the use of GPUs for
+// high performance computing is becoming common, so with more data a GPU
+// model could be developed as well").
+//
+// Mirrors the structure of the main model: an adoption law for the
+// fraction of hosts reporting a GPU, a categorical vendor trend, and a
+// discrete memory chain whose composition drifts between anchor dates.
+// Defaults are calibrated to the paper's Table VII and Figure 10 (Sep 2009
+// and Sep 2010); with a longer trace the same laws can be refitted via
+// fit_gpu_model().
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "trace/host_record.h"
+#include "trace/trace_store.h"
+#include "util/model_date.h"
+#include "util/rng.h"
+
+namespace resmodel::core {
+
+/// One generated GPU (absent when the host reports none).
+struct GeneratedGpu {
+  trace::GpuType type = trace::GpuType::kNone;
+  double memory_mb = 0.0;
+};
+
+/// Parameters of the GPU extension.
+struct GpuModelParams {
+  /// Linear adoption law: fraction(t) = clamp(a + slope*(t - t0), 0, cap).
+  double adoption_t0 = 3.67;         ///< Sep 2009, first GPU reporting
+  double adoption_at_t0 = 0.127;     ///< 12.7% of active hosts
+  double adoption_slope = 0.111;     ///< to 23.8% one year later
+  double adoption_cap = 0.95;
+
+  /// Vendor shares at two anchor times (linearly interpolated, clamped).
+  /// Order: GeForce, Radeon, Quadro, Other.
+  double anchor_t[2] = {3.67, 4.67};
+  std::vector<double> vendor_share_t0 = {0.825, 0.122, 0.047, 0.006};
+  std::vector<double> vendor_share_t1 = {0.636, 0.315, 0.040, 0.008};
+
+  /// Discrete memory values (MB) and their pmfs at the two anchors.
+  std::vector<double> memory_values_mb = {128, 256, 512, 768, 1024, 1536,
+                                          2048};
+  std::vector<double> memory_pmf_t0 = {0.10, 0.25, 0.36, 0.08,
+                                       0.14, 0.04, 0.03};
+  std::vector<double> memory_pmf_t1 = {0.08, 0.22, 0.34, 0.06,
+                                       0.21, 0.05, 0.04};
+
+  /// Throws std::invalid_argument on inconsistent sizes or invalid pmfs.
+  void validate() const;
+};
+
+/// The calibrated defaults (Table VII + Figure 10).
+GpuModelParams paper_gpu_params();
+
+/// Generative GPU extension. Immutable after construction.
+class GpuModel {
+ public:
+  explicit GpuModel(GpuModelParams params);
+
+  const GpuModelParams& params() const noexcept { return params_; }
+
+  /// Fraction of hosts reporting a GPU at model time t.
+  double adoption_fraction(double t) const noexcept;
+
+  /// Vendor pmf at t (normalized).
+  std::vector<double> vendor_pmf(double t) const;
+
+  /// Memory pmf at t (normalized).
+  std::vector<double> memory_pmf(double t) const;
+
+  /// Expected GPU memory (MB) among GPU-equipped hosts at t.
+  double mean_memory_mb(double t) const;
+
+  /// Samples the GPU attributes of one host. Returns kNone with
+  /// probability 1 - adoption_fraction(t).
+  GeneratedGpu sample(util::ModelDate date, util::Rng& rng) const;
+
+ private:
+  GpuModelParams params_;
+};
+
+/// Fits GPU model parameters from a trace: adoption and composition are
+/// measured at the two given anchor dates. Returns std::nullopt when
+/// either snapshot has no GPU-equipped hosts.
+std::optional<GpuModelParams> fit_gpu_model(const trace::TraceStore& store,
+                                            util::ModelDate anchor0,
+                                            util::ModelDate anchor1);
+
+}  // namespace resmodel::core

@@ -1,0 +1,134 @@
+#include "core/host_generator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "stats/distributions.h"
+#include "stats/special_functions.h"
+
+namespace resmodel::core {
+
+namespace {
+// Benchmarks are strictly positive physical quantities; a normal marginal
+// with a large variance can stray below zero, so clamp to a floor around
+// the slowest plausible volunteer host (an early Pentium, ~25 MIPS).
+// The paper's Figure 12 shows the same effect absorbed into the CDF tail.
+constexpr double kMinMips = 25.0;
+}  // namespace
+
+HostGenerator::HostGenerator(ModelParams params)
+    : params_(std::move(params)) {
+  params_.validate();
+  const auto lower = stats::cholesky(params_.resource_correlation);
+  if (!lower) {
+    throw std::invalid_argument(
+        "HostGenerator: correlation matrix is not positive definite");
+  }
+  cholesky_lower_ = *lower;
+}
+
+GeneratedHost HostGenerator::generate(util::ModelDate date,
+                                      util::Rng& rng) const {
+  const double t = date.t();
+  GeneratedHost host;
+
+  // 1. Core count: discrete pmf from the chained ratios.
+  host.n_cores = static_cast<int>(params_.cores.quantile(t, rng.uniform()));
+
+  // 2. Correlated standard-normal triple.
+  const std::vector<double> vc =
+      stats::correlated_normals(rng, cholesky_lower_);
+
+  // 3. Per-core memory: normal -> uniform -> discrete quantile.
+  const double u = stats::normal_cdf(vc[kMemPerCore]);
+  host.memory_per_core_mb = params_.memory_per_core_mb.quantile(t, u);
+  host.memory_mb = host.memory_per_core_mb * host.n_cores;
+
+  // 4. Benchmarks: renormalize to the predicted mean/variance.
+  host.whetstone_mips =
+      std::max(kMinMips, params_.whetstone.mean(t) +
+                             vc[kWhetstone] * params_.whetstone.stddev(t));
+  host.dhrystone_mips =
+      std::max(kMinMips, params_.dhrystone.mean(t) +
+                             vc[kDhrystone] * params_.dhrystone.stddev(t));
+
+  // 5. Disk: independent log-normal with the predicted moments.
+  const auto disk = stats::LogNormalDist::from_moments(
+      params_.disk_gb.mean(t), params_.disk_gb.variance(t));
+  host.disk_avail_gb = disk.sample(rng);
+
+  return host;
+}
+
+std::vector<GeneratedHost> HostGenerator::generate_many(
+    util::ModelDate date, std::size_t count, util::Rng& rng) const {
+  std::vector<GeneratedHost> hosts;
+  hosts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    hosts.push_back(generate(date, rng));
+  }
+  return hosts;
+}
+
+std::vector<GeneratedHost> HostGenerator::generate_many_parallel(
+    util::ModelDate date, std::size_t count, std::uint64_t seed,
+    int threads) const {
+  constexpr std::size_t kChunk = 4096;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  std::vector<GeneratedHost> hosts(count);
+  const std::size_t chunk_count = (count + kChunk - 1) / kChunk;
+  std::atomic<std::size_t> next_chunk{0};
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t chunk = next_chunk.fetch_add(1);
+      if (chunk >= chunk_count) return;
+      // Chunk-local stream: depends only on (seed, chunk index), so the
+      // result is independent of which thread runs which chunk.
+      util::Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (chunk + 1)));
+      const std::size_t begin = chunk * kChunk;
+      const std::size_t end = std::min(count, begin + kChunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        hosts[i] = generate(date, rng);
+      }
+    }
+  };
+
+  if (threads == 1 || chunk_count <= 1) {
+    worker();
+  } else {
+    std::vector<std::jthread> pool;
+    const int n = std::min<std::size_t>(static_cast<std::size_t>(threads),
+                                        chunk_count);
+    pool.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) pool.emplace_back(worker);
+  }
+  return hosts;
+}
+
+GeneratedColumns columns_of(const std::vector<GeneratedHost>& hosts) {
+  GeneratedColumns cols;
+  cols.cores.reserve(hosts.size());
+  cols.memory_mb.reserve(hosts.size());
+  cols.memory_per_core_mb.reserve(hosts.size());
+  cols.whetstone_mips.reserve(hosts.size());
+  cols.dhrystone_mips.reserve(hosts.size());
+  cols.disk_avail_gb.reserve(hosts.size());
+  for (const GeneratedHost& h : hosts) {
+    cols.cores.push_back(static_cast<double>(h.n_cores));
+    cols.memory_mb.push_back(h.memory_mb);
+    cols.memory_per_core_mb.push_back(h.memory_per_core_mb);
+    cols.whetstone_mips.push_back(h.whetstone_mips);
+    cols.dhrystone_mips.push_back(h.dhrystone_mips);
+    cols.disk_avail_gb.push_back(h.disk_avail_gb);
+  }
+  return cols;
+}
+
+}  // namespace resmodel::core

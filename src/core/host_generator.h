@@ -1,0 +1,76 @@
+// The Figure-11 host creation flowchart.
+//
+// Given a target date:
+//   1. sample the core count from the chained-ratio pmf;
+//   2. draw a Cholesky-correlated standard-normal triple (mem/core,
+//      Whetstone, Dhrystone);
+//   3. map the first component through Phi to a uniform and use it to pick
+//      the discrete per-core memory;
+//   4. renormalize the other two components to the date's predicted
+//      benchmark mean/variance;
+//   5. sample available disk from an independent log-normal with the
+//      date's predicted moments;
+//   6. total memory = per-core memory x cores.
+#pragma once
+
+#include <vector>
+
+#include "core/model_params.h"
+#include "util/model_date.h"
+#include "util/rng.h"
+
+namespace resmodel::core {
+
+/// One synthesized host.
+struct GeneratedHost {
+  int n_cores = 1;
+  double memory_per_core_mb = 0.0;
+  double memory_mb = 0.0;
+  double whetstone_mips = 0.0;
+  double dhrystone_mips = 0.0;
+  double disk_avail_gb = 0.0;
+};
+
+/// Generates hosts from a ModelParams. Immutable after construction;
+/// safe to share across threads when each thread has its own Rng.
+class HostGenerator {
+ public:
+  /// Validates the params and precomputes the Cholesky factor.
+  /// Throws std::invalid_argument on invalid params.
+  explicit HostGenerator(ModelParams params);
+
+  const ModelParams& params() const noexcept { return params_; }
+
+  GeneratedHost generate(util::ModelDate date, util::Rng& rng) const;
+
+  std::vector<GeneratedHost> generate_many(util::ModelDate date,
+                                           std::size_t count,
+                                           util::Rng& rng) const;
+
+  /// Multi-threaded generation. The output is a pure function of
+  /// (date, count, seed) — identical for any thread count — because hosts
+  /// are produced in fixed-size chunks, each with its own seeded stream.
+  /// threads == 0 uses the hardware concurrency.
+  std::vector<GeneratedHost> generate_many_parallel(util::ModelDate date,
+                                                    std::size_t count,
+                                                    std::uint64_t seed,
+                                                    int threads = 0) const;
+
+ private:
+  ModelParams params_;
+  stats::Matrix cholesky_lower_;
+};
+
+/// Column views over a set of generated hosts (for validation and
+/// correlation analysis).
+struct GeneratedColumns {
+  std::vector<double> cores;
+  std::vector<double> memory_mb;
+  std::vector<double> memory_per_core_mb;
+  std::vector<double> whetstone_mips;
+  std::vector<double> dhrystone_mips;
+  std::vector<double> disk_avail_gb;
+};
+GeneratedColumns columns_of(const std::vector<GeneratedHost>& hosts);
+
+}  // namespace resmodel::core

@@ -1,0 +1,214 @@
+#include "core/model_params.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace resmodel::core {
+
+std::vector<double> DiscreteRatioChain::pmf(double t) const {
+  std::vector<double> weights(values.size(), 0.0);
+  if (values.empty()) return weights;
+  weights[0] = 1.0;
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    // ratio(t) = count(values[i]) / count(values[i+1])
+    const double r = ratios[i](t);
+    weights[i + 1] = r > 0.0 ? weights[i] / r : 0.0;
+  }
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total > 0.0) {
+    for (double& w : weights) w /= total;
+  }
+  return weights;
+}
+
+double DiscreteRatioChain::quantile(double t, double u) const {
+  const std::vector<double> p = pmf(t);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    acc += p[i];
+    if (u <= acc) return values[i];
+  }
+  return values.back();
+}
+
+double DiscreteRatioChain::mean(double t) const {
+  const std::vector<double> p = pmf(t);
+  double m = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) m += p[i] * values[i];
+  return m;
+}
+
+void DiscreteRatioChain::validate() const {
+  if (values.size() < 2) {
+    throw std::invalid_argument("DiscreteRatioChain: need >= 2 values");
+  }
+  if (ratios.size() != values.size() - 1) {
+    throw std::invalid_argument(
+        "DiscreteRatioChain: ratios.size() must equal values.size() - 1");
+  }
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (!(values[i] > values[i - 1])) {
+      throw std::invalid_argument(
+          "DiscreteRatioChain: values must strictly ascend");
+    }
+  }
+  for (const stats::ExponentialLaw& law : ratios) {
+    if (!(law.a > 0.0)) {
+      throw std::invalid_argument("DiscreteRatioChain: ratio a must be > 0");
+    }
+  }
+}
+
+double MomentLaws::stddev(double t) const noexcept {
+  const double v = variance(t);
+  return v > 0.0 ? std::sqrt(v) : 0.0;
+}
+
+void ModelParams::validate() const {
+  cores.validate();
+  memory_per_core_mb.validate();
+  for (const MomentLaws* laws : {&dhrystone, &whetstone, &disk_gb}) {
+    if (!(laws->mean_law.a > 0.0) || !(laws->variance_law.a > 0.0)) {
+      throw std::invalid_argument("ModelParams: moment law a must be > 0");
+    }
+  }
+  if (resource_correlation.rows() != 3 || resource_correlation.cols() != 3) {
+    throw std::invalid_argument("ModelParams: correlation must be 3x3");
+  }
+  if (!stats::cholesky(resource_correlation)) {
+    throw std::invalid_argument(
+        "ModelParams: correlation matrix must be symmetric positive "
+        "definite");
+  }
+}
+
+namespace {
+
+void put_law(util::KvStore& kv, const std::string& key,
+             const stats::ExponentialLaw& law) {
+  kv.set(key + ".a", law.a);
+  kv.set(key + ".b", law.b);
+  kv.set(key + ".r", law.r);
+}
+
+stats::ExponentialLaw get_law(const util::KvStore& kv,
+                              const std::string& key) {
+  stats::ExponentialLaw law;
+  law.a = kv.get_double(key + ".a");
+  law.b = kv.get_double(key + ".b");
+  law.r = kv.get_double(key + ".r");
+  return law;
+}
+
+void put_chain(util::KvStore& kv, const std::string& key,
+               const DiscreteRatioChain& chain) {
+  kv.set(key + ".count", static_cast<long long>(chain.values.size()));
+  for (std::size_t i = 0; i < chain.values.size(); ++i) {
+    kv.set(key + ".value." + std::to_string(i), chain.values[i]);
+  }
+  for (std::size_t i = 0; i < chain.ratios.size(); ++i) {
+    put_law(kv, key + ".ratio." + std::to_string(i), chain.ratios[i]);
+  }
+}
+
+DiscreteRatioChain get_chain(const util::KvStore& kv,
+                             const std::string& key) {
+  DiscreteRatioChain chain;
+  const auto n = static_cast<std::size_t>(kv.get_int(key + ".count"));
+  for (std::size_t i = 0; i < n; ++i) {
+    chain.values.push_back(kv.get_double(key + ".value." + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    chain.ratios.push_back(get_law(kv, key + ".ratio." + std::to_string(i)));
+  }
+  return chain;
+}
+
+}  // namespace
+
+util::KvStore ModelParams::to_kv() const {
+  util::KvStore kv;
+  kv.set("model", std::string("resmodel-v1"));
+  put_chain(kv, "cores", cores);
+  put_chain(kv, "mem_per_core_mb", memory_per_core_mb);
+  put_law(kv, "dhrystone.mean", dhrystone.mean_law);
+  put_law(kv, "dhrystone.variance", dhrystone.variance_law);
+  put_law(kv, "whetstone.mean", whetstone.mean_law);
+  put_law(kv, "whetstone.variance", whetstone.variance_law);
+  put_law(kv, "disk_gb.mean", disk_gb.mean_law);
+  put_law(kv, "disk_gb.variance", disk_gb.variance_law);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      kv.set("correlation." + std::to_string(r) + "." + std::to_string(c),
+             resource_correlation(r, c));
+    }
+  }
+  return kv;
+}
+
+ModelParams ModelParams::from_kv(const util::KvStore& kv) {
+  if (!kv.contains("model") || kv.get("model") != "resmodel-v1") {
+    throw std::runtime_error("ModelParams: unrecognized serialization");
+  }
+  ModelParams params;
+  params.cores = get_chain(kv, "cores");
+  params.memory_per_core_mb = get_chain(kv, "mem_per_core_mb");
+  params.dhrystone = {get_law(kv, "dhrystone.mean"),
+                      get_law(kv, "dhrystone.variance")};
+  params.whetstone = {get_law(kv, "whetstone.mean"),
+                      get_law(kv, "whetstone.variance")};
+  params.disk_gb = {get_law(kv, "disk_gb.mean"),
+                    get_law(kv, "disk_gb.variance")};
+  params.resource_correlation = stats::Matrix(3, 3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      params.resource_correlation(r, c) = kv.get_double(
+          "correlation." + std::to_string(r) + "." + std::to_string(c));
+    }
+  }
+  params.validate();
+  return params;
+}
+
+ModelParams paper_params() {
+  ModelParams p;
+
+  // Table IV (+ §VI-C's 8:16 estimate a = 12, b = -0.2).
+  p.cores.values = {1, 2, 4, 8, 16};
+  p.cores.ratios = {
+      {3.369, -0.5004, -0.9984},  // 1:2
+      {17.49, -0.3217, -0.9730},  // 2:4
+      {12.8, -0.2377, -0.9557},   // 4:8
+      {12.0, -0.2, 0.0},          // 8:16 (estimated, no fit r reported)
+  };
+
+  // Table V. Values in MB; the chain ends at 4096 because the last
+  // published ratio is 2GB:4GB.
+  p.memory_per_core_mb.values = {256, 512, 768, 1024, 1536, 2048, 4096};
+  p.memory_per_core_mb.ratios = {
+      {0.5829, -0.2517, -0.9984},  // 256:512
+      {4.89, -0.1292, -0.9748},    // 512:768
+      {0.3821, -0.1709, -0.9801},  // 768:1024
+      {3.98, -0.1367, -0.9833},    // 1GB:1.5GB
+      {1.51, -0.0925, -0.9897},    // 1.5GB:2GB
+      {4.951, -0.1008, -0.9880},   // 2GB:4GB
+  };
+
+  // Table VI.
+  p.dhrystone = {{2064.0, 0.1709, 0.9946}, {1.379e6, 0.3313, 0.9937}};
+  p.whetstone = {{1179.0, 0.1157, 0.9981}, {3.237e5, 0.1057, 0.8795}};
+  p.disk_gb = {{31.59, 0.2691, 0.9955}, {2890.0, 0.5224, 0.9954}};
+
+  // §V-F: R over {mem/core, Whetstone, Dhrystone} from Table III.
+  p.resource_correlation = stats::Matrix::from_rows({
+      {1.0, 0.250, 0.306},
+      {0.250, 1.0, 0.639},
+      {0.306, 0.639, 1.0},
+  });
+
+  p.validate();
+  return p;
+}
+
+}  // namespace resmodel::core

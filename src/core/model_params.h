@@ -1,0 +1,94 @@
+// The correlated host-resource model (Table X of the paper).
+//
+// Every time-varying quantity follows the exponential evolution law
+// a * exp(b * (year - 2006)):
+//   - adjacent-count ratios of the discrete resources (cores 1:2, 2:4, ...;
+//     per-core memory 256:512 MB, ...), from which a date-dependent discrete
+//     pmf is chained (§V-D, §V-E);
+//   - mean and variance of the Dhrystone / Whetstone normal distributions
+//     (§V-F) and of the log-normal available-disk distribution (§V-G).
+// Within-host correlation between per-core memory, Whetstone and Dhrystone
+// is captured by a 3x3 Pearson matrix driven through a Cholesky factor
+// (§V-F); cores and disk are sampled independently, total memory =
+// per-core memory x cores (§V-E, §V-G).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/matrix.h"
+#include "stats/regression.h"
+#include "util/kv_store.h"
+
+namespace resmodel::core {
+
+/// A discrete resource whose composition evolves as a chain of adjacent
+/// ratios: ratio[i](t) = count(values[i]) / count(values[i+1]).
+struct DiscreteRatioChain {
+  std::vector<double> values;                 ///< ascending, e.g. {1,2,4,8,16}
+  std::vector<stats::ExponentialLaw> ratios;  ///< size == values.size() - 1
+
+  /// Probability of each value at model time t (years since 2006),
+  /// reconstructed by chaining the ratios and normalizing.
+  std::vector<double> pmf(double t) const;
+
+  /// Inverse CDF of pmf(t): smallest value whose cumulative prob >= u.
+  double quantile(double t, double u) const;
+
+  /// Expected value at time t.
+  double mean(double t) const;
+
+  /// Throws std::invalid_argument if sizes are inconsistent or values are
+  /// not strictly ascending.
+  void validate() const;
+};
+
+/// Mean and variance evolution of a continuous resource.
+struct MomentLaws {
+  stats::ExponentialLaw mean_law;
+  stats::ExponentialLaw variance_law;
+
+  double mean(double t) const noexcept { return mean_law(t); }
+  double variance(double t) const noexcept { return variance_law(t); }
+  double stddev(double t) const noexcept;
+};
+
+/// Order of the correlated triple in `resource_correlation` (matches the R
+/// matrix printed in §V-F).
+enum CorrelatedIndex : std::size_t {
+  kMemPerCore = 0,
+  kWhetstone = 1,
+  kDhrystone = 2,
+};
+
+/// The full generative model.
+struct ModelParams {
+  DiscreteRatioChain cores;
+  DiscreteRatioChain memory_per_core_mb;
+  MomentLaws dhrystone;
+  MomentLaws whetstone;
+  MomentLaws disk_gb;
+  /// 3x3 Pearson correlation among {mem/core, Whetstone, Dhrystone}.
+  stats::Matrix resource_correlation;
+
+  /// Throws std::invalid_argument if any component is inconsistent
+  /// (ragged chains, non-symmetric/non-PD correlation, non-positive a's).
+  void validate() const;
+
+  /// Round-trip serialization through the flat key-value format the
+  /// public model-generation tool emits.
+  util::KvStore to_kv() const;
+  static ModelParams from_kv(const util::KvStore& kv);
+
+  std::string serialize() const { return to_kv().serialize(); }
+  static ModelParams deserialize(const std::string& text) {
+    return from_kv(util::KvStore::parse(text));
+  }
+};
+
+/// The published model: Tables IV, V, VI and the correlation matrix from
+/// Table III, plus the paper's §VI-C estimate for the 8:16 core ratio
+/// (a = 12, b = -0.2).
+ModelParams paper_params();
+
+}  // namespace resmodel::core

@@ -1,0 +1,118 @@
+#include "core/prediction.h"
+
+#include <algorithm>
+#include <map>
+
+#include "stats/distributions.h"
+#include "stats/special_functions.h"
+
+namespace resmodel::core {
+
+std::vector<std::vector<double>> predicted_core_fractions(
+    const ModelParams& params, const std::vector<double>& ts) {
+  std::vector<std::vector<double>> out(params.cores.values.size(),
+                                       std::vector<double>(ts.size(), 0.0));
+  for (std::size_t j = 0; j < ts.size(); ++j) {
+    const std::vector<double> pmf = params.cores.pmf(ts[j]);
+    for (std::size_t v = 0; v < pmf.size(); ++v) out[v][j] = pmf[v];
+  }
+  return out;
+}
+
+double predicted_mean_cores(const ModelParams& params, double t) {
+  return params.cores.mean(t);
+}
+
+ModelParams with_memory_capped(const ModelParams& params,
+                               double max_value_mb) {
+  ModelParams capped = params;
+  auto& chain = capped.memory_per_core_mb;
+  while (chain.values.size() > 2 && chain.values.back() > max_value_mb) {
+    chain.values.pop_back();
+    chain.ratios.pop_back();
+  }
+  capped.validate();
+  return capped;
+}
+
+std::vector<MemoryPoint> predicted_memory_distribution(
+    const ModelParams& params, double t) {
+  const std::vector<double> core_pmf = params.cores.pmf(t);
+  const std::vector<double> mem_pmf = params.memory_per_core_mb.pmf(t);
+  std::map<double, double> dist;  // memory_mb -> probability
+  for (std::size_t c = 0; c < core_pmf.size(); ++c) {
+    for (std::size_t m = 0; m < mem_pmf.size(); ++m) {
+      const double mem =
+          params.cores.values[c] * params.memory_per_core_mb.values[m];
+      dist[mem] += core_pmf[c] * mem_pmf[m];
+    }
+  }
+  std::vector<MemoryPoint> out;
+  out.reserve(dist.size());
+  for (const auto& [mem, p] : dist) out.push_back({mem, p});
+  return out;
+}
+
+std::vector<double> predicted_memory_cdf_at(
+    const ModelParams& params, double t,
+    const std::vector<double>& thresholds_mb) {
+  const std::vector<MemoryPoint> dist =
+      predicted_memory_distribution(params, t);
+  std::vector<double> out;
+  out.reserve(thresholds_mb.size());
+  for (double threshold : thresholds_mb) {
+    double acc = 0.0;
+    for (const MemoryPoint& p : dist) {
+      if (p.memory_mb <= threshold) acc += p.probability;
+    }
+    out.push_back(acc);
+  }
+  return out;
+}
+
+double predicted_mean_memory_mb(const ModelParams& params, double t) {
+  // Independence of cores and per-core memory makes the mean separable.
+  return params.cores.mean(t) * params.memory_per_core_mb.mean(t);
+}
+
+MomentPrediction predicted_dhrystone(const ModelParams& params, double t) {
+  return {params.dhrystone.mean(t), params.dhrystone.stddev(t)};
+}
+
+MomentPrediction predicted_whetstone(const ModelParams& params, double t) {
+  return {params.whetstone.mean(t), params.whetstone.stddev(t)};
+}
+
+MomentPrediction predicted_disk_gb(const ModelParams& params, double t) {
+  return {params.disk_gb.mean(t), params.disk_gb.stddev(t)};
+}
+
+QuantileHost predicted_quantile_host(const ModelParams& params, double t,
+                                     double q) {
+  QuantileHost host;
+  host.cores = params.cores.quantile(t, q);
+  // Total memory quantile from the exact discrete distribution.
+  const std::vector<MemoryPoint> mem_dist =
+      predicted_memory_distribution(params, t);
+  double acc = 0.0;
+  host.memory_mb = mem_dist.empty() ? 0.0 : mem_dist.back().memory_mb;
+  for (const MemoryPoint& p : mem_dist) {
+    acc += p.probability;
+    if (q <= acc) {
+      host.memory_mb = p.memory_mb;
+      break;
+    }
+  }
+  const double z = stats::normal_quantile(q);
+  host.whetstone_mips =
+      std::max(1.0, params.whetstone.mean(t) + z * params.whetstone.stddev(t));
+  host.dhrystone_mips =
+      std::max(1.0, params.dhrystone.mean(t) + z * params.dhrystone.stddev(t));
+  host.disk_avail_gb =
+      stats::LogNormalDist::from_moments(params.disk_gb.mean(t),
+                                         params.disk_gb.variance(t))
+          .quantile(q);
+  return host;
+}
+
+}  // namespace resmodel::core

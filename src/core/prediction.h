@@ -1,0 +1,72 @@
+// Model-based prediction of future host composition (§VI-C, Figs 13-14).
+//
+// Because per-core memory is generated independently of the core count,
+// the total-memory distribution is the exact product convolution of the two
+// discrete pmfs — no sampling needed for Figures 13 and 14.
+#pragma once
+
+#include <vector>
+
+#include "core/model_params.h"
+
+namespace resmodel::core {
+
+/// Fraction of hosts per core value at each time point. Row v corresponds
+/// to params.cores.values[v]; column j to ts[j].
+std::vector<std::vector<double>> predicted_core_fractions(
+    const ModelParams& params, const std::vector<double>& ts);
+
+/// E[cores] at t (the paper predicts 4.6 for 2014).
+double predicted_mean_cores(const ModelParams& params, double t);
+
+/// Returns a copy of `params` whose per-core-memory chain is truncated to
+/// values <= max_value_mb. §V-E states the model "uses these [six] values"
+/// {256..2048} even though Tables V and X list a 2GB:4GB ratio; the
+/// paper's Figure-14 prediction (6.8 GB mean in 2014) reproduces only with
+/// the truncated chain, so memory predictions default to it.
+ModelParams with_memory_capped(const ModelParams& params,
+                               double max_value_mb);
+
+/// One value of the discrete total-memory distribution.
+struct MemoryPoint {
+  double memory_mb = 0.0;
+  double probability = 0.0;
+};
+
+/// Exact distribution of total memory (cores x per-core memory) at t,
+/// sorted ascending by memory, probabilities summing to 1.
+std::vector<MemoryPoint> predicted_memory_distribution(
+    const ModelParams& params, double t);
+
+/// Fraction of hosts with total memory <= each threshold (MB).
+/// Used for Figure 14's {<=1GB, <=2GB, <=4GB, <=8GB} bands.
+std::vector<double> predicted_memory_cdf_at(
+    const ModelParams& params, double t,
+    const std::vector<double>& thresholds_mb);
+
+/// E[total memory] in MB at t (the paper predicts ~6.8 GB for 2014).
+double predicted_mean_memory_mb(const ModelParams& params, double t);
+
+/// Predicted (mean, stddev) of a continuous resource at t.
+struct MomentPrediction {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MomentPrediction predicted_dhrystone(const ModelParams& params, double t);
+MomentPrediction predicted_whetstone(const ModelParams& params, double t);
+MomentPrediction predicted_disk_gb(const ModelParams& params, double t);
+
+/// "Best/worst host" prediction (the paper's §VI-C sketch): the host at a
+/// given quantile of every resource simultaneously. q in (0, 1); 0.99
+/// approximates the best widely available host at time t.
+struct QuantileHost {
+  double cores = 0.0;
+  double memory_mb = 0.0;
+  double whetstone_mips = 0.0;
+  double dhrystone_mips = 0.0;
+  double disk_avail_gb = 0.0;
+};
+QuantileHost predicted_quantile_host(const ModelParams& params, double t,
+                                     double q);
+
+}  // namespace resmodel::core

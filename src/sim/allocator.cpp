@@ -1,0 +1,59 @@
+#include "sim/allocator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace resmodel::sim {
+
+AllocationResult allocate_round_robin(std::span<const ApplicationSpec> apps,
+                                      std::span<const HostResources> hosts) {
+  if (apps.empty()) {
+    throw std::invalid_argument("allocate_round_robin: no applications");
+  }
+  const std::size_t a_count = apps.size();
+  const std::size_t h_count = hosts.size();
+
+  // Per-application utilities and preference order (descending utility).
+  std::vector<std::vector<double>> utility(a_count,
+                                           std::vector<double>(h_count));
+  std::vector<std::vector<std::size_t>> preference(a_count);
+  for (std::size_t a = 0; a < a_count; ++a) {
+    for (std::size_t h = 0; h < h_count; ++h) {
+      utility[a][h] = cobb_douglas_utility(apps[a], hosts[h]);
+    }
+    preference[a].resize(h_count);
+    std::iota(preference[a].begin(), preference[a].end(), std::size_t{0});
+    std::sort(preference[a].begin(), preference[a].end(),
+              [&u = utility[a]](std::size_t x, std::size_t y) {
+                return u[x] > u[y];
+              });
+  }
+
+  AllocationResult result;
+  result.total_utility.assign(a_count, 0.0);
+  result.hosts_assigned.assign(a_count, 0);
+  result.assignment.assign(h_count, a_count);  // sentinel: unassigned
+
+  std::vector<std::size_t> cursor(a_count, 0);  // position in preference list
+  std::size_t remaining = h_count;
+  std::size_t turn = 0;
+  while (remaining > 0) {
+    const std::size_t a = turn % a_count;
+    ++turn;
+    std::size_t& pos = cursor[a];
+    while (pos < h_count &&
+           result.assignment[preference[a][pos]] != a_count) {
+      ++pos;
+    }
+    if (pos >= h_count) continue;  // this app exhausted its list
+    const std::size_t h = preference[a][pos];
+    result.assignment[h] = a;
+    result.total_utility[a] += utility[a][h];
+    ++result.hosts_assigned[a];
+    --remaining;
+  }
+  return result;
+}
+
+}  // namespace resmodel::sim

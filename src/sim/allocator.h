@@ -1,0 +1,33 @@
+// Greedy round-robin resource allocation (§VII).
+//
+// "The simulation calculates the utility of each application running on
+// each resource, then assigns resources to applications in a greedy
+// round-robin fashion": applications take turns, each claiming the
+// still-unassigned host with the highest utility for it, until every host
+// is assigned.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/utility.h"
+
+namespace resmodel::sim {
+
+/// Result of one allocation run.
+struct AllocationResult {
+  /// total_utility[a] = sum of utilities of hosts assigned to app a.
+  std::vector<double> total_utility;
+  /// hosts_assigned[a] = number of hosts app a received.
+  std::vector<std::size_t> hosts_assigned;
+  /// assignment[h] = application index owning host h.
+  std::vector<std::size_t> assignment;
+};
+
+/// Runs the greedy round-robin allocation of every host to the given
+/// applications. Complexity O(A * N log N) via per-application sorted
+/// preference lists.
+AllocationResult allocate_round_robin(std::span<const ApplicationSpec> apps,
+                                      std::span<const HostResources> hosts);
+
+}  // namespace resmodel::sim

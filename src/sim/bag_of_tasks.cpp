@@ -1,0 +1,188 @@
+#include "sim/bag_of_tasks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+#include "stats/distributions.h"
+
+namespace resmodel::sim {
+
+namespace {
+
+// Per-host processing rate in MIPS (cores x whetstone), derated by a
+// sampled availability fraction when the overlay is on.
+std::vector<double> host_rates(std::span<const HostResources> hosts,
+                               const BagOfTasksConfig& config,
+                               util::Rng& rng) {
+  std::vector<double> rates;
+  rates.reserve(hosts.size());
+  const synth::AvailabilityModel avail(config.availability);
+  for (const HostResources& h : hosts) {
+    double rate = std::max(1.0, h.cores * h.whetstone_mips);
+    if (config.model_availability) {
+      util::Rng host_rng = rng.fork();
+      const auto intervals =
+          avail.generate(0.0, config.availability_horizon_days, host_rng);
+      const double fraction = synth::availability_fraction(
+          intervals, 0.0, config.availability_horizon_days);
+      rate *= std::max(0.01, fraction);
+    }
+    rates.push_back(rate);
+  }
+  return rates;
+}
+
+std::vector<double> sample_tasks(const BagOfTasksConfig& config,
+                                 util::Rng& rng) {
+  const double mean = config.task_cost_mips_days_mean;
+  const double sd = mean * config.task_cost_cv;
+  const auto dist = stats::LogNormalDist::from_moments(mean, sd * sd);
+  std::vector<double> tasks(config.task_count);
+  for (double& t : tasks) t = dist.sample(rng);
+  return tasks;
+}
+
+BagOfTasksResult finish(const std::vector<double>& busy_days,
+                        double total_cpu_days, double makespan) {
+  BagOfTasksResult result;
+  result.makespan_days = makespan;
+  result.total_cpu_days = total_cpu_days;
+  double sum = 0.0;
+  for (double b : busy_days) {
+    sum += b;
+    result.max_host_busy_days = std::max(result.max_host_busy_days, b);
+    if (b > 0.0) ++result.hosts_used;
+  }
+  result.mean_host_busy_days =
+      busy_days.empty() ? 0.0 : sum / static_cast<double>(busy_days.size());
+  return result;
+}
+
+}  // namespace
+
+std::string to_string(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kStaticRoundRobin: return "static round-robin";
+    case SchedulingPolicy::kStaticSpeedWeighted:
+      return "static speed-weighted";
+    case SchedulingPolicy::kDynamicPull: return "dynamic pull";
+    case SchedulingPolicy::kDynamicEct: return "dynamic ECT";
+  }
+  return "unknown";
+}
+
+BagOfTasksResult run_bag_of_tasks(std::span<const HostResources> hosts,
+                                  const BagOfTasksConfig& config,
+                                  SchedulingPolicy policy, util::Rng& rng) {
+  if (hosts.empty()) {
+    throw std::invalid_argument("run_bag_of_tasks: no hosts");
+  }
+  if (config.task_count == 0 || !(config.task_cost_mips_days_mean > 0.0) ||
+      !(config.task_cost_cv > 0.0)) {
+    throw std::invalid_argument("run_bag_of_tasks: degenerate config");
+  }
+
+  const std::vector<double> rates = host_rates(hosts, config, rng);
+  const std::vector<double> tasks = sample_tasks(config, rng);
+
+  std::vector<double> busy_days(hosts.size(), 0.0);
+  double total_cpu_days = 0.0;
+
+  switch (policy) {
+    case SchedulingPolicy::kStaticRoundRobin: {
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const std::size_t h = i % hosts.size();
+        const double days = tasks[i] / rates[h];
+        busy_days[h] += days;
+        total_cpu_days += days;
+      }
+      const double makespan =
+          *std::max_element(busy_days.begin(), busy_days.end());
+      return finish(busy_days, total_cpu_days, makespan);
+    }
+
+    case SchedulingPolicy::kStaticSpeedWeighted: {
+      // Deal tasks in rate-proportional quotas: host h receives the next
+      // task whenever its accumulated *work share* is furthest below its
+      // rate share. Equivalent to largest-remaining-quota dealing.
+      const double total_rate =
+          std::accumulate(rates.begin(), rates.end(), 0.0);
+      std::vector<double> assigned_work(hosts.size(), 0.0);
+      double total_assigned = 0.0;
+      for (const double task : tasks) {
+        // Deficit in cost units: how far below its rate-proportional share
+        // of the work assigned so far this host currently is. Looking one
+        // task ahead keeps the first |H| picks spread across hosts.
+        std::size_t best = 0;
+        double best_deficit = -std::numeric_limits<double>::infinity();
+        const double next_total = total_assigned + task;
+        for (std::size_t h = 0; h < hosts.size(); ++h) {
+          const double share = rates[h] / total_rate;
+          const double deficit = share * next_total - assigned_work[h];
+          if (deficit > best_deficit) {
+            best_deficit = deficit;
+            best = h;
+          }
+        }
+        const double days = task / rates[best];
+        busy_days[best] += days;
+        total_cpu_days += days;
+        assigned_work[best] += task;
+        total_assigned = next_total;
+      }
+      const double makespan =
+          *std::max_element(busy_days.begin(), busy_days.end());
+      return finish(busy_days, total_cpu_days, makespan);
+    }
+
+    case SchedulingPolicy::kDynamicPull: {
+      // Earliest-available host takes the next task (min-heap of
+      // completion times).
+      using Entry = std::pair<double, std::size_t>;  // (free at, host)
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+      for (std::size_t h = 0; h < hosts.size(); ++h) heap.push({0.0, h});
+      double makespan = 0.0;
+      for (const double task : tasks) {
+        const auto [free_at, h] = heap.top();
+        heap.pop();
+        const double days = task / rates[h];
+        busy_days[h] += days;
+        total_cpu_days += days;
+        const double done = free_at + days;
+        makespan = std::max(makespan, done);
+        heap.push({done, h});
+      }
+      return finish(busy_days, total_cpu_days, makespan);
+    }
+
+    case SchedulingPolicy::kDynamicEct: {
+      // Minimum-completion-time: O(T * H); fine at study scales.
+      std::vector<double> free_at(hosts.size(), 0.0);
+      double makespan = 0.0;
+      for (const double task : tasks) {
+        std::size_t best = 0;
+        double best_done = std::numeric_limits<double>::infinity();
+        for (std::size_t h = 0; h < hosts.size(); ++h) {
+          const double done = free_at[h] + task / rates[h];
+          if (done < best_done) {
+            best_done = done;
+            best = h;
+          }
+        }
+        const double days = task / rates[best];
+        busy_days[best] += days;
+        total_cpu_days += days;
+        free_at[best] = best_done;
+        makespan = std::max(makespan, best_done);
+      }
+      return finish(busy_days, total_cpu_days, makespan);
+    }
+  }
+  throw std::invalid_argument("run_bag_of_tasks: unknown policy");
+}
+
+}  // namespace resmodel::sim

@@ -1,0 +1,80 @@
+#include "sim/experiment.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace resmodel::sim {
+
+std::vector<util::ModelDate> default_experiment_dates() {
+  std::vector<util::ModelDate> dates;
+  for (int month = 1; month <= 9; ++month) {
+    dates.push_back(util::ModelDate::from_ymd(2010, month, 1));
+  }
+  return dates;
+}
+
+UtilityExperimentResult run_utility_experiment(
+    const trace::TraceStore& actual,
+    const std::vector<const HostSynthesisModel*>& models,
+    std::span<const ApplicationSpec> apps,
+    const std::vector<util::ModelDate>& dates, util::Rng& rng) {
+  UtilityExperimentResult result;
+  result.dates = dates;
+  for (const ApplicationSpec& app : apps) {
+    result.app_names.push_back(app.name);
+  }
+  for (const HostSynthesisModel* model : models) {
+    result.model_names.push_back(model->name());
+  }
+  result.diff_percent.assign(
+      models.size(),
+      std::vector<std::vector<double>>(apps.size(),
+                                       std::vector<double>(dates.size(), 0.0)));
+  result.actual_utility.assign(apps.size(),
+                               std::vector<double>(dates.size(), 0.0));
+  result.host_counts.assign(dates.size(), 0);
+
+  // Apply the §V-B plausibility filter: a single corrupt record (1e5 MIPS,
+  // 1e4 GB disk) would otherwise dominate the actual-utility reference.
+  trace::TraceStore filtered;
+  filtered.reserve(actual.size());
+  for (const trace::HostRecord& h : actual.hosts()) filtered.add(h);
+  filtered.discard_implausible();
+
+  for (std::size_t d = 0; d < dates.size(); ++d) {
+    const trace::ResourceSnapshot snap = filtered.snapshot(dates[d]);
+    const std::vector<HostResources> actual_hosts = to_host_resources(snap);
+    if (actual_hosts.empty()) {
+      throw std::invalid_argument("run_utility_experiment: empty snapshot at " +
+                                  dates[d].to_string());
+    }
+    result.host_counts[d] = actual_hosts.size();
+    const AllocationResult actual_alloc =
+        allocate_round_robin(apps, actual_hosts);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      if (!(actual_alloc.total_utility[a] > 0.0)) {
+        throw std::invalid_argument(
+            "run_utility_experiment: zero actual utility for " +
+            result.app_names[a]);
+      }
+      result.actual_utility[a][d] = actual_alloc.total_utility[a];
+    }
+
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      const std::vector<HostResources> model_hosts =
+          models[m]->synthesize(dates[d], actual_hosts.size(), rng);
+      const AllocationResult model_alloc =
+          allocate_round_robin(apps, model_hosts);
+      for (std::size_t a = 0; a < apps.size(); ++a) {
+        const double diff =
+            std::fabs(model_alloc.total_utility[a] -
+                      actual_alloc.total_utility[a]) /
+            actual_alloc.total_utility[a];
+        result.diff_percent[m][a][d] = diff * 100.0;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace resmodel::sim

@@ -1,0 +1,45 @@
+// The Figure-15 experiment: for each month from January to September 2010,
+// synthesize a host population from each model, allocate it to the four
+// Table-IX applications with the greedy round-robin scheduler, and report
+// the percent difference of each application's total utility against the
+// allocation computed on the actual (trace) hosts.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/allocator.h"
+#include "sim/baseline_models.h"
+#include "trace/trace_store.h"
+#include "util/model_date.h"
+#include "util/rng.h"
+
+namespace resmodel::sim {
+
+/// Results of the utility-difference experiment.
+struct UtilityExperimentResult {
+  std::vector<util::ModelDate> dates;
+  std::vector<std::string> app_names;
+  std::vector<std::string> model_names;
+  /// diff_percent[m][a][d]: |U_model - U_actual| / U_actual * 100 for
+  /// model m, application a, date d.
+  std::vector<std::vector<std::vector<double>>> diff_percent;
+  /// actual_utility[a][d]: the reference utility from the trace hosts.
+  std::vector<std::vector<double>> actual_utility;
+  /// active host counts per date (every model synthesizes this many).
+  std::vector<std::size_t> host_counts;
+};
+
+/// Default Figure-15 date grid: the first of each month, Jan-Sep 2010.
+std::vector<util::ModelDate> default_experiment_dates();
+
+/// Runs the experiment. Throws std::invalid_argument if a snapshot is
+/// empty or an actual utility is zero.
+UtilityExperimentResult run_utility_experiment(
+    const trace::TraceStore& actual,
+    const std::vector<const HostSynthesisModel*>& models,
+    std::span<const ApplicationSpec> apps,
+    const std::vector<util::ModelDate>& dates, util::Rng& rng);
+
+}  // namespace resmodel::sim

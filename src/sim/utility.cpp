@@ -1,0 +1,32 @@
+#include "sim/utility.h"
+
+#include <array>
+#include <cmath>
+
+namespace resmodel::sim {
+
+double cobb_douglas_utility(const ApplicationSpec& app,
+                            const HostResources& host) noexcept {
+  static constexpr double kFloor = 1e-9;
+  const auto term = [](double value, double exponent) {
+    if (exponent == 0.0) return 1.0;
+    return std::pow(value > kFloor ? value : kFloor, exponent);
+  };
+  return term(host.cores, app.alpha) * term(host.memory_mb, app.beta) *
+         term(host.dhrystone_mips, app.gamma) *
+         term(host.whetstone_mips, app.delta) *
+         term(host.disk_avail_gb, app.epsilon);
+}
+
+std::span<const ApplicationSpec> paper_applications() noexcept {
+  // Table IX.                     name            alpha beta gamma delta eps
+  static const std::array<ApplicationSpec, 4> kApps = {{
+      {"SETI@home", 0.05, 0.1, 0.2, 0.4, 0.05},
+      {"Folding@home", 0.4, 0.05, 0.2, 0.3, 0.05},
+      {"Climate Prediction", 0.2, 0.2, 0.1, 0.35, 0.15},
+      {"P2P", 0.05, 0.1, 0.1, 0.05, 0.7},
+  }};
+  return kApps;
+}
+
+}  // namespace resmodel::sim

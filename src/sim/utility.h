@@ -1,0 +1,43 @@
+// Cobb-Douglas host utility (Equation 1 and Table IX of the paper).
+//
+// The utility an application A derives from host H is
+//   Y_A(H) = C^alpha * M^beta * I^gamma * F^delta * D^epsilon
+// over cores C, memory M, integer speed I (Dhrystone), floating point
+// speed F (Whetstone) and available disk D.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace resmodel::sim {
+
+/// The five host resources entering the utility function.
+struct HostResources {
+  double cores = 1.0;
+  double memory_mb = 0.0;
+  double dhrystone_mips = 0.0;  // integer speed I
+  double whetstone_mips = 0.0;  // floating point speed F
+  double disk_avail_gb = 0.0;
+};
+
+/// Utility returns-to-scale exponents for one application.
+struct ApplicationSpec {
+  std::string name;
+  double alpha = 0.0;    ///< cores
+  double beta = 0.0;     ///< memory
+  double gamma = 0.0;    ///< Dhrystone (integer)
+  double delta = 0.0;    ///< Whetstone (floating point)
+  double epsilon = 0.0;  ///< disk
+};
+
+/// Y_A(H). Non-positive resource values contribute as a tiny positive
+/// floor so a single zeroed reading does not annihilate the product.
+double cobb_douglas_utility(const ApplicationSpec& app,
+                            const HostResources& host) noexcept;
+
+/// The paper's Table IX application set: SETI@home, Folding@home,
+/// Climate Prediction and P2P.
+std::span<const ApplicationSpec> paper_applications() noexcept;
+
+}  // namespace resmodel::sim

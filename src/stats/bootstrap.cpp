@@ -1,0 +1,71 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace resmodel::stats {
+
+namespace {
+
+BootstrapInterval interval_from(double point, std::vector<double> resampled,
+                                double confidence) {
+  std::sort(resampled.begin(), resampled.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  BootstrapInterval out;
+  out.point = point;
+  out.lo = quantile(resampled, alpha);
+  out.hi = quantile(resampled, 1.0 - alpha);
+  return out;
+}
+
+void check_args(std::size_t n, int rounds, double confidence) {
+  if (n == 0) throw std::invalid_argument("bootstrap: empty sample");
+  if (rounds < 2) throw std::invalid_argument("bootstrap: rounds < 2");
+  if (!(confidence > 0.0) || !(confidence < 1.0)) {
+    throw std::invalid_argument("bootstrap: confidence must be in (0, 1)");
+  }
+}
+
+}  // namespace
+
+BootstrapInterval bootstrap_ci(std::span<const double> xs,
+                               const SampleStatistic& statistic, int rounds,
+                               double confidence, util::Rng& rng) {
+  check_args(xs.size(), rounds, confidence);
+  std::vector<double> resampled_stats;
+  resampled_stats.reserve(static_cast<std::size_t>(rounds));
+  std::vector<double> resample(xs.size());
+  for (int round = 0; round < rounds; ++round) {
+    for (double& v : resample) v = xs[rng.uniform_index(xs.size())];
+    resampled_stats.push_back(statistic(resample));
+  }
+  return interval_from(statistic(xs), std::move(resampled_stats), confidence);
+}
+
+BootstrapInterval bootstrap_ci_paired(std::span<const double> xs,
+                                      std::span<const double> ys,
+                                      const PairedStatistic& statistic,
+                                      int rounds, double confidence,
+                                      util::Rng& rng) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("bootstrap: paired size mismatch");
+  }
+  check_args(xs.size(), rounds, confidence);
+  std::vector<double> resampled_stats;
+  resampled_stats.reserve(static_cast<std::size_t>(rounds));
+  std::vector<double> rx(xs.size()), ry(ys.size());
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const std::size_t j = rng.uniform_index(xs.size());
+      rx[i] = xs[j];
+      ry[i] = ys[j];
+    }
+    resampled_stats.push_back(statistic(rx, ry));
+  }
+  return interval_from(statistic(xs, ys), std::move(resampled_stats),
+                       confidence);
+}
+
+}  // namespace resmodel::stats

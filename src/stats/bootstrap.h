@@ -1,0 +1,44 @@
+// Nonparametric bootstrap confidence intervals.
+//
+// The paper reports point estimates (a, b, r) for every law; bootstrap
+// percentile intervals quantify how tight those estimates are at a given
+// trace scale — used by the bench binaries to print a +/- band next to
+// each fitted value.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace resmodel::stats {
+
+/// A percentile bootstrap interval around a point estimate.
+struct BootstrapInterval {
+  double point = 0.0;  ///< statistic on the original sample
+  double lo = 0.0;     ///< (1-confidence)/2 percentile of the resamples
+  double hi = 0.0;     ///< 1-(1-confidence)/2 percentile
+};
+
+/// Statistic over a sample.
+using SampleStatistic = std::function<double(std::span<const double>)>;
+
+/// Percentile bootstrap over `rounds` resamples (with replacement).
+/// Throws std::invalid_argument on empty input, rounds < 2, or
+/// confidence outside (0, 1).
+BootstrapInterval bootstrap_ci(std::span<const double> xs,
+                               const SampleStatistic& statistic, int rounds,
+                               double confidence, util::Rng& rng);
+
+/// Paired bootstrap for statistics of (x, y) pairs — used for regression
+/// slopes: resamples index pairs jointly.
+using PairedStatistic = std::function<double(std::span<const double>,
+                                             std::span<const double>)>;
+BootstrapInterval bootstrap_ci_paired(std::span<const double> xs,
+                                      std::span<const double> ys,
+                                      const PairedStatistic& statistic,
+                                      int rounds, double confidence,
+                                      util::Rng& rng);
+
+}  // namespace resmodel::stats

@@ -1,0 +1,137 @@
+#include "stats/chi_square.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/special_functions.h"
+
+namespace resmodel::stats {
+
+namespace {
+
+// Pools adjacent categories until every expected count >= min_expected.
+// Returns pooled (observed, expected) pairs.
+struct Pooled {
+  std::vector<double> observed;
+  std::vector<double> expected;
+};
+
+Pooled pool_categories(std::span<const std::uint64_t> observed,
+                       const std::vector<double>& expected,
+                       double min_expected) {
+  Pooled out;
+  double acc_obs = 0.0, acc_exp = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    acc_obs += static_cast<double>(observed[i]);
+    acc_exp += expected[i];
+    if (acc_exp >= min_expected) {
+      out.observed.push_back(acc_obs);
+      out.expected.push_back(acc_exp);
+      acc_obs = acc_exp = 0.0;
+    }
+  }
+  // Fold any remainder into the last pooled bucket.
+  if (acc_exp > 0.0 || acc_obs > 0.0) {
+    if (out.expected.empty()) {
+      out.observed.push_back(acc_obs);
+      out.expected.push_back(acc_exp);
+    } else {
+      out.observed.back() += acc_obs;
+      out.expected.back() += acc_exp;
+    }
+  }
+  return out;
+}
+
+ChiSquareResult from_pooled(const Pooled& pooled, int df_reduction) {
+  ChiSquareResult result;
+  for (std::size_t i = 0; i < pooled.observed.size(); ++i) {
+    if (pooled.expected[i] <= 0.0) continue;
+    const double d = pooled.observed[i] - pooled.expected[i];
+    result.statistic += d * d / pooled.expected[i];
+  }
+  result.degrees_of_freedom =
+      static_cast<int>(pooled.observed.size()) - df_reduction;
+  result.p_value =
+      chi_square_p_value(result.statistic, result.degrees_of_freedom);
+  return result;
+}
+
+}  // namespace
+
+double chi_square_p_value(double statistic, int degrees_of_freedom) noexcept {
+  if (degrees_of_freedom <= 0) return 1.0;
+  if (!(statistic > 0.0)) return 1.0;
+  return gamma_q(degrees_of_freedom / 2.0, statistic / 2.0);
+}
+
+ChiSquareResult chi_square_test(std::span<const std::uint64_t> observed,
+                                std::span<const double> expected_probs,
+                                double min_expected) {
+  if (observed.empty() || observed.size() != expected_probs.size()) {
+    throw std::invalid_argument("chi_square_test: bad input sizes");
+  }
+  double total = 0.0;
+  for (std::uint64_t o : observed) total += static_cast<double>(o);
+  double prob_mass = 0.0;
+  for (double p : expected_probs) {
+    if (p < 0.0) {
+      throw std::invalid_argument("chi_square_test: negative probability");
+    }
+    prob_mass += p;
+  }
+  if (!(prob_mass > 0.0) || !(total > 0.0)) {
+    throw std::invalid_argument("chi_square_test: zero mass");
+  }
+  std::vector<double> expected(expected_probs.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    expected[i] = expected_probs[i] / prob_mass * total;
+  }
+  return from_pooled(pool_categories(observed, expected, min_expected), 1);
+}
+
+ChiSquareResult chi_square_two_sample(std::span<const std::uint64_t> a,
+                                      std::span<const std::uint64_t> b,
+                                      double min_expected) {
+  if (a.empty() || a.size() != b.size()) {
+    throw std::invalid_argument("chi_square_two_sample: bad input sizes");
+  }
+  double total_a = 0.0, total_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total_a += static_cast<double>(a[i]);
+    total_b += static_cast<double>(b[i]);
+  }
+  if (!(total_a > 0.0) || !(total_b > 0.0)) {
+    throw std::invalid_argument("chi_square_two_sample: empty sample");
+  }
+  // Homogeneity: expected split of each category's pooled count follows
+  // the sample-size proportions. Statistic over both rows; df = k - 1
+  // over the categories dense enough to test.
+  const double grand = total_a + total_b;
+  // Compute the statistic directly over the 2 x k table.
+  double statistic = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double col = static_cast<double>(a[i]) + static_cast<double>(b[i]);
+    if (col <= 0.0) continue;
+    const double exp_a = col * total_a / grand;
+    const double exp_b = col * total_b / grand;
+    if (exp_a < min_expected || exp_b < min_expected) {
+      // Conservative: skip sparse categories (equivalent to pooling them
+      // away for the test's purposes at our sample sizes).
+      continue;
+    }
+    const double da = static_cast<double>(a[i]) - exp_a;
+    const double db = static_cast<double>(b[i]) - exp_b;
+    statistic += da * da / exp_a + db * db / exp_b;
+    ++used;
+  }
+  ChiSquareResult result;
+  result.statistic = statistic;
+  result.degrees_of_freedom = used > 0 ? static_cast<int>(used) - 1 : 0;
+  result.p_value =
+      chi_square_p_value(result.statistic, result.degrees_of_freedom);
+  return result;
+}
+
+}  // namespace resmodel::stats

@@ -1,0 +1,39 @@
+// Pearson chi-square goodness-of-fit for discrete compositions.
+//
+// The KS machinery (§V-F) covers the continuous resources; core counts and
+// per-core memory are discrete, so generated-vs-expected composition checks
+// use the chi-square statistic instead. Used by the validation bench to
+// test the Figure-12 "Cores" panel quantitatively.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace resmodel::stats {
+
+/// Result of a chi-square test.
+struct ChiSquareResult {
+  double statistic = 0.0;
+  int degrees_of_freedom = 0;
+  double p_value = 0.0;
+};
+
+/// Tests observed category counts against expected probabilities.
+/// Categories whose expected count falls below `min_expected` are pooled
+/// into the following category (standard practice; default 5).
+/// Throws std::invalid_argument on size mismatch, empty input, or
+/// non-positive probability mass.
+ChiSquareResult chi_square_test(std::span<const std::uint64_t> observed,
+                                std::span<const double> expected_probs,
+                                double min_expected = 5.0);
+
+/// Two-sample chi-square homogeneity test over the same categories
+/// (e.g. generated vs actual core-count compositions).
+ChiSquareResult chi_square_two_sample(std::span<const std::uint64_t> a,
+                                      std::span<const std::uint64_t> b,
+                                      double min_expected = 5.0);
+
+/// Upper-tail p-value of the chi-square distribution: Q(df/2, x/2).
+double chi_square_p_value(double statistic, int degrees_of_freedom) noexcept;
+
+}  // namespace resmodel::stats

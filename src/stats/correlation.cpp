@@ -1,0 +1,85 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace resmodel::stats {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Mid-ranks (average rank for ties), 1-based.
+std::vector<double> mid_ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&xs](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double pearson(std::span<const double> xs,
+               std::span<const double> ys) noexcept {
+  if (xs.size() != ys.size() || xs.size() < 2) return kNaN;
+  const double n = static_cast<double>(xs.size());
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (!(sxx > 0.0) || !(syy > 0.0)) return kNaN;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return kNaN;
+  const std::vector<double> rx = mid_ranks(xs);
+  const std::vector<double> ry = mid_ranks(ys);
+  return pearson(rx, ry);
+}
+
+Matrix correlation_matrix(std::span<const NamedColumn> columns) {
+  const std::size_t k = columns.size();
+  for (const NamedColumn& col : columns) {
+    if (col.values.size() != columns.front().values.size()) {
+      throw std::invalid_argument(
+          "correlation_matrix: columns must be equally sized");
+    }
+  }
+  Matrix m(k, k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    m(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double r = pearson(columns[i].values, columns[j].values);
+      m(i, j) = r;
+      m(j, i) = r;
+    }
+  }
+  return m;
+}
+
+}  // namespace resmodel::stats

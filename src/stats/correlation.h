@@ -1,0 +1,30 @@
+// Pearson and Spearman correlation, plus correlation matrices over named
+// resource columns — the machinery behind Tables III and VIII.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/matrix.h"
+
+namespace resmodel::stats {
+
+/// Pearson product-moment correlation coefficient. NaN if either input has
+/// zero variance or the lengths differ / are < 2.
+double pearson(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+/// Spearman rank correlation (Pearson on mid-ranks; ties averaged).
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// A named sample column.
+struct NamedColumn {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Pairwise Pearson correlation matrix over equally sized columns.
+/// Diagonal is exactly 1.
+Matrix correlation_matrix(std::span<const NamedColumn> columns);
+
+}  // namespace resmodel::stats

@@ -1,0 +1,77 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace resmodel::stats {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return kNaN;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return kNaN;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    ss += d * d;
+  }
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  const double v = variance(xs);
+  return std::isnan(v) ? kNaN : std::sqrt(v);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return kNaN;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double minimum(std::span<const double> xs) noexcept {
+  if (xs.empty()) return kNaN;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double maximum(std::span<const double> xs) noexcept {
+  if (xs.empty()) return kNaN;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) {
+    s.mean = s.stddev = s.variance = s.median = s.min = s.max = kNaN;
+    return s;
+  }
+  s.mean = mean(xs);
+  s.variance = variance(xs);
+  s.stddev = xs.size() < 2 ? 0.0 : std::sqrt(s.variance);
+  s.median = median(xs);
+  s.min = minimum(xs);
+  s.max = maximum(xs);
+  return s;
+}
+
+}  // namespace resmodel::stats

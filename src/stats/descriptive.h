@@ -1,0 +1,43 @@
+// Descriptive statistics over double samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace resmodel::stats {
+
+/// Arithmetic mean. Returns NaN for empty input.
+double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased sample variance (n-1 denominator). NaN for n < 2.
+double variance(std::span<const double> xs) noexcept;
+
+/// sqrt(variance).
+double stddev(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated quantile, q in [0, 1]. Copies + sorts internally.
+/// NaN for empty input.
+double quantile(std::span<const double> xs, double q);
+
+/// quantile(xs, 0.5).
+double median(std::span<const double> xs);
+
+/// Min / max. NaN for empty input.
+double minimum(std::span<const double> xs) noexcept;
+double maximum(std::span<const double> xs) noexcept;
+
+/// One-pass summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double variance = 0.0;
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes all Summary fields. Empty input yields count = 0 and NaNs.
+Summary summarize(std::span<const double> xs);
+
+}  // namespace resmodel::stats

@@ -1,0 +1,358 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+#include "stats/special_functions.h"
+
+namespace resmodel::stats {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void require_positive(double v, const char* what) {
+  if (!(v > 0.0)) {
+    throw std::invalid_argument(std::string(what) + " must be > 0");
+  }
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Normal --
+
+NormalDist::NormalDist(double mean, double sigma) : mean_(mean), sigma_(sigma) {
+  require_positive(sigma, "NormalDist sigma");
+}
+
+double NormalDist::pdf(double x) const noexcept {
+  const double z = (x - mean_) / sigma_;
+  return std::exp(-0.5 * z * z) /
+         (sigma_ * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double NormalDist::log_pdf(double x) const noexcept {
+  const double z = (x - mean_) / sigma_;
+  return -0.5 * z * z - std::log(sigma_) -
+         0.5 * std::log(2.0 * std::numbers::pi);
+}
+
+double NormalDist::cdf(double x) const noexcept {
+  return normal_cdf((x - mean_) / sigma_);
+}
+
+double NormalDist::quantile(double p) const noexcept {
+  return mean_ + sigma_ * normal_quantile(p);
+}
+
+double NormalDist::sample(util::Rng& rng) const noexcept {
+  return rng.normal(mean_, sigma_);
+}
+
+std::unique_ptr<Distribution> NormalDist::clone() const {
+  return std::make_unique<NormalDist>(*this);
+}
+
+// ------------------------------------------------------------- LogNormal --
+
+LogNormalDist::LogNormalDist(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  require_positive(sigma, "LogNormalDist sigma");
+}
+
+LogNormalDist LogNormalDist::from_moments(double mean, double variance) {
+  require_positive(mean, "LogNormalDist mean");
+  require_positive(variance, "LogNormalDist variance");
+  const double sigma2 = std::log(1.0 + variance / (mean * mean));
+  const double mu = std::log(mean) - sigma2 / 2.0;
+  return LogNormalDist(mu, std::sqrt(sigma2));
+}
+
+double LogNormalDist::pdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) /
+         (x * sigma_ * std::sqrt(2.0 * std::numbers::pi));
+}
+
+double LogNormalDist::log_pdf(double x) const noexcept {
+  if (x <= 0.0) return kNegInf;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return -0.5 * z * z - std::log(x) - std::log(sigma_) -
+         0.5 * std::log(2.0 * std::numbers::pi);
+}
+
+double LogNormalDist::cdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormalDist::quantile(double p) const noexcept {
+  return std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+
+double LogNormalDist::sample(util::Rng& rng) const noexcept {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
+double LogNormalDist::mean() const noexcept {
+  return std::exp(mu_ + sigma_ * sigma_ / 2.0);
+}
+
+double LogNormalDist::variance() const noexcept {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+std::unique_ptr<Distribution> LogNormalDist::clone() const {
+  return std::make_unique<LogNormalDist>(*this);
+}
+
+// ----------------------------------------------------------- Exponential --
+
+ExponentialDist::ExponentialDist(double lambda) : lambda_(lambda) {
+  require_positive(lambda, "ExponentialDist lambda");
+}
+
+double ExponentialDist::pdf(double x) const noexcept {
+  if (x < 0.0) return 0.0;
+  return lambda_ * std::exp(-lambda_ * x);
+}
+
+double ExponentialDist::log_pdf(double x) const noexcept {
+  if (x < 0.0) return kNegInf;
+  return std::log(lambda_) - lambda_ * x;
+}
+
+double ExponentialDist::cdf(double x) const noexcept {
+  if (x < 0.0) return 0.0;
+  return 1.0 - std::exp(-lambda_ * x);
+}
+
+double ExponentialDist::quantile(double p) const noexcept {
+  if (p >= 1.0) return kInf;
+  if (p <= 0.0) return 0.0;
+  return -std::log1p(-p) / lambda_;
+}
+
+double ExponentialDist::sample(util::Rng& rng) const noexcept {
+  return rng.exponential(lambda_);
+}
+
+std::unique_ptr<Distribution> ExponentialDist::clone() const {
+  return std::make_unique<ExponentialDist>(*this);
+}
+
+// --------------------------------------------------------------- Weibull --
+
+WeibullDist::WeibullDist(double k, double lambda) : k_(k), lambda_(lambda) {
+  require_positive(k, "WeibullDist k");
+  require_positive(lambda, "WeibullDist lambda");
+}
+
+double WeibullDist::pdf(double x) const noexcept {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (k_ < 1.0) return kInf;
+    if (k_ == 1.0) return 1.0 / lambda_;
+    return 0.0;
+  }
+  const double z = x / lambda_;
+  return (k_ / lambda_) * std::pow(z, k_ - 1.0) * std::exp(-std::pow(z, k_));
+}
+
+double WeibullDist::log_pdf(double x) const noexcept {
+  if (x <= 0.0) return kNegInf;
+  const double z = x / lambda_;
+  return std::log(k_ / lambda_) + (k_ - 1.0) * std::log(z) - std::pow(z, k_);
+}
+
+double WeibullDist::cdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-std::pow(x / lambda_, k_));
+}
+
+double WeibullDist::quantile(double p) const noexcept {
+  if (p >= 1.0) return kInf;
+  if (p <= 0.0) return 0.0;
+  return lambda_ * std::pow(-std::log1p(-p), 1.0 / k_);
+}
+
+double WeibullDist::sample(util::Rng& rng) const noexcept {
+  return quantile(rng.uniform());
+}
+
+double WeibullDist::mean() const noexcept {
+  return lambda_ * std::exp(std::lgamma(1.0 + 1.0 / k_));
+}
+
+double WeibullDist::variance() const noexcept {
+  const double g1 = std::exp(std::lgamma(1.0 + 1.0 / k_));
+  const double g2 = std::exp(std::lgamma(1.0 + 2.0 / k_));
+  return lambda_ * lambda_ * (g2 - g1 * g1);
+}
+
+std::unique_ptr<Distribution> WeibullDist::clone() const {
+  return std::make_unique<WeibullDist>(*this);
+}
+
+// ---------------------------------------------------------------- Pareto --
+
+ParetoDist::ParetoDist(double alpha, double xm) : alpha_(alpha), xm_(xm) {
+  require_positive(alpha, "ParetoDist alpha");
+  require_positive(xm, "ParetoDist xm");
+}
+
+double ParetoDist::pdf(double x) const noexcept {
+  if (x < xm_) return 0.0;
+  return alpha_ * std::pow(xm_, alpha_) / std::pow(x, alpha_ + 1.0);
+}
+
+double ParetoDist::log_pdf(double x) const noexcept {
+  if (x < xm_) return kNegInf;
+  return std::log(alpha_) + alpha_ * std::log(xm_) -
+         (alpha_ + 1.0) * std::log(x);
+}
+
+double ParetoDist::cdf(double x) const noexcept {
+  if (x <= xm_) return 0.0;
+  return 1.0 - std::pow(xm_ / x, alpha_);
+}
+
+double ParetoDist::quantile(double p) const noexcept {
+  if (p >= 1.0) return kInf;
+  if (p <= 0.0) return xm_;
+  return xm_ * std::pow(1.0 - p, -1.0 / alpha_);
+}
+
+double ParetoDist::sample(util::Rng& rng) const noexcept {
+  return quantile(rng.uniform());
+}
+
+double ParetoDist::mean() const noexcept {
+  if (alpha_ <= 1.0) return kInf;
+  return alpha_ * xm_ / (alpha_ - 1.0);
+}
+
+double ParetoDist::variance() const noexcept {
+  if (alpha_ <= 2.0) return kInf;
+  const double d = alpha_ - 1.0;
+  return xm_ * xm_ * alpha_ / (d * d * (alpha_ - 2.0));
+}
+
+std::unique_ptr<Distribution> ParetoDist::clone() const {
+  return std::make_unique<ParetoDist>(*this);
+}
+
+// ----------------------------------------------------------------- Gamma --
+
+GammaDist::GammaDist(double k, double theta) : k_(k), theta_(theta) {
+  require_positive(k, "GammaDist k");
+  require_positive(theta, "GammaDist theta");
+}
+
+double GammaDist::pdf(double x) const noexcept {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) {
+    if (k_ < 1.0) return kInf;
+    if (k_ == 1.0) return 1.0 / theta_;
+    return 0.0;
+  }
+  return std::exp(log_pdf(x));
+}
+
+double GammaDist::log_pdf(double x) const noexcept {
+  if (x <= 0.0) return kNegInf;
+  return (k_ - 1.0) * std::log(x) - x / theta_ - std::lgamma(k_) -
+         k_ * std::log(theta_);
+}
+
+double GammaDist::cdf(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  return gamma_p(k_, x / theta_);
+}
+
+double GammaDist::quantile(double p) const noexcept {
+  return theta_ * gamma_p_inverse(k_, p);
+}
+
+double GammaDist::sample(util::Rng& rng) const noexcept {
+  return sample_gamma(rng, k_, theta_);
+}
+
+std::unique_ptr<Distribution> GammaDist::clone() const {
+  return std::make_unique<GammaDist>(*this);
+}
+
+// -------------------------------------------------------------- LogGamma --
+
+LogGammaDist::LogGammaDist(double k, double theta) : inner_(k, theta) {}
+
+double LogGammaDist::pdf(double x) const noexcept {
+  if (x < 1.0) return 0.0;
+  return inner_.pdf(std::log(x)) / x;
+}
+
+double LogGammaDist::log_pdf(double x) const noexcept {
+  if (x < 1.0) return kNegInf;
+  return inner_.log_pdf(std::log(x)) - std::log(x);
+}
+
+double LogGammaDist::cdf(double x) const noexcept {
+  if (x <= 1.0) return 0.0;
+  return inner_.cdf(std::log(x));
+}
+
+double LogGammaDist::quantile(double p) const noexcept {
+  return std::exp(inner_.quantile(p));
+}
+
+double LogGammaDist::sample(util::Rng& rng) const noexcept {
+  return std::exp(inner_.sample(rng));
+}
+
+double LogGammaDist::mean() const noexcept {
+  // E[exp(G)] = (1 - theta)^(-k) for theta < 1, else infinite.
+  if (inner_.theta() >= 1.0) return kInf;
+  return std::pow(1.0 - inner_.theta(), -inner_.k());
+}
+
+double LogGammaDist::variance() const noexcept {
+  if (inner_.theta() >= 0.5) return kInf;
+  const double m1 = std::pow(1.0 - inner_.theta(), -inner_.k());
+  const double m2 = std::pow(1.0 - 2.0 * inner_.theta(), -inner_.k());
+  return m2 - m1 * m1;
+}
+
+std::unique_ptr<Distribution> LogGammaDist::clone() const {
+  return std::make_unique<LogGammaDist>(*this);
+}
+
+// ---------------------------------------------------------- gamma sample --
+
+double sample_gamma(util::Rng& rng, double k, double theta) noexcept {
+  // Marsaglia & Tsang (2000). For k < 1, sample with shape k+1 and apply
+  // the U^(1/k) boost.
+  if (k < 1.0) {
+    const double u = std::max(rng.uniform(), 1e-300);
+    return sample_gamma(rng, k + 1.0, theta) * std::pow(u, 1.0 / k);
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0, v = 0.0;
+    do {
+      x = rng.normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * theta;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * theta;
+    }
+  }
+}
+
+}  // namespace resmodel::stats

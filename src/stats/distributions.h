@@ -1,0 +1,189 @@
+// The seven candidate distributions from the paper (§V-F):
+// normal, log-normal, exponential, Weibull, Pareto, gamma, log-gamma.
+//
+// Each provides pdf/log-pdf/cdf/quantile/sampling behind one interface so
+// the Kolmogorov–Smirnov model-selection step can iterate over them
+// uniformly. Parameterizations:
+//   Normal(mean, sigma)          sigma > 0
+//   LogNormal(mu, sigma)         parameters of ln X; sigma > 0
+//   Exponential(lambda)          rate; lambda > 0
+//   Weibull(k, lambda)           shape k > 0, scale lambda > 0
+//   Pareto(alpha, xm)            shape alpha > 0, minimum xm > 0
+//   Gamma(k, theta)              shape k > 0, scale theta > 0
+//   LogGamma(k, theta)           X = exp(G), G ~ Gamma(k, theta); support x>=1
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/rng.h"
+
+namespace resmodel::stats {
+
+/// Abstract continuous univariate distribution.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  virtual double pdf(double x) const noexcept = 0;
+  virtual double log_pdf(double x) const noexcept = 0;
+  virtual double cdf(double x) const noexcept = 0;
+
+  /// Inverse CDF; p in [0, 1]. May return ±infinity at the boundaries.
+  virtual double quantile(double p) const noexcept = 0;
+
+  virtual double sample(util::Rng& rng) const noexcept = 0;
+
+  virtual double mean() const noexcept = 0;
+  virtual double variance() const noexcept = 0;
+
+  /// Short family name, e.g. "normal", "log-normal".
+  virtual std::string name() const = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<Distribution> clone() const = 0;
+};
+
+class NormalDist final : public Distribution {
+ public:
+  NormalDist(double mean, double sigma);
+  double pdf(double x) const noexcept override;
+  double log_pdf(double x) const noexcept override;
+  double cdf(double x) const noexcept override;
+  double quantile(double p) const noexcept override;
+  double sample(util::Rng& rng) const noexcept override;
+  double mean() const noexcept override { return mean_; }
+  double variance() const noexcept override { return sigma_ * sigma_; }
+  double sigma() const noexcept { return sigma_; }
+  std::string name() const override { return "normal"; }
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double mean_, sigma_;
+};
+
+class LogNormalDist final : public Distribution {
+ public:
+  LogNormalDist(double mu, double sigma);
+
+  /// Constructs the log-normal whose *linear-scale* mean/variance match the
+  /// given values (moment matching) — the paper predicts disk-space mean and
+  /// variance with exponential laws and then samples a log-normal with those
+  /// moments.
+  static LogNormalDist from_moments(double mean, double variance);
+
+  double pdf(double x) const noexcept override;
+  double log_pdf(double x) const noexcept override;
+  double cdf(double x) const noexcept override;
+  double quantile(double p) const noexcept override;
+  double sample(util::Rng& rng) const noexcept override;
+  double mean() const noexcept override;
+  double variance() const noexcept override;
+  double mu() const noexcept { return mu_; }
+  double sigma() const noexcept { return sigma_; }
+  std::string name() const override { return "log-normal"; }
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double mu_, sigma_;
+};
+
+class ExponentialDist final : public Distribution {
+ public:
+  explicit ExponentialDist(double lambda);
+  double pdf(double x) const noexcept override;
+  double log_pdf(double x) const noexcept override;
+  double cdf(double x) const noexcept override;
+  double quantile(double p) const noexcept override;
+  double sample(util::Rng& rng) const noexcept override;
+  double mean() const noexcept override { return 1.0 / lambda_; }
+  double variance() const noexcept override { return 1.0 / (lambda_ * lambda_); }
+  double lambda() const noexcept { return lambda_; }
+  std::string name() const override { return "exponential"; }
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double lambda_;
+};
+
+class WeibullDist final : public Distribution {
+ public:
+  WeibullDist(double k, double lambda);
+  double pdf(double x) const noexcept override;
+  double log_pdf(double x) const noexcept override;
+  double cdf(double x) const noexcept override;
+  double quantile(double p) const noexcept override;
+  double sample(util::Rng& rng) const noexcept override;
+  double mean() const noexcept override;
+  double variance() const noexcept override;
+  double k() const noexcept { return k_; }
+  double lambda() const noexcept { return lambda_; }
+  std::string name() const override { return "weibull"; }
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double k_, lambda_;
+};
+
+class ParetoDist final : public Distribution {
+ public:
+  ParetoDist(double alpha, double xm);
+  double pdf(double x) const noexcept override;
+  double log_pdf(double x) const noexcept override;
+  double cdf(double x) const noexcept override;
+  double quantile(double p) const noexcept override;
+  double sample(util::Rng& rng) const noexcept override;
+  double mean() const noexcept override;
+  double variance() const noexcept override;
+  double alpha() const noexcept { return alpha_; }
+  double xm() const noexcept { return xm_; }
+  std::string name() const override { return "pareto"; }
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double alpha_, xm_;
+};
+
+class GammaDist final : public Distribution {
+ public:
+  GammaDist(double k, double theta);
+  double pdf(double x) const noexcept override;
+  double log_pdf(double x) const noexcept override;
+  double cdf(double x) const noexcept override;
+  double quantile(double p) const noexcept override;
+  double sample(util::Rng& rng) const noexcept override;
+  double mean() const noexcept override { return k_ * theta_; }
+  double variance() const noexcept override { return k_ * theta_ * theta_; }
+  double k() const noexcept { return k_; }
+  double theta() const noexcept { return theta_; }
+  std::string name() const override { return "gamma"; }
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double k_, theta_;
+};
+
+/// X = exp(G) with G ~ Gamma(k, theta). Support [1, inf).
+class LogGammaDist final : public Distribution {
+ public:
+  LogGammaDist(double k, double theta);
+  double pdf(double x) const noexcept override;
+  double log_pdf(double x) const noexcept override;
+  double cdf(double x) const noexcept override;
+  double quantile(double p) const noexcept override;
+  double sample(util::Rng& rng) const noexcept override;
+  double mean() const noexcept override;
+  double variance() const noexcept override;
+  double k() const noexcept { return inner_.k(); }
+  double theta() const noexcept { return inner_.theta(); }
+  std::string name() const override { return "log-gamma"; }
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  GammaDist inner_;
+};
+
+/// Samples Gamma(k, theta) by Marsaglia–Tsang (with the k < 1 boost).
+double sample_gamma(util::Rng& rng, double k, double theta) noexcept;
+
+}  // namespace resmodel::stats

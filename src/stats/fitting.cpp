@@ -1,0 +1,251 @@
+#include "stats/fitting.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "stats/descriptive.h"
+#include "stats/kstest.h"
+#include "stats/special_functions.h"
+
+namespace resmodel::stats {
+
+namespace {
+
+bool all_positive(std::span<const double> xs) noexcept {
+  for (double x : xs) {
+    if (!(x > 0.0)) return false;
+  }
+  return true;
+}
+
+bool all_greater_than_one(std::span<const double> xs) noexcept {
+  for (double x : xs) {
+    if (!(x > 1.0)) return false;
+  }
+  return true;
+}
+
+std::vector<double> logs_of(std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(std::log(x));
+  return out;
+}
+
+// Gamma MLE: solve ln(k) - psi(k) = s with s = ln(mean) - mean(ln x),
+// starting from the standard closed-form approximation, refined by Newton.
+std::optional<double> gamma_shape_mle(double s) {
+  if (!(s > 0.0)) return std::nullopt;  // zero-variance (all equal) data
+  double k = (3.0 - s + std::sqrt((s - 3.0) * (s - 3.0) + 24.0 * s)) /
+             (12.0 * s);
+  if (!(k > 0.0) || !std::isfinite(k)) return std::nullopt;
+  for (int i = 0; i < 100; ++i) {
+    const double f = std::log(k) - digamma(k) - s;
+    const double fp = 1.0 / k - trigamma(k);
+    if (fp == 0.0) break;
+    double next = k - f / fp;
+    if (!(next > 0.0)) next = k / 2.0;
+    if (std::fabs(next - k) < 1e-12 * (1.0 + k)) {
+      k = next;
+      break;
+    }
+    k = next;
+  }
+  if (!(k > 0.0) || !std::isfinite(k)) return std::nullopt;
+  return k;
+}
+
+double log_likelihood(const Distribution& dist, std::span<const double> xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += dist.log_pdf(x);
+  return sum;
+}
+
+}  // namespace
+
+std::optional<NormalDist> fit_normal(std::span<const double> xs) {
+  if (xs.size() < 2) return std::nullopt;
+  const double m = mean(xs);
+  // MLE uses the n denominator; with the paper's sample sizes the
+  // distinction is immaterial, but be faithful to MLE.
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    ss += d * d;
+  }
+  const double sigma = std::sqrt(ss / static_cast<double>(xs.size()));
+  if (!(sigma > 0.0)) return std::nullopt;
+  return NormalDist(m, sigma);
+}
+
+std::optional<LogNormalDist> fit_lognormal(std::span<const double> xs) {
+  if (xs.size() < 2 || !all_positive(xs)) return std::nullopt;
+  const std::vector<double> ln = logs_of(xs);
+  const auto inner = fit_normal(ln);
+  if (!inner) return std::nullopt;
+  return LogNormalDist(inner->mean(), inner->sigma());
+}
+
+std::optional<ExponentialDist> fit_exponential(std::span<const double> xs) {
+  if (xs.empty()) return std::nullopt;
+  for (double x : xs) {
+    if (x < 0.0) return std::nullopt;
+  }
+  const double m = mean(xs);
+  if (!(m > 0.0)) return std::nullopt;
+  return ExponentialDist(1.0 / m);
+}
+
+std::optional<WeibullDist> fit_weibull(std::span<const double> xs) {
+  if (xs.size() < 2 || !all_positive(xs)) return std::nullopt;
+  const std::vector<double> ln = logs_of(xs);
+  const double mean_ln = mean(ln);
+
+  // Newton on g(k) = sum(x^k ln x)/sum(x^k) - 1/k - mean(ln x) = 0.
+  // Start from the method-of-moments-style estimate via log variance:
+  // Var[ln X] = pi^2 / (6 k^2).
+  const double var_ln = variance(ln);
+  double k = var_ln > 0.0 ? std::numbers::pi / std::sqrt(6.0 * var_ln) : 1.0;
+  if (!(k > 0.0) || !std::isfinite(k)) k = 1.0;
+
+  for (int iter = 0; iter < 100; ++iter) {
+    double sum_xk = 0.0, sum_xk_ln = 0.0, sum_xk_ln2 = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double xk = std::pow(xs[i], k);
+      sum_xk += xk;
+      sum_xk_ln += xk * ln[i];
+      sum_xk_ln2 += xk * ln[i] * ln[i];
+    }
+    if (!(sum_xk > 0.0)) return std::nullopt;
+    const double ratio = sum_xk_ln / sum_xk;
+    const double g = ratio - 1.0 / k - mean_ln;
+    const double gp = (sum_xk_ln2 / sum_xk) - ratio * ratio + 1.0 / (k * k);
+    if (!(gp != 0.0) || !std::isfinite(gp)) break;
+    double next = k - g / gp;
+    if (!(next > 0.0)) next = k / 2.0;
+    if (std::fabs(next - k) < 1e-10 * (1.0 + k)) {
+      k = next;
+      break;
+    }
+    k = next;
+  }
+  if (!(k > 0.0) || !std::isfinite(k)) return std::nullopt;
+
+  double sum_xk = 0.0;
+  for (double x : xs) sum_xk += std::pow(x, k);
+  const double lambda =
+      std::pow(sum_xk / static_cast<double>(xs.size()), 1.0 / k);
+  if (!(lambda > 0.0) || !std::isfinite(lambda)) return std::nullopt;
+  return WeibullDist(k, lambda);
+}
+
+std::optional<ParetoDist> fit_pareto(std::span<const double> xs) {
+  if (xs.size() < 2 || !all_positive(xs)) return std::nullopt;
+  const double xm = minimum(xs);
+  double sum_log_ratio = 0.0;
+  for (double x : xs) sum_log_ratio += std::log(x / xm);
+  if (!(sum_log_ratio > 0.0)) return std::nullopt;  // all equal
+  const double alpha = static_cast<double>(xs.size()) / sum_log_ratio;
+  return ParetoDist(alpha, xm);
+}
+
+std::optional<GammaDist> fit_gamma(std::span<const double> xs) {
+  if (xs.size() < 2 || !all_positive(xs)) return std::nullopt;
+  const double m = mean(xs);
+  const double mean_ln = mean(logs_of(xs));
+  const auto k = gamma_shape_mle(std::log(m) - mean_ln);
+  if (!k) return std::nullopt;
+  return GammaDist(*k, m / *k);
+}
+
+std::optional<LogGammaDist> fit_loggamma(std::span<const double> xs) {
+  if (xs.size() < 2 || !all_greater_than_one(xs)) return std::nullopt;
+  const std::vector<double> ln = logs_of(xs);
+  const auto inner = fit_gamma(ln);
+  if (!inner) return std::nullopt;
+  return LogGammaDist(inner->k(), inner->theta());
+}
+
+std::span<const Family> all_families() noexcept {
+  static constexpr std::array<Family, 7> kAll = {
+      Family::kNormal,  Family::kLogNormal, Family::kExponential,
+      Family::kWeibull, Family::kPareto,    Family::kGamma,
+      Family::kLogGamma};
+  return kAll;
+}
+
+std::string family_name(Family f) {
+  switch (f) {
+    case Family::kNormal: return "normal";
+    case Family::kLogNormal: return "log-normal";
+    case Family::kExponential: return "exponential";
+    case Family::kWeibull: return "weibull";
+    case Family::kPareto: return "pareto";
+    case Family::kGamma: return "gamma";
+    case Family::kLogGamma: return "log-gamma";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Distribution> fit_family(Family f,
+                                         std::span<const double> xs) {
+  switch (f) {
+    case Family::kNormal: {
+      if (auto d = fit_normal(xs)) return d->clone();
+      return nullptr;
+    }
+    case Family::kLogNormal: {
+      if (auto d = fit_lognormal(xs)) return d->clone();
+      return nullptr;
+    }
+    case Family::kExponential: {
+      if (auto d = fit_exponential(xs)) return d->clone();
+      return nullptr;
+    }
+    case Family::kWeibull: {
+      if (auto d = fit_weibull(xs)) return d->clone();
+      return nullptr;
+    }
+    case Family::kPareto: {
+      if (auto d = fit_pareto(xs)) return d->clone();
+      return nullptr;
+    }
+    case Family::kGamma: {
+      if (auto d = fit_gamma(xs)) return d->clone();
+      return nullptr;
+    }
+    case Family::kLogGamma: {
+      if (auto d = fit_loggamma(xs)) return d->clone();
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<FitResult> select_best_distribution(
+    std::span<const double> xs, const SelectionOptions& options) {
+  std::vector<FitResult> results;
+  util::Rng rng(options.seed);
+  for (Family f : all_families()) {
+    std::unique_ptr<Distribution> dist = fit_family(f, xs);
+    if (!dist) continue;
+    FitResult r;
+    r.family = f;
+    r.ks_statistic =
+        ks_statistic(xs, [&dist](double x) { return dist->cdf(x); });
+    r.avg_p_value = subsampled_ks_p_value(xs, *dist, options.subsamples,
+                                          options.subsample_size, rng);
+    r.log_likelihood = log_likelihood(*dist, xs);
+    r.dist = std::move(dist);
+    results.push_back(std::move(r));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const FitResult& a, const FitResult& b) {
+              return a.avg_p_value > b.avg_p_value;
+            });
+  return results;
+}
+
+}  // namespace resmodel::stats

@@ -1,0 +1,69 @@
+// Maximum-likelihood fitting for the seven candidate distributions and the
+// paper's model-selection procedure: rank families by the average p-value
+// of 100 Kolmogorov–Smirnov tests on random 50-sample subsets (§V-F).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "util/rng.h"
+
+namespace resmodel::stats {
+
+/// Closed-form or iterative MLE fitters. Each returns std::nullopt when the
+/// data is outside the family's support or degenerate (e.g. < 2 points,
+/// zero variance, non-positive values for log families).
+std::optional<NormalDist> fit_normal(std::span<const double> xs);
+std::optional<LogNormalDist> fit_lognormal(std::span<const double> xs);
+std::optional<ExponentialDist> fit_exponential(std::span<const double> xs);
+std::optional<WeibullDist> fit_weibull(std::span<const double> xs);
+std::optional<ParetoDist> fit_pareto(std::span<const double> xs);
+std::optional<GammaDist> fit_gamma(std::span<const double> xs);
+std::optional<LogGammaDist> fit_loggamma(std::span<const double> xs);
+
+/// Identifier for the candidate families.
+enum class Family {
+  kNormal,
+  kLogNormal,
+  kExponential,
+  kWeibull,
+  kPareto,
+  kGamma,
+  kLogGamma,
+};
+
+/// All seven families, in the order the paper lists them.
+std::span<const Family> all_families() noexcept;
+
+std::string family_name(Family f);
+
+/// Fits one family. nullptr when fitting fails.
+std::unique_ptr<Distribution> fit_family(Family f, std::span<const double> xs);
+
+/// Result of evaluating one candidate family against the data.
+struct FitResult {
+  Family family{};
+  std::unique_ptr<Distribution> dist;  ///< fitted distribution (never null)
+  double ks_statistic = 0.0;           ///< KS D on the full sample
+  double avg_p_value = 0.0;            ///< paper's subsampled mean p-value
+  double log_likelihood = 0.0;
+};
+
+/// Options for the selection procedure. Defaults are the paper's:
+/// 100 subsamples of 50 values each.
+struct SelectionOptions {
+  int subsamples = 100;
+  std::size_t subsample_size = 50;
+  std::uint64_t seed = 2011;  ///< for subsample selection (deterministic)
+};
+
+/// Fits every family that admits the data, scores each with the subsampled
+/// KS procedure, and returns results sorted by avg_p_value (best first).
+std::vector<FitResult> select_best_distribution(
+    std::span<const double> xs, const SelectionOptions& options = {});
+
+}  // namespace resmodel::stats

@@ -1,0 +1,103 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace resmodel::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t nbins)
+    : uniform_(true), lo_(lo) {
+  if (!(hi > lo) || nbins == 0) {
+    throw std::invalid_argument("Histogram: need hi > lo and nbins > 0");
+  }
+  width_ = (hi - lo) / static_cast<double>(nbins);
+  edges_.reserve(nbins + 1);
+  for (std::size_t i = 0; i <= nbins; ++i) {
+    edges_.push_back(lo + width_ * static_cast<double>(i));
+  }
+  counts_.assign(nbins, 0);
+}
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  if (edges_.size() < 2) {
+    throw std::invalid_argument("Histogram: need at least 2 edges");
+  }
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    if (!(edges_[i] > edges_[i - 1])) {
+      throw std::invalid_argument("Histogram: edges must strictly increase");
+    }
+  }
+  counts_.assign(edges_.size() - 1, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  if (x < edges_.front()) {
+    ++underflow_;
+    return;
+  }
+  if (x >= edges_.back()) {
+    ++overflow_;
+    return;
+  }
+  std::size_t bin = 0;
+  if (uniform_) {
+    bin = static_cast<std::size_t>((x - lo_) / width_);
+    if (bin >= counts_.size()) bin = counts_.size() - 1;  // fp edge case
+  } else {
+    const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+    bin = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return 0.5 * (bin_lo(bin) + bin_hi(bin));
+}
+
+std::vector<double> Histogram::fractions() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::density() const {
+  std::vector<double> out = fractions();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] /= (edges_[i + 1] - edges_[i]);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::cumulative() const {
+  std::vector<double> out = fractions();
+  double acc = 0.0;
+  for (double& v : out) {
+    acc += v;
+    v = acc;
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> empirical_cdf(
+    std::span<const double> xs) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::pair<double, double>> out;
+  out.reserve(sorted.size());
+  const double n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    out.emplace_back(sorted[i], static_cast<double>(i + 1) / n);
+  }
+  return out;
+}
+
+}  // namespace resmodel::stats

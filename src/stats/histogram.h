@@ -1,0 +1,58 @@
+// Fixed-bin histograms with PDF/CDF export, used to reproduce the paper's
+// figure panels (Figs 1, 6, 8, 9, 10).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace resmodel::stats {
+
+/// Equal-width or explicit-edge histogram over doubles.
+class Histogram {
+ public:
+  /// `nbins` equal-width bins spanning [lo, hi). Values outside the range
+  /// are counted in `underflow()` / `overflow()`.
+  Histogram(double lo, double hi, std::size_t nbins);
+
+  /// Explicit, strictly increasing bin edges (edges.size() >= 2).
+  explicit Histogram(std::vector<double> edges);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+
+  double bin_lo(std::size_t bin) const { return edges_.at(bin); }
+  double bin_hi(std::size_t bin) const { return edges_.at(bin + 1); }
+  double bin_center(std::size_t bin) const;
+
+  /// Fraction of in-range samples per bin (sums to 1 over bins).
+  std::vector<double> fractions() const;
+
+  /// Probability density estimate: fraction / bin width.
+  std::vector<double> density() const;
+
+  /// Cumulative fraction at each bin's upper edge.
+  std::vector<double> cumulative() const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  bool uniform_ = false;
+  double lo_ = 0.0, width_ = 1.0;  // fast path for equal-width bins
+};
+
+/// Empirical CDF evaluated at each sorted sample point:
+/// pairs (x_(i), (i+1)/n). Useful for plotting CDF figures.
+std::vector<std::pair<double, double>> empirical_cdf(
+    std::span<const double> xs);
+
+}  // namespace resmodel::stats

@@ -1,0 +1,83 @@
+#include "stats/kstest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace resmodel::stats {
+
+double ks_statistic(std::span<const double> xs,
+                    const std::function<double(double)>& cdf) {
+  if (xs.empty()) {
+    throw std::invalid_argument("ks_statistic: empty sample");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    const double hi = static_cast<double>(i + 1) / n - f;  // D+
+    const double lo = f - static_cast<double>(i) / n;      // D-
+    d = std::max({d, hi, lo});
+  }
+  return d;
+}
+
+double ks_p_value(double d_statistic, std::size_t n) noexcept {
+  if (n == 0) return 0.0;
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d_statistic;
+  if (lambda <= 0.0) return 1.0;
+  // Q_KS(lambda) = 2 * sum_{k>=1} (-1)^(k-1) exp(-2 k^2 lambda^2).
+  double sum = 0.0;
+  double sign = 1.0;
+  const double l2 = lambda * lambda;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = sign * std::exp(-2.0 * k * k * l2);
+    sum += term;
+    if (std::fabs(term) < 1e-12) break;
+    sign = -sign;
+  }
+  const double p = 2.0 * sum;
+  return std::clamp(p, 0.0, 1.0);
+}
+
+KsResult ks_test(std::span<const double> xs, const Distribution& dist) {
+  KsResult result;
+  result.statistic =
+      ks_statistic(xs, [&dist](double x) { return dist.cdf(x); });
+  result.p_value = ks_p_value(result.statistic, xs.size());
+  return result;
+}
+
+double subsampled_ks_p_value(std::span<const double> xs,
+                             const Distribution& dist, int rounds,
+                             std::size_t subsample_size, util::Rng& rng) {
+  if (xs.empty()) {
+    throw std::invalid_argument("subsampled_ks_p_value: empty sample");
+  }
+  if (xs.size() <= subsample_size) {
+    return ks_test(xs, dist).p_value;
+  }
+  // Partial Fisher–Yates per round draws each subsample without
+  // replacement; re-shuffling an already-permuted index array with fresh
+  // randomness keeps every round uniform.
+  std::vector<std::size_t> indices(xs.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  std::vector<double> subsample(subsample_size);
+  double p_sum = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < subsample_size; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.uniform_index(indices.size() - i));
+      std::swap(indices[i], indices[j]);
+      subsample[i] = xs[indices[i]];
+    }
+    p_sum += ks_test(subsample, dist).p_value;
+  }
+  return p_sum / rounds;
+}
+
+}  // namespace resmodel::stats

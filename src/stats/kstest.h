@@ -1,0 +1,39 @@
+// One-sample Kolmogorov–Smirnov test.
+//
+// The paper notes KS on a large n rejects any model for tiny discrepancies,
+// so p-values are computed as the mean over 100 tests on random 50-value
+// subsamples (the same procedure as Javadi et al., MASCOTS'09). Both the
+// raw test and the subsampled procedure are provided.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "stats/distributions.h"
+#include "util/rng.h"
+
+namespace resmodel::stats {
+
+/// KS statistic D = sup_x |F_emp(x) - F(x)| against a model CDF.
+double ks_statistic(std::span<const double> xs,
+                    const std::function<double(double)>& cdf);
+
+/// Asymptotic two-sided p-value for the one-sample test, using Stephens'
+/// finite-n correction: lambda = (sqrt(n) + 0.12 + 0.11/sqrt(n)) * D.
+double ks_p_value(double d_statistic, std::size_t n) noexcept;
+
+/// Convenience: statistic and p-value in one call.
+struct KsResult {
+  double statistic = 0.0;
+  double p_value = 0.0;
+};
+KsResult ks_test(std::span<const double> xs, const Distribution& dist);
+
+/// The paper's subsampled procedure: mean p-value of `rounds` KS tests,
+/// each on `subsample_size` values drawn without replacement.
+/// If xs.size() <= subsample_size, a single full-sample test is used.
+double subsampled_ks_p_value(std::span<const double> xs,
+                             const Distribution& dist, int rounds,
+                             std::size_t subsample_size, util::Rng& rng);
+
+}  // namespace resmodel::stats

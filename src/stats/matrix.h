@@ -1,0 +1,62 @@
+// Small dense matrices and the Cholesky decomposition used for correlated
+// host-resource generation (§V-F of the paper).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace resmodel::stats {
+
+/// Row-major dense matrix of doubles. Sized for the paper's use (3x3 to
+/// 6x6 correlation matrices); no attempt at BLAS-level performance.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds from nested initializer-style data; all rows must have equal
+  /// length. Throws std::invalid_argument otherwise.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  Matrix transpose() const;
+  Matrix multiply(const Matrix& rhs) const;
+
+  /// Max |a - b| over entries; matrices must be the same shape.
+  double max_abs_diff(const Matrix& other) const;
+
+  bool is_square() const noexcept { return rows_ == cols_; }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Lower-triangular Cholesky factor L with A = L * L^T.
+/// Returns std::nullopt if A is not (numerically) symmetric positive
+/// definite. The input must be square and symmetric.
+std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Generates one vector of standard-normal variates correlated according
+/// to the lower factor L (from cholesky(R)): x = L * z, z ~ N(0, I).
+/// Marginal variances equal the diagonal of R (1 for a correlation matrix).
+std::vector<double> correlated_normals(util::Rng& rng, const Matrix& lower);
+
+}  // namespace resmodel::stats

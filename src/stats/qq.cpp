@@ -1,0 +1,83 @@
+#include "stats/qq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace resmodel::stats {
+
+namespace {
+
+// Empirical quantile over a pre-sorted sample (linear interpolation).
+double sorted_quantile(const std::vector<double>& sorted, double p) {
+  if (p <= 0.0) return sorted.front();
+  if (p >= 1.0) return sorted.back();
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+std::vector<double> sorted_copy(std::span<const double> xs,
+                                const char* what) {
+  if (xs.empty()) {
+    throw std::invalid_argument(std::string(what) + ": empty sample");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace
+
+std::vector<std::pair<double, double>> qq_points(std::span<const double> xs,
+                                                 const Distribution& dist,
+                                                 std::size_t points) {
+  const std::vector<double> sorted = sorted_copy(xs, "qq_points");
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(points);
+    out.emplace_back(dist.quantile(p), sorted_quantile(sorted, p));
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> qq_points_two_sample(
+    std::span<const double> a, std::span<const double> b,
+    std::size_t points) {
+  const std::vector<double> sa = sorted_copy(a, "qq_points_two_sample");
+  const std::vector<double> sb = sorted_copy(b, "qq_points_two_sample");
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(points);
+    out.emplace_back(sorted_quantile(sa, p), sorted_quantile(sb, p));
+  }
+  return out;
+}
+
+double qq_max_relative_deviation(
+    const std::vector<std::pair<double, double>>& points) noexcept {
+  if (points.empty()) return 0.0;
+  // Normalize by the spread of the model quantiles (not per-point |x|,
+  // which blows up where the quantile crosses zero).
+  double x_lo = points.front().first, x_hi = points.front().first;
+  double max_abs_x = 0.0;
+  for (const auto& [x, y] : points) {
+    x_lo = std::min(x_lo, x);
+    x_hi = std::max(x_hi, x);
+    max_abs_x = std::max(max_abs_x, std::fabs(x));
+  }
+  const double scale = std::max({x_hi - x_lo, max_abs_x, 1e-12});
+  double max_dev = 0.0;
+  for (const auto& [x, y] : points) {
+    max_dev = std::max(max_dev, std::fabs(y - x) / scale);
+  }
+  return max_dev;
+}
+
+}  // namespace resmodel::stats

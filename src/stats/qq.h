@@ -1,0 +1,36 @@
+// Quantile-quantile comparison points.
+//
+// §VI-B of the paper: "We also generated QQ-plots for the data and
+// visually confirmed the fit of the generated hosts. These plots are not
+// included in this paper for space reasons." — here they are.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "stats/distributions.h"
+
+namespace resmodel::stats {
+
+/// QQ points of a sample against a model distribution: for `points`
+/// plotting positions p = (i + 0.5) / points, returns
+/// (model quantile(p), empirical quantile(p)). A perfect fit lies on y=x.
+std::vector<std::pair<double, double>> qq_points(std::span<const double> xs,
+                                                 const Distribution& dist,
+                                                 std::size_t points = 100);
+
+/// Two-sample QQ points: (quantile of a, quantile of b) at the shared
+/// plotting positions. Used to compare generated against actual hosts.
+std::vector<std::pair<double, double>> qq_points_two_sample(
+    std::span<const double> a, std::span<const double> b,
+    std::size_t points = 100);
+
+/// Max deviation of the QQ points from the diagonal, normalized by the
+/// spread of the model quantiles: max |y - x| / max(range(x), max|x|).
+/// A rough "visual confirmation" statistic — small values mean the QQ
+/// plot hugs y = x. Returns 0 for empty input.
+double qq_max_relative_deviation(
+    const std::vector<std::pair<double, double>>& points) noexcept;
+
+}  // namespace resmodel::stats

@@ -1,0 +1,66 @@
+#include "stats/regression.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/correlation.h"
+
+namespace resmodel::stats {
+
+LinearFit ols(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("ols: size mismatch");
+  }
+  if (xs.size() < 2) {
+    throw std::invalid_argument("ols: need at least 2 points");
+  }
+  const double n = static_cast<double>(xs.size());
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  if (!(sxx > 0.0)) {
+    throw std::invalid_argument("ols: x has zero variance");
+  }
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r = pearson(xs, ys);
+  return fit;
+}
+
+double ExponentialLaw::operator()(double t) const noexcept {
+  return a * std::exp(b * t);
+}
+
+ExponentialLaw ExponentialLaw::fit(std::span<const double> ts,
+                                   std::span<const double> ys) {
+  if (ts.size() != ys.size()) {
+    throw std::invalid_argument("ExponentialLaw::fit: size mismatch");
+  }
+  std::vector<double> log_ys;
+  log_ys.reserve(ys.size());
+  for (double y : ys) {
+    if (!(y > 0.0)) {
+      throw std::invalid_argument("ExponentialLaw::fit: y must be > 0");
+    }
+    log_ys.push_back(std::log(y));
+  }
+  const LinearFit lin = ols(ts, log_ys);
+  ExponentialLaw law;
+  law.a = std::exp(lin.intercept);
+  law.b = lin.slope;
+  law.r = lin.r;
+  return law;
+}
+
+}  // namespace resmodel::stats

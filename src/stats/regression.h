@@ -1,0 +1,38 @@
+// Ordinary least squares and the paper's exponential evolution law
+// y = a * exp(b * t), fitted by linear regression on (t, ln y).
+//
+// Every time-dependent quantity in the model — core-count ratios,
+// per-core-memory ratios, benchmark means/variances, disk-space moments —
+// follows this law with t = year - 2006 (Tables IV, V, VI, X).
+#pragma once
+
+#include <span>
+
+namespace resmodel::stats {
+
+/// Result of a simple linear regression y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r = 0.0;  ///< Pearson correlation of x and y (signed)
+};
+
+/// OLS fit. Throws std::invalid_argument for size mismatch or n < 2.
+LinearFit ols(std::span<const double> xs, std::span<const double> ys);
+
+/// y = a * exp(b * t). `r` is the correlation of t with ln(y) — the value
+/// the paper reports in Tables IV-VI (negative for decaying ratios).
+struct ExponentialLaw {
+  double a = 1.0;
+  double b = 0.0;
+  double r = 0.0;
+
+  double operator()(double t) const noexcept;
+
+  /// Fits from (t, y) samples; all y must be > 0.
+  /// Throws std::invalid_argument on bad input.
+  static ExponentialLaw fit(std::span<const double> ts,
+                            std::span<const double> ys);
+};
+
+}  // namespace resmodel::stats

@@ -1,0 +1,179 @@
+#include "stats/special_functions.h"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace resmodel::stats {
+
+namespace {
+
+constexpr double kEps = 1e-15;
+constexpr int kMaxIter = 300;
+
+// Lower incomplete gamma by power series: P(a,x) converges quickly for
+// x < a + 1.
+double gamma_p_series(double a, double x) noexcept {
+  double ap = a;
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int i = 0; i < kMaxIter; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Upper incomplete gamma by Lentz continued fraction: Q(a,x) for x >= a + 1.
+double gamma_q_cf(double a, double x) noexcept {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIter; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double normal_cdf(double x) noexcept {
+  return 0.5 * std::erfc(-x / std::numbers::sqrt2);
+}
+
+double normal_quantile(double p) noexcept {
+  if (std::isnan(p) || p < 0.0 || p > 1.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (p == 0.0) return -std::numeric_limits<double>::infinity();
+  if (p == 1.0) return std::numeric_limits<double>::infinity();
+
+  // Acklam's rational approximation (relative error < 1.15e-9).
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+
+  double x = 0.0;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+
+  // One Halley step against the true CDF brings the error near machine eps.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::numbers::sqrt2 * std::sqrt(std::numbers::pi) *
+                   std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double gamma_p(double a, double x) noexcept {
+  if (!(a > 0.0) || x < 0.0) return std::numeric_limits<double>::quiet_NaN();
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_cf(a, x);
+}
+
+double gamma_q(double a, double x) noexcept {
+  if (!(a > 0.0) || x < 0.0) return std::numeric_limits<double>::quiet_NaN();
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_cf(a, x);
+}
+
+double gamma_p_inverse(double a, double p) noexcept {
+  if (!(a > 0.0) || p < 0.0 || p > 1.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return std::numeric_limits<double>::infinity();
+
+  // Wilson–Hilferty: gamma quantile from a normal quantile.
+  const double z = normal_quantile(p);
+  const double g = 1.0 - 1.0 / (9.0 * a) + z / (3.0 * std::sqrt(a));
+  double x = a * g * g * g;
+  if (x <= 0.0) x = a * std::exp((std::log(p) + std::lgamma(a + 1.0)) / a);
+
+  // Newton on P(a,x) - p with the analytic derivative (gamma pdf).
+  for (int i = 0; i < 60; ++i) {
+    const double err = gamma_p(a, x) - p;
+    const double pdf =
+        std::exp((a - 1.0) * std::log(x) - x - std::lgamma(a));
+    if (pdf <= 0.0) break;
+    double step = err / pdf;
+    // Damp steps that would leave the support.
+    if (x - step <= 0.0) step = x / 2.0;
+    x -= step;
+    if (std::fabs(step) < 1e-12 * (1.0 + x)) break;
+  }
+  return x;
+}
+
+double digamma(double x) noexcept {
+  if (!(x > 0.0)) return std::numeric_limits<double>::quiet_NaN();
+  double result = 0.0;
+  // Shift to x >= 10 where the asymptotic series reaches ~1e-13.
+  while (x < 10.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 -
+                    inv2 * (1.0 / 120.0 -
+                            inv2 * (1.0 / 252.0 - inv2 / 240.0)));
+  return result;
+}
+
+double trigamma(double x) noexcept {
+  if (!(x > 0.0)) return std::numeric_limits<double>::quiet_NaN();
+  double result = 0.0;
+  while (x < 10.0) {
+    result += 1.0 / (x * x);
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result +=
+      inv * (1.0 + 0.5 * inv +
+             inv2 * (1.0 / 6.0 -
+                     inv2 * (1.0 / 30.0 -
+                             inv2 * (1.0 / 42.0 - inv2 / 30.0))));
+  return result;
+}
+
+}  // namespace resmodel::stats

@@ -1,0 +1,37 @@
+// Special functions needed by the distribution library.
+//
+// Everything is implemented from standard series/continued-fraction
+// expansions (no external math libraries): the regularized incomplete gamma
+// functions P(a,x)/Q(a,x), the inverse standard normal CDF (Acklam's
+// rational approximation refined with one Halley step), and digamma /
+// trigamma (asymptotic series with recurrence shift) for gamma MLE.
+#pragma once
+
+namespace resmodel::stats {
+
+/// Standard normal CDF Φ(x).
+double normal_cdf(double x) noexcept;
+
+/// Inverse standard normal CDF Φ⁻¹(p), p in (0, 1).
+/// Accurate to ~1e-15 after the Halley refinement step.
+/// Returns ±infinity at p = 0 / 1; NaN outside [0, 1].
+double normal_quantile(double p) noexcept;
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a,x) / Γ(a), a > 0, x >= 0.
+/// Series expansion for x < a + 1, continued fraction otherwise.
+double gamma_p(double a, double x) noexcept;
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x) noexcept;
+
+/// Inverse of P(a, ·): returns x with P(a, x) = p. Newton iteration from a
+/// Wilson–Hilferty starting point.
+double gamma_p_inverse(double a, double p) noexcept;
+
+/// ψ(x) = d/dx ln Γ(x), x > 0.
+double digamma(double x) noexcept;
+
+/// ψ'(x) = d²/dx² ln Γ(x), x > 0.
+double trigamma(double x) noexcept;
+
+}  // namespace resmodel::stats

@@ -1,0 +1,79 @@
+#include "synth/availability.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distributions.h"
+
+namespace resmodel::synth {
+
+void AvailabilityParams::validate() const {
+  if (!(on_weibull_k > 0.0) || !(on_weibull_lambda > 0.0)) {
+    throw std::invalid_argument(
+        "AvailabilityParams: ON Weibull parameters must be > 0");
+  }
+  if (!(off_lognormal_sigma > 0.0)) {
+    throw std::invalid_argument(
+        "AvailabilityParams: OFF log-normal sigma must be > 0");
+  }
+}
+
+AvailabilityModel::AvailabilityModel(AvailabilityParams params)
+    : params_(params) {
+  params_.validate();
+}
+
+double AvailabilityModel::expected_availability() const noexcept {
+  const double mean_on =
+      params_.on_weibull_lambda *
+      std::exp(std::lgamma(1.0 + 1.0 / params_.on_weibull_k));
+  const double mean_off =
+      std::exp(params_.off_lognormal_mu +
+               params_.off_lognormal_sigma * params_.off_lognormal_sigma / 2.0);
+  return mean_on / (mean_on + mean_off);
+}
+
+std::vector<AvailabilityInterval> AvailabilityModel::generate(
+    double start_day, double end_day, util::Rng& rng) const {
+  std::vector<AvailabilityInterval> intervals;
+  if (!(end_day > start_day)) return intervals;
+  const stats::WeibullDist on_dist(params_.on_weibull_k,
+                                   params_.on_weibull_lambda);
+  const stats::LogNormalDist off_dist(params_.off_lognormal_mu,
+                                      params_.off_lognormal_sigma);
+  double clock = start_day;
+  while (clock < end_day) {
+    const double on_len = std::max(1e-6, on_dist.sample(rng));
+    AvailabilityInterval interval;
+    interval.start_day = clock;
+    interval.end_day = std::min(end_day, clock + on_len);
+    intervals.push_back(interval);
+    clock += on_len;
+    if (clock >= end_day) break;
+    clock += std::max(1e-6, off_dist.sample(rng));
+  }
+  return intervals;
+}
+
+double availability_fraction(const std::vector<AvailabilityInterval>& on,
+                             double start_day, double end_day) noexcept {
+  if (!(end_day > start_day)) return 0.0;
+  double covered = 0.0;
+  for (const AvailabilityInterval& interval : on) {
+    const double lo = std::max(interval.start_day, start_day);
+    const double hi = std::min(interval.end_day, end_day);
+    if (hi > lo) covered += hi - lo;
+  }
+  return covered / (end_day - start_day);
+}
+
+double next_available_time(const std::vector<AvailabilityInterval>& on,
+                           double day) noexcept {
+  for (const AvailabilityInterval& interval : on) {
+    if (interval.contains(day)) return day;
+    if (interval.start_day >= day) return interval.start_day;
+  }
+  return -1.0;
+}
+
+}  // namespace resmodel::synth

@@ -1,0 +1,72 @@
+// Host availability model (the paper's §VIII future work: "the model of
+// resources could be tied to ... models of host availability").
+//
+// Implements the alternating-renewal model of the availability literature
+// the paper cites (Javadi et al., MASCOTS'09; Nurmi et al.): a host's
+// uptime is a sequence of ON intervals (Weibull with shape < 1 — long
+// tails, many short sessions) separated by OFF intervals (log-normal).
+// The BOINC substrate can overlay this on a client so scheduler contacts
+// only happen while the host is available.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace resmodel::synth {
+
+/// Parameters of the two-state alternating renewal process. Durations are
+/// in days. Defaults approximate the SETI@home availability statistics
+/// reported by Javadi et al. (median ON session of a few hours, heavy
+/// tail; mean availability fraction ~0.7).
+struct AvailabilityParams {
+  double on_weibull_k = 0.40;        ///< shape < 1: decreasing hazard
+  double on_weibull_lambda = 0.35;   ///< scale, days (~8.4 hours)
+  double off_lognormal_mu = -1.9;    ///< ln(days); median ~3.6 hours
+  double off_lognormal_sigma = 1.3;
+
+  /// Throws std::invalid_argument on non-positive shapes/scales.
+  void validate() const;
+};
+
+/// One availability interval [start_day, end_day).
+struct AvailabilityInterval {
+  double start_day = 0.0;
+  double end_day = 0.0;
+
+  double length() const noexcept { return end_day - start_day; }
+  bool contains(double day) const noexcept {
+    return day >= start_day && day < end_day;
+  }
+};
+
+/// Generates and queries per-host availability schedules.
+class AvailabilityModel {
+ public:
+  explicit AvailabilityModel(AvailabilityParams params = {});
+
+  const AvailabilityParams& params() const noexcept { return params_; }
+
+  /// Expected long-run availability fraction E[on] / (E[on] + E[off]).
+  double expected_availability() const noexcept;
+
+  /// Generates the ON intervals covering [start_day, end_day), starting in
+  /// the ON state at start_day (a host's first contact happens while up).
+  std::vector<AvailabilityInterval> generate(double start_day, double end_day,
+                                             util::Rng& rng) const;
+
+ private:
+  AvailabilityParams params_;
+};
+
+/// Fraction of [start, end) covered by the intervals (assumed sorted and
+/// disjoint). Returns 0 for an empty window.
+double availability_fraction(const std::vector<AvailabilityInterval>& on,
+                             double start_day, double end_day) noexcept;
+
+/// Earliest time >= `day` at which the host is available, or a negative
+/// value if no interval at or after `day` exists.
+double next_available_time(const std::vector<AvailabilityInterval>& on,
+                           double day) noexcept;
+
+}  // namespace resmodel::synth

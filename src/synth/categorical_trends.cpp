@@ -1,0 +1,146 @@
+#include "synth/categorical_trends.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace resmodel::synth {
+
+CategoricalTrend::CategoricalTrend(std::vector<double> anchors_t,
+                                   std::vector<std::vector<double>> shares)
+    : anchors_t_(std::move(anchors_t)), shares_(std::move(shares)) {
+  if (anchors_t_.size() < 2) {
+    throw std::invalid_argument("CategoricalTrend: need >= 2 anchors");
+  }
+  for (std::size_t i = 1; i < anchors_t_.size(); ++i) {
+    if (!(anchors_t_[i] > anchors_t_[i - 1])) {
+      throw std::invalid_argument("CategoricalTrend: anchors must ascend");
+    }
+  }
+  for (const std::vector<double>& row : shares_) {
+    if (row.size() != anchors_t_.size()) {
+      throw std::invalid_argument(
+          "CategoricalTrend: share rows must match anchor count");
+    }
+  }
+}
+
+std::vector<double> CategoricalTrend::pmf(double t) const {
+  // Locate the surrounding anchor pair, clamping outside the range.
+  std::size_t hi = 1;
+  while (hi + 1 < anchors_t_.size() && anchors_t_[hi] < t) ++hi;
+  const std::size_t lo = hi - 1;
+  double frac = (t - anchors_t_[lo]) / (anchors_t_[hi] - anchors_t_[lo]);
+  frac = std::clamp(frac, 0.0, 1.0);
+
+  std::vector<double> p(shares_.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t c = 0; c < shares_.size(); ++c) {
+    const double v =
+        shares_[c][lo] * (1.0 - frac) + shares_[c][hi] * frac;
+    p[c] = std::max(0.0, v);
+    total += p[c];
+  }
+  if (total > 0.0) {
+    for (double& v : p) v /= total;
+  }
+  return p;
+}
+
+std::size_t CategoricalTrend::sample(double t, util::Rng& rng) const {
+  const std::vector<double> p = pmf(t);
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t c = 0; c < p.size(); ++c) {
+    acc += p[c];
+    if (u <= acc) return c;
+  }
+  return p.size() - 1;
+}
+
+const CategoricalTrend& cpu_family_trend() {
+  // Table I, % of active hosts at Jan 1 of 2006..2010. Row order must match
+  // trace::CpuFamily.
+  static const CategoricalTrend kTrend(
+      {0.0, 1.0, 2.0, 3.0, 4.0},
+      {
+          {5.1, 6.5, 4.7, 3.5, 2.7},       // PowerPC G3/G4/G5
+          {12.3, 9.0, 6.2, 4.0, 2.5},      // Athlon XP
+          {6.5, 9.5, 11.4, 11.6, 10.2},    // Athlon 64
+          {8.3, 8.2, 7.8, 7.9, 9.5},       // Other AMD
+          {36.8, 33.0, 27.2, 20.7, 15.5},  // Pentium 4
+          {5.4, 5.5, 4.3, 3.1, 2.1},       // Pentium M
+          {0.7, 3.0, 4.2, 3.9, 3.1},       // Pentium D
+          {4.1, 2.6, 2.1, 3.3, 5.2},       // Other Pentium
+          {0.9, 3.3, 13.2, 24.8, 32.0},    // Intel Core 2
+          {5.6, 6.4, 6.3, 5.9, 4.9},       // Intel Celeron
+          {2.1, 2.8, 3.3, 3.9, 4.3},       // Intel Xeon
+          {9.9, 7.7, 7.6, 6.1, 5.1},       // Other x86
+          {2.3, 2.6, 1.6, 1.3, 2.9},       // Other
+      });
+  return kTrend;
+}
+
+const CategoricalTrend& os_family_trend() {
+  // Table II, % of active hosts at Jan 1 of 2006..2010. Row order must
+  // match trace::OsFamily.
+  static const CategoricalTrend kTrend(
+      {0.0, 1.0, 2.0, 3.0, 4.0},
+      {
+          {69.8, 71.5, 68.6, 62.5, 52.9},  // Windows XP
+          {0.0, 0.0, 6.7, 14.0, 15.9},     // Windows Vista
+          {0.0, 0.0, 0.0, 0.0, 9.2},       // Windows 7
+          {12.9, 8.5, 5.5, 3.4, 2.0},      // Windows 2000
+          {6.3, 6.1, 4.8, 4.8, 3.4},       // Other Windows
+          {5.4, 7.8, 7.9, 8.5, 9.0},       // Mac OS X
+          {5.1, 5.7, 6.0, 6.4, 7.3},       // Linux
+          {0.4, 0.4, 0.4, 0.3, 0.3},       // Other
+      });
+  return kTrend;
+}
+
+const CategoricalTrend& gpu_type_trend() {
+  // Table VII, among GPU-equipped hosts, Sep 2009 (t=3.67) and Sep 2010
+  // (t=4.67).
+  static const CategoricalTrend kTrend({3.67, 4.67},
+                                       {
+                                           {82.5, 63.6},  // GeForce
+                                           {12.2, 31.5},  // Radeon
+                                           {4.7, 4.0},    // Quadro
+                                           {0.6, 0.8},    // Other
+                                       });
+  return kTrend;
+}
+
+double gpu_adoption_fraction(double t) noexcept {
+  // 12.7% at Sep 2009 (t = 3.67), 23.8% at Sep 2010 (t = 4.67).
+  const double f = 0.127 + (0.238 - 0.127) * (t - 3.67);
+  return std::clamp(f, 0.0, 0.5);
+}
+
+const std::vector<double>& gpu_memory_values_mb() {
+  static const std::vector<double> kValues = {128,  256,  512, 768,
+                                              1024, 1536, 2048};
+  return kValues;
+}
+
+std::vector<double> gpu_memory_pmf(double t) {
+  // Calibrated anchors: Sep 2009 mean ~589 MB (paper: 592.7), >=1GB 21%
+  // (paper: 19%); Sep 2010 mean ~655 MB (paper: 659.4), >=1GB 30%
+  // (paper: 31%). Median 512 MB at both anchors.
+  static const std::vector<double> k2009 = {0.10, 0.25, 0.36, 0.08,
+                                            0.14, 0.04, 0.03};
+  static const std::vector<double> k2010 = {0.08, 0.22, 0.34, 0.06,
+                                            0.21, 0.05, 0.04};
+  double frac = (t - 3.67) / 1.0;
+  frac = std::clamp(frac, 0.0, 1.0);
+  std::vector<double> p(k2009.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = k2009[i] * (1.0 - frac) + k2010[i] * frac;
+    total += p[i];
+  }
+  for (double& v : p) v /= total;
+  return p;
+}
+
+}  // namespace resmodel::synth

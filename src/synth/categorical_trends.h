@@ -1,0 +1,65 @@
+// Time-varying categorical mixes for CPU family (Table I), operating
+// system (Table II) and GPU type/adoption/memory (Table VII, Fig 10).
+//
+// Each trend is a piecewise-linear interpolation through yearly anchor
+// shares taken from the paper's tables, extended flat outside the anchored
+// range. Shares are renormalized after interpolation so they always form a
+// valid pmf even between anchors.
+#pragma once
+
+#include <vector>
+
+#include "trace/host_record.h"
+#include "util/rng.h"
+
+namespace resmodel::synth {
+
+/// A categorical distribution interpolated over model time t (years since
+/// 2006).
+class CategoricalTrend {
+ public:
+  /// anchors_t: ascending times; shares[c][j]: share of category c at
+  /// anchors_t[j]. Shares may not sum to exactly 1 (the paper's tables are
+  /// rounded); they are normalized at evaluation.
+  CategoricalTrend(std::vector<double> anchors_t,
+                   std::vector<std::vector<double>> shares);
+
+  /// Normalized pmf at time t.
+  std::vector<double> pmf(double t) const;
+
+  /// Samples a category index at time t.
+  std::size_t sample(double t, util::Rng& rng) const;
+
+  std::size_t category_count() const noexcept { return shares_.size(); }
+
+ private:
+  std::vector<double> anchors_t_;
+  std::vector<std::vector<double>> shares_;
+};
+
+/// Table I: CPU family shares, anchored at Jan 1 of 2006..2010, indexed by
+/// trace::CpuFamily.
+const CategoricalTrend& cpu_family_trend();
+
+/// Table II: OS shares, anchored at Jan 1 of 2006..2010, indexed by
+/// trace::OsFamily.
+const CategoricalTrend& os_family_trend();
+
+/// Table VII: GPU type shares among GPU-equipped hosts, anchored at
+/// Sep 2009 and Sep 2010. Index 0 = GeForce ... 3 = Other (i.e. the
+/// trace::GpuType value minus one).
+const CategoricalTrend& gpu_type_trend();
+
+/// Fraction of active hosts reporting a GPU: 12.7% at Sep 2009 rising to
+/// 23.8% at Sep 2010 (clamped to [0, 0.5] outside; 0 before reporting
+/// began in a practical sense for hosts created much earlier).
+double gpu_adoption_fraction(double t) noexcept;
+
+/// Fig 10: GPU memory pmf over {128,256,512,768,1024,1536,2048} MB,
+/// interpolated between the Sep 2009 and Sep 2010 anchors (calibrated to
+/// the paper's mean 592.7 -> 659.4 MB, median 512 MB, and the 19% -> 31%
+/// jump in >= 1 GB cards).
+const std::vector<double>& gpu_memory_values_mb();
+std::vector<double> gpu_memory_pmf(double t);
+
+}  // namespace resmodel::synth

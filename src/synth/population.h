@@ -1,0 +1,31 @@
+// Ground-truth population generation — the stand-in for the SETI@home
+// trace. See population_config.h for the modelling choices.
+#pragma once
+
+#include "core/host_generator.h"
+#include "synth/population_config.h"
+#include "trace/trace_store.h"
+#include "util/rng.h"
+
+namespace resmodel::synth {
+
+/// Generates the full synthetic trace for the configured window.
+/// Deterministic for a fixed config (including seed).
+trace::TraceStore generate_population(const PopulationConfig& config);
+
+/// Samples a Poisson variate (Knuth's method for small means, normal
+/// approximation above 30). Exposed for tests.
+std::uint64_t sample_poisson(util::Rng& rng, double mean);
+
+/// Samples one host created at `created` according to the config.
+/// Exposed so the BOINC substrate can create clients with the same
+/// hardware population.
+trace::HostRecord sample_host(const PopulationConfig& config,
+                              const core::HostGenerator& generator,
+                              util::ModelDate created, std::uint64_t id,
+                              util::Rng& rng);
+
+/// The date-dependent Weibull lifetime scale lambda(t).
+double lifetime_lambda(const PopulationConfig& config, double t) noexcept;
+
+}  // namespace resmodel::synth

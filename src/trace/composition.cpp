@@ -1,0 +1,90 @@
+#include "trace/composition.h"
+
+namespace resmodel::trace {
+
+namespace {
+
+template <typename CountFn>
+CompositionTable build_table(const std::vector<util::ModelDate>& dates,
+                             int category_count, CountFn&& count_fn,
+                             const std::vector<std::string>& names) {
+  CompositionTable table;
+  table.categories = names;
+  table.dates = dates;
+  table.shares.assign(static_cast<std::size_t>(category_count),
+                      std::vector<double>(dates.size(), 0.0));
+  for (std::size_t c = 0; c < dates.size(); ++c) {
+    const std::vector<std::size_t> counts = count_fn(dates[c]);
+    std::size_t total = 0;
+    for (std::size_t v : counts) total += v;
+    if (total == 0) continue;
+    for (std::size_t r = 0; r < counts.size(); ++r) {
+      table.shares[r][c] =
+          static_cast<double>(counts[r]) / static_cast<double>(total);
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+CompositionTable cpu_composition(const TraceStore& store,
+                                 const std::vector<util::ModelDate>& dates) {
+  std::vector<std::string> names;
+  names.reserve(kCpuFamilyCount);
+  for (int i = 0; i < kCpuFamilyCount; ++i) {
+    names.push_back(to_string(static_cast<CpuFamily>(i)));
+  }
+  return build_table(
+      dates, kCpuFamilyCount,
+      [&store](util::ModelDate d) { return store.cpu_family_counts(d); },
+      names);
+}
+
+CompositionTable os_composition(const TraceStore& store,
+                                const std::vector<util::ModelDate>& dates) {
+  std::vector<std::string> names;
+  names.reserve(kOsFamilyCount);
+  for (int i = 0; i < kOsFamilyCount; ++i) {
+    names.push_back(to_string(static_cast<OsFamily>(i)));
+  }
+  return build_table(
+      dates, kOsFamilyCount,
+      [&store](util::ModelDate d) { return store.os_family_counts(d); },
+      names);
+}
+
+GpuComposition gpu_composition(const TraceStore& store,
+                               const std::vector<util::ModelDate>& dates) {
+  GpuComposition out;
+  // Type shares among GPU-equipped hosts: drop the kNone row by counting
+  // only GPU types 1..4.
+  std::vector<std::string> names;
+  for (int i = 1; i < kGpuTypeCount; ++i) {
+    names.push_back(to_string(static_cast<GpuType>(i)));
+  }
+  out.types.categories = names;
+  out.types.dates = dates;
+  out.types.shares.assign(names.size(),
+                          std::vector<double>(dates.size(), 0.0));
+  out.gpu_host_fraction.assign(dates.size(), 0.0);
+
+  for (std::size_t c = 0; c < dates.size(); ++c) {
+    const std::vector<std::size_t> counts = store.gpu_type_counts(dates[c]);
+    std::size_t total_active = 0;
+    for (std::size_t v : counts) total_active += v;
+    std::size_t gpu_hosts = total_active - counts[0];  // minus kNone
+    if (total_active > 0) {
+      out.gpu_host_fraction[c] = static_cast<double>(gpu_hosts) /
+                                 static_cast<double>(total_active);
+    }
+    if (gpu_hosts == 0) continue;
+    for (std::size_t r = 1; r < counts.size(); ++r) {
+      out.types.shares[r - 1][c] =
+          static_cast<double>(counts[r]) / static_cast<double>(gpu_hosts);
+    }
+  }
+  return out;
+}
+
+}  // namespace resmodel::trace

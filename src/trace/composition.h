@@ -1,0 +1,38 @@
+// Categorical composition tables over time (Tables I, II and VII).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_store.h"
+#include "util/model_date.h"
+
+namespace resmodel::trace {
+
+/// Share-by-category for a sequence of dates: row r = category r,
+/// column c = share (fraction of the relevant population) at dates[c].
+struct CompositionTable {
+  std::vector<std::string> categories;
+  std::vector<util::ModelDate> dates;
+  /// shares[r][c]; each column sums to ~1 over categories (0 if empty).
+  std::vector<std::vector<double>> shares;
+};
+
+/// CPU-family shares among active hosts at each date (Table I).
+CompositionTable cpu_composition(const TraceStore& store,
+                                 const std::vector<util::ModelDate>& dates);
+
+/// OS shares among active hosts at each date (Table II).
+CompositionTable os_composition(const TraceStore& store,
+                                const std::vector<util::ModelDate>& dates);
+
+/// GPU-type shares *among GPU-equipped active hosts* at each date
+/// (Table VII), plus the fraction of all active hosts reporting a GPU.
+struct GpuComposition {
+  CompositionTable types;                 ///< GeForce/Radeon/Quadro/Other
+  std::vector<double> gpu_host_fraction;  ///< per date, over all active hosts
+};
+GpuComposition gpu_composition(const TraceStore& store,
+                               const std::vector<util::ModelDate>& dates);
+
+}  // namespace resmodel::trace

@@ -1,0 +1,120 @@
+#include "trace/csv_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace resmodel::trace {
+
+namespace {
+
+const std::vector<std::string> kHeader = {
+    "id",          "created_day", "last_contact_day", "n_cores",
+    "memory_mb",   "dhrystone",   "whetstone",        "disk_avail_gb",
+    "disk_total_gb", "cpu",       "os",               "gpu",
+    "gpu_memory_mb"};
+
+double parse_double(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    throw std::runtime_error(std::string("trace csv: bad ") + what + ": '" +
+                             s + "'");
+  }
+  return v;
+}
+
+long long parse_int(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    throw std::runtime_error(std::string("trace csv: bad ") + what + ": '" +
+                             s + "'");
+  }
+  return v;
+}
+
+template <typename Enum>
+Enum parse_enum(const std::string& s, int count, const char* what) {
+  const long long v = parse_int(s, what);
+  if (v < 0 || v >= count) {
+    throw std::runtime_error(std::string("trace csv: out-of-range ") + what +
+                             ": '" + s + "'");
+  }
+  return static_cast<Enum>(v);
+}
+
+}  // namespace
+
+void write_csv(const TraceStore& store, std::ostream& out) {
+  util::CsvWriter writer(out);
+  writer.write_row(kHeader);
+  for (const HostRecord& h : store.hosts()) {
+    writer.write_row({
+        util::CsvWriter::field(static_cast<long long>(h.id)),
+        util::CsvWriter::field(static_cast<long long>(h.created_day)),
+        util::CsvWriter::field(static_cast<long long>(h.last_contact_day)),
+        util::CsvWriter::field(static_cast<long long>(h.n_cores)),
+        util::CsvWriter::field(h.memory_mb),
+        util::CsvWriter::field(h.dhrystone_mips),
+        util::CsvWriter::field(h.whetstone_mips),
+        util::CsvWriter::field(h.disk_avail_gb),
+        util::CsvWriter::field(h.disk_total_gb),
+        util::CsvWriter::field(static_cast<long long>(h.cpu)),
+        util::CsvWriter::field(static_cast<long long>(h.os)),
+        util::CsvWriter::field(static_cast<long long>(h.gpu)),
+        util::CsvWriter::field(h.gpu_memory_mb),
+    });
+  }
+}
+
+void write_csv_file(const TraceStore& store, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("trace csv: cannot open for writing: " + path);
+  }
+  write_csv(store, out);
+}
+
+TraceStore read_csv(std::istream& in) {
+  util::CsvReader reader(in);
+  util::CsvRow row;
+  if (!reader.read_row(row) || row != kHeader) {
+    throw std::runtime_error("trace csv: missing or wrong header");
+  }
+  TraceStore store;
+  while (reader.read_row(row)) {
+    if (row.size() != kHeader.size()) {
+      throw std::runtime_error("trace csv: wrong field count");
+    }
+    HostRecord h;
+    h.id = static_cast<std::uint64_t>(parse_int(row[0], "id"));
+    h.created_day = static_cast<std::int32_t>(parse_int(row[1], "created_day"));
+    h.last_contact_day =
+        static_cast<std::int32_t>(parse_int(row[2], "last_contact_day"));
+    h.n_cores = static_cast<std::int32_t>(parse_int(row[3], "n_cores"));
+    h.memory_mb = parse_double(row[4], "memory_mb");
+    h.dhrystone_mips = parse_double(row[5], "dhrystone");
+    h.whetstone_mips = parse_double(row[6], "whetstone");
+    h.disk_avail_gb = parse_double(row[7], "disk_avail_gb");
+    h.disk_total_gb = parse_double(row[8], "disk_total_gb");
+    h.cpu = parse_enum<CpuFamily>(row[9], kCpuFamilyCount, "cpu");
+    h.os = parse_enum<OsFamily>(row[10], kOsFamilyCount, "os");
+    h.gpu = parse_enum<GpuType>(row[11], kGpuTypeCount, "gpu");
+    h.gpu_memory_mb = parse_double(row[12], "gpu_memory_mb");
+    store.add(h);
+  }
+  return store;
+}
+
+TraceStore read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("trace csv: cannot open for reading: " + path);
+  }
+  return read_csv(in);
+}
+
+}  // namespace resmodel::trace

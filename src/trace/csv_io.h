@@ -1,0 +1,22 @@
+// Trace persistence: the BOINC server "periodically writes host data to
+// publicly available files" (Section IV). This is that file format — one
+// CSV row per host, stable column order, round-trip exact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace_store.h"
+
+namespace resmodel::trace {
+
+/// Writes the full store (header + one row per host).
+void write_csv(const TraceStore& store, std::ostream& out);
+void write_csv_file(const TraceStore& store, const std::string& path);
+
+/// Reads a trace written by write_csv. Throws std::runtime_error on
+/// malformed input (wrong header, bad field counts, unparsable numbers).
+TraceStore read_csv(std::istream& in);
+TraceStore read_csv_file(const std::string& path);
+
+}  // namespace resmodel::trace

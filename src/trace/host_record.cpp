@@ -1,0 +1,59 @@
+#include "trace/host_record.h"
+
+namespace resmodel::trace {
+
+std::string to_string(CpuFamily f) {
+  switch (f) {
+    case CpuFamily::kPowerPc: return "PowerPC G3/G4/G5";
+    case CpuFamily::kAthlonXp: return "Athlon XP";
+    case CpuFamily::kAthlon64: return "Athlon 64";
+    case CpuFamily::kOtherAmd: return "Other AMD";
+    case CpuFamily::kPentium4: return "Pentium 4";
+    case CpuFamily::kPentiumM: return "Pentium M";
+    case CpuFamily::kPentiumD: return "Pentium D";
+    case CpuFamily::kOtherPentium: return "Other Pentium";
+    case CpuFamily::kIntelCore2: return "Intel Core 2";
+    case CpuFamily::kIntelCeleron: return "Intel Celeron";
+    case CpuFamily::kIntelXeon: return "Intel Xeon";
+    case CpuFamily::kOtherX86: return "Other x86";
+    case CpuFamily::kOther: return "Other";
+  }
+  return "Other";
+}
+
+std::string to_string(OsFamily f) {
+  switch (f) {
+    case OsFamily::kWindowsXp: return "Windows XP";
+    case OsFamily::kWindowsVista: return "Windows Vista";
+    case OsFamily::kWindows7: return "Windows 7";
+    case OsFamily::kWindows2000: return "Windows 2000";
+    case OsFamily::kOtherWindows: return "Other Windows";
+    case OsFamily::kMacOsX: return "Mac OS X";
+    case OsFamily::kLinux: return "Linux";
+    case OsFamily::kOther: return "Other";
+  }
+  return "Other";
+}
+
+std::string to_string(GpuType f) {
+  switch (f) {
+    case GpuType::kNone: return "None";
+    case GpuType::kGeForce: return "GeForce";
+    case GpuType::kRadeon: return "Radeon";
+    case GpuType::kQuadro: return "Quadro";
+    case GpuType::kOther: return "Other";
+  }
+  return "Other";
+}
+
+bool is_plausible(const HostRecord& host) noexcept {
+  if (host.n_cores <= 0 || host.n_cores > 128) return false;
+  if (!(host.whetstone_mips > 0.0) || host.whetstone_mips > 1e5) return false;
+  if (!(host.dhrystone_mips > 0.0) || host.dhrystone_mips > 1e5) return false;
+  if (!(host.memory_mb > 0.0) || host.memory_mb > 100.0 * 1024.0) return false;
+  if (!(host.disk_avail_gb > 0.0) || host.disk_avail_gb > 1e4) return false;
+  if (host.last_contact_day < host.created_day) return false;
+  return true;
+}
+
+}  // namespace resmodel::trace

@@ -1,0 +1,100 @@
+// The per-host trace schema (Section IV of the paper).
+//
+// Each record is one host as the BOINC server sees it: static hardware
+// measurements plus first/last contact days. Day indices are relative to
+// 2006-01-01 (util::ModelDate); hosts created before the measurement window
+// carry negative creation days.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace resmodel::trace {
+
+/// Processor families tracked in Table I.
+enum class CpuFamily : std::uint8_t {
+  kPowerPc,       // PowerPC G3/G4/G5
+  kAthlonXp,
+  kAthlon64,
+  kOtherAmd,
+  kPentium4,
+  kPentiumM,
+  kPentiumD,
+  kOtherPentium,
+  kIntelCore2,
+  kIntelCeleron,
+  kIntelXeon,
+  kOtherX86,
+  kOther,
+};
+inline constexpr int kCpuFamilyCount = 13;
+
+/// Operating systems tracked in Table II.
+enum class OsFamily : std::uint8_t {
+  kWindowsXp,
+  kWindowsVista,
+  kWindows7,
+  kWindows2000,
+  kOtherWindows,
+  kMacOsX,
+  kLinux,
+  kOther,
+};
+inline constexpr int kOsFamilyCount = 8;
+
+/// GPU vendors tracked in Table VII. kNone means the host reported no GPU
+/// (or predates GPU reporting, which began September 2009).
+enum class GpuType : std::uint8_t {
+  kNone,
+  kGeForce,
+  kRadeon,
+  kQuadro,
+  kOther,
+};
+inline constexpr int kGpuTypeCount = 5;
+
+std::string to_string(CpuFamily f);
+std::string to_string(OsFamily f);
+std::string to_string(GpuType f);
+
+/// One host in the trace.
+struct HostRecord {
+  std::uint64_t id = 0;
+  std::int32_t created_day = 0;       ///< first server contact
+  std::int32_t last_contact_day = 0;  ///< most recent server contact
+
+  std::int32_t n_cores = 1;      ///< primary processing cores (no GPU cores)
+  double memory_mb = 0.0;        ///< volatile memory
+  double dhrystone_mips = 0.0;   ///< integer speed, per core
+  double whetstone_mips = 0.0;   ///< floating point speed, per core
+  double disk_avail_gb = 0.0;    ///< unused space visible to the client
+  double disk_total_gb = 0.0;    ///< total space visible to the client
+
+  CpuFamily cpu = CpuFamily::kOther;
+  OsFamily os = OsFamily::kOther;
+  GpuType gpu = GpuType::kNone;
+  double gpu_memory_mb = 0.0;  ///< 0 when gpu == kNone
+
+  /// Active at day T: first contact strictly before T, last contact after T
+  /// (Section V-A's definition, with day granularity).
+  bool active_at(std::int32_t day) const noexcept {
+    return created_day <= day && last_contact_day >= day;
+  }
+
+  /// Lifetime in days: time between first and last contact.
+  std::int32_t lifetime_days() const noexcept {
+    return last_contact_day - created_day;
+  }
+
+  double memory_per_core_mb() const noexcept {
+    return n_cores > 0 ? memory_mb / n_cores : 0.0;
+  }
+};
+
+/// The paper's §V-B plausibility thresholds: hosts reporting more than
+/// 128 cores, 1e5 Whetstone MIPS, 1e5 Dhrystone MIPS, 100 GB of memory or
+/// 1e4 GB of available disk are discarded (0.12% of their data set).
+/// Non-positive resource values are also invalid.
+bool is_plausible(const HostRecord& host) noexcept;
+
+}  // namespace resmodel::trace

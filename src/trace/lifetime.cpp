@@ -1,0 +1,49 @@
+#include "trace/lifetime.h"
+
+namespace resmodel::trace {
+
+std::vector<double> host_lifetimes(const TraceStore& store,
+                                   util::ModelDate cutoff) {
+  std::vector<double> out;
+  out.reserve(store.size());
+  const std::int32_t cutoff_day = cutoff.day_index();
+  for (const HostRecord& h : store.hosts()) {
+    if (h.created_day > cutoff_day) continue;
+    out.push_back(static_cast<double>(h.lifetime_days()));
+  }
+  return out;
+}
+
+std::vector<CreationLifetimeBin> creation_date_vs_lifetime(
+    const TraceStore& store, util::ModelDate from, util::ModelDate to,
+    int bin_days, util::ModelDate cutoff) {
+  std::vector<CreationLifetimeBin> bins;
+  for (util::ModelDate start = from; start < to;
+       start = start.plus_days(bin_days)) {
+    CreationLifetimeBin bin;
+    bin.start = start;
+    bin.end = start.plus_days(bin_days);
+    bins.push_back(bin);
+  }
+  const std::int32_t from_day = from.day_index();
+  const std::int32_t cutoff_day = cutoff.day_index();
+  std::vector<double> sums(bins.size(), 0.0);
+  for (const HostRecord& h : store.hosts()) {
+    if (h.created_day > cutoff_day) continue;
+    if (h.created_day < from_day) continue;
+    const auto idx = static_cast<std::size_t>((h.created_day - from_day) /
+                                              bin_days);
+    if (idx >= bins.size()) continue;
+    ++bins[idx].host_count;
+    sums[idx] += static_cast<double>(h.lifetime_days());
+  }
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if (bins[i].host_count > 0) {
+      bins[i].mean_lifetime_days =
+          sums[i] / static_cast<double>(bins[i].host_count);
+    }
+  }
+  return bins;
+}
+
+}  // namespace resmodel::trace

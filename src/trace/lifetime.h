@@ -1,0 +1,33 @@
+// Host lifetime analysis (Figures 1 and 3 of the paper).
+#pragma once
+
+#include <vector>
+
+#include "trace/trace_store.h"
+#include "util/model_date.h"
+
+namespace resmodel::trace {
+
+/// Lifetimes (days) of all hosts created on or before `cutoff`.
+/// The paper excludes hosts that connected after July 1, 2010 to avoid
+/// biasing toward short lifetimes; pass that date as the cutoff.
+std::vector<double> host_lifetimes(const TraceStore& store,
+                                   util::ModelDate cutoff);
+
+/// One bin of the Figure-3 analysis: hosts created in [start, end) and
+/// their mean lifetime.
+struct CreationLifetimeBin {
+  util::ModelDate start;
+  util::ModelDate end;
+  std::size_t host_count = 0;
+  double mean_lifetime_days = 0.0;
+};
+
+/// Bins hosts by creation date (bins of `bin_days`, spanning [from, to))
+/// and reports the mean lifetime per bin. Hosts created after `cutoff`
+/// are excluded, mirroring host_lifetimes().
+std::vector<CreationLifetimeBin> creation_date_vs_lifetime(
+    const TraceStore& store, util::ModelDate from, util::ModelDate to,
+    int bin_days, util::ModelDate cutoff);
+
+}  // namespace resmodel::trace

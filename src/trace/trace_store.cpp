@@ -1,0 +1,90 @@
+#include "trace/trace_store.h"
+
+#include <algorithm>
+
+namespace resmodel::trace {
+
+std::size_t TraceStore::discard_implausible() {
+  const std::size_t before = hosts_.size();
+  std::erase_if(hosts_,
+                [](const HostRecord& h) { return !is_plausible(h); });
+  return before - hosts_.size();
+}
+
+std::size_t TraceStore::active_count(util::ModelDate date) const noexcept {
+  const std::int32_t day = date.day_index();
+  std::size_t n = 0;
+  for (const HostRecord& h : hosts_) {
+    if (h.active_at(day)) ++n;
+  }
+  return n;
+}
+
+std::vector<std::size_t> TraceStore::active_indices(
+    util::ModelDate date) const {
+  const std::int32_t day = date.day_index();
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (hosts_[i].active_at(day)) out.push_back(i);
+  }
+  return out;
+}
+
+ResourceSnapshot TraceStore::snapshot(util::ModelDate date) const {
+  const std::int32_t day = date.day_index();
+  ResourceSnapshot snap;
+  for (const HostRecord& h : hosts_) {
+    if (!h.active_at(day)) continue;
+    snap.cores.push_back(static_cast<double>(h.n_cores));
+    snap.memory_mb.push_back(h.memory_mb);
+    snap.memory_per_core_mb.push_back(h.memory_per_core_mb());
+    snap.whetstone_mips.push_back(h.whetstone_mips);
+    snap.dhrystone_mips.push_back(h.dhrystone_mips);
+    snap.disk_avail_gb.push_back(h.disk_avail_gb);
+  }
+  return snap;
+}
+
+std::vector<std::size_t> TraceStore::cpu_family_counts(
+    util::ModelDate date) const {
+  const std::int32_t day = date.day_index();
+  std::vector<std::size_t> counts(kCpuFamilyCount, 0);
+  for (const HostRecord& h : hosts_) {
+    if (h.active_at(day)) ++counts[static_cast<std::size_t>(h.cpu)];
+  }
+  return counts;
+}
+
+std::vector<std::size_t> TraceStore::os_family_counts(
+    util::ModelDate date) const {
+  const std::int32_t day = date.day_index();
+  std::vector<std::size_t> counts(kOsFamilyCount, 0);
+  for (const HostRecord& h : hosts_) {
+    if (h.active_at(day)) ++counts[static_cast<std::size_t>(h.os)];
+  }
+  return counts;
+}
+
+std::vector<std::size_t> TraceStore::gpu_type_counts(
+    util::ModelDate date) const {
+  const std::int32_t day = date.day_index();
+  std::vector<std::size_t> counts(kGpuTypeCount, 0);
+  for (const HostRecord& h : hosts_) {
+    if (h.active_at(day)) ++counts[static_cast<std::size_t>(h.gpu)];
+  }
+  return counts;
+}
+
+std::vector<double> TraceStore::gpu_memory_snapshot(
+    util::ModelDate date) const {
+  const std::int32_t day = date.day_index();
+  std::vector<double> out;
+  for (const HostRecord& h : hosts_) {
+    if (h.active_at(day) && h.gpu != GpuType::kNone) {
+      out.push_back(h.gpu_memory_mb);
+    }
+  }
+  return out;
+}
+
+}  // namespace resmodel::trace

@@ -1,0 +1,65 @@
+// In-memory host trace with the snapshot queries every experiment uses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/host_record.h"
+#include "util/model_date.h"
+
+namespace resmodel::trace {
+
+/// The per-resource column vectors of one point-in-time snapshot. Index i
+/// across all vectors refers to the same host.
+struct ResourceSnapshot {
+  std::vector<double> cores;
+  std::vector<double> memory_mb;
+  std::vector<double> memory_per_core_mb;
+  std::vector<double> whetstone_mips;
+  std::vector<double> dhrystone_mips;
+  std::vector<double> disk_avail_gb;
+
+  std::size_t size() const noexcept { return cores.size(); }
+};
+
+/// Owning container of HostRecords plus snapshot/composition queries.
+class TraceStore {
+ public:
+  TraceStore() = default;
+
+  void add(HostRecord host) { hosts_.push_back(host); }
+  void reserve(std::size_t n) { hosts_.reserve(n); }
+
+  std::size_t size() const noexcept { return hosts_.size(); }
+  bool empty() const noexcept { return hosts_.empty(); }
+  std::span<const HostRecord> hosts() const noexcept { return hosts_; }
+  const HostRecord& host(std::size_t i) const { return hosts_.at(i); }
+
+  /// Removes records failing is_plausible(); returns how many were removed
+  /// (the paper discarded 3361 hosts, 0.12% of its data set).
+  std::size_t discard_implausible();
+
+  /// Number of hosts active at the given date.
+  std::size_t active_count(util::ModelDate date) const noexcept;
+
+  /// Indices of hosts active at the given date.
+  std::vector<std::size_t> active_indices(util::ModelDate date) const;
+
+  /// Resource columns of all hosts active at the given date.
+  ResourceSnapshot snapshot(util::ModelDate date) const;
+
+  /// Counts of active hosts per CPU family / OS / GPU type at a date.
+  /// Indexable by static_cast<size_t>(enum value).
+  std::vector<std::size_t> cpu_family_counts(util::ModelDate date) const;
+  std::vector<std::size_t> os_family_counts(util::ModelDate date) const;
+  std::vector<std::size_t> gpu_type_counts(util::ModelDate date) const;
+
+  /// GPU memory (MB) of active GPU-equipped hosts at a date.
+  std::vector<double> gpu_memory_snapshot(util::ModelDate date) const;
+
+ private:
+  std::vector<HostRecord> hosts_;
+};
+
+}  // namespace resmodel::trace

@@ -1,0 +1,123 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace resmodel::util {
+
+namespace {
+constexpr char kGlyphs[] = "*o+x#@%&";
+}
+
+AsciiChart::AsciiChart(std::string title, std::vector<double> x)
+    : title_(std::move(title)), x_(std::move(x)) {
+  if (x_.empty()) throw std::invalid_argument("AsciiChart: empty x grid");
+}
+
+void AsciiChart::add_series(Series s) {
+  if (s.y.size() != x_.size()) {
+    throw std::invalid_argument("AsciiChart: series length mismatch");
+  }
+  series_.push_back(std::move(s));
+}
+
+void AsciiChart::set_y_range(double lo, double hi) noexcept {
+  fixed_range_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+void AsciiChart::print(std::ostream& out, int width, int height) const {
+  double lo = y_lo_, hi = y_hi_;
+  if (!fixed_range_) {
+    lo = std::numeric_limits<double>::infinity();
+    hi = -lo;
+    for (const Series& s : series_) {
+      for (double v : s.y) {
+        if (log_y_ && v <= 0) continue;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (!(lo < hi)) {
+      lo = lo - 1.0;
+      hi = hi + 1.0;
+    }
+  }
+  const auto transform = [&](double v) { return log_y_ ? std::log10(v) : v; };
+  const double tlo = transform(lo), thi = transform(hi);
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  const double x_min = x_.front(), x_max = x_.back();
+  const double x_span = (x_max > x_min) ? (x_max - x_min) : 1.0;
+
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    for (std::size_t i = 0; i < x_.size(); ++i) {
+      const double v = series_[si].y[i];
+      if (log_y_ && v <= 0) continue;
+      const double ty = transform(v);
+      if (ty < tlo || ty > thi) continue;
+      const int col = static_cast<int>(
+          std::lround((x_[i] - x_min) / x_span * (width - 1)));
+      const int row = static_cast<int>(
+          std::lround((thi - ty) / (thi - tlo) * (height - 1)));
+      if (col >= 0 && col < width && row >= 0 && row < height) {
+        grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+            glyph;
+      }
+    }
+  }
+
+  out << title_ << '\n';
+  char label[32];
+  for (int r = 0; r < height; ++r) {
+    if (r == 0 || r == height - 1) {
+      const double ty = thi - (thi - tlo) * r / (height - 1);
+      const double v = log_y_ ? std::pow(10.0, ty) : ty;
+      std::snprintf(label, sizeof(label), "%10.4g |", v);
+    } else {
+      std::snprintf(label, sizeof(label), "%10s |", "");
+    }
+    out << label << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(width), '-')
+      << '\n';
+  std::snprintf(label, sizeof(label), "%-10.6g", x_min);
+  out << std::string(12, ' ') << label;
+  std::snprintf(label, sizeof(label), "%10.6g", x_max);
+  out << std::string(static_cast<std::size_t>(std::max(0, width - 22)), ' ')
+      << label << '\n';
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    out << "  " << kGlyphs[si % (sizeof(kGlyphs) - 1)] << " = "
+        << series_[si].name << '\n';
+  }
+}
+
+void print_bar_chart(std::ostream& out, const std::string& title,
+                     const std::vector<std::pair<std::string, double>>& bars,
+                     int max_width) {
+  out << title << '\n';
+  double max_v = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : bars) {
+    max_v = std::max(max_v, v);
+    label_w = std::max(label_w, label.size());
+  }
+  if (max_v <= 0) max_v = 1.0;
+  for (const auto& [label, v] : bars) {
+    const int n = static_cast<int>(std::lround(v / max_v * max_width));
+    out << "  " << label << std::string(label_w - label.size(), ' ') << " | "
+        << std::string(static_cast<std::size_t>(std::max(0, n)), '#') << ' ';
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+    out << buf << '\n';
+  }
+}
+
+}  // namespace resmodel::util

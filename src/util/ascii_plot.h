@@ -1,0 +1,52 @@
+// ASCII renderings of the paper's figures.
+//
+// The bench binaries must "print the same rows/series the paper reports".
+// For figures, each bench prints both the underlying numeric series (CSV-ish
+// rows, machine-readable) and a quick ASCII chart so the shape — growth,
+// crossover, spread — is visible in a terminal.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace resmodel::util {
+
+/// One named series on a shared x grid.
+struct Series {
+  std::string name;
+  std::vector<double> y;  ///< same length as the plot's x grid
+};
+
+/// A simple multi-series line chart rendered with per-series glyphs.
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::vector<double> x);
+
+  /// Adds a series. Length must match the x grid.
+  void add_series(Series s);
+
+  /// If set, the y axis is log10-scaled (all values must be > 0).
+  void set_log_y(bool log_y) noexcept { log_y_ = log_y; }
+
+  /// Fixes the y range; by default it spans the data.
+  void set_y_range(double lo, double hi) noexcept;
+
+  void print(std::ostream& out, int width = 72, int height = 20) const;
+
+ private:
+  std::string title_;
+  std::vector<double> x_;
+  std::vector<Series> series_;
+  bool log_y_ = false;
+  bool fixed_range_ = false;
+  double y_lo_ = 0.0;
+  double y_hi_ = 1.0;
+};
+
+/// Horizontal bar histogram: one labelled bar per bin, scaled to max width.
+void print_bar_chart(std::ostream& out, const std::string& title,
+                     const std::vector<std::pair<std::string, double>>& bars,
+                     int max_width = 50);
+
+}  // namespace resmodel::util

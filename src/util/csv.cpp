@@ -1,0 +1,110 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace resmodel::util {
+
+namespace {
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void write_field(std::ostream& out, const std::string& s) {
+  if (!needs_quoting(s)) {
+    out << s;
+    return;
+  }
+  out << '"';
+  for (const char c : s) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void CsvWriter::write_row(const CsvRow& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    write_field(*out_, fields[i]);
+  }
+  *out_ << '\n';
+}
+
+std::string CsvWriter::field(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string CsvWriter::field(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+bool CsvReader::read_row(CsvRow& row) {
+  row.clear();
+  std::string field;
+  bool in_quotes = false;
+  bool started = false;  // saw at least one character or delimiter
+  int c = 0;
+  while ((c = in_->get()) != std::char_traits<char>::eof()) {
+    started = true;
+    if (in_quotes) {
+      if (c == '"') {
+        const int peek = in_->peek();
+        if (peek == '"') {
+          in_->get();
+          field.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(static_cast<char>(c));
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          throw std::runtime_error("CsvReader: quote inside unquoted field");
+        }
+        in_quotes = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        row.push_back(std::move(field));
+        return true;
+      default:
+        field.push_back(static_cast<char>(c));
+    }
+  }
+  if (in_quotes) {
+    throw std::runtime_error("CsvReader: unterminated quoted field");
+  }
+  if (!started) return false;
+  row.push_back(std::move(field));
+  return true;
+}
+
+CsvRow parse_csv_line(const std::string& line) {
+  std::istringstream in(line);
+  CsvRow row;
+  CsvReader reader(in);
+  if (!reader.read_row(row)) row.clear();
+  return row;
+}
+
+}  // namespace resmodel::util

@@ -1,0 +1,52 @@
+// Minimal CSV reader/writer used for trace persistence and bench output.
+//
+// Supports RFC-4180-style quoting (fields containing commas, quotes or
+// newlines are double-quoted; embedded quotes are doubled). No external
+// dependencies; streams row-by-row so multi-hundred-MB traces do not need
+// to fit in memory twice.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace resmodel::util {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// Writes rows with correct quoting.
+class CsvWriter {
+ public:
+  /// Does not take ownership of the stream; it must outlive the writer.
+  explicit CsvWriter(std::ostream& out) noexcept : out_(&out) {}
+
+  void write_row(const CsvRow& fields);
+
+  /// Convenience: formats arithmetic values with enough digits to
+  /// round-trip doubles.
+  static std::string field(double v);
+  static std::string field(long long v);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Streaming reader. Handles quoted fields spanning lines.
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in) noexcept : in_(&in) {}
+
+  /// Reads the next row into `row`. Returns false at end of input.
+  /// Throws std::runtime_error on malformed quoting.
+  bool read_row(CsvRow& row);
+
+ private:
+  std::istream* in_;
+};
+
+/// Parses a single CSV line (no embedded newlines). Used in tests and for
+/// simple config files.
+CsvRow parse_csv_line(const std::string& line);
+
+}  // namespace resmodel::util

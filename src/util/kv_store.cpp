@@ -1,0 +1,130 @@
+#include "util/kv_store.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace resmodel::util {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+KvStore KvStore::parse(const std::string& text) {
+  KvStore store;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const auto eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("KvStore: missing '=' on line " +
+                               std::to_string(lineno));
+    }
+    store.append(trim(stripped.substr(0, eq)), trim(stripped.substr(eq + 1)));
+  }
+  return store;
+}
+
+std::string KvStore::serialize() const {
+  std::ostringstream out;
+  for (const auto& [key, value] : entries_) {
+    out << key << " = " << value << '\n';
+  }
+  return out.str();
+}
+
+void KvStore::set(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  entries_.emplace_back(key, value);
+}
+
+void KvStore::set(const std::string& key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  set(key, std::string(buf));
+}
+
+void KvStore::set(const std::string& key, long long value) {
+  set(key, std::to_string(value));
+}
+
+void KvStore::append(const std::string& key, const std::string& value) {
+  entries_.emplace_back(key, value);
+}
+
+bool KvStore::contains(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const std::string& KvStore::get(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return v;
+  }
+  throw std::out_of_range("KvStore: missing key '" + key + "'");
+}
+
+double KvStore::get_double(const std::string& key) const {
+  const std::string& s = get(key);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    throw std::runtime_error("KvStore: key '" + key + "' is not a number: '" +
+                             s + "'");
+  }
+  return v;
+}
+
+long long KvStore::get_int(const std::string& key) const {
+  const std::string& s = get(key);
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    throw std::runtime_error("KvStore: key '" + key +
+                             "' is not an integer: '" + s + "'");
+  }
+  return v;
+}
+
+std::vector<std::string> KvStore::get_all(const std::string& key) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : entries_) {
+    if (k == key) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::string> KvStore::keys() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : entries_) {
+    bool seen = false;
+    for (const std::string& existing : out) {
+      if (existing == k) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace resmodel::util

@@ -1,0 +1,52 @@
+// Flat key-value text serialization for model parameters.
+//
+// ModelParams round-trips through a human-diffable "key = value" format
+// (one entry per line, '#' comments, repeated keys form ordered lists).
+// This is what the paper's public "tool for automated model generation"
+// would emit, and what examples/ consume.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace resmodel::util {
+
+/// Ordered multimap of string keys to string values with typed accessors.
+class KvStore {
+ public:
+  KvStore() = default;
+
+  /// Parses "key = value" lines. Blank lines and '#' comments are skipped.
+  /// Throws std::runtime_error on lines without '='.
+  static KvStore parse(const std::string& text);
+
+  /// Serializes in insertion order.
+  std::string serialize() const;
+
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, double value);
+  void set(const std::string& key, long long value);
+
+  /// Appends a value under a (possibly repeated) key.
+  void append(const std::string& key, const std::string& value);
+
+  bool contains(const std::string& key) const;
+
+  /// Typed getters. Throw std::out_of_range if missing,
+  /// std::runtime_error if unparsable.
+  const std::string& get(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  long long get_int(const std::string& key) const;
+
+  /// All values stored under `key`, in insertion order.
+  std::vector<std::string> get_all(const std::string& key) const;
+
+  /// All keys in first-insertion order (each listed once).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace resmodel::util

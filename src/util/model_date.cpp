@@ -1,0 +1,121 @@
+#include "util/model_date.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace resmodel::util {
+
+namespace {
+
+constexpr int kEpochYear = 2006;
+
+int days_in_year(int y) noexcept { return is_leap_year(y) ? 366 : 365; }
+
+// Day index (relative to 2006-01-01) of January 1 of year y.
+int year_start_day(int y) noexcept {
+  int day = 0;
+  if (y >= kEpochYear) {
+    for (int yy = kEpochYear; yy < y; ++yy) day += days_in_year(yy);
+  } else {
+    for (int yy = y; yy < kEpochYear; ++yy) day -= days_in_year(yy);
+  }
+  return day;
+}
+
+}  // namespace
+
+bool is_leap_year(int y) noexcept {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+int days_in_month(int y, int m) noexcept {
+  static constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (m == 2 && is_leap_year(y)) return 29;
+  return kDays[static_cast<std::size_t>(m - 1)];
+}
+
+ModelDate ModelDate::from_day_index(int day) noexcept { return ModelDate(day); }
+
+ModelDate ModelDate::from_year(double year) noexcept {
+  const int whole = static_cast<int>(std::floor(year));
+  const double frac = year - whole;
+  const int day =
+      year_start_day(whole) +
+      static_cast<int>(std::lround(frac * days_in_year(whole)));
+  return ModelDate(day);
+}
+
+ModelDate ModelDate::from_ymd(int year, int month, int day) {
+  if (month < 1 || month > 12) {
+    throw std::invalid_argument("ModelDate: month out of range");
+  }
+  if (day < 1 || day > days_in_month(year, month)) {
+    throw std::invalid_argument("ModelDate: day out of range");
+  }
+  int index = year_start_day(year);
+  for (int m = 1; m < month; ++m) index += days_in_month(year, m);
+  index += day - 1;
+  return ModelDate(index);
+}
+
+ModelDate ModelDate::parse(const std::string& iso) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(iso.c_str(), "%d-%d-%d", &y, &m, &d) != 3) {
+    throw std::invalid_argument("ModelDate: expected YYYY-MM-DD, got '" + iso +
+                                "'");
+  }
+  return from_ymd(y, m, d);
+}
+
+double ModelDate::year() const noexcept {
+  // Find the calendar year containing this day index.
+  int y = kEpochYear;
+  int start = 0;
+  if (day_ >= 0) {
+    while (day_ >= start + days_in_year(y)) {
+      start += days_in_year(y);
+      ++y;
+    }
+  } else {
+    while (day_ < start) {
+      --y;
+      start -= days_in_year(y);
+    }
+  }
+  return y + static_cast<double>(day_ - start) / days_in_year(y);
+}
+
+ModelDate::Ymd ModelDate::ymd() const noexcept {
+  int y = kEpochYear;
+  int start = 0;
+  if (day_ >= 0) {
+    while (day_ >= start + days_in_year(y)) {
+      start += days_in_year(y);
+      ++y;
+    }
+  } else {
+    while (day_ < start) {
+      --y;
+      start -= days_in_year(y);
+    }
+  }
+  int rem = day_ - start;
+  int m = 1;
+  while (rem >= days_in_month(y, m)) {
+    rem -= days_in_month(y, m);
+    ++m;
+  }
+  return {y, m, rem + 1};
+}
+
+std::string ModelDate::to_string() const {
+  const Ymd c = ymd();
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+}  // namespace resmodel::util

@@ -1,0 +1,71 @@
+// Time axis for the host model.
+//
+// The paper expresses every evolution law as a * exp(b * (year - 2006)), so
+// the natural model coordinate is the fractional year. Traces, on the other
+// hand, record integer *day indices* (days since 2006-01-01, the start of
+// the measurement window). ModelDate provides exact conversions between the
+// two plus calendar (y/m/d) parsing for the dates the paper names
+// (e.g. "September 1, 2010").
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace resmodel::util {
+
+/// Epoch of the measurement window: 2006-01-01 (day 0, year 2006.0).
+class ModelDate {
+ public:
+  ModelDate() noexcept = default;
+
+  /// From a day index relative to 2006-01-01. Negative indices are allowed
+  /// (hosts created before the window).
+  static ModelDate from_day_index(int day) noexcept;
+
+  /// From a fractional year, e.g. 2010.5. Rounds to the nearest day.
+  static ModelDate from_year(double year) noexcept;
+
+  /// From a calendar date. Throws std::invalid_argument on invalid dates.
+  static ModelDate from_ymd(int year, int month, int day);
+
+  /// Parses "YYYY-MM-DD". Throws std::invalid_argument on malformed input.
+  static ModelDate parse(const std::string& iso);
+
+  int day_index() const noexcept { return day_; }
+
+  /// Fractional year, e.g. 2007.204. Uses the true length of each year
+  /// (365 or 366 days) so calendar boundaries land on integer years.
+  double year() const noexcept;
+
+  /// Years since 2006.0 — the `t` in the paper's a*e^(b t) laws.
+  double t() const noexcept { return year() - 2006.0; }
+
+  /// Calendar components.
+  struct Ymd {
+    int year;
+    int month;  // 1..12
+    int day;    // 1..31
+  };
+  Ymd ymd() const noexcept;
+
+  /// "YYYY-MM-DD".
+  std::string to_string() const;
+
+  ModelDate plus_days(int days) const noexcept {
+    return from_day_index(day_ + days);
+  }
+
+  friend auto operator<=>(const ModelDate&, const ModelDate&) = default;
+
+ private:
+  explicit ModelDate(int day) noexcept : day_(day) {}
+  int day_ = 0;
+};
+
+/// True iff `y` is a Gregorian leap year.
+bool is_leap_year(int y) noexcept;
+
+/// Number of days in the given month of the given year.
+int days_in_month(int y, int m) noexcept;
+
+}  // namespace resmodel::util

@@ -1,0 +1,78 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// The generators here (SplitMix64 for seeding, xoshiro256++ for the stream)
+// are small, fast, and fully reproducible across platforms — a requirement
+// for the paper's experiments, where every table/figure must regenerate the
+// same rows on every run. std::mt19937_64 would also work but its
+// distribution adaptors (std::normal_distribution etc.) are not
+// implementation-portable; we implement our own transforms in stats/.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace resmodel::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Passes BigCrush when used as a standalone generator; here it only seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ 1.0 (Blackman & Vigna). Period 2^256 - 1.
+/// Satisfies the C++ UniformRandomBitGenerator requirements so it can be
+/// used with standard algorithms (std::shuffle, std::sample).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from SplitMix64(seed).
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1). 53-bit resolution.
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). n must be > 0. Unbiased (rejection method).
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma) noexcept;
+
+  /// Exponential with rate lambda > 0.
+  double exponential(double lambda) noexcept;
+
+  /// Forks an independent stream: hashes this generator's next output into
+  /// a fresh seed. Useful for giving each simulated entity its own stream.
+  Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace resmodel::util

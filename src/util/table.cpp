@@ -1,0 +1,92 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace resmodel::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  aligns_.assign(headers_.size(), Align::kRight);
+  if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  if (column >= aligns_.size()) {
+    throw std::out_of_range("Table::set_align: column out of range");
+  }
+  aligns_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    throw std::invalid_argument("Table::add_row: more cells than columns");
+  }
+  cells.resize(headers_.size());
+  rows_.push_back({std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void Table::add_separator() { pending_separator_ = true; }
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << "| ";
+      const std::string& s = cells[c];
+      const std::size_t pad = widths[c] - s.size();
+      if (aligns_[c] == Align::kRight) out << std::string(pad, ' ') << s;
+      else out << s << std::string(pad, ' ');
+      out << ' ';
+    }
+    out << "|\n";
+  };
+
+  const auto print_rule = [&] {
+    out << '+';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << std::string(widths[c] + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+
+  print_rule();
+  print_cells(headers_);
+  print_rule();
+  for (const Row& row : rows_) {
+    if (row.separator_before) print_rule();
+    print_cells(row.cells);
+  }
+  print_rule();
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::sci(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+}  // namespace resmodel::util

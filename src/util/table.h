@@ -1,0 +1,52 @@
+// Console table renderer for the bench binaries.
+//
+// Every table in the paper is reproduced as an aligned text table, usually
+// with paired "paper" and "measured" columns. This renderer keeps the bench
+// code declarative: add a header, add rows, print.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace resmodel::util {
+
+/// Column alignment.
+enum class Align { kLeft, kRight };
+
+/// A simple fixed-schema text table.
+class Table {
+ public:
+  /// Creates a table with the given column headers. All columns default to
+  /// right alignment except the first, which is left-aligned (row labels).
+  explicit Table(std::vector<std::string> headers);
+
+  /// Overrides the alignment of a column.
+  void set_align(std::size_t column, Align align);
+
+  /// Adds a row. Missing cells render empty; extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator line before the next row.
+  void add_separator();
+
+  /// Renders with single-space-padded `|` separators and a header rule.
+  void print(std::ostream& out) const;
+
+  /// Formatting helpers used throughout the benches.
+  static std::string num(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);  // 0.12 -> 12.0
+  static std::string sci(double v, int precision = 3);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace resmodel::util

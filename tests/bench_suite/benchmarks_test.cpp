@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "bench_suite/dhrystone.h"
+#include "bench_suite/harness.h"
+#include "bench_suite/local_probe.h"
+#include "bench_suite/whetstone.h"
+
+namespace resmodel::bench_suite {
+namespace {
+
+constexpr double kQuick = 0.05;  // seconds; enough for a stable smoke score
+
+TEST(Dhrystone, ProducesPositiveScore) {
+  const BenchmarkScore score = run_dhrystone(kQuick);
+  EXPECT_GT(score.mips, 0.0);
+  EXPECT_GT(score.iterations, 0u);
+  EXPECT_GT(score.elapsed_seconds, 0.0);
+}
+
+TEST(Dhrystone, ScoreIsIterationsOverBaseline) {
+  const BenchmarkScore score = run_dhrystone(kQuick);
+  EXPECT_NEAR(score.mips,
+              score.iterations / score.elapsed_seconds / 1757.0,
+              score.mips * 0.01);
+}
+
+TEST(Dhrystone, LongerRunSimilarScore) {
+  const BenchmarkScore fast = run_dhrystone(kQuick);
+  const BenchmarkScore slow = run_dhrystone(4 * kQuick);
+  // Same machine, same benchmark: scores within a factor of 2 even on a
+  // noisy CI box.
+  EXPECT_GT(slow.mips, fast.mips / 2.0);
+  EXPECT_LT(slow.mips, fast.mips * 2.0);
+}
+
+TEST(Whetstone, ProducesPositiveScore) {
+  const BenchmarkScore score = run_whetstone(kQuick);
+  EXPECT_GT(score.mips, 0.0);
+  EXPECT_GT(score.iterations, 0u);
+}
+
+TEST(Whetstone, ModernHardwareBeatsPaperEra) {
+  // Any 2020s machine should outrun the paper's 2010 host average
+  // (1861 Whetstone MIPS) — a sanity check that units are plausible,
+  // with an extremely loose lower bound for virtualized CI.
+  const BenchmarkScore score = run_whetstone(0.2);
+  EXPECT_GT(score.mips, 100.0);
+}
+
+TEST(Harness, RunsOnRequestedThreadCount) {
+  const MultiCoreScore score = run_on_all_cores(run_dhrystone, kQuick, 2);
+  EXPECT_EQ(score.threads, 2);
+  EXPECT_GT(score.average_mips, 0.0);
+  EXPECT_LE(score.min_mips, score.average_mips);
+  EXPECT_GE(score.max_mips, score.average_mips);
+}
+
+TEST(Harness, DefaultsToHardwareConcurrency) {
+  const MultiCoreScore score = run_on_all_cores(run_whetstone, kQuick);
+  EXPECT_GE(score.threads, 1);
+}
+
+TEST(LocalProbe, ReportsSaneHardware) {
+  const LocalHostInfo info = probe_local_host();
+  EXPECT_GE(info.n_cores, 1);
+  EXPECT_LE(info.n_cores, 4096);
+  EXPECT_GT(info.memory_mb, 16.0);
+  EXPECT_GT(info.disk_total_gb, 0.0);
+  EXPECT_GE(info.disk_total_gb, info.disk_avail_gb);
+  EXPECT_FALSE(info.os_name.empty());
+}
+
+TEST(LocalProbe, InvalidPathLeavesDiskZero) {
+  const LocalHostInfo info = probe_local_host("/definitely/not/a/path");
+  EXPECT_DOUBLE_EQ(info.disk_total_gb, 0.0);
+}
+
+TEST(LocalMeasurement, FullBoincStyleMeasurement) {
+  const LocalMeasurement m = measure_local_host(kQuick);
+  EXPECT_GE(m.info.n_cores, 1);
+  EXPECT_GT(m.dhrystone_mips, 0.0);
+  EXPECT_GT(m.whetstone_mips, 0.0);
+}
+
+}  // namespace
+}  // namespace resmodel::bench_suite

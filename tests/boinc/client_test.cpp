@@ -1,0 +1,170 @@
+#include "boinc/client.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace resmodel::boinc {
+namespace {
+
+trace::HostRecord spec_host() {
+  trace::HostRecord h;
+  h.id = 5;
+  h.created_day = 100;
+  h.last_contact_day = 400;  // death day
+  h.n_cores = 4;
+  h.memory_mb = 4096;
+  h.dhrystone_mips = 5000;
+  h.whetstone_mips = 2500;
+  h.disk_avail_gb = 80;
+  h.disk_total_gb = 200;
+  h.cpu = trace::CpuFamily::kIntelXeon;
+  h.os = trace::OsFamily::kLinux;
+  return h;
+}
+
+ClientConfig default_config() {
+  ClientConfig c;
+  c.mean_contact_interval_days = 2.0;
+  return c;
+}
+
+TEST(VirtualClient, FirstContactAtBirth) {
+  VirtualClient client(spec_host(), default_config(), util::Rng(1));
+  EXPECT_TRUE(client.alive());
+  const SchedulerRequest r = client.make_request();
+  EXPECT_EQ(r.host_id, 5u);
+  EXPECT_EQ(r.day, 100);
+}
+
+TEST(VirtualClient, ContactsAdvanceMonotonically) {
+  VirtualClient client(spec_host(), default_config(), util::Rng(2));
+  double prev = -1.0;
+  for (int i = 0; i < 20 && client.alive(); ++i) {
+    const double day = client.next_contact_day();
+    EXPECT_GT(day, prev);
+    prev = day;
+    (void)client.make_request();
+  }
+}
+
+TEST(VirtualClient, DiesAfterDeathDay) {
+  trace::HostRecord spec = spec_host();
+  spec.last_contact_day = 103;  // short life
+  VirtualClient client(spec, default_config(), util::Rng(3));
+  int contacts = 0;
+  while (client.alive() && contacts < 1000) {
+    (void)client.make_request();
+    ++contacts;
+  }
+  EXPECT_FALSE(client.alive());
+  EXPECT_LT(contacts, 50);  // ~3 days at mean interval 2
+}
+
+TEST(VirtualClient, MeasurementsJitterAroundSpec) {
+  ClientConfig config = default_config();
+  config.benchmark_jitter_sigma = 0.05;
+  VirtualClient client(spec_host(), config, util::Rng(4));
+  double sum = 0.0;
+  int n = 0;
+  while (client.alive() && n < 100) {
+    const SchedulerRequest r = client.make_request();
+    EXPECT_GT(r.measurement.dhrystone_mips, 5000.0 * 0.7);
+    EXPECT_LT(r.measurement.dhrystone_mips, 5000.0 * 1.4);
+    sum += r.measurement.dhrystone_mips;
+    ++n;
+  }
+  ASSERT_GT(n, 30);
+  EXPECT_NEAR(sum / n, 5000.0, 200.0);
+}
+
+TEST(VirtualClient, StaticHardwareFieldsUnchanged) {
+  VirtualClient client(spec_host(), default_config(), util::Rng(5));
+  for (int i = 0; i < 10 && client.alive(); ++i) {
+    const SchedulerRequest r = client.make_request();
+    EXPECT_EQ(r.measurement.n_cores, 4);
+    EXPECT_DOUBLE_EQ(r.measurement.memory_mb, 4096.0);
+    EXPECT_EQ(r.measurement.cpu, trace::CpuFamily::kIntelXeon);
+    EXPECT_EQ(r.measurement.os, trace::OsFamily::kLinux);
+  }
+}
+
+TEST(VirtualClient, DiskDriftsButStaysBounded) {
+  ClientConfig config = default_config();
+  config.disk_drift_sigma = 0.2;
+  VirtualClient client(spec_host(), config, util::Rng(6));
+  while (client.alive()) {
+    const SchedulerRequest r = client.make_request();
+    ASSERT_GE(r.measurement.disk_avail_gb, 0.01);
+    ASSERT_LE(r.measurement.disk_avail_gb, 200.0);  // total disk
+  }
+}
+
+TEST(VirtualClient, CompletesQueuedWorkOverTime) {
+  VirtualClient client(spec_host(), default_config(), util::Rng(7));
+  (void)client.make_request();
+  SchedulerReply reply;
+  reply.granted_work_units = 5;
+  client.handle_reply(reply);
+  std::uint32_t completed = 0;
+  while (client.alive()) {
+    completed += client.make_request().completed_work_units;
+    if (completed >= 5) break;
+  }
+  EXPECT_EQ(completed, 5u);
+}
+
+TEST(VirtualClient, AvailabilityDefersContactsButKeepsOrder) {
+  ClientConfig config = default_config();
+  config.model_availability = true;
+  trace::HostRecord spec = spec_host();
+  spec.last_contact_day = 1000;
+  VirtualClient client(spec, config, util::Rng(9));
+  double prev = -1.0;
+  int contacts = 0;
+  while (client.alive() && contacts < 200) {
+    const double day = client.next_contact_day();
+    ASSERT_GT(day, prev);
+    prev = day;
+    (void)client.make_request();
+    ++contacts;
+  }
+  EXPECT_GT(contacts, 10);
+}
+
+TEST(VirtualClient, AvailabilityStretchesContactIntervals) {
+  // With OFF periods interleaved, the realized mean gap between contacts
+  // must exceed the configured exponential mean.
+  ClientConfig plain = default_config();
+  ClientConfig with_avail = default_config();
+  with_avail.model_availability = true;
+  // Long outages to make the effect unambiguous.
+  with_avail.availability.off_lognormal_mu = 0.0;  // median 1 day off
+
+  trace::HostRecord spec = spec_host();
+  spec.last_contact_day = 3000;
+
+  const auto mean_gap = [&spec](const ClientConfig& config,
+                                std::uint64_t seed) {
+    VirtualClient client(spec, config, util::Rng(seed));
+    double first = client.next_contact_day(), last = first;
+    int contacts = 0;
+    while (client.alive() && contacts < 300) {
+      last = client.next_contact_day();
+      (void)client.make_request();
+      ++contacts;
+    }
+    return (last - first) / contacts;
+  };
+  EXPECT_GT(mean_gap(with_avail, 11), 1.25 * mean_gap(plain, 11));
+}
+
+TEST(VirtualClient, NoWorkReportedWithoutGrants) {
+  VirtualClient client(spec_host(), default_config(), util::Rng(8));
+  for (int i = 0; i < 5 && client.alive(); ++i) {
+    EXPECT_EQ(client.make_request().completed_work_units, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace resmodel::boinc

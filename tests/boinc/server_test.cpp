@@ -1,0 +1,127 @@
+#include "boinc/server.h"
+
+#include <gtest/gtest.h>
+
+namespace resmodel::boinc {
+namespace {
+
+HostMeasurement typical_measurement() {
+  HostMeasurement m;
+  m.n_cores = 2;
+  m.memory_mb = 2048;
+  m.dhrystone_mips = 4000;
+  m.whetstone_mips = 2000;
+  m.disk_avail_gb = 50;
+  m.disk_total_gb = 100;
+  m.cpu = trace::CpuFamily::kIntelCore2;
+  m.os = trace::OsFamily::kWindowsXp;
+  return m;
+}
+
+SchedulerRequest request_for(std::uint64_t id, int day,
+                             double work_seconds = 86400.0,
+                             std::uint32_t completed = 0) {
+  SchedulerRequest r;
+  r.host_id = id;
+  r.day = day;
+  r.measurement = typical_measurement();
+  r.requested_work_seconds = work_seconds;
+  r.completed_work_units = completed;
+  return r;
+}
+
+TEST(ProjectServer, FirstContactCreatesRecord) {
+  ProjectServer server;
+  server.handle_request(request_for(7, 100));
+  EXPECT_EQ(server.host_count(), 1u);
+  const trace::TraceStore trace = server.dump_trace();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.host(0).id, 7u);
+  EXPECT_EQ(trace.host(0).created_day, 100);
+  EXPECT_EQ(trace.host(0).last_contact_day, 100);
+}
+
+TEST(ProjectServer, LaterContactUpdatesLastContactAndMeasurement) {
+  ProjectServer server;
+  server.handle_request(request_for(7, 100));
+  SchedulerRequest second = request_for(7, 150);
+  second.measurement.disk_avail_gb = 42.0;
+  server.handle_request(second);
+  EXPECT_EQ(server.host_count(), 1u);
+  const trace::TraceStore trace = server.dump_trace();
+  EXPECT_EQ(trace.host(0).created_day, 100);
+  EXPECT_EQ(trace.host(0).last_contact_day, 150);
+  EXPECT_DOUBLE_EQ(trace.host(0).disk_avail_gb, 42.0);
+}
+
+TEST(ProjectServer, OutOfOrderContactDoesNotRewindLastContact) {
+  ProjectServer server;
+  server.handle_request(request_for(7, 150));
+  server.handle_request(request_for(7, 120));
+  EXPECT_EQ(server.dump_trace().host(0).last_contact_day, 150);
+}
+
+TEST(ProjectServer, GrantsWorkSizedToSpeed) {
+  ServerConfig config;
+  config.work_unit_cost_mips_days = 4000.0;
+  config.max_queued_units = 100;
+  ProjectServer server(config);
+  // 2 cores x 2000 MIPS / 4000 = 1 unit/day; one day requested -> 1 unit.
+  const SchedulerReply reply = server.handle_request(request_for(1, 0));
+  EXPECT_EQ(reply.granted_work_units, 1u);
+}
+
+TEST(ProjectServer, QueueCapEnforced) {
+  ServerConfig config;
+  config.max_queued_units = 3;
+  ProjectServer server(config);
+  // Request a week of work: wants 7 units but cap is 3.
+  const SchedulerReply r1 =
+      server.handle_request(request_for(1, 0, 7 * 86400.0));
+  EXPECT_EQ(r1.granted_work_units, 3u);
+  // Nothing completed yet: no more room.
+  const SchedulerReply r2 =
+      server.handle_request(request_for(1, 1, 7 * 86400.0));
+  EXPECT_EQ(r2.granted_work_units, 0u);
+}
+
+TEST(ProjectServer, CreditsCompletedWork) {
+  ServerConfig config;
+  config.credit_per_unit = 10.0;
+  config.max_queued_units = 8;
+  ProjectServer server(config);
+  server.handle_request(request_for(1, 0, 4 * 86400.0));  // grant 4
+  const SchedulerReply reply =
+      server.handle_request(request_for(1, 4, 0.0, 4));
+  EXPECT_DOUBLE_EQ(reply.granted_credit, 40.0);
+  EXPECT_DOUBLE_EQ(server.total_credit_granted(), 40.0);
+}
+
+TEST(ProjectServer, CannotClaimMoreThanQueued) {
+  ProjectServer server;
+  server.handle_request(request_for(1, 0, 86400.0));  // grants 1
+  const SchedulerReply reply =
+      server.handle_request(request_for(1, 1, 0.0, 50));
+  EXPECT_DOUBLE_EQ(reply.granted_credit, 10.0);  // only the 1 real unit
+}
+
+TEST(ProjectServer, TracksTotals) {
+  ProjectServer server;
+  server.handle_request(request_for(1, 0));
+  server.handle_request(request_for(2, 0));
+  server.handle_request(request_for(1, 2));
+  EXPECT_EQ(server.total_contacts(), 3u);
+  EXPECT_EQ(server.host_count(), 2u);
+  EXPECT_GT(server.total_units_granted(), 0u);
+}
+
+TEST(ProjectServer, ReplySuggestsContactInterval) {
+  ServerConfig config;
+  config.contact_interval_days = 3.5;
+  ProjectServer server(config);
+  const SchedulerReply reply = server.handle_request(request_for(1, 0));
+  EXPECT_DOUBLE_EQ(reply.next_contact_delay_days, 3.5);
+}
+
+}  // namespace
+}  // namespace resmodel::boinc

@@ -1,0 +1,100 @@
+#include "boinc/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace resmodel::boinc {
+namespace {
+
+CollectionConfig small_config() {
+  CollectionConfig config;
+  config.population.seed = 11;
+  config.population.target_active_hosts = 400;
+  // Shorter window keeps the test quick while spanning several years.
+  config.population.sim_start = util::ModelDate::from_ymd(2005, 1, 1);
+  config.population.sim_end = util::ModelDate::from_ymd(2008, 1, 1);
+  config.client.mean_contact_interval_days = 4.0;
+  return config;
+}
+
+const CollectionResult& shared_result() {
+  static const CollectionResult kResult = run_collection(small_config());
+  return kResult;
+}
+
+TEST(Collection, ProducesHostsAndContacts) {
+  const CollectionResult& r = shared_result();
+  EXPECT_GT(r.hosts_created, 1000u);
+  EXPECT_EQ(r.trace.size(), r.hosts_created);
+  EXPECT_GT(r.total_contacts, r.hosts_created);  // multiple contacts/host
+}
+
+TEST(Collection, WorkEconomyIsConsistent) {
+  const CollectionResult& r = shared_result();
+  EXPECT_GT(r.total_units_granted, 0u);
+  EXPECT_GT(r.total_credit_granted, 0.0);
+  // Credit can only come from granted units (10 credit each by default).
+  EXPECT_LE(r.total_credit_granted, 10.0 * r.total_units_granted);
+}
+
+TEST(Collection, TraceWindowsRespectSimulation) {
+  const CollectionConfig config = small_config();
+  const std::int32_t start = config.population.sim_start.day_index();
+  const std::int32_t end = config.population.sim_end.day_index();
+  for (const trace::HostRecord& h : shared_result().trace.hosts()) {
+    ASSERT_GE(h.created_day, start);
+    ASSERT_LE(h.last_contact_day, end);
+    ASSERT_GE(h.last_contact_day, h.created_day);
+  }
+}
+
+TEST(Collection, ActivePopulationNearTarget) {
+  const CollectionResult& r = shared_result();
+  const std::size_t active =
+      r.trace.active_count(util::ModelDate::from_ymd(2007, 1, 1));
+  EXPECT_GT(active, 240u);
+  EXPECT_LT(active, 560u);
+}
+
+TEST(Collection, CollectedResourcesLookLikePopulation) {
+  const CollectionResult& r = shared_result();
+  const trace::ResourceSnapshot snap =
+      r.trace.snapshot(util::ModelDate::from_ymd(2007, 1, 1));
+  ASSERT_GT(snap.size(), 100u);
+  // 2007-ish population: these bands are intentionally loose.
+  const double mean_cores = stats::mean(snap.cores);
+  EXPECT_GT(mean_cores, 1.0);
+  EXPECT_LT(mean_cores, 3.0);
+  const double mean_whet = stats::mean(snap.whetstone_mips);
+  EXPECT_GT(mean_whet, 800.0);
+  EXPECT_LT(mean_whet, 2500.0);
+}
+
+TEST(Collection, DeterministicForFixedSeed) {
+  CollectionConfig config = small_config();
+  config.population.target_active_hosts = 100;
+  const CollectionResult a = run_collection(config);
+  const CollectionResult b = run_collection(config);
+  EXPECT_EQ(a.hosts_created, b.hosts_created);
+  EXPECT_EQ(a.total_contacts, b.total_contacts);
+  EXPECT_DOUBLE_EQ(a.total_credit_granted, b.total_credit_granted);
+}
+
+TEST(Collection, MeasuredDiskReflectsDriftNotSpec) {
+  // At least some hosts should report a last-measured disk different from
+  // any single fixed value (i.e. the drift path executed).
+  const CollectionResult& r = shared_result();
+  std::size_t hosts_checked = 0;
+  std::size_t different = 0;
+  for (const trace::HostRecord& h : r.trace.hosts()) {
+    if (h.lifetime_days() < 30) continue;
+    ++hosts_checked;
+    if (h.disk_avail_gb != h.disk_total_gb) ++different;
+    if (hosts_checked > 500) break;
+  }
+  EXPECT_GT(different, hosts_checked / 2);
+}
+
+}  // namespace
+}  // namespace resmodel::boinc

@@ -1,0 +1,155 @@
+// The central closed-loop test: generate a synthetic trace from known laws
+// and verify the pipeline recovers them.
+#include "core/fit_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synth/population.h"
+
+namespace resmodel::core {
+namespace {
+
+// One shared trace for the whole suite (generation is the expensive part).
+const trace::TraceStore& shared_trace() {
+  static const trace::TraceStore kTrace = [] {
+    synth::PopulationConfig config;
+    config.seed = 2011;
+    config.target_active_hosts = 6000;
+    return synth::generate_population(config);
+  }();
+  return kTrace;
+}
+
+const FitReport& shared_report() {
+  static const FitReport kReport = fit_model(shared_trace());
+  return kReport;
+}
+
+TEST(FitPipeline, DiscardsImplausibleFraction) {
+  const FitReport& report = shared_report();
+  EXPECT_GT(report.discarded_hosts, 0u);
+  const double fraction =
+      static_cast<double>(report.discarded_hosts) /
+      static_cast<double>(report.discarded_hosts + report.fitted_hosts);
+  // The paper discarded 0.12%; our synthetic trace plants ~0.12% too
+  // (corruption is applied before censoring so allow a loose band).
+  EXPECT_LT(fraction, 0.01);
+}
+
+TEST(FitPipeline, RecoversCoreRatioLaws) {
+  const FitReport& report = shared_report();
+  ASSERT_EQ(report.core_ratios.size(), 4u);
+  // 1:2 ratio, paper a=3.369 b=-0.5004.
+  EXPECT_NEAR(report.core_ratios[0].law.a, 3.369, 1.0);
+  EXPECT_NEAR(report.core_ratios[0].law.b, -0.5004, 0.12);
+  EXPECT_LT(report.core_ratios[0].law.r, -0.95);
+  // 2:4 ratio, paper a=17.49 b=-0.3217.
+  EXPECT_NEAR(report.core_ratios[1].law.a, 17.49, 6.0);
+  EXPECT_NEAR(report.core_ratios[1].law.b, -0.3217, 0.10);
+  EXPECT_LT(report.core_ratios[1].law.r, -0.9);
+}
+
+TEST(FitPipeline, RecoversMemoryRatioDecayDirections) {
+  const FitReport& report = shared_report();
+  ASSERT_EQ(report.memory_ratios.size(), 6u);
+  for (const RatioSeries& s : report.memory_ratios) {
+    // Every per-core-memory ratio in Table V decays (b < 0) as hosts move
+    // to more memory.
+    EXPECT_LT(s.law.b, 0.05) << s.numerator_value << ":" << s.denominator_value;
+  }
+}
+
+TEST(FitPipeline, RecoversBenchmarkMomentLaws) {
+  const FitReport& report = shared_report();
+  // Paper: Dhrystone mean a=2064 b=0.1709; Whetstone mean a=1179 b=0.1157.
+  EXPECT_NEAR(report.dhrystone_mean.law.a, 2064.0, 250.0);
+  EXPECT_NEAR(report.dhrystone_mean.law.b, 0.1709, 0.04);
+  EXPECT_GT(report.dhrystone_mean.law.r, 0.97);
+  EXPECT_NEAR(report.whetstone_mean.law.a, 1179.0, 140.0);
+  EXPECT_NEAR(report.whetstone_mean.law.b, 0.1157, 0.03);
+}
+
+TEST(FitPipeline, RecoversDiskMomentLaws) {
+  const FitReport& report = shared_report();
+  // Paper: disk mean a=31.59 b=0.2691.
+  EXPECT_NEAR(report.disk_mean.law.a, 31.59, 6.0);
+  EXPECT_NEAR(report.disk_mean.law.b, 0.2691, 0.05);
+  EXPECT_GT(report.disk_mean.law.r, 0.95);
+}
+
+TEST(FitPipeline, CorrelationMatrixMatchesTableIIIPattern) {
+  const stats::Matrix& m = shared_report().full_correlation;
+  // Order: cores, memory, mem/core, whet, dhry, disk.
+  EXPECT_NEAR(m(0, 1), 0.606, 0.15);  // cores-memory strongly correlated
+  EXPECT_NEAR(m(1, 2), 0.627, 0.15);  // memory-mem/core
+  EXPECT_NEAR(m(3, 4), 0.639, 0.12);  // whet-dhry
+  EXPECT_LT(std::fabs(m(0, 2)), 0.15);  // cores vs mem/core ~ 0
+  EXPECT_LT(std::fabs(m(5, 3)), 0.2);   // disk uncorrelated
+  EXPECT_LT(std::fabs(m(5, 4)), 0.2);
+}
+
+TEST(FitPipeline, AssembledParamsValidateAndMatchSeries) {
+  const FitReport& report = shared_report();
+  EXPECT_NO_THROW(report.params.validate());
+  ASSERT_EQ(report.params.cores.ratios.size(), report.core_ratios.size());
+  EXPECT_DOUBLE_EQ(report.params.cores.ratios[0].a,
+                   report.core_ratios[0].law.a);
+  EXPECT_DOUBLE_EQ(report.params.dhrystone.mean_law.b,
+                   report.dhrystone_mean.law.b);
+}
+
+TEST(FitPipeline, ParamsSubCorrelationTakenFromFullMatrix) {
+  const FitReport& report = shared_report();
+  EXPECT_DOUBLE_EQ(report.params.resource_correlation(0, 1),
+                   report.full_correlation(2, 3));
+  EXPECT_DOUBLE_EQ(report.params.resource_correlation(1, 2),
+                   report.full_correlation(3, 4));
+}
+
+TEST(FitPipeline, DefaultSnapshotGridSpansModelWindow) {
+  const auto dates = default_snapshot_dates();
+  ASSERT_GE(dates.size(), 2u);
+  EXPECT_EQ(dates.front(), util::ModelDate::from_ymd(2006, 1, 1));
+  EXPECT_EQ(dates.back(), util::ModelDate::from_ymd(2010, 1, 1));
+}
+
+TEST(FitPipeline, ThrowsOnEmptyTrace) {
+  const trace::TraceStore empty;
+  EXPECT_THROW(fit_model(empty), std::invalid_argument);
+}
+
+TEST(FitPipeline, ThrowsWhenSnapshotsOutsideTrace) {
+  trace::TraceStore store;
+  trace::HostRecord h;
+  h.id = 1;
+  h.created_day = 0;
+  h.last_contact_day = 10;
+  h.n_cores = 1;
+  h.memory_mb = 1024;
+  h.whetstone_mips = 1000;
+  h.dhrystone_mips = 2000;
+  h.disk_avail_gb = 10;
+  store.add(h);
+  FitOptions options;
+  options.snapshot_dates = {util::ModelDate::from_ymd(2015, 1, 1),
+                            util::ModelDate::from_ymd(2016, 1, 1)};
+  EXPECT_THROW(fit_model(store, options), std::invalid_argument);
+}
+
+TEST(FitPipeline, ThrowsWithOneSnapshotDate) {
+  FitOptions options;
+  options.snapshot_dates = {util::ModelDate::from_ymd(2008, 1, 1)};
+  EXPECT_THROW(fit_model(shared_trace(), options), std::invalid_argument);
+}
+
+TEST(FullCorrelationLabels, SixInPaperOrder) {
+  const auto labels = full_correlation_labels();
+  ASSERT_EQ(labels.size(), 6u);
+  EXPECT_EQ(labels[0], "Cores");
+  EXPECT_EQ(labels[5], "Disk");
+}
+
+}  // namespace
+}  // namespace resmodel::core

@@ -1,0 +1,143 @@
+#include "core/gpu_model.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "synth/population.h"
+#include "util/rng.h"
+
+namespace resmodel::core {
+namespace {
+
+constexpr double kSep2009 = 3.67;
+constexpr double kSep2010 = 4.67;
+
+TEST(GpuModelParams, DefaultsValidate) {
+  EXPECT_NO_THROW(paper_gpu_params().validate());
+}
+
+TEST(GpuModelParams, RejectsBadInput) {
+  GpuModelParams p = paper_gpu_params();
+  p.vendor_share_t0 = {1.0};  // wrong size
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = paper_gpu_params();
+  p.memory_pmf_t0[0] = -0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = paper_gpu_params();
+  p.memory_values_mb = {512, 256};  // not ascending
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = paper_gpu_params();
+  p.anchor_t[1] = p.anchor_t[0];
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(GpuModel, AdoptionMatchesPaperAnchors) {
+  const GpuModel model(paper_gpu_params());
+  EXPECT_NEAR(model.adoption_fraction(kSep2009), 0.127, 1e-9);
+  EXPECT_NEAR(model.adoption_fraction(kSep2010), 0.238, 1e-3);
+  EXPECT_DOUBLE_EQ(model.adoption_fraction(-5.0), 0.0);  // clamped
+  EXPECT_LE(model.adoption_fraction(100.0), 0.95);
+}
+
+TEST(GpuModel, VendorPmfInterpolatesTableVII) {
+  const GpuModel model(paper_gpu_params());
+  const std::vector<double> p2009 = model.vendor_pmf(kSep2009);
+  EXPECT_NEAR(p2009[0], 0.825, 0.01);  // GeForce
+  EXPECT_NEAR(p2009[1], 0.122, 0.01);  // Radeon
+  const std::vector<double> p2010 = model.vendor_pmf(kSep2010);
+  EXPECT_NEAR(p2010[0], 0.636, 0.01);
+  EXPECT_NEAR(p2010[1], 0.315, 0.01);
+  // Normalized everywhere, including outside anchors.
+  for (double t : {0.0, 4.0, 9.0}) {
+    const std::vector<double> pmf = model.vendor_pmf(t);
+    EXPECT_NEAR(std::accumulate(pmf.begin(), pmf.end(), 0.0), 1.0, 1e-12);
+  }
+}
+
+TEST(GpuModel, MemoryMeanMatchesFigure10) {
+  const GpuModel model(paper_gpu_params());
+  EXPECT_NEAR(model.mean_memory_mb(kSep2009), 592.7, 20.0);
+  EXPECT_NEAR(model.mean_memory_mb(kSep2010), 659.4, 20.0);
+}
+
+TEST(GpuModel, SampleRespectsAdoptionRate) {
+  const GpuModel model(paper_gpu_params());
+  util::Rng rng(1);
+  const auto date = util::ModelDate::from_ymd(2010, 9, 1);
+  int with_gpu = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const GeneratedGpu gpu = model.sample(date, rng);
+    if (gpu.type != trace::GpuType::kNone) {
+      ++with_gpu;
+      EXPECT_GT(gpu.memory_mb, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(gpu.memory_mb, 0.0);
+    }
+  }
+  EXPECT_NEAR(with_gpu / static_cast<double>(kN), 0.238, 0.01);
+}
+
+TEST(GpuModel, SampledMemoryOnGrid) {
+  const GpuModel model(paper_gpu_params());
+  util::Rng rng(2);
+  const auto date = util::ModelDate::from_ymd(2010, 1, 1);
+  const auto& values = paper_gpu_params().memory_values_mb;
+  for (int i = 0; i < 5000; ++i) {
+    const GeneratedGpu gpu = model.sample(date, rng);
+    if (gpu.type == trace::GpuType::kNone) continue;
+    bool on_grid = false;
+    for (double v : values) {
+      if (gpu.memory_mb == v) on_grid = true;
+    }
+    ASSERT_TRUE(on_grid) << gpu.memory_mb;
+  }
+}
+
+TEST(FitGpuModel, RecoversSynthTrends) {
+  synth::PopulationConfig config;
+  config.seed = 5;
+  config.target_active_hosts = 4000;
+  const trace::TraceStore store = synth::generate_population(config);
+  const auto fitted = fit_gpu_model(store,
+                                    util::ModelDate::from_ymd(2009, 9, 1),
+                                    util::ModelDate::from_ymd(2010, 8, 31));
+  ASSERT_TRUE(fitted.has_value());
+  // The synth trace is calibrated to the paper's anchors; the fitted
+  // model should land near them.
+  const GpuModel model(*fitted);
+  EXPECT_NEAR(model.adoption_fraction(4.67), 0.238, 0.06);
+  EXPECT_NEAR(model.vendor_pmf(4.67)[1], 0.315, 0.08);  // Radeon
+  EXPECT_NEAR(model.mean_memory_mb(4.67), 659.4, 60.0);
+}
+
+TEST(FitGpuModel, FailsWithoutGpuHosts) {
+  trace::TraceStore store;
+  trace::HostRecord h;
+  h.id = 1;
+  h.created_day = 0;
+  h.last_contact_day = 2000;
+  h.n_cores = 1;
+  h.memory_mb = 1024;
+  h.whetstone_mips = 1000;
+  h.dhrystone_mips = 2000;
+  h.disk_avail_gb = 10;
+  store.add(h);  // no GPU
+  EXPECT_FALSE(fit_gpu_model(store, util::ModelDate::from_ymd(2009, 9, 1),
+                             util::ModelDate::from_ymd(2010, 9, 1))
+                   .has_value());
+}
+
+TEST(FitGpuModel, FailsOnReversedAnchors) {
+  trace::TraceStore store;
+  EXPECT_FALSE(fit_gpu_model(store, util::ModelDate::from_ymd(2010, 9, 1),
+                             util::ModelDate::from_ymd(2009, 9, 1))
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace resmodel::core

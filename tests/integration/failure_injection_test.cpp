@@ -1,0 +1,154 @@
+// Failure injection: corrupted, truncated and degenerate inputs must fail
+// loudly (typed exceptions) or be filtered — never produce silent garbage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/fit_pipeline.h"
+#include "core/host_generator.h"
+#include "sim/experiment.h"
+#include "synth/population.h"
+#include "trace/csv_io.h"
+
+namespace resmodel {
+namespace {
+
+trace::HostRecord valid_host(std::uint64_t id, int created, int last) {
+  trace::HostRecord h;
+  h.id = id;
+  h.created_day = created;
+  h.last_contact_day = last;
+  h.n_cores = 2;
+  h.memory_mb = 2048;
+  h.whetstone_mips = 1500;
+  h.dhrystone_mips = 3000;
+  h.disk_avail_gb = 40;
+  h.disk_total_gb = 80;
+  return h;
+}
+
+TEST(FailureInjection, FitRejectsAllCorruptTrace) {
+  trace::TraceStore store;
+  for (int i = 0; i < 100; ++i) {
+    trace::HostRecord h = valid_host(static_cast<std::uint64_t>(i), 0, 2000);
+    h.dhrystone_mips = 5e5;  // beyond the §V-B threshold
+    store.add(h);
+  }
+  EXPECT_THROW(core::fit_model(store), std::invalid_argument);
+}
+
+TEST(FailureInjection, FitSurvivesMinorityCorruption) {
+  synth::PopulationConfig config;
+  config.seed = 1;
+  config.target_active_hosts = 2000;
+  config.corrupt_fraction = 0.05;  // 40x the paper's rate
+  const trace::TraceStore store = synth::generate_population(config);
+  const core::FitReport report = core::fit_model(store);
+  EXPECT_GT(report.discarded_hosts, store.size() / 50);
+  // Fitted laws stay sane despite the corruption.
+  EXPECT_NEAR(report.dhrystone_mean.law.b, 0.17, 0.06);
+  EXPECT_NO_THROW(report.params.validate());
+}
+
+TEST(FailureInjection, TruncatedCsvThrows) {
+  trace::TraceStore store;
+  store.add(valid_host(1, 0, 100));
+  std::stringstream buffer;
+  trace::write_csv(store, buffer);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);  // cut mid-row
+  std::istringstream in(text);
+  EXPECT_THROW(trace::read_csv(in), std::runtime_error);
+}
+
+TEST(FailureInjection, CsvWithNanSmuggledInIsRejectedByFilter) {
+  // "nan" parses as a double; the plausibility filter must reject it.
+  trace::HostRecord h = valid_host(1, 0, 100);
+  h.memory_mb = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(trace::is_plausible(h));
+  h = valid_host(2, 0, 100);
+  h.whetstone_mips = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(trace::is_plausible(h));
+}
+
+TEST(FailureInjection, GeneratorParamsWithExplodingRatiosStayFinite) {
+  // A ratio law with a huge positive b drives one weight to ~0; pmf must
+  // stay a valid distribution and generation must stay finite.
+  core::ModelParams params = core::paper_params();
+  params.cores.ratios[0].b = 5.0;  // 1-core count explodes relative to 2
+  const core::HostGenerator generator(params);
+  util::Rng rng(3);
+  const auto hosts = generator.generate_many(
+      util::ModelDate::from_ymd(2014, 1, 1), 1000, rng);
+  for (const core::GeneratedHost& h : hosts) {
+    ASSERT_GE(h.n_cores, 1);
+    ASSERT_LE(h.n_cores, 16);
+    ASSERT_TRUE(std::isfinite(h.memory_mb));
+    ASSERT_TRUE(std::isfinite(h.disk_avail_gb));
+  }
+}
+
+TEST(FailureInjection, ExperimentWithTinySnapshotWorksIfEveryAppGetsAHost) {
+  trace::TraceStore store;
+  // Exactly one host per Table-IX application.
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    store.add(valid_host(i, -100, 2000));
+  }
+  const sim::CorrelatedModel model(core::paper_params());
+  const std::vector<const sim::HostSynthesisModel*> models = {&model};
+  util::Rng rng(4);
+  const auto result = sim::run_utility_experiment(
+      store, models, sim::paper_applications(),
+      {util::ModelDate::from_ymd(2010, 1, 1)}, rng);
+  EXPECT_EQ(result.host_counts[0], 4u);
+  for (std::size_t a = 0; a < result.app_names.size(); ++a) {
+    EXPECT_TRUE(std::isfinite(result.diff_percent[0][a][0]));
+  }
+}
+
+TEST(FailureInjection, ExperimentGuardsZeroUtilityWhenHostsScarcerThanApps) {
+  // Fewer hosts than applications: round-robin starves some apps and the
+  // zero-actual-utility guard must fire instead of dividing by zero.
+  trace::TraceStore store;
+  store.add(valid_host(1, -100, 2000));
+  store.add(valid_host(2, -100, 2000));
+  const sim::CorrelatedModel model(core::paper_params());
+  const std::vector<const sim::HostSynthesisModel*> models = {&model};
+  util::Rng rng(5);
+  EXPECT_THROW(sim::run_utility_experiment(
+                   store, models, sim::paper_applications(),
+                   {util::ModelDate::from_ymd(2010, 1, 1)}, rng),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, ModelFileWithMissingKeysThrows) {
+  const std::string partial = "model = resmodel-v1\ncores.count = 5\n";
+  EXPECT_THROW(core::ModelParams::deserialize(partial), std::exception);
+}
+
+TEST(FailureInjection, ModelFileWithCorruptNumberThrows) {
+  std::string text = core::paper_params().serialize();
+  const auto pos = text.find("3.369");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "oops!");
+  EXPECT_THROW(core::ModelParams::deserialize(text), std::exception);
+}
+
+TEST(FailureInjection, NegativeCorrelationMatrixRejectedEndToEnd) {
+  std::string text = core::paper_params().serialize();
+  // Push a correlation above 1 -> not positive definite.
+  const auto pos = text.find("correlation.0.1");
+  ASSERT_NE(pos, std::string::npos);
+  const auto eol = text.find('\n', pos);
+  text.replace(pos, eol - pos, "correlation.0.1 = 1.7");
+  // Symmetric partner too, so symmetry passes and PD fails.
+  const auto pos2 = text.find("correlation.1.0");
+  const auto eol2 = text.find('\n', pos2);
+  text.replace(pos2, eol2 - pos2, "correlation.1.0 = 1.7");
+  EXPECT_THROW(core::ModelParams::deserialize(text), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resmodel

@@ -1,0 +1,116 @@
+// Parameterized closed-loop property: for a sweep of (a, b) exponential
+// laws, a DiscreteRatioChain built from the law, sampled at many dates,
+// must let the ratio-fitting machinery recover the law — the core
+// statistical mechanism of the paper, tested across its parameter space.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model_params.h"
+#include "stats/regression.h"
+#include "util/rng.h"
+
+namespace resmodel::core {
+namespace {
+
+struct LawCase {
+  std::string label;
+  double a;
+  double b;
+};
+
+class RatioLawRecovery : public ::testing::TestWithParam<LawCase> {};
+
+TEST_P(RatioLawRecovery, SampledCompositionRefitsLaw) {
+  const LawCase& law_case = GetParam();
+  DiscreteRatioChain chain;
+  chain.values = {1, 2};
+  chain.ratios = {{law_case.a, law_case.b, 0.0}};
+  chain.validate();
+
+  util::Rng rng(1234);
+  std::vector<double> ts, observed_ratio;
+  for (double t = 0.0; t <= 4.01; t += 0.25) {
+    // Sample a finite population at each date and measure the count ratio.
+    constexpr int kHosts = 40000;
+    int count_lo = 0;
+    for (int i = 0; i < kHosts; ++i) {
+      if (chain.quantile(t, rng.uniform()) == 1.0) ++count_lo;
+    }
+    const int count_hi = kHosts - count_lo;
+    if (count_lo == 0 || count_hi == 0) continue;
+    ts.push_back(t);
+    observed_ratio.push_back(static_cast<double>(count_lo) / count_hi);
+  }
+  ASSERT_GE(ts.size(), 5u);
+  const stats::ExponentialLaw fit =
+      stats::ExponentialLaw::fit(ts, observed_ratio);
+  EXPECT_NEAR(fit.a, law_case.a, law_case.a * 0.08) << law_case.label;
+  EXPECT_NEAR(fit.b, law_case.b, std::fabs(law_case.b) * 0.08 + 0.01)
+      << law_case.label;
+}
+
+TEST_P(RatioLawRecovery, PmfIsConsistentWithLaw) {
+  const LawCase& law_case = GetParam();
+  DiscreteRatioChain chain;
+  chain.values = {1, 2};
+  chain.ratios = {{law_case.a, law_case.b, 0.0}};
+  for (double t : {0.0, 1.0, 3.0, 6.0}) {
+    const std::vector<double> pmf = chain.pmf(t);
+    ASSERT_EQ(pmf.size(), 2u);
+    const double expected_ratio = law_case.a * std::exp(law_case.b * t);
+    EXPECT_NEAR(pmf[0] / pmf[1], expected_ratio,
+                expected_ratio * 1e-9)
+        << law_case.label << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperParameterSpace, RatioLawRecovery,
+    ::testing::Values(
+        LawCase{"paper_1_2_cores", 3.369, -0.5004},
+        LawCase{"paper_2_4_cores", 17.49, -0.3217},
+        LawCase{"paper_4_8_cores", 12.8, -0.2377},
+        LawCase{"paper_mem_256_512", 0.5829, -0.2517},
+        LawCase{"paper_mem_1g_15g", 3.98, -0.1367},
+        LawCase{"slow_decay", 2.0, -0.05},
+        LawCase{"fast_decay", 30.0, -0.8},
+        LawCase{"growth", 0.5, 0.3},
+        LawCase{"flat", 1.0, 0.0}),
+    [](const auto& info) { return info.param.label; });
+
+// Moment-law recovery across the Table-VI parameter space: noisy samples
+// of a * e^(bt) must refit within tolerance.
+class MomentLawRecovery : public ::testing::TestWithParam<LawCase> {};
+
+TEST_P(MomentLawRecovery, NoisySeriesRefitsLaw) {
+  const LawCase& law_case = GetParam();
+  util::Rng rng(99);
+  std::vector<double> ts, ys;
+  for (double t = 0.0; t <= 4.01; t += 0.25) {
+    ts.push_back(t);
+    ys.push_back(law_case.a * std::exp(law_case.b * t) *
+                 std::exp(rng.normal(0.0, 0.03)));
+  }
+  const stats::ExponentialLaw fit = stats::ExponentialLaw::fit(ts, ys);
+  EXPECT_NEAR(fit.a, law_case.a, law_case.a * 0.06) << law_case.label;
+  EXPECT_NEAR(fit.b, law_case.b, 0.025) << law_case.label;
+  if (std::fabs(law_case.b) > 0.1) {
+    EXPECT_GT(std::fabs(fit.r), 0.95) << law_case.label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableVI, MomentLawRecovery,
+    ::testing::Values(
+        LawCase{"dhry_mean", 2064, 0.1709},
+        LawCase{"dhry_variance", 1.379e6, 0.3313},
+        LawCase{"whet_mean", 1179, 0.1157},
+        LawCase{"whet_variance", 3.237e5, 0.1057},
+        LawCase{"disk_mean", 31.59, 0.2691},
+        LawCase{"disk_variance", 2890, 0.5224},
+        LawCase{"gpu_adoption_like", 0.127, 0.6}),
+    [](const auto& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace resmodel::core

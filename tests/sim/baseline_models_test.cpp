@@ -1,0 +1,159 @@
+#include "sim/baseline_models.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "synth/population.h"
+
+namespace resmodel::sim {
+namespace {
+
+const trace::TraceStore& shared_trace() {
+  static const trace::TraceStore kTrace = [] {
+    synth::PopulationConfig config;
+    config.seed = 99;
+    config.target_active_hosts = 2500;
+    return synth::generate_population(config);
+  }();
+  return kTrace;
+}
+
+std::vector<util::ModelDate> yearly_dates() {
+  std::vector<util::ModelDate> dates;
+  for (int y = 2006; y <= 2010; ++y) {
+    dates.push_back(util::ModelDate::from_ymd(y, 1, 1));
+  }
+  return dates;
+}
+
+struct Columns {
+  std::vector<double> cores, memory, whet, dhry, disk;
+};
+
+Columns columns(const std::vector<HostResources>& hosts) {
+  Columns c;
+  for (const HostResources& h : hosts) {
+    c.cores.push_back(h.cores);
+    c.memory.push_back(h.memory_mb);
+    c.whet.push_back(h.whetstone_mips);
+    c.dhry.push_back(h.dhrystone_mips);
+    c.disk.push_back(h.disk_avail_gb);
+  }
+  return c;
+}
+
+TEST(ToHostResources, PreservesColumns) {
+  const auto snap = shared_trace().snapshot(util::ModelDate::from_ymd(2009, 1, 1));
+  const auto hosts = to_host_resources(snap);
+  ASSERT_EQ(hosts.size(), snap.size());
+  EXPECT_DOUBLE_EQ(hosts[0].cores, snap.cores[0]);
+  EXPECT_DOUBLE_EQ(hosts[0].disk_avail_gb, snap.disk_avail_gb[0]);
+}
+
+TEST(CorrelatedModel, PreservesResourceCorrelations) {
+  const CorrelatedModel model(core::paper_params());
+  util::Rng rng(1);
+  const auto hosts =
+      model.synthesize(util::ModelDate::from_ymd(2010, 6, 1), 30000, rng);
+  const Columns c = columns(hosts);
+  EXPECT_GT(stats::pearson(c.cores, c.memory), 0.5);
+  EXPECT_GT(stats::pearson(c.whet, c.dhry), 0.35);
+}
+
+TEST(NormalModel, ProducesUncorrelatedResources) {
+  const auto model = NormalDistributionModel::fit(shared_trace(), yearly_dates());
+  util::Rng rng(2);
+  const auto hosts =
+      model.synthesize(util::ModelDate::from_ymd(2010, 6, 1), 30000, rng);
+  const Columns c = columns(hosts);
+  EXPECT_LT(std::fabs(stats::pearson(c.cores, c.memory)), 0.05);
+  EXPECT_LT(std::fabs(stats::pearson(c.whet, c.dhry)), 0.05);
+}
+
+TEST(NormalModel, MeansTrackActualData) {
+  const auto model = NormalDistributionModel::fit(shared_trace(), yearly_dates());
+  util::Rng rng(3);
+  const auto date = util::ModelDate::from_ymd(2010, 1, 1);
+  const auto hosts = model.synthesize(date, 30000, rng);
+  const auto snap = shared_trace().snapshot(date);
+  const Columns c = columns(hosts);
+  // The linear extrapolation is anchored on the actual yearly means, so at
+  // a grid date the synthesized means should be close (clamping biases
+  // cores slightly upward).
+  EXPECT_NEAR(stats::mean(c.memory), stats::mean(snap.memory_mb),
+              stats::mean(snap.memory_mb) * 0.12);
+  EXPECT_NEAR(stats::mean(c.whet), stats::mean(snap.whetstone_mips),
+              stats::mean(snap.whetstone_mips) * 0.10);
+}
+
+TEST(NormalModel, AllResourcesPositive) {
+  const auto model = NormalDistributionModel::fit(shared_trace(), yearly_dates());
+  util::Rng rng(4);
+  for (const HostResources& h :
+       model.synthesize(util::ModelDate::from_ymd(2006, 1, 1), 5000, rng)) {
+    ASSERT_GE(h.cores, 1.0);
+    ASSERT_GT(h.memory_mb, 0.0);
+    ASSERT_GT(h.whetstone_mips, 0.0);
+    ASSERT_GT(h.dhrystone_mips, 0.0);
+    ASSERT_GT(h.disk_avail_gb, 0.0);
+  }
+}
+
+TEST(NormalModel, CoresAreIntegers) {
+  const auto model = NormalDistributionModel::fit(shared_trace(), yearly_dates());
+  util::Rng rng(5);
+  for (const HostResources& h :
+       model.synthesize(util::ModelDate::from_ymd(2010, 1, 1), 1000, rng)) {
+    ASSERT_DOUBLE_EQ(h.cores, std::round(h.cores));
+  }
+}
+
+TEST(GridModel, OverestimatesAvailableDisk) {
+  // The Kee model tracks total capacity, so its "available disk"
+  // systematically exceeds the correlated model's (the Figure-15 P2P
+  // effect).
+  const GridResourceModel grid(core::paper_params(), 0.5);
+  const CorrelatedModel correlated(core::paper_params());
+  util::Rng rng_a(6), rng_b(7);
+  const auto date = util::ModelDate::from_ymd(2010, 6, 1);
+  const auto grid_hosts = grid.synthesize(date, 20000, rng_a);
+  const auto corr_hosts = correlated.synthesize(date, 20000, rng_b);
+  EXPECT_GT(stats::mean(columns(grid_hosts).disk),
+            1.4 * stats::mean(columns(corr_hosts).disk));
+}
+
+TEST(GridModel, AgeMixtureLowersMeansVsFreshHosts) {
+  const GridResourceModel grid(core::paper_params(), 0.6);
+  const CorrelatedModel fresh(core::paper_params());
+  util::Rng rng_a(8), rng_b(9);
+  const auto date = util::ModelDate::from_ymd(2010, 6, 1);
+  const auto grid_hosts = grid.synthesize(date, 20000, rng_a);
+  const auto fresh_hosts = fresh.synthesize(date, 20000, rng_b);
+  EXPECT_LT(stats::mean(columns(grid_hosts).whet),
+            stats::mean(columns(fresh_hosts).whet));
+}
+
+TEST(GridModel, MemoryIsPowerOfTwoPerCore) {
+  const GridResourceModel grid(core::paper_params(), 0.5);
+  util::Rng rng(10);
+  for (const HostResources& h :
+       grid.synthesize(util::ModelDate::from_ymd(2009, 1, 1), 2000, rng)) {
+    const double per_core = h.memory_mb / h.cores;
+    const double log2v = std::log2(per_core);
+    ASSERT_NEAR(log2v, std::round(log2v), 1e-9) << per_core;
+  }
+}
+
+TEST(GridModel, NamesAreStable) {
+  EXPECT_EQ(CorrelatedModel(core::paper_params()).name(), "Correlated Model");
+  EXPECT_EQ(GridResourceModel(core::paper_params(), 0.5).name(), "Grid Model");
+  const auto normal =
+      NormalDistributionModel::fit(shared_trace(), yearly_dates());
+  EXPECT_EQ(normal.name(), "Normal Distribution Model");
+}
+
+}  // namespace
+}  // namespace resmodel::sim

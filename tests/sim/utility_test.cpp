@@ -1,0 +1,112 @@
+#include "sim/utility.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace resmodel::sim {
+namespace {
+
+HostResources typical_host() {
+  HostResources h;
+  h.cores = 2;
+  h.memory_mb = 2048;
+  h.dhrystone_mips = 4000;
+  h.whetstone_mips = 1800;
+  h.disk_avail_gb = 50;
+  return h;
+}
+
+TEST(CobbDouglas, KnownProduct) {
+  const ApplicationSpec app{"test", 1.0, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(cobb_douglas_utility(app, typical_host()), 2.0);
+}
+
+TEST(CobbDouglas, ExponentsCompose) {
+  const ApplicationSpec app{"test", 0.5, 0.5, 0.0, 0.0, 0.0};
+  const HostResources h = typical_host();
+  EXPECT_NEAR(cobb_douglas_utility(app, h),
+              std::sqrt(h.cores) * std::sqrt(h.memory_mb), 1e-9);
+}
+
+TEST(CobbDouglas, ZeroExponentIgnoresResource) {
+  const ApplicationSpec app{"test", 0.3, 0.0, 0.2, 0.1, 0.0};
+  HostResources a = typical_host();
+  HostResources b = a;
+  b.memory_mb = 1e6;  // ignored: beta = 0
+  b.disk_avail_gb = 1e6;
+  EXPECT_DOUBLE_EQ(cobb_douglas_utility(app, a), cobb_douglas_utility(app, b));
+}
+
+TEST(CobbDouglas, MonotoneInEachResource) {
+  const auto apps = paper_applications();
+  for (const ApplicationSpec& app : apps) {
+    HostResources more = typical_host();
+    more.cores *= 2;
+    more.memory_mb *= 2;
+    more.dhrystone_mips *= 2;
+    more.whetstone_mips *= 2;
+    more.disk_avail_gb *= 2;
+    EXPECT_GT(cobb_douglas_utility(app, more),
+              cobb_douglas_utility(app, typical_host()))
+        << app.name;
+  }
+}
+
+TEST(CobbDouglas, DecreasingReturnsToScale) {
+  // All Table-IX exponent sums are < 1.2 but the key property per resource
+  // is alpha < 1: doubling one resource less than doubles utility.
+  const ApplicationSpec app{"seti", 0.05, 0.1, 0.2, 0.4, 0.05};
+  HostResources twice_cores = typical_host();
+  twice_cores.cores *= 2;
+  const double base = cobb_douglas_utility(app, typical_host());
+  const double up = cobb_douglas_utility(app, twice_cores);
+  EXPECT_GT(up, base);
+  EXPECT_LT(up, base * 2.0);
+}
+
+TEST(CobbDouglas, ZeroResourceDoesNotAnnihilate) {
+  const ApplicationSpec app{"test", 0.2, 0.2, 0.2, 0.2, 0.2};
+  HostResources h = typical_host();
+  h.disk_avail_gb = 0.0;
+  EXPECT_GT(cobb_douglas_utility(app, h), 0.0);
+}
+
+TEST(PaperApplications, TableIXExactValues) {
+  const auto apps = paper_applications();
+  ASSERT_EQ(apps.size(), 4u);
+  EXPECT_EQ(apps[0].name, "SETI@home");
+  EXPECT_DOUBLE_EQ(apps[0].alpha, 0.05);
+  EXPECT_DOUBLE_EQ(apps[0].delta, 0.4);
+  EXPECT_EQ(apps[1].name, "Folding@home");
+  EXPECT_DOUBLE_EQ(apps[1].alpha, 0.4);
+  EXPECT_EQ(apps[2].name, "Climate Prediction");
+  EXPECT_DOUBLE_EQ(apps[2].epsilon, 0.15);
+  EXPECT_EQ(apps[3].name, "P2P");
+  EXPECT_DOUBLE_EQ(apps[3].epsilon, 0.7);
+}
+
+TEST(PaperApplications, P2pPrefersDiskOverCpu) {
+  const auto apps = paper_applications();
+  const ApplicationSpec& p2p = apps[3];
+  HostResources big_disk = typical_host();
+  big_disk.disk_avail_gb = 500;
+  HostResources fast_cpu = typical_host();
+  fast_cpu.whetstone_mips = 18000;
+  EXPECT_GT(cobb_douglas_utility(p2p, big_disk),
+            cobb_douglas_utility(p2p, fast_cpu));
+}
+
+TEST(PaperApplications, FoldingPrefersCoresOverDisk) {
+  const auto apps = paper_applications();
+  const ApplicationSpec& folding = apps[1];
+  HostResources many_cores = typical_host();
+  many_cores.cores = 16;
+  HostResources big_disk = typical_host();
+  big_disk.disk_avail_gb = 400;
+  EXPECT_GT(cobb_douglas_utility(folding, many_cores),
+            cobb_douglas_utility(folding, big_disk));
+}
+
+}  // namespace
+}  // namespace resmodel::sim

@@ -1,0 +1,89 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+#include "util/rng.h"
+
+namespace resmodel::stats {
+namespace {
+
+TEST(Bootstrap, RejectsBadArguments) {
+  util::Rng rng(1);
+  const auto stat = [](std::span<const double> xs) { return mean(xs); };
+  EXPECT_THROW(bootstrap_ci({}, stat, 100, 0.95, rng),
+               std::invalid_argument);
+  EXPECT_THROW(bootstrap_ci(std::vector<double>{1.0}, stat, 1, 0.95, rng),
+               std::invalid_argument);
+  EXPECT_THROW(bootstrap_ci(std::vector<double>{1.0}, stat, 100, 1.5, rng),
+               std::invalid_argument);
+}
+
+TEST(Bootstrap, MeanIntervalCoversTruth) {
+  const NormalDist d(50.0, 10.0);
+  util::Rng rng(2);
+  std::vector<double> xs(2000);
+  for (double& x : xs) x = d.sample(rng);
+  const auto ci = bootstrap_ci(
+      xs, [](std::span<const double> s) { return mean(s); }, 400, 0.95, rng);
+  EXPECT_LT(ci.lo, ci.point);
+  EXPECT_GT(ci.hi, ci.point);
+  EXPECT_LT(ci.lo, 50.0);
+  EXPECT_GT(ci.hi, 50.0);
+  // Width ~ 2 * 1.96 * sigma/sqrt(n) ~ 0.88.
+  EXPECT_NEAR(ci.hi - ci.lo, 0.88, 0.3);
+}
+
+TEST(Bootstrap, WidthShrinksWithSampleSize) {
+  const NormalDist d(0.0, 1.0);
+  util::Rng rng(3);
+  std::vector<double> small(200), large(20000);
+  for (double& x : small) x = d.sample(rng);
+  for (double& x : large) x = d.sample(rng);
+  const auto stat = [](std::span<const double> s) { return mean(s); };
+  const auto ci_small = bootstrap_ci(small, stat, 300, 0.95, rng);
+  const auto ci_large = bootstrap_ci(large, stat, 300, 0.95, rng);
+  EXPECT_GT(ci_small.hi - ci_small.lo, 3.0 * (ci_large.hi - ci_large.lo));
+}
+
+TEST(Bootstrap, PointEqualsStatisticOnOriginal) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  util::Rng rng(4);
+  const auto ci = bootstrap_ci(
+      xs, [](std::span<const double> s) { return mean(s); }, 50, 0.9, rng);
+  EXPECT_DOUBLE_EQ(ci.point, 2.5);
+}
+
+TEST(BootstrapPaired, CorrelationIntervalCoversTruth) {
+  util::Rng rng(5);
+  std::vector<double> xs(3000), ys(3000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.normal();
+    ys[i] = 0.6 * xs[i] + 0.8 * rng.normal();  // r = 0.6
+  }
+  const auto ci = bootstrap_ci_paired(
+      xs, ys,
+      [](std::span<const double> a, std::span<const double> b) {
+        return pearson(a, b);
+      },
+      300, 0.95, rng);
+  EXPECT_LT(ci.lo, 0.6);
+  EXPECT_GT(ci.hi, 0.6);
+  EXPECT_LT(ci.hi - ci.lo, 0.15);
+}
+
+TEST(BootstrapPaired, RejectsSizeMismatch) {
+  util::Rng rng(6);
+  EXPECT_THROW(bootstrap_ci_paired(
+                   std::vector<double>{1, 2}, std::vector<double>{1},
+                   [](std::span<const double>, std::span<const double>) {
+                     return 0.0;
+                   },
+                   10, 0.9, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resmodel::stats

@@ -1,0 +1,136 @@
+#include "stats/chi_square.h"
+
+#include <gtest/gtest.h>
+
+#include "core/model_params.h"
+#include "util/rng.h"
+
+namespace resmodel::stats {
+namespace {
+
+TEST(ChiSquarePValue, KnownValues) {
+  // chi2 with 1 df: P(X > 3.841) = 0.05.
+  EXPECT_NEAR(chi_square_p_value(3.841, 1), 0.05, 0.001);
+  // chi2 with 4 df: P(X > 9.488) = 0.05.
+  EXPECT_NEAR(chi_square_p_value(9.488, 4), 0.05, 0.001);
+  EXPECT_DOUBLE_EQ(chi_square_p_value(0.0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(chi_square_p_value(5.0, 0), 1.0);
+}
+
+TEST(ChiSquareTest, RejectsBadInputs) {
+  EXPECT_THROW(chi_square_test({}, {}), std::invalid_argument);
+  EXPECT_THROW(chi_square_test(std::vector<std::uint64_t>{1, 2},
+                               std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(chi_square_test(std::vector<std::uint64_t>{1, 2},
+                               std::vector<double>{0.5, -0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(chi_square_test(std::vector<std::uint64_t>{0, 0},
+                               std::vector<double>{0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(ChiSquareTest, PerfectMatchGivesHighP) {
+  const std::vector<std::uint64_t> observed = {500, 300, 200};
+  const std::vector<double> probs = {0.5, 0.3, 0.2};
+  const ChiSquareResult r = chi_square_test(observed, probs);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-12);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+  EXPECT_EQ(r.degrees_of_freedom, 2);
+}
+
+TEST(ChiSquareTest, GrossMismatchGivesTinyP) {
+  const std::vector<std::uint64_t> observed = {900, 50, 50};
+  const std::vector<double> probs = {0.2, 0.4, 0.4};
+  const ChiSquareResult r = chi_square_test(observed, probs);
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(ChiSquareTest, UnnormalizedProbsAccepted) {
+  // Probabilities given as weights.
+  const std::vector<std::uint64_t> observed = {500, 500};
+  const ChiSquareResult a =
+      chi_square_test(observed, std::vector<double>{1.0, 1.0});
+  const ChiSquareResult b =
+      chi_square_test(observed, std::vector<double>{0.5, 0.5});
+  EXPECT_DOUBLE_EQ(a.statistic, b.statistic);
+}
+
+TEST(ChiSquareTest, SparseCategoriesArePooled) {
+  // Last category expects 0.1 counts; pooling must keep df sane.
+  const std::vector<std::uint64_t> observed = {99, 1, 0};
+  const std::vector<double> probs = {0.989, 0.01, 0.001};
+  const ChiSquareResult r = chi_square_test(observed, probs);
+  EXPECT_GE(r.degrees_of_freedom, 0);
+  EXPECT_LE(r.degrees_of_freedom, 2);
+  EXPECT_GE(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+}
+
+TEST(ChiSquareTest, SampledModelCompositionPasses) {
+  // Sample core counts from the paper pmf and test against that pmf —
+  // should not reject.
+  const core::ModelParams p = core::paper_params();
+  const double t = 4.0;
+  const std::vector<double> pmf = p.cores.pmf(t);
+  util::Rng rng(1);
+  std::vector<std::uint64_t> counts(pmf.size(), 0);
+  for (int i = 0; i < 50000; ++i) {
+    const double v = p.cores.quantile(t, rng.uniform());
+    for (std::size_t j = 0; j < p.cores.values.size(); ++j) {
+      if (v == p.cores.values[j]) ++counts[j];
+    }
+  }
+  const ChiSquareResult r = chi_square_test(counts, pmf);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(ChiSquareTest, WrongDateCompositionRejected) {
+  // Sample from the 2006 pmf, test against the 2010 pmf: must reject.
+  const core::ModelParams p = core::paper_params();
+  util::Rng rng(2);
+  std::vector<std::uint64_t> counts(p.cores.values.size(), 0);
+  for (int i = 0; i < 50000; ++i) {
+    const double v = p.cores.quantile(0.0, rng.uniform());
+    for (std::size_t j = 0; j < p.cores.values.size(); ++j) {
+      if (v == p.cores.values[j]) ++counts[j];
+    }
+  }
+  const ChiSquareResult r = chi_square_test(counts, p.cores.pmf(4.0));
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(ChiSquareTwoSample, IdenticalCompositionsPass) {
+  const std::vector<std::uint64_t> a = {400, 300, 200, 100};
+  const ChiSquareResult r = chi_square_two_sample(a, a);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-12);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+}
+
+TEST(ChiSquareTwoSample, DifferentCompositionsRejected) {
+  const std::vector<std::uint64_t> a = {800, 100, 50, 50};
+  const std::vector<std::uint64_t> b = {100, 800, 50, 50};
+  const ChiSquareResult r = chi_square_two_sample(a, b);
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(ChiSquareTwoSample, ScaleInvarianceOfConclusion) {
+  // Same composition at different sample sizes: should not reject.
+  const std::vector<std::uint64_t> a = {4000, 3000, 2000, 1000};
+  const std::vector<std::uint64_t> b = {400, 300, 200, 100};
+  const ChiSquareResult r = chi_square_two_sample(a, b);
+  EXPECT_GT(r.p_value, 0.5);
+}
+
+TEST(ChiSquareTwoSample, RejectsBadInputs) {
+  EXPECT_THROW(chi_square_two_sample({}, {}), std::invalid_argument);
+  EXPECT_THROW(chi_square_two_sample(std::vector<std::uint64_t>{1},
+                                     std::vector<std::uint64_t>{1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(chi_square_two_sample(std::vector<std::uint64_t>{0, 0},
+                                     std::vector<std::uint64_t>{1, 2}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resmodel::stats

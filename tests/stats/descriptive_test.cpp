@@ -1,0 +1,87 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace resmodel::stats {
+namespace {
+
+const std::vector<double> kSample = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(Mean, KnownValue) { EXPECT_DOUBLE_EQ(mean(kSample), 5.0); }
+
+TEST(Mean, EmptyIsNan) { EXPECT_TRUE(std::isnan(mean({}))); }
+
+TEST(Variance, UnbiasedKnownValue) {
+  // Sum of squared deviations = 32; n-1 = 7.
+  EXPECT_NEAR(variance(kSample), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Variance, RequiresTwoPoints) {
+  EXPECT_TRUE(std::isnan(variance(std::vector<double>{1.0})));
+}
+
+TEST(Stddev, IsSqrtOfVariance) {
+  EXPECT_NEAR(stddev(kSample), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Quantile, MedianOfEvenSample) {
+  EXPECT_DOUBLE_EQ(median(kSample), 4.5);
+}
+
+TEST(Quantile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Quantile, Extremes) {
+  EXPECT_DOUBLE_EQ(quantile(kSample, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(kSample, 1.0), 9.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(Quantile, DoesNotMutateInput) {
+  std::vector<double> xs = {3.0, 1.0, 2.0};
+  (void)quantile(xs, 0.5);
+  EXPECT_EQ(xs, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(MinMax, KnownValues) {
+  EXPECT_DOUBLE_EQ(minimum(kSample), 2.0);
+  EXPECT_DOUBLE_EQ(maximum(kSample), 9.0);
+}
+
+TEST(Summarize, AllFieldsConsistent) {
+  const Summary s = summarize(kSample);
+  EXPECT_EQ(s.count, kSample.size());
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.variance, 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev, std::sqrt(s.variance), 1e-12);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_TRUE(std::isnan(s.mean));
+  EXPECT_TRUE(std::isnan(s.median));
+}
+
+TEST(Summarize, SinglePoint) {
+  const Summary s = summarize(std::vector<double>{7.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+}
+
+}  // namespace
+}  // namespace resmodel::stats

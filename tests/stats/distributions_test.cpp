@@ -1,0 +1,240 @@
+// Property tests for the seven candidate distributions: CDF/quantile
+// inversion, pdf/CDF consistency (numeric derivative), sampling moments,
+// and support boundaries — each run over a sweep of parameter sets via
+// TEST_P.
+#include "stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "stats/descriptive.h"
+#include "util/rng.h"
+
+namespace resmodel::stats {
+namespace {
+
+struct DistCase {
+  std::string label;
+  std::function<std::unique_ptr<Distribution>()> make;
+  double support_lo;  // values strictly below have cdf ~0
+  bool finite_variance;
+};
+
+std::vector<DistCase> all_cases() {
+  return {
+      {"normal_std", [] { return NormalDist(0, 1).clone(); }, -1e9, true},
+      {"normal_wide", [] { return NormalDist(2056, 1046).clone(); }, -1e9,
+       true},
+      {"lognormal", [] { return LogNormalDist(3.0, 0.9).clone(); }, 0.0,
+       true},
+      {"lognormal_disk",
+       [] { return LogNormalDist::from_moments(32.89, 60.25 * 60.25).clone(); },
+       0.0, true},
+      {"exponential", [] { return ExponentialDist(0.25).clone(); }, 0.0,
+       true},
+      {"weibull_paper", [] { return WeibullDist(0.58, 135.0).clone(); }, 0.0,
+       true},
+      {"weibull_k2", [] { return WeibullDist(2.0, 10.0).clone(); }, 0.0,
+       true},
+      {"pareto", [] { return ParetoDist(3.5, 2.0).clone(); }, 2.0, true},
+      {"gamma_k05", [] { return GammaDist(0.5, 2.0).clone(); }, 0.0, true},
+      {"gamma_k4", [] { return GammaDist(4.0, 1.5).clone(); }, 0.0, true},
+      {"loggamma", [] { return LogGammaDist(2.0, 0.2).clone(); }, 1.0, true},
+  };
+}
+
+class DistributionProperty : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionProperty, QuantileInvertsCdf) {
+  const auto dist = GetParam().make();
+  for (double p : {0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    const double x = dist->quantile(p);
+    EXPECT_NEAR(dist->cdf(x), p, 1e-7)
+        << GetParam().label << " p=" << p << " x=" << x;
+  }
+}
+
+TEST_P(DistributionProperty, CdfIsMonotone) {
+  const auto dist = GetParam().make();
+  double prev = -0.001;
+  for (double p : {0.02, 0.1, 0.3, 0.5, 0.7, 0.9, 0.98}) {
+    const double c = dist->cdf(dist->quantile(p));
+    EXPECT_GE(c, prev - 1e-12) << GetParam().label;
+    prev = c;
+  }
+}
+
+TEST_P(DistributionProperty, PdfMatchesCdfDerivative) {
+  const auto dist = GetParam().make();
+  for (double p : {0.2, 0.5, 0.8}) {
+    const double x = dist->quantile(p);
+    const double h = std::max(1e-6, std::fabs(x) * 1e-6);
+    const double numeric = (dist->cdf(x + h) - dist->cdf(x - h)) / (2 * h);
+    const double pdf = dist->pdf(x);
+    EXPECT_NEAR(numeric, pdf, 1e-4 * std::max(1.0, pdf))
+        << GetParam().label << " at p=" << p;
+  }
+}
+
+TEST_P(DistributionProperty, LogPdfConsistentWithPdf) {
+  const auto dist = GetParam().make();
+  for (double p : {0.1, 0.5, 0.9}) {
+    const double x = dist->quantile(p);
+    EXPECT_NEAR(std::exp(dist->log_pdf(x)), dist->pdf(x),
+                1e-9 * std::max(1.0, dist->pdf(x)))
+        << GetParam().label;
+  }
+}
+
+TEST_P(DistributionProperty, CdfZeroBelowSupport) {
+  const auto dist = GetParam().make();
+  if (GetParam().support_lo > -1e8) {
+    EXPECT_DOUBLE_EQ(dist->cdf(GetParam().support_lo - 1.0), 0.0)
+        << GetParam().label;
+    EXPECT_DOUBLE_EQ(dist->pdf(GetParam().support_lo - 1.0), 0.0)
+        << GetParam().label;
+  }
+}
+
+TEST_P(DistributionProperty, SampleMeanMatchesAnalyticMean) {
+  const auto dist = GetParam().make();
+  util::Rng rng(99);
+  constexpr int kN = 120000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += dist->sample(rng);
+  const double sample_mean = sum / kN;
+  const double tolerance =
+      5.0 * std::sqrt(dist->variance() / kN) + 1e-9;  // ~5 sigma
+  EXPECT_NEAR(sample_mean, dist->mean(), tolerance) << GetParam().label;
+}
+
+TEST_P(DistributionProperty, SamplesRespectSupport) {
+  const auto dist = GetParam().make();
+  util::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = dist->sample(rng);
+    if (GetParam().support_lo > -1e8) {
+      ASSERT_GE(x, GetParam().support_lo - 1e-9) << GetParam().label;
+    }
+    ASSERT_TRUE(std::isfinite(x)) << GetParam().label;
+  }
+}
+
+TEST_P(DistributionProperty, SampleQuantilesMatchAnalytic) {
+  const auto dist = GetParam().make();
+  util::Rng rng(17);
+  constexpr int kN = 60000;
+  std::vector<double> xs(kN);
+  for (double& x : xs) x = dist->sample(rng);
+  for (double p : {0.25, 0.5, 0.75}) {
+    const double empirical = quantile(xs, p);
+    const double analytic = dist->quantile(p);
+    // Compare on the CDF scale: F(empirical quantile) should be ~p.
+    EXPECT_NEAR(dist->cdf(empirical), p, 0.02)
+        << GetParam().label << " p=" << p << " emp=" << empirical
+        << " ana=" << analytic;
+  }
+}
+
+TEST_P(DistributionProperty, CloneIsDeepAndEquivalent) {
+  const auto dist = GetParam().make();
+  const auto copy = dist->clone();
+  EXPECT_EQ(copy->name(), dist->name());
+  for (double p : {0.3, 0.6}) {
+    EXPECT_DOUBLE_EQ(copy->quantile(p), dist->quantile(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, DistributionProperty,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const auto& info) { return info.param.label; });
+
+// ------------------------- family-specific facts -------------------------
+
+TEST(NormalDist, RejectsNonPositiveSigma) {
+  EXPECT_THROW(NormalDist(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(NormalDist(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(LogNormalDist, FromMomentsReproducesMoments) {
+  const auto d = LogNormalDist::from_moments(98.13, 157.8 * 157.8);
+  EXPECT_NEAR(d.mean(), 98.13, 1e-9);
+  EXPECT_NEAR(d.variance(), 157.8 * 157.8, 1e-6);
+}
+
+TEST(LogNormalDist, FromMomentsRejectsNonPositive) {
+  EXPECT_THROW(LogNormalDist::from_moments(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LogNormalDist::from_moments(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ExponentialDist, MemorylessCdfRatio) {
+  const ExponentialDist d(0.7);
+  // P(X > s + t) = P(X > s) P(X > t).
+  const double s = 1.3, t = 2.1;
+  EXPECT_NEAR(1.0 - d.cdf(s + t), (1.0 - d.cdf(s)) * (1.0 - d.cdf(t)), 1e-12);
+}
+
+TEST(WeibullDist, K1ReducesToExponential) {
+  const WeibullDist w(1.0, 4.0);
+  const ExponentialDist e(0.25);
+  for (double x : {0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(w.cdf(x), e.cdf(x), 1e-12);
+  }
+}
+
+TEST(WeibullDist, PaperLifetimeMedian) {
+  // Weibull(k=0.58, lambda=135): median = 135 * ln(2)^(1/0.58) ~ 72 days,
+  // matching the paper's observed 71.14-day median.
+  const WeibullDist w(0.58, 135.0);
+  EXPECT_NEAR(w.quantile(0.5), 135.0 * std::pow(std::log(2.0), 1.0 / 0.58),
+              1e-9);
+  EXPECT_NEAR(w.quantile(0.5), 72.0, 2.5);
+}
+
+TEST(ParetoDist, MeanInfiniteForSmallAlpha) {
+  EXPECT_TRUE(std::isinf(ParetoDist(0.9, 1.0).mean()));
+  EXPECT_TRUE(std::isinf(ParetoDist(1.5, 1.0).variance()));
+}
+
+TEST(GammaDist, K1ReducesToExponential) {
+  const GammaDist g(1.0, 2.0);
+  const ExponentialDist e(0.5);
+  for (double x : {0.1, 1.0, 5.0}) {
+    EXPECT_NEAR(g.cdf(x), e.cdf(x), 1e-10);
+  }
+}
+
+TEST(LogGammaDist, SupportStartsAtOne) {
+  const LogGammaDist d(2.0, 0.3);
+  EXPECT_DOUBLE_EQ(d.cdf(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(d.pdf(0.5), 0.0);
+  EXPECT_GT(d.cdf(2.0), 0.0);
+}
+
+TEST(LogGammaDist, LogOfSamplesIsGamma) {
+  const LogGammaDist d(3.0, 0.25);
+  const GammaDist inner(3.0, 0.25);
+  util::Rng rng(5);
+  constexpr int kN = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += std::log(d.sample(rng));
+  EXPECT_NEAR(sum / kN, inner.mean(), 0.02);
+}
+
+TEST(SampleGamma, SmallShapeBoostWorks) {
+  util::Rng rng(3);
+  constexpr int kN = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = sample_gamma(rng, 0.3, 2.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 0.6, 0.02);  // k * theta
+}
+
+}  // namespace
+}  // namespace resmodel::stats

@@ -1,0 +1,187 @@
+// MLE recovery tests: sample from a known distribution and verify the
+// fitter recovers its parameters, plus the paper's subsampled-KS model
+// selection picking the true family.
+#include "stats/fitting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace resmodel::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& dist, int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (double& x : xs) x = dist.sample(rng);
+  return xs;
+}
+
+TEST(FitNormal, RecoversParameters) {
+  const NormalDist truth(2056.0, 1046.0);
+  const auto fit = fit_normal(draw(truth, 50000, 1));
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->mean(), 2056.0, 15.0);
+  EXPECT_NEAR(fit->sigma(), 1046.0, 15.0);
+}
+
+TEST(FitNormal, RejectsDegenerateInput) {
+  EXPECT_FALSE(fit_normal(std::vector<double>{}).has_value());
+  EXPECT_FALSE(fit_normal(std::vector<double>{1.0}).has_value());
+  EXPECT_FALSE(fit_normal(std::vector<double>{3.0, 3.0, 3.0}).has_value());
+}
+
+TEST(FitLogNormal, RecoversParameters) {
+  const LogNormalDist truth(3.2, 0.8);
+  const auto fit = fit_lognormal(draw(truth, 50000, 2));
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->mu(), 3.2, 0.02);
+  EXPECT_NEAR(fit->sigma(), 0.8, 0.02);
+}
+
+TEST(FitLogNormal, RejectsNonPositiveValues) {
+  EXPECT_FALSE(fit_lognormal(std::vector<double>{1.0, -2.0, 3.0}).has_value());
+  EXPECT_FALSE(fit_lognormal(std::vector<double>{0.0, 1.0}).has_value());
+}
+
+TEST(FitExponential, RecoversRate) {
+  const ExponentialDist truth(0.4);
+  const auto fit = fit_exponential(draw(truth, 50000, 3));
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->lambda(), 0.4, 0.01);
+}
+
+TEST(FitExponential, RejectsNegativeValues) {
+  EXPECT_FALSE(fit_exponential(std::vector<double>{1.0, -0.5}).has_value());
+}
+
+TEST(FitWeibull, RecoversPaperLifetimeParameters) {
+  const WeibullDist truth(0.58, 135.0);
+  const auto fit = fit_weibull(draw(truth, 50000, 4));
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->k(), 0.58, 0.01);
+  EXPECT_NEAR(fit->lambda(), 135.0, 3.0);
+}
+
+TEST(FitWeibull, RecoversLargeShape) {
+  const WeibullDist truth(3.5, 7.0);
+  const auto fit = fit_weibull(draw(truth, 50000, 5));
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->k(), 3.5, 0.06);
+  EXPECT_NEAR(fit->lambda(), 7.0, 0.05);
+}
+
+TEST(FitPareto, RecoversParameters) {
+  const ParetoDist truth(2.5, 3.0);
+  const auto fit = fit_pareto(draw(truth, 50000, 6));
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->alpha(), 2.5, 0.05);
+  EXPECT_NEAR(fit->xm(), 3.0, 0.01);
+}
+
+TEST(FitPareto, RejectsConstantData) {
+  EXPECT_FALSE(fit_pareto(std::vector<double>{2.0, 2.0, 2.0}).has_value());
+}
+
+TEST(FitGamma, RecoversParameters) {
+  const GammaDist truth(2.7, 1.8);
+  const auto fit = fit_gamma(draw(truth, 80000, 7));
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->k(), 2.7, 0.05);
+  EXPECT_NEAR(fit->theta(), 1.8, 0.04);
+}
+
+TEST(FitGamma, SmallShape) {
+  const GammaDist truth(0.6, 4.0);
+  const auto fit = fit_gamma(draw(truth, 80000, 8));
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->k(), 0.6, 0.02);
+  EXPECT_NEAR(fit->theta(), 4.0, 0.15);
+}
+
+TEST(FitLogGamma, RecoversParameters) {
+  const LogGammaDist truth(3.0, 0.2);
+  const auto fit = fit_loggamma(draw(truth, 80000, 9));
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->k(), 3.0, 0.06);
+  EXPECT_NEAR(fit->theta(), 0.2, 0.01);
+}
+
+TEST(FitLogGamma, RejectsValuesAtOrBelowOne) {
+  EXPECT_FALSE(fit_loggamma(std::vector<double>{0.5, 2.0}).has_value());
+  EXPECT_FALSE(fit_loggamma(std::vector<double>{1.0, 2.0}).has_value());
+}
+
+TEST(FitFamily, DispatchesToEveryFamily) {
+  const NormalDist source(10.0, 2.0);
+  const std::vector<double> xs = draw(source, 2000, 10);
+  // Normal data is positive enough here that most families fit; each
+  // returned distribution must carry the right name.
+  for (Family f : all_families()) {
+    const auto dist = fit_family(f, xs);
+    if (dist) {
+      EXPECT_EQ(dist->name(), family_name(f));
+    }
+  }
+}
+
+TEST(FamilyName, CoversAllFamilies) {
+  EXPECT_EQ(all_families().size(), 7u);
+  for (Family f : all_families()) {
+    EXPECT_FALSE(family_name(f).empty());
+    EXPECT_NE(family_name(f), "unknown");
+  }
+}
+
+// The paper's headline model-selection claims, §V-F and §V-G.
+class SelectionRecovery
+    : public ::testing::TestWithParam<std::pair<const char*, int>> {};
+
+TEST(Selection, NormalDataSelectsNormal) {
+  const NormalDist truth(2715.0, 1450.0);
+  const auto results = select_best_distribution(draw(truth, 20000, 11));
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(family_name(results.front().family), "normal");
+  EXPECT_GT(results.front().avg_p_value, 0.1);
+}
+
+TEST(Selection, LogNormalDiskDataSelectsLogNormal) {
+  // The paper's 2010 disk snapshot: mean 98.13 GB, stddev 157.8 GB.
+  const auto truth = LogNormalDist::from_moments(98.13, 157.8 * 157.8);
+  const auto results = select_best_distribution(draw(truth, 20000, 12));
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(family_name(results.front().family), "log-normal");
+  EXPECT_GT(results.front().avg_p_value, 0.1);
+}
+
+TEST(Selection, WeibullLifetimesSelectWeibull) {
+  const WeibullDist truth(0.58, 135.0);
+  const auto results = select_best_distribution(draw(truth, 20000, 13));
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(family_name(results.front().family), "weibull");
+}
+
+TEST(Selection, ResultsSortedByPValue) {
+  const NormalDist truth(100.0, 10.0);
+  const auto results = select_best_distribution(draw(truth, 5000, 14));
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].avg_p_value, results[i].avg_p_value);
+  }
+}
+
+TEST(Selection, DeterministicForFixedSeed) {
+  const NormalDist truth(50.0, 5.0);
+  const std::vector<double> xs = draw(truth, 5000, 15);
+  const auto a = select_best_distribution(xs);
+  const auto b = select_best_distribution(xs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].family, b[i].family);
+    EXPECT_DOUBLE_EQ(a[i].avg_p_value, b[i].avg_p_value);
+  }
+}
+
+}  // namespace
+}  // namespace resmodel::stats

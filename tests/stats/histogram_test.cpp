@@ -1,0 +1,103 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace resmodel::stats {
+namespace {
+
+TEST(Histogram, EqualWidthBinAssignment) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.9);   // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflowTracked) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge is exclusive
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, ExplicitEdges) {
+  Histogram h(std::vector<double>{0.0, 1.0, 10.0, 100.0});
+  h.add(0.5);
+  h.add(5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 10.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram(std::vector<double>{1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram(std::vector<double>{2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, FractionsSumToOne) {
+  Histogram h(0.0, 1.0, 4);
+  for (double x : {0.1, 0.3, 0.6, 0.9, 0.95}) h.add(x);
+  const std::vector<double> f = h.fractions();
+  EXPECT_NEAR(std::accumulate(f.begin(), f.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  Histogram h(std::vector<double>{0.0, 0.5, 2.0});
+  for (double x : {0.1, 0.2, 1.0, 1.5}) h.add(x);
+  const std::vector<double> d = h.density();
+  double integral = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    integral += d[i] * (h.bin_hi(i) - h.bin_lo(i));
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, CumulativeEndsAtOne) {
+  Histogram h(0.0, 1.0, 3);
+  for (double x : {0.1, 0.5, 0.9}) h.add(x);
+  const std::vector<double> c = h.cumulative();
+  EXPECT_NEAR(c.back(), 1.0, 1e-12);
+  for (std::size_t i = 1; i < c.size(); ++i) EXPECT_GE(c[i], c[i - 1]);
+}
+
+TEST(Histogram, EmptyFractionsAreZero) {
+  Histogram h(0.0, 1.0, 3);
+  for (double f : h.fractions()) EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+TEST(Histogram, BinCenter) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(EmpiricalCdf, SortedPairsReachOne) {
+  const auto cdf = empirical_cdf(std::vector<double>{3.0, 1.0, 2.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[2].first, 3.0);
+  EXPECT_NEAR(cdf[0].second, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].second, 1.0);
+}
+
+TEST(EmpiricalCdf, EmptyInput) {
+  EXPECT_TRUE(empirical_cdf({}).empty());
+}
+
+}  // namespace
+}  // namespace resmodel::stats

@@ -1,0 +1,144 @@
+#include "stats/kstest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.h"
+#include "util/rng.h"
+
+namespace resmodel::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& dist, int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (double& x : xs) x = dist.sample(rng);
+  return xs;
+}
+
+TEST(KsStatistic, ZeroishForPerfectQuantiles) {
+  // Plugging exact quantiles of the model minimizes D (~1/2n).
+  const NormalDist d(0.0, 1.0);
+  std::vector<double> xs;
+  const int n = 100;
+  for (int i = 1; i <= n; ++i) {
+    xs.push_back(d.quantile((i - 0.5) / n));
+  }
+  const double stat = ks_statistic(xs, [&d](double x) { return d.cdf(x); });
+  EXPECT_LT(stat, 1.0 / n + 1e-12);
+}
+
+TEST(KsStatistic, OneForTotallyWrongModel) {
+  // All mass far left of the data.
+  const NormalDist d(-1e6, 1.0);
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const double stat = ks_statistic(xs, [&d](double x) { return d.cdf(x); });
+  EXPECT_NEAR(stat, 1.0, 1e-9);
+}
+
+TEST(KsStatistic, ThrowsOnEmptySample) {
+  EXPECT_THROW(ks_statistic({}, [](double) { return 0.5; }),
+               std::invalid_argument);
+}
+
+TEST(KsStatistic, UnsortedInputHandled) {
+  const NormalDist d(0.0, 1.0);
+  const std::vector<double> sorted = {-1.0, 0.0, 1.0};
+  const std::vector<double> shuffled = {1.0, -1.0, 0.0};
+  const auto cdf = [&d](double x) { return d.cdf(x); };
+  EXPECT_DOUBLE_EQ(ks_statistic(sorted, cdf), ks_statistic(shuffled, cdf));
+}
+
+TEST(KsPValue, LargeStatisticGivesTinyP) {
+  EXPECT_LT(ks_p_value(0.5, 1000), 1e-10);
+}
+
+TEST(KsPValue, SmallStatisticGivesLargeP) {
+  EXPECT_GT(ks_p_value(0.01, 50), 0.9);
+}
+
+TEST(KsPValue, MonotoneInStatistic) {
+  double prev = 1.1;
+  for (double d = 0.01; d < 0.5; d += 0.02) {
+    const double p = ks_p_value(d, 100);
+    EXPECT_LE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(KsPValue, BoundedInUnitInterval) {
+  for (double d : {0.0, 0.1, 0.5, 0.9, 1.5}) {
+    const double p = ks_p_value(d, 100);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(KsTest, CorrectModelGetsHighP) {
+  const NormalDist d(10.0, 2.0);
+  const KsResult r = ks_test(draw(d, 50, 1), d);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTest, WrongModelGetsLowP) {
+  const NormalDist truth(10.0, 2.0);
+  const NormalDist wrong(20.0, 2.0);
+  const KsResult r = ks_test(draw(truth, 200, 2), wrong);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, PValuesApproximatelyUniformUnderNull) {
+  // Under the null hypothesis p-values should be ~Uniform(0,1); check the
+  // mean is near 0.5 across repetitions.
+  const NormalDist d(0.0, 1.0);
+  double sum = 0.0;
+  constexpr int kReps = 200;
+  for (int rep = 0; rep < kReps; ++rep) {
+    sum += ks_test(draw(d, 50, 100 + rep), d).p_value;
+  }
+  EXPECT_NEAR(sum / kReps, 0.5, 0.08);
+}
+
+TEST(SubsampledKs, LargeSampleOfCorrectModelKeepsModerateP) {
+  // This is the paper's entire point: a raw KS test on 100k samples
+  // rejects tiny deviations, the subsampled test does not.
+  const NormalDist d(2056.0, 1046.0);
+  util::Rng rng(3);
+  const std::vector<double> xs = draw(d, 100000, 4);
+  const double p = subsampled_ks_p_value(xs, d, 100, 50, rng);
+  EXPECT_GT(p, 0.3);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(SubsampledKs, SlightlyContaminatedDataStillAcceptable) {
+  // Mix 95% normal with 5% of a shifted spike: full-sample KS would
+  // reject decisively; the averaged subsample p-value stays well above it.
+  const NormalDist d(0.0, 1.0);
+  util::Rng rng(5);
+  std::vector<double> xs = draw(d, 95000, 6);
+  for (int i = 0; i < 5000; ++i) xs.push_back(0.5);
+  util::Rng sub_rng(7);
+  const double p_sub = subsampled_ks_p_value(xs, d, 100, 50, sub_rng);
+  const double p_full = ks_test(xs, d).p_value;
+  EXPECT_GT(p_sub, p_full);
+  EXPECT_GT(p_sub, 0.05);
+}
+
+TEST(SubsampledKs, FallsBackToFullSampleWhenSmall) {
+  const NormalDist d(0.0, 1.0);
+  const std::vector<double> xs = draw(d, 30, 8);
+  util::Rng rng(9);
+  const double p = subsampled_ks_p_value(xs, d, 100, 50, rng);
+  EXPECT_DOUBLE_EQ(p, ks_test(xs, d).p_value);
+}
+
+TEST(SubsampledKs, ThrowsOnEmpty) {
+  const NormalDist d(0.0, 1.0);
+  util::Rng rng(10);
+  EXPECT_THROW(subsampled_ks_p_value({}, d, 10, 5, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace resmodel::stats

@@ -1,0 +1,152 @@
+#include "stats/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/correlation.h"
+#include "util/rng.h"
+
+namespace resmodel::stats {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 7.0);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityMultiplication) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix i = Matrix::identity(2);
+  EXPECT_DOUBLE_EQ(a.multiply(i).max_abs_diff(a), 0.0);
+  EXPECT_DOUBLE_EQ(i.multiply(a).max_abs_diff(a), 0.0);
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeSwapsIndices) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Cholesky, ReconstructsPaperMatrix) {
+  // The R matrix from §V-F of the paper.
+  const Matrix r = Matrix::from_rows({
+      {1.0, 0.250, 0.306},
+      {0.250, 1.0, 0.639},
+      {0.306, 0.639, 1.0},
+  });
+  const auto l = cholesky(r);
+  ASSERT_TRUE(l.has_value());
+  const Matrix reconstructed = l->multiply(l->transpose());
+  EXPECT_LT(reconstructed.max_abs_diff(r), 1e-12);
+}
+
+TEST(Cholesky, MatchesPaperPrintedFactor) {
+  // The paper prints U with rows (1,0,0), (0.250,0.968,0),
+  // (0.306,0.581,0.754) — our lower factor transposed row order.
+  const Matrix r = Matrix::from_rows({
+      {1.0, 0.250, 0.306},
+      {0.250, 1.0, 0.639},
+      {0.306, 0.639, 1.0},
+  });
+  const auto l = cholesky(r);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_NEAR((*l)(0, 0), 1.0, 1e-3);
+  EXPECT_NEAR((*l)(1, 0), 0.250, 1e-3);
+  EXPECT_NEAR((*l)(1, 1), 0.968, 1e-3);
+  EXPECT_NEAR((*l)(2, 0), 0.306, 1e-3);
+  EXPECT_NEAR((*l)(2, 1), 0.581, 1e-3);
+  EXPECT_NEAR((*l)(2, 2), 0.754, 1e-3);
+}
+
+TEST(Cholesky, LowerTriangularOutput) {
+  const Matrix r = Matrix::from_rows({{4.0, 2.0}, {2.0, 3.0}});
+  const auto l = cholesky(r);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_DOUBLE_EQ((*l)(0, 1), 0.0);
+}
+
+TEST(Cholesky, RejectsNonPositiveDefinite) {
+  const Matrix bad = Matrix::from_rows({{1.0, 2.0}, {2.0, 1.0}});
+  EXPECT_FALSE(cholesky(bad).has_value());
+}
+
+TEST(Cholesky, RejectsAsymmetric) {
+  const Matrix bad = Matrix::from_rows({{1.0, 0.5}, {0.2, 1.0}});
+  EXPECT_FALSE(cholesky(bad).has_value());
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_FALSE(cholesky(Matrix(2, 3)).has_value());
+}
+
+TEST(CorrelatedNormals, AchievesTargetCorrelations) {
+  const Matrix r = Matrix::from_rows({
+      {1.0, 0.250, 0.306},
+      {0.250, 1.0, 0.639},
+      {0.306, 0.639, 1.0},
+  });
+  const auto l = cholesky(r);
+  ASSERT_TRUE(l.has_value());
+  util::Rng rng(42);
+  constexpr int kN = 100000;
+  std::vector<double> a(kN), b(kN), c(kN);
+  for (int i = 0; i < kN; ++i) {
+    const std::vector<double> v = correlated_normals(rng, *l);
+    a[static_cast<std::size_t>(i)] = v[0];
+    b[static_cast<std::size_t>(i)] = v[1];
+    c[static_cast<std::size_t>(i)] = v[2];
+  }
+  EXPECT_NEAR(pearson(a, b), 0.250, 0.015);
+  EXPECT_NEAR(pearson(a, c), 0.306, 0.015);
+  EXPECT_NEAR(pearson(b, c), 0.639, 0.01);
+}
+
+TEST(CorrelatedNormals, MarginalsAreStandardNormal) {
+  const auto l = cholesky(Matrix::from_rows({{1.0, 0.6}, {0.6, 1.0}}));
+  ASSERT_TRUE(l.has_value());
+  util::Rng rng(7);
+  constexpr int kN = 100000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const std::vector<double> v = correlated_normals(rng, *l);
+    sum += v[1];
+    sum2 += v[1] * v[1];
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.015);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace resmodel::stats

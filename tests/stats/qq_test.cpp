@@ -1,0 +1,79 @@
+#include "stats/qq.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace resmodel::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& dist, int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (double& x : xs) x = dist.sample(rng);
+  return xs;
+}
+
+TEST(QqPoints, ThrowsOnEmpty) {
+  const NormalDist d(0, 1);
+  EXPECT_THROW(qq_points({}, d), std::invalid_argument);
+  EXPECT_THROW(qq_points_two_sample({}, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(QqPoints, CorrectModelHugsDiagonal) {
+  const NormalDist d(2056.0, 1046.0);
+  const auto points = qq_points(draw(d, 50000, 1), d, 99);
+  EXPECT_LT(qq_max_relative_deviation(points), 0.08);
+}
+
+TEST(QqPoints, WrongModelDeviates) {
+  const NormalDist truth(0.0, 1.0);
+  const NormalDist shifted(2.0, 1.0);
+  const auto points = qq_points(draw(truth, 20000, 2), shifted, 99);
+  EXPECT_GT(qq_max_relative_deviation(points), 0.25);
+}
+
+TEST(QqPoints, RequestedPointCountReturned) {
+  const NormalDist d(0, 1);
+  EXPECT_EQ(qq_points(draw(d, 1000, 3), d, 25).size(), 25u);
+}
+
+TEST(QqPoints, MonotoneInBothCoordinates) {
+  const auto d = LogNormalDist::from_moments(98.0, 157.0 * 157.0);
+  const auto points = qq_points(draw(d, 20000, 4), d, 50);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].first, points[i - 1].first);
+    EXPECT_GE(points[i].second, points[i - 1].second);
+  }
+}
+
+TEST(QqTwoSample, IdenticalSamplesOnDiagonal) {
+  const NormalDist d(10.0, 2.0);
+  const std::vector<double> xs = draw(d, 5000, 5);
+  const auto points = qq_points_two_sample(xs, xs, 40);
+  for (const auto& [x, y] : points) {
+    EXPECT_DOUBLE_EQ(x, y);
+  }
+}
+
+TEST(QqTwoSample, SameDistributionSamplesNearDiagonal) {
+  const NormalDist d(100.0, 10.0);
+  const auto points =
+      qq_points_two_sample(draw(d, 50000, 6), draw(d, 50000, 7), 80);
+  EXPECT_LT(qq_max_relative_deviation(points), 0.05);
+}
+
+TEST(QqMaxRelativeDeviation, ZeroOnExactDiagonal) {
+  EXPECT_DOUBLE_EQ(
+      qq_max_relative_deviation({{1.0, 1.0}, {2.0, 2.0}, {-3.0, -3.0}}),
+      0.0);
+}
+
+TEST(QqMaxRelativeDeviation, ScalesByX) {
+  // y off by 10% of x.
+  EXPECT_NEAR(qq_max_relative_deviation({{10.0, 11.0}}), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace resmodel::stats

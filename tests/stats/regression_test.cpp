@@ -1,0 +1,118 @@
+#include "stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace resmodel::stats {
+namespace {
+
+TEST(Ols, ExactLineRecovered) {
+  const std::vector<double> x = {0, 1, 2, 3};
+  const std::vector<double> y = {1, 3, 5, 7};  // y = 2x + 1
+  const LinearFit fit = ols(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r, 1.0, 1e-12);
+}
+
+TEST(Ols, NegativeSlopeGivesNegativeR) {
+  const std::vector<double> x = {0, 1, 2};
+  const std::vector<double> y = {4, 2, 0};
+  const LinearFit fit = ols(x, y);
+  EXPECT_NEAR(fit.slope, -2.0, 1e-12);
+  EXPECT_NEAR(fit.r, -1.0, 1e-12);
+}
+
+TEST(Ols, NoisyDataApproximatesTruth) {
+  util::Rng rng(1);
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    const double xi = i / 100.0;
+    x.push_back(xi);
+    y.push_back(3.0 * xi - 5.0 + rng.normal(0.0, 0.5));
+  }
+  const LinearFit fit = ols(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.02);
+  EXPECT_NEAR(fit.intercept, -5.0, 0.1);
+  EXPECT_GT(fit.r, 0.99);
+}
+
+TEST(Ols, RejectsBadInputs) {
+  EXPECT_THROW(ols(std::vector<double>{1}, std::vector<double>{1}),
+               std::invalid_argument);
+  EXPECT_THROW(ols(std::vector<double>{1, 2}, std::vector<double>{1}),
+               std::invalid_argument);
+  EXPECT_THROW(ols(std::vector<double>{2, 2}, std::vector<double>{1, 3}),
+               std::invalid_argument);
+}
+
+TEST(ExponentialLaw, EvaluatesPaperCoreRatioLaw) {
+  // Table IV: 1:2 core ratio a=3.369, b=-0.5004. At 2006 (t=0) the ratio
+  // of 1-core to 2-core hosts is ~3.37:1; §V-D says "by 2010 the ratio
+  // inverted to 1 to 2.5".
+  const ExponentialLaw law{3.369, -0.5004, -0.9984};
+  EXPECT_NEAR(law(0.0), 3.369, 1e-12);
+  EXPECT_NEAR(1.0 / law(4.0), 2.5, 0.35);
+}
+
+TEST(ExponentialLaw, FitRecoversExactLaw) {
+  const ExponentialLaw truth{17.49, -0.3217, 0.0};
+  std::vector<double> t, y;
+  for (int i = 0; i <= 16; ++i) {
+    t.push_back(i / 4.0);
+    y.push_back(truth(i / 4.0));
+  }
+  const ExponentialLaw fit = ExponentialLaw::fit(t, y);
+  EXPECT_NEAR(fit.a, truth.a, 1e-9);
+  EXPECT_NEAR(fit.b, truth.b, 1e-12);
+  EXPECT_NEAR(fit.r, -1.0, 1e-12);
+}
+
+TEST(ExponentialLaw, FitWithMultiplicativeNoise) {
+  util::Rng rng(2);
+  const ExponentialLaw truth{2064.0, 0.1709, 0.0};
+  std::vector<double> t, y;
+  for (int i = 0; i <= 100; ++i) {
+    const double ti = i * 0.04;
+    t.push_back(ti);
+    y.push_back(truth(ti) * std::exp(rng.normal(0.0, 0.02)));
+  }
+  const ExponentialLaw fit = ExponentialLaw::fit(t, y);
+  EXPECT_NEAR(fit.a, truth.a, 40.0);
+  EXPECT_NEAR(fit.b, truth.b, 0.01);
+  EXPECT_GT(fit.r, 0.99);
+}
+
+TEST(ExponentialLaw, FitRejectsNonPositiveY) {
+  EXPECT_THROW(ExponentialLaw::fit(std::vector<double>{0, 1},
+                                   std::vector<double>{1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ExponentialLaw::fit(std::vector<double>{0, 1},
+                                   std::vector<double>{1.0, -2.0}),
+               std::invalid_argument);
+}
+
+TEST(ExponentialLaw, FitRejectsSizeMismatch) {
+  EXPECT_THROW(ExponentialLaw::fit(std::vector<double>{0, 1},
+                                   std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(ExponentialLaw, RSignMatchesTrend) {
+  // Decaying ratio laws in the paper report negative r (Tables IV, V);
+  // growing moment laws report positive r (Table VI).
+  std::vector<double> t = {0, 1, 2, 3, 4};
+  std::vector<double> decay, growth;
+  for (double ti : t) {
+    decay.push_back(3.369 * std::exp(-0.5 * ti));
+    growth.push_back(31.59 * std::exp(0.2691 * ti));
+  }
+  EXPECT_LT(ExponentialLaw::fit(t, decay).r, -0.99);
+  EXPECT_GT(ExponentialLaw::fit(t, growth).r, 0.99);
+}
+
+}  // namespace
+}  // namespace resmodel::stats

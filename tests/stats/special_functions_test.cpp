@@ -1,0 +1,121 @@
+#include "stats/special_functions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace resmodel::stats {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145707, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-12);
+}
+
+TEST(NormalCdf, SymmetryAroundZero) {
+  for (double x : {0.1, 0.7, 1.3, 2.9, 4.5}) {
+    EXPECT_NEAR(normal_cdf(x) + normal_cdf(-x), 1.0, 1e-14);
+  }
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-14);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.8413447460685429), 1.0, 1e-9);
+}
+
+TEST(NormalQuantile, BoundaryAndInvalidInputs) {
+  EXPECT_EQ(normal_quantile(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(normal_quantile(1.0), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(normal_quantile(-0.1)));
+  EXPECT_TRUE(std::isnan(normal_quantile(1.1)));
+  EXPECT_TRUE(std::isnan(normal_quantile(std::nan(""))));
+}
+
+TEST(GammaP, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(gamma_p(2.0, 0.0), 0.0);
+  EXPECT_NEAR(gamma_p(2.0, 1e6), 1.0, 1e-12);
+}
+
+TEST(GammaP, ExponentialSpecialCase) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(GammaP, KnownValue) {
+  // P(3, 3) = 1 - e^-3 (1 + 3 + 9/2).
+  EXPECT_NEAR(gamma_p(3.0, 3.0), 1.0 - std::exp(-3.0) * (1 + 3 + 4.5), 1e-12);
+}
+
+TEST(GammaP, ComplementsGammaQ) {
+  for (double a : {0.5, 1.0, 2.7, 10.0}) {
+    for (double x : {0.3, 1.0, 4.0, 20.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(GammaP, InvalidInputsAreNan) {
+  EXPECT_TRUE(std::isnan(gamma_p(-1.0, 1.0)));
+  EXPECT_TRUE(std::isnan(gamma_p(1.0, -1.0)));
+}
+
+TEST(GammaPInverse, InvertsGammaP) {
+  for (double a : {0.5, 1.0, 2.0, 5.0, 20.0}) {
+    for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+      const double x = gamma_p_inverse(a, p);
+      EXPECT_NEAR(gamma_p(a, x), p, 1e-9) << "a=" << a << " p=" << p;
+    }
+  }
+}
+
+TEST(GammaPInverse, Boundaries) {
+  EXPECT_DOUBLE_EQ(gamma_p_inverse(2.0, 0.0), 0.0);
+  EXPECT_EQ(gamma_p_inverse(2.0, 1.0),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(Digamma, KnownValues) {
+  constexpr double kEulerMascheroni = 0.5772156649015329;
+  EXPECT_NEAR(digamma(1.0), -kEulerMascheroni, 1e-10);
+  EXPECT_NEAR(digamma(2.0), 1.0 - kEulerMascheroni, 1e-10);
+  EXPECT_NEAR(digamma(0.5), -kEulerMascheroni - 2.0 * std::log(2.0), 1e-10);
+}
+
+TEST(Digamma, RecurrenceHolds) {
+  // psi(x+1) = psi(x) + 1/x.
+  for (double x : {0.3, 1.7, 5.5, 20.0}) {
+    EXPECT_NEAR(digamma(x + 1.0), digamma(x) + 1.0 / x, 1e-10);
+  }
+}
+
+TEST(Trigamma, KnownValue) {
+  EXPECT_NEAR(trigamma(1.0), 1.6449340668482264, 1e-9);  // pi^2/6
+}
+
+TEST(Trigamma, RecurrenceHolds) {
+  for (double x : {0.4, 2.3, 7.0}) {
+    EXPECT_NEAR(trigamma(x + 1.0), trigamma(x) - 1.0 / (x * x), 1e-10);
+  }
+}
+
+TEST(Trigamma, MatchesDigammaDerivative) {
+  const double h = 1e-5;
+  for (double x : {1.5, 4.0, 12.0}) {
+    const double numeric = (digamma(x + h) - digamma(x - h)) / (2 * h);
+    EXPECT_NEAR(trigamma(x), numeric, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace resmodel::stats

@@ -1,0 +1,97 @@
+#include "synth/availability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace resmodel::synth {
+namespace {
+
+TEST(AvailabilityParams, DefaultsValidate) {
+  EXPECT_NO_THROW(AvailabilityParams{}.validate());
+}
+
+TEST(AvailabilityParams, RejectsNonPositive) {
+  AvailabilityParams p;
+  p.on_weibull_k = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = AvailabilityParams{};
+  p.off_lognormal_sigma = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(AvailabilityModel, IntervalsAreSortedDisjointAndInWindow) {
+  const AvailabilityModel model;
+  util::Rng rng(1);
+  const auto intervals = model.generate(100.0, 400.0, rng);
+  ASSERT_FALSE(intervals.empty());
+  double prev_end = 100.0;
+  for (const AvailabilityInterval& interval : intervals) {
+    ASSERT_GE(interval.start_day, prev_end - 1e-12);
+    ASSERT_GT(interval.end_day, interval.start_day);
+    ASSERT_LE(interval.end_day, 400.0 + 1e-12);
+    prev_end = interval.end_day;
+  }
+  // Starts in the ON state.
+  EXPECT_DOUBLE_EQ(intervals.front().start_day, 100.0);
+}
+
+TEST(AvailabilityModel, EmptyWindowGivesNoIntervals) {
+  const AvailabilityModel model;
+  util::Rng rng(2);
+  EXPECT_TRUE(model.generate(10.0, 10.0, rng).empty());
+  EXPECT_TRUE(model.generate(10.0, 5.0, rng).empty());
+}
+
+TEST(AvailabilityModel, LongRunFractionMatchesExpectation) {
+  const AvailabilityModel model;
+  util::Rng rng(3);
+  const auto intervals = model.generate(0.0, 20000.0, rng);
+  const double measured = availability_fraction(intervals, 0.0, 20000.0);
+  EXPECT_NEAR(measured, model.expected_availability(), 0.04);
+}
+
+TEST(AvailabilityModel, ExpectedAvailabilityIsPlausible) {
+  // Defaults approximate volunteer hosts: mostly-on but far from 100%.
+  const AvailabilityModel model;
+  EXPECT_GT(model.expected_availability(), 0.4);
+  EXPECT_LT(model.expected_availability(), 0.95);
+}
+
+TEST(AvailabilityModel, HigherOffMeanLowersAvailability) {
+  AvailabilityParams long_off;
+  long_off.off_lognormal_mu = 0.5;  // much longer outages
+  const AvailabilityModel base;
+  const AvailabilityModel worse(long_off);
+  EXPECT_LT(worse.expected_availability(), base.expected_availability());
+}
+
+TEST(AvailabilityFraction, PartialOverlapCounted) {
+  const std::vector<AvailabilityInterval> on = {{0.0, 1.0}, {2.0, 4.0}};
+  EXPECT_DOUBLE_EQ(availability_fraction(on, 0.0, 4.0), 0.75);
+  EXPECT_DOUBLE_EQ(availability_fraction(on, 0.5, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(availability_fraction(on, 10.0, 20.0), 0.0);
+  EXPECT_DOUBLE_EQ(availability_fraction(on, 5.0, 5.0), 0.0);
+}
+
+TEST(NextAvailableTime, InsideAndBetweenIntervals) {
+  const std::vector<AvailabilityInterval> on = {{0.0, 1.0}, {2.0, 4.0}};
+  EXPECT_DOUBLE_EQ(next_available_time(on, 0.5), 0.5);   // already on
+  EXPECT_DOUBLE_EQ(next_available_time(on, 1.5), 2.0);   // wait for next
+  EXPECT_DOUBLE_EQ(next_available_time(on, 4.5), -1.0);  // nothing left
+}
+
+TEST(AvailabilityModel, DeterministicForFixedSeed) {
+  const AvailabilityModel model;
+  util::Rng a(7), b(7);
+  const auto ia = model.generate(0.0, 100.0, a);
+  const auto ib = model.generate(0.0, 100.0, b);
+  ASSERT_EQ(ia.size(), ib.size());
+  for (std::size_t i = 0; i < ia.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ia[i].start_day, ib[i].start_day);
+    EXPECT_DOUBLE_EQ(ia[i].end_day, ib[i].end_day);
+  }
+}
+
+}  // namespace
+}  // namespace resmodel::synth

@@ -1,0 +1,118 @@
+#include "synth/categorical_trends.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace resmodel::synth {
+namespace {
+
+TEST(CategoricalTrend, RejectsBadConstruction) {
+  EXPECT_THROW(CategoricalTrend({0.0}, {{1.0}}), std::invalid_argument);
+  EXPECT_THROW(CategoricalTrend({1.0, 0.0}, {{1.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(CategoricalTrend({0.0, 1.0}, {{1.0}}), std::invalid_argument);
+}
+
+TEST(CategoricalTrend, PmfNormalizedEverywhere) {
+  const CategoricalTrend trend({0.0, 2.0}, {{30.0, 10.0}, {70.0, 90.0}});
+  for (double t : {-1.0, 0.0, 0.5, 1.0, 2.0, 5.0}) {
+    const std::vector<double> p = trend.pmf(t);
+    EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-12);
+  }
+}
+
+TEST(CategoricalTrend, InterpolatesLinearly) {
+  const CategoricalTrend trend({0.0, 2.0}, {{40.0, 20.0}, {60.0, 80.0}});
+  const std::vector<double> mid = trend.pmf(1.0);
+  EXPECT_NEAR(mid[0], 0.30, 1e-12);
+  EXPECT_NEAR(mid[1], 0.70, 1e-12);
+}
+
+TEST(CategoricalTrend, ClampsOutsideAnchors) {
+  const CategoricalTrend trend({0.0, 1.0}, {{100.0, 0.0}, {0.0, 100.0}});
+  EXPECT_NEAR(trend.pmf(-5.0)[0], 1.0, 1e-12);
+  EXPECT_NEAR(trend.pmf(9.0)[1], 1.0, 1e-12);
+}
+
+TEST(CategoricalTrend, SampleFollowsPmf) {
+  const CategoricalTrend trend({0.0, 1.0}, {{25.0, 25.0}, {75.0, 75.0}});
+  util::Rng rng(1);
+  int count0 = 0;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    if (trend.sample(0.5, rng) == 0) ++count0;
+  }
+  EXPECT_NEAR(count0 / static_cast<double>(kN), 0.25, 0.01);
+}
+
+TEST(CpuFamilyTrend, MatchesTableIAnchors) {
+  const CategoricalTrend& trend = cpu_family_trend();
+  ASSERT_EQ(trend.category_count(),
+            static_cast<std::size_t>(trace::kCpuFamilyCount));
+  const auto p4 = static_cast<std::size_t>(trace::CpuFamily::kPentium4);
+  const auto core2 = static_cast<std::size_t>(trace::CpuFamily::kIntelCore2);
+  // 2006: P4 36.8%, Core2 0.9%. 2010: P4 15.5%, Core2 32.0%.
+  EXPECT_NEAR(trend.pmf(0.0)[p4], 0.368, 0.01);
+  EXPECT_NEAR(trend.pmf(0.0)[core2], 0.009, 0.005);
+  EXPECT_NEAR(trend.pmf(4.0)[p4], 0.155, 0.01);
+  EXPECT_NEAR(trend.pmf(4.0)[core2], 0.320, 0.01);
+}
+
+TEST(OsFamilyTrend, MatchesTableIIAnchors) {
+  const CategoricalTrend& trend = os_family_trend();
+  const auto xp = static_cast<std::size_t>(trace::OsFamily::kWindowsXp);
+  const auto win7 = static_cast<std::size_t>(trace::OsFamily::kWindows7);
+  EXPECT_NEAR(trend.pmf(0.0)[xp], 0.698, 0.01);
+  EXPECT_NEAR(trend.pmf(4.0)[xp], 0.529, 0.01);
+  EXPECT_NEAR(trend.pmf(0.0)[win7], 0.0, 1e-9);
+  EXPECT_NEAR(trend.pmf(4.0)[win7], 0.092, 0.01);
+}
+
+TEST(GpuTypeTrend, MatchesTableVIIAnchors) {
+  const CategoricalTrend& trend = gpu_type_trend();
+  // Sep 2009 (t=3.67): GeForce 82.5%, Radeon 12.2%.
+  EXPECT_NEAR(trend.pmf(3.67)[0], 0.825, 0.01);
+  EXPECT_NEAR(trend.pmf(3.67)[1], 0.122, 0.01);
+  // Sep 2010 (t=4.67): GeForce 63.6%, Radeon 31.5%.
+  EXPECT_NEAR(trend.pmf(4.67)[0], 0.636, 0.01);
+  EXPECT_NEAR(trend.pmf(4.67)[1], 0.315, 0.01);
+}
+
+TEST(GpuAdoption, PaperAnchors) {
+  EXPECT_NEAR(gpu_adoption_fraction(3.67), 0.127, 1e-6);
+  EXPECT_NEAR(gpu_adoption_fraction(4.67), 0.238, 1e-6);
+  EXPECT_DOUBLE_EQ(gpu_adoption_fraction(0.0), 0.0);  // clamped
+  EXPECT_LE(gpu_adoption_fraction(50.0), 0.5);
+}
+
+TEST(GpuMemoryPmf, CalibratedMoments) {
+  const std::vector<double>& values = gpu_memory_values_mb();
+  const auto mean_of = [&values](const std::vector<double>& pmf) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < pmf.size(); ++i) m += pmf[i] * values[i];
+    return m;
+  };
+  // Paper: mean 592.7 MB (Sep 2009) -> 659.4 MB (Sep 2010).
+  EXPECT_NEAR(mean_of(gpu_memory_pmf(3.67)), 592.7, 20.0);
+  EXPECT_NEAR(mean_of(gpu_memory_pmf(4.67)), 659.4, 20.0);
+}
+
+TEST(GpuMemoryPmf, GigabytePlusShareGrows) {
+  const std::vector<double>& values = gpu_memory_values_mb();
+  const auto ge_1gb = [&values](const std::vector<double>& pmf) {
+    double share = 0.0;
+    for (std::size_t i = 0; i < pmf.size(); ++i) {
+      if (values[i] >= 1024.0) share += pmf[i];
+    }
+    return share;
+  };
+  // Paper: 19% -> 31%.
+  EXPECT_NEAR(ge_1gb(gpu_memory_pmf(3.67)), 0.19, 0.04);
+  EXPECT_NEAR(ge_1gb(gpu_memory_pmf(4.67)), 0.31, 0.04);
+}
+
+}  // namespace
+}  // namespace resmodel::synth

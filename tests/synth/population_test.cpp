@@ -1,0 +1,207 @@
+#include "synth/population.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/fitting.h"
+#include "trace/lifetime.h"
+
+namespace resmodel::synth {
+namespace {
+
+PopulationConfig small_config() {
+  PopulationConfig config;
+  config.seed = 7;
+  config.target_active_hosts = 3000;
+  return config;
+}
+
+const trace::TraceStore& shared_population() {
+  static const trace::TraceStore kStore = generate_population(small_config());
+  return kStore;
+}
+
+TEST(SamplePoisson, ZeroMeanGivesZero) {
+  util::Rng rng(1);
+  EXPECT_EQ(sample_poisson(rng, 0.0), 0u);
+  EXPECT_EQ(sample_poisson(rng, -3.0), 0u);
+}
+
+TEST(SamplePoisson, SmallMeanMatches) {
+  util::Rng rng(2);
+  constexpr int kN = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(sample_poisson(rng, 3.5));
+  EXPECT_NEAR(sum / kN, 3.5, 0.05);
+}
+
+TEST(SamplePoisson, LargeMeanMatchesMeanAndVariance) {
+  util::Rng rng(3);
+  constexpr int kN = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double v = static_cast<double>(sample_poisson(rng, 100.0));
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, 100.0, 0.5);
+  EXPECT_NEAR(sum2 / kN - mean * mean, 100.0, 5.0);
+}
+
+TEST(LifetimeLambda, DecaysOverTime) {
+  const PopulationConfig config = small_config();
+  EXPECT_GT(lifetime_lambda(config, 0.0), lifetime_lambda(config, 4.0));
+  EXPECT_NEAR(lifetime_lambda(config, 0.0), config.lifetime_lambda_2006,
+              1e-12);
+}
+
+TEST(Population, ActiveCountNearTarget) {
+  const trace::TraceStore& store = shared_population();
+  for (int year : {2006, 2007, 2008, 2009, 2010}) {
+    const std::size_t active =
+        store.active_count(util::ModelDate::from_ymd(year, 1, 1));
+    EXPECT_GT(active, 2200u) << year;
+    EXPECT_LT(active, 3900u) << year;
+  }
+}
+
+TEST(Population, LifetimesMatchPaperScale) {
+  const trace::TraceStore& store = shared_population();
+  const auto lifetimes =
+      trace::host_lifetimes(store, util::ModelDate::from_ymd(2010, 7, 1));
+  // Paper: mean 192.4 days, median 71.14 days.
+  EXPECT_NEAR(stats::mean(lifetimes), 192.4, 40.0);
+  EXPECT_NEAR(stats::median(lifetimes), 71.1, 20.0);
+}
+
+TEST(Population, LifetimesFitWeibullWithPaperShape) {
+  const trace::TraceStore& store = shared_population();
+  auto lifetimes =
+      trace::host_lifetimes(store, util::ModelDate::from_ymd(2010, 7, 1));
+  // Weibull MLE needs strictly positive values.
+  std::erase_if(lifetimes, [](double v) { return v <= 0.0; });
+  const auto fit = stats::fit_weibull(lifetimes);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->k(), 0.58, 0.08);
+  EXPECT_NEAR(fit->lambda(), 135.0, 35.0);
+}
+
+TEST(Population, NewerHostsDieSooner) {
+  // The Figure-3 effect.
+  const trace::TraceStore& store = shared_population();
+  const auto bins = trace::creation_date_vs_lifetime(
+      store, util::ModelDate::from_ymd(2006, 1, 1),
+      util::ModelDate::from_ymd(2010, 1, 1), 365,
+      util::ModelDate::from_ymd(2009, 7, 1));
+  ASSERT_GE(bins.size(), 3u);
+  EXPECT_GT(bins.front().mean_lifetime_days, bins[2].mean_lifetime_days);
+}
+
+TEST(Population, ContainsCorruptRecordsNearPaperRate) {
+  trace::TraceStore copy;
+  for (const trace::HostRecord& h : shared_population().hosts()) copy.add(h);
+  const std::size_t total = copy.size();
+  const std::size_t discarded = copy.discard_implausible();
+  const double fraction = static_cast<double>(discarded) / total;
+  EXPECT_GT(fraction, 0.0002);  // paper: 0.12%
+  EXPECT_LT(fraction, 0.004);
+}
+
+TEST(Population, ContainsIntermediateMemoryValues) {
+  std::size_t off_grid = 0, total = 0;
+  const std::vector<double> grid = {256, 512, 768, 1024, 1536, 2048, 4096};
+  for (const trace::HostRecord& h : shared_population().hosts()) {
+    if (!trace::is_plausible(h)) continue;
+    ++total;
+    bool on_grid = false;
+    for (double g : grid) {
+      if (std::fabs(h.memory_per_core_mb() - g) < 1e-6) on_grid = true;
+    }
+    if (!on_grid) ++off_grid;
+  }
+  const double fraction = static_cast<double>(off_grid) / total;
+  EXPECT_NEAR(fraction, 0.15, 0.05);
+}
+
+TEST(Population, GpuOnlyOnRecentHosts) {
+  const trace::TraceStore& store = shared_population();
+  std::size_t gpu_hosts = 0;
+  for (const trace::HostRecord& h : store.hosts()) {
+    if (h.gpu == trace::GpuType::kNone) continue;
+    ++gpu_hosts;
+    EXPECT_GT(h.gpu_memory_mb, 0.0);
+  }
+  EXPECT_GT(gpu_hosts, 0u);
+  // GPU adoption at Sep 2010 should be roughly the paper's 23.8%.
+  const auto sep2010 = util::ModelDate::from_ymd(2010, 8, 31);
+  const auto counts = store.gpu_type_counts(sep2010);
+  std::size_t active_total = 0;
+  for (std::size_t c : counts) active_total += c;
+  const double gpu_fraction =
+      active_total == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(counts[0]) / active_total;
+  EXPECT_NEAR(gpu_fraction, 0.238, 0.08);
+}
+
+TEST(Population, AvailableDiskFractionRoughlyUniform) {
+  // §V-G: available/total ratio should look uniform; mean ~ (lo+hi)/2.
+  const PopulationConfig config = small_config();
+  std::vector<double> fractions;
+  for (const trace::HostRecord& h : shared_population().hosts()) {
+    if (!trace::is_plausible(h) || h.disk_total_gb <= 0.0) continue;
+    fractions.push_back(h.disk_avail_gb / h.disk_total_gb);
+  }
+  ASSERT_GT(fractions.size(), 1000u);
+  const double expected_mean =
+      (config.min_avail_disk_fraction + config.max_avail_disk_fraction) / 2.0;
+  EXPECT_NEAR(stats::mean(fractions), expected_mean, 0.03);
+  EXPECT_GE(stats::minimum(fractions), config.min_avail_disk_fraction - 1e-9);
+  EXPECT_LE(stats::maximum(fractions), config.max_avail_disk_fraction + 1e-9);
+}
+
+TEST(Population, DeterministicForFixedSeed) {
+  PopulationConfig config = small_config();
+  config.target_active_hosts = 300;
+  const trace::TraceStore a = generate_population(config);
+  const trace::TraceStore b = generate_population(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_EQ(a.host(i).id, b.host(i).id);
+    EXPECT_DOUBLE_EQ(a.host(i).whetstone_mips, b.host(i).whetstone_mips);
+  }
+}
+
+TEST(Population, DifferentSeedsDiffer) {
+  PopulationConfig a = small_config();
+  a.target_active_hosts = 300;
+  PopulationConfig b = a;
+  b.seed = a.seed + 1;
+  const trace::TraceStore ta = generate_population(a);
+  const trace::TraceStore tb = generate_population(b);
+  // Sizes will differ or at least contents will.
+  bool different = ta.size() != tb.size();
+  if (!different) {
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      if (ta.host(i).whetstone_mips != tb.host(i).whetstone_mips) {
+        different = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(Population, RecordsNeverExceedCollectionEnd) {
+  const PopulationConfig config = small_config();
+  const std::int32_t end_day = config.sim_end.day_index();
+  for (const trace::HostRecord& h : shared_population().hosts()) {
+    ASSERT_LE(h.last_contact_day, end_day);
+  }
+}
+
+}  // namespace
+}  // namespace resmodel::synth

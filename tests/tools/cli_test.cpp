@@ -1,0 +1,131 @@
+#include "cli_commands.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "trace/csv_io.h"
+
+namespace resmodel::cli {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+int run(const std::vector<std::string>& args, std::string* out_text = nullptr,
+        std::string* err_text = nullptr) {
+  std::ostringstream out, err;
+  const int code = run_cli(args, out, err);
+  if (out_text) *out_text = out.str();
+  if (err_text) *err_text = err.str();
+  return code;
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  std::string err;
+  EXPECT_EQ(run({}, nullptr, &err), kUsage);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  std::string err;
+  EXPECT_EQ(run({"frobnicate"}, nullptr, &err), kUsage);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, SynthWritesTrace) {
+  const std::string path = temp_path("cli_synth.csv");
+  std::string out;
+  ASSERT_EQ(run({"synth", path, "500", "3"}, &out), kOk);
+  EXPECT_NE(out.find("host records"), std::string::npos);
+  const trace::TraceStore store = trace::read_csv_file(path);
+  EXPECT_GT(store.size(), 1000u);
+}
+
+TEST(Cli, SynthRejectsBadArgs) {
+  EXPECT_EQ(run({"synth"}), kUsage);
+  EXPECT_EQ(run({"synth", temp_path("x.csv"), "notanumber"}), kFailure);
+}
+
+TEST(Cli, FullPipelineSynthFitGenerateValidatePredict) {
+  const std::string trace_path = temp_path("cli_pipe.csv");
+  const std::string model_path = temp_path("cli_pipe_model.txt");
+  const std::string hosts_path = temp_path("cli_pipe_hosts.csv");
+
+  ASSERT_EQ(run({"synth", trace_path, "800", "11"}), kOk);
+  std::string out;
+  ASSERT_EQ(run({"fit", trace_path, model_path}, &out), kOk);
+  EXPECT_NE(out.find("1:2 core ratio law"), std::string::npos);
+
+  ASSERT_EQ(run({"generate", model_path, "2011-01-01", "200", hosts_path},
+                &out),
+            kOk);
+  // Generated CSV: header + 200 rows.
+  std::ifstream hosts(hosts_path);
+  ASSERT_TRUE(hosts.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(hosts, line)) ++lines;
+  EXPECT_EQ(lines, 201);
+
+  ASSERT_EQ(run({"predict", model_path, "2014"}, &out), kOk);
+  EXPECT_NE(out.find("Mean cores"), std::string::npos);
+
+  ASSERT_EQ(run({"validate", model_path, trace_path, "2009-06-01"}, &out),
+            kOk);
+  EXPECT_NE(out.find("mu actual"), std::string::npos);
+}
+
+TEST(Cli, GenerateRejectsBadModelFile) {
+  const std::string bad_model = temp_path("cli_bad_model.txt");
+  std::ofstream(bad_model) << "not a model\n";
+  std::string err;
+  EXPECT_EQ(run({"generate", bad_model, "2011-01-01", "10",
+                 temp_path("unused.csv")},
+                nullptr, &err),
+            kFailure);
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Cli, GenerateRejectsBadDate) {
+  const std::string trace_path = temp_path("cli_gen.csv");
+  const std::string model_path = temp_path("cli_gen_model.txt");
+  ASSERT_EQ(run({"synth", trace_path, "500", "13"}), kOk);
+  ASSERT_EQ(run({"fit", trace_path, model_path}), kOk);
+  EXPECT_EQ(run({"generate", model_path, "June 2011", "10",
+                 temp_path("unused2.csv")}),
+            kFailure);
+}
+
+TEST(Cli, ValidateFailsOnEmptySnapshot) {
+  const std::string trace_path = temp_path("cli_val.csv");
+  const std::string model_path = temp_path("cli_val_model.txt");
+  ASSERT_EQ(run({"synth", trace_path, "500", "17"}), kOk);
+  ASSERT_EQ(run({"fit", trace_path, model_path}), kOk);
+  std::string err;
+  EXPECT_EQ(run({"validate", model_path, trace_path, "2030-01-01"}, nullptr,
+                &err),
+            kFailure);
+  EXPECT_NE(err.find("no active hosts"), std::string::npos);
+}
+
+TEST(Cli, CollectWritesTrace) {
+  const std::string path = temp_path("cli_collect.csv");
+  std::string out;
+  ASSERT_EQ(run({"collect", path, "150", "19"}, &out), kOk);
+  EXPECT_NE(out.find("scheduler contacts"), std::string::npos);
+  const trace::TraceStore store = trace::read_csv_file(path);
+  EXPECT_GT(store.size(), 200u);
+}
+
+TEST(Cli, FitRejectsMissingTrace) {
+  std::string err;
+  EXPECT_EQ(run({"fit", "/no/such/file.csv", temp_path("m.txt")}, nullptr,
+                &err),
+            kFailure);
+}
+
+}  // namespace
+}  // namespace resmodel::cli

@@ -1,0 +1,104 @@
+#include "trace/composition.h"
+
+#include <gtest/gtest.h>
+
+namespace resmodel::trace {
+namespace {
+
+HostRecord host(std::uint64_t id, int created, int last, CpuFamily cpu,
+                OsFamily os, GpuType gpu = GpuType::kNone) {
+  HostRecord h;
+  h.id = id;
+  h.created_day = created;
+  h.last_contact_day = last;
+  h.n_cores = 1;
+  h.memory_mb = 1024;
+  h.whetstone_mips = 1000;
+  h.dhrystone_mips = 2000;
+  h.disk_avail_gb = 10;
+  h.cpu = cpu;
+  h.os = os;
+  h.gpu = gpu;
+  return h;
+}
+
+std::vector<util::ModelDate> two_dates() {
+  return {util::ModelDate::from_day_index(5),
+          util::ModelDate::from_day_index(50)};
+}
+
+TEST(CpuComposition, SharesSumToOnePerDate) {
+  TraceStore store;
+  store.add(host(1, 0, 10, CpuFamily::kPentium4, OsFamily::kWindowsXp));
+  store.add(host(2, 0, 100, CpuFamily::kIntelCore2, OsFamily::kWindowsXp));
+  store.add(host(3, 40, 100, CpuFamily::kIntelCore2, OsFamily::kLinux));
+  const CompositionTable table = cpu_composition(store, two_dates());
+  ASSERT_EQ(table.shares.size(), static_cast<std::size_t>(kCpuFamilyCount));
+  for (std::size_t c = 0; c < table.dates.size(); ++c) {
+    double total = 0.0;
+    for (const auto& row : table.shares) total += row[c];
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(CpuComposition, TracksTurnover) {
+  TraceStore store;
+  store.add(host(1, 0, 10, CpuFamily::kPentium4, OsFamily::kWindowsXp));
+  store.add(host(2, 0, 100, CpuFamily::kIntelCore2, OsFamily::kWindowsXp));
+  const CompositionTable table = cpu_composition(store, two_dates());
+  const auto p4 = static_cast<std::size_t>(CpuFamily::kPentium4);
+  const auto core2 = static_cast<std::size_t>(CpuFamily::kIntelCore2);
+  EXPECT_DOUBLE_EQ(table.shares[p4][0], 0.5);
+  EXPECT_DOUBLE_EQ(table.shares[p4][1], 0.0);  // P4 host gone by day 50
+  EXPECT_DOUBLE_EQ(table.shares[core2][1], 1.0);
+}
+
+TEST(OsComposition, CategoriesMatchEnum) {
+  TraceStore store;
+  store.add(host(1, 0, 100, CpuFamily::kOther, OsFamily::kMacOsX));
+  const CompositionTable table = os_composition(store, two_dates());
+  ASSERT_EQ(table.categories.size(), static_cast<std::size_t>(kOsFamilyCount));
+  EXPECT_EQ(table.categories[static_cast<std::size_t>(OsFamily::kMacOsX)],
+            "Mac OS X");
+  EXPECT_DOUBLE_EQ(
+      table.shares[static_cast<std::size_t>(OsFamily::kMacOsX)][0], 1.0);
+}
+
+TEST(Composition, EmptyDateGivesZeroShares) {
+  TraceStore store;
+  store.add(host(1, 0, 10, CpuFamily::kOther, OsFamily::kOther));
+  const CompositionTable table =
+      cpu_composition(store, {util::ModelDate::from_day_index(500)});
+  for (const auto& row : table.shares) {
+    EXPECT_DOUBLE_EQ(row[0], 0.0);
+  }
+}
+
+TEST(GpuComposition, FractionAndTypeShares) {
+  TraceStore store;
+  store.add(host(1, 0, 100, CpuFamily::kOther, OsFamily::kOther,
+                 GpuType::kGeForce));
+  store.add(host(2, 0, 100, CpuFamily::kOther, OsFamily::kOther,
+                 GpuType::kRadeon));
+  store.add(host(3, 0, 100, CpuFamily::kOther, OsFamily::kOther));
+  store.add(host(4, 0, 100, CpuFamily::kOther, OsFamily::kOther));
+  const GpuComposition gpu =
+      gpu_composition(store, {util::ModelDate::from_day_index(50)});
+  EXPECT_DOUBLE_EQ(gpu.gpu_host_fraction[0], 0.5);
+  // Type shares are among GPU hosts only.
+  EXPECT_DOUBLE_EQ(gpu.types.shares[0][0], 0.5);  // GeForce
+  EXPECT_DOUBLE_EQ(gpu.types.shares[1][0], 0.5);  // Radeon
+  EXPECT_DOUBLE_EQ(gpu.types.shares[2][0], 0.0);  // Quadro
+}
+
+TEST(GpuComposition, NoGpuHostsGivesZeroFraction) {
+  TraceStore store;
+  store.add(host(1, 0, 100, CpuFamily::kOther, OsFamily::kOther));
+  const GpuComposition gpu =
+      gpu_composition(store, {util::ModelDate::from_day_index(50)});
+  EXPECT_DOUBLE_EQ(gpu.gpu_host_fraction[0], 0.0);
+  EXPECT_DOUBLE_EQ(gpu.types.shares[0][0], 0.0);
+}
+
+}  // namespace
+}  // namespace resmodel::trace

@@ -1,0 +1,125 @@
+#include "trace/csv_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace resmodel::trace {
+namespace {
+
+HostRecord sample_host() {
+  HostRecord h;
+  h.id = 42;
+  h.created_day = -100;
+  h.last_contact_day = 365;
+  h.n_cores = 4;
+  h.memory_mb = 4096.5;
+  h.dhrystone_mips = 4120.25;
+  h.whetstone_mips = 1861.125;
+  h.disk_avail_gb = 98.0625;
+  h.disk_total_gb = 250.5;
+  h.cpu = CpuFamily::kIntelCore2;
+  h.os = OsFamily::kWindowsVista;
+  h.gpu = GpuType::kRadeon;
+  h.gpu_memory_mb = 512.0;
+  return h;
+}
+
+TEST(TraceCsv, RoundTripsExactly) {
+  TraceStore store;
+  store.add(sample_host());
+  HostRecord other = sample_host();
+  other.id = 43;
+  other.gpu = GpuType::kNone;
+  other.gpu_memory_mb = 0.0;
+  store.add(other);
+
+  std::stringstream buffer;
+  write_csv(store, buffer);
+  const TraceStore loaded = read_csv(buffer);
+
+  ASSERT_EQ(loaded.size(), 2u);
+  const HostRecord& h = loaded.host(0);
+  EXPECT_EQ(h.id, 42u);
+  EXPECT_EQ(h.created_day, -100);
+  EXPECT_EQ(h.last_contact_day, 365);
+  EXPECT_EQ(h.n_cores, 4);
+  EXPECT_DOUBLE_EQ(h.memory_mb, 4096.5);
+  EXPECT_DOUBLE_EQ(h.dhrystone_mips, 4120.25);
+  EXPECT_DOUBLE_EQ(h.whetstone_mips, 1861.125);
+  EXPECT_DOUBLE_EQ(h.disk_avail_gb, 98.0625);
+  EXPECT_DOUBLE_EQ(h.disk_total_gb, 250.5);
+  EXPECT_EQ(h.cpu, CpuFamily::kIntelCore2);
+  EXPECT_EQ(h.os, OsFamily::kWindowsVista);
+  EXPECT_EQ(h.gpu, GpuType::kRadeon);
+  EXPECT_EQ(loaded.host(1).gpu, GpuType::kNone);
+}
+
+TEST(TraceCsv, EmptyStoreRoundTrips) {
+  TraceStore store;
+  std::stringstream buffer;
+  write_csv(store, buffer);
+  EXPECT_EQ(read_csv(buffer).size(), 0u);
+}
+
+TEST(TraceCsv, RejectsMissingHeader) {
+  std::istringstream in("1,2,3\n");
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
+TEST(TraceCsv, RejectsWrongFieldCount) {
+  TraceStore store;
+  store.add(sample_host());
+  std::stringstream buffer;
+  write_csv(store, buffer);
+  std::string text = buffer.str();
+  text += "1,2,3\n";  // short row
+  std::istringstream in(text);
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
+TEST(TraceCsv, RejectsBadNumber) {
+  TraceStore store;
+  store.add(sample_host());
+  std::stringstream buffer;
+  write_csv(store, buffer);
+  std::string text = buffer.str();
+  // Corrupt the memory field of the data row.
+  const auto pos = text.find("4096.5");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 6, "notnum");
+  std::istringstream in(text);
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
+TEST(TraceCsv, RejectsOutOfRangeEnum) {
+  TraceStore store;
+  store.add(sample_host());
+  std::stringstream buffer;
+  write_csv(store, buffer);
+  std::string text = buffer.str();
+  // cpu column holds "8" (kIntelCore2); replace the exact cell.
+  const auto pos = text.rfind(",8,");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 3, ",99,");
+  std::istringstream in(text);
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
+TEST(TraceCsv, FileRoundTrip) {
+  TraceStore store;
+  store.add(sample_host());
+  const std::string path = ::testing::TempDir() + "/trace_io_test.csv";
+  write_csv_file(store, path);
+  const TraceStore loaded = read_csv_file(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.host(0).id, 42u);
+}
+
+TEST(TraceCsv, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace resmodel::trace

@@ -1,0 +1,124 @@
+#include "trace/host_record.h"
+
+#include <gtest/gtest.h>
+
+namespace resmodel::trace {
+namespace {
+
+HostRecord plausible_host() {
+  HostRecord h;
+  h.id = 1;
+  h.created_day = 100;
+  h.last_contact_day = 200;
+  h.n_cores = 2;
+  h.memory_mb = 2048.0;
+  h.dhrystone_mips = 4000.0;
+  h.whetstone_mips = 1800.0;
+  h.disk_avail_gb = 50.0;
+  h.disk_total_gb = 120.0;
+  return h;
+}
+
+TEST(HostRecord, ActiveWindowIsInclusive) {
+  const HostRecord h = plausible_host();
+  EXPECT_TRUE(h.active_at(100));
+  EXPECT_TRUE(h.active_at(150));
+  EXPECT_TRUE(h.active_at(200));
+  EXPECT_FALSE(h.active_at(99));
+  EXPECT_FALSE(h.active_at(201));
+}
+
+TEST(HostRecord, LifetimeIsContactSpan) {
+  EXPECT_EQ(plausible_host().lifetime_days(), 100);
+}
+
+TEST(HostRecord, MemoryPerCore) {
+  const HostRecord h = plausible_host();
+  EXPECT_DOUBLE_EQ(h.memory_per_core_mb(), 1024.0);
+}
+
+TEST(HostRecord, MemoryPerCoreZeroCoresSafe) {
+  HostRecord h = plausible_host();
+  h.n_cores = 0;
+  EXPECT_DOUBLE_EQ(h.memory_per_core_mb(), 0.0);
+}
+
+TEST(IsPlausible, AcceptsTypicalHost) {
+  EXPECT_TRUE(is_plausible(plausible_host()));
+}
+
+// The §V-B discard thresholds, one rule at a time.
+TEST(IsPlausible, RejectsTooManyCores) {
+  HostRecord h = plausible_host();
+  h.n_cores = 129;
+  EXPECT_FALSE(is_plausible(h));
+  h.n_cores = 128;
+  EXPECT_TRUE(is_plausible(h));
+}
+
+TEST(IsPlausible, RejectsExcessiveWhetstone) {
+  HostRecord h = plausible_host();
+  h.whetstone_mips = 1.1e5;
+  EXPECT_FALSE(is_plausible(h));
+}
+
+TEST(IsPlausible, RejectsExcessiveDhrystone) {
+  HostRecord h = plausible_host();
+  h.dhrystone_mips = 1.1e5;
+  EXPECT_FALSE(is_plausible(h));
+}
+
+TEST(IsPlausible, RejectsExcessiveMemory) {
+  HostRecord h = plausible_host();
+  h.memory_mb = 101.0 * 1024.0;  // > 100 GB
+  EXPECT_FALSE(is_plausible(h));
+}
+
+TEST(IsPlausible, RejectsExcessiveDisk) {
+  HostRecord h = plausible_host();
+  h.disk_avail_gb = 1.1e4;
+  EXPECT_FALSE(is_plausible(h));
+}
+
+TEST(IsPlausible, RejectsNonPositiveResources) {
+  for (auto mutate : {+[](HostRecord& h) { h.n_cores = 0; },
+                      +[](HostRecord& h) { h.memory_mb = 0.0; },
+                      +[](HostRecord& h) { h.whetstone_mips = -1.0; },
+                      +[](HostRecord& h) { h.dhrystone_mips = 0.0; },
+                      +[](HostRecord& h) { h.disk_avail_gb = 0.0; }}) {
+    HostRecord h = plausible_host();
+    mutate(h);
+    EXPECT_FALSE(is_plausible(h));
+  }
+}
+
+TEST(IsPlausible, RejectsReversedContactOrder) {
+  HostRecord h = plausible_host();
+  h.last_contact_day = h.created_day - 1;
+  EXPECT_FALSE(is_plausible(h));
+}
+
+TEST(EnumNames, AllCpuFamiliesNamed) {
+  for (int i = 0; i < kCpuFamilyCount; ++i) {
+    EXPECT_FALSE(to_string(static_cast<CpuFamily>(i)).empty());
+  }
+  EXPECT_EQ(to_string(CpuFamily::kPentium4), "Pentium 4");
+  EXPECT_EQ(to_string(CpuFamily::kIntelCore2), "Intel Core 2");
+}
+
+TEST(EnumNames, AllOsFamiliesNamed) {
+  for (int i = 0; i < kOsFamilyCount; ++i) {
+    EXPECT_FALSE(to_string(static_cast<OsFamily>(i)).empty());
+  }
+  EXPECT_EQ(to_string(OsFamily::kWindowsXp), "Windows XP");
+}
+
+TEST(EnumNames, AllGpuTypesNamed) {
+  for (int i = 0; i < kGpuTypeCount; ++i) {
+    EXPECT_FALSE(to_string(static_cast<GpuType>(i)).empty());
+  }
+  EXPECT_EQ(to_string(GpuType::kGeForce), "GeForce");
+}
+
+}  // namespace
+}  // namespace resmodel::trace

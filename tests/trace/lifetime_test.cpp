@@ -1,0 +1,81 @@
+#include "trace/lifetime.h"
+
+#include <gtest/gtest.h>
+
+namespace resmodel::trace {
+namespace {
+
+HostRecord host(std::uint64_t id, int created, int last) {
+  HostRecord h;
+  h.id = id;
+  h.created_day = created;
+  h.last_contact_day = last;
+  h.n_cores = 1;
+  h.memory_mb = 1024;
+  h.whetstone_mips = 1000;
+  h.dhrystone_mips = 2000;
+  h.disk_avail_gb = 10;
+  return h;
+}
+
+TEST(HostLifetimes, ComputesSpans) {
+  TraceStore store;
+  store.add(host(1, 0, 100));
+  store.add(host(2, 10, 15));
+  const auto lt = host_lifetimes(store, util::ModelDate::from_day_index(1000));
+  ASSERT_EQ(lt.size(), 2u);
+  EXPECT_DOUBLE_EQ(lt[0], 100.0);
+  EXPECT_DOUBLE_EQ(lt[1], 5.0);
+}
+
+TEST(HostLifetimes, CensorsLateCreations) {
+  // The paper excludes hosts that connected after July 1, 2010.
+  TraceStore store;
+  store.add(host(1, 0, 100));
+  store.add(host(2, 900, 950));
+  const auto lt = host_lifetimes(store, util::ModelDate::from_day_index(500));
+  ASSERT_EQ(lt.size(), 1u);
+  EXPECT_DOUBLE_EQ(lt[0], 100.0);
+}
+
+TEST(CreationVsLifetime, BinsByCreationDate) {
+  TraceStore store;
+  store.add(host(1, 0, 100));    // bin 0, lifetime 100
+  store.add(host(2, 5, 55));     // bin 0, lifetime 50
+  store.add(host(3, 30, 40));    // bin 1, lifetime 10
+  const auto bins = creation_date_vs_lifetime(
+      store, util::ModelDate::from_day_index(0),
+      util::ModelDate::from_day_index(60), 30,
+      util::ModelDate::from_day_index(1000));
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0].host_count, 2u);
+  EXPECT_DOUBLE_EQ(bins[0].mean_lifetime_days, 75.0);
+  EXPECT_EQ(bins[1].host_count, 1u);
+  EXPECT_DOUBLE_EQ(bins[1].mean_lifetime_days, 10.0);
+}
+
+TEST(CreationVsLifetime, ExcludesOutsideRangeAndCutoff) {
+  TraceStore store;
+  store.add(host(1, -10, 5));   // before range
+  store.add(host(2, 70, 80));   // after range
+  store.add(host(3, 10, 20));   // in range but created after cutoff
+  const auto bins = creation_date_vs_lifetime(
+      store, util::ModelDate::from_day_index(0),
+      util::ModelDate::from_day_index(60), 30,
+      util::ModelDate::from_day_index(5));
+  EXPECT_EQ(bins[0].host_count, 0u);
+  EXPECT_EQ(bins[1].host_count, 0u);
+}
+
+TEST(CreationVsLifetime, EmptyBinHasZeroMean) {
+  TraceStore store;
+  const auto bins = creation_date_vs_lifetime(
+      store, util::ModelDate::from_day_index(0),
+      util::ModelDate::from_day_index(30), 30,
+      util::ModelDate::from_day_index(100));
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_DOUBLE_EQ(bins[0].mean_lifetime_days, 0.0);
+}
+
+}  // namespace
+}  // namespace resmodel::trace

@@ -1,0 +1,134 @@
+#include "trace/trace_store.h"
+
+#include <gtest/gtest.h>
+
+namespace resmodel::trace {
+namespace {
+
+HostRecord make_host(std::uint64_t id, int created, int last, int cores = 2,
+                     double mem = 2048, double whet = 1500, double dhry = 3000,
+                     double disk = 40) {
+  HostRecord h;
+  h.id = id;
+  h.created_day = created;
+  h.last_contact_day = last;
+  h.n_cores = cores;
+  h.memory_mb = mem;
+  h.whetstone_mips = whet;
+  h.dhrystone_mips = dhry;
+  h.disk_avail_gb = disk;
+  h.disk_total_gb = disk * 2;
+  return h;
+}
+
+TEST(TraceStore, AddAndSize) {
+  TraceStore store;
+  EXPECT_TRUE(store.empty());
+  store.add(make_host(1, 0, 10));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.host(0).id, 1u);
+}
+
+TEST(TraceStore, HostThrowsOutOfRange) {
+  TraceStore store;
+  EXPECT_THROW(store.host(0), std::out_of_range);
+}
+
+TEST(TraceStore, ActiveCountRespectsWindows) {
+  TraceStore store;
+  store.add(make_host(1, 0, 100));
+  store.add(make_host(2, 50, 150));
+  store.add(make_host(3, 120, 200));
+  EXPECT_EQ(store.active_count(util::ModelDate::from_day_index(60)), 2u);
+  EXPECT_EQ(store.active_count(util::ModelDate::from_day_index(110)), 1u);
+  EXPECT_EQ(store.active_count(util::ModelDate::from_day_index(300)), 0u);
+}
+
+TEST(TraceStore, ActiveIndicesMatchCount) {
+  TraceStore store;
+  store.add(make_host(1, 0, 100));
+  store.add(make_host(2, 200, 300));
+  const auto idx = store.active_indices(util::ModelDate::from_day_index(50));
+  ASSERT_EQ(idx.size(), 1u);
+  EXPECT_EQ(idx[0], 0u);
+}
+
+TEST(TraceStore, SnapshotColumnsAligned) {
+  TraceStore store;
+  store.add(make_host(1, 0, 100, 4, 4096, 1700, 3500, 80));
+  store.add(make_host(2, 0, 100, 1, 512, 1100, 2100, 10));
+  const ResourceSnapshot snap =
+      store.snapshot(util::ModelDate::from_day_index(50));
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap.cores[0], 4.0);
+  EXPECT_DOUBLE_EQ(snap.memory_per_core_mb[0], 1024.0);
+  EXPECT_DOUBLE_EQ(snap.memory_per_core_mb[1], 512.0);
+  EXPECT_DOUBLE_EQ(snap.disk_avail_gb[1], 10.0);
+}
+
+TEST(TraceStore, SnapshotExcludesInactive) {
+  TraceStore store;
+  store.add(make_host(1, 0, 10));
+  const ResourceSnapshot snap =
+      store.snapshot(util::ModelDate::from_day_index(20));
+  EXPECT_EQ(snap.size(), 0u);
+}
+
+TEST(TraceStore, DiscardImplausibleRemovesAndCounts) {
+  TraceStore store;
+  store.add(make_host(1, 0, 10));
+  HostRecord bad = make_host(2, 0, 10);
+  bad.n_cores = 500;
+  store.add(bad);
+  HostRecord bad2 = make_host(3, 0, 10);
+  bad2.dhrystone_mips = 2e5;
+  store.add(bad2);
+  EXPECT_EQ(store.discard_implausible(), 2u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.host(0).id, 1u);
+}
+
+TEST(TraceStore, CpuFamilyCounts) {
+  TraceStore store;
+  HostRecord a = make_host(1, 0, 10);
+  a.cpu = CpuFamily::kPentium4;
+  HostRecord b = make_host(2, 0, 10);
+  b.cpu = CpuFamily::kPentium4;
+  HostRecord c = make_host(3, 0, 10);
+  c.cpu = CpuFamily::kIntelCore2;
+  store.add(a);
+  store.add(b);
+  store.add(c);
+  const auto counts = store.cpu_family_counts(util::ModelDate::from_day_index(5));
+  EXPECT_EQ(counts[static_cast<std::size_t>(CpuFamily::kPentium4)], 2u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(CpuFamily::kIntelCore2)], 1u);
+}
+
+TEST(TraceStore, OsFamilyCounts) {
+  TraceStore store;
+  HostRecord a = make_host(1, 0, 10);
+  a.os = OsFamily::kLinux;
+  store.add(a);
+  const auto counts = store.os_family_counts(util::ModelDate::from_day_index(5));
+  EXPECT_EQ(counts[static_cast<std::size_t>(OsFamily::kLinux)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(OsFamily::kWindowsXp)], 0u);
+}
+
+TEST(TraceStore, GpuCountsAndMemorySnapshot) {
+  TraceStore store;
+  HostRecord a = make_host(1, 0, 10);
+  a.gpu = GpuType::kGeForce;
+  a.gpu_memory_mb = 512;
+  HostRecord b = make_host(2, 0, 10);  // no GPU
+  store.add(a);
+  store.add(b);
+  const auto counts = store.gpu_type_counts(util::ModelDate::from_day_index(5));
+  EXPECT_EQ(counts[static_cast<std::size_t>(GpuType::kNone)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(GpuType::kGeForce)], 1u);
+  const auto mem = store.gpu_memory_snapshot(util::ModelDate::from_day_index(5));
+  ASSERT_EQ(mem.size(), 1u);
+  EXPECT_DOUBLE_EQ(mem[0], 512.0);
+}
+
+}  // namespace
+}  // namespace resmodel::trace

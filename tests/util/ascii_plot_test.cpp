@@ -1,0 +1,79 @@
+#include "util/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace resmodel::util {
+namespace {
+
+TEST(AsciiChart, RejectsEmptyXGrid) {
+  EXPECT_THROW(AsciiChart("t", {}), std::invalid_argument);
+}
+
+TEST(AsciiChart, RejectsMismatchedSeries) {
+  AsciiChart chart("t", {0.0, 1.0});
+  EXPECT_THROW(chart.add_series({"s", {1.0}}), std::invalid_argument);
+}
+
+TEST(AsciiChart, RendersTitleAndLegend) {
+  AsciiChart chart("My Chart", {0.0, 1.0, 2.0});
+  chart.add_series({"rising", {1.0, 2.0, 3.0}});
+  std::ostringstream out;
+  chart.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("My Chart"), std::string::npos);
+  EXPECT_NE(s.find("rising"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesUseDistinctGlyphs) {
+  AsciiChart chart("t", {0.0, 1.0});
+  chart.add_series({"a", {1.0, 1.0}});
+  chart.add_series({"b", {2.0, 2.0}});
+  std::ostringstream out;
+  chart.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("* = a"), std::string::npos);
+  EXPECT_NE(s.find("o = b"), std::string::npos);
+}
+
+TEST(AsciiChart, LogScaleHandlesPositiveData) {
+  AsciiChart chart("log", {0.0, 1.0, 2.0});
+  chart.set_log_y(true);
+  chart.add_series({"exp", {1.0, 10.0, 100.0}});
+  std::ostringstream out;
+  EXPECT_NO_THROW(chart.print(out));
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotCrash) {
+  AsciiChart chart("flat", {0.0, 1.0});
+  chart.add_series({"c", {5.0, 5.0}});
+  std::ostringstream out;
+  EXPECT_NO_THROW(chart.print(out));
+}
+
+TEST(AsciiChart, FixedRangeClipsOutliers) {
+  AsciiChart chart("clip", {0.0, 1.0});
+  chart.set_y_range(0.0, 1.0);
+  chart.add_series({"huge", {0.5, 100.0}});
+  std::ostringstream out;
+  EXPECT_NO_THROW(chart.print(out));
+}
+
+TEST(BarChart, RendersBarsProportionally) {
+  std::ostringstream out;
+  print_bar_chart(out, "Bars", {{"a", 1.0}, {"b", 2.0}}, 10);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("Bars"), std::string::npos);
+  EXPECT_NE(s.find("#####"), std::string::npos);
+}
+
+TEST(BarChart, HandlesAllZeroValues) {
+  std::ostringstream out;
+  EXPECT_NO_THROW(print_bar_chart(out, "Z", {{"a", 0.0}}, 10));
+}
+
+}  // namespace
+}  // namespace resmodel::util

@@ -1,0 +1,117 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace resmodel::util {
+namespace {
+
+std::string write_rows(const std::vector<CsvRow>& rows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  for (const CsvRow& row : rows) writer.write_row(row);
+  return out.str();
+}
+
+std::vector<CsvRow> read_all(const std::string& text) {
+  std::istringstream in(text);
+  CsvReader reader(in);
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  while (reader.read_row(row)) rows.push_back(row);
+  return rows;
+}
+
+TEST(CsvWriter, PlainFields) {
+  EXPECT_EQ(write_rows({{"a", "b", "c"}}), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesFieldsWithCommas) {
+  EXPECT_EQ(write_rows({{"a,b", "c"}}), "\"a,b\",c\n");
+}
+
+TEST(CsvWriter, EscapesEmbeddedQuotes) {
+  EXPECT_EQ(write_rows({{"say \"hi\""}}), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  EXPECT_EQ(write_rows({{"line1\nline2"}}), "\"line1\nline2\"\n");
+}
+
+TEST(CsvWriter, DoubleFieldRoundTripsExactly) {
+  const double v = 0.1234567890123456789;
+  const std::string s = CsvWriter::field(v);
+  EXPECT_DOUBLE_EQ(std::stod(s), v);
+}
+
+TEST(CsvWriter, IntegerField) {
+  EXPECT_EQ(CsvWriter::field(static_cast<long long>(-42)), "-42");
+}
+
+TEST(CsvReader, ReadsSimpleRows) {
+  const auto rows = read_all("a,b\nc,d\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvReader, HandlesMissingTrailingNewline) {
+  const auto rows = read_all("a,b");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+}
+
+TEST(CsvReader, EmptyFieldsPreserved) {
+  const auto rows = read_all("a,,c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "", "c"}));
+}
+
+TEST(CsvReader, ToleratesCrLf) {
+  const auto rows = read_all("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+}
+
+TEST(CsvReader, ParsesQuotedFields) {
+  const auto rows = read_all("\"a,b\",\"c\"\"d\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a,b", "c\"d"}));
+}
+
+TEST(CsvReader, QuotedFieldSpansLines) {
+  const auto rows = read_all("\"line1\nline2\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"line1\nline2", "x"}));
+}
+
+TEST(CsvReader, ThrowsOnUnterminatedQuote) {
+  EXPECT_THROW(read_all("\"oops"), std::runtime_error);
+}
+
+TEST(CsvReader, ThrowsOnQuoteInsideUnquotedField) {
+  EXPECT_THROW(read_all("ab\"c,d\n"), std::runtime_error);
+}
+
+TEST(CsvRoundTrip, ArbitraryContentSurvives) {
+  const std::vector<CsvRow> rows = {
+      {"plain", "with,comma", "with\"quote", "multi\nline", ""},
+      {"1.5", "-3", "0"},
+  };
+  auto parsed = read_all(write_rows(rows));
+  ASSERT_EQ(parsed.size(), rows.size());
+  EXPECT_EQ(parsed[0], rows[0]);
+  EXPECT_EQ(parsed[1], rows[1]);
+}
+
+TEST(ParseCsvLine, SplitsOneLine) {
+  EXPECT_EQ(parse_csv_line("x,y,z"), (CsvRow{"x", "y", "z"}));
+}
+
+TEST(ParseCsvLine, EmptyLineGivesEmptyRow) {
+  EXPECT_TRUE(parse_csv_line("").empty());
+}
+
+}  // namespace
+}  // namespace resmodel::util

@@ -1,0 +1,89 @@
+#include "util/kv_store.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace resmodel::util {
+namespace {
+
+TEST(KvStore, SetAndGet) {
+  KvStore kv;
+  kv.set("name", std::string("value"));
+  EXPECT_EQ(kv.get("name"), "value");
+  EXPECT_TRUE(kv.contains("name"));
+  EXPECT_FALSE(kv.contains("other"));
+}
+
+TEST(KvStore, SetOverwritesExisting) {
+  KvStore kv;
+  kv.set("k", std::string("a"));
+  kv.set("k", std::string("b"));
+  EXPECT_EQ(kv.get("k"), "b");
+  EXPECT_EQ(kv.get_all("k").size(), 1u);
+}
+
+TEST(KvStore, AppendKeepsDuplicates) {
+  KvStore kv;
+  kv.append("k", "a");
+  kv.append("k", "b");
+  EXPECT_EQ(kv.get_all("k"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(kv.get("k"), "a");  // first wins for scalar get
+}
+
+TEST(KvStore, DoubleRoundTrip) {
+  KvStore kv;
+  kv.set("pi", 3.14159265358979312);
+  EXPECT_DOUBLE_EQ(kv.get_double("pi"), 3.14159265358979312);
+}
+
+TEST(KvStore, IntRoundTrip) {
+  KvStore kv;
+  kv.set("n", static_cast<long long>(-123456789));
+  EXPECT_EQ(kv.get_int("n"), -123456789);
+}
+
+TEST(KvStore, MissingKeyThrows) {
+  const KvStore kv;
+  EXPECT_THROW(kv.get("nope"), std::out_of_range);
+}
+
+TEST(KvStore, NonNumericThrows) {
+  KvStore kv;
+  kv.set("k", std::string("abc"));
+  EXPECT_THROW(kv.get_double("k"), std::runtime_error);
+  EXPECT_THROW(kv.get_int("k"), std::runtime_error);
+}
+
+TEST(KvStore, ParseSkipsCommentsAndBlanks) {
+  const KvStore kv = KvStore::parse("# comment\n\n a = 1 \nb=2\n");
+  EXPECT_EQ(kv.get("a"), "1");
+  EXPECT_EQ(kv.get("b"), "2");
+}
+
+TEST(KvStore, ParseRejectsMissingEquals) {
+  EXPECT_THROW(KvStore::parse("justakey\n"), std::runtime_error);
+}
+
+TEST(KvStore, SerializeParseRoundTrip) {
+  KvStore kv;
+  kv.set("alpha", 1.5);
+  kv.set("beta", std::string("two words"));
+  kv.append("list", "x");
+  kv.append("list", "y");
+  const KvStore parsed = KvStore::parse(kv.serialize());
+  EXPECT_DOUBLE_EQ(parsed.get_double("alpha"), 1.5);
+  EXPECT_EQ(parsed.get("beta"), "two words");
+  EXPECT_EQ(parsed.get_all("list"), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(KvStore, KeysListsInInsertionOrderOnce) {
+  KvStore kv;
+  kv.append("b", "1");
+  kv.append("a", "2");
+  kv.append("b", "3");
+  EXPECT_EQ(kv.keys(), (std::vector<std::string>{"b", "a"}));
+}
+
+}  // namespace
+}  // namespace resmodel::util

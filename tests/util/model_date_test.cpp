@@ -1,0 +1,119 @@
+#include "util/model_date.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace resmodel::util {
+namespace {
+
+TEST(ModelDate, EpochIsDayZeroYear2006) {
+  const ModelDate epoch = ModelDate::from_ymd(2006, 1, 1);
+  EXPECT_EQ(epoch.day_index(), 0);
+  EXPECT_DOUBLE_EQ(epoch.year(), 2006.0);
+  EXPECT_DOUBLE_EQ(epoch.t(), 0.0);
+}
+
+TEST(ModelDate, KnownCalendarOffsets) {
+  EXPECT_EQ(ModelDate::from_ymd(2006, 1, 2).day_index(), 1);
+  EXPECT_EQ(ModelDate::from_ymd(2006, 2, 1).day_index(), 31);
+  EXPECT_EQ(ModelDate::from_ymd(2007, 1, 1).day_index(), 365);
+  // 2008 is a leap year: 2009-01-01 = 365 + 365 + 366.
+  EXPECT_EQ(ModelDate::from_ymd(2009, 1, 1).day_index(), 365 + 365 + 366);
+}
+
+TEST(ModelDate, NegativeDaysBeforeEpoch) {
+  const ModelDate d = ModelDate::from_ymd(2005, 12, 31);
+  EXPECT_EQ(d.day_index(), -1);
+  EXPECT_LT(d.year(), 2006.0);
+}
+
+TEST(ModelDate, YmdRoundTripAcrossYears) {
+  for (int year = 2003; year <= 2015; ++year) {
+    for (int month : {1, 2, 3, 6, 12}) {
+      for (int day : {1, 15, 28}) {
+        const ModelDate d = ModelDate::from_ymd(year, month, day);
+        const ModelDate::Ymd c = d.ymd();
+        EXPECT_EQ(c.year, year);
+        EXPECT_EQ(c.month, month);
+        EXPECT_EQ(c.day, day);
+      }
+    }
+  }
+}
+
+TEST(ModelDate, DayIndexRoundTrip) {
+  for (int day = -1200; day <= 3000; day += 37) {
+    const ModelDate d = ModelDate::from_day_index(day);
+    EXPECT_EQ(ModelDate::parse(d.to_string()).day_index(), day);
+  }
+}
+
+TEST(ModelDate, FromYearHitsYearBoundaries) {
+  EXPECT_EQ(ModelDate::from_year(2006.0).day_index(), 0);
+  EXPECT_EQ(ModelDate::from_year(2010.0),
+            ModelDate::from_ymd(2010, 1, 1));
+}
+
+TEST(ModelDate, YearIsMonotoneInDayIndex) {
+  double prev = ModelDate::from_day_index(-500).year();
+  for (int day = -499; day < 2500; ++day) {
+    const double y = ModelDate::from_day_index(day).year();
+    ASSERT_GT(y, prev);
+    prev = y;
+  }
+}
+
+TEST(ModelDate, TMatchesPaperConvention) {
+  // September 1, 2010 is about t = 4.67 (the GPU analysis anchor).
+  const ModelDate sep2010 = ModelDate::from_ymd(2010, 9, 1);
+  EXPECT_NEAR(sep2010.t(), 4.67, 0.01);
+}
+
+TEST(ModelDate, LeapYearRules) {
+  EXPECT_TRUE(is_leap_year(2008));
+  EXPECT_TRUE(is_leap_year(2000));
+  EXPECT_FALSE(is_leap_year(2006));
+  EXPECT_FALSE(is_leap_year(1900));
+}
+
+TEST(ModelDate, DaysInMonthHandlesFebruary) {
+  EXPECT_EQ(days_in_month(2008, 2), 29);
+  EXPECT_EQ(days_in_month(2009, 2), 28);
+  EXPECT_EQ(days_in_month(2010, 12), 31);
+}
+
+TEST(ModelDate, InvalidDatesThrow) {
+  EXPECT_THROW(ModelDate::from_ymd(2006, 13, 1), std::invalid_argument);
+  EXPECT_THROW(ModelDate::from_ymd(2006, 0, 1), std::invalid_argument);
+  EXPECT_THROW(ModelDate::from_ymd(2006, 2, 29), std::invalid_argument);
+  EXPECT_THROW(ModelDate::from_ymd(2006, 4, 31), std::invalid_argument);
+}
+
+TEST(ModelDate, ParseRejectsGarbage) {
+  EXPECT_THROW(ModelDate::parse("not-a-date"), std::invalid_argument);
+  EXPECT_THROW(ModelDate::parse(""), std::invalid_argument);
+}
+
+TEST(ModelDate, ParseAcceptsIsoFormat) {
+  EXPECT_EQ(ModelDate::parse("2010-09-01"),
+            ModelDate::from_ymd(2010, 9, 1));
+}
+
+TEST(ModelDate, ToStringIsZeroPadded) {
+  EXPECT_EQ(ModelDate::from_ymd(2006, 2, 3).to_string(), "2006-02-03");
+}
+
+TEST(ModelDate, PlusDaysAdvances) {
+  const ModelDate d = ModelDate::from_ymd(2006, 1, 1);
+  EXPECT_EQ(d.plus_days(31), ModelDate::from_ymd(2006, 2, 1));
+  EXPECT_EQ(d.plus_days(-1), ModelDate::from_ymd(2005, 12, 31));
+}
+
+TEST(ModelDate, OrderingFollowsTime) {
+  EXPECT_LT(ModelDate::from_ymd(2006, 1, 1), ModelDate::from_ymd(2006, 1, 2));
+  EXPECT_GT(ModelDate::from_ymd(2010, 9, 1), ModelDate::from_ymd(2010, 8, 31));
+}
+
+}  // namespace
+}  // namespace resmodel::util

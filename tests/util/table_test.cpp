@@ -1,0 +1,86 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace resmodel::util {
+namespace {
+
+std::string render(const Table& table) {
+  std::ostringstream out;
+  table.print(out);
+  return out.str();
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"Name", "Value"});
+  t.add_row({"cores", "2"});
+  const std::string s = render(t);
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("cores"), std::string::npos);
+  EXPECT_NE(s.find("| cores"), std::string::npos);  // left-aligned label
+}
+
+TEST(Table, PadsToWidestCell) {
+  Table t({"A", "B"});
+  t.add_row({"longlabel", "1"});
+  t.add_row({"x", "22"});
+  const std::string s = render(t);
+  // Every data line has the same width.
+  std::istringstream in(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  Table t({"A", "B", "C"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(render(t));
+}
+
+TEST(Table, TooManyCellsThrow) {
+  Table t({"A"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, SetAlignOutOfRangeThrows) {
+  Table t({"A"});
+  EXPECT_THROW(t.set_align(5, Align::kLeft), std::out_of_range);
+}
+
+TEST(Table, SeparatorInsertsRule) {
+  Table t({"A"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = render(t);
+  // header rule + top + bottom + separator = 4 rules.
+  std::size_t rules = 0;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TableFormat, NumFormatsFixed) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(-1.0, 0), "-1");
+}
+
+TEST(TableFormat, PctMultipliesBy100) {
+  EXPECT_EQ(Table::pct(0.125, 1), "12.5%");
+}
+
+TEST(TableFormat, SciUsesExponent) {
+  EXPECT_EQ(Table::sci(1379000.0, 3), "1.379e+06");
+}
+
+}  // namespace
+}  // namespace resmodel::util

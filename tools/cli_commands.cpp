@@ -1,0 +1,238 @@
+#include "cli_commands.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "boinc/simulation.h"
+#include "core/fit_pipeline.h"
+#include "core/host_generator.h"
+#include "core/prediction.h"
+#include "core/validation.h"
+#include "synth/population.h"
+#include "trace/csv_io.h"
+#include "util/table.h"
+
+namespace resmodel::cli {
+
+namespace {
+
+std::size_t parse_count(const std::string& s, const char* what) {
+  std::size_t pos = 0;
+  const unsigned long v = std::stoul(s, &pos);
+  if (pos != s.size() || v == 0) {
+    throw std::invalid_argument(std::string("bad ") + what + ": '" + s + "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+core::ModelParams load_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open model file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return core::ModelParams::deserialize(buffer.str());
+}
+
+void save_model(const core::ModelParams& params, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write model file: " + path);
+  out << params.serialize();
+}
+
+void write_generated_csv(const std::vector<core::GeneratedHost>& hosts,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write hosts file: " + path);
+  out << "cores,memory_mb,whetstone_mips,dhrystone_mips,disk_avail_gb\n";
+  for (const core::GeneratedHost& h : hosts) {
+    out << h.n_cores << ',' << h.memory_mb << ',' << h.whetstone_mips << ','
+        << h.dhrystone_mips << ',' << h.disk_avail_gb << '\n';
+  }
+}
+
+}  // namespace
+
+std::string usage_text() {
+  return "resmodel — correlated Internet end-host resource models "
+         "(ICDCS'11 reproduction)\n"
+         "usage:\n"
+         "  resmodel synth    <out.csv> [active] [seed]\n"
+         "  resmodel collect  <out.csv> [active] [seed]\n"
+         "  resmodel fit      <trace.csv> <model.txt>\n"
+         "  resmodel generate <model.txt> <YYYY-MM-DD> <count> <out.csv>\n"
+         "  resmodel predict  <model.txt> <year>\n"
+         "  resmodel validate <model.txt> <trace.csv> <YYYY-MM-DD>\n";
+}
+
+int cmd_synth(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  if (args.empty() || args.size() > 3) {
+    err << "synth: expected <out.csv> [active] [seed]\n";
+    return kUsage;
+  }
+  synth::PopulationConfig config;
+  config.target_active_hosts = 4000;
+  if (args.size() > 1) config.target_active_hosts = parse_count(args[1], "active");
+  if (args.size() > 2) config.seed = parse_count(args[2], "seed");
+  const trace::TraceStore store = synth::generate_population(config);
+  trace::write_csv_file(store, args[0]);
+  out << "wrote " << store.size() << " host records to " << args[0] << '\n';
+  return kOk;
+}
+
+int cmd_collect(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  if (args.empty() || args.size() > 3) {
+    err << "collect: expected <out.csv> [active] [seed]\n";
+    return kUsage;
+  }
+  boinc::CollectionConfig config;
+  config.population.target_active_hosts = 1000;
+  if (args.size() > 1) {
+    config.population.target_active_hosts = parse_count(args[1], "active");
+  }
+  if (args.size() > 2) config.population.seed = parse_count(args[2], "seed");
+  const boinc::CollectionResult result = boinc::run_collection(config);
+  trace::write_csv_file(result.trace, args[0]);
+  out << "collected " << result.trace.size() << " host records over "
+      << result.total_contacts << " scheduler contacts; wrote " << args[0]
+      << '\n';
+  return kOk;
+}
+
+int cmd_fit(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.size() != 2) {
+    err << "fit: expected <trace.csv> <model.txt>\n";
+    return kUsage;
+  }
+  const trace::TraceStore store = trace::read_csv_file(args[0]);
+  const core::FitReport report = core::fit_model(store);
+  save_model(report.params, args[1]);
+  out << "fitted " << report.fitted_hosts << " hosts ("
+      << report.discarded_hosts << " discarded by the plausibility rules)\n"
+      << "1:2 core ratio law: a = " << report.core_ratios[0].law.a
+      << ", b = " << report.core_ratios[0].law.b << '\n'
+      << "model written to " << args[1] << '\n';
+  return kOk;
+}
+
+int cmd_generate(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  if (args.size() != 4) {
+    err << "generate: expected <model.txt> <YYYY-MM-DD> <count> <out.csv>\n";
+    return kUsage;
+  }
+  const core::ModelParams params = load_model(args[0]);
+  const util::ModelDate date = util::ModelDate::parse(args[1]);
+  const std::size_t count = parse_count(args[2], "count");
+  const core::HostGenerator generator(params);
+  util::Rng rng(0x7e57ab1e);
+  const auto hosts = generator.generate_many(date, count, rng);
+  write_generated_csv(hosts, args[3]);
+  out << "generated " << hosts.size() << " hosts for " << date.to_string()
+      << " -> " << args[3] << '\n';
+  return kOk;
+}
+
+int cmd_predict(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  if (args.size() != 2) {
+    err << "predict: expected <model.txt> <year>\n";
+    return kUsage;
+  }
+  const core::ModelParams params = load_model(args[0]);
+  const double year = std::stod(args[1]);
+  const double t = year - 2006.0;
+
+  util::Table table({"Quantity", "Prediction"});
+  table.add_row({"Mean cores",
+                 util::Table::num(core::predicted_mean_cores(params, t), 2)});
+  table.add_row(
+      {"Mean memory (GB)",
+       util::Table::num(core::predicted_mean_memory_mb(params, t) / 1024.0,
+                        2)});
+  const auto dhry = core::predicted_dhrystone(params, t);
+  const auto whet = core::predicted_whetstone(params, t);
+  const auto disk = core::predicted_disk_gb(params, t);
+  table.add_row({"Dhrystone MIPS (mean ± sd)",
+                 util::Table::num(dhry.mean, 0) + " ± " +
+                     util::Table::num(dhry.stddev, 0)});
+  table.add_row({"Whetstone MIPS (mean ± sd)",
+                 util::Table::num(whet.mean, 0) + " ± " +
+                     util::Table::num(whet.stddev, 0)});
+  table.add_row({"Avail disk GB (mean ± sd)",
+                 util::Table::num(disk.mean, 1) + " ± " +
+                     util::Table::num(disk.stddev, 1)});
+  const auto fractions = core::predicted_core_fractions(params, {t});
+  for (std::size_t v = 0; v < params.cores.values.size(); ++v) {
+    table.add_row(
+        {std::to_string(static_cast<int>(params.cores.values[v])) +
+             "-core share",
+         util::Table::pct(fractions[v][0])});
+  }
+  out << "Predicted composition for " << year << ":\n";
+  table.print(out);
+  return kOk;
+}
+
+int cmd_validate(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  if (args.size() != 3) {
+    err << "validate: expected <model.txt> <trace.csv> <YYYY-MM-DD>\n";
+    return kUsage;
+  }
+  const core::ModelParams params = load_model(args[0]);
+  trace::TraceStore store = trace::read_csv_file(args[1]);
+  store.discard_implausible();
+  const util::ModelDate date = util::ModelDate::parse(args[2]);
+  const trace::ResourceSnapshot actual = store.snapshot(date);
+  if (actual.size() == 0) {
+    err << "validate: no active hosts at " << date.to_string() << '\n';
+    return kFailure;
+  }
+  const core::HostGenerator generator(params);
+  util::Rng rng(1);
+  const auto generated = generator.generate_many(date, actual.size(), rng);
+  util::Table table(
+      {"Resource", "mu actual", "mu gen", "mu diff", "sd diff", "KS"});
+  for (const core::ResourceComparison& c :
+       core::compare_resources(actual, generated)) {
+    table.add_row({c.name, util::Table::num(c.mean_actual, 1),
+                   util::Table::num(c.mean_generated, 1),
+                   util::Table::pct(c.mean_diff_fraction),
+                   util::Table::pct(c.stddev_diff_fraction),
+                   util::Table::num(c.ks_statistic, 3)});
+  }
+  out << "Generated-vs-actual at " << date.to_string() << " ("
+      << actual.size() << " hosts):\n";
+  table.print(out);
+  return kOk;
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty()) {
+    err << usage_text();
+    return kUsage;
+  }
+  const std::string& command = args.front();
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (command == "synth") return cmd_synth(rest, out, err);
+    if (command == "collect") return cmd_collect(rest, out, err);
+    if (command == "fit") return cmd_fit(rest, out, err);
+    if (command == "generate") return cmd_generate(rest, out, err);
+    if (command == "predict") return cmd_predict(rest, out, err);
+    if (command == "validate") return cmd_validate(rest, out, err);
+  } catch (const std::exception& e) {
+    err << command << ": " << e.what() << '\n';
+    return kFailure;
+  }
+  err << "unknown command '" << command << "'\n" << usage_text();
+  return kUsage;
+}
+
+}  // namespace resmodel::cli

@@ -1,0 +1,48 @@
+// The command layer of the resmodel CLI — the "tool for automated model
+// generation" the paper published. Each command is a pure function over
+// parsed arguments and an output stream so the whole surface is unit
+// testable; main() only dispatches.
+//
+// Commands:
+//   synth <out.csv> [active] [seed]        generate a ground-truth trace
+//   collect <out.csv> [active] [seed]      run the BOINC-style collection
+//   fit <trace.csv> <model.txt>            fit the correlated model
+//   generate <model.txt> <date> <n> <out.csv>   synthesize hosts
+//   predict <model.txt> <year>             predicted composition
+//   validate <model.txt> <trace.csv> <date>     generated-vs-actual check
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace resmodel::cli {
+
+/// Exit codes: 0 success, 1 usage error, 2 runtime failure.
+inline constexpr int kOk = 0;
+inline constexpr int kUsage = 1;
+inline constexpr int kFailure = 2;
+
+/// Dispatches `args` (excluding argv[0]). Writes human output to `out`
+/// and problems to `err`.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+/// Individual commands (exposed for tests).
+int cmd_synth(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
+int cmd_collect(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+int cmd_fit(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+int cmd_generate(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
+int cmd_predict(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+int cmd_validate(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
+
+/// The usage text printed on bad invocations.
+std::string usage_text();
+
+}  // namespace resmodel::cli

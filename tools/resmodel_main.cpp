@@ -1,0 +1,14 @@
+// Entry point of the resmodel command-line tool; all logic lives in
+// cli_commands.{h,cpp} so it can be unit tested.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli_commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return resmodel::cli::run_cli(args, std::cout, std::cerr);
+}
