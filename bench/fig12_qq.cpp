@@ -19,9 +19,8 @@ int main() {
   const trace::ResourceSnapshot actual =
       bench::bench_trace().snapshot(sep2010);
   util::Rng rng(7);
-  const auto generated =
-      generator.generate_many(sep2010, actual.size(), rng);
-  const core::GeneratedColumns cols = core::columns_of(generated);
+  const core::GeneratedColumns cols = core::columns_of(
+      generator.generate_batch(sep2010, actual.size(), rng));
 
   struct Panel {
     const char* name;

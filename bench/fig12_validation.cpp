@@ -22,8 +22,8 @@ int main() {
   const trace::ResourceSnapshot actual =
       bench::bench_trace().snapshot(sep2010);
   util::Rng rng(12);
-  const auto generated =
-      generator.generate_many(sep2010, actual.size(), rng);
+  const core::GeneratedHostBatch generated =
+      generator.generate_batch(sep2010, actual.size(), rng);
 
   // The paper's Figure-12 panel annotations.
   struct PaperPanel {
@@ -78,9 +78,9 @@ int main() {
       if (std::fabs(c - core_values[j]) < 1e-9) ++actual_counts[j];
     }
   }
-  for (const core::GeneratedHost& h : generated) {
+  for (const int cores : generated.n_cores) {
     for (std::size_t j = 0; j < core_values.size(); ++j) {
-      if (h.n_cores == static_cast<int>(core_values[j])) {
+      if (cores == static_cast<int>(core_values[j])) {
         ++generated_counts[j];
       }
     }

@@ -5,7 +5,10 @@
 
 #include "core/fit_pipeline.h"
 #include "core/host_generator.h"
+#include "model/empirical_rank_copula.h"
+#include "model/factory.h"
 #include "sim/allocator.h"
+#include "sim/baseline_models.h"
 #include "stats/correlation.h"
 #include "stats/fitting.h"
 #include "stats/kstest.h"
@@ -28,7 +31,11 @@ void BM_HostGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_HostGeneration);
 
-void BM_HostGenerationBatch(benchmark::State& state) {
+// The acceptance pair for the SoA engine: per-host generate() in a loop
+// vs generate_batch for the same host count. The batch path hoists every
+// date-dependent table (pmfs, moments, the disk log-normal) out of the
+// loop and fills contiguous columns; at 1M hosts it must be >= 2x faster.
+void BM_HostGenerationLoopAoS(benchmark::State& state) {
   const core::HostGenerator generator(core::paper_params());
   util::Rng rng(2);
   const auto date = util::ModelDate::from_ymd(2010, 9, 1);
@@ -38,7 +45,74 @@ void BM_HostGenerationBatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_HostGenerationBatch)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_HostGenerationLoopAoS)
+    ->Arg(1000)->Arg(10000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HostGenerationBatchSoA(benchmark::State& state) {
+  const core::HostGenerator generator(core::paper_params());
+  util::Rng rng(2);
+  const auto date = util::ModelDate::from_ymd(2010, 9, 1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.generate_batch(date, n, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HostGenerationBatchSoA)
+    ->Arg(1000)->Arg(10000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HostGenerationBatchParallel(benchmark::State& state) {
+  const core::HostGenerator generator(core::paper_params());
+  const auto date = util::ModelDate::from_ymd(2010, 9, 1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.generate_batch_parallel(date, n, 2, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HostGenerationBatchParallel)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+// One triple draw through each pluggable dependence structure.
+void BM_CorrelationModelSample(benchmark::State& state) {
+  const core::ModelParams params = core::paper_params();
+  std::unique_ptr<model::CorrelationModel> m;
+  switch (state.range(0)) {
+    case 0:
+      m = model::make_correlation_model(model::CorrelationKind::kCholesky,
+                                        params.resource_correlation);
+      state.SetLabel("cholesky");
+      break;
+    case 1:
+      m = model::make_correlation_model(model::CorrelationKind::kIndependent,
+                                        params.resource_correlation);
+      state.SetLabel("independent");
+      break;
+    default: {
+      const core::HostGenerator generator(params);
+      util::Rng fit_rng(10);
+      const auto batch = generator.generate_batch(
+          util::ModelDate::from_ymd(2010, 1, 1), 4000, fit_rng);
+      const std::vector<std::vector<double>> cols = {
+          batch.memory_per_core_mb, batch.whetstone_mips,
+          batch.dhrystone_mips};
+      m = std::make_unique<model::EmpiricalRankCopula>(
+          model::EmpiricalRankCopula::fit(cols));
+      state.SetLabel("empirical");
+      break;
+    }
+  }
+  util::Rng rng(11);
+  double z[3];
+  for (auto _ : state) {
+    m->sample_normals(4.0, rng, z);
+    benchmark::DoNotOptimize(z);
+  }
+}
+BENCHMARK(BM_CorrelationModelSample)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_Cholesky3x3(benchmark::State& state) {
   const stats::Matrix r = stats::Matrix::from_rows({
@@ -123,14 +197,10 @@ BENCHMARK(BM_FitPipeline)->Unit(benchmark::kMillisecond);
 void BM_RoundRobinAllocation(benchmark::State& state) {
   const core::HostGenerator generator(core::paper_params());
   util::Rng rng(8);
-  const auto generated = generator.generate_many(
-      util::ModelDate::from_ymd(2010, 1, 1),
-      static_cast<std::size_t>(state.range(0)), rng);
-  std::vector<sim::HostResources> hosts;
-  for (const core::GeneratedHost& g : generated) {
-    hosts.push_back({static_cast<double>(g.n_cores), g.memory_mb,
-                     g.dhrystone_mips, g.whetstone_mips, g.disk_avail_gb});
-  }
+  const std::vector<sim::HostResources> hosts =
+      sim::to_host_resources(generator.generate_batch(
+          util::ModelDate::from_ymd(2010, 1, 1),
+          static_cast<std::size_t>(state.range(0)), rng));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         sim::allocate_round_robin(sim::paper_applications(), hosts));

@@ -27,7 +27,7 @@ int main() {
 
   const core::HostGenerator generator(bench::bench_fit().params);
   util::Rng rng(8);
-  const auto generated = generator.generate_many(
+  const core::GeneratedHostBatch generated = generator.generate_batch(
       util::ModelDate::from_ymd(2010, 9, 1), 50000, rng);
   const stats::Matrix m = core::generated_correlation_matrix(generated);
   const auto labels = core::full_correlation_labels();

@@ -64,7 +64,8 @@ int main(int argc, char** argv) {
   filtered.discard_implausible();
   const trace::ResourceSnapshot actual = filtered.snapshot(date);
   util::Rng rng(1);
-  const auto generated = generator.generate_many(date, actual.size(), rng);
+  const core::GeneratedHostBatch generated =
+      generator.generate_batch(date, actual.size(), rng);
 
   util::Table table({"Resource", "mu actual", "mu generated", "diff"});
   for (const core::ResourceComparison& c :

@@ -36,9 +36,9 @@ int main(int argc, char** argv) {
   const core::HostGenerator generator(params);
   util::Rng rng(42);
 
-  // 3. Hosts.
-  const std::vector<core::GeneratedHost> hosts =
-      generator.generate_many(date, count, rng);
+  // 3. Hosts, through the batched structure-of-arrays engine.
+  const core::GeneratedHostBatch hosts =
+      generator.generate_batch(date, count, rng);
 
   std::cout << "Generated " << hosts.size() << " hosts for "
             << date.to_string() << " (t = " << date.t()
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   util::Table sample({"Cores", "Memory (MB)", "Whetstone", "Dhrystone",
                       "Avail disk (GB)"});
   for (std::size_t i = 0; i < 5 && i < hosts.size(); ++i) {
-    const core::GeneratedHost& h = hosts[i];
+    const core::GeneratedHost h = hosts.host(i);
     sample.add_row({std::to_string(h.n_cores),
                     util::Table::num(h.memory_mb, 0),
                     util::Table::num(h.whetstone_mips, 0),

@@ -8,6 +8,7 @@
 
 #include "core/host_generator.h"
 #include "sim/bag_of_tasks.h"
+#include "sim/baseline_models.h"
 #include "util/table.h"
 
 using namespace resmodel;
@@ -17,15 +18,8 @@ namespace {
 std::vector<sim::HostResources> make_hosts(std::size_t n, int year) {
   const core::HostGenerator gen(core::paper_params());
   util::Rng rng(2024);
-  const auto generated =
-      gen.generate_many(util::ModelDate::from_ymd(year, 1, 1), n, rng);
-  std::vector<sim::HostResources> hosts;
-  hosts.reserve(generated.size());
-  for (const core::GeneratedHost& g : generated) {
-    hosts.push_back({static_cast<double>(g.n_cores), g.memory_mb,
-                     g.dhrystone_mips, g.whetstone_mips, g.disk_avail_gb});
-  }
-  return hosts;
+  return sim::to_host_resources(
+      gen.generate_batch(util::ModelDate::from_ymd(year, 1, 1), n, rng));
 }
 
 }  // namespace

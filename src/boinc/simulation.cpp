@@ -51,10 +51,14 @@ CollectionResult run_collection(const CollectionConfig& config) {
                   std::max(1.0, mean_lifetime);
     rate *= 1.0 + pop.seasonal_amplitude *
                       std::sin(2.0 * std::numbers::pi * (t - 0.2));
+    // The day's cohort shares its effective hardware date, so hardware
+    // comes from one SoA batch; the per-client wrap-up stays sequential.
     const std::uint64_t arrivals = synth::sample_poisson(rng, rate);
+    const core::GeneratedHostBatch hw = generator.generate_batch(
+        synth::effective_hardware_date(pop, date), arrivals, rng);
     for (std::uint64_t i = 0; i < arrivals; ++i) {
       trace::HostRecord spec =
-          synth::sample_host(pop, generator, date, next_id++, rng);
+          synth::finish_host(pop, hw.host(i), date, next_id++, rng);
       // The spec's last_contact_day is the host's death day; the client
       // stops contacting after it.
       clients.emplace_back(spec, config.client, rng.fork());

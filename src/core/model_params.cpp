@@ -23,10 +23,14 @@ std::vector<double> DiscreteRatioChain::pmf(double t) const {
 }
 
 double DiscreteRatioChain::quantile(double t, double u) const {
-  const std::vector<double> p = pmf(t);
+  return quantile_from_pmf(pmf(t), u);
+}
+
+double DiscreteRatioChain::quantile_from_pmf(std::span<const double> pmf,
+                                             double u) const noexcept {
   double acc = 0.0;
-  for (std::size_t i = 0; i < p.size(); ++i) {
-    acc += p[i];
+  for (std::size_t i = 0; i < pmf.size(); ++i) {
+    acc += pmf[i];
     if (u <= acc) return values[i];
   }
   return values.back();

@@ -13,6 +13,7 @@
 // per-core memory x cores (§V-E, §V-G).
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,12 @@ struct DiscreteRatioChain {
 
   /// Inverse CDF of pmf(t): smallest value whose cumulative prob >= u.
   double quantile(double t, double u) const;
+
+  /// Same inverse CDF over an already-computed pmf(t) — the batched
+  /// generation engine hoists the pmf out of the per-host loop and must
+  /// stay bit-identical to quantile(t, u).
+  double quantile_from_pmf(std::span<const double> pmf, double u) const
+      noexcept;
 
   /// Expected value at time t.
   double mean(double t) const;

@@ -1,0 +1,38 @@
+// The paper's dependence structure: a Gaussian copula driven by the
+// Cholesky factor of a Pearson correlation matrix (§V-F). This is the
+// code that used to live inline in core::HostGenerator.
+#pragma once
+
+#include <array>
+
+#include "model/correlation_model.h"
+#include "stats/matrix.h"
+
+namespace resmodel::model {
+
+class CholeskyGaussian final : public CorrelationModel {
+ public:
+  /// `correlation` must be symmetric positive definite with a unit
+  /// diagonal, at most 8x8. Throws std::invalid_argument otherwise.
+  explicit CholeskyGaussian(const stats::Matrix& correlation);
+
+  std::string name() const override { return "cholesky"; }
+  std::size_t dimension() const noexcept override { return dim_; }
+  void sample_normals(double t, util::Rng& rng,
+                      std::span<double> z) const override;
+  std::unique_ptr<CorrelationModel> clone() const override;
+
+  const stats::Matrix& correlation() const noexcept { return correlation_; }
+  const stats::Matrix& lower_factor() const noexcept { return lower_; }
+
+ private:
+  /// Fixed capacity keeps sample_normals allocation-free on the hot path;
+  /// every correlation matrix in the paper is 3x3 to 6x6.
+  static constexpr std::size_t kMaxDim = 8;
+
+  stats::Matrix correlation_;
+  stats::Matrix lower_;
+  std::size_t dim_ = 0;
+};
+
+}  // namespace resmodel::model

@@ -1,0 +1,15 @@
+#include "model/correlation_model.h"
+
+#include "stats/special_functions.h"
+
+namespace resmodel::model {
+
+void CorrelationModel::sample_uniforms(double t, util::Rng& rng,
+                                       std::span<double> u) const {
+  sample_normals(t, rng, u);
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    u[i] = stats::normal_cdf(u[i]);
+  }
+}
+
+}  // namespace resmodel::model

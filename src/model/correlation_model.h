@@ -1,0 +1,64 @@
+// The pluggable dependence structure of the host model (§V-F).
+//
+// The paper couples per-core memory, Whetstone and Dhrystone through a
+// Gaussian copula: draw a correlated standard-normal triple, push the first
+// component through Φ to a uniform, and renormalize the other two to the
+// date's predicted benchmark moments. A CorrelationModel abstracts exactly
+// that first step — "give me one standard-normal triple with your
+// dependence structure" — so the host generator, the simulation baselines
+// and the ablation benches can swap the copula without touching the
+// marginal laws. See README.md in this directory for the full contract.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "util/rng.h"
+
+namespace resmodel::model {
+
+/// Order of the correlated triple; matches the R matrix printed in §V-F
+/// and core::CorrelatedIndex.
+inline constexpr std::size_t kMemPerCore = 0;
+inline constexpr std::size_t kWhetstone = 1;
+inline constexpr std::size_t kDhrystone = 2;
+
+/// Dimension of the paper's correlated triple.
+inline constexpr std::size_t kTripleDim = 3;
+
+/// A joint dependence structure over standard-normal marginals.
+///
+/// Contract:
+///  - sample_normals writes exactly dimension() values, each marginally
+///    ~ N(0, 1); only the *dependence* between components varies by model.
+///  - The number and order of rng draws for a given model must be a pure
+///    function of dimension(), never of previous samples — the batched
+///    engine relies on this for its chunk-seeded deterministic parallelism.
+///  - `t` is the model time (years since 2006) so future models can carry
+///    time-varying dependence; all current models ignore it.
+///  - Implementations are immutable after construction and safe to share
+///    across threads as long as each thread uses its own Rng.
+class CorrelationModel {
+ public:
+  virtual ~CorrelationModel() = default;
+
+  /// Short selector-friendly name, e.g. "cholesky", "independent".
+  virtual std::string name() const = 0;
+
+  virtual std::size_t dimension() const noexcept = 0;
+
+  /// Fills z (size >= dimension()) with one correlated standard-normal
+  /// vector.
+  virtual void sample_normals(double t, util::Rng& rng,
+                              std::span<double> z) const = 0;
+
+  /// Correlated uniforms on (0, 1): Φ applied componentwise to
+  /// sample_normals. Routed through stats/special_functions.h.
+  void sample_uniforms(double t, util::Rng& rng, std::span<double> u) const;
+
+  virtual std::unique_ptr<CorrelationModel> clone() const = 0;
+};
+
+}  // namespace resmodel::model

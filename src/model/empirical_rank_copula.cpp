@@ -1,0 +1,97 @@
+#include "model/empirical_rank_copula.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+#include "stats/correlation.h"
+
+namespace resmodel::model {
+
+stats::Matrix gaussian_correlation_from_spearman(const stats::Matrix& s) {
+  const std::size_t n = s.rows();
+  stats::Matrix r(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v =
+          2.0 * std::sin(std::numbers::pi * s(i, j) / 6.0);
+      r(i, j) = r(j, i) = v;
+    }
+  }
+  // Shrink toward the identity until Cholesky succeeds. The loop always
+  // terminates: at lambda = 1 the matrix is exactly I.
+  for (double lambda = 0.0; lambda <= 1.0; lambda += 0.05) {
+    stats::Matrix shrunk(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        shrunk(i, j) = i == j ? 1.0 : (1.0 - lambda) * r(i, j);
+      }
+    }
+    if (stats::cholesky(shrunk)) return shrunk;
+  }
+  return stats::Matrix::identity(n);
+}
+
+EmpiricalRankCopula EmpiricalRankCopula::fit(
+    std::span<const std::vector<double>> columns) {
+  if (columns.size() < 2) {
+    throw std::invalid_argument(
+        "EmpiricalRankCopula::fit: need at least two columns");
+  }
+  const std::size_t n_obs = columns[0].size();
+  for (const std::vector<double>& c : columns) {
+    if (c.size() != n_obs) {
+      throw std::invalid_argument(
+          "EmpiricalRankCopula::fit: ragged columns");
+    }
+  }
+  if (n_obs < 3) {
+    throw std::invalid_argument(
+        "EmpiricalRankCopula::fit: need >= 3 observations, got " +
+        std::to_string(n_obs));
+  }
+  const stats::Matrix s = stats::spearman_matrix(columns);
+  for (std::size_t i = 0; i < s.rows(); ++i) {
+    for (std::size_t j = i + 1; j < s.cols(); ++j) {
+      if (std::isnan(s(i, j))) {
+        throw std::invalid_argument(
+            "EmpiricalRankCopula::fit: degenerate column (zero rank "
+            "variance)");
+      }
+    }
+  }
+  return EmpiricalRankCopula(
+      s, CholeskyGaussian(gaussian_correlation_from_spearman(s)));
+}
+
+EmpiricalRankCopula EmpiricalRankCopula::fit(
+    const trace::TraceStore& store,
+    const std::vector<util::ModelDate>& dates) {
+  std::vector<std::vector<double>> columns(kTripleDim);
+  for (const util::ModelDate& date : dates) {
+    const trace::ResourceSnapshot snap = store.snapshot(date);
+    columns[kMemPerCore].insert(columns[kMemPerCore].end(),
+                                snap.memory_per_core_mb.begin(),
+                                snap.memory_per_core_mb.end());
+    columns[kWhetstone].insert(columns[kWhetstone].end(),
+                               snap.whetstone_mips.begin(),
+                               snap.whetstone_mips.end());
+    columns[kDhrystone].insert(columns[kDhrystone].end(),
+                               snap.dhrystone_mips.begin(),
+                               snap.dhrystone_mips.end());
+  }
+  return fit(columns);
+}
+
+void EmpiricalRankCopula::sample_normals(double t, util::Rng& rng,
+                                         std::span<double> z) const {
+  sampler_.sample_normals(t, rng, z);
+}
+
+std::unique_ptr<CorrelationModel> EmpiricalRankCopula::clone() const {
+  return std::make_unique<EmpiricalRankCopula>(*this);
+}
+
+}  // namespace resmodel::model

@@ -1,0 +1,70 @@
+// A dependence structure fitted from data instead of taken from the
+// paper's published Pearson matrix: compute the Spearman rank correlation
+// of the observed triple, map it to the correlation of the underlying
+// Gaussian copula with the exact relation r = 2 sin(π ρ_s / 6), and sample
+// through the Cholesky factor of that matrix.
+//
+// Rank correlation is invariant under the monotone marginal transforms the
+// generator applies afterwards (Φ, discrete quantile, affine moment
+// renormalization), so the fitted model reproduces the *rank* dependence
+// of the input data regardless of marginal shape — the property the
+// rank-recovery test in tests/model/ asserts.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/cholesky_gaussian.h"
+#include "model/correlation_model.h"
+#include "stats/matrix.h"
+#include "trace/trace_store.h"
+#include "util/model_date.h"
+
+namespace resmodel::model {
+
+class EmpiricalRankCopula final : public CorrelationModel {
+ public:
+  /// Fits from equally sized sample columns (one per component, at least
+  /// two of them, each with >= 3 observations). Throws std::invalid_argument
+  /// on ragged or degenerate input.
+  static EmpiricalRankCopula fit(
+      std::span<const std::vector<double>> columns);
+
+  /// Fits the paper's triple {mem/core, Whetstone, Dhrystone} from the
+  /// hosts active at the given dates (pooled). Throws if no date yields
+  /// enough active hosts.
+  static EmpiricalRankCopula fit(const trace::TraceStore& store,
+                                 const std::vector<util::ModelDate>& dates);
+
+  std::string name() const override { return "empirical"; }
+  std::size_t dimension() const noexcept override {
+    return sampler_.dimension();
+  }
+  void sample_normals(double t, util::Rng& rng,
+                      std::span<double> z) const override;
+  std::unique_ptr<CorrelationModel> clone() const override;
+
+  /// The Spearman matrix estimated from the data.
+  const stats::Matrix& fitted_spearman() const noexcept { return spearman_; }
+
+  /// The Gaussian-copula correlation actually sampled (after the
+  /// 2 sin(π ρ/6) map and, if needed, shrinkage to positive definiteness).
+  const stats::Matrix& gaussian_correlation() const noexcept {
+    return sampler_.correlation();
+  }
+
+ private:
+  EmpiricalRankCopula(stats::Matrix spearman, CholeskyGaussian sampler)
+      : spearman_(std::move(spearman)), sampler_(std::move(sampler)) {}
+
+  stats::Matrix spearman_;
+  CholeskyGaussian sampler_;
+};
+
+/// Maps a Spearman matrix to the Gaussian-copula Pearson matrix via
+/// r = 2 sin(π ρ_s / 6), then shrinks toward the identity just enough to be
+/// positive definite (rank estimates from finite samples can stray outside
+/// the PD cone). Exposed for tests.
+stats::Matrix gaussian_correlation_from_spearman(const stats::Matrix& s);
+
+}  // namespace resmodel::model

@@ -1,0 +1,67 @@
+#include "model/factory.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "model/cholesky_gaussian.h"
+#include "model/empirical_rank_copula.h"
+#include "model/independent.h"
+
+namespace resmodel::model {
+
+std::optional<CorrelationKind> parse_correlation_kind(std::string_view name) {
+  if (name == "cholesky") return CorrelationKind::kCholesky;
+  if (name == "independent") return CorrelationKind::kIndependent;
+  if (name == "empirical") return CorrelationKind::kEmpirical;
+  return std::nullopt;
+}
+
+std::string correlation_kind_names() {
+  return "cholesky|independent|empirical";
+}
+
+std::vector<util::ModelDate> spanning_fit_dates(
+    const trace::TraceStore& store, std::size_t count) {
+  if (store.empty() || count == 0) return {};
+  std::int32_t lo = store.host(0).created_day;
+  std::int32_t hi = store.host(0).last_contact_day;
+  for (const trace::HostRecord& h : store.hosts()) {
+    lo = std::min(lo, h.created_day);
+    hi = std::max(hi, h.last_contact_day);
+  }
+  // Interior points of the window: endpoints tend to have thin snapshots.
+  std::vector<util::ModelDate> dates;
+  dates.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double frac =
+        (static_cast<double>(i) + 1.0) / (static_cast<double>(count) + 1.0);
+    dates.push_back(util::ModelDate::from_day_index(
+        lo + static_cast<std::int32_t>(frac * static_cast<double>(hi - lo))));
+  }
+  return dates;
+}
+
+std::unique_ptr<CorrelationModel> make_correlation_model(
+    CorrelationKind kind, const stats::Matrix& pearson,
+    const trace::TraceStore* fit_trace,
+    const std::vector<util::ModelDate>& fit_dates) {
+  switch (kind) {
+    case CorrelationKind::kCholesky:
+      return std::make_unique<CholeskyGaussian>(pearson);
+    case CorrelationKind::kIndependent:
+      return std::make_unique<Independent>(pearson.rows());
+    case CorrelationKind::kEmpirical: {
+      if (fit_trace == nullptr) {
+        throw std::invalid_argument(
+            "make_correlation_model: the empirical model needs a trace to "
+            "fit from");
+      }
+      return std::make_unique<EmpiricalRankCopula>(EmpiricalRankCopula::fit(
+          *fit_trace,
+          fit_dates.empty() ? spanning_fit_dates(*fit_trace) : fit_dates));
+    }
+  }
+  throw std::invalid_argument("make_correlation_model: unknown kind");
+}
+
+}  // namespace resmodel::model

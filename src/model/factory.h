@@ -1,0 +1,49 @@
+// String-keyed construction of CorrelationModels — the single place the
+// CLI (`--correlation=`), the benches and the simulation baselines resolve
+// a model name to an implementation.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/correlation_model.h"
+#include "stats/matrix.h"
+#include "trace/trace_store.h"
+#include "util/model_date.h"
+
+namespace resmodel::model {
+
+enum class CorrelationKind {
+  kCholesky,     ///< the paper's Gaussian copula with the published R
+  kIndependent,  ///< identity R — the "no copula" ablation
+  kEmpirical,    ///< Gaussian copula refitted from trace rank correlations
+};
+
+/// Parses "cholesky" / "independent" / "empirical"; nullopt otherwise.
+std::optional<CorrelationKind> parse_correlation_kind(std::string_view name);
+
+/// "cholesky|independent|empirical" — for usage strings.
+std::string correlation_kind_names();
+
+/// Builds the requested model.
+///  - kCholesky uses `pearson` (the params' resource_correlation matrix);
+///  - kIndependent needs nothing beyond the dimension of `pearson`;
+///  - kEmpirical refits from `fit_trace` at `fit_dates` and throws
+///    std::invalid_argument when `fit_trace` is null. An empty `fit_dates`
+///    fits from snapshots spanning the trace's own active window — the
+///    right default when generating for dates outside the trace (the
+///    extrapolation case the generator exists for).
+std::unique_ptr<CorrelationModel> make_correlation_model(
+    CorrelationKind kind, const stats::Matrix& pearson,
+    const trace::TraceStore* fit_trace = nullptr,
+    const std::vector<util::ModelDate>& fit_dates = {});
+
+/// Snapshot dates evenly spanning the trace's active window (used by
+/// make_correlation_model when no fit dates are given).
+std::vector<util::ModelDate> spanning_fit_dates(
+    const trace::TraceStore& store, std::size_t count = 4);
+
+}  // namespace resmodel::model

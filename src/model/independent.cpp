@@ -1,0 +1,14 @@
+#include "model/independent.h"
+
+namespace resmodel::model {
+
+void Independent::sample_normals(double /*t*/, util::Rng& rng,
+                                 std::span<double> z) const {
+  for (std::size_t i = 0; i < dim_; ++i) z[i] = rng.normal();
+}
+
+std::unique_ptr<CorrelationModel> Independent::clone() const {
+  return std::make_unique<Independent>(*this);
+}
+
+}  // namespace resmodel::model

@@ -1,0 +1,25 @@
+// The "no copula" ablation: identity correlation, every component drawn
+// independently. Shares all marginal laws with the full model — the exact
+// variant (b) the ablation bench used to hand-roll.
+#pragma once
+
+#include "model/correlation_model.h"
+
+namespace resmodel::model {
+
+class Independent final : public CorrelationModel {
+ public:
+  explicit Independent(std::size_t dimension = kTripleDim)
+      : dim_(dimension) {}
+
+  std::string name() const override { return "independent"; }
+  std::size_t dimension() const noexcept override { return dim_; }
+  void sample_normals(double t, util::Rng& rng,
+                      std::span<double> z) const override;
+  std::unique_ptr<CorrelationModel> clone() const override;
+
+ private:
+  std::size_t dim_;
+};
+
+}  // namespace resmodel::model

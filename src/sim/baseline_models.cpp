@@ -30,27 +30,38 @@ std::vector<HostResources> to_host_resources(
   return out;
 }
 
+std::vector<HostResources> to_host_resources(
+    const core::GeneratedHostBatch& batch) {
+  std::vector<HostResources> out;
+  out.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    HostResources h;
+    h.cores = static_cast<double>(batch.n_cores[i]);
+    h.memory_mb = batch.memory_mb[i];
+    h.whetstone_mips = batch.whetstone_mips[i];
+    h.dhrystone_mips = batch.dhrystone_mips[i];
+    h.disk_avail_gb = batch.disk_avail_gb[i];
+    out.push_back(h);
+  }
+  return out;
+}
+
 // ------------------------------------------------------- CorrelatedModel --
 
 CorrelatedModel::CorrelatedModel(core::ModelParams params)
     : generator_(std::move(params)) {}
 
+CorrelatedModel::CorrelatedModel(
+    core::ModelParams params,
+    std::shared_ptr<const model::CorrelationModel> correlation,
+    std::string display_name)
+    : generator_(std::move(params), std::move(correlation)),
+      name_(std::move(display_name)) {}
+
 std::vector<HostResources> CorrelatedModel::synthesize(util::ModelDate date,
                                                        std::size_t count,
                                                        util::Rng& rng) const {
-  std::vector<HostResources> out;
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const core::GeneratedHost g = generator_.generate(date, rng);
-    HostResources h;
-    h.cores = static_cast<double>(g.n_cores);
-    h.memory_mb = g.memory_mb;
-    h.whetstone_mips = g.whetstone_mips;
-    h.dhrystone_mips = g.dhrystone_mips;
-    h.disk_avail_gb = g.disk_avail_gb;
-    out.push_back(h);
-  }
-  return out;
+  return to_host_resources(generator_.generate_batch(date, count, rng));
 }
 
 // ----------------------------------------------- NormalDistributionModel --

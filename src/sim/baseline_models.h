@@ -18,6 +18,7 @@
 
 #include "core/host_generator.h"
 #include "core/model_params.h"
+#include "model/correlation_model.h"
 #include "sim/utility.h"
 #include "stats/regression.h"
 #include "trace/trace_store.h"
@@ -36,17 +37,25 @@ class HostSynthesisModel {
                                                 util::Rng& rng) const = 0;
 };
 
-/// The paper's correlated model.
+/// The paper's generative model with a pluggable dependence structure.
+/// Defaults to the published Cholesky-Gaussian copula; pass any
+/// model::CorrelationModel (independent, empirical-rank, ...) to run the
+/// same marginal laws under a different joint structure. Synthesis runs
+/// through the batched SoA engine.
 class CorrelatedModel final : public HostSynthesisModel {
  public:
   explicit CorrelatedModel(core::ModelParams params);
-  std::string name() const override { return "Correlated Model"; }
+  CorrelatedModel(core::ModelParams params,
+                  std::shared_ptr<const model::CorrelationModel> correlation,
+                  std::string display_name);
+  std::string name() const override { return name_; }
   std::vector<HostResources> synthesize(util::ModelDate date,
                                         std::size_t count,
                                         util::Rng& rng) const override;
 
  private:
   core::HostGenerator generator_;
+  std::string name_ = "Correlated Model";
 };
 
 /// Linear mean/stddev trend of one resource (the Figure-2 extrapolation).
@@ -100,5 +109,9 @@ class GridResourceModel final : public HostSynthesisModel {
 /// Converts a trace snapshot into the allocator's host representation.
 std::vector<HostResources> to_host_resources(
     const trace::ResourceSnapshot& snapshot);
+
+/// Converts a generated SoA batch into the allocator's host representation.
+std::vector<HostResources> to_host_resources(
+    const core::GeneratedHostBatch& batch);
 
 }  // namespace resmodel::sim

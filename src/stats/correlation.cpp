@@ -82,4 +82,24 @@ Matrix correlation_matrix(std::span<const NamedColumn> columns) {
   return m;
 }
 
+Matrix spearman_matrix(std::span<const std::vector<double>> columns) {
+  const std::size_t k = columns.size();
+  for (const std::vector<double>& col : columns) {
+    if (col.size() != columns.front().size()) {
+      throw std::invalid_argument(
+          "spearman_matrix: columns must be equally sized");
+    }
+  }
+  Matrix m(k, k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    m(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double r = spearman(columns[i], columns[j]);
+      m(i, j) = r;
+      m(j, i) = r;
+    }
+  }
+  return m;
+}
+
 }  // namespace resmodel::stats

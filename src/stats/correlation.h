@@ -27,4 +27,9 @@ struct NamedColumn {
 /// Diagonal is exactly 1.
 Matrix correlation_matrix(std::span<const NamedColumn> columns);
 
+/// Pairwise Spearman rank-correlation matrix over equally sized columns —
+/// the estimator the empirical rank copula is fitted from. Diagonal is
+/// exactly 1.
+Matrix spearman_matrix(std::span<const std::vector<double>> columns);
+
 }  // namespace resmodel::stats

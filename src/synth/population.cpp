@@ -66,8 +66,23 @@ std::uint64_t sample_poisson(util::Rng& rng, double mean) {
   return v <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(v));
 }
 
+util::ModelDate effective_hardware_date(const PopulationConfig& config,
+                                        util::ModelDate created) noexcept {
+  return util::ModelDate::from_year(created.year() +
+                                    config.resource_lead_years);
+}
+
 trace::HostRecord sample_host(const PopulationConfig& config,
                               const core::HostGenerator& generator,
+                              util::ModelDate created, std::uint64_t id,
+                              util::Rng& rng) {
+  const core::GeneratedHost hw =
+      generator.generate(effective_hardware_date(config, created), rng);
+  return finish_host(config, hw, created, id, rng);
+}
+
+trace::HostRecord finish_host(const PopulationConfig& config,
+                              const core::GeneratedHost& hw,
                               util::ModelDate created, std::uint64_t id,
                               util::Rng& rng) {
   const double t = created.t();
@@ -82,10 +97,7 @@ trace::HostRecord sample_host(const PopulationConfig& config,
   h.last_contact_day =
       h.created_day + static_cast<std::int32_t>(std::llround(days));
 
-  // Hardware from the generative model at the lead-corrected date.
-  const util::ModelDate effective =
-      util::ModelDate::from_year(created.year() + config.resource_lead_years);
-  const core::GeneratedHost hw = generator.generate(effective, rng);
+  const util::ModelDate effective = effective_hardware_date(config, created);
   h.n_cores = hw.n_cores;
   h.memory_mb = hw.memory_mb;
   h.whetstone_mips = hw.whetstone_mips;
@@ -170,10 +182,14 @@ trace::TraceStore generate_population(const PopulationConfig& config) {
                   std::max(1.0, mean_lifetime);
     rate *= 1.0 + config.seasonal_amplitude *
                       std::sin(2.0 * std::numbers::pi * (t - 0.2));
+    // One SoA batch for the whole day's cohort (they share the effective
+    // hardware date), then per-host wrap-up.
     const std::uint64_t arrivals = sample_poisson(rng, rate);
+    const core::GeneratedHostBatch hw = generator.generate_batch(
+        effective_hardware_date(config, date), arrivals, rng);
     for (std::uint64_t i = 0; i < arrivals; ++i) {
       trace::HostRecord h =
-          sample_host(config, generator, date, next_id++, rng);
+          finish_host(config, hw.host(i), date, next_id++, rng);
       // The trace can only record contacts up to the collection end.
       h.last_contact_day = std::min(h.last_contact_day, end_day);
       store.add(h);

@@ -25,6 +25,21 @@ trace::HostRecord sample_host(const PopulationConfig& config,
                               util::ModelDate created, std::uint64_t id,
                               util::Rng& rng);
 
+/// The date hardware is sampled at for hosts created at `created`
+/// (creation + lead; see population_config.h).
+util::ModelDate effective_hardware_date(const PopulationConfig& config,
+                                        util::ModelDate created) noexcept;
+
+/// Wraps pre-generated hardware `hw` into a full HostRecord: lifetime,
+/// measurement noise, odd cores, off-grid memory, categorical attributes,
+/// GPU, corruption. `hw` must come from the config's model at
+/// effective_hardware_date(config, created) — this is the path the
+/// batched population loop and the BOINC arrival loop share.
+trace::HostRecord finish_host(const PopulationConfig& config,
+                              const core::GeneratedHost& hw,
+                              util::ModelDate created, std::uint64_t id,
+                              util::Rng& rng);
+
 /// The date-dependent Weibull lifetime scale lambda(t).
 double lifetime_lambda(const PopulationConfig& config, double t) noexcept;
 

@@ -171,7 +171,7 @@ TEST(HostGenerator, ParallelGenerationDifferentSeedsDiffer) {
 }
 
 TEST(ColumnsOf, EmptyInput) {
-  const GeneratedColumns cols = columns_of({});
+  const GeneratedColumns cols = columns_of(std::vector<GeneratedHost>{});
   EXPECT_TRUE(cols.cores.empty());
   EXPECT_TRUE(cols.disk_avail_gb.empty());
 }

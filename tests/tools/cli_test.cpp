@@ -127,5 +127,91 @@ TEST(Cli, FitRejectsMissingTrace) {
             kFailure);
 }
 
+TEST(Cli, GenerateWithCorrelationModels) {
+  const std::string trace_path = temp_path("cli_corr.csv");
+  const std::string model_path = temp_path("cli_corr_model.txt");
+  ASSERT_EQ(run({"synth", trace_path, "500", "23"}), kOk);
+  ASSERT_EQ(run({"fit", trace_path, model_path}), kOk);
+
+  std::string out;
+  ASSERT_EQ(run({"generate", model_path, "2010-06-01", "100",
+                 temp_path("cli_corr_chol.csv"), "--correlation=cholesky"},
+                &out),
+            kOk);
+  EXPECT_NE(out.find("cholesky correlation"), std::string::npos);
+
+  ASSERT_EQ(run({"generate", model_path, "2010-06-01", "100",
+                 temp_path("cli_corr_ind.csv"),
+                 "--correlation=independent"},
+                &out),
+            kOk);
+  EXPECT_NE(out.find("independent correlation"), std::string::npos);
+
+  ASSERT_EQ(run({"generate", model_path, "2010-06-01", "100",
+                 temp_path("cli_corr_emp.csv"), "--correlation=empirical",
+                 "--trace=" + trace_path},
+                &out),
+            kOk);
+  EXPECT_NE(out.find("empirical correlation"), std::string::npos);
+
+  // Extrapolation: the copula is fitted from the trace's own window even
+  // when generating for a date years past its end.
+  ASSERT_EQ(run({"generate", model_path, "2014-06-01", "100",
+                 temp_path("cli_corr_emp_future.csv"),
+                 "--correlation=empirical", "--trace=" + trace_path},
+                &out),
+            kOk);
+
+  // Same flags work on validate, with an explicit out-of-sample fit source.
+  ASSERT_EQ(run({"validate", model_path, trace_path, "2009-06-01",
+                 "--correlation=empirical"},
+                &out),
+            kOk);
+  EXPECT_NE(out.find("mu actual"), std::string::npos);
+  ASSERT_EQ(run({"validate", model_path, trace_path, "2009-06-01",
+                 "--correlation=empirical", "--trace=" + trace_path},
+                &out),
+            kOk);
+
+  // --trace is rejected where it would be silently ignored.
+  std::string err;
+  EXPECT_EQ(run({"generate", model_path, "2010-06-01", "100",
+                 temp_path("cli_corr_bad.csv"), "--correlation=cholesky",
+                 "--trace=" + trace_path},
+                nullptr, &err),
+            kUsage);
+  EXPECT_NE(err.find("--trace only applies"), std::string::npos);
+  EXPECT_EQ(run({"validate", model_path, trace_path, "2009-06-01",
+                 "--trace=" + trace_path},
+                nullptr, &err),
+            kUsage);
+}
+
+TEST(Cli, GenerateRejectsBadCorrelationFlag) {
+  std::string err;
+  EXPECT_EQ(run({"generate", "m.txt", "2010-06-01", "10", "h.csv",
+                 "--correlation=copula"},
+                nullptr, &err),
+            kFailure);
+  EXPECT_NE(err.find("bad --correlation"), std::string::npos);
+  EXPECT_EQ(run({"generate", "m.txt", "2010-06-01", "10", "h.csv",
+                 "--frobnicate"},
+                nullptr, &err),
+            kFailure);
+}
+
+TEST(Cli, GenerateEmpiricalNeedsTrace) {
+  const std::string trace_path = temp_path("cli_emp.csv");
+  const std::string model_path = temp_path("cli_emp_model.txt");
+  ASSERT_EQ(run({"synth", trace_path, "500", "29"}), kOk);
+  ASSERT_EQ(run({"fit", trace_path, model_path}), kOk);
+  std::string err;
+  EXPECT_EQ(run({"generate", model_path, "2010-06-01", "10",
+                 temp_path("cli_emp_hosts.csv"), "--correlation=empirical"},
+                nullptr, &err),
+            kUsage);
+  EXPECT_NE(err.find("--trace"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace resmodel::cli

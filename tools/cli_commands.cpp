@@ -10,6 +10,7 @@
 #include "core/host_generator.h"
 #include "core/prediction.h"
 #include "core/validation.h"
+#include "model/factory.h"
 #include "synth/population.h"
 #include "trace/csv_io.h"
 #include "util/table.h"
@@ -27,6 +28,51 @@ std::size_t parse_count(const std::string& s, const char* what) {
   return static_cast<std::size_t>(v);
 }
 
+/// Flags shared by the host-synthesis commands. Everything that is not a
+/// recognized --flag stays positional.
+struct SynthesisOptions {
+  model::CorrelationKind correlation = model::CorrelationKind::kCholesky;
+  std::string fit_trace_path;  ///< --trace=, only used by --correlation=empirical
+  std::vector<std::string> positional;
+};
+
+SynthesisOptions parse_synthesis_options(
+    const std::vector<std::string>& args) {
+  SynthesisOptions opts;
+  for (const std::string& arg : args) {
+    if (arg.starts_with("--correlation=")) {
+      const std::string value = arg.substr(14);
+      const auto kind = model::parse_correlation_kind(value);
+      if (!kind) {
+        throw std::invalid_argument(
+            "bad --correlation: '" + value + "' (expected " +
+            model::correlation_kind_names() + ")");
+      }
+      opts.correlation = *kind;
+    } else if (arg.starts_with("--trace=")) {
+      opts.fit_trace_path = arg.substr(8);
+    } else if (arg.starts_with("--")) {
+      throw std::invalid_argument("unknown flag: '" + arg + "'");
+    } else {
+      opts.positional.push_back(arg);
+    }
+  }
+  return opts;
+}
+
+/// Builds the generator for the chosen dependence structure. The empirical
+/// model is fitted from `fit_trace` (already plausibility-filtered) over
+/// snapshots spanning the trace's own window, so generating for dates
+/// outside the trace — the extrapolation case — works.
+core::HostGenerator make_generator(const core::ModelParams& params,
+                                   const SynthesisOptions& opts,
+                                   const trace::TraceStore* fit_trace) {
+  return core::HostGenerator(
+      params, model::make_correlation_model(opts.correlation,
+                                            params.resource_correlation,
+                                            fit_trace));
+}
+
 core::ModelParams load_model(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open model file: " + path);
@@ -41,14 +87,15 @@ void save_model(const core::ModelParams& params, const std::string& path) {
   out << params.serialize();
 }
 
-void write_generated_csv(const std::vector<core::GeneratedHost>& hosts,
+void write_generated_csv(const core::GeneratedHostBatch& hosts,
                          const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot write hosts file: " + path);
   out << "cores,memory_mb,whetstone_mips,dhrystone_mips,disk_avail_gb\n";
-  for (const core::GeneratedHost& h : hosts) {
-    out << h.n_cores << ',' << h.memory_mb << ',' << h.whetstone_mips << ','
-        << h.dhrystone_mips << ',' << h.disk_avail_gb << '\n';
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    out << hosts.n_cores[i] << ',' << hosts.memory_mb[i] << ','
+        << hosts.whetstone_mips[i] << ',' << hosts.dhrystone_mips[i] << ','
+        << hosts.disk_avail_gb[i] << '\n';
   }
 }
 
@@ -62,8 +109,13 @@ std::string usage_text() {
          "  resmodel collect  <out.csv> [active] [seed]\n"
          "  resmodel fit      <trace.csv> <model.txt>\n"
          "  resmodel generate <model.txt> <YYYY-MM-DD> <count> <out.csv>\n"
+         "                    [--correlation=cholesky|independent|empirical]\n"
+         "                    [--trace=<trace.csv>]   (fit data for empirical)\n"
          "  resmodel predict  <model.txt> <year>\n"
-         "  resmodel validate <model.txt> <trace.csv> <YYYY-MM-DD>\n";
+         "  resmodel validate <model.txt> <trace.csv> <YYYY-MM-DD>\n"
+         "                    [--correlation=cholesky|independent|empirical]\n"
+         "                    [--trace=<fit.csv>]  (empirical fit source;\n"
+         "                     defaults to the trace being validated)\n";
 }
 
 int cmd_synth(const std::vector<std::string>& args, std::ostream& out,
@@ -121,19 +173,41 @@ int cmd_fit(const std::vector<std::string>& args, std::ostream& out,
 
 int cmd_generate(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err) {
-  if (args.size() != 4) {
-    err << "generate: expected <model.txt> <YYYY-MM-DD> <count> <out.csv>\n";
+  const SynthesisOptions opts = parse_synthesis_options(args);
+  if (opts.positional.size() != 4) {
+    err << "generate: expected <model.txt> <YYYY-MM-DD> <count> <out.csv> "
+           "[--correlation=" << model::correlation_kind_names()
+        << "] [--trace=<trace.csv>]\n";
     return kUsage;
   }
-  const core::ModelParams params = load_model(args[0]);
-  const util::ModelDate date = util::ModelDate::parse(args[1]);
-  const std::size_t count = parse_count(args[2], "count");
-  const core::HostGenerator generator(params);
+  const core::ModelParams params = load_model(opts.positional[0]);
+  const util::ModelDate date = util::ModelDate::parse(opts.positional[1]);
+  const std::size_t count = parse_count(opts.positional[2], "count");
+
+  trace::TraceStore fit_trace;
+  const trace::TraceStore* fit_ptr = nullptr;
+  if (opts.correlation == model::CorrelationKind::kEmpirical) {
+    if (opts.fit_trace_path.empty()) {
+      err << "generate: --correlation=empirical needs --trace=<trace.csv> "
+             "to fit from\n";
+      return kUsage;
+    }
+    fit_trace = trace::read_csv_file(opts.fit_trace_path);
+    fit_trace.discard_implausible();
+    fit_ptr = &fit_trace;
+  } else if (!opts.fit_trace_path.empty()) {
+    err << "generate: --trace only applies to --correlation=empirical\n";
+    return kUsage;
+  }
+  const core::HostGenerator generator =
+      make_generator(params, opts, fit_ptr);
   util::Rng rng(0x7e57ab1e);
-  const auto hosts = generator.generate_many(date, count, rng);
-  write_generated_csv(hosts, args[3]);
-  out << "generated " << hosts.size() << " hosts for " << date.to_string()
-      << " -> " << args[3] << '\n';
+  const core::GeneratedHostBatch hosts =
+      generator.generate_batch(date, count, rng);
+  write_generated_csv(hosts, opts.positional[3]);
+  out << "generated " << hosts.size() << " hosts ("
+      << generator.correlation().name() << " correlation) for "
+      << date.to_string() << " -> " << opts.positional[3] << '\n';
   return kOk;
 }
 
@@ -180,22 +254,39 @@ int cmd_predict(const std::vector<std::string>& args, std::ostream& out,
 
 int cmd_validate(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err) {
-  if (args.size() != 3) {
-    err << "validate: expected <model.txt> <trace.csv> <YYYY-MM-DD>\n";
+  const SynthesisOptions opts = parse_synthesis_options(args);
+  if (opts.positional.size() != 3) {
+    err << "validate: expected <model.txt> <trace.csv> <YYYY-MM-DD> "
+           "[--correlation=" << model::correlation_kind_names() << "]\n";
     return kUsage;
   }
-  const core::ModelParams params = load_model(args[0]);
-  trace::TraceStore store = trace::read_csv_file(args[1]);
+  const core::ModelParams params = load_model(opts.positional[0]);
+  trace::TraceStore store = trace::read_csv_file(opts.positional[1]);
   store.discard_implausible();
-  const util::ModelDate date = util::ModelDate::parse(args[2]);
+  const util::ModelDate date = util::ModelDate::parse(opts.positional[2]);
   const trace::ResourceSnapshot actual = store.snapshot(date);
   if (actual.size() == 0) {
     err << "validate: no active hosts at " << date.to_string() << '\n';
     return kFailure;
   }
-  const core::HostGenerator generator(params);
+  // The empirical copula refits from the trace being validated unless an
+  // explicit --trace= gives a separate (out-of-sample) fit source.
+  trace::TraceStore separate_fit;
+  const trace::TraceStore* fit_ptr = &store;
+  if (!opts.fit_trace_path.empty()) {
+    if (opts.correlation != model::CorrelationKind::kEmpirical) {
+      err << "validate: --trace only applies to --correlation=empirical\n";
+      return kUsage;
+    }
+    separate_fit = trace::read_csv_file(opts.fit_trace_path);
+    separate_fit.discard_implausible();
+    fit_ptr = &separate_fit;
+  }
+  const core::HostGenerator generator =
+      make_generator(params, opts, fit_ptr);
   util::Rng rng(1);
-  const auto generated = generator.generate_many(date, actual.size(), rng);
+  const core::GeneratedHostBatch generated =
+      generator.generate_batch(date, actual.size(), rng);
   util::Table table(
       {"Resource", "mu actual", "mu gen", "mu diff", "sd diff", "KS"});
   for (const core::ResourceComparison& c :

@@ -10,6 +10,10 @@
 //   generate <model.txt> <date> <n> <out.csv>   synthesize hosts
 //   predict <model.txt> <year>             predicted composition
 //   validate <model.txt> <trace.csv> <date>     generated-vs-actual check
+//
+// generate and validate accept --correlation=cholesky|independent|empirical
+// to swap the dependence structure (src/model/); empirical generation also
+// needs --trace=<trace.csv> to fit the rank copula from.
 #pragma once
 
 #include <iosfwd>

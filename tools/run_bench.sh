@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds the Release perf microbenchmarks and records a BENCH_*.json
+# trajectory point. Run from anywhere inside the repo:
+#
+#   tools/run_bench.sh [extra google-benchmark flags...]
+#
+# Output lands in bench_results/BENCH_<utc-date>_<git-sha>.json so
+# successive PRs accumulate a comparable series (same machine assumed).
+set -euo pipefail
+
+repo_root="$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+build_dir="$repo_root/build-release"
+out_dir="$repo_root/bench_results"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DRESMODEL_BUILD_TESTS=OFF \
+  -DRESMODEL_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$build_dir" --target perf_microbench -j "$(nproc)"
+
+mkdir -p "$out_dir"
+stamp="$(date -u +%Y%m%d)"
+sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo nogit)"
+out_file="$out_dir/BENCH_${stamp}_${sha}.json"
+
+"$build_dir/bench/perf_microbench" \
+  --benchmark_format=json \
+  --benchmark_out="$out_file" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote $out_file"
