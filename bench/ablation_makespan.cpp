@@ -26,7 +26,7 @@ int main() {
   const auto date = util::ModelDate::from_ymd(2010, 6, 1);
 
   // Actual hosts from the (filtered) trace snapshot, truncated to kHosts.
-  std::vector<sim::HostResources> actual = sim::to_host_resources(
+  sim::HostResourcesSoA actual = sim::HostResourcesSoA::from_snapshot(
       bench::bench_trace().snapshot(date));
   if (actual.size() > kHosts) actual.resize(kHosts);
 
@@ -43,16 +43,16 @@ int main() {
   util::Rng rng(123);
   struct Population {
     std::string name;
-    std::vector<sim::HostResources> hosts;
+    sim::HostResourcesSoA hosts;
   };
   std::vector<Population> populations;
   populations.push_back({"Actual trace", actual});
+  populations.push_back({"Correlated model",
+                         correlated.synthesize_soa(date, actual.size(), rng)});
   populations.push_back(
-      {"Correlated model", correlated.synthesize(date, actual.size(), rng)});
+      {"Normal model", normal.synthesize_soa(date, actual.size(), rng)});
   populations.push_back(
-      {"Normal model", normal.synthesize(date, actual.size(), rng)});
-  populations.push_back(
-      {"Grid model", grid.synthesize(date, actual.size(), rng)});
+      {"Grid model", grid.synthesize_soa(date, actual.size(), rng)});
 
   const sim::SchedulingPolicy policies[] = {
       sim::SchedulingPolicy::kStaticRoundRobin,

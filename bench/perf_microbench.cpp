@@ -194,7 +194,11 @@ void BM_FitPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_FitPipeline)->Unit(benchmark::kMillisecond);
 
-void BM_RoundRobinAllocation(benchmark::State& state) {
+// The acceptance pair for the SoA allocator: the retained pre-SoA
+// implementation (per-pair std::pow + comparator index sort) against the
+// columnar log-domain path. Both consume the same generated host set; at
+// 100k hosts the SoA path must be >= 5x faster in the same Release run.
+void BM_RoundRobinAllocationAoS(benchmark::State& state) {
   const core::HostGenerator generator(core::paper_params());
   util::Rng rng(8);
   const std::vector<sim::HostResources> hosts =
@@ -203,12 +207,28 @@ void BM_RoundRobinAllocation(benchmark::State& state) {
           static_cast<std::size_t>(state.range(0)), rng));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
+        sim::allocate_round_robin_reference(sim::paper_applications(), hosts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RoundRobinAllocationAoS)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RoundRobinAllocation(benchmark::State& state) {
+  const core::HostGenerator generator(core::paper_params());
+  util::Rng rng(8);
+  const sim::HostResourcesSoA hosts =
+      sim::HostResourcesSoA::from_batch(generator.generate_batch(
+          util::ModelDate::from_ymd(2010, 1, 1),
+          static_cast<std::size_t>(state.range(0)), rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
         sim::allocate_round_robin(sim::paper_applications(), hosts));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_RoundRobinAllocation)->Arg(1000)->Arg(10000)
-    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RoundRobinAllocation)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Arg(1000000)->Unit(benchmark::kMillisecond);
 
 void BM_PearsonCorrelation(benchmark::State& state) {
   util::Rng rng(9);
@@ -225,4 +245,21 @@ BENCHMARK(BM_PearsonCorrelation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): records whether *this* binary
+// (and therefore the statically linked resmodel library) was compiled with
+// NDEBUG. The stock "library_build_type" context key describes the
+// system-packaged google-benchmark shared library — Debian builds it
+// without NDEBUG, so it reports "debug" regardless of our flags;
+// "resmodel_build_type" is the key tools/run_bench.sh asserts on.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("resmodel_build_type", "release");
+#else
+  benchmark::AddCustomContext("resmodel_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,10 +15,10 @@ using namespace resmodel;
 
 namespace {
 
-std::vector<sim::HostResources> make_hosts(std::size_t n, int year) {
+sim::HostResourcesSoA make_hosts(std::size_t n, int year) {
   const core::HostGenerator gen(core::paper_params());
   util::Rng rng(2024);
-  return sim::to_host_resources(
+  return sim::HostResourcesSoA::from_batch(
       gen.generate_batch(util::ModelDate::from_ymd(year, 1, 1), n, rng));
 }
 

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
                      "Climate util/host", "P2P util/host",
                      "Growth vs 2006"});
   for (int year = 2006; year <= 2014; ++year) {
-    const auto hosts = model.synthesize(
+    const sim::HostResourcesSoA hosts = model.synthesize_soa(
         util::ModelDate::from_ymd(year, 1, 1), hosts_per_year, rng);
     const sim::AllocationResult alloc = sim::allocate_round_robin(apps, hosts);
 

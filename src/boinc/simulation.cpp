@@ -86,6 +86,25 @@ CollectionResult run_collection(const CollectionConfig& config) {
   result.total_contacts = server.total_contacts();
   result.total_units_granted = server.total_units_granted();
   result.total_credit_granted = server.total_credit_granted();
+
+  if (config.allocate_final_utility) {
+    // The §VII step on the freshly collected trace: columnar snapshot in,
+    // columnar allocator out — no AoS detour. §V-A's active definition
+    // needs a contact on or after the snapshot day, so the exact end day
+    // is usually sparse; walk back to the latest populated day.
+    const std::int32_t start_day = pop.sim_start.day_index();
+    for (std::int32_t day = end_day; day >= start_day; --day) {
+      const trace::ResourceSnapshot snap = result.trace.snapshot_plausible(
+          util::ModelDate::from_day_index(day));
+      if (snap.size() == 0) continue;
+      const sim::HostResourcesSoA hosts =
+          sim::HostResourcesSoA::from_snapshot(snap);
+      result.final_allocation_hosts = hosts.size();
+      result.final_allocation =
+          sim::allocate_round_robin(sim::paper_applications(), hosts);
+      break;
+    }
+  }
   return result;
 }
 

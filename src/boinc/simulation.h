@@ -8,6 +8,7 @@
 
 #include "boinc/client.h"
 #include "boinc/server.h"
+#include "sim/allocator.h"
 #include "synth/population_config.h"
 #include "trace/trace_store.h"
 
@@ -19,6 +20,13 @@ struct CollectionConfig {
   synth::PopulationConfig population;
   ClientConfig client;
   ServerConfig server;
+
+  /// When true, the run ends with the §VII utility step: the collected
+  /// trace's plausible snapshot at the latest populated day of the window
+  /// is allocated across the Table-IX applications through the columnar
+  /// round-robin allocator and reported in
+  /// CollectionResult::final_allocation.
+  bool allocate_final_utility = false;
 };
 
 struct CollectionResult {
@@ -27,6 +35,12 @@ struct CollectionResult {
   std::uint64_t total_contacts = 0;
   std::uint64_t total_units_granted = 0;
   double total_credit_granted = 0.0;
+
+  /// Filled when CollectionConfig::allocate_final_utility is set: the
+  /// round-robin allocation of the end-of-window snapshot to
+  /// sim::paper_applications() (empty vectors otherwise).
+  sim::AllocationResult final_allocation;
+  std::size_t final_allocation_hosts = 0;
 };
 
 /// Runs the full collection window. Deterministic for a fixed config.

@@ -5,11 +5,21 @@
 // round-robin fashion": applications take turns, each claiming the
 // still-unassigned host with the highest utility for it, until every host
 // is assigned.
+//
+// The hot path is columnar and log-domain: each application's preference
+// score is the fused sweep
+//   alpha*logC + beta*logM + gamma*logI + delta*logF + epsilon*logD
+// over the precomputed log columns of a HostResourcesSoA — monotone in the
+// Cobb-Douglas utility, so ordering needs no pow/exp per pair; exp is
+// applied only to the hosts an application actually wins, when summing its
+// total utility. Equal-score hosts are ordered by ascending host index,
+// making assignments deterministic across standard libraries.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "sim/host_soa.h"
 #include "sim/utility.h"
 
 namespace resmodel::sim {
@@ -25,9 +35,25 @@ struct AllocationResult {
 };
 
 /// Runs the greedy round-robin allocation of every host to the given
-/// applications. Complexity O(A * N log N) via per-application sorted
-/// preference lists.
+/// applications over a columnar host set. The per-application score+sort
+/// phase runs on `threads` workers (0 = hardware concurrency); the result
+/// is identical for any thread count. Complexity O(A * N log N) via
+/// per-application key-value sorted preference lists.
+AllocationResult allocate_round_robin(std::span<const ApplicationSpec> apps,
+                                      const HostResourcesSoA& hosts,
+                                      int threads = 0);
+
+/// AoS entry point, kept for the existing tests and small callers: thin
+/// wrapper that transposes into a HostResourcesSoA and delegates.
 AllocationResult allocate_round_robin(std::span<const ApplicationSpec> apps,
                                       std::span<const HostResources> hosts);
+
+/// The pre-SoA implementation — per-pair std::pow utilities and a
+/// comparator index sort — retained as the benchmark baseline and as the
+/// golden oracle for the SoA equivalence tests. Same deterministic
+/// host-index tie-break as the SoA path.
+AllocationResult allocate_round_robin_reference(
+    std::span<const ApplicationSpec> apps,
+    std::span<const HostResources> hosts);
 
 }  // namespace resmodel::sim

@@ -14,15 +14,18 @@ namespace resmodel::sim {
 namespace {
 
 // Per-host processing rate in MIPS (cores x whetstone), derated by a
-// sampled availability fraction when the overlay is on.
-std::vector<double> host_rates(std::span<const HostResources> hosts,
+// sampled availability fraction when the overlay is on. `speed_at(i)`
+// supplies cores x whetstone for host i, so the AoS and SoA entry points
+// share one rate formula and one rng-consumption order.
+template <typename SpeedAt>
+std::vector<double> host_rates(std::size_t n, SpeedAt speed_at,
                                const BagOfTasksConfig& config,
                                util::Rng& rng) {
   std::vector<double> rates;
-  rates.reserve(hosts.size());
+  rates.reserve(n);
   const synth::AvailabilityModel avail(config.availability);
-  for (const HostResources& h : hosts) {
-    double rate = std::max(1.0, h.cores * h.whetstone_mips);
+  for (std::size_t i = 0; i < n; ++i) {
+    double rate = std::max(1.0, speed_at(i));
     if (config.model_availability) {
       util::Rng host_rng = rng.fork();
       const auto intervals =
@@ -75,27 +78,22 @@ std::string to_string(SchedulingPolicy policy) {
   return "unknown";
 }
 
-BagOfTasksResult run_bag_of_tasks(std::span<const HostResources> hosts,
-                                  const BagOfTasksConfig& config,
-                                  SchedulingPolicy policy, util::Rng& rng) {
-  if (hosts.empty()) {
-    throw std::invalid_argument("run_bag_of_tasks: no hosts");
-  }
-  if (config.task_count == 0 || !(config.task_cost_mips_days_mean > 0.0) ||
-      !(config.task_cost_cv > 0.0)) {
-    throw std::invalid_argument("run_bag_of_tasks: degenerate config");
-  }
+namespace {
 
-  const std::vector<double> rates = host_rates(hosts, config, rng);
+// The policy dispatch shared by the AoS and SoA entry points: everything
+// below only needs the per-host rates.
+BagOfTasksResult run_with_rates(const std::vector<double>& rates,
+                                const BagOfTasksConfig& config,
+                                SchedulingPolicy policy, util::Rng& rng) {
   const std::vector<double> tasks = sample_tasks(config, rng);
 
-  std::vector<double> busy_days(hosts.size(), 0.0);
+  std::vector<double> busy_days(rates.size(), 0.0);
   double total_cpu_days = 0.0;
 
   switch (policy) {
     case SchedulingPolicy::kStaticRoundRobin: {
       for (std::size_t i = 0; i < tasks.size(); ++i) {
-        const std::size_t h = i % hosts.size();
+        const std::size_t h = i % rates.size();
         const double days = tasks[i] / rates[h];
         busy_days[h] += days;
         total_cpu_days += days;
@@ -111,7 +109,7 @@ BagOfTasksResult run_bag_of_tasks(std::span<const HostResources> hosts,
       // rate share. Equivalent to largest-remaining-quota dealing.
       const double total_rate =
           std::accumulate(rates.begin(), rates.end(), 0.0);
-      std::vector<double> assigned_work(hosts.size(), 0.0);
+      std::vector<double> assigned_work(rates.size(), 0.0);
       double total_assigned = 0.0;
       for (const double task : tasks) {
         // Deficit in cost units: how far below its rate-proportional share
@@ -120,7 +118,7 @@ BagOfTasksResult run_bag_of_tasks(std::span<const HostResources> hosts,
         std::size_t best = 0;
         double best_deficit = -std::numeric_limits<double>::infinity();
         const double next_total = total_assigned + task;
-        for (std::size_t h = 0; h < hosts.size(); ++h) {
+        for (std::size_t h = 0; h < rates.size(); ++h) {
           const double share = rates[h] / total_rate;
           const double deficit = share * next_total - assigned_work[h];
           if (deficit > best_deficit) {
@@ -144,7 +142,7 @@ BagOfTasksResult run_bag_of_tasks(std::span<const HostResources> hosts,
       // completion times).
       using Entry = std::pair<double, std::size_t>;  // (free at, host)
       std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-      for (std::size_t h = 0; h < hosts.size(); ++h) heap.push({0.0, h});
+      for (std::size_t h = 0; h < rates.size(); ++h) heap.push({0.0, h});
       double makespan = 0.0;
       for (const double task : tasks) {
         const auto [free_at, h] = heap.top();
@@ -161,12 +159,12 @@ BagOfTasksResult run_bag_of_tasks(std::span<const HostResources> hosts,
 
     case SchedulingPolicy::kDynamicEct: {
       // Minimum-completion-time: O(T * H); fine at study scales.
-      std::vector<double> free_at(hosts.size(), 0.0);
+      std::vector<double> free_at(rates.size(), 0.0);
       double makespan = 0.0;
       for (const double task : tasks) {
         std::size_t best = 0;
         double best_done = std::numeric_limits<double>::infinity();
-        for (std::size_t h = 0; h < hosts.size(); ++h) {
+        for (std::size_t h = 0; h < rates.size(); ++h) {
           const double done = free_at[h] + task / rates[h];
           if (done < best_done) {
             best_done = done;
@@ -183,6 +181,43 @@ BagOfTasksResult run_bag_of_tasks(std::span<const HostResources> hosts,
     }
   }
   throw std::invalid_argument("run_bag_of_tasks: unknown policy");
+}
+
+void validate_config(const BagOfTasksConfig& config) {
+  if (config.task_count == 0 || !(config.task_cost_mips_days_mean > 0.0) ||
+      !(config.task_cost_cv > 0.0)) {
+    throw std::invalid_argument("run_bag_of_tasks: degenerate config");
+  }
+}
+
+}  // namespace
+
+BagOfTasksResult run_bag_of_tasks(std::span<const HostResources> hosts,
+                                  const BagOfTasksConfig& config,
+                                  SchedulingPolicy policy, util::Rng& rng) {
+  if (hosts.empty()) {
+    throw std::invalid_argument("run_bag_of_tasks: no hosts");
+  }
+  validate_config(config);
+  const auto speed_at = [&hosts](std::size_t i) {
+    return hosts[i].cores * hosts[i].whetstone_mips;
+  };
+  return run_with_rates(host_rates(hosts.size(), speed_at, config, rng),
+                        config, policy, rng);
+}
+
+BagOfTasksResult run_bag_of_tasks(const HostResourcesSoA& hosts,
+                                  const BagOfTasksConfig& config,
+                                  SchedulingPolicy policy, util::Rng& rng) {
+  if (hosts.empty()) {
+    throw std::invalid_argument("run_bag_of_tasks: no hosts");
+  }
+  validate_config(config);
+  const auto speed_at = [&hosts](std::size_t i) {
+    return hosts.cores[i] * hosts.whetstone_mips[i];
+  };
+  return run_with_rates(host_rates(hosts.size(), speed_at, config, rng),
+                        config, policy, rng);
 }
 
 }  // namespace resmodel::sim

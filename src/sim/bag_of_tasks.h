@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/host_soa.h"
 #include "sim/utility.h"
 #include "synth/availability.h"
 #include "util/rng.h"
@@ -71,6 +72,12 @@ struct BagOfTasksResult {
 /// Throws std::invalid_argument if `hosts` is empty or the config is
 /// degenerate.
 BagOfTasksResult run_bag_of_tasks(std::span<const HostResources> hosts,
+                                  const BagOfTasksConfig& config,
+                                  SchedulingPolicy policy, util::Rng& rng);
+
+/// Columnar overload: identical semantics and rng consumption, computing
+/// the per-host rates straight from the SoA columns (no AoS conversion).
+BagOfTasksResult run_bag_of_tasks(const HostResourcesSoA& hosts,
                                   const BagOfTasksConfig& config,
                                   SchedulingPolicy policy, util::Rng& rng);
 

@@ -64,6 +64,13 @@ std::vector<HostResources> CorrelatedModel::synthesize(util::ModelDate date,
   return to_host_resources(generator_.generate_batch(date, count, rng));
 }
 
+HostResourcesSoA CorrelatedModel::synthesize_soa(util::ModelDate date,
+                                                 std::size_t count,
+                                                 util::Rng& rng) const {
+  return HostResourcesSoA::from_batch(
+      generator_.generate_batch(date, count, rng));
+}
+
 // ----------------------------------------------- NormalDistributionModel --
 
 NormalDistributionModel::NormalDistributionModel(LinearTrend cores,
@@ -80,18 +87,13 @@ NormalDistributionModel::NormalDistributionModel(LinearTrend cores,
 NormalDistributionModel NormalDistributionModel::fit(
     const trace::TraceStore& store,
     const std::vector<util::ModelDate>& dates) {
-  // The paper's §V-B plausibility filter precedes every analysis step;
-  // without it a handful of corrupt records dominates the fitted moments.
-  trace::TraceStore filtered;
-  filtered.reserve(store.size());
-  for (const trace::HostRecord& h : store.hosts()) filtered.add(h);
-  filtered.discard_implausible();
-
   std::vector<double> ts;
   std::vector<double> mean_series[5];
   std::vector<double> sd_series[5];
   for (const util::ModelDate& d : dates) {
-    const trace::ResourceSnapshot snap = filtered.snapshot(d);
+    // The paper's §V-B plausibility filter precedes every analysis step;
+    // without it a handful of corrupt records dominates the fitted moments.
+    const trace::ResourceSnapshot snap = store.snapshot_plausible(d);
     if (snap.size() < 2) continue;
     ts.push_back(d.t());
     const std::vector<double>* cols[5] = {
@@ -113,6 +115,18 @@ NormalDistributionModel NormalDistributionModel::fit(
 
 std::vector<HostResources> NormalDistributionModel::synthesize(
     util::ModelDate date, std::size_t count, util::Rng& rng) const {
+  return synthesize_columns(date, count, rng).to_hosts();
+}
+
+HostResourcesSoA NormalDistributionModel::synthesize_soa(
+    util::ModelDate date, std::size_t count, util::Rng& rng) const {
+  HostResourcesSoA out = synthesize_columns(date, count, rng);
+  out.precompute_logs();
+  return out;
+}
+
+HostResourcesSoA NormalDistributionModel::synthesize_columns(
+    util::ModelDate date, std::size_t count, util::Rng& rng) const {
   const double t = date.t();
   const auto eval = [t](const LinearTrend& trend) {
     const double mean = trend.mean.slope * t + trend.mean.intercept;
@@ -128,17 +142,17 @@ std::vector<HostResources> NormalDistributionModel::synthesize(
   const stats::LogNormalDist disk_dist = stats::LogNormalDist::from_moments(
       std::max(kMinDiskGb, disk_m), std::max(1e-6, disk_sd * disk_sd));
 
-  std::vector<HostResources> out;
-  out.reserve(count);
+  HostResourcesSoA out;
+  out.resize(count);
+  // Row loop, column writes: draw order matches the old per-host AoS loop,
+  // so the same seed yields the same hosts.
   for (std::size_t i = 0; i < count; ++i) {
-    HostResources h;
     // Cores must be a positive integer; round the normal draw.
-    h.cores = std::max(1.0, std::round(rng.normal(cores_m, cores_sd)));
-    h.memory_mb = std::max(kMinMemoryMb, rng.normal(mem_m, mem_sd));
-    h.whetstone_mips = std::max(kMinMips, rng.normal(whet_m, whet_sd));
-    h.dhrystone_mips = std::max(kMinMips, rng.normal(dhry_m, dhry_sd));
-    h.disk_avail_gb = disk_dist.sample(rng);
-    out.push_back(h);
+    out.cores[i] = std::max(1.0, std::round(rng.normal(cores_m, cores_sd)));
+    out.memory_mb[i] = std::max(kMinMemoryMb, rng.normal(mem_m, mem_sd));
+    out.whetstone_mips[i] = std::max(kMinMips, rng.normal(whet_m, whet_sd));
+    out.dhrystone_mips[i] = std::max(kMinMips, rng.normal(dhry_m, dhry_sd));
+    out.disk_avail_gb[i] = disk_dist.sample(rng);
   }
   return out;
 }
@@ -157,18 +171,31 @@ GridResourceModel::GridResourceModel(core::ModelParams params,
 
 std::vector<HostResources> GridResourceModel::synthesize(
     util::ModelDate date, std::size_t count, util::Rng& rng) const {
+  return synthesize_columns(date, count, rng).to_hosts();
+}
+
+HostResourcesSoA GridResourceModel::synthesize_soa(util::ModelDate date,
+                                                   std::size_t count,
+                                                   util::Rng& rng) const {
+  HostResourcesSoA out = synthesize_columns(date, count, rng);
+  out.precompute_logs();
+  return out;
+}
+
+HostResourcesSoA GridResourceModel::synthesize_columns(
+    util::ModelDate date, std::size_t count, util::Rng& rng) const {
   const double t_now = date.t();
-  std::vector<HostResources> out;
-  out.reserve(count);
+  HostResourcesSoA out;
+  out.resize(count);
   for (std::size_t i = 0; i < count; ++i) {
     // Mixture of host ages: exponential with the mean observed lifetime,
     // so the population contains both freshly purchased and old machines.
     const double age = rng.exponential(1.0 / mean_lifetime_years_);
     const double t = t_now - std::min(age, 6.0);
 
-    HostResources h;
     // Processor count from the composition at the aged date.
-    h.cores = params_.cores.quantile(t, rng.uniform());
+    const double cores = params_.cores.quantile(t, rng.uniform());
+    out.cores[i] = cores;
 
     // Log-normal processor speeds with our fitted moments (uncorrelated).
     const auto whet = stats::LogNormalDist::from_moments(
@@ -177,8 +204,8 @@ std::vector<HostResources> GridResourceModel::synthesize(
     const auto dhry = stats::LogNormalDist::from_moments(
         std::max(kMinMips, params_.dhrystone.mean(t)),
         std::max(1.0, params_.dhrystone.variance(t)));
-    h.whetstone_mips = whet.sample(rng);
-    h.dhrystone_mips = dhry.sample(rng);
+    out.whetstone_mips[i] = whet.sample(rng);
+    out.dhrystone_mips[i] = dhry.sample(rng);
 
     // Kee-style memory: per-processor memory is a power of two whose
     // exponent is normal around the model's per-core mean at the aged date.
@@ -187,7 +214,7 @@ std::vector<HostResources> GridResourceModel::synthesize(
         rng.normal(std::log2(std::max(kMinMemoryMb, mean_per_core)), 0.8));
     const double per_core =
         std::clamp(std::exp2(k), kMinMemoryMb, 8.0 * 1024.0);
-    h.memory_mb = per_core * h.cores;
+    out.memory_mb[i] = per_core * cores;
 
     // Exponential disk *capacity* growth; dividing the available-space law
     // by the mean available fraction models total capacity, which is what
@@ -198,10 +225,9 @@ std::vector<HostResources> GridResourceModel::synthesize(
     const double capacity_var = std::max(
         1e-6, params_.disk_gb.variance(t) /
                   (mean_avail_fraction_ * mean_avail_fraction_));
-    h.disk_avail_gb =
+    out.disk_avail_gb[i] =
         stats::LogNormalDist::from_moments(capacity_mean, capacity_var)
             .sample(rng);
-    out.push_back(h);
   }
   return out;
 }

@@ -19,6 +19,7 @@
 #include "core/host_generator.h"
 #include "core/model_params.h"
 #include "model/correlation_model.h"
+#include "sim/host_soa.h"
 #include "sim/utility.h"
 #include "stats/regression.h"
 #include "trace/trace_store.h"
@@ -35,6 +36,16 @@ class HostSynthesisModel {
   virtual std::vector<HostResources> synthesize(util::ModelDate date,
                                                 std::size_t count,
                                                 util::Rng& rng) const = 0;
+
+  /// Columnar synthesis for the allocation hot path. Consumes `rng`
+  /// exactly like synthesize(), so both paths draw identical hosts; the
+  /// default wraps synthesize() for external models, and every in-repo
+  /// model overrides it to fill columns without an AoS detour.
+  virtual HostResourcesSoA synthesize_soa(util::ModelDate date,
+                                          std::size_t count,
+                                          util::Rng& rng) const {
+    return HostResourcesSoA::from_hosts(synthesize(date, count, rng));
+  }
 };
 
 /// The paper's generative model with a pluggable dependence structure.
@@ -52,6 +63,8 @@ class CorrelatedModel final : public HostSynthesisModel {
   std::vector<HostResources> synthesize(util::ModelDate date,
                                         std::size_t count,
                                         util::Rng& rng) const override;
+  HostResourcesSoA synthesize_soa(util::ModelDate date, std::size_t count,
+                                  util::Rng& rng) const override;
 
  private:
   core::HostGenerator generator_;
@@ -80,8 +93,14 @@ class NormalDistributionModel final : public HostSynthesisModel {
   std::vector<HostResources> synthesize(util::ModelDate date,
                                         std::size_t count,
                                         util::Rng& rng) const override;
+  HostResourcesSoA synthesize_soa(util::ModelDate date, std::size_t count,
+                                  util::Rng& rng) const override;
 
  private:
+  /// The raw-column fill shared by both synthesis paths (no log columns).
+  HostResourcesSoA synthesize_columns(util::ModelDate date, std::size_t count,
+                                      util::Rng& rng) const;
+
   LinearTrend cores_, memory_, whetstone_, dhrystone_, disk_;
 };
 
@@ -99,8 +118,14 @@ class GridResourceModel final : public HostSynthesisModel {
   std::vector<HostResources> synthesize(util::ModelDate date,
                                         std::size_t count,
                                         util::Rng& rng) const override;
+  HostResourcesSoA synthesize_soa(util::ModelDate date, std::size_t count,
+                                  util::Rng& rng) const override;
 
  private:
+  /// The raw-column fill shared by both synthesis paths (no log columns).
+  HostResourcesSoA synthesize_columns(util::ModelDate date, std::size_t count,
+                                      util::Rng& rng) const;
+
   core::ModelParams params_;
   double mean_lifetime_years_;
   double mean_avail_fraction_;

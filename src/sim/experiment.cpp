@@ -34,16 +34,12 @@ UtilityExperimentResult run_utility_experiment(
                                std::vector<double>(dates.size(), 0.0));
   result.host_counts.assign(dates.size(), 0);
 
-  // Apply the §V-B plausibility filter: a single corrupt record (1e5 MIPS,
-  // 1e4 GB disk) would otherwise dominate the actual-utility reference.
-  trace::TraceStore filtered;
-  filtered.reserve(actual.size());
-  for (const trace::HostRecord& h : actual.hosts()) filtered.add(h);
-  filtered.discard_implausible();
-
   for (std::size_t d = 0; d < dates.size(); ++d) {
-    const trace::ResourceSnapshot snap = filtered.snapshot(dates[d]);
-    const std::vector<HostResources> actual_hosts = to_host_resources(snap);
+    // The §V-B plausibility filter is applied by the snapshot itself: a
+    // single corrupt record (1e5 MIPS, 1e4 GB disk) would otherwise
+    // dominate the actual-utility reference.
+    const HostResourcesSoA actual_hosts =
+        HostResourcesSoA::from_snapshot(actual.snapshot_plausible(dates[d]));
     if (actual_hosts.empty()) {
       throw std::invalid_argument("run_utility_experiment: empty snapshot at " +
                                   dates[d].to_string());
@@ -61,8 +57,8 @@ UtilityExperimentResult run_utility_experiment(
     }
 
     for (std::size_t m = 0; m < models.size(); ++m) {
-      const std::vector<HostResources> model_hosts =
-          models[m]->synthesize(dates[d], actual_hosts.size(), rng);
+      const HostResourcesSoA model_hosts =
+          models[m]->synthesize_soa(dates[d], actual_hosts.size(), rng);
       const AllocationResult model_alloc =
           allocate_round_robin(apps, model_hosts);
       for (std::size_t a = 0; a < apps.size(); ++a) {

@@ -1,0 +1,87 @@
+#include "sim/host_soa.h"
+
+#include <cmath>
+
+namespace resmodel::sim {
+
+std::vector<double> log_utility_column(const std::vector<double>& column) {
+  std::vector<double> out(column.size());
+  for (std::size_t i = 0; i < column.size(); ++i) {
+    out[i] = std::log(column[i] > kUtilityFloor ? column[i] : kUtilityFloor);
+  }
+  return out;
+}
+
+void HostResourcesSoA::resize(std::size_t n) {
+  cores.resize(n);
+  memory_mb.resize(n);
+  dhrystone_mips.resize(n);
+  whetstone_mips.resize(n);
+  disk_avail_gb.resize(n);
+  log_cores.clear();
+  log_memory_mb.clear();
+  log_dhrystone_mips.clear();
+  log_whetstone_mips.clear();
+  log_disk_avail_gb.clear();
+}
+
+void HostResourcesSoA::precompute_logs() {
+  log_cores = log_utility_column(cores);
+  log_memory_mb = log_utility_column(memory_mb);
+  log_dhrystone_mips = log_utility_column(dhrystone_mips);
+  log_whetstone_mips = log_utility_column(whetstone_mips);
+  log_disk_avail_gb = log_utility_column(disk_avail_gb);
+}
+
+HostResources HostResourcesSoA::host(std::size_t i) const noexcept {
+  return HostResources{cores[i], memory_mb[i], dhrystone_mips[i],
+                       whetstone_mips[i], disk_avail_gb[i]};
+}
+
+std::vector<HostResources> HostResourcesSoA::to_hosts() const {
+  std::vector<HostResources> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.push_back(host(i));
+  return out;
+}
+
+HostResourcesSoA HostResourcesSoA::from_batch(
+    const core::GeneratedHostBatch& batch) {
+  HostResourcesSoA soa;
+  soa.cores.assign(batch.n_cores.begin(), batch.n_cores.end());
+  soa.memory_mb = batch.memory_mb;
+  soa.dhrystone_mips = batch.dhrystone_mips;
+  soa.whetstone_mips = batch.whetstone_mips;
+  soa.disk_avail_gb = batch.disk_avail_gb;
+  soa.precompute_logs();
+  return soa;
+}
+
+HostResourcesSoA HostResourcesSoA::from_snapshot(
+    const trace::ResourceSnapshot& snap) {
+  HostResourcesSoA soa;
+  soa.cores = snap.cores;
+  soa.memory_mb = snap.memory_mb;
+  soa.dhrystone_mips = snap.dhrystone_mips;
+  soa.whetstone_mips = snap.whetstone_mips;
+  soa.disk_avail_gb = snap.disk_avail_gb;
+  soa.precompute_logs();
+  return soa;
+}
+
+HostResourcesSoA HostResourcesSoA::from_hosts(
+    std::span<const HostResources> hosts) {
+  HostResourcesSoA soa;
+  soa.resize(hosts.size());
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    soa.cores[i] = hosts[i].cores;
+    soa.memory_mb[i] = hosts[i].memory_mb;
+    soa.dhrystone_mips[i] = hosts[i].dhrystone_mips;
+    soa.whetstone_mips[i] = hosts[i].whetstone_mips;
+    soa.disk_avail_gb[i] = hosts[i].disk_avail_gb;
+  }
+  soa.precompute_logs();
+  return soa;
+}
+
+}  // namespace resmodel::sim

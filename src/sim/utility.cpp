@@ -7,10 +7,9 @@ namespace resmodel::sim {
 
 double cobb_douglas_utility(const ApplicationSpec& app,
                             const HostResources& host) noexcept {
-  static constexpr double kFloor = 1e-9;
   const auto term = [](double value, double exponent) {
     if (exponent == 0.0) return 1.0;
-    return std::pow(value > kFloor ? value : kFloor, exponent);
+    return std::pow(value > kUtilityFloor ? value : kUtilityFloor, exponent);
   };
   return term(host.cores, app.alpha) * term(host.memory_mb, app.beta) *
          term(host.dhrystone_mips, app.gamma) *

@@ -31,8 +31,12 @@ struct ApplicationSpec {
   double epsilon = 0.0;  ///< disk
 };
 
-/// Y_A(H). Non-positive resource values contribute as a tiny positive
-/// floor so a single zeroed reading does not annihilate the product.
+/// Resource values at or below this floor are clamped before entering the
+/// utility product (or its log-domain equivalent) so a single zeroed
+/// reading does not annihilate the product.
+inline constexpr double kUtilityFloor = 1e-9;
+
+/// Y_A(H). Non-positive resource values contribute as kUtilityFloor.
 double cobb_douglas_utility(const ApplicationSpec& app,
                             const HostResources& host) noexcept;
 

@@ -30,17 +30,35 @@ std::vector<std::size_t> TraceStore::active_indices(
   return out;
 }
 
+namespace {
+
+void append_host(ResourceSnapshot& snap, const HostRecord& h) {
+  snap.cores.push_back(static_cast<double>(h.n_cores));
+  snap.memory_mb.push_back(h.memory_mb);
+  snap.memory_per_core_mb.push_back(h.memory_per_core_mb());
+  snap.whetstone_mips.push_back(h.whetstone_mips);
+  snap.dhrystone_mips.push_back(h.dhrystone_mips);
+  snap.disk_avail_gb.push_back(h.disk_avail_gb);
+}
+
+}  // namespace
+
 ResourceSnapshot TraceStore::snapshot(util::ModelDate date) const {
   const std::int32_t day = date.day_index();
   ResourceSnapshot snap;
   for (const HostRecord& h : hosts_) {
     if (!h.active_at(day)) continue;
-    snap.cores.push_back(static_cast<double>(h.n_cores));
-    snap.memory_mb.push_back(h.memory_mb);
-    snap.memory_per_core_mb.push_back(h.memory_per_core_mb());
-    snap.whetstone_mips.push_back(h.whetstone_mips);
-    snap.dhrystone_mips.push_back(h.dhrystone_mips);
-    snap.disk_avail_gb.push_back(h.disk_avail_gb);
+    append_host(snap, h);
+  }
+  return snap;
+}
+
+ResourceSnapshot TraceStore::snapshot_plausible(util::ModelDate date) const {
+  const std::int32_t day = date.day_index();
+  ResourceSnapshot snap;
+  for (const HostRecord& h : hosts_) {
+    if (!h.active_at(day) || !is_plausible(h)) continue;
+    append_host(snap, h);
   }
   return snap;
 }

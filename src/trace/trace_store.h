@@ -49,6 +49,11 @@ class TraceStore {
   /// Resource columns of all hosts active at the given date.
   ResourceSnapshot snapshot(util::ModelDate date) const;
 
+  /// snapshot() with the §V-B plausibility filter applied on the fly:
+  /// records failing is_plausible() are skipped without mutating or
+  /// copying the store (the const counterpart of discard_implausible()).
+  ResourceSnapshot snapshot_plausible(util::ModelDate date) const;
+
   /// Counts of active hosts per CPU family / OS / GPU type at a date.
   /// Indexable by static_cast<size_t>(enum value).
   std::vector<std::size_t> cpu_family_counts(util::ModelDate date) const;

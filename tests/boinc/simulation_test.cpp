@@ -81,6 +81,41 @@ TEST(Collection, DeterministicForFixedSeed) {
   EXPECT_DOUBLE_EQ(a.total_credit_granted, b.total_credit_granted);
 }
 
+TEST(Collection, FinalUtilityAllocationCoversSnapshot) {
+  CollectionConfig config = small_config();
+  config.population.target_active_hosts = 100;
+  config.allocate_final_utility = true;
+  const CollectionResult r = run_collection(config);
+
+  // The allocation runs on the latest populated plausible snapshot of
+  // the window; replicate the walk-back to pin the exact host count.
+  std::size_t expected_hosts = 0;
+  for (std::int32_t day = config.population.sim_end.day_index();
+       day >= config.population.sim_start.day_index(); --day) {
+    expected_hosts =
+        r.trace.snapshot_plausible(util::ModelDate::from_day_index(day))
+            .size();
+    if (expected_hosts > 0) break;
+  }
+  ASSERT_GT(expected_hosts, 0u);
+  EXPECT_EQ(r.final_allocation_hosts, expected_hosts);
+
+  const auto apps = sim::paper_applications();
+  ASSERT_EQ(r.final_allocation.total_utility.size(), apps.size());
+  std::size_t assigned = 0;
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    EXPECT_GT(r.final_allocation.total_utility[a], 0.0);
+    assigned += r.final_allocation.hosts_assigned[a];
+  }
+  EXPECT_EQ(assigned, expected_hosts);
+
+  // Off by default: the report stays empty.
+  config.allocate_final_utility = false;
+  const CollectionResult off = run_collection(config);
+  EXPECT_EQ(off.final_allocation_hosts, 0u);
+  EXPECT_TRUE(off.final_allocation.total_utility.empty());
+}
+
 TEST(Collection, MeasuredDiskReflectsDriftNotSpec) {
   // At least some hosts should report a last-measured disk different from
   // any single fixed value (i.e. the drift path executed).

@@ -17,7 +17,8 @@ TEST(Allocator, ThrowsWithoutApplications) {
 
 TEST(Allocator, EmptyHostsGiveZeroUtility) {
   const auto apps = paper_applications();
-  const AllocationResult r = allocate_round_robin(apps, {});
+  const AllocationResult r =
+      allocate_round_robin(apps, std::vector<HostResources>{});
   ASSERT_EQ(r.total_utility.size(), apps.size());
   for (double u : r.total_utility) EXPECT_DOUBLE_EQ(u, 0.0);
 }

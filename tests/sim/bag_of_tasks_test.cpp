@@ -38,8 +38,8 @@ std::vector<HostResources> uniform_hosts(std::size_t n, double whet) {
 TEST(BagOfTasks, RejectsBadInputs) {
   util::Rng rng(1);
   BagOfTasksConfig config;
-  EXPECT_THROW(run_bag_of_tasks({}, config, SchedulingPolicy::kDynamicPull,
-                                rng),
+  EXPECT_THROW(run_bag_of_tasks(std::vector<HostResources>{}, config,
+                                SchedulingPolicy::kDynamicPull, rng),
                std::invalid_argument);
   config.task_count = 0;
   EXPECT_THROW(run_bag_of_tasks(uniform_hosts(2, 1000), config,
@@ -162,6 +162,37 @@ TEST(BagOfTasks, DeterministicForFixedSeed) {
       run_bag_of_tasks(hosts, config, SchedulingPolicy::kDynamicPull, r2);
   EXPECT_DOUBLE_EQ(a.makespan_days, b.makespan_days);
   EXPECT_DOUBLE_EQ(a.total_cpu_days, b.total_cpu_days);
+}
+
+TEST(BagOfTasks, SoAOverloadMatchesAoSPath) {
+  // The columnar overload promises identical semantics and rng
+  // consumption: same seed, same hosts => bit-identical results, with and
+  // without the availability overlay (one rng fork per host).
+  const std::vector<HostResources> hosts = model_hosts(120, 9);
+  const HostResourcesSoA soa = HostResourcesSoA::from_hosts(hosts);
+  BagOfTasksConfig config;
+  config.task_count = 800;
+  const SchedulingPolicy policies[] = {
+      SchedulingPolicy::kStaticRoundRobin,
+      SchedulingPolicy::kStaticSpeedWeighted,
+      SchedulingPolicy::kDynamicPull,
+      SchedulingPolicy::kDynamicEct,
+  };
+  for (const bool availability : {false, true}) {
+    config.model_availability = availability;
+    for (const SchedulingPolicy policy : policies) {
+      util::Rng rng_aos(31);
+      util::Rng rng_soa(31);
+      const BagOfTasksResult aos =
+          run_bag_of_tasks(hosts, config, policy, rng_aos);
+      const BagOfTasksResult via_soa =
+          run_bag_of_tasks(soa, config, policy, rng_soa);
+      EXPECT_DOUBLE_EQ(aos.makespan_days, via_soa.makespan_days);
+      EXPECT_DOUBLE_EQ(aos.total_cpu_days, via_soa.total_cpu_days);
+      EXPECT_DOUBLE_EQ(aos.max_host_busy_days, via_soa.max_host_busy_days);
+      EXPECT_EQ(aos.hosts_used, via_soa.hosts_used);
+    }
+  }
 }
 
 }  // namespace

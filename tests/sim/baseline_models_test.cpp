@@ -53,6 +53,35 @@ TEST(ToHostResources, PreservesColumns) {
   EXPECT_DOUBLE_EQ(hosts[0].disk_avail_gb, snap.disk_avail_gb[0]);
 }
 
+TEST(SynthesizeSoA, MatchesAoSPathForEveryModel) {
+  // Both synthesis paths must consume the rng identically, so the same
+  // seed yields bit-identical hosts — column layout is the only change.
+  const auto date = util::ModelDate::from_ymd(2010, 6, 1);
+  const CorrelatedModel correlated(core::paper_params());
+  const auto normal =
+      NormalDistributionModel::fit(shared_trace(), yearly_dates());
+  const GridResourceModel grid(core::paper_params(), 1.5);
+  const HostSynthesisModel* models[] = {&correlated, &normal, &grid};
+  for (const HostSynthesisModel* model : models) {
+    util::Rng rng_aos(77);
+    util::Rng rng_soa(77);
+    const auto aos = model->synthesize(date, 400, rng_aos);
+    const HostResourcesSoA soa = model->synthesize_soa(date, 400, rng_soa);
+    ASSERT_EQ(soa.size(), aos.size()) << model->name();
+    ASSERT_TRUE(soa.logs_ready()) << model->name();
+    for (std::size_t i = 0; i < aos.size(); ++i) {
+      ASSERT_DOUBLE_EQ(soa.cores[i], aos[i].cores) << model->name();
+      ASSERT_DOUBLE_EQ(soa.memory_mb[i], aos[i].memory_mb) << model->name();
+      ASSERT_DOUBLE_EQ(soa.whetstone_mips[i], aos[i].whetstone_mips)
+          << model->name();
+      ASSERT_DOUBLE_EQ(soa.dhrystone_mips[i], aos[i].dhrystone_mips)
+          << model->name();
+      ASSERT_DOUBLE_EQ(soa.disk_avail_gb[i], aos[i].disk_avail_gb)
+          << model->name();
+    }
+  }
+}
+
 TEST(CorrelatedModel, PreservesResourceCorrelations) {
   const CorrelatedModel model(core::paper_params());
   util::Rng rng(1);

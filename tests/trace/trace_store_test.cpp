@@ -53,6 +53,36 @@ TEST(TraceStore, ActiveIndicesMatchCount) {
   EXPECT_EQ(idx[0], 0u);
 }
 
+TEST(TraceStore, PlausibleSnapshotFiltersWithoutMutating) {
+  TraceStore store;
+  store.add(make_host(1, 0, 100, 4, 4096, 1700, 3500, 80));
+  store.add(make_host(2, 0, 100, 1, 512, 2e5, 2100, 10));   // corrupt whet
+  store.add(make_host(3, 0, 100, 2, 1024, 1500, 2500, 2e4));  // corrupt disk
+  store.add(make_host(4, 0, 100));
+
+  const auto date = util::ModelDate::from_day_index(50);
+  const ResourceSnapshot filtered = store.snapshot_plausible(date);
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_DOUBLE_EQ(filtered.cores[0], 4.0);
+  EXPECT_DOUBLE_EQ(filtered.cores[1], 2.0);
+
+  // The store itself is untouched: the unfiltered snapshot still sees all
+  // four records, exactly as before discard_implausible() would have run.
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_EQ(store.snapshot(date).size(), 4u);
+
+  // Same columns as copy + discard_implausible + snapshot.
+  TraceStore copied;
+  for (const HostRecord& h : store.hosts()) copied.add(h);
+  copied.discard_implausible();
+  const ResourceSnapshot golden = copied.snapshot(date);
+  ASSERT_EQ(golden.size(), filtered.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_DOUBLE_EQ(golden.whetstone_mips[i], filtered.whetstone_mips[i]);
+    EXPECT_DOUBLE_EQ(golden.disk_avail_gb[i], filtered.disk_avail_gb[i]);
+  }
+}
+
 TEST(TraceStore, SnapshotColumnsAligned) {
   TraceStore store;
   store.add(make_host(1, 0, 100, 4, 4096, 1700, 3500, 80));

@@ -146,11 +146,22 @@ int cmd_collect(const std::vector<std::string>& args, std::ostream& out,
     config.population.target_active_hosts = parse_count(args[1], "active");
   }
   if (args.size() > 2) config.population.seed = parse_count(args[2], "seed");
+  config.allocate_final_utility = true;
   const boinc::CollectionResult result = boinc::run_collection(config);
   trace::write_csv_file(result.trace, args[0]);
   out << "collected " << result.trace.size() << " host records over "
       << result.total_contacts << " scheduler contacts; wrote " << args[0]
       << '\n';
+  const auto apps = sim::paper_applications();
+  if (result.final_allocation_hosts > 0) {
+    out << "final-day utility allocation over "
+        << result.final_allocation_hosts << " hosts:";
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      out << ' ' << apps[a].name << '='
+          << result.final_allocation.hosts_assigned[a];
+    }
+    out << '\n';
+  }
   return kOk;
 }
 

@@ -6,6 +6,15 @@
 #
 # Output lands in bench_results/BENCH_<utc-date>_<git-sha>.json so
 # successive PRs accumulate a comparable series (same machine assumed).
+#
+# The recorded JSON must come from a Release build of *our* code: the
+# script forces CMAKE_BUILD_TYPE=Release (overriding any stale cache) and
+# refuses to keep a run whose "resmodel_build_type" context key is not
+# "release". Note google-benchmark's own "library_build_type" key
+# describes the distro-packaged libbenchmark shared object — Debian builds
+# it without NDEBUG, so that key reads "debug" no matter how resmodel is
+# compiled; resmodel_build_type (emitted by perf_microbench itself) is the
+# authoritative one.
 set -euo pipefail
 
 repo_root="$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
@@ -16,6 +25,15 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=Release \
   -DRESMODEL_BUILD_TESTS=OFF \
   -DRESMODEL_BUILD_EXAMPLES=OFF >/dev/null
+
+cached_type="$(grep -E '^CMAKE_BUILD_TYPE:' "$build_dir/CMakeCache.txt" \
+               | cut -d= -f2)"
+if [[ "$cached_type" != "Release" ]]; then
+  echo "error: $build_dir is configured as '$cached_type', not Release" >&2
+  echo "hint: rm -rf $build_dir and rerun" >&2
+  exit 1
+fi
+
 cmake --build "$build_dir" --target perf_microbench -j "$(nproc)"
 
 mkdir -p "$out_dir"
@@ -28,5 +46,12 @@ out_file="$out_dir/BENCH_${stamp}_${sha}.json"
   --benchmark_out="$out_file" \
   --benchmark_out_format=json \
   "$@"
+
+if ! grep -q '"resmodel_build_type": "release"' "$out_file"; then
+  rm -f "$out_file"
+  echo "error: recorded run was not a Release build of resmodel;" \
+       "discarded $out_file" >&2
+  exit 1
+fi
 
 echo "wrote $out_file"
