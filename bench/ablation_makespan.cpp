@@ -41,11 +41,7 @@ int main() {
                                     stats::mean(lifetimes) / 365.25);
 
   util::Rng rng(123);
-  struct Population {
-    std::string name;
-    sim::HostResourcesSoA hosts;
-  };
-  std::vector<Population> populations;
+  std::vector<sim::SweepPopulation> populations;
   populations.push_back({"Actual trace", actual});
   populations.push_back({"Correlated model",
                          correlated.synthesize_soa(date, actual.size(), rng)});
@@ -54,30 +50,29 @@ int main() {
   populations.push_back(
       {"Grid model", grid.synthesize_soa(date, actual.size(), rng)});
 
-  const sim::SchedulingPolicy policies[] = {
+  // The whole population x policy grid runs on the sweep's worker pool;
+  // every cell reseeds the same workload seed, so policies are still
+  // compared on identical sampled workloads.
+  sim::PolicySweepConfig sweep;
+  sweep.policies = {
       sim::SchedulingPolicy::kStaticRoundRobin,
       sim::SchedulingPolicy::kStaticSpeedWeighted,
       sim::SchedulingPolicy::kDynamicPull,
       sim::SchedulingPolicy::kDynamicEct,
   };
-
-  sim::BagOfTasksConfig config;
-  config.task_count = 20000;
+  sweep.task_counts = {20000};
+  sweep.workload_seed = 999;
+  const sim::PolicySweepResult grid_result =
+      sim::run_policy_sweep(populations, sweep);
 
   util::Table table({"Population", "static RR", "speed-weighted",
                      "dynamic pull", "dynamic ECT"});
-  std::vector<double> actual_makespans;
-  for (const Population& pop : populations) {
-    std::vector<std::string> cells = {pop.name};
-    for (const sim::SchedulingPolicy policy : policies) {
-      // Same workload seed for every (population, policy) cell.
-      util::Rng workload_rng(999);
-      const sim::BagOfTasksResult result =
-          sim::run_bag_of_tasks(pop.hosts, config, policy, workload_rng);
-      cells.push_back(util::Table::num(result.makespan_days, 1) + "d");
-      if (pop.name == "Actual trace") {
-        actual_makespans.push_back(result.makespan_days);
-      }
+  for (std::size_t p = 0; p < populations.size(); ++p) {
+    std::vector<std::string> cells = {populations[p].name};
+    for (std::size_t pol = 0; pol < sweep.policies.size(); ++pol) {
+      cells.push_back(
+          util::Table::num(grid_result.at(p, pol, 0).result.makespan_days, 1) +
+          "d");
     }
     table.add_row(std::move(cells));
   }

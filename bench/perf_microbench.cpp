@@ -8,7 +8,9 @@
 #include "model/empirical_rank_copula.h"
 #include "model/factory.h"
 #include "sim/allocator.h"
+#include "sim/bag_of_tasks.h"
 #include "sim/baseline_models.h"
+#include "sim/schedule_state.h"
 #include "stats/correlation.h"
 #include "stats/fitting.h"
 #include "stats/kstest.h"
@@ -229,6 +231,115 @@ void BM_RoundRobinAllocation(benchmark::State& state) {
 }
 BENCHMARK(BM_RoundRobinAllocation)->Arg(1000)->Arg(10000)->Arg(100000)
     ->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+// --- Bag-of-tasks policy kernels (Release CI perf smoke runs these). ---
+
+sim::HostResourcesSoA scheduling_hosts(std::size_t n) {
+  const core::HostGenerator generator(core::paper_params());
+  util::Rng rng(12);
+  return sim::HostResourcesSoA::from_batch(generator.generate_batch(
+      util::ModelDate::from_ymd(2010, 1, 1), n, rng));
+}
+
+// The acceptance pair for the blocked-MCT rewrite: the retained scalar
+// kDynamicEct scan vs the blocked + lower-bound-pruned kernel over the
+// columnar ScheduleState, identical hosts and workload (and bit-identical
+// results — tests/sim/ enforces that). At 100k hosts / 100k tasks the
+// blocked path must be >= 3x faster in the same Release run.
+void BM_BagOfTasksEctReference(benchmark::State& state) {
+  const sim::HostResourcesSoA hosts =
+      scheduling_hosts(static_cast<std::size_t>(state.range(0)));
+  sim::BagOfTasksConfig config;
+  config.task_count = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    util::Rng rng(99);
+    benchmark::DoNotOptimize(sim::run_bag_of_tasks_reference(
+        hosts, config, sim::SchedulingPolicy::kDynamicEct, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_BagOfTasksEctReference)
+    ->Args({10000, 10000})->Args({100000, 100000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BagOfTasksEctBlocked(benchmark::State& state) {
+  const sim::HostResourcesSoA hosts =
+      scheduling_hosts(static_cast<std::size_t>(state.range(0)));
+  sim::BagOfTasksConfig config;
+  config.task_count = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    util::Rng rng(99);
+    benchmark::DoNotOptimize(sim::run_bag_of_tasks(
+        hosts, config, sim::SchedulingPolicy::kDynamicEct, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_BagOfTasksEctBlocked)
+    ->Args({10000, 10000})->Args({100000, 100000})
+    ->Unit(benchmark::kMillisecond);
+
+// kDynamicPull: the flat 4-ary heap vs the std::priority_queue oracle,
+// benchmarked at the kernel level on a prebuilt ScheduleState and task
+// vector — end-to-end runs bury the heap delta under task sampling and
+// rate derivation.
+std::vector<double> pull_bench_rates(std::size_t n) {
+  const sim::HostResourcesSoA hosts = scheduling_hosts(n);
+  sim::BagOfTasksConfig config;
+  util::Rng rng(99);
+  return sim::compute_host_rates(hosts, config, rng);
+}
+
+std::vector<double> pull_bench_tasks(std::size_t n) {
+  std::vector<double> tasks(n);
+  util::Rng rng(7);
+  for (double& t : tasks) t = 500.0 + rng.uniform() * 8000.0;
+  return tasks;
+}
+
+void BM_PullKernelPriorityQueue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> rates = pull_bench_rates(n);
+  const std::vector<double> tasks = pull_bench_tasks(n);
+  for (auto _ : state) {
+    sim::ScheduleState sched = sim::ScheduleState::from_rates(rates);
+    benchmark::DoNotOptimize(sim::pull_schedule_reference(sched, tasks));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PullKernelPriorityQueue)->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PullKernelDaryHeap(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> rates = pull_bench_rates(n);
+  const std::vector<double> tasks = pull_bench_tasks(n);
+  for (auto _ : state) {
+    sim::ScheduleState sched = sim::ScheduleState::from_rates(rates);
+    benchmark::DoNotOptimize(sim::pull_schedule_dary(sched, tasks));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PullKernelDaryHeap)->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+// One full policy x dependence-structure grid through the parallel sweep
+// runner (the CLI `sweep` command's engine).
+void BM_PolicySweepGrid(benchmark::State& state) {
+  std::vector<sim::SweepPopulation> populations;
+  populations.push_back({"hosts", scheduling_hosts(
+      static_cast<std::size_t>(state.range(0)))});
+  sim::PolicySweepConfig sweep;
+  sweep.policies = {
+      sim::SchedulingPolicy::kStaticRoundRobin,
+      sim::SchedulingPolicy::kDynamicPull,
+      sim::SchedulingPolicy::kDynamicEct,
+  };
+  sweep.task_counts = {static_cast<std::size_t>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_policy_sweep(populations, sweep));
+  }
+}
+BENCHMARK(BM_PolicySweepGrid)->Arg(10000)->Unit(benchmark::kMillisecond);
 
 void BM_PearsonCorrelation(benchmark::State& state) {
   util::Rng rng(9);

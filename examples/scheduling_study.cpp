@@ -3,6 +3,10 @@
 // realistic host population, with and without the availability overlay.
 //
 //   ./scheduling_study [hosts] [tasks]
+//
+// The policy x host-vintage grid runs through sim::run_policy_sweep (one
+// deterministic cell per combination, executed on a worker pool) — twice,
+// once per availability setting, so no policy loop is serial.
 #include <iostream>
 #include <string>
 
@@ -30,35 +34,41 @@ int main(int argc, char** argv) {
   if (argc > 1) host_count = std::stoul(argv[1]);
   if (argc > 2) task_count = std::stoul(argv[2]);
 
-  const sim::SchedulingPolicy policies[] = {
+  std::cout << "Bag of " << task_count << " tasks on " << host_count
+            << " hosts generated from the published correlated model.\n\n";
+
+  std::vector<sim::SweepPopulation> populations;
+  for (const int year : {2006, 2010, 2014}) {
+    populations.push_back(
+        {std::to_string(year), make_hosts(host_count, year)});
+  }
+
+  sim::PolicySweepConfig sweep;
+  sweep.policies = {
       sim::SchedulingPolicy::kStaticRoundRobin,
       sim::SchedulingPolicy::kStaticSpeedWeighted,
       sim::SchedulingPolicy::kDynamicPull,
       sim::SchedulingPolicy::kDynamicEct,
   };
+  sweep.task_counts = {task_count};
+  sweep.workload_seed = 1;
 
-  std::cout << "Bag of " << task_count << " tasks on " << host_count
-            << " hosts generated from the published correlated model.\n\n";
+  const sim::PolicySweepResult plain = sim::run_policy_sweep(populations, sweep);
+  sweep.base.model_availability = true;
+  const sim::PolicySweepResult derated =
+      sim::run_policy_sweep(populations, sweep);
 
-  for (const int year : {2006, 2010, 2014}) {
-    const auto hosts = make_hosts(host_count, year);
-    util::Table table({"Policy (" + std::to_string(year) + " hosts)",
+  for (std::size_t p = 0; p < populations.size(); ++p) {
+    util::Table table({"Policy (" + populations[p].name + " hosts)",
                        "Makespan (days)", "Makespan w/ availability",
                        "Hosts used"});
-    for (const sim::SchedulingPolicy policy : policies) {
-      sim::BagOfTasksConfig config;
-      config.task_count = task_count;
-      util::Rng rng(1);
-      const auto plain = sim::run_bag_of_tasks(hosts, config, policy, rng);
-
-      config.model_availability = true;
-      util::Rng rng2(1);
-      const auto avail = sim::run_bag_of_tasks(hosts, config, policy, rng2);
-
-      table.add_row({to_string(policy),
-                     util::Table::num(plain.makespan_days, 1),
-                     util::Table::num(avail.makespan_days, 1),
-                     std::to_string(plain.hosts_used)});
+    for (std::size_t pol = 0; pol < sweep.policies.size(); ++pol) {
+      const sim::BagOfTasksResult& fast = plain.at(p, pol, 0).result;
+      const sim::BagOfTasksResult& slow = derated.at(p, pol, 0).result;
+      table.add_row({to_string(sweep.policies[pol]),
+                     util::Table::num(fast.makespan_days, 1),
+                     util::Table::num(slow.makespan_days, 1),
+                     std::to_string(fast.hosts_used)});
     }
     table.print(std::cout);
     std::cout << '\n';

@@ -2,19 +2,24 @@
 // introduction motivates: a project operator wants to know how much
 // utility four very different applications (Table IX) extract from the
 // host population of a given year, and how that changes as hardware
-// evolves.
+// evolves — and how the same populations behave under the bag-of-tasks
+// scheduling policies.
 //
 //   ./volunteer_scheduling [hosts-per-year]
 //
 // For each year 2006-2014, synthesizes a population from the published
 // correlated model, allocates it to the applications with the greedy
 // round-robin scheduler, and reports per-application utility shares and
-// the per-host utility growth relative to 2006.
+// the per-host utility growth relative to 2006. The per-year populations
+// are synthesized once and shared with sim::run_policy_sweep, which runs
+// the year x policy makespan grid on a worker pool instead of the old
+// serial per-year loop.
 #include <iostream>
 #include <string>
 
 #include "core/host_generator.h"
 #include "sim/allocator.h"
+#include "sim/bag_of_tasks.h"
 #include "sim/baseline_models.h"
 #include "util/table.h"
 
@@ -34,16 +39,25 @@ int main(int argc, char** argv) {
             << " synthesized hosts per year across the Table-IX "
                "applications.\n\n";
 
+  // One population per year, drawn from a single rng stream (same hosts
+  // the old serial loop synthesized), reused by both studies below.
+  std::vector<sim::SweepPopulation> populations;
+  for (int year = 2006; year <= 2014; ++year) {
+    populations.push_back(
+        {std::to_string(year),
+         model.synthesize_soa(util::ModelDate::from_ymd(year, 1, 1),
+                              hosts_per_year, rng)});
+  }
+
   std::vector<double> base_per_host(apps.size(), 0.0);
   util::Table table({"Year", "SETI util/host", "Folding util/host",
                      "Climate util/host", "P2P util/host",
                      "Growth vs 2006"});
-  for (int year = 2006; year <= 2014; ++year) {
-    const sim::HostResourcesSoA hosts = model.synthesize_soa(
-        util::ModelDate::from_ymd(year, 1, 1), hosts_per_year, rng);
-    const sim::AllocationResult alloc = sim::allocate_round_robin(apps, hosts);
+  for (const sim::SweepPopulation& pop : populations) {
+    const sim::AllocationResult alloc =
+        sim::allocate_round_robin(apps, pop.hosts);
 
-    std::vector<std::string> cells = {std::to_string(year)};
+    std::vector<std::string> cells = {pop.name};
     double total_growth = 0.0;
     for (std::size_t a = 0; a < apps.size(); ++a) {
       const double per_host =
@@ -51,7 +65,7 @@ int main(int argc, char** argv) {
               ? alloc.total_utility[a] /
                     static_cast<double>(alloc.hosts_assigned[a])
               : 0.0;
-      if (year == 2006) base_per_host[a] = per_host;
+      if (pop.name == "2006") base_per_host[a] = per_host;
       cells.push_back(util::Table::num(per_host, 1));
       total_growth += per_host / base_per_host[a];
     }
@@ -67,6 +81,37 @@ int main(int argc, char** argv) {
          "+27%/yr in the\nmodel), Folding@home benefits from multicore "
          "adoption, SETI@home — dominated by\nsingle-core floating point — "
          "grows slowest. This is exactly the kind of\ncapacity question the "
-         "paper built the model to answer.\n";
+         "paper built the model to answer.\n\n";
+
+  // The same populations, scheduling-side: how fast does each vintage
+  // chew through an identical bag of tasks under each policy? The whole
+  // year x policy grid is one parallel sweep.
+  sim::PolicySweepConfig sweep;
+  sweep.policies = {
+      sim::SchedulingPolicy::kStaticRoundRobin,
+      sim::SchedulingPolicy::kDynamicPull,
+      sim::SchedulingPolicy::kDynamicEct,
+  };
+  sweep.task_counts = {10000};
+  sweep.workload_seed = 7;
+  const sim::PolicySweepResult grid = sim::run_policy_sweep(populations, sweep);
+
+  util::Table makespans({"Year", "static RR makespan", "dynamic pull",
+                         "dynamic ECT"});
+  for (std::size_t p = 0; p < populations.size(); ++p) {
+    std::vector<std::string> cells = {populations[p].name};
+    for (std::size_t pol = 0; pol < sweep.policies.size(); ++pol) {
+      cells.push_back(
+          util::Table::num(grid.at(p, pol, 0).result.makespan_days, 1) + "d");
+    }
+    makespans.add_row(std::move(cells));
+  }
+  std::cout << "Makespan of the same 10,000-task bag on each year's hosts:\n";
+  makespans.print(std::cout);
+  std::cout
+      << "\nHardware progress compresses every policy's makespan year over "
+         "year, but the\ngap between knowledge-free striping and ECT stays "
+         "wide — model realism, not\njust model vintage, drives scheduling "
+         "conclusions.\n";
   return 0;
 }

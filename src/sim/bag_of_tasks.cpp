@@ -1,42 +1,34 @@
 #include "sim/bag_of_tasks.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <numeric>
-#include <queue>
 #include <stdexcept>
+#include <thread>
 
+#include "sim/schedule_state.h"
 #include "stats/distributions.h"
 
 namespace resmodel::sim {
 
 namespace {
 
-// Per-host processing rate in MIPS (cores x whetstone), derated by a
-// sampled availability fraction when the overlay is on. `speed_at(i)`
-// supplies cores x whetstone for host i, so the AoS and SoA entry points
-// share one rate formula and one rng-consumption order.
-template <typename SpeedAt>
-std::vector<double> host_rates(std::size_t n, SpeedAt speed_at,
-                               const BagOfTasksConfig& config,
-                               util::Rng& rng) {
-  std::vector<double> rates;
-  rates.reserve(n);
+// Derates `rates` in place by each host's sampled long-run ON fraction.
+// One rng fork per host, in host order — the single consumption order
+// every entry point shares, so AoS and SoA runs stay bit-identical.
+void derate_by_availability(std::vector<double>& rates,
+                            const BagOfTasksConfig& config, util::Rng& rng) {
   const synth::AvailabilityModel avail(config.availability);
-  for (std::size_t i = 0; i < n; ++i) {
-    double rate = std::max(1.0, speed_at(i));
-    if (config.model_availability) {
-      util::Rng host_rng = rng.fork();
-      const auto intervals =
-          avail.generate(0.0, config.availability_horizon_days, host_rng);
-      const double fraction = synth::availability_fraction(
-          intervals, 0.0, config.availability_horizon_days);
-      rate *= std::max(0.01, fraction);
-    }
-    rates.push_back(rate);
+  for (double& rate : rates) {
+    util::Rng host_rng = rng.fork();
+    const auto intervals =
+        avail.generate(0.0, config.availability_horizon_days, host_rng);
+    const double fraction = synth::availability_fraction(
+        intervals, 0.0, config.availability_horizon_days);
+    rate *= std::max(0.01, fraction);
   }
-  return rates;
 }
 
 std::vector<double> sample_tasks(const BagOfTasksConfig& config,
@@ -49,10 +41,12 @@ std::vector<double> sample_tasks(const BagOfTasksConfig& config,
   return tasks;
 }
 
+// Folds the per-host aggregates out of busy_days in one pass; the static
+// policies' makespan IS the max busy time, so no separate max_element
+// sweep is needed.
 BagOfTasksResult finish(const std::vector<double>& busy_days,
-                        double total_cpu_days, double makespan) {
+                        double total_cpu_days) {
   BagOfTasksResult result;
-  result.makespan_days = makespan;
   result.total_cpu_days = total_cpu_days;
   double sum = 0.0;
   for (double b : busy_days) {
@@ -62,6 +56,14 @@ BagOfTasksResult finish(const std::vector<double>& busy_days,
   }
   result.mean_host_busy_days =
       busy_days.empty() ? 0.0 : sum / static_cast<double>(busy_days.size());
+  result.makespan_days = result.max_host_busy_days;
+  return result;
+}
+
+BagOfTasksResult finish(const std::vector<double>& busy_days,
+                        double total_cpu_days, double makespan) {
+  BagOfTasksResult result = finish(busy_days, total_cpu_days);
+  result.makespan_days = makespan;
   return result;
 }
 
@@ -78,38 +80,72 @@ std::string to_string(SchedulingPolicy policy) {
   return "unknown";
 }
 
+std::vector<double> compute_host_rates(std::span<const HostResources> hosts,
+                                       const BagOfTasksConfig& config,
+                                       util::Rng& rng) {
+  std::vector<double> rates(hosts.size());
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    rates[i] = std::max(1.0, hosts[i].cores * hosts[i].whetstone_mips);
+  }
+  if (config.model_availability) derate_by_availability(rates, config, rng);
+  return rates;
+}
+
+std::vector<double> compute_host_rates(const HostResourcesSoA& hosts,
+                                       const BagOfTasksConfig& config,
+                                       util::Rng& rng) {
+  const std::size_t n = hosts.size();
+  std::vector<double> rates(n);
+  const double* cores = hosts.cores.data();
+  const double* whet = hosts.whetstone_mips.data();
+  // Base rates straight from the columns: one vectorizable multiply+max
+  // sweep, no per-host struct loads.
+  for (std::size_t i = 0; i < n; ++i) {
+    rates[i] = std::max(1.0, cores[i] * whet[i]);
+  }
+  if (config.model_availability) derate_by_availability(rates, config, rng);
+  return rates;
+}
+
 namespace {
 
-// The policy dispatch shared by the AoS and SoA entry points: everything
-// below only needs the per-host rates.
-BagOfTasksResult run_with_rates(const std::vector<double>& rates,
+// The policy dispatch shared by every entry point: everything below only
+// needs the per-host rates. `reference_dynamics` selects the retained
+// scalar/priority_queue kernels for the dynamic policies.
+BagOfTasksResult run_with_rates(std::vector<double> rates,
                                 const BagOfTasksConfig& config,
-                                SchedulingPolicy policy, util::Rng& rng) {
+                                SchedulingPolicy policy, util::Rng& rng,
+                                bool reference_dynamics) {
   const std::vector<double> tasks = sample_tasks(config, rng);
-
-  std::vector<double> busy_days(rates.size(), 0.0);
-  double total_cpu_days = 0.0;
+  ScheduleState state = ScheduleState::from_rates(std::move(rates));
+  const std::size_t host_count = state.size();
 
   switch (policy) {
     case SchedulingPolicy::kStaticRoundRobin: {
+      double total_cpu_days = 0.0;
       for (std::size_t i = 0; i < tasks.size(); ++i) {
-        const std::size_t h = i % rates.size();
-        const double days = tasks[i] / rates[h];
-        busy_days[h] += days;
+        const std::size_t h = i % host_count;
+        const double days = tasks[i] * state.inv_rates[h];
+        state.busy_days[h] += days;
         total_cpu_days += days;
       }
-      const double makespan =
-          *std::max_element(busy_days.begin(), busy_days.end());
-      return finish(busy_days, total_cpu_days, makespan);
+      return finish(state.busy_days, total_cpu_days);
     }
 
     case SchedulingPolicy::kStaticSpeedWeighted: {
       // Deal tasks in rate-proportional quotas: host h receives the next
       // task whenever its accumulated *work share* is furthest below its
-      // rate share. Equivalent to largest-remaining-quota dealing.
+      // rate share. Equivalent to largest-remaining-quota dealing. The
+      // shares are loop-invariant, so the rates[h] / total_rate divide is
+      // hoisted into a precomputed column.
       const double total_rate =
-          std::accumulate(rates.begin(), rates.end(), 0.0);
-      std::vector<double> assigned_work(rates.size(), 0.0);
+          std::accumulate(state.rates.begin(), state.rates.end(), 0.0);
+      std::vector<double> share(host_count);
+      for (std::size_t h = 0; h < host_count; ++h) {
+        share[h] = state.rates[h] / total_rate;
+      }
+      std::vector<double> assigned_work(host_count, 0.0);
+      double total_cpu_days = 0.0;
       double total_assigned = 0.0;
       for (const double task : tasks) {
         // Deficit in cost units: how far below its rate-proportional share
@@ -118,66 +154,36 @@ BagOfTasksResult run_with_rates(const std::vector<double>& rates,
         std::size_t best = 0;
         double best_deficit = -std::numeric_limits<double>::infinity();
         const double next_total = total_assigned + task;
-        for (std::size_t h = 0; h < rates.size(); ++h) {
-          const double share = rates[h] / total_rate;
-          const double deficit = share * next_total - assigned_work[h];
+        for (std::size_t h = 0; h < host_count; ++h) {
+          const double deficit = share[h] * next_total - assigned_work[h];
           if (deficit > best_deficit) {
             best_deficit = deficit;
             best = h;
           }
         }
-        const double days = task / rates[best];
-        busy_days[best] += days;
+        const double days = task * state.inv_rates[best];
+        state.busy_days[best] += days;
         total_cpu_days += days;
         assigned_work[best] += task;
         total_assigned = next_total;
       }
-      const double makespan =
-          *std::max_element(busy_days.begin(), busy_days.end());
-      return finish(busy_days, total_cpu_days, makespan);
+      return finish(state.busy_days, total_cpu_days);
     }
 
     case SchedulingPolicy::kDynamicPull: {
-      // Earliest-available host takes the next task (min-heap of
-      // completion times).
-      using Entry = std::pair<double, std::size_t>;  // (free at, host)
-      std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-      for (std::size_t h = 0; h < rates.size(); ++h) heap.push({0.0, h});
-      double makespan = 0.0;
-      for (const double task : tasks) {
-        const auto [free_at, h] = heap.top();
-        heap.pop();
-        const double days = task / rates[h];
-        busy_days[h] += days;
-        total_cpu_days += days;
-        const double done = free_at + days;
-        makespan = std::max(makespan, done);
-        heap.push({done, h});
-      }
-      return finish(busy_days, total_cpu_days, makespan);
+      const DynamicScheduleTotals totals =
+          reference_dynamics ? pull_schedule_reference(state, tasks)
+                             : pull_schedule_dary(state, tasks);
+      return finish(state.busy_days, totals.total_cpu_days,
+                    totals.makespan_days);
     }
 
     case SchedulingPolicy::kDynamicEct: {
-      // Minimum-completion-time: O(T * H); fine at study scales.
-      std::vector<double> free_at(rates.size(), 0.0);
-      double makespan = 0.0;
-      for (const double task : tasks) {
-        std::size_t best = 0;
-        double best_done = std::numeric_limits<double>::infinity();
-        for (std::size_t h = 0; h < rates.size(); ++h) {
-          const double done = free_at[h] + task / rates[h];
-          if (done < best_done) {
-            best_done = done;
-            best = h;
-          }
-        }
-        const double days = task / rates[best];
-        busy_days[best] += days;
-        total_cpu_days += days;
-        free_at[best] = best_done;
-        makespan = std::max(makespan, best_done);
-      }
-      return finish(busy_days, total_cpu_days, makespan);
+      const DynamicScheduleTotals totals =
+          reference_dynamics ? ect_schedule_reference(state, tasks)
+                             : ect_schedule_blocked(state, tasks);
+      return finish(state.busy_days, totals.total_cpu_days,
+                    totals.makespan_days);
     }
   }
   throw std::invalid_argument("run_bag_of_tasks: unknown policy");
@@ -190,34 +196,139 @@ void validate_config(const BagOfTasksConfig& config) {
   }
 }
 
+template <typename Hosts>
+BagOfTasksResult run_any(const Hosts& hosts, const BagOfTasksConfig& config,
+                         SchedulingPolicy policy, util::Rng& rng,
+                         bool reference_dynamics) {
+  if (hosts.empty()) {
+    throw std::invalid_argument("run_bag_of_tasks: no hosts");
+  }
+  validate_config(config);
+  return run_with_rates(compute_host_rates(hosts, config, rng), config,
+                        policy, rng, reference_dynamics);
+}
+
 }  // namespace
 
 BagOfTasksResult run_bag_of_tasks(std::span<const HostResources> hosts,
                                   const BagOfTasksConfig& config,
                                   SchedulingPolicy policy, util::Rng& rng) {
-  if (hosts.empty()) {
-    throw std::invalid_argument("run_bag_of_tasks: no hosts");
-  }
-  validate_config(config);
-  const auto speed_at = [&hosts](std::size_t i) {
-    return hosts[i].cores * hosts[i].whetstone_mips;
-  };
-  return run_with_rates(host_rates(hosts.size(), speed_at, config, rng),
-                        config, policy, rng);
+  return run_any(hosts, config, policy, rng, /*reference_dynamics=*/false);
 }
 
 BagOfTasksResult run_bag_of_tasks(const HostResourcesSoA& hosts,
                                   const BagOfTasksConfig& config,
                                   SchedulingPolicy policy, util::Rng& rng) {
-  if (hosts.empty()) {
-    throw std::invalid_argument("run_bag_of_tasks: no hosts");
+  return run_any(hosts, config, policy, rng, /*reference_dynamics=*/false);
+}
+
+BagOfTasksResult run_bag_of_tasks_reference(
+    std::span<const HostResources> hosts, const BagOfTasksConfig& config,
+    SchedulingPolicy policy, util::Rng& rng) {
+  return run_any(hosts, config, policy, rng, /*reference_dynamics=*/true);
+}
+
+BagOfTasksResult run_bag_of_tasks_reference(const HostResourcesSoA& hosts,
+                                            const BagOfTasksConfig& config,
+                                            SchedulingPolicy policy,
+                                            util::Rng& rng) {
+  return run_any(hosts, config, policy, rng, /*reference_dynamics=*/true);
+}
+
+PolicySweepResult run_policy_sweep(std::span<const SweepPopulation> populations,
+                                   const PolicySweepConfig& config) {
+  if (populations.empty() || config.policies.empty() ||
+      config.task_counts.empty()) {
+    throw std::invalid_argument("run_policy_sweep: empty grid axis");
   }
-  validate_config(config);
-  const auto speed_at = [&hosts](std::size_t i) {
-    return hosts.cores[i] * hosts.whetstone_mips[i];
+  for (const SweepPopulation& pop : populations) {
+    if (pop.hosts.empty()) {
+      throw std::invalid_argument("run_policy_sweep: empty population '" +
+                                  pop.name + "'");
+    }
+  }
+  // Validate every cell's inputs up front: a throw from inside a spawned
+  // worker would land in std::terminate.
+  for (const std::size_t task_count : config.task_counts) {
+    BagOfTasksConfig probe = config.base;
+    probe.task_count = task_count;
+    validate_config(probe);
+  }
+  for (const SchedulingPolicy policy : config.policies) {
+    switch (policy) {
+      case SchedulingPolicy::kStaticRoundRobin:
+      case SchedulingPolicy::kStaticSpeedWeighted:
+      case SchedulingPolicy::kDynamicPull:
+      case SchedulingPolicy::kDynamicEct:
+        break;
+      default:
+        throw std::invalid_argument("run_policy_sweep: unknown policy");
+    }
+  }
+
+  PolicySweepResult result;
+  result.policy_count = config.policies.size();
+  result.task_count_count = config.task_counts.size();
+  const std::size_t cell_count =
+      populations.size() * result.policy_count * result.task_count_count;
+  result.cells.resize(cell_count);
+
+  // Every cell of one population reseeds Rng(workload_seed) and would
+  // re-derive the identical rate vector — including the expensive
+  // per-host availability histories — so the rates are computed once per
+  // population here, together with the post-derate rng state each cell's
+  // task sampling resumes from. Cells stay bit-identical to a standalone
+  // run_bag_of_tasks(hosts, config, policy, Rng(workload_seed)).
+  struct SharedRates {
+    std::vector<double> rates;
+    util::Rng rng_after_rates;
   };
-  return run_with_rates(host_rates(hosts.size(), speed_at, config, rng),
-                        config, policy, rng);
+  std::vector<SharedRates> shared(populations.size());
+  for (std::size_t p = 0; p < populations.size(); ++p) {
+    util::Rng rng(config.workload_seed);
+    shared[p].rates =
+        compute_host_rates(populations[p].hosts, config.base, rng);
+    shared[p].rng_after_rates = rng;
+  }
+
+  // Independent, deterministically seeded cells claimed off an atomic
+  // counter — the allocator's score-phase pattern. Any thread may run any
+  // cell; none of them shares mutable state, so the grid is thread-count
+  // invariant.
+  std::atomic<std::size_t> next_cell{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t c = next_cell.fetch_add(1);
+      if (c >= cell_count) return;
+      PolicySweepCell& cell = result.cells[c];
+      cell.task_count = c % result.task_count_count;
+      cell.policy = (c / result.task_count_count) % result.policy_count;
+      cell.population = c / (result.task_count_count * result.policy_count);
+      BagOfTasksConfig cell_config = config.base;
+      cell_config.task_count = config.task_counts[cell.task_count];
+      const SharedRates& pop_rates = shared[cell.population];
+      util::Rng cell_rng = pop_rates.rng_after_rates;
+      cell.result = run_with_rates(std::vector<double>(pop_rates.rates),
+                                   cell_config, config.policies[cell.policy],
+                                   cell_rng, /*reference_dynamics=*/false);
+    }
+  };
+
+  int threads = config.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  const std::size_t n_workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads), cell_count);
+  {
+    // The calling thread is worker zero; only the extras are spawned.
+    std::vector<std::jthread> pool;
+    pool.reserve(n_workers - 1);
+    for (std::size_t i = 1; i < n_workers; ++i) pool.emplace_back(worker);
+    worker();
+  }
+  return result;
 }
 
 }  // namespace resmodel::sim

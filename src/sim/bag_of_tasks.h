@@ -11,9 +11,17 @@
 // Hosts process tasks sequentially at cores x Whetstone MIPS; an optional
 // availability overlay derates each host by its sampled long-run ON
 // fraction (volunteer hosts are not always up).
+//
+// The policy hot loops run on the columnar ScheduleState of
+// sim/schedule_state.h (blocked+pruned MCT scan, flat 4-ary pull heap);
+// run_bag_of_tasks_reference keeps the scalar/priority_queue kernels as
+// the golden oracle, bit-identical to the fast path. run_policy_sweep
+// executes a whole policy x population x task-count grid in parallel with
+// per-cell deterministic seeding.
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sim/host_soa.h"
@@ -66,6 +74,20 @@ struct BagOfTasksResult {
   std::size_t hosts_used = 0;      ///< hosts that processed >= 1 task
 };
 
+/// Per-host processing rates in MIPS (cores x whetstone, floored at 1),
+/// derated by a sampled availability fraction when the overlay is on.
+/// Exposed for the equivalence tests: both overloads consume `rng`
+/// identically (one fork per host, in host order, only when
+/// model_availability is set), so the SoA path is bit-identical to the
+/// AoS path. The SoA overload fills the base rates in one multiply sweep
+/// over the cores/whetstone columns before the derating pass.
+std::vector<double> compute_host_rates(std::span<const HostResources> hosts,
+                                       const BagOfTasksConfig& config,
+                                       util::Rng& rng);
+std::vector<double> compute_host_rates(const HostResourcesSoA& hosts,
+                                       const BagOfTasksConfig& config,
+                                       util::Rng& rng);
+
 /// Runs the bag of tasks over `hosts` with the given policy. Tasks are
 /// sampled once from `config` using `rng`, so two policies can be compared
 /// on identical workloads by passing equally seeded generators.
@@ -80,5 +102,70 @@ BagOfTasksResult run_bag_of_tasks(std::span<const HostResources> hosts,
 BagOfTasksResult run_bag_of_tasks(const HostResourcesSoA& hosts,
                                   const BagOfTasksConfig& config,
                                   SchedulingPolicy policy, util::Rng& rng);
+
+/// Same contract, but the dynamic policies run on the retained reference
+/// kernels (scalar ECT scan, std::priority_queue pull) instead of the
+/// blocked/d-ary ones. Bit-identical to run_bag_of_tasks — the golden
+/// oracle for tests/sim/ and the baseline for bench/perf_microbench.
+BagOfTasksResult run_bag_of_tasks_reference(
+    std::span<const HostResources> hosts, const BagOfTasksConfig& config,
+    SchedulingPolicy policy, util::Rng& rng);
+BagOfTasksResult run_bag_of_tasks_reference(const HostResourcesSoA& hosts,
+                                            const BagOfTasksConfig& config,
+                                            SchedulingPolicy policy,
+                                            util::Rng& rng);
+
+/// One named host population in a policy sweep.
+struct SweepPopulation {
+  std::string name;
+  HostResourcesSoA hosts;
+};
+
+/// A policy x population x task-count grid specification.
+struct PolicySweepConfig {
+  std::vector<SchedulingPolicy> policies;
+  std::vector<std::size_t> task_counts;
+  /// Shared workload/availability parameters; `base.task_count` is
+  /// overridden by each grid cell.
+  BagOfTasksConfig base;
+  /// Every cell reseeds its own util::Rng(workload_seed), exactly like
+  /// the serial loops this runner replaces: cells with the same task
+  /// count schedule the identical sampled workload, and no cell's stream
+  /// depends on execution order — the grid is thread-count invariant.
+  std::uint64_t workload_seed = 999;
+  int threads = 0;  ///< workers for the cell grid; 0 = hardware concurrency
+};
+
+/// One completed grid cell: indices into the populations span and the
+/// config's policies / task_counts vectors, plus the scheduling result.
+struct PolicySweepCell {
+  std::size_t population = 0;
+  std::size_t policy = 0;
+  std::size_t task_count = 0;
+  BagOfTasksResult result;
+};
+
+/// All cells of one sweep, population-major then policy then task count,
+/// with an indexed accessor.
+struct PolicySweepResult {
+  std::size_t policy_count = 0;
+  std::size_t task_count_count = 0;
+  std::vector<PolicySweepCell> cells;
+
+  const PolicySweepCell& at(std::size_t population, std::size_t policy,
+                            std::size_t task_count) const {
+    return cells[(population * policy_count + policy) * task_count_count +
+                 task_count];
+  }
+};
+
+/// Runs every (population, policy, task count) cell of the grid on a
+/// worker pool (the same spawn-extra-jthreads pattern as the allocator's
+/// score phase; the calling thread is worker zero). Cells are independent
+/// and deterministically seeded, so the result is identical for any
+/// thread count. Throws std::invalid_argument on an empty grid axis, an
+/// empty population, or a degenerate base config.
+PolicySweepResult run_policy_sweep(std::span<const SweepPopulation> populations,
+                                   const PolicySweepConfig& config);
 
 }  // namespace resmodel::sim

@@ -1,0 +1,276 @@
+// Compiled with -ffp-contract=off (src/CMakeLists.txt): the blocked and
+// reference kernels must produce bit-identical completion times, which
+// rules out the compiler fusing free_at + task * inv_rate into an fma in
+// one loop but not the other.
+#include "sim/schedule_state.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace resmodel::sim {
+
+ScheduleState ScheduleState::from_rates(std::vector<double> rates) {
+  ScheduleState state;
+  const std::size_t n = rates.size();
+  if (n > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(
+        "ScheduleState: host count exceeds 32-bit permutation index");
+  }
+  state.rates = std::move(rates);
+  state.inv_rates.resize(n);
+  for (std::size_t h = 0; h < n; ++h) {
+    if (!(state.rates[h] > 0.0)) {
+      throw std::invalid_argument("ScheduleState: non-positive host rate");
+    }
+    state.inv_rates[h] = 1.0 / state.rates[h];
+  }
+  state.free_at.assign(n, 0.0);
+  state.busy_days.assign(n, 0.0);
+  return state;
+}
+
+void ScheduleState::ensure_ect_caches() {
+  const std::size_t n = size();
+  if (ect_order.size() == n && ect_pos.size() == n &&
+      ect_sorted_inv.size() == n) {
+    return;
+  }
+  ect_order.resize(n);
+  for (std::size_t h = 0; h < n; ++h) {
+    ect_order[h] = static_cast<std::uint32_t>(h);
+  }
+  std::sort(ect_order.begin(), ect_order.end(),
+            [&inv = inv_rates](std::uint32_t a, std::uint32_t b) {
+              if (inv[a] != inv[b]) return inv[a] < inv[b];
+              return a < b;
+            });
+  ect_pos.resize(n);
+  ect_sorted_inv.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    ect_pos[ect_order[j]] = static_cast<std::uint32_t>(j);
+    ect_sorted_inv[j] = inv_rates[ect_order[j]];
+  }
+  const std::size_t blocks = (n + kBlockSize - 1) / kBlockSize;
+  ect_block_min_inv.resize(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    // Sorted ascending, so the block's first entry is its minimum.
+    ect_block_min_inv[b] = ect_sorted_inv[b * kBlockSize];
+  }
+}
+
+DynamicScheduleTotals ect_schedule_blocked(ScheduleState& state,
+                                           std::span<const double> tasks) {
+  constexpr std::size_t kBlock = ScheduleState::kBlockSize;
+  state.ensure_ect_caches();
+  const std::size_t n = state.size();
+  const std::size_t blocks = state.block_count();
+  const double* inv = state.ect_sorted_inv.data();
+  const double* bmin_inv = state.ect_block_min_inv.data();
+  const std::uint32_t* order = state.ect_order.data();
+  DynamicScheduleTotals totals;
+  if (n == 0) return totals;
+
+  // free_at gathered into sorted order once per run (kernel-local so a
+  // pre-advanced state works too), plus the per-block running minimum the
+  // pruning bound reads. Only the assigned host's block is refreshed per
+  // task.
+  std::vector<double> sfree(n);
+  for (std::size_t j = 0; j < n; ++j) sfree[j] = state.free_at[order[j]];
+  std::vector<double> bmin_free(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * kBlock;
+    const std::size_t hi = std::min(n, lo + kBlock);
+    double m = sfree[lo];
+    for (std::size_t j = lo + 1; j < hi; ++j) m = std::min(m, sfree[j]);
+    bmin_free[b] = m;
+  }
+
+  double done[kBlock];
+  for (const double task : tasks) {
+    std::uint32_t best = 0;  // original host index of the incumbent
+    double best_done = std::numeric_limits<double>::infinity();
+    for (std::size_t b = 0; b < blocks; ++b) {
+      // Lower bound on every completion time in the block: no host is
+      // freer than the block's min free_at nor faster than its min
+      // inv_rate, and monotone rounding keeps the combination a true
+      // floating-point lower bound. Strict >, so a block that could
+      // still *tie* the incumbent is scanned and the smallest original
+      // host index among the tied winners is kept — the scalar loop's
+      // pick.
+      if (bmin_free[b] + task * bmin_inv[b] > best_done) continue;
+      const std::size_t lo = b * kBlock;
+      const std::size_t len = std::min(n - lo, kBlock);
+      // Materialize, then min-reduce: both loops are branch-free streams
+      // over contiguous doubles that the autovectorizer handles, and the
+      // buffered values make the equality searches below exact by
+      // construction (no recomputation that could round differently).
+      for (std::size_t i = 0; i < len; ++i) {
+        done[i] = sfree[lo + i] + task * inv[lo + i];
+      }
+      double m = done[0];
+      for (std::size_t i = 1; i < len; ++i) m = std::min(m, done[i]);
+      if (m > best_done) continue;
+      std::uint32_t m_best = std::numeric_limits<std::uint32_t>::max();
+      for (std::size_t i = 0; i < len; ++i) {
+        if (done[i] == m) m_best = std::min(m_best, order[lo + i]);
+      }
+      if (m < best_done) {
+        best_done = m;
+        best = m_best;
+      } else {
+        best = std::min(best, m_best);
+      }
+    }
+    const double days = task * state.inv_rates[best];
+    state.busy_days[best] += days;
+    state.free_at[best] = best_done;
+    totals.total_cpu_days += days;
+    totals.makespan_days = std::max(totals.makespan_days, best_done);
+    const std::size_t pos = state.ect_pos[best];
+    sfree[pos] = best_done;
+    const std::size_t blk = pos / kBlock;
+    const std::size_t lo = blk * kBlock;
+    const std::size_t hi = std::min(n, lo + kBlock);
+    double m = sfree[lo];
+    for (std::size_t j = lo + 1; j < hi; ++j) m = std::min(m, sfree[j]);
+    bmin_free[blk] = m;
+  }
+  return totals;
+}
+
+DynamicScheduleTotals ect_schedule_reference(ScheduleState& state,
+                                             std::span<const double> tasks) {
+  const std::size_t n = state.size();
+  const double* free_at = state.free_at.data();
+  const double* inv = state.inv_rates.data();
+  DynamicScheduleTotals totals;
+  if (n == 0) return totals;
+  for (const double task : tasks) {
+    std::size_t best = 0;
+    double best_done = std::numeric_limits<double>::infinity();
+    for (std::size_t h = 0; h < n; ++h) {
+      const double done = free_at[h] + task * inv[h];
+      if (done < best_done) {
+        best_done = done;
+        best = h;
+      }
+    }
+    const double days = task * inv[best];
+    state.busy_days[best] += days;
+    state.free_at[best] = best_done;
+    totals.total_cpu_days += days;
+    totals.makespan_days = std::max(totals.makespan_days, best_done);
+  }
+  return totals;
+}
+
+PullHeap::PullHeap(std::size_t hosts) : entries_(hosts) {
+  for (std::size_t h = 0; h < hosts; ++h) {
+    entries_[h] = {0.0, static_cast<std::uint64_t>(h)};
+  }
+}
+
+PullHeap::PullHeap(std::span<const double> keys) : entries_(keys.size()) {
+  for (std::size_t h = 0; h < keys.size(); ++h) {
+    entries_[h] = {keys[h], static_cast<std::uint64_t>(h)};
+  }
+  if (entries_.size() > 1) {
+    for (std::size_t i = (entries_.size() - 2) / kArity + 1; i-- > 0;) {
+      sift_down(i);
+    }
+  }
+}
+
+void PullHeap::sift_up(std::size_t i) noexcept {
+  const Entry e = entries_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!less(e, entries_[parent])) break;
+    entries_[i] = entries_[parent];
+    i = parent;
+  }
+  entries_[i] = e;
+}
+
+void PullHeap::sift_down(std::size_t i) noexcept {
+  const std::size_t n = entries_.size();
+  const Entry e = entries_[i];
+  for (;;) {
+    const std::size_t first_child = i * kArity + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(n, first_child + kArity);
+    std::size_t smallest = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (less(entries_[c], entries_[smallest])) smallest = c;
+    }
+    if (!less(entries_[smallest], e)) break;
+    entries_[i] = entries_[smallest];
+    i = smallest;
+  }
+  entries_[i] = e;
+}
+
+void PullHeap::push(double key, std::uint64_t host) {
+  entries_.push_back({key, host});
+  sift_up(entries_.size() - 1);
+}
+
+PullHeap::Entry PullHeap::pop_min() {
+  const Entry top = entries_.front();
+  entries_.front() = entries_.back();
+  entries_.pop_back();
+  if (!entries_.empty()) sift_down(0);
+  return top;
+}
+
+void PullHeap::replace_min(double key, std::uint64_t host) {
+  entries_.front() = {key, host};
+  sift_down(0);
+}
+
+DynamicScheduleTotals pull_schedule_dary(ScheduleState& state,
+                                         std::span<const double> tasks) {
+  PullHeap heap(std::span<const double>(state.free_at));
+  DynamicScheduleTotals totals;
+  if (state.size() == 0) return totals;
+  for (const double task : tasks) {
+    const PullHeap::Entry top = heap.min();
+    const auto h = static_cast<std::size_t>(top.host);
+    const double days = task * state.inv_rates[h];
+    state.busy_days[h] += days;
+    totals.total_cpu_days += days;
+    const double done = top.key + days;
+    state.free_at[h] = done;
+    totals.makespan_days = std::max(totals.makespan_days, done);
+    heap.replace_min(done, top.host);
+  }
+  return totals;
+}
+
+DynamicScheduleTotals pull_schedule_reference(ScheduleState& state,
+                                              std::span<const double> tasks) {
+  using Entry = std::pair<double, std::size_t>;  // (free at, host)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t h = 0; h < state.size(); ++h) {
+    heap.push({state.free_at[h], h});
+  }
+  DynamicScheduleTotals totals;
+  if (state.size() == 0) return totals;
+  for (const double task : tasks) {
+    const auto [free_at, h] = heap.top();
+    heap.pop();
+    const double days = task * state.inv_rates[h];
+    state.busy_days[h] += days;
+    totals.total_cpu_days += days;
+    const double done = free_at + days;
+    state.free_at[h] = done;
+    totals.makespan_days = std::max(totals.makespan_days, done);
+    heap.push({done, h});
+  }
+  return totals;
+}
+
+}  // namespace resmodel::sim

@@ -195,5 +195,158 @@ TEST(BagOfTasks, SoAOverloadMatchesAoSPath) {
   }
 }
 
+void expect_results_identical(const BagOfTasksResult& a,
+                              const BagOfTasksResult& b) {
+  EXPECT_EQ(a.makespan_days, b.makespan_days);
+  EXPECT_EQ(a.total_cpu_days, b.total_cpu_days);
+  EXPECT_EQ(a.mean_host_busy_days, b.mean_host_busy_days);
+  EXPECT_EQ(a.max_host_busy_days, b.max_host_busy_days);
+  EXPECT_EQ(a.hosts_used, b.hosts_used);
+}
+
+TEST(BagOfTasks, FastPathBitIdenticalToReference) {
+  // The blocked-MCT and 4-ary-heap kernels promise results bit-identical
+  // to the retained scalar / priority_queue reference kernels — for every
+  // policy, with and without the availability overlay, on both entry
+  // points.
+  const std::vector<HostResources> hosts = model_hosts(300, 13);
+  const HostResourcesSoA soa = HostResourcesSoA::from_hosts(hosts);
+  BagOfTasksConfig config;
+  config.task_count = 1500;
+  const SchedulingPolicy policies[] = {
+      SchedulingPolicy::kStaticRoundRobin,
+      SchedulingPolicy::kStaticSpeedWeighted,
+      SchedulingPolicy::kDynamicPull,
+      SchedulingPolicy::kDynamicEct,
+  };
+  for (const bool availability : {false, true}) {
+    config.model_availability = availability;
+    for (const SchedulingPolicy policy : policies) {
+      util::Rng r1(41), r2(41), r3(41);
+      const BagOfTasksResult fast = run_bag_of_tasks(soa, config, policy, r1);
+      const BagOfTasksResult ref =
+          run_bag_of_tasks_reference(soa, config, policy, r2);
+      const BagOfTasksResult ref_aos =
+          run_bag_of_tasks_reference(hosts, config, policy, r3);
+      expect_results_identical(fast, ref);
+      expect_results_identical(fast, ref_aos);
+    }
+  }
+}
+
+TEST(BagOfTasks, ComputeHostRatesSoAMatchesAoSStream) {
+  // The batched SoA derating path must consume the rng identically to the
+  // AoS loop: one fork per host, in host order. Identical rate columns
+  // AND identical generator state afterwards.
+  const std::vector<HostResources> hosts = model_hosts(150, 17);
+  const HostResourcesSoA soa = HostResourcesSoA::from_hosts(hosts);
+  BagOfTasksConfig config;
+  config.model_availability = true;
+  util::Rng rng_aos(55), rng_soa(55);
+  const std::vector<double> aos = compute_host_rates(hosts, config, rng_aos);
+  const std::vector<double> via_soa =
+      compute_host_rates(soa, config, rng_soa);
+  ASSERT_EQ(aos.size(), via_soa.size());
+  for (std::size_t h = 0; h < aos.size(); ++h) {
+    EXPECT_EQ(aos[h], via_soa[h]) << "host " << h;
+  }
+  EXPECT_EQ(rng_aos.next(), rng_soa.next());
+}
+
+TEST(BagOfTasks, StaticMakespanIsMaxBusyWithoutExtraPass) {
+  const auto hosts = model_hosts(100, 19);
+  BagOfTasksConfig config;
+  config.task_count = 700;
+  for (const SchedulingPolicy policy :
+       {SchedulingPolicy::kStaticRoundRobin,
+        SchedulingPolicy::kStaticSpeedWeighted}) {
+    util::Rng rng(23);
+    const BagOfTasksResult result =
+        run_bag_of_tasks(hosts, config, policy, rng);
+    EXPECT_EQ(result.makespan_days, result.max_host_busy_days);
+  }
+}
+
+TEST(PolicySweep, CellsMatchDirectRunsAndThreadCountIsIrrelevant) {
+  std::vector<SweepPopulation> populations;
+  populations.push_back(
+      {"small", HostResourcesSoA::from_hosts(model_hosts(80, 25))});
+  populations.push_back(
+      {"large", HostResourcesSoA::from_hosts(model_hosts(130, 26))});
+
+  PolicySweepConfig sweep;
+  sweep.policies = {
+      SchedulingPolicy::kStaticRoundRobin,
+      SchedulingPolicy::kStaticSpeedWeighted,
+      SchedulingPolicy::kDynamicPull,
+      SchedulingPolicy::kDynamicEct,
+  };
+  sweep.task_counts = {150, 400};
+  sweep.base.model_availability = true;
+  sweep.workload_seed = 777;
+
+  sweep.threads = 1;
+  const PolicySweepResult serial = run_policy_sweep(populations, sweep);
+  sweep.threads = 4;
+  const PolicySweepResult parallel = run_policy_sweep(populations, sweep);
+  ASSERT_EQ(serial.cells.size(),
+            populations.size() * sweep.policies.size() *
+                sweep.task_counts.size());
+
+  for (std::size_t p = 0; p < populations.size(); ++p) {
+    for (std::size_t pol = 0; pol < sweep.policies.size(); ++pol) {
+      for (std::size_t t = 0; t < sweep.task_counts.size(); ++t) {
+        const PolicySweepCell& cell = serial.at(p, pol, t);
+        EXPECT_EQ(cell.population, p);
+        EXPECT_EQ(cell.policy, pol);
+        EXPECT_EQ(cell.task_count, t);
+        expect_results_identical(cell.result,
+                                 parallel.at(p, pol, t).result);
+        // Every cell is exactly one deterministic run_bag_of_tasks call.
+        BagOfTasksConfig direct_config = sweep.base;
+        direct_config.task_count = sweep.task_counts[t];
+        util::Rng direct_rng(sweep.workload_seed);
+        const BagOfTasksResult direct = run_bag_of_tasks(
+            populations[p].hosts, direct_config, sweep.policies[pol],
+            direct_rng);
+        expect_results_identical(cell.result, direct);
+      }
+    }
+  }
+}
+
+TEST(PolicySweep, RejectsEmptyAxesAndPopulations) {
+  std::vector<SweepPopulation> populations;
+  populations.push_back(
+      {"ok", HostResourcesSoA::from_hosts(model_hosts(10, 27))});
+  PolicySweepConfig sweep;
+  sweep.policies = {SchedulingPolicy::kDynamicEct};
+  sweep.task_counts = {10};
+  EXPECT_THROW(run_policy_sweep({}, sweep), std::invalid_argument);
+  PolicySweepConfig no_policies = sweep;
+  no_policies.policies.clear();
+  EXPECT_THROW(run_policy_sweep(populations, no_policies),
+               std::invalid_argument);
+  PolicySweepConfig no_tasks = sweep;
+  no_tasks.task_counts.clear();
+  EXPECT_THROW(run_policy_sweep(populations, no_tasks), std::invalid_argument);
+  // A degenerate count anywhere in the list must throw up front on the
+  // calling thread, never from inside a spawned worker.
+  PolicySweepConfig bad_later_cell = sweep;
+  bad_later_cell.task_counts = {10, 0};
+  bad_later_cell.threads = 4;
+  EXPECT_THROW(run_policy_sweep(populations, bad_later_cell),
+               std::invalid_argument);
+  // An out-of-range policy value must also throw on the calling thread.
+  PolicySweepConfig bad_policy = sweep;
+  bad_policy.policies = {SchedulingPolicy::kDynamicEct,
+                         static_cast<SchedulingPolicy>(99)};
+  bad_policy.threads = 4;
+  EXPECT_THROW(run_policy_sweep(populations, bad_policy),
+               std::invalid_argument);
+  populations.push_back({"empty", HostResourcesSoA{}});
+  EXPECT_THROW(run_policy_sweep(populations, sweep), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace resmodel::sim

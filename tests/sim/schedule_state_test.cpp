@@ -1,0 +1,271 @@
+#include "sim/schedule_state.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace resmodel::sim {
+namespace {
+
+// Rates with deliberate exact duplicates (duplicated hardware is the
+// common case in the trace) so equal completion times actually occur.
+std::vector<double> random_rates(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> rates(n);
+  for (double& r : rates) r = 100.0 + rng.uniform() * 10000.0;
+  for (std::size_t i = 0; i + 1 < n; i += 3) rates[i + 1] = rates[i];
+  return rates;
+}
+
+std::vector<double> random_tasks(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> tasks(n);
+  for (double& t : tasks) t = 500.0 + rng.uniform() * 8000.0;
+  return tasks;
+}
+
+void expect_states_identical(const ScheduleState& a, const ScheduleState& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t h = 0; h < a.size(); ++h) {
+    EXPECT_EQ(a.free_at[h], b.free_at[h]) << "free_at host " << h;
+    EXPECT_EQ(a.busy_days[h], b.busy_days[h]) << "busy_days host " << h;
+  }
+}
+
+TEST(ScheduleState, FromRatesBuildsColumnsAndSortedCaches) {
+  const std::size_t n = 2 * ScheduleState::kBlockSize + 2;  // partial tail
+  ScheduleState state = ScheduleState::from_rates(random_rates(n, 1));
+  ASSERT_EQ(state.size(), n);
+  // The ECT caches are lazy: absent after construction, built on demand,
+  // and only then do the sorted invariants hold.
+  EXPECT_EQ(state.block_count(), 0u);
+  EXPECT_TRUE(state.ect_order.empty());
+  state.ensure_ect_caches();
+  ASSERT_EQ(state.block_count(), 3u);
+  for (std::size_t h = 0; h < n; ++h) {
+    EXPECT_EQ(state.inv_rates[h], 1.0 / state.rates[h]);
+    EXPECT_EQ(state.free_at[h], 0.0);
+    EXPECT_EQ(state.busy_days[h], 0.0);
+    EXPECT_EQ(state.ect_order[state.ect_pos[h]], h);  // inverse permutation
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_EQ(state.ect_sorted_inv[j], state.inv_rates[state.ect_order[j]]);
+    if (j > 0) {
+      // Ascending inv_rates, exact ties in ascending host index.
+      EXPECT_LE(state.ect_sorted_inv[j - 1], state.ect_sorted_inv[j]);
+      if (state.ect_sorted_inv[j - 1] == state.ect_sorted_inv[j]) {
+        EXPECT_LT(state.ect_order[j - 1], state.ect_order[j]);
+      }
+    }
+  }
+  for (std::size_t b = 0; b < state.block_count(); ++b) {
+    EXPECT_EQ(state.ect_block_min_inv[b],
+              state.ect_sorted_inv[b * ScheduleState::kBlockSize]);
+  }
+}
+
+TEST(ScheduleState, RejectsNonPositiveRates) {
+  EXPECT_THROW(ScheduleState::from_rates({100.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(ScheduleState::from_rates({-1.0}), std::invalid_argument);
+}
+
+TEST(EctKernels, BlockedMatchesReferenceBitForBit) {
+  // Host counts straddling the block size (sub-block, exact blocks,
+  // partial tail, many blocks) and a workload longer than any block.
+  for (const std::size_t hosts : {std::size_t{1}, std::size_t{5},
+                                  ScheduleState::kBlockSize,
+                                  2 * ScheduleState::kBlockSize + 3,
+                                  std::size_t{1000}}) {
+    const std::vector<double> rates = random_rates(hosts, 7 + hosts);
+    const std::vector<double> tasks = random_tasks(600, 11);
+    ScheduleState blocked = ScheduleState::from_rates(rates);
+    ScheduleState reference = ScheduleState::from_rates(rates);
+    const DynamicScheduleTotals tb = ect_schedule_blocked(blocked, tasks);
+    const DynamicScheduleTotals tr = ect_schedule_reference(reference, tasks);
+    EXPECT_EQ(tb.makespan_days, tr.makespan_days) << hosts << " hosts";
+    EXPECT_EQ(tb.total_cpu_days, tr.total_cpu_days) << hosts << " hosts";
+    expect_states_identical(blocked, reference);
+  }
+}
+
+TEST(EctKernels, EqualCompletionTieBreaksToLowestIndex) {
+  // 200 identical hosts (3+ blocks): every task sees an exact tie across
+  // all idle hosts, and both kernels must pick the lowest index.
+  const std::vector<double> rates(200, 1000.0);
+  const std::vector<double> tasks(3, 1000.0);
+  ScheduleState blocked = ScheduleState::from_rates(rates);
+  ScheduleState reference = ScheduleState::from_rates(rates);
+  ect_schedule_blocked(blocked, tasks);
+  ect_schedule_reference(reference, tasks);
+  for (const ScheduleState* s : {&blocked, &reference}) {
+    EXPECT_EQ(s->busy_days[0], 1.0);
+    EXPECT_EQ(s->busy_days[1], 1.0);
+    EXPECT_EQ(s->busy_days[2], 1.0);
+    EXPECT_EQ(s->busy_days[3], 0.0);
+  }
+  expect_states_identical(blocked, reference);
+
+  // A cross-block tie: hosts 0 and 150 equally fast, everyone else slower.
+  std::vector<double> two_fast(200, 10.0);
+  two_fast[0] = two_fast[150] = 1000.0;
+  ScheduleState b2 = ScheduleState::from_rates(two_fast);
+  ScheduleState r2 = ScheduleState::from_rates(two_fast);
+  const std::vector<double> one_task = {500.0};
+  ect_schedule_blocked(b2, one_task);
+  ect_schedule_reference(r2, one_task);
+  EXPECT_GT(b2.busy_days[0], 0.0);  // lowest index wins the tie
+  EXPECT_EQ(b2.busy_days[150], 0.0);
+  expect_states_identical(b2, r2);
+}
+
+TEST(EctKernels, MoreHostsThanTasks) {
+  const std::vector<double> rates = random_rates(500, 3);
+  const std::vector<double> tasks = random_tasks(7, 4);
+  ScheduleState blocked = ScheduleState::from_rates(rates);
+  ScheduleState reference = ScheduleState::from_rates(rates);
+  const DynamicScheduleTotals tb = ect_schedule_blocked(blocked, tasks);
+  const DynamicScheduleTotals tr = ect_schedule_reference(reference, tasks);
+  EXPECT_EQ(tb.makespan_days, tr.makespan_days);
+  expect_states_identical(blocked, reference);
+  std::size_t used = 0;
+  for (double b : blocked.busy_days) used += b > 0.0;
+  EXPECT_EQ(used, tasks.size());  // ECT spreads distinct tasks on idle hosts
+}
+
+TEST(EctKernels, SingleHostAccumulatesSequentially) {
+  ScheduleState state = ScheduleState::from_rates({250.0});
+  const std::vector<double> tasks = {500.0, 250.0, 1000.0};
+  const DynamicScheduleTotals totals = ect_schedule_blocked(state, tasks);
+  EXPECT_EQ(state.free_at[0], totals.makespan_days);
+  EXPECT_EQ(totals.total_cpu_days, totals.makespan_days);
+  EXPECT_DOUBLE_EQ(totals.makespan_days, 2.0 + 1.0 + 4.0);
+}
+
+TEST(PullHeap, InitialSeedPopsHostsInOrder) {
+  PullHeap heap(100);
+  for (std::size_t h = 0; h < 100; ++h) {
+    const PullHeap::Entry e = heap.pop_min();
+    EXPECT_EQ(e.key, 0.0);
+    EXPECT_EQ(e.host, h);
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(PullHeap, MatchesPriorityQueueOracle) {
+  // Random interleaved push/pop against the STL oracle, with keys drawn
+  // from a tiny set so key ties (broken by host id) are constant.
+  using OracleEntry = std::pair<double, std::uint64_t>;
+  std::priority_queue<OracleEntry, std::vector<OracleEntry>, std::greater<>>
+      oracle;
+  PullHeap heap(0);
+  util::Rng rng(21);
+  std::uint64_t next_host = 0;
+  for (int op = 0; op < 4000; ++op) {
+    if (heap.empty() || rng.uniform() < 0.55) {
+      const double key = static_cast<double>(rng.uniform_index(8));
+      heap.push(key, next_host);
+      oracle.push({key, next_host});
+      ++next_host;
+    } else {
+      const PullHeap::Entry got = heap.pop_min();
+      const OracleEntry want = oracle.top();
+      oracle.pop();
+      EXPECT_EQ(got.key, want.first);
+      EXPECT_EQ(got.host, want.second);
+    }
+  }
+  while (!heap.empty()) {
+    const PullHeap::Entry got = heap.pop_min();
+    const OracleEntry want = oracle.top();
+    oracle.pop();
+    EXPECT_EQ(got.key, want.first);
+    EXPECT_EQ(got.host, want.second);
+  }
+  EXPECT_TRUE(oracle.empty());
+}
+
+TEST(PullHeap, ReplaceMinEquivalentToPopPush) {
+  PullHeap fused(50);
+  PullHeap two_step(50);
+  util::Rng rng(22);
+  for (int op = 0; op < 500; ++op) {
+    const double key = rng.uniform() * 10.0;
+    const std::uint64_t host = fused.min().host;
+    fused.replace_min(key, host);
+    const PullHeap::Entry popped = two_step.pop_min();
+    EXPECT_EQ(popped.host, host);
+    two_step.push(key, host);
+  }
+  while (!fused.empty()) {
+    const PullHeap::Entry a = fused.pop_min();
+    const PullHeap::Entry b = two_step.pop_min();
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_EQ(a.host, b.host);
+  }
+  EXPECT_TRUE(two_step.empty());
+}
+
+TEST(PullHeap, KeySeededConstructorHeapifies) {
+  util::Rng rng(23);
+  std::vector<double> keys(137);
+  for (double& k : keys) k = static_cast<double>(rng.uniform_index(16));
+  PullHeap from_keys{std::span<const double>(keys)};
+  PullHeap pushed(0);
+  for (std::size_t h = 0; h < keys.size(); ++h) {
+    pushed.push(keys[h], h);
+  }
+  while (!from_keys.empty()) {
+    const PullHeap::Entry a = from_keys.pop_min();
+    const PullHeap::Entry b = pushed.pop_min();
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_EQ(a.host, b.host);
+  }
+  EXPECT_TRUE(pushed.empty());
+}
+
+TEST(PullKernels, HonorPreAdvancedFreeAt) {
+  // A state mid-run (non-zero free_at) continues where it left off: both
+  // kernels seed their heaps from the free_at column, so a busy host only
+  // pulls again once it goes idle.
+  const std::vector<double> rates(10, 100.0);
+  const std::vector<double> tasks = {100.0};
+  ScheduleState dary = ScheduleState::from_rates(rates);
+  ScheduleState reference = ScheduleState::from_rates(rates);
+  for (std::size_t h = 0; h < rates.size(); ++h) {
+    dary.free_at[h] = reference.free_at[h] = 5.0 + static_cast<double>(h);
+  }
+  const DynamicScheduleTotals td = pull_schedule_dary(dary, tasks);
+  const DynamicScheduleTotals tr = pull_schedule_reference(reference, tasks);
+  // Host 0 is the earliest-available (free at day 5) and the task takes
+  // one day on it.
+  EXPECT_EQ(td.makespan_days, 6.0);
+  EXPECT_EQ(tr.makespan_days, 6.0);
+  EXPECT_EQ(dary.free_at[0], 6.0);
+  EXPECT_EQ(reference.free_at[0], 6.0);
+}
+
+TEST(PullKernels, DaryMatchesPriorityQueueBitForBit) {
+  for (const std::size_t hosts :
+       {std::size_t{1}, std::size_t{64}, std::size_t{300}}) {
+    const std::vector<double> rates = random_rates(hosts, 31 + hosts);
+    const std::vector<double> tasks = random_tasks(800, 33);
+    ScheduleState dary = ScheduleState::from_rates(rates);
+    ScheduleState reference = ScheduleState::from_rates(rates);
+    const DynamicScheduleTotals td = pull_schedule_dary(dary, tasks);
+    const DynamicScheduleTotals tr = pull_schedule_reference(reference, tasks);
+    EXPECT_EQ(td.makespan_days, tr.makespan_days) << hosts << " hosts";
+    EXPECT_EQ(td.total_cpu_days, tr.total_cpu_days) << hosts << " hosts";
+    ASSERT_EQ(dary.size(), reference.size());
+    for (std::size_t h = 0; h < hosts; ++h) {
+      EXPECT_EQ(dary.free_at[h], reference.free_at[h]);
+      EXPECT_EQ(dary.busy_days[h], reference.busy_days[h]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace resmodel::sim

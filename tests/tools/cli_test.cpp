@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/model_params.h"
 #include "trace/csv_io.h"
 
 namespace resmodel::cli {
@@ -42,6 +43,50 @@ TEST(Cli, SynthWritesTrace) {
   EXPECT_NE(out.find("host records"), std::string::npos);
   const trace::TraceStore store = trace::read_csv_file(path);
   EXPECT_GT(store.size(), 1000u);
+}
+
+TEST(Cli, SweepRunsPolicyGrid) {
+  const std::string model_path = temp_path("cli_sweep_model.txt");
+  {
+    std::ofstream model_out(model_path);
+    model_out << core::paper_params().serialize();
+  }
+  std::string out;
+  ASSERT_EQ(run({"sweep", model_path, "2010-06-01", "300", "500,1000",
+                 "--policies=rr,ect", "--threads=2", "--seed=5"},
+                &out),
+            kOk);
+  // 0 is a valid workload seed (unlike the count arguments).
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "200",
+                 "--policies=ect", "--seed=0"}),
+            kOk);
+  EXPECT_NE(out.find("Policy sweep"), std::string::npos);
+  EXPECT_NE(out.find("dynamic ECT"), std::string::npos);
+  EXPECT_NE(out.find("Correlated"), std::string::npos);
+  EXPECT_NE(out.find("Independent"), std::string::npos);
+  EXPECT_NE(out.find("500 tasks"), std::string::npos);
+  EXPECT_NE(out.find("1000 tasks"), std::string::npos);
+}
+
+TEST(Cli, SweepRejectsBadArgs) {
+  const std::string model_path = temp_path("cli_sweep_bad_model.txt");
+  {
+    std::ofstream model_out(model_path);
+    model_out << core::paper_params().serialize();
+  }
+  EXPECT_EQ(run({"sweep"}), kUsage);
+  std::string err;
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "--frobnicate"},
+                nullptr, &err),
+            kUsage);
+  EXPECT_NE(err.find("unknown flag"), std::string::npos);
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "50",
+                 "--policies=warp"}),
+            kFailure);
+  // Negative seeds must not silently wrap through stoull.
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "50",
+                 "--seed=-1"}),
+            kFailure);
 }
 
 TEST(Cli, SynthRejectsBadArgs) {

@@ -10,6 +10,13 @@
 //   generate <model.txt> <date> <n> <out.csv>   synthesize hosts
 //   predict <model.txt> <year>             predicted composition
 //   validate <model.txt> <trace.csv> <date>     generated-vs-actual check
+//   sweep <model.txt> <date> <hosts> [tasks]    parallel policy sweep
+//
+// sweep runs the bag-of-tasks policy x host-model x task-count grid
+// (sim::run_policy_sweep) over populations synthesized from the fitted
+// model under both the published (Cholesky) and an independence
+// dependence structure — the scheduling-conclusions ablation as a CLI
+// command.
 //
 // generate and validate accept --correlation=cholesky|independent|empirical
 // to swap the dependence structure (src/model/); empirical generation also
@@ -45,6 +52,8 @@ int cmd_predict(const std::vector<std::string>& args, std::ostream& out,
                 std::ostream& err);
 int cmd_validate(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err);
+int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
 
 /// The usage text printed on bad invocations.
 std::string usage_text();
