@@ -59,6 +59,9 @@ int main() {
       sim::SchedulingPolicy::kStaticSpeedWeighted,
       sim::SchedulingPolicy::kDynamicPull,
       sim::SchedulingPolicy::kDynamicEct,
+      sim::SchedulingPolicy::kChurnEctCheckpoint,
+      sim::SchedulingPolicy::kChurnEctRestart,
+      sim::SchedulingPolicy::kChurnEctAbandon,
   };
   sweep.task_counts = {20000};
   sweep.workload_seed = 999;
@@ -66,7 +69,8 @@ int main() {
       sim::run_policy_sweep(populations, sweep);
 
   util::Table table({"Population", "static RR", "speed-weighted",
-                     "dynamic pull", "dynamic ECT"});
+                     "dynamic pull", "dynamic ECT", "churn ckpt",
+                     "churn restart", "churn abandon"});
   for (std::size_t p = 0; p < populations.size(); ++p) {
     std::vector<std::string> cells = {populations[p].name};
     for (std::size_t pol = 0; pol < sweep.policies.size(); ++pol) {
@@ -87,6 +91,10 @@ int main() {
          "the uncorrelated-normal and\nGrid rows misjudge the slow-host "
          "tail that dominates static striping and\nnaive pull — the "
          "quantitative version of the paper's motivation that\nscheduling "
-         "conclusions depend on the host model.\n";
+         "conclusions depend on the host model. The churn columns "
+         "schedule\nagainst the actual ON/OFF interval structure "
+         "(checkpoint / restart / abandon\nsemantics) instead of an "
+         "always-on population; restart pays for every\nheavy-tailed "
+         "session that dies under a long task.\n";
   return 0;
 }

@@ -3,6 +3,8 @@
 // the Cholesky step is cheap enough to be the default.
 #include <benchmark/benchmark.h>
 
+#include "churn/churn_scheduler.h"
+#include "churn/interval_timeline.h"
 #include "core/fit_pipeline.h"
 #include "core/host_generator.h"
 #include "model/empirical_rank_copula.h"
@@ -278,6 +280,55 @@ BENCHMARK(BM_BagOfTasksEctBlocked)
     ->Args({10000, 10000})->Args({100000, 100000})
     ->Unit(benchmark::kMillisecond);
 
+// The churn acceptance pair: the derate ECT (scalar availability, same
+// interval realizations drawn and averaged away) vs the interval-aware
+// churn ECT that walks the ON/OFF structure. Both include availability
+// realization in the timed region — the delta is the timeline compile
+// plus the pruned interval walks, and at 100k hosts / 100k tasks the
+// churn path must stay within 3x of the derate path in the same Release
+// run.
+void BM_BagOfTasksEctDerate(benchmark::State& state) {
+  const sim::HostResourcesSoA hosts =
+      scheduling_hosts(static_cast<std::size_t>(state.range(0)));
+  sim::BagOfTasksConfig config;
+  config.task_count = static_cast<std::size_t>(state.range(1));
+  config.model_availability = true;
+  for (auto _ : state) {
+    util::Rng rng(99);
+    benchmark::DoNotOptimize(sim::run_bag_of_tasks(
+        hosts, config, sim::SchedulingPolicy::kDynamicEct, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_BagOfTasksEctDerate)
+    ->Args({10000, 10000})->Args({100000, 100000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BagOfTasksChurn(benchmark::State& state) {
+  const sim::HostResourcesSoA hosts =
+      scheduling_hosts(static_cast<std::size_t>(state.range(0)));
+  sim::BagOfTasksConfig config;
+  config.task_count = static_cast<std::size_t>(state.range(1));
+  const sim::SchedulingPolicy policy =
+      state.range(2) == 0   ? sim::SchedulingPolicy::kChurnEctCheckpoint
+      : state.range(2) == 1 ? sim::SchedulingPolicy::kChurnEctRestart
+                            : sim::SchedulingPolicy::kChurnEctAbandon;
+  state.SetLabel(state.range(2) == 0   ? "checkpoint"
+                 : state.range(2) == 1 ? "restart"
+                                       : "abandon");
+  for (auto _ : state) {
+    util::Rng rng(99);
+    benchmark::DoNotOptimize(sim::run_bag_of_tasks(hosts, config, policy,
+                                                   rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_BagOfTasksChurn)
+    ->Args({10000, 10000, 0})->Args({10000, 10000, 1})
+    ->Args({10000, 10000, 2})
+    ->Args({100000, 100000, 0})
+    ->Unit(benchmark::kMillisecond);
+
 // kDynamicPull: the flat 4-ary heap vs the std::priority_queue oracle,
 // benchmarked at the kernel level on a prebuilt ScheduleState and task
 // vector — end-to-end runs bury the heap delta under task sampling and
@@ -320,6 +371,33 @@ void BM_PullKernelDaryHeap(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_PullKernelDaryHeap)->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+// The interval-walking kernels in isolation (prebuilt state + timeline,
+// no availability realization or task sampling in the timed region):
+// blocked/pruned fast path vs the full-walk scalar oracle.
+void BM_ChurnKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> rates = pull_bench_rates(n);
+  const std::vector<double> tasks = pull_bench_tasks(n);
+  util::Rng tl_rng(17);
+  const churn::IntervalTimeline timeline = churn::IntervalTimeline::generate(
+      synth::AvailabilityModel{}, n, 0.0, 100.0, tl_rng);
+  const bool reference = state.range(1) != 0;
+  state.SetLabel(reference ? "reference" : "blocked");
+  for (auto _ : state) {
+    sim::ScheduleState sched = sim::ScheduleState::from_rates(rates);
+    churn::ChurnScheduler scheduler(sched, timeline);
+    benchmark::DoNotOptimize(
+        reference
+            ? scheduler.run_reference(
+                  tasks, churn::InterruptionPolicy::kCheckpoint)
+            : scheduler.run(tasks, churn::InterruptionPolicy::kCheckpoint));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChurnKernel)
+    ->Args({10000, 0})->Args({10000, 1})->Args({100000, 0})
     ->Unit(benchmark::kMillisecond);
 
 // One full policy x dependence-structure grid through the parallel sweep

@@ -112,6 +112,56 @@ int main(int argc, char** argv) {
       << "\nHardware progress compresses every policy's makespan year over "
          "year, but the\ngap between knowledge-free striping and ECT stays "
          "wide — model realism, not\njust model vintage, drives scheduling "
-         "conclusions.\n";
+         "conclusions.\n\n";
+
+  // Third study: couple availability to hardware. The same 2010
+  // population is scheduled under churn (real ON/OFF intervals) with the
+  // availability driver rank-coupled to host speed at three Spearman
+  // levels: rho < 0 makes the fast hosts the flaky ones, rho > 0 makes
+  // them the steady ones. ECT-family schedulers lean on the fast hosts,
+  // so the makespan must fall monotonically as rho rises.
+  const sim::SweepPopulation& pop_2010 = populations[4];  // year 2010
+  util::Table coupling({"speed-avail rho", "derate ECT", "churn ckpt",
+                        "churn restart", "churn abandon",
+                        "interruptions"});
+  for (const double rho : {-0.5, 0.0, 0.5}) {
+    sim::PolicySweepConfig churn_sweep;
+    churn_sweep.policies = {
+        sim::SchedulingPolicy::kDynamicEct,
+        sim::SchedulingPolicy::kChurnEctCheckpoint,
+        sim::SchedulingPolicy::kChurnEctRestart,
+        sim::SchedulingPolicy::kChurnEctAbandon,
+    };
+    churn_sweep.task_counts = {10000};
+    churn_sweep.workload_seed = 7;
+    churn_sweep.base.model_availability = true;  // derate ECT column
+    churn_sweep.base.availability_coupled = true;
+    churn_sweep.base.availability_coupling.speed_rho = rho;
+    const sim::PolicySweepResult churn_grid =
+        sim::run_policy_sweep({&pop_2010, 1}, churn_sweep);
+
+    std::vector<std::string> cells = {util::Table::num(rho, 1)};
+    std::uint64_t interruptions = 0;
+    for (std::size_t pol = 0; pol < churn_sweep.policies.size(); ++pol) {
+      const sim::BagOfTasksResult& r = churn_grid.at(0, pol, 0).result;
+      cells.push_back(util::Table::num(r.makespan_days, 1) + "d");
+      interruptions += r.interruptions;
+    }
+    cells.push_back(std::to_string(interruptions));
+    coupling.add_row(std::move(cells));
+  }
+  std::cout << "Availability coupled to speed (2010 population, "
+               "10,000-task bag, churn\nscheduling against the actual "
+               "ON/OFF intervals):\n";
+  coupling.print(std::cout);
+  std::cout
+      << "\nReading down the columns: fast-but-flaky (rho = -0.5) hurts "
+         "every\ncompletion-time scheduler most and fast-and-steady (rho = "
+         "+0.5) helps most.\nThe restart and abandon columns additionally "
+         "pay an interval-structure penalty\nthe scalar derate cannot "
+         "express — tens of thousands of heavy-tailed ON\nsessions die "
+         "under tasks and burn their attempts. This is the paper's "
+         "§VIII\nextension made executable: resources tied to availability, "
+         "not overlaid on it.\n";
   return 0;
 }

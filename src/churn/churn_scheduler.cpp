@@ -1,0 +1,683 @@
+// Compiled with -ffp-contract=off (src/CMakeLists.txt): the blocked and
+// reference selection loops must produce bit-identical completion times,
+// which rules out the compiler fusing a + b * c into an fma in one loop
+// but not the other. The interval-walk primitives are shared functions,
+// so their results are identical by construction.
+#include "churn/churn_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace resmodel::churn {
+
+std::string to_string(InterruptionPolicy policy) {
+  switch (policy) {
+    case InterruptionPolicy::kCheckpoint: return "checkpoint";
+    case InterruptionPolicy::kRestart: return "restart";
+    case InterruptionPolicy::kAbandon: return "abandon";
+  }
+  return "unknown";
+}
+
+double checkpoint_completion(const IntervalTimeline& timeline,
+                             std::size_t host, double start_on,
+                             double work) noexcept {
+  if (start_on >= timeline.end_day()) return start_on + work;
+  const std::span<const double> s = timeline.starts(host);
+  const std::span<const double> e = timeline.ends(host);
+  std::size_t i = timeline.advance(host, start_on);
+  double cur = start_on;
+  double remaining = work;
+  while (i < s.size()) {
+    if (cur < s[i]) cur = s[i];
+    const double avail = e[i] - cur;
+    if (remaining <= avail) return cur + remaining;
+    remaining -= avail;
+    ++i;
+  }
+  // Out of generated sessions: the region up to the horizon is OFF and
+  // the host counts as permanently ON from end_day() onward.
+  return std::max(cur, timeline.end_day()) + remaining;
+}
+
+RestartOutcome restart_completion(const IntervalTimeline& timeline,
+                                  std::size_t host, double start_on,
+                                  double work) noexcept {
+  RestartOutcome out;
+  if (start_on >= timeline.end_day()) {
+    out.completion = start_on + work;
+    out.worked_days = work;
+    return out;
+  }
+  const std::span<const double> s = timeline.starts(host);
+  const std::span<const double> e = timeline.ends(host);
+  std::size_t i = timeline.advance(host, start_on);
+  double cur = start_on;
+  while (i < s.size()) {
+    if (cur < s[i]) cur = s[i];
+    const double avail = e[i] - cur;
+    if (work <= avail) {
+      out.completion = cur + work;
+      out.worked_days += work;
+      return out;
+    }
+    // The session dies under the task: the attempt burned its remainder.
+    out.worked_days += avail;
+    ++out.interruptions;
+    ++i;
+  }
+  out.completion = std::max(cur, timeline.end_day()) + work;
+  out.worked_days += work;
+  return out;
+}
+
+namespace {
+
+/// Pruning bounds and true completions are computed by different FP
+/// expressions; exact arithmetic guarantees bound <= completion but
+/// rounding can violate it by a few ulps (e.g. a final session clipped
+/// exactly at the horizon makes a spill completion equal its bound in
+/// reals). Every skip test deflates its bound by this relative margin —
+/// orders of magnitude above ulp noise, so skips stay sound by
+/// construction; the only cost is evaluating a vanishing sliver of
+/// borderline hosts the exact bound could have skipped.
+constexpr double kBoundMargin = 1.0 - 1e-12;
+
+/// One kAbandon attempt of `work` contiguous days starting at the ON
+/// instant `start_on`: either it fits the current session (completed at
+/// `at`, `burned` == work) or the session ends first (abandoned at `at`
+/// == session end, `burned` == the fruitless ON time).
+struct AttemptOutcome {
+  bool completed = false;
+  double at = 0.0;
+  double burned = 0.0;
+};
+
+AttemptOutcome abandon_attempt(const IntervalTimeline& timeline,
+                               std::size_t host, double start_on,
+                               double work) noexcept {
+  if (start_on >= timeline.end_day()) return {true, start_on + work, work};
+  const std::size_t i = timeline.advance(host, start_on);
+  const std::span<const double> s = timeline.starts(host);
+  const std::span<const double> e = timeline.ends(host);
+  if (i == s.size()) {
+    // OFF until the horizon, permanently ON after. (Unreachable when
+    // start_on comes from next_on, which snaps this region to end_day().)
+    return {true, timeline.end_day() + work, work};
+  }
+  double cur = start_on;
+  if (cur < s[i]) cur = s[i];
+  const double avail = e[i] - cur;
+  if (work <= avail) return {true, cur + work, work};
+  return {false, e[i], avail};
+}
+
+}  // namespace
+
+ChurnScheduler::ChurnScheduler(sim::ScheduleState& state,
+                               const IntervalTimeline& timeline)
+    : state_(state), timeline_(timeline) {
+  if (state.size() != timeline.host_count()) {
+    throw std::invalid_argument(
+        "ChurnScheduler: state and timeline host counts differ");
+  }
+  const std::size_t n = state_.size();
+  ready_.resize(n);
+  sess_rem_.resize(n);
+  next_start_.resize(n);
+  accr_ready_.resize(n);
+  sess_idx_.resize(n);
+  levels_.resize(n * kStride);
+  for (std::size_t h = 0; h < n; ++h) update_cursor(h);
+}
+
+void ChurnScheduler::update_cursor(std::size_t host) noexcept {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const double free = state_.free_at[host];
+  double* lv = levels_.data() + host * kStride;
+  if (free >= timeline_.end_day()) {
+    // Beyond the horizon: permanently ON.
+    ready_[host] = free;
+    sess_rem_[host] = kInf;
+    next_start_[host] = kInf;
+    accr_ready_[host] = 0.0;
+    sess_idx_[host] = 0;
+    for (std::size_t k = 0; k < kStride; ++k) lv[k] = 0.0;
+    return;
+  }
+  const std::size_t i = timeline_.advance(host, free);
+  const std::span<const double> s = timeline_.starts(host);
+  const std::span<const double> e = timeline_.ends(host);
+  if (i == s.size()) {
+    // OFF until the horizon, permanently ON after (next_on's convention).
+    ready_[host] = timeline_.end_day();
+    sess_rem_[host] = kInf;
+    next_start_[host] = kInf;
+    accr_ready_[host] = 0.0;
+    sess_idx_[host] = 0;
+    for (std::size_t k = 0; k < kStride; ++k) lv[k] = 0.0;
+    return;
+  }
+  const std::span<const double> cum = timeline_.cum_ends(host);
+  const double ready = s[i] <= free ? free : s[i];
+  ready_[host] = ready;
+  sess_rem_[host] = e[i] - ready;
+  next_start_[host] = i + 1 < s.size() ? s[i + 1] : timeline_.end_day();
+  accr_ready_[host] = cum[i] - sess_rem_[host];
+  sess_idx_[host] = static_cast<std::uint32_t>(i);
+  // Lookahead levels: session i+1+k's (cum, phi). Once the sessions run
+  // out, the accrual continues at the horizon — phi jumps to
+  // end_day - total_on and stays there (the beyond-sessions completion
+  // is target + that phi for every deeper target), with cum = +inf so
+  // the first exhausted level catches all remaining targets.
+  const double total_on = cum.back();
+  const double phi_beyond = timeline_.end_day() - total_on;
+  for (std::size_t k = 0; k < kLevels; ++k) {
+    const std::size_t j = i + 1 + k;
+    if (j < s.size()) {
+      lv[k] = cum[j];
+      lv[kLevels + k] = e[j] - cum[j];
+    } else {
+      lv[k] = kInf;
+      lv[kLevels + k] = phi_beyond;
+    }
+  }
+}
+
+double ChurnScheduler::checkpoint_spill(std::size_t host,
+                                        double target) const noexcept {
+  const std::span<const double> cum = timeline_.cum_ends(host);
+  const std::span<const double> e = timeline_.ends(host);
+  // First session past the current one whose cumulative ON total reaches
+  // the target accrual; sessions before it are consumed whole, so the
+  // completion lies `cum[j] - target` before its end.
+  const double* first = cum.data() + sess_idx_[host] + 1;
+  const double* last = cum.data() + cum.size();
+  const double* it = std::lower_bound(first, last, target);
+  if (it == last) {
+    const double total_on = cum.empty() ? 0.0 : cum.back();
+    return timeline_.end_day() + (target - total_on);
+  }
+  return e[static_cast<std::size_t>(it - cum.data())] - (*it - target);
+}
+
+double ChurnScheduler::completion_for(
+    std::size_t host, double work, InterruptionPolicy policy) const noexcept {
+  // Fits the current session (or the host is permanently ON): the
+  // completion is the literal `ready + work` — the same expression as
+  // the scan's lower bound, so fits-case completions and bounds agree
+  // bit for bit in both kernels.
+  if (policy == InterruptionPolicy::kAbandon || work <= sess_rem_[host]) {
+    return ready_[host] + work;
+  }
+  if (policy == InterruptionPolicy::kCheckpoint) {
+    const double target = accr_ready_[host] + work;
+    const double* lv = levels_.data() + host * kStride;
+    for (std::size_t k = 0; k < kLevels; ++k) {
+      if (target <= lv[k]) return target + lv[kLevels + k];
+    }
+    return checkpoint_spill(host, target);
+  }
+  return restart_completion(timeline_, host, ready_[host], work).completion;
+}
+
+void ChurnScheduler::commit(std::size_t host, double work,
+                            InterruptionPolicy policy,
+                            ChurnScheduleTotals& totals) {
+  double completion;
+  double worked = work;
+  if (policy == InterruptionPolicy::kCheckpoint) {
+    completion = completion_for(host, work, InterruptionPolicy::kCheckpoint);
+  } else {
+    const RestartOutcome out =
+        restart_completion(timeline_, host, ready_[host], work);
+    completion = out.completion;
+    worked = out.worked_days;
+    totals.interruptions += out.interruptions;
+  }
+  state_.busy_days[host] += worked;
+  state_.free_at[host] = completion;
+  totals.total_cpu_days += work;
+  totals.wasted_cpu_days += worked - work;
+  totals.makespan_days = std::max(totals.makespan_days, completion);
+  update_cursor(host);
+}
+
+void ChurnScheduler::rebuild_gathers() {
+  state_.ensure_ect_caches();
+  constexpr std::size_t kBlock = sim::ScheduleState::kBlockSize;
+  const std::size_t n = state_.size();
+  const std::size_t blocks = state_.block_count();
+  sready_.resize(n);
+  ssess_rem_.resize(n);
+  snext_start_.resize(n);
+  saccr_.resize(n);
+  for (std::size_t k = 0; k < kLevels; ++k) {
+    scum_[k].resize(n);
+    sphi_[k].resize(n);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t h = state_.ect_order[j];
+    sready_[j] = ready_[h];
+    ssess_rem_[j] = sess_rem_[h];
+    snext_start_[j] = next_start_[h];
+    saccr_[j] = accr_ready_[h];
+    for (std::size_t k = 0; k < kLevels; ++k) {
+      scum_[k][j] = levels_[h * kStride + k];
+      sphi_[k][j] = levels_[h * kStride + kLevels + k];
+    }
+  }
+  bmin_ready_.resize(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * kBlock;
+    const std::size_t hi = std::min(n, lo + kBlock);
+    double m = sready_[lo];
+    for (std::size_t j = lo + 1; j < hi; ++j) m = std::min(m, sready_[j]);
+    bmin_ready_[b] = m;
+  }
+}
+
+void ChurnScheduler::update_gathers(std::size_t host) {
+  constexpr std::size_t kBlock = sim::ScheduleState::kBlockSize;
+  const std::size_t n = state_.size();
+  const std::size_t pos = state_.ect_pos[host];
+  sready_[pos] = ready_[host];
+  ssess_rem_[pos] = sess_rem_[host];
+  snext_start_[pos] = next_start_[host];
+  saccr_[pos] = accr_ready_[host];
+  for (std::size_t k = 0; k < kLevels; ++k) {
+    scum_[k][pos] = levels_[host * kStride + k];
+    sphi_[k][pos] = levels_[host * kStride + kLevels + k];
+  }
+  const std::size_t blk = pos / kBlock;
+  const std::size_t lo = blk * kBlock;
+  const std::size_t hi = std::min(n, lo + kBlock);
+  double m = sready_[lo];
+  for (std::size_t j = lo + 1; j < hi; ++j) m = std::min(m, sready_[j]);
+  bmin_ready_[blk] = m;
+  if (buckets_active_) rebuild_bucket_mins(blk);
+}
+
+std::size_t ChurnScheduler::bucket_of(double task) const noexcept {
+  const auto it = std::upper_bound(bucket_edges_.begin(), bucket_edges_.end(),
+                                   task);
+  if (it == bucket_edges_.begin()) return 0;  // task below every edge
+  return static_cast<std::size_t>(it - bucket_edges_.begin()) - 1;
+}
+
+void ChurnScheduler::setup_buckets(std::span<const double> tasks) {
+  double tmin = std::numeric_limits<double>::infinity();
+  double tmax = 0.0;
+  for (const double t : tasks) {
+    tmin = std::min(tmin, t);
+    tmax = std::max(tmax, t);
+  }
+  if (!(tmin > 0.0) || !(tmax >= tmin)) {
+    tmin = 1.0;
+    tmax = 1.0;
+  }
+  bucket_edges_.resize(kBuckets);
+  // Log-spaced edges spanning the workload; pow(ratio, 0) == 1 exactly,
+  // so edge 0 equals tmin and every task has a bucket at or below it.
+  const double ratio = tmax / tmin;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    bucket_edges_[k] =
+        tmin * std::pow(ratio, static_cast<double>(k) /
+                                   static_cast<double>(kBuckets - 1));
+  }
+  bmin_done_.resize(state_.block_count() * kBuckets);
+  buckets_active_ = true;
+  for (std::size_t b = 0; b < state_.block_count(); ++b) {
+    rebuild_bucket_mins(b);
+  }
+}
+
+void ChurnScheduler::rebuild_bucket_mins(std::size_t blk) {
+  constexpr std::size_t kBlock = sim::ScheduleState::kBlockSize;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t n = state_.size();
+  const std::size_t lo = blk * kBlock;
+  const std::size_t len = std::min(n - lo, kBlock);
+  const double* __restrict binv = state_.ect_sorted_inv.data() + lo;
+  const double* __restrict bready = sready_.data() + lo;
+  const double* __restrict bsess = ssess_rem_.data() + lo;
+  const double* __restrict baccr = saccr_.data() + lo;
+  const double* __restrict bcum0 = scum_[0].data() + lo;
+  const double* __restrict bcum1 = scum_[1].data() + lo;
+  const double* __restrict bcum2 = scum_[2].data() + lo;
+  const double* __restrict bphi0 = sphi_[0].data() + lo;
+  const double* __restrict bphi1 = sphi_[1].data() + lo;
+  const double* __restrict bphi2 = sphi_[2].data() + lo;
+  const double* __restrict bphi3 = sphi_[3].data() + lo;
+  double v[kBlock];
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    const double e = bucket_edges_[k];
+    // Exact-or-lower-bound completion of an edge-sized task on each lane
+    // (fits and level-routed spills exact, phi_kLevels for deeper), the
+    // same blend the selection uses — vectorizable selects over
+    // unconditional loads.
+    for (std::size_t i = 0; i < len; ++i) {
+      const double w = e * binv[i];
+      const double sess = bsess[i];
+      const double r = bready[i];
+      const double c0 = bcum0[i], c1 = bcum1[i], c2 = bcum2[i];
+      const double p0 = bphi0[i], p1 = bphi1[i], p2 = bphi2[i],
+                   p3 = bphi3[i];
+      const double target = baccr[i] + w;
+      // Same min-of-candidates routing as the selection sweep (see
+      // run_ect): identical values, vectorizable form.
+      const double v0 = target <= c0 ? target + p0 : kInf;
+      const double v1 = target <= c1 ? target + p1 : kInf;
+      const double v2 = target <= c2 ? target + p2 : kInf;
+      const double spill =
+          std::min(std::min(v0, v1), std::min(v2, target + p3));
+      v[i] = w <= sess ? r + w : spill;
+    }
+    for (std::size_t i = len; i < kBlock; ++i) v[i] = kInf;
+    double acc[8];
+    for (std::size_t i = 0; i < 8; ++i) acc[i] = v[i];
+    for (std::size_t i = 8; i < kBlock; i += 8) {
+      for (std::size_t j = 0; j < 8; ++j) {
+        acc[j] = std::min(acc[j], v[i + j]);
+      }
+    }
+    double m = acc[0];
+    for (std::size_t i = 1; i < 8; ++i) m = std::min(m, acc[i]);
+    // Bucket-major layout: the per-task gate and the warm-start argmin
+    // scan read one bucket's row contiguously across blocks.
+    bmin_done_[k * state_.block_count() + blk] = m;
+  }
+}
+
+template <bool kBlocked>
+ChurnScheduleTotals ChurnScheduler::run_ect(std::span<const double> tasks,
+                                            InterruptionPolicy policy) {
+  ChurnScheduleTotals totals;
+  const std::size_t n = state_.size();
+  if (n == 0) return totals;
+  constexpr std::size_t kBlock = sim::ScheduleState::kBlockSize;
+  if constexpr (kBlocked) {
+    rebuild_gathers();
+    setup_buckets(tasks);
+  }
+
+  [[maybe_unused]] double lb[kBlock];
+  for (const double task : tasks) {
+    std::uint32_t best = 0;
+    double best_done = std::numeric_limits<double>::infinity();
+    if constexpr (!kBlocked) {
+      // The oracle: walk EVERY host's intervals, first-strict-improvement
+      // pick (== smallest index among the argmin set).
+      for (std::size_t h = 0; h < n; ++h) {
+        const double work = task * state_.inv_rates[h];
+        const double done = completion_for(h, work, policy);
+        if (done < best_done) {
+          best_done = done;
+          best = static_cast<std::uint32_t>(h);
+        }
+      }
+    } else {
+      const double* inv = state_.ect_sorted_inv.data();
+      const double* bmin_inv = state_.ect_block_min_inv.data();
+      const std::uint32_t* order = state_.ect_order.data();
+      const std::size_t blocks = state_.block_count();
+      // Bucketed block gate: completions are non-decreasing in task
+      // size, so the block's precomputed per-lane-exact minimum at the
+      // bucket edge, extended by (task - edge) * block_min_inv, is a
+      // sound and gap-aware lower bound on every completion in the
+      // block. Tasks below every edge (never happens for this run's own
+      // workload) fall back to the ready-based bound.
+      const std::size_t bucket = bucket_of(task);
+      const double edge = bucket_edges_[bucket];
+      const bool bucketed = task >= edge;
+      const double over_edge = task - edge;
+      const double* bucket_row = bmin_done_.data() + bucket * blocks;
+      // Warm start: evaluate the block with the tightest bucket bound
+      // first. Without it the incumbent stays loose until the scan
+      // reaches the winner's block and every earlier block gets swept;
+      // with it the main loop's gate culls all but genuine near-ties.
+      // (Processing a block is order-independent: pruning only ever
+      // skips hosts that cannot win or tie.)
+      std::size_t warm_block = blocks;  // sentinel: no warm start
+      if (bucketed) {
+        double tightest = std::numeric_limits<double>::infinity();
+        for (std::size_t b = 0; b < blocks; ++b) {
+          const double bound = bucket_row[b] + over_edge * bmin_inv[b];
+          if (bound < tightest) {
+            tightest = bound;
+            warm_block = b;
+          }
+        }
+      }
+      for (std::size_t bi = 0; bi <= blocks; ++bi) {
+        // Iteration 0 is the warm-start block; the regular pass follows
+        // (the warm block re-gates and prunes immediately).
+        std::size_t b;
+        if (bi == 0) {
+          if (warm_block == blocks) continue;
+          b = warm_block;
+        } else {
+          b = bi - 1;
+        }
+        const double bound =
+            bucketed ? bucket_row[b] + over_edge * bmin_inv[b]
+                     : bmin_ready_[b] + task * bmin_inv[b];
+        if (bi != 0 && bound * kBoundMargin > best_done) continue;
+        const std::size_t lo = b * kBlock;
+        const std::size_t len = std::min(n - lo, kBlock);
+        // The fused sweep (branch-free selects over unconditional loads,
+        // vectorizable): per lane the EXACT completion wherever it is
+        // resident — fits lanes as `ready + work` (the reference's own
+        // expression), checkpoint spills level-routed as `target + phi`
+        // exactly as completion_for computes them — and a sound lower
+        // bound for the rest (deepest phi for deeper-than-kLevels
+        // checkpoint spills; next_start + work for restart spills, which
+        // forfeit accrued credit). Keeping each lane's own OFF structure
+        // attached is what prunes the leveled mid-band: any block-scalar
+        // min over 64 heavy-tailed gaps washes out to ~zero.
+        const double* __restrict bready = sready_.data() + lo;
+        const double* __restrict bsess = ssess_rem_.data() + lo;
+        const double* __restrict binv = inv + lo;
+        if (policy == InterruptionPolicy::kCheckpoint) {
+          const double* __restrict baccr = saccr_.data() + lo;
+          const double* __restrict bcum0 = scum_[0].data() + lo;
+          const double* __restrict bcum1 = scum_[1].data() + lo;
+          const double* __restrict bcum2 = scum_[2].data() + lo;
+          const double* __restrict bphi0 = sphi_[0].data() + lo;
+          const double* __restrict bphi1 = sphi_[1].data() + lo;
+          const double* __restrict bphi2 = sphi_[2].data() + lo;
+          const double* __restrict bphi3 = sphi_[3].data() + lo;
+          // Level routing as a min over per-level candidates: phi is
+          // non-decreasing across levels, so min(target + p_k) over the
+          // levels that can hold the target IS the routed value, bit for
+          // bit (fl(+) and fl(min) are monotone). Constant +inf arms
+          // if-convert where a dependent select chain does not.
+          constexpr double kInf = std::numeric_limits<double>::infinity();
+          for (std::size_t i = 0; i < len; ++i) {
+            const double work = task * binv[i];
+            const double sess = bsess[i];
+            const double r = bready[i];
+            const double c0 = bcum0[i], c1 = bcum1[i], c2 = bcum2[i];
+            const double p0 = bphi0[i], p1 = bphi1[i], p2 = bphi2[i],
+                         p3 = bphi3[i];
+            const double target = baccr[i] + work;
+            const double v0 = target <= c0 ? target + p0 : kInf;
+            const double v1 = target <= c1 ? target + p1 : kInf;
+            const double v2 = target <= c2 ? target + p2 : kInf;
+            const double spill =
+                std::min(std::min(v0, v1), std::min(v2, target + p3));
+            lb[i] = work <= sess ? r + work : spill;
+          }
+        } else {
+          const double* __restrict bnext = snext_start_.data() + lo;
+          for (std::size_t i = 0; i < len; ++i) {
+            const double work = task * binv[i];
+            const double r = bready[i];
+            const double nx = bnext[i];
+            lb[i] = (work <= bsess[i] ? r : nx) + work;
+          }
+        }
+        // Reduce to per-8-lane chunk minima (pad the tail with +inf):
+        // min is exact and order-free, the fixed-size trees vectorize,
+        // and the chunk minima let the scalar pass below skip lanes
+        // eight at a time — with ~2 surviving lanes per admitted block,
+        // iterating all 64 scalar lanes would dominate the kernel.
+        for (std::size_t i = len; i < kBlock; ++i) {
+          lb[i] = std::numeric_limits<double>::infinity();
+        }
+        constexpr std::size_t kChunks = kBlock / 8;
+        double cmin[kChunks];
+        for (std::size_t c = 0; c < kChunks; ++c) {
+          const double* q = lb + c * 8;
+          const double m01 = std::min(q[0], q[1]);
+          const double m23 = std::min(q[2], q[3]);
+          const double m45 = std::min(q[4], q[5]);
+          const double m67 = std::min(q[6], q[7]);
+          cmin[c] = std::min(std::min(m01, m23), std::min(m45, m67));
+        }
+        double m = cmin[0];
+        for (std::size_t c = 1; c < kChunks; ++c) m = std::min(m, cmin[c]);
+        if (m * kBoundMargin > best_done) continue;
+        for (std::size_t c = 0; c < kChunks; ++c) {
+          if (cmin[c] * kBoundMargin > best_done) continue;
+          for (std::size_t i = c * 8; i < c * 8 + 8; ++i) {
+          // A lane whose deflated value exceeds the incumbent cannot win
+          // or tie: exact lanes carry their completion, bounded lanes a
+          // value their completion exceeds in exact arithmetic (the
+          // margin absorbs the rounding slack; padded lanes are +inf and
+          // stop here before touching any column).
+          if (lb[i] * kBoundMargin > best_done) continue;
+          const double work = task * inv[lo + i];
+          double done;
+          if (work <= ssess_rem_[lo + i]) {
+            done = lb[i];
+          } else if (policy == InterruptionPolicy::kCheckpoint) {
+            // The sweep value is already the exact completion unless the
+            // spill ran past the resident levels.
+            const double target = saccr_[lo + i] + work;
+            if (target <= scum_[kLevels - 1][lo + i]) {
+              done = lb[i];
+            } else {
+              done = checkpoint_spill(order[lo + i], target);
+            }
+          } else {
+            // Restart: the sweep value was the next_start + work bound;
+            // resolve the surviving lane with the session walk.
+            done =
+                restart_completion(timeline_, order[lo + i], sready_[lo + i],
+                                   work)
+                    .completion;
+          }
+          const std::uint32_t h = order[lo + i];
+          if (done < best_done) {
+            best_done = done;
+            best = h;
+          } else if (done == best_done && h < best) {
+            best = h;
+          }
+          }
+        }
+      }
+    }
+    commit(best, task * state_.inv_rates[best], policy, totals);
+    if constexpr (kBlocked) update_gathers(best);
+  }
+  return totals;
+}
+
+template <bool kBlocked>
+ChurnScheduleTotals ChurnScheduler::run_abandon(
+    std::span<const double> tasks) {
+  ChurnScheduleTotals totals;
+  const std::size_t n = state_.size();
+  if (n == 0) return totals;
+  constexpr std::size_t kBlock = sim::ScheduleState::kBlockSize;
+  buckets_active_ = false;  // abandon's optimistic keys don't use them
+  if constexpr (kBlocked) rebuild_gathers();
+
+  // FIFO of task costs: interrupted tasks re-enter at the back, so every
+  // queued task is attempted before any retry. Terminates because each
+  // failed attempt burns one ON session of one host; past its last
+  // generated session a host is permanently ON and every attempt succeeds.
+  std::deque<double> queue(tasks.begin(), tasks.end());
+  [[maybe_unused]] double done_buf[kBlock];
+  while (!queue.empty()) {
+    const double task = queue.front();
+    queue.pop_front();
+
+    // Selection key = ready + task*inv, the exact optimistic completion
+    // of a single attempt — no interval walk needed until the attempt is
+    // resolved.
+    std::uint32_t best = 0;
+    double best_done = std::numeric_limits<double>::infinity();
+    if constexpr (!kBlocked) {
+      for (std::size_t h = 0; h < n; ++h) {
+        const double done = ready_[h] + task * state_.inv_rates[h];
+        if (done < best_done) {
+          best_done = done;
+          best = static_cast<std::uint32_t>(h);
+        }
+      }
+    } else {
+      const double* inv = state_.ect_sorted_inv.data();
+      const double* bmin_inv = state_.ect_block_min_inv.data();
+      const std::uint32_t* order = state_.ect_order.data();
+      const std::size_t blocks = state_.block_count();
+      for (std::size_t b = 0; b < blocks; ++b) {
+        if (bmin_ready_[b] + task * bmin_inv[b] > best_done) continue;
+        const std::size_t lo = b * kBlock;
+        const std::size_t len = std::min(n - lo, kBlock);
+        for (std::size_t i = 0; i < len; ++i) {
+          done_buf[i] = sready_[lo + i] + task * inv[lo + i];
+        }
+        double m = done_buf[0];
+        for (std::size_t i = 1; i < len; ++i) m = std::min(m, done_buf[i]);
+        if (m > best_done) continue;
+        std::uint32_t m_best = std::numeric_limits<std::uint32_t>::max();
+        for (std::size_t i = 0; i < len; ++i) {
+          if (done_buf[i] == m) m_best = std::min(m_best, order[lo + i]);
+        }
+        if (m < best_done) {
+          best_done = m;
+          best = m_best;
+        } else {
+          best = std::min(best, m_best);
+        }
+      }
+    }
+
+    const double work = task * state_.inv_rates[best];
+    const AttemptOutcome attempt =
+        abandon_attempt(timeline_, best, ready_[best], work);
+    state_.busy_days[best] += attempt.burned;
+    state_.free_at[best] = attempt.at;
+    if (attempt.completed) {
+      totals.total_cpu_days += work;
+      totals.makespan_days = std::max(totals.makespan_days, attempt.at);
+    } else {
+      totals.wasted_cpu_days += attempt.burned;
+      ++totals.interruptions;
+      queue.push_back(task);
+    }
+    update_cursor(best);
+    if constexpr (kBlocked) update_gathers(best);
+  }
+  return totals;
+}
+
+ChurnScheduleTotals ChurnScheduler::run(std::span<const double> tasks,
+                                        InterruptionPolicy policy) {
+  if (policy == InterruptionPolicy::kAbandon) return run_abandon<true>(tasks);
+  return run_ect<true>(tasks, policy);
+}
+
+ChurnScheduleTotals ChurnScheduler::run_reference(
+    std::span<const double> tasks, InterruptionPolicy policy) {
+  if (policy == InterruptionPolicy::kAbandon) return run_abandon<false>(tasks);
+  return run_ect<false>(tasks, policy);
+}
+
+}  // namespace resmodel::churn

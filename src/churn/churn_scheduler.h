@@ -1,0 +1,234 @@
+// Interval-aware ECT scheduling over an IntervalTimeline — the churn
+// engine's answer to the scalar availability derate in kDynamicEct.
+//
+// The derate multiplies each host's rate by its long-run ON fraction and
+// schedules as if the host were continuously, fractionally available.
+// That erases exactly the structure that makes volunteer churn hard: the
+// ON sessions are heavy-tailed Weibull (shape < 1 — many short sessions,
+// a few very long ones), so a long task on a typical session is far more
+// exposed than the average fraction suggests. This scheduler computes
+// TRUE completion times by walking the host's ON intervals from its
+// cursor, under three interruption semantics:
+//
+//  - kCheckpoint: work accrues across OFF gaps (the client checkpoints;
+//    an outage only delays). Completion = the instant cumulative ON time
+//    since the start equals the task's work.
+//  - kRestart: an interrupted task restarts from scratch on the SAME
+//    host; every failed attempt burns the remainder of its ON session.
+//    Completion = end of the first session long enough to hold the work.
+//  - kAbandon: an interrupted task is abandoned by the host and
+//    re-enqueued at the back of the global queue — any host may pick it
+//    up. Burned attempt time is wasted; the host frees at the
+//    interruption instant.
+//
+// Selection is minimum-completion-time over the rate-sorted blocks of
+// sim::ScheduleState, but the derate kernel's plain `ready + task*inv`
+// bound is hopeless here: the winner's completion carries OFF-gap
+// stretch, so in the leveled steady state that bound admits the whole
+// mid-band, and any per-block min over 64 heavy-tailed gaps washes out
+// to approximately the gap-free bound. The machinery that actually
+// prunes (see churn/README.md for the full derivation):
+//
+//   - per-host SESSION CURSORS (ready_at, sess_rem, accrued-ON, and
+//     kLevels sessions of (cum, phi) lookahead): a checkpoint completion
+//     inside session j is exactly `target + phi_j` with phi_j = end_j -
+//     cum_j non-decreasing in j, so completions within the lookahead are
+//     O(1) formulas over resident columns and anything deeper is
+//     bounded by the deepest phi (resolved by one lower_bound over the
+//     timeline's cum column);
+//   - a FUSED EXACT SWEEP per admitted block: branch-free selects
+//     compute every lane's exact completion (fits lanes as the
+//     reference's own `ready + work`, spills level-routed as
+//     `target + phi`) or a sound bound, then 8-lane chunk minima gate
+//     the scalar pass;
+//   - TASK-SIZE-BUCKETED block minima: completions are non-decreasing
+//     in task size, so per-block minima of edge-sized completions,
+//     extended by (task - edge) * block_min_inv, give a gap-aware block
+//     gate, with the tightest-bound block evaluated first to warm the
+//     incumbent;
+//   - every cross-expression skip test deflates its bound by a relative
+//     margin orders of magnitude above ulp noise, so pruning stays
+//     sound by construction in floating point.
+//
+// A scalar reference kernel that evaluates EVERY host through the same
+// completion expressions is retained as the golden oracle; this file is
+// compiled with -ffp-contract=off and -fno-trapping-math (see
+// src/CMakeLists.txt), so fast and reference results are bit-identical.
+//
+// Beyond the timeline's horizon hosts count as permanently ON (see
+// interval_timeline.h); schedules that outrun the generated window stay
+// finite and optimistic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "churn/interval_timeline.h"
+#include "sim/schedule_state.h"
+
+namespace resmodel::churn {
+
+/// What happens to a task whose host goes OFF mid-computation.
+enum class InterruptionPolicy {
+  kCheckpoint,
+  kRestart,
+  kAbandon,
+};
+
+std::string to_string(InterruptionPolicy policy);
+
+/// Totals on top of the per-host columns the scheduler updates in place.
+struct ChurnScheduleTotals {
+  double makespan_days = 0.0;
+  double total_cpu_days = 0.0;   ///< useful processing time
+  double wasted_cpu_days = 0.0;  ///< ON time burned by interrupted attempts
+  std::uint64_t interruptions = 0;
+};
+
+/// Walks host `host`'s ON intervals from the ON instant `start_on`
+/// (typically timeline.next_on(host, free_at)) until `work` days of ON
+/// time have accrued; returns the completion instant. kCheckpoint's
+/// completion primitive — exposed for the golden tests.
+double checkpoint_completion(const IntervalTimeline& timeline,
+                             std::size_t host, double start_on,
+                             double work) noexcept;
+
+/// Outcome of placing work on a host under kRestart (and, per attempt,
+/// kAbandon): when it completes, how much ON time it consumed (worked ==
+/// work + burned failed attempts), and how many sessions died under it.
+struct RestartOutcome {
+  double completion = 0.0;
+  double worked_days = 0.0;
+  std::uint64_t interruptions = 0;
+};
+
+/// First ON session at or after `start_on` with room for `work`
+/// contiguous days; every shorter session before it is burned whole.
+RestartOutcome restart_completion(const IntervalTimeline& timeline,
+                                  std::size_t host, double start_on,
+                                  double work) noexcept;
+
+/// Interval-aware ECT over a sim::ScheduleState and an IntervalTimeline.
+/// Borrows the state's columns (rates/inv_rates/free_at/busy_days and the
+/// rate-sorted ect_* caches) and maintains its own ready-at cursor column
+/// (earliest ON instant >= free_at). run() and run_reference() update the
+/// state in place, exactly like the sim/ scheduling kernels.
+class ChurnScheduler {
+ public:
+  /// `state` and `timeline` must describe the same hosts (equal counts —
+  /// throws std::invalid_argument otherwise) and outlive the scheduler.
+  ChurnScheduler(sim::ScheduleState& state, const IntervalTimeline& timeline);
+
+  /// Blocked, pruned fast path.
+  ChurnScheduleTotals run(std::span<const double> tasks,
+                          InterruptionPolicy policy);
+
+  /// Scalar full-scan oracle; bit-identical to run().
+  ChurnScheduleTotals run_reference(std::span<const double> tasks,
+                                    InterruptionPolicy policy);
+
+  /// The ready-at cursor column (exposed for tests).
+  const std::vector<double>& ready_at() const noexcept { return ready_; }
+
+ private:
+  /// True completion of `work` on `host` starting from its current
+  /// cursor, under `policy` (selection only — no accounting). Fits-case
+  /// completions are the literal `ready + work` expression (so they equal
+  /// the pruning bound bit for bit); checkpoint spills resolve through
+  /// one lower_bound over the timeline's cum_ends column, restart spills
+  /// through the session walk.
+  double completion_for(std::size_t host, double work,
+                        InterruptionPolicy policy) const noexcept;
+
+  /// Completion instant at which host's cumulative ON time reaches
+  /// `target`, searching strictly after the current session (checkpoint
+  /// spill resolution).
+  double checkpoint_spill(std::size_t host, double target) const noexcept;
+
+  /// Applies an assignment: busy/free/ready/cursor updates + totals.
+  void commit(std::size_t host, double work, InterruptionPolicy policy,
+              ChurnScheduleTotals& totals);
+
+  template <bool kBlocked>
+  ChurnScheduleTotals run_ect(std::span<const double> tasks,
+                              InterruptionPolicy policy);
+  template <bool kBlocked>
+  ChurnScheduleTotals run_abandon(std::span<const double> tasks);
+
+  /// Re-derives ready_/sess_rem_/next_start_ for `host` from its
+  /// free_at (one binary search; the session neighbours are adjacent
+  /// columns entries).
+  void update_cursor(std::size_t host) noexcept;
+
+  /// (Re)builds the sorted-layout gathers from the cursor columns.
+  void rebuild_gathers();
+  /// Refreshes the gathers + block minimum after `host`'s cursor moved.
+  void update_gathers(std::size_t host);
+
+  /// Derives the log-spaced task-size bucket edges from a workload and
+  /// fills bmin_done_ for every block (run_ect setup).
+  void setup_buckets(std::span<const double> tasks);
+  /// Recomputes block `blk`'s per-bucket completion minima.
+  void rebuild_bucket_mins(std::size_t blk);
+  /// Largest bucket whose edge does not exceed `task`.
+  std::size_t bucket_of(double task) const noexcept;
+
+  /// Session-lookahead levels resident per host. A checkpoint completion
+  /// inside session j is `target + phi_j` with phi_j = end_j - cum_j, and
+  /// phi is NON-DECREASING in j (every OFF gap adds to it) — so caching
+  /// (cum_j, phi_j) for the next kLevels sessions resolves shallow spills
+  /// exactly from resident columns, and phi at the deepest level is a
+  /// sound, far tighter bound for anything deeper. Layout: kStride
+  /// doubles per host — [cum_1..cum_kLevels, phi_1..phi_kLevels].
+  static constexpr std::size_t kLevels = 4;
+  static constexpr std::size_t kStride = 2 * kLevels;
+
+  sim::ScheduleState& state_;
+  const IntervalTimeline& timeline_;
+  /// Per-host cursor columns (original host index): earliest ON instant
+  /// >= free_at; ON time remaining in that session (+inf once the host is
+  /// past the horizon and permanently ON); the next session's start (the
+  /// horizon when no generated session remains); cumulative ON days
+  /// accrued at the ready instant; the current session's index; and the
+  /// lookahead levels (kStride doubles per host).
+  std::vector<double> ready_;
+  std::vector<double> sess_rem_;
+  std::vector<double> next_start_;
+  std::vector<double> accr_ready_;
+  std::vector<std::uint32_t> sess_idx_;
+  std::vector<double> levels_;
+
+  // Blocked-path gathers, rebuilt per run (kernel-local, like the sim/
+  // kernels' sfree): the cursor columns in ect_order layout + per-block
+  // minima of the ready column. The gathered copies keep the hot band's
+  // accesses streaming instead of random across 100k hosts.
+  std::vector<double> sready_;
+  std::vector<double> ssess_rem_;
+  std::vector<double> snext_start_;
+  std::vector<double> saccr_;
+  /// The lookahead levels as separate sorted-layout columns (cum and phi
+  /// per level), so both the bucket sweeps and the selection sweep
+  /// stream block stripes instead of striding through an interleaved
+  /// layout. (kAbandon ignores them: its selection key is the optimistic
+  /// ready + work even for spills.)
+  std::vector<double> scum_[kLevels];
+  std::vector<double> sphi_[kLevels];
+  std::vector<double> bmin_ready_;
+
+  /// Task-size-bucketed block minima — the gate that actually prunes.
+  /// Completions are non-decreasing in task size, so the min over a
+  /// block of (exact-or-lower-bound) completions evaluated at bucket
+  /// edge e lower-bounds every completion for task >= e; extending by
+  /// (task - e) * block_min_inv keeps it sound inside the bucket. Unlike
+  /// any block-scalar over gaps, the per-lane evaluation at the edge
+  /// keeps each host's own OFF structure attached before the min — this
+  /// is what a plain min-ready/min-anchor bound washes out. One block's
+  /// row is recomputed per assignment (vectorized sweeps per edge).
+  static constexpr std::size_t kBuckets = 32;
+  std::vector<double> bucket_edges_;  ///< ascending, kBuckets entries
+  std::vector<double> bmin_done_;     ///< block_count x kBuckets
+  bool buckets_active_ = false;       ///< run_ect sets, run_abandon clears
+};
+
+}  // namespace resmodel::churn

@@ -1,0 +1,100 @@
+#include "churn/coupled_availability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "model/cholesky_gaussian.h"
+#include "stats/matrix.h"
+
+namespace resmodel::churn {
+
+void AvailabilityCoupling::validate() const {
+  if (!(speed_rho >= -1.0 && speed_rho <= 1.0)) {
+    throw std::invalid_argument(
+        "AvailabilityCoupling: speed_rho must be in [-1, 1]");
+  }
+  if (!(log_on_sigma >= 0.0)) {
+    throw std::invalid_argument(
+        "AvailabilityCoupling: log_on_sigma must be >= 0");
+  }
+}
+
+std::vector<synth::AvailabilityParams> couple_availability_to_speed(
+    std::span<const double> speed, const synth::AvailabilityParams& base,
+    const AvailabilityCoupling& coupling, util::Rng& rng) {
+  coupling.validate();
+  // Spearman -> Pearson for the Gaussian copula: rho_s = 6/pi*asin(r/2),
+  // inverted. |r| can reach 1.0 only at |rho_s| = 1; Cholesky needs
+  // strict positive definiteness, so back off the exact corner slightly.
+  double r = 2.0 * std::sin(std::numbers::pi * coupling.speed_rho / 6.0);
+  r = std::clamp(r, -0.999999, 0.999999);
+  const model::CholeskyGaussian joint(
+      stats::Matrix::from_rows({{1.0, r}, {r, 1.0}}));
+  return couple_availability_to_speed(speed, base, joint,
+                                      coupling.log_on_sigma, rng);
+}
+
+std::vector<synth::AvailabilityParams> couple_availability_to_speed(
+    std::span<const double> speed, const synth::AvailabilityParams& base,
+    const model::CorrelationModel& joint, double log_on_sigma,
+    util::Rng& rng) {
+  base.validate();
+  if (joint.dimension() != 2) {
+    throw std::invalid_argument(
+        "couple_availability_to_speed: correlation model must have "
+        "dimension 2 (speed proxy, availability driver)");
+  }
+  if (!(log_on_sigma >= 0.0)) {
+    throw std::invalid_argument(
+        "couple_availability_to_speed: log_on_sigma must be >= 0");
+  }
+  const std::size_t n = speed.size();
+  std::vector<synth::AvailabilityParams> params(n, base);
+  if (n == 0) return params;
+
+  // One joint draw per host, in host order (the fixed consumption
+  // contract every batched engine in this repo shares).
+  std::vector<double> z_speed(n), z_avail(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double z[2];
+    joint.sample_normals(0.0, rng, z);
+    z_speed[i] = z[0];
+    z_avail[i] = z[1];
+  }
+
+  // Rank-match (Iman–Conover): the host with the r-th smallest speed gets
+  // the z_avail of the pair with the r-th smallest z_speed. Ties (floored
+  // or duplicated speeds are common) break by index on both sides, so the
+  // matching is deterministic.
+  std::vector<std::uint32_t> speed_order(n), z_order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    speed_order[i] = static_cast<std::uint32_t>(i);
+    z_order[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(speed_order.begin(), speed_order.end(),
+            [&speed](std::uint32_t a, std::uint32_t b) {
+              if (speed[a] != speed[b]) return speed[a] < speed[b];
+              return a < b;
+            });
+  std::sort(z_order.begin(), z_order.end(),
+            [&z_speed](std::uint32_t a, std::uint32_t b) {
+              if (z_speed[a] != z_speed[b]) return z_speed[a] < z_speed[b];
+              return a < b;
+            });
+
+  // Mean-preserving log-normal multiplier on the ON scale: E[exp(s*z -
+  // s^2/2)] = 1, so the population-mean session scale stays `base` while
+  // individual hosts spread around it in rank-coupled fashion.
+  const double half_var = 0.5 * log_on_sigma * log_on_sigma;
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::uint32_t host = speed_order[r];
+    const double z = z_avail[z_order[r]];
+    params[host].on_weibull_lambda =
+        base.on_weibull_lambda * std::exp(log_on_sigma * z - half_var);
+  }
+  return params;
+}
+
+}  // namespace resmodel::churn

@@ -1,0 +1,70 @@
+// Availability–hardware coupling (the paper's §VIII: "the model of
+// resources could be tied to ... models of host availability", and the
+// ROADMAP's availability-coupled-sampling item).
+//
+// The stock overlay draws every host's ON/OFF process from the same
+// parameters, independent of its hardware — but volunteer populations
+// plausibly correlate the two (gaming rigs are fast and nightly-off,
+// always-on workstations are slower and steady). This module drives each
+// host's availability parameters from an EXTRA copula dimension that is
+// rank-coupled to the host's speed column through the pluggable
+// model::CorrelationModel layer:
+//
+//   1. draw one standard-normal pair (z_speed, z_avail) per host from a
+//      dimension-2 CorrelationModel (CholeskyGaussian by default);
+//   2. rank-match the z_speed marginal to the observed speed column
+//      (Iman–Conover style): the host with the r-th fastest speed
+//      receives the pair whose z_speed has rank r, carrying its z_avail;
+//   3. map z_avail to a mean-preserving log-normal multiplier on the ON
+//      Weibull scale: on_lambda_h = base * exp(sigma * z - sigma^2 / 2).
+//
+// Rank matching makes the coupling distribution-free in the speed
+// marginal (only ranks matter) and exact in the copula: the sample
+// Spearman correlation between speed and z_avail equals that of the
+// drawn (z_speed, z_avail) pairs. With rho > 0 fast hosts get longer ON
+// sessions (fast-and-steady); rho < 0 produces the fast-but-flaky
+// population that punishes completion-time scheduling hardest.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/correlation_model.h"
+#include "synth/availability.h"
+#include "util/rng.h"
+
+namespace resmodel::churn {
+
+/// Coupling strength knobs. `speed_rho` is the target Spearman rank
+/// correlation between host speed and the availability driver, in
+/// [-1, 1]; `log_on_sigma` (>= 0) is the dispersion of the per-host ON
+/// scale multiplier exp(sigma * z - sigma^2/2) (mean 1, so the
+/// population-mean ON session length is preserved for any rho).
+struct AvailabilityCoupling {
+  double speed_rho = 0.0;
+  double log_on_sigma = 0.8;
+
+  /// Throws std::invalid_argument on rho outside [-1, 1] or sigma < 0.
+  void validate() const;
+};
+
+/// Per-host availability parameters rank-coupled to `speed` through a
+/// CholeskyGaussian built from coupling.speed_rho (the Pearson parameter
+/// is 2*sin(pi*rho/6), the exact inverse of the Gaussian-copula Spearman
+/// map, so the target rho is hit in distribution, not just in sign).
+/// Consumes exactly one dimension-2 sample_normals call per host, in host
+/// order. Throws std::invalid_argument on invalid coupling parameters.
+std::vector<synth::AvailabilityParams> couple_availability_to_speed(
+    std::span<const double> speed, const synth::AvailabilityParams& base,
+    const AvailabilityCoupling& coupling, util::Rng& rng);
+
+/// The pluggable-engine overload: any dimension-2 CorrelationModel
+/// supplies the joint (component 0 = speed proxy, component 1 =
+/// availability driver). Throws std::invalid_argument unless
+/// joint.dimension() == 2 or on sigma < 0.
+std::vector<synth::AvailabilityParams> couple_availability_to_speed(
+    std::span<const double> speed, const synth::AvailabilityParams& base,
+    const model::CorrelationModel& joint, double log_on_sigma,
+    util::Rng& rng);
+
+}  // namespace resmodel::churn

@@ -8,26 +8,101 @@
 #include <stdexcept>
 #include <thread>
 
+#include "churn/churn_scheduler.h"
 #include "sim/schedule_state.h"
 #include "stats/distributions.h"
 
 namespace resmodel::sim {
 
+bool is_churn_policy(SchedulingPolicy policy) noexcept {
+  switch (policy) {
+    case SchedulingPolicy::kChurnEctCheckpoint:
+    case SchedulingPolicy::kChurnEctRestart:
+    case SchedulingPolicy::kChurnEctAbandon:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Deliberately one code path for both consumers: deriving the fractions
+// FROM the compiled timeline is what guarantees derate and churn runs
+// consume identical realizations (and the CSR batch generation is what
+// parallelizes the interval draws). A derate-only caller therefore pays
+// for a timeline it discards and a churn caller for a fraction sweep it
+// ignores — both O(total intervals), accepted for the stream-identity
+// guarantee.
+AvailabilityRealization realize_availability(std::span<const double> speed,
+                                             const BagOfTasksConfig& config,
+                                             util::Rng& rng) {
+  if (!(config.availability_horizon_days > 0.0)) {
+    throw std::invalid_argument(
+        "realize_availability: non-positive availability horizon");
+  }
+  const double horizon = config.availability_horizon_days;
+  const synth::StartMode mode = config.availability_stationary_start
+                                    ? synth::StartMode::kStationary
+                                    : synth::StartMode::kOnAtStart;
+  AvailabilityRealization real;
+  churn::IntervalTimeline timeline;
+  if (config.availability_coupled) {
+    // Copula draws first (one dimension-2 sample per host, in host
+    // order), then the interval forks — a fixed consumption order shared
+    // by every entry point.
+    const std::vector<synth::AvailabilityParams> params =
+        churn::couple_availability_to_speed(
+            speed, config.availability, config.availability_coupling, rng);
+    timeline = churn::IntervalTimeline::generate(params, 0.0, horizon, rng,
+                                                 mode);
+  } else {
+    const synth::AvailabilityModel model(config.availability);
+    timeline = churn::IntervalTimeline::generate(model, speed.size(), 0.0,
+                                                 horizon, rng, mode);
+  }
+  real.fractions.resize(speed.size());
+  for (std::size_t h = 0; h < speed.size(); ++h) {
+    real.fractions[h] = timeline.fraction(h, 0.0, horizon);
+  }
+  real.timeline =
+      std::make_shared<const churn::IntervalTimeline>(std::move(timeline));
+  return real;
+}
+
 namespace {
 
+// Base rates without any availability treatment (no rng consumption) —
+// the shared first step of both rate paths and the speed column the
+// copula coupling ranks against.
+std::vector<double> base_host_rates(std::span<const HostResources> hosts) {
+  std::vector<double> rates(hosts.size());
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    rates[i] = std::max(1.0, hosts[i].cores * hosts[i].whetstone_mips);
+  }
+  return rates;
+}
+
+std::vector<double> base_host_rates(const HostResourcesSoA& hosts) {
+  const std::size_t n = hosts.size();
+  std::vector<double> rates(n);
+  const double* cores = hosts.cores.data();
+  const double* whet = hosts.whetstone_mips.data();
+  // Straight from the columns: one vectorizable multiply+max sweep, no
+  // per-host struct loads.
+  for (std::size_t i = 0; i < n; ++i) {
+    rates[i] = std::max(1.0, cores[i] * whet[i]);
+  }
+  return rates;
+}
+
 // Derates `rates` in place by each host's sampled long-run ON fraction.
-// One rng fork per host, in host order — the single consumption order
-// every entry point shares, so AoS and SoA runs stay bit-identical.
+// The realization forks the rng once per host, in host order — the single
+// consumption order every entry point shares, so AoS and SoA runs stay
+// bit-identical.
 void derate_by_availability(std::vector<double>& rates,
                             const BagOfTasksConfig& config, util::Rng& rng) {
-  const synth::AvailabilityModel avail(config.availability);
-  for (double& rate : rates) {
-    util::Rng host_rng = rng.fork();
-    const auto intervals =
-        avail.generate(0.0, config.availability_horizon_days, host_rng);
-    const double fraction = synth::availability_fraction(
-        intervals, 0.0, config.availability_horizon_days);
-    rate *= std::max(0.01, fraction);
+  const AvailabilityRealization real = realize_availability(rates, config, rng);
+  for (std::size_t h = 0; h < rates.size(); ++h) {
+    rates[h] *= std::max(0.01, real.fractions[h]);
   }
 }
 
@@ -76,6 +151,10 @@ std::string to_string(SchedulingPolicy policy) {
       return "static speed-weighted";
     case SchedulingPolicy::kDynamicPull: return "dynamic pull";
     case SchedulingPolicy::kDynamicEct: return "dynamic ECT";
+    case SchedulingPolicy::kChurnEctCheckpoint:
+      return "churn ECT (checkpoint)";
+    case SchedulingPolicy::kChurnEctRestart: return "churn ECT (restart)";
+    case SchedulingPolicy::kChurnEctAbandon: return "churn ECT (abandon)";
   }
   return "unknown";
 }
@@ -83,10 +162,7 @@ std::string to_string(SchedulingPolicy policy) {
 std::vector<double> compute_host_rates(std::span<const HostResources> hosts,
                                        const BagOfTasksConfig& config,
                                        util::Rng& rng) {
-  std::vector<double> rates(hosts.size());
-  for (std::size_t i = 0; i < hosts.size(); ++i) {
-    rates[i] = std::max(1.0, hosts[i].cores * hosts[i].whetstone_mips);
-  }
+  std::vector<double> rates = base_host_rates(hosts);
   if (config.model_availability) derate_by_availability(rates, config, rng);
   return rates;
 }
@@ -94,15 +170,7 @@ std::vector<double> compute_host_rates(std::span<const HostResources> hosts,
 std::vector<double> compute_host_rates(const HostResourcesSoA& hosts,
                                        const BagOfTasksConfig& config,
                                        util::Rng& rng) {
-  const std::size_t n = hosts.size();
-  std::vector<double> rates(n);
-  const double* cores = hosts.cores.data();
-  const double* whet = hosts.whetstone_mips.data();
-  // Base rates straight from the columns: one vectorizable multiply+max
-  // sweep, no per-host struct loads.
-  for (std::size_t i = 0; i < n; ++i) {
-    rates[i] = std::max(1.0, cores[i] * whet[i]);
-  }
+  std::vector<double> rates = base_host_rates(hosts);
   if (config.model_availability) derate_by_availability(rates, config, rng);
   return rates;
 }
@@ -110,15 +178,36 @@ std::vector<double> compute_host_rates(const HostResourcesSoA& hosts,
 namespace {
 
 // The policy dispatch shared by every entry point: everything below only
-// needs the per-host rates. `reference_dynamics` selects the retained
-// scalar/priority_queue kernels for the dynamic policies.
+// needs the per-host rates (plus, for the churn family, the interval
+// timeline). `reference_dynamics` selects the retained scalar /
+// priority_queue / full-walk kernels for the dynamic policies.
 BagOfTasksResult run_with_rates(std::vector<double> rates,
+                                const churn::IntervalTimeline* timeline,
                                 const BagOfTasksConfig& config,
                                 SchedulingPolicy policy, util::Rng& rng,
                                 bool reference_dynamics) {
   const std::vector<double> tasks = sample_tasks(config, rng);
   ScheduleState state = ScheduleState::from_rates(std::move(rates));
   const std::size_t host_count = state.size();
+
+  if (is_churn_policy(policy)) {
+    churn::InterruptionPolicy interruption =
+        churn::InterruptionPolicy::kCheckpoint;
+    if (policy == SchedulingPolicy::kChurnEctRestart) {
+      interruption = churn::InterruptionPolicy::kRestart;
+    } else if (policy == SchedulingPolicy::kChurnEctAbandon) {
+      interruption = churn::InterruptionPolicy::kAbandon;
+    }
+    churn::ChurnScheduler scheduler(state, *timeline);
+    const churn::ChurnScheduleTotals totals =
+        reference_dynamics ? scheduler.run_reference(tasks, interruption)
+                           : scheduler.run(tasks, interruption);
+    BagOfTasksResult result =
+        finish(state.busy_days, totals.total_cpu_days, totals.makespan_days);
+    result.wasted_cpu_days = totals.wasted_cpu_days;
+    result.interruptions = totals.interruptions;
+    return result;
+  }
 
   switch (policy) {
     case SchedulingPolicy::kStaticRoundRobin: {
@@ -185,6 +274,11 @@ BagOfTasksResult run_with_rates(std::vector<double> rates,
       return finish(state.busy_days, totals.total_cpu_days,
                     totals.makespan_days);
     }
+
+    case SchedulingPolicy::kChurnEctCheckpoint:
+    case SchedulingPolicy::kChurnEctRestart:
+    case SchedulingPolicy::kChurnEctAbandon:
+      break;  // handled above; unreachable
   }
   throw std::invalid_argument("run_bag_of_tasks: unknown policy");
 }
@@ -204,8 +298,19 @@ BagOfTasksResult run_any(const Hosts& hosts, const BagOfTasksConfig& config,
     throw std::invalid_argument("run_bag_of_tasks: no hosts");
   }
   validate_config(config);
-  return run_with_rates(compute_host_rates(hosts, config, rng), config,
-                        policy, rng, reference_dynamics);
+  if (is_churn_policy(policy)) {
+    // Churn policies schedule against the interval structure itself: full
+    // (underated) rates plus the timeline, drawn with the same stream the
+    // derate path would consume — a derate run and a churn run with equal
+    // seeds walk the same realizations.
+    std::vector<double> rates = base_host_rates(hosts);
+    const AvailabilityRealization real =
+        realize_availability(rates, config, rng);
+    return run_with_rates(std::move(rates), real.timeline.get(), config,
+                          policy, rng, reference_dynamics);
+  }
+  return run_with_rates(compute_host_rates(hosts, config, rng), nullptr,
+                        config, policy, rng, reference_dynamics);
 }
 
 }  // namespace
@@ -254,12 +359,18 @@ PolicySweepResult run_policy_sweep(std::span<const SweepPopulation> populations,
     probe.task_count = task_count;
     validate_config(probe);
   }
+  bool any_churn = false;
   for (const SchedulingPolicy policy : config.policies) {
     switch (policy) {
       case SchedulingPolicy::kStaticRoundRobin:
       case SchedulingPolicy::kStaticSpeedWeighted:
       case SchedulingPolicy::kDynamicPull:
       case SchedulingPolicy::kDynamicEct:
+        break;
+      case SchedulingPolicy::kChurnEctCheckpoint:
+      case SchedulingPolicy::kChurnEctRestart:
+      case SchedulingPolicy::kChurnEctAbandon:
+        any_churn = true;
         break;
       default:
         throw std::invalid_argument("run_policy_sweep: unknown policy");
@@ -275,20 +386,46 @@ PolicySweepResult run_policy_sweep(std::span<const SweepPopulation> populations,
 
   // Every cell of one population reseeds Rng(workload_seed) and would
   // re-derive the identical rate vector — including the expensive
-  // per-host availability histories — so the rates are computed once per
-  // population here, together with the post-derate rng state each cell's
-  // task sampling resumes from. Cells stay bit-identical to a standalone
-  // run_bag_of_tasks(hosts, config, policy, Rng(workload_seed)).
+  // per-host availability histories — so the rates (and, when the churn
+  // family is present, the interval timeline drawn from the very same
+  // forks) are computed once per population here, together with the rng
+  // state each cell's task sampling resumes from. A cell stays
+  // bit-identical to a standalone
+  // run_bag_of_tasks(hosts, config, policy, Rng(workload_seed)): derate
+  // cells resume from the flag-dependent stream, churn cells from the
+  // post-realization stream (the two coincide when model_availability is
+  // set, because both paths consume the identical realization).
   struct SharedRates {
-    std::vector<double> rates;
-    util::Rng rng_after_rates;
+    std::vector<double> base_rates;
+    std::vector<double> flagged_rates;  ///< derated iff model_availability
+    util::Rng rng_after_flagged;
+    std::shared_ptr<const churn::IntervalTimeline> timeline;
+    util::Rng rng_after_avail;
   };
   std::vector<SharedRates> shared(populations.size());
   for (std::size_t p = 0; p < populations.size(); ++p) {
+    SharedRates& pop = shared[p];
     util::Rng rng(config.workload_seed);
-    shared[p].rates =
-        compute_host_rates(populations[p].hosts, config.base, rng);
-    shared[p].rng_after_rates = rng;
+    pop.base_rates = base_host_rates(populations[p].hosts);
+    if (config.base.model_availability || any_churn) {
+      util::Rng avail_rng = rng;
+      const AvailabilityRealization real =
+          realize_availability(pop.base_rates, config.base, avail_rng);
+      if (config.base.model_availability) {
+        pop.flagged_rates = pop.base_rates;
+        for (std::size_t h = 0; h < pop.flagged_rates.size(); ++h) {
+          pop.flagged_rates[h] *= std::max(0.01, real.fractions[h]);
+        }
+        rng = avail_rng;
+      } else {
+        pop.flagged_rates = pop.base_rates;
+      }
+      if (any_churn) pop.timeline = real.timeline;
+      pop.rng_after_avail = avail_rng;
+    } else {
+      pop.flagged_rates = pop.base_rates;
+    }
+    pop.rng_after_flagged = rng;
   }
 
   // Independent, deterministically seeded cells claimed off an atomic
@@ -306,11 +443,17 @@ PolicySweepResult run_policy_sweep(std::span<const SweepPopulation> populations,
       cell.population = c / (result.task_count_count * result.policy_count);
       BagOfTasksConfig cell_config = config.base;
       cell_config.task_count = config.task_counts[cell.task_count];
+      const SchedulingPolicy policy = config.policies[cell.policy];
       const SharedRates& pop_rates = shared[cell.population];
-      util::Rng cell_rng = pop_rates.rng_after_rates;
-      cell.result = run_with_rates(std::vector<double>(pop_rates.rates),
-                                   cell_config, config.policies[cell.policy],
-                                   cell_rng, /*reference_dynamics=*/false);
+      const bool churn_cell = is_churn_policy(policy);
+      util::Rng cell_rng = churn_cell ? pop_rates.rng_after_avail
+                                      : pop_rates.rng_after_flagged;
+      const std::vector<double>& rates =
+          churn_cell ? pop_rates.base_rates : pop_rates.flagged_rates;
+      cell.result = run_with_rates(
+          std::vector<double>(rates),
+          churn_cell ? pop_rates.timeline.get() : nullptr, cell_config,
+          policy, cell_rng, /*reference_dynamics=*/false);
     }
   };
 

@@ -18,12 +18,25 @@
 // the golden oracle, bit-identical to the fast path. run_policy_sweep
 // executes a whole policy x population x task-count grid in parallel with
 // per-cell deterministic seeding.
+//
+// The churn policy family (kChurnEct*) replaces the scalar derate with
+// the event-driven src/churn/ subsystem: completion times come from
+// walking each host's actual ON/OFF intervals (churn::ChurnScheduler over
+// a churn::IntervalTimeline), under checkpoint / restart / abandon
+// interruption semantics. Derate and churn cells of one sweep draw THE
+// SAME per-host interval realizations (identical rng fork order), so a
+// derate-vs-interval comparison isolates the modelling choice, not the
+// noise.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "churn/coupled_availability.h"
+#include "churn/interval_timeline.h"
 #include "sim/host_soa.h"
 #include "sim/utility.h"
 #include "synth/availability.h"
@@ -40,9 +53,24 @@ struct BagOfTasksConfig {
 
   /// When true, each host's rate is derated by an availability fraction
   /// sampled from the alternating-renewal model over `horizon_days`.
+  /// The churn policies ignore this flag: they always model availability
+  /// through the interval timeline itself.
   bool model_availability = false;
   synth::AvailabilityParams availability;
   double availability_horizon_days = 100.0;
+
+  /// When true, each host's availability parameters are rank-coupled to
+  /// its speed through an extra copula dimension (see
+  /// churn/coupled_availability.h) before intervals are drawn — negative
+  /// `availability_coupling.speed_rho` produces the fast-but-flaky
+  /// population. Applies to the scalar derate and the churn timeline
+  /// alike, so both see the same coupled realizations.
+  bool availability_coupled = false;
+  churn::AvailabilityCoupling availability_coupling;
+
+  /// Start interval streams in the stationary state instead of always-ON
+  /// (synth::StartMode::kStationary); default off keeps existing streams.
+  bool availability_stationary_start = false;
 };
 
 /// Scheduling policies compared in the study.
@@ -59,11 +87,25 @@ enum class SchedulingPolicy {
   kDynamicPull,
   /// Dynamic earliest-completion-time (the MCT heuristic): each task goes
   /// to the host that would finish it soonest. Needs speed knowledge but
-  /// is straggler-safe.
+  /// is straggler-safe. With model_availability the host rates are
+  /// scalar-derated by the long-run ON fraction.
   kDynamicEct,
+  /// Interval-aware ECT on the churn timeline: completion times walk the
+  /// host's actual ON/OFF intervals; work accrues across OFF gaps
+  /// (checkpointing client). See churn/churn_scheduler.h.
+  kChurnEctCheckpoint,
+  /// As above, but an interrupted task restarts from scratch on the same
+  /// host — heavy-tailed ON sessions make long tasks expensive.
+  kChurnEctRestart,
+  /// As above, but an interrupted task is re-enqueued for any host; the
+  /// interrupting host frees immediately.
+  kChurnEctAbandon,
 };
 
 std::string to_string(SchedulingPolicy policy);
+
+/// True for the kChurnEct* family (interval-walking policies).
+bool is_churn_policy(SchedulingPolicy policy) noexcept;
 
 /// Result of one scheduling run.
 struct BagOfTasksResult {
@@ -72,15 +114,42 @@ struct BagOfTasksResult {
   double mean_host_busy_days = 0.0;
   double max_host_busy_days = 0.0; ///< equals makespan for static policies
   std::size_t hosts_used = 0;      ///< hosts that processed >= 1 task
+  /// Churn policies only: ON time burned by interrupted attempts
+  /// (restart/abandon) and how many interruptions occurred.
+  double wasted_cpu_days = 0.0;
+  std::uint64_t interruptions = 0;
 };
 
+/// One availability draw for a host population: the per-host ON/OFF
+/// timeline and the long-run fractions measured from the SAME intervals.
+/// Derate consumers multiply rates by the fractions; churn consumers walk
+/// the timeline — both see one realization, so comparing them isolates
+/// the modelling choice.
+struct AvailabilityRealization {
+  std::shared_ptr<const churn::IntervalTimeline> timeline;
+  std::vector<double> fractions;  ///< ON fraction of the horizon, per host
+};
+
+/// Draws the availability realization for `speed` (the base rate column,
+/// which also feeds the optional copula coupling). Rng consumption: one
+/// dimension-2 copula draw per host iff config.availability_coupled, then
+/// one fork per host in host order — a superset of the historical derate
+/// stream, identical to it when coupling is off. Throws
+/// std::invalid_argument on invalid availability/coupling parameters or a
+/// non-positive horizon.
+AvailabilityRealization realize_availability(std::span<const double> speed,
+                                             const BagOfTasksConfig& config,
+                                             util::Rng& rng);
+
 /// Per-host processing rates in MIPS (cores x whetstone, floored at 1),
-/// derated by a sampled availability fraction when the overlay is on.
+/// derated by a sampled availability fraction when the overlay is on
+/// (per-host coupled parameters when availability_coupled is set).
 /// Exposed for the equivalence tests: both overloads consume `rng`
-/// identically (one fork per host, in host order, only when
-/// model_availability is set), so the SoA path is bit-identical to the
-/// AoS path. The SoA overload fills the base rates in one multiply sweep
-/// over the cores/whetstone columns before the derating pass.
+/// identically (only when model_availability is set: the optional copula
+/// draws, then one fork per host in host order), so the SoA path is
+/// bit-identical to the AoS path. The SoA overload fills the base rates
+/// in one multiply sweep over the cores/whetstone columns before the
+/// derating pass.
 std::vector<double> compute_host_rates(std::span<const HostResources> hosts,
                                        const BagOfTasksConfig& config,
                                        util::Rng& rng);

@@ -34,7 +34,7 @@ double AvailabilityModel::expected_availability() const noexcept {
 }
 
 std::vector<AvailabilityInterval> AvailabilityModel::generate(
-    double start_day, double end_day, util::Rng& rng) const {
+    double start_day, double end_day, util::Rng& rng, StartMode mode) const {
   std::vector<AvailabilityInterval> intervals;
   if (!(end_day > start_day)) return intervals;
   const stats::WeibullDist on_dist(params_.on_weibull_k,
@@ -42,8 +42,29 @@ std::vector<AvailabilityInterval> AvailabilityModel::generate(
   const stats::LogNormalDist off_dist(params_.off_lognormal_mu,
                                       params_.off_lognormal_sigma);
   double clock = start_day;
+  // < 0 means "no residual pending"; >= 0 is the residual first ON length.
+  double residual_on = -1.0;
+  if (mode == StartMode::kStationary) {
+    // An inspection at an arbitrary instant finds the host ON with the
+    // long-run probability E[on] / (E[on] + E[off]), partway through the
+    // current session. The residual is a uniform fraction of a fresh
+    // duration — a pragmatic stand-in for the exact equilibrium residual
+    // law S(r)/E[L], which has no closed form for Weibull/log-normal.
+    // Hoisted locals: both factors draw from the same rng and operand
+    // evaluation order of `*` is unspecified — the stream must not
+    // depend on the compiler.
+    if (rng.uniform() < expected_availability()) {
+      const double fresh = on_dist.sample(rng);
+      residual_on = std::max(1e-6, fresh * rng.uniform());
+    } else {
+      const double fresh = off_dist.sample(rng);
+      clock += std::max(1e-6, fresh * rng.uniform());
+    }
+  }
   while (clock < end_day) {
-    const double on_len = std::max(1e-6, on_dist.sample(rng));
+    const double on_len =
+        residual_on >= 0.0 ? residual_on : std::max(1e-6, on_dist.sample(rng));
+    residual_on = -1.0;
     AvailabilityInterval interval;
     interval.start_day = clock;
     interval.end_day = std::min(end_day, clock + on_len);
@@ -67,13 +88,13 @@ double availability_fraction(const std::vector<AvailabilityInterval>& on,
   return covered / (end_day - start_day);
 }
 
-double next_available_time(const std::vector<AvailabilityInterval>& on,
-                           double day) noexcept {
+std::optional<double> next_available_time(
+    const std::vector<AvailabilityInterval>& on, double day) noexcept {
   for (const AvailabilityInterval& interval : on) {
     if (interval.contains(day)) return day;
     if (interval.start_day >= day) return interval.start_day;
   }
-  return -1.0;
+  return std::nullopt;
 }
 
 }  // namespace resmodel::synth

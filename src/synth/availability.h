@@ -9,6 +9,7 @@
 // only happen while the host is available.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "util/rng.h"
@@ -40,6 +41,19 @@ struct AvailabilityInterval {
   }
 };
 
+/// How AvailabilityModel::generate chooses the state at start_day.
+enum class StartMode {
+  /// Start in the ON state (a host's first contact happens while up) —
+  /// the original behavior and the default, so existing streams are
+  /// unchanged.
+  kOnAtStart,
+  /// Start in ON with the long-run probability E[on] / (E[on] + E[off])
+  /// and a residual first interval; otherwise a residual OFF gap precedes
+  /// the first ON interval. Removes the always-up transient at the window
+  /// edge when sampling a population already in steady state.
+  kStationary,
+};
+
 /// Generates and queries per-host availability schedules.
 class AvailabilityModel {
  public:
@@ -50,10 +64,14 @@ class AvailabilityModel {
   /// Expected long-run availability fraction E[on] / (E[on] + E[off]).
   double expected_availability() const noexcept;
 
-  /// Generates the ON intervals covering [start_day, end_day), starting in
-  /// the ON state at start_day (a host's first contact happens while up).
-  std::vector<AvailabilityInterval> generate(double start_day, double end_day,
-                                             util::Rng& rng) const;
+  /// Generates the ON intervals covering [start_day, end_day). With the
+  /// default kOnAtStart mode the host is ON at start_day and the rng
+  /// consumption is exactly the historical stream; kStationary draws the
+  /// start state and a residual first duration (may return no intervals
+  /// when a long OFF residual swallows a short window).
+  std::vector<AvailabilityInterval> generate(
+      double start_day, double end_day, util::Rng& rng,
+      StartMode mode = StartMode::kOnAtStart) const;
 
  private:
   AvailabilityParams params_;
@@ -64,9 +82,10 @@ class AvailabilityModel {
 double availability_fraction(const std::vector<AvailabilityInterval>& on,
                              double start_day, double end_day) noexcept;
 
-/// Earliest time >= `day` at which the host is available, or a negative
-/// value if no interval at or after `day` exists.
-double next_available_time(const std::vector<AvailabilityInterval>& on,
-                           double day) noexcept;
+/// Earliest time >= `day` at which the host is available, or nullopt if
+/// no interval at or after `day` exists (empty timeline, or `day` at or
+/// past the end of the last interval — interval ends are exclusive).
+std::optional<double> next_available_time(
+    const std::vector<AvailabilityInterval>& on, double day) noexcept;
 
 }  // namespace resmodel::synth

@@ -1,0 +1,141 @@
+#include "churn/coupled_availability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "model/independent.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "util/rng.h"
+
+namespace resmodel::churn {
+namespace {
+
+std::vector<double> lognormal_speeds(std::size_t n, std::uint64_t seed) {
+  std::vector<double> speeds(n);
+  util::Rng rng(seed);
+  for (double& s : speeds) s = std::exp(rng.normal(8.0, 1.0));
+  return speeds;
+}
+
+std::vector<double> on_lambdas(
+    const std::vector<synth::AvailabilityParams>& params) {
+  std::vector<double> lambdas;
+  lambdas.reserve(params.size());
+  for (const synth::AvailabilityParams& p : params) {
+    lambdas.push_back(p.on_weibull_lambda);
+  }
+  return lambdas;
+}
+
+TEST(CoupledAvailability, HitsTargetSpearman) {
+  const std::vector<double> speeds = lognormal_speeds(4000, 3);
+  const synth::AvailabilityParams base;
+  for (const double rho : {-0.5, 0.5, 0.8}) {
+    AvailabilityCoupling coupling;
+    coupling.speed_rho = rho;
+    util::Rng rng(7);
+    const auto params =
+        couple_availability_to_speed(speeds, base, coupling, rng);
+    const double measured = stats::spearman(speeds, on_lambdas(params));
+    EXPECT_NEAR(measured, rho, 0.06) << "rho " << rho;
+  }
+}
+
+TEST(CoupledAvailability, ZeroRhoIsUncorrelatedButDispersed) {
+  const std::vector<double> speeds = lognormal_speeds(4000, 5);
+  AvailabilityCoupling coupling;  // speed_rho = 0
+  util::Rng rng(9);
+  const auto params = couple_availability_to_speed(
+      speeds, synth::AvailabilityParams{}, coupling, rng);
+  const std::vector<double> lambdas = on_lambdas(params);
+  EXPECT_NEAR(stats::spearman(speeds, lambdas), 0.0, 0.06);
+  // The per-host dispersion is still there (only the coupling is off).
+  EXPECT_GT(stats::stddev(lambdas), 0.0);
+}
+
+TEST(CoupledAvailability, MeanOnScaleIsApproximatelyPreserved) {
+  // The multiplier exp(sigma*z - sigma^2/2) has mean 1, so the population
+  // mean ON scale stays near base for any rho.
+  const std::vector<double> speeds = lognormal_speeds(20000, 11);
+  const synth::AvailabilityParams base;
+  AvailabilityCoupling coupling;
+  coupling.speed_rho = -0.5;
+  util::Rng rng(13);
+  const auto params =
+      couple_availability_to_speed(speeds, base, coupling, rng);
+  EXPECT_NEAR(stats::mean(on_lambdas(params)), base.on_weibull_lambda,
+              base.on_weibull_lambda * 0.05);
+}
+
+TEST(CoupledAvailability, ZeroSigmaLeavesBaseParams) {
+  const std::vector<double> speeds = lognormal_speeds(100, 15);
+  const synth::AvailabilityParams base;
+  AvailabilityCoupling coupling;
+  coupling.speed_rho = 0.9;
+  coupling.log_on_sigma = 0.0;
+  util::Rng rng(17);
+  const auto params =
+      couple_availability_to_speed(speeds, base, coupling, rng);
+  for (const synth::AvailabilityParams& p : params) {
+    EXPECT_DOUBLE_EQ(p.on_weibull_lambda, base.on_weibull_lambda);
+    EXPECT_DOUBLE_EQ(p.off_lognormal_mu, base.off_lognormal_mu);
+  }
+}
+
+TEST(CoupledAvailability, DeterministicForFixedSeed) {
+  const std::vector<double> speeds = lognormal_speeds(500, 19);
+  AvailabilityCoupling coupling;
+  coupling.speed_rho = 0.4;
+  util::Rng a(21), b(21);
+  const auto pa = couple_availability_to_speed(
+      speeds, synth::AvailabilityParams{}, coupling, a);
+  const auto pb = couple_availability_to_speed(
+      speeds, synth::AvailabilityParams{}, coupling, b);
+  for (std::size_t h = 0; h < pa.size(); ++h) {
+    EXPECT_EQ(pa[h].on_weibull_lambda, pb[h].on_weibull_lambda);
+  }
+}
+
+TEST(CoupledAvailability, ValidatesInputs) {
+  const std::vector<double> speeds = lognormal_speeds(10, 23);
+  util::Rng rng(1);
+  AvailabilityCoupling bad_rho;
+  bad_rho.speed_rho = 1.5;
+  EXPECT_THROW(couple_availability_to_speed(
+                   speeds, synth::AvailabilityParams{}, bad_rho, rng),
+               std::invalid_argument);
+  AvailabilityCoupling bad_sigma;
+  bad_sigma.log_on_sigma = -0.1;
+  EXPECT_THROW(couple_availability_to_speed(
+                   speeds, synth::AvailabilityParams{}, bad_sigma, rng),
+               std::invalid_argument);
+  // The pluggable overload rejects a model of the wrong dimension.
+  const model::Independent wrong_dim(3);
+  EXPECT_THROW(couple_availability_to_speed(
+                   speeds, synth::AvailabilityParams{}, wrong_dim, 0.5, rng),
+               std::invalid_argument);
+}
+
+TEST(CoupledAvailability, PluggableModelOverloadWorks) {
+  // An independent dimension-2 model is the rho = 0 case of the copula.
+  const std::vector<double> speeds = lognormal_speeds(2000, 25);
+  const model::Independent joint(2);
+  util::Rng rng(27);
+  const auto params = couple_availability_to_speed(
+      speeds, synth::AvailabilityParams{}, joint, 0.8, rng);
+  EXPECT_NEAR(stats::spearman(speeds, on_lambdas(params)), 0.0, 0.08);
+}
+
+TEST(CoupledAvailability, EmptySpeedColumn) {
+  AvailabilityCoupling coupling;
+  util::Rng rng(1);
+  EXPECT_TRUE(couple_availability_to_speed(
+                  {}, synth::AvailabilityParams{}, coupling, rng)
+                  .empty());
+}
+
+}  // namespace
+}  // namespace resmodel::churn

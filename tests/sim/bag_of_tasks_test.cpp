@@ -202,13 +202,15 @@ void expect_results_identical(const BagOfTasksResult& a,
   EXPECT_EQ(a.mean_host_busy_days, b.mean_host_busy_days);
   EXPECT_EQ(a.max_host_busy_days, b.max_host_busy_days);
   EXPECT_EQ(a.hosts_used, b.hosts_used);
+  EXPECT_EQ(a.wasted_cpu_days, b.wasted_cpu_days);
+  EXPECT_EQ(a.interruptions, b.interruptions);
 }
 
 TEST(BagOfTasks, FastPathBitIdenticalToReference) {
-  // The blocked-MCT and 4-ary-heap kernels promise results bit-identical
-  // to the retained scalar / priority_queue reference kernels — for every
-  // policy, with and without the availability overlay, on both entry
-  // points.
+  // The blocked-MCT, 4-ary-heap and interval-walking kernels promise
+  // results bit-identical to the retained scalar / priority_queue /
+  // full-walk reference kernels — for every policy, with and without the
+  // availability overlay, on both entry points.
   const std::vector<HostResources> hosts = model_hosts(300, 13);
   const HostResourcesSoA soa = HostResourcesSoA::from_hosts(hosts);
   BagOfTasksConfig config;
@@ -218,6 +220,9 @@ TEST(BagOfTasks, FastPathBitIdenticalToReference) {
       SchedulingPolicy::kStaticSpeedWeighted,
       SchedulingPolicy::kDynamicPull,
       SchedulingPolicy::kDynamicEct,
+      SchedulingPolicy::kChurnEctCheckpoint,
+      SchedulingPolicy::kChurnEctRestart,
+      SchedulingPolicy::kChurnEctAbandon,
   };
   for (const bool availability : {false, true}) {
     config.model_availability = availability;
@@ -231,6 +236,60 @@ TEST(BagOfTasks, FastPathBitIdenticalToReference) {
       expect_results_identical(fast, ref);
       expect_results_identical(fast, ref_aos);
     }
+  }
+}
+
+TEST(BagOfTasks, ChurnPoliciesModelRealInterruptions) {
+  const auto hosts = model_hosts(150, 14);
+  BagOfTasksConfig config;
+  config.task_count = 1200;
+  util::Rng r1(51), r2(51), r3(51), r4(51);
+  const auto derate = run_bag_of_tasks(
+      hosts, [] {
+        BagOfTasksConfig c;
+        c.task_count = 1200;
+        c.model_availability = true;
+        return c;
+      }(), SchedulingPolicy::kDynamicEct, r1);
+  const auto ckpt = run_bag_of_tasks(
+      hosts, config, SchedulingPolicy::kChurnEctCheckpoint, r2);
+  const auto restart = run_bag_of_tasks(
+      hosts, config, SchedulingPolicy::kChurnEctRestart, r3);
+  const auto abandon = run_bag_of_tasks(
+      hosts, config, SchedulingPolicy::kChurnEctAbandon, r4);
+
+  // Checkpointing never wastes work; restart and abandon burn real ON
+  // time on the heavy-tailed session mix.
+  EXPECT_DOUBLE_EQ(ckpt.wasted_cpu_days, 0.0);
+  EXPECT_EQ(ckpt.interruptions, 0u);
+  EXPECT_GT(restart.interruptions, 0u);
+  EXPECT_GT(restart.wasted_cpu_days, 0.0);
+  EXPECT_GT(abandon.interruptions, 0u);
+  // All four are sane, positive schedules.
+  EXPECT_GT(derate.makespan_days, 0.0);
+  EXPECT_GT(ckpt.makespan_days, 0.0);
+  EXPECT_GE(restart.makespan_days, ckpt.makespan_days * 0.999);
+  EXPECT_GT(abandon.makespan_days, 0.0);
+}
+
+TEST(BagOfTasks, CoupledAvailabilityMakespanIsMonotoneInRho) {
+  // Fast-but-flaky (rho < 0) must hurt interval-aware ECT more than
+  // uncorrelated coupling, which must hurt more than fast-and-steady
+  // (rho > 0) — the coupling's end-to-end signature.
+  const auto hosts = model_hosts(400, 15);
+  BagOfTasksConfig config;
+  config.task_count = 4000;
+  config.availability_coupled = true;
+  double last = -1.0;
+  for (const double rho : {-0.5, 0.0, 0.5}) {
+    config.availability_coupling.speed_rho = rho;
+    util::Rng rng(61);
+    const auto result = run_bag_of_tasks(
+        hosts, config, SchedulingPolicy::kChurnEctCheckpoint, rng);
+    if (last >= 0.0) {
+      EXPECT_LT(result.makespan_days, last) << "rho " << rho;
+    }
+    last = result.makespan_days;
   }
 }
 
@@ -280,9 +339,15 @@ TEST(PolicySweep, CellsMatchDirectRunsAndThreadCountIsIrrelevant) {
       SchedulingPolicy::kStaticSpeedWeighted,
       SchedulingPolicy::kDynamicPull,
       SchedulingPolicy::kDynamicEct,
+      SchedulingPolicy::kChurnEctCheckpoint,
+      SchedulingPolicy::kChurnEctRestart,
+      SchedulingPolicy::kChurnEctAbandon,
   };
   sweep.task_counts = {150, 400};
   sweep.base.model_availability = true;
+  // Coupling on, so the copula draws are part of the shared stream too.
+  sweep.base.availability_coupled = true;
+  sweep.base.availability_coupling.speed_rho = -0.3;
   sweep.workload_seed = 777;
 
   sweep.threads = 1;
@@ -312,6 +377,31 @@ TEST(PolicySweep, CellsMatchDirectRunsAndThreadCountIsIrrelevant) {
         expect_results_identical(cell.result, direct);
       }
     }
+  }
+}
+
+TEST(PolicySweep, ChurnCellsMatchStandaloneWithoutDerateFlag) {
+  // model_availability = false with churn policies present: churn cells
+  // resume the rng from the post-realization state, derate-free cells
+  // from the untouched seed state — both must equal their standalone
+  // runs.
+  std::vector<SweepPopulation> populations;
+  populations.push_back(
+      {"pop", HostResourcesSoA::from_hosts(model_hosts(90, 28))});
+  PolicySweepConfig sweep;
+  sweep.policies = {SchedulingPolicy::kDynamicEct,
+                    SchedulingPolicy::kChurnEctCheckpoint,
+                    SchedulingPolicy::kChurnEctAbandon};
+  sweep.task_counts = {200};
+  sweep.workload_seed = 555;
+  const PolicySweepResult grid = run_policy_sweep(populations, sweep);
+  for (std::size_t pol = 0; pol < sweep.policies.size(); ++pol) {
+    BagOfTasksConfig direct = sweep.base;
+    direct.task_count = 200;
+    util::Rng rng(555);
+    const auto standalone = run_bag_of_tasks(populations[0].hosts, direct,
+                                             sweep.policies[pol], rng);
+    expect_results_identical(grid.at(0, pol, 0).result, standalone);
   }
 }
 

@@ -74,11 +74,90 @@ TEST(AvailabilityFraction, PartialOverlapCounted) {
   EXPECT_DOUBLE_EQ(availability_fraction(on, 5.0, 5.0), 0.0);
 }
 
+TEST(AvailabilityFraction, DegenerateWindows) {
+  const std::vector<AvailabilityInterval> on = {{2.0, 4.0}};
+  // Zero-length and inverted windows are 0, even inside an ON interval.
+  EXPECT_DOUBLE_EQ(availability_fraction(on, 3.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(availability_fraction(on, 4.0, 2.0), 0.0);
+  // Intervals fully outside the window contribute nothing, on both sides.
+  EXPECT_DOUBLE_EQ(availability_fraction(on, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(availability_fraction(on, 5.0, 9.0), 0.0);
+  // Empty timeline covers nothing.
+  EXPECT_DOUBLE_EQ(availability_fraction({}, 0.0, 10.0), 0.0);
+  // Window boundary exactly on the interval boundary: [4, 5) is OFF.
+  EXPECT_DOUBLE_EQ(availability_fraction(on, 4.0, 5.0), 0.0);
+}
+
 TEST(NextAvailableTime, InsideAndBetweenIntervals) {
   const std::vector<AvailabilityInterval> on = {{0.0, 1.0}, {2.0, 4.0}};
-  EXPECT_DOUBLE_EQ(next_available_time(on, 0.5), 0.5);   // already on
-  EXPECT_DOUBLE_EQ(next_available_time(on, 1.5), 2.0);   // wait for next
-  EXPECT_DOUBLE_EQ(next_available_time(on, 4.5), -1.0);  // nothing left
+  ASSERT_TRUE(next_available_time(on, 0.5).has_value());
+  EXPECT_DOUBLE_EQ(*next_available_time(on, 0.5), 0.5);  // already on
+  EXPECT_DOUBLE_EQ(*next_available_time(on, 1.5), 2.0);  // wait for next
+  EXPECT_FALSE(next_available_time(on, 4.5).has_value());  // nothing left
+}
+
+TEST(NextAvailableTime, EdgeCases) {
+  const std::vector<AvailabilityInterval> on = {{0.0, 1.0}, {2.0, 4.0}};
+  // Empty timeline: never available.
+  EXPECT_FALSE(next_available_time({}, 0.0).has_value());
+  // Day exactly at an interval start: contained.
+  EXPECT_DOUBLE_EQ(*next_available_time(on, 2.0), 2.0);
+  // Day exactly at an interval end: ends are exclusive, so the next
+  // interval (or nothing) answers.
+  EXPECT_DOUBLE_EQ(*next_available_time(on, 1.0), 2.0);
+  EXPECT_FALSE(next_available_time(on, 4.0).has_value());
+  // Day before the first interval snaps forward to its start.
+  const std::vector<AvailabilityInterval> late = {{5.0, 6.0}};
+  EXPECT_DOUBLE_EQ(*next_available_time(late, 0.0), 5.0);
+}
+
+TEST(AvailabilityModel, StationaryStartKeepsDefaultStreamUnchanged) {
+  // kOnAtStart is the default and must consume the rng exactly as the
+  // two-argument overload always has.
+  const AvailabilityModel model;
+  util::Rng a(21), b(21);
+  const auto legacy = model.generate(0.0, 50.0, a);
+  const auto explicit_mode =
+      model.generate(0.0, 50.0, b, StartMode::kOnAtStart);
+  ASSERT_EQ(legacy.size(), explicit_mode.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_DOUBLE_EQ(legacy[i].start_day, explicit_mode[i].start_day);
+    EXPECT_DOUBLE_EQ(legacy[i].end_day, explicit_mode[i].end_day);
+  }
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(AvailabilityModel, StationaryStartIsSometimesOff) {
+  // Across many seeds, the stationary start must produce both initial
+  // states: a first interval at the window edge (ON) and one strictly
+  // after it (OFF residual first). Always-ON never produces the latter.
+  const AvailabilityModel model;
+  int started_on = 0, started_off = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    util::Rng rng(seed);
+    const auto intervals =
+        model.generate(0.0, 1000.0, rng, StartMode::kStationary);
+    ASSERT_FALSE(intervals.empty());
+    if (intervals.front().start_day == 0.0) {
+      ++started_on;
+    } else {
+      ++started_off;
+    }
+  }
+  EXPECT_GT(started_on, 0);
+  EXPECT_GT(started_off, 0);
+  // The ON share should be in the neighbourhood of the long-run fraction.
+  const double on_share = static_cast<double>(started_on) / 200.0;
+  EXPECT_NEAR(on_share, model.expected_availability(), 0.15);
+}
+
+TEST(AvailabilityModel, StationaryLongRunFractionStillMatches) {
+  const AvailabilityModel model;
+  util::Rng rng(33);
+  const auto intervals =
+      model.generate(0.0, 20000.0, rng, StartMode::kStationary);
+  const double measured = availability_fraction(intervals, 0.0, 20000.0);
+  EXPECT_NEAR(measured, model.expected_availability(), 0.04);
 }
 
 TEST(AvailabilityModel, DeterministicForFixedSeed) {

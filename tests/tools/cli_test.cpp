@@ -68,6 +68,70 @@ TEST(Cli, SweepRunsPolicyGrid) {
   EXPECT_NE(out.find("1000 tasks"), std::string::npos);
 }
 
+TEST(Cli, SweepChurnFlags) {
+  const std::string model_path = temp_path("cli_sweep_churn_model.txt");
+  {
+    std::ofstream model_out(model_path);
+    model_out << core::paper_params().serialize();
+  }
+  // --churn appends all three interruption policies beside the base set.
+  std::string out;
+  ASSERT_EQ(run({"sweep", model_path, "2010-06-01", "200", "400",
+                 "--policies=ect", "--churn"},
+                &out),
+            kOk);
+  EXPECT_NE(out.find("dynamic ECT"), std::string::npos);
+  EXPECT_NE(out.find("churn ECT (checkpoint)"), std::string::npos);
+  EXPECT_NE(out.find("churn ECT (restart)"), std::string::npos);
+  EXPECT_NE(out.find("churn ECT (abandon)"), std::string::npos);
+  EXPECT_NE(out.find("churn cells:"), std::string::npos);
+
+  // --interrupt names a subset (and implies --churn).
+  ASSERT_EQ(run({"sweep", model_path, "2010-06-01", "200", "400",
+                 "--policies=ect", "--interrupt=restart"},
+                &out),
+            kOk);
+  EXPECT_NE(out.find("churn ECT (restart)"), std::string::npos);
+  EXPECT_EQ(out.find("churn ECT (checkpoint)"), std::string::npos);
+
+  // --avail-coupling annotates the header and runs coupled.
+  ASSERT_EQ(run({"sweep", model_path, "2010-06-01", "200", "400",
+                 "--policies=ect", "--churn", "--avail-coupling=-0.5"},
+                &out),
+            kOk);
+  EXPECT_NE(out.find("speed-coupled availability"), std::string::npos);
+}
+
+TEST(Cli, SweepRejectsBadChurnFlags) {
+  const std::string model_path = temp_path("cli_sweep_churn_bad_model.txt");
+  {
+    std::ofstream model_out(model_path);
+    model_out << core::paper_params().serialize();
+  }
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "50",
+                 "--interrupt=explode"}),
+            kFailure);
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "50",
+                 "--avail-coupling=2.0"}),
+            kFailure);
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "50",
+                 "--avail-coupling=fast"}),
+            kFailure);
+  // Coupling with nothing to consume it (no --availability, no churn
+  // policy) must be refused, not silently ignored.
+  std::string err;
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "50",
+                 "--policies=ect", "--avail-coupling=0.5"},
+                nullptr, &err),
+            kUsage);
+  EXPECT_NE(err.find("--avail-coupling needs"), std::string::npos);
+  // With --availability it is consumed even without churn policies.
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "50",
+                 "--policies=ect", "--availability",
+                 "--avail-coupling=0.5"}),
+            kOk);
+}
+
 TEST(Cli, SweepRejectsBadArgs) {
   const std::string model_path = temp_path("cli_sweep_bad_model.txt");
   {

@@ -121,7 +121,10 @@ std::string usage_text() {
          "  resmodel sweep    <model.txt> <YYYY-MM-DD> <hosts> "
          "[tasks[,tasks...]]\n"
          "                    [--policies=rr,sw,pull,ect] [--threads=N]\n"
-         "                    [--seed=N] [--availability]\n";
+         "                    [--seed=N] [--availability] [--churn]\n"
+         "                    [--interrupt=checkpoint,restart,abandon]\n"
+         "                    [--avail-coupling=rho]   (rank-couples\n"
+         "                     availability to host speed, rho in [-1,1])\n";
 }
 
 int cmd_synth(const std::vector<std::string>& args, std::ostream& out,
@@ -360,6 +363,41 @@ std::vector<std::size_t> parse_task_counts(const std::string& spec) {
   return counts;
 }
 
+/// "checkpoint,restart,abandon" -> churn policy list (order preserved).
+std::vector<sim::SchedulingPolicy> parse_interruptions(
+    const std::string& spec) {
+  std::vector<sim::SchedulingPolicy> policies;
+  std::stringstream ss(spec);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token == "checkpoint") {
+      policies.push_back(sim::SchedulingPolicy::kChurnEctCheckpoint);
+    } else if (token == "restart") {
+      policies.push_back(sim::SchedulingPolicy::kChurnEctRestart);
+    } else if (token == "abandon") {
+      policies.push_back(sim::SchedulingPolicy::kChurnEctAbandon);
+    } else {
+      throw std::invalid_argument(
+          "bad interruption policy '" + token +
+          "' (expected checkpoint|restart|abandon)");
+    }
+  }
+  if (policies.empty()) {
+    throw std::invalid_argument("empty --interrupt list");
+  }
+  return policies;
+}
+
+double parse_rho(const std::string& value) {
+  std::size_t pos = 0;
+  const double rho = std::stod(value, &pos);
+  if (pos != value.size() || !(rho >= -1.0 && rho <= 1.0)) {
+    throw std::invalid_argument("bad --avail-coupling: '" + value +
+                                "' (expected rho in [-1, 1])");
+  }
+  return rho;
+}
+
 }  // namespace
 
 int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
@@ -372,6 +410,13 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
       sim::SchedulingPolicy::kDynamicEct,
   };
   sweep.task_counts = {10000};
+  bool churn = false;
+  // Default churn policy set when --churn is given without --interrupt.
+  std::vector<sim::SchedulingPolicy> churn_policies = {
+      sim::SchedulingPolicy::kChurnEctCheckpoint,
+      sim::SchedulingPolicy::kChurnEctRestart,
+      sim::SchedulingPolicy::kChurnEctAbandon,
+  };
   std::vector<std::string> positional;
   for (const std::string& arg : args) {
     if (arg.starts_with("--policies=")) {
@@ -389,6 +434,14 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
       sweep.workload_seed = std::stoull(value);
     } else if (arg == "--availability") {
       sweep.base.model_availability = true;
+    } else if (arg == "--churn") {
+      churn = true;
+    } else if (arg.starts_with("--interrupt=")) {
+      churn_policies = parse_interruptions(arg.substr(12));
+      churn = true;  // naming interruption policies implies --churn
+    } else if (arg.starts_with("--avail-coupling=")) {
+      sweep.base.availability_coupled = true;
+      sweep.base.availability_coupling.speed_rho = parse_rho(arg.substr(17));
     } else if (arg.starts_with("--")) {
       err << "sweep: unknown flag: '" << arg << "'\n";
       return kUsage;
@@ -396,10 +449,25 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
       positional.push_back(arg);
     }
   }
+  if (churn) {
+    sweep.policies.insert(sweep.policies.end(), churn_policies.begin(),
+                          churn_policies.end());
+  }
+  if (sweep.base.availability_coupled && !sweep.base.model_availability &&
+      !churn) {
+    // Nothing would consume the coupling: derate is off and no churn
+    // policy walks the timeline — refuse rather than print a header
+    // claiming a coupled experiment ran.
+    err << "sweep: --avail-coupling needs --availability or --churn "
+           "(nothing models availability otherwise)\n";
+    return kUsage;
+  }
   if (positional.size() < 3 || positional.size() > 4) {
     err << "sweep: expected <model.txt> <YYYY-MM-DD> <hosts> "
            "[tasks[,tasks...]] [--policies=rr,sw,pull,ect] [--threads=N] "
-           "[--seed=N] [--availability]\n";
+           "[--seed=N] [--availability] [--churn] "
+           "[--interrupt=checkpoint,restart,abandon] "
+           "[--avail-coupling=rho]\n";
     return kUsage;
   }
   const core::ModelParams params = load_model(positional[0]);
@@ -429,7 +497,15 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
 
   out << "Policy sweep over " << host_count << " hosts at " << date.to_string()
       << (sweep.base.model_availability ? " (availability-derated)" : "")
+      << (sweep.base.availability_coupled
+              ? " (speed-coupled availability, rho=" +
+                    util::Table::num(
+                        sweep.base.availability_coupling.speed_rho, 2) +
+                    ")"
+              : "")
       << ", makespan in days:\n";
+  double wasted_cpu = 0.0;
+  std::uint64_t interruptions = 0;
   for (std::size_t t = 0; t < sweep.task_counts.size(); ++t) {
     std::vector<std::string> header = {
         std::to_string(sweep.task_counts[t]) + " tasks"};
@@ -440,12 +516,19 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
     for (std::size_t p = 0; p < populations.size(); ++p) {
       std::vector<std::string> cells = {populations[p].name};
       for (std::size_t pol = 0; pol < sweep.policies.size(); ++pol) {
-        cells.push_back(
-            util::Table::num(grid.at(p, pol, t).result.makespan_days, 1));
+        const sim::BagOfTasksResult& cell = grid.at(p, pol, t).result;
+        cells.push_back(util::Table::num(cell.makespan_days, 1));
+        wasted_cpu += cell.wasted_cpu_days;
+        interruptions += cell.interruptions;
       }
       table.add_row(std::move(cells));
     }
     table.print(out);
+  }
+  if (churn) {
+    out << "churn cells: " << interruptions << " interruptions, "
+        << util::Table::num(wasted_cpu, 1) << " CPU-days of burned attempts "
+           "across the grid\n";
   }
   return kOk;
 }
