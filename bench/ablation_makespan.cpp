@@ -7,6 +7,7 @@
 // the Grid model. We report the makespan of each policy — if a simpler
 // host model predicts materially different makespans (or a different
 // policy ranking) than the actual hosts, experiments built on it mislead.
+#include <algorithm>
 #include <iostream>
 
 #include "common.h"
@@ -95,6 +96,39 @@ int main() {
          "schedule\nagainst the actual ON/OFF interval structure "
          "(checkpoint / restart / abandon\nsemantics) instead of an "
          "always-on population; restart pays for every\nheavy-tailed "
-         "session that dies under a long task.\n";
+         "session that dies under a long task.\n\n";
+
+  // Churn-levels ablation: every depth variant of one population
+  // consumes the SAME availability realization (drawn once, passed in),
+  // so the knob sweep is draw-comparable by construction — the contract
+  // run_policy_sweep gives derate/churn cells, extended to kernel knobs.
+  util::Table levels_table({"Population", "ckpt L=1", "ckpt L=4",
+                            "ckpt L=8 (default)"});
+  for (const sim::SweepPopulation& pop : populations) {
+    const std::vector<double> speed = sim::base_host_rates(pop.hosts);
+    sim::BagOfTasksConfig config = sweep.base;
+    config.task_count = 20000;
+    util::Rng avail_rng(sweep.workload_seed);
+    const sim::AvailabilityRealization realization =
+        sim::realize_availability(speed, config, avail_rng);
+    std::vector<std::string> cells = {pop.name};
+    for (const std::size_t levels : {std::size_t{1}, std::size_t{4},
+                                     std::size_t{8}}) {
+      config.churn_lookahead_levels = levels;
+      util::Rng task_rng = avail_rng;  // shared post-realization stream
+      const sim::BagOfTasksResult r = sim::run_bag_of_tasks(
+          pop.hosts, realization, config,
+          sim::SchedulingPolicy::kChurnEctCheckpoint, task_rng);
+      cells.push_back(util::Table::num(r.makespan_days, 4) + "d");
+    }
+    levels_table.add_row(std::move(cells));
+  }
+  std::cout << "Churn lookahead-depth ablation (one shared availability "
+               "realization per\npopulation, identical workloads):\n";
+  levels_table.print(std::cout);
+  std::cout
+      << "\nEqual makespans down each row confirm the depth knob is pure "
+         "kernel\nperformance — the schedule itself is draw- and "
+         "decision-identical.\n";
   return 0;
 }

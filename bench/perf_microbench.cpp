@@ -374,8 +374,13 @@ BENCHMARK(BM_PullKernelDaryHeap)->Arg(10000)->Arg(100000)->Arg(1000000)
     ->Unit(benchmark::kMillisecond);
 
 // The interval-walking kernels in isolation (prebuilt state + timeline,
-// no availability realization or task sampling in the timed region):
-// blocked/pruned fast path vs the full-walk scalar oracle.
+// no availability realization or task sampling in the timed region).
+// Mode 0/1/2 is the gate ablation the churn perf PR ships — the default
+// envelope gate with float32-packed columns, the envelope gate over
+// double columns, and the PR-4-style global bucket gate — mode 3 the
+// full-walk scalar oracle. All four produce bit-identical schedules; the
+// exported counters are deterministic kernel-shape telemetry
+// (tools/compare_bench.py diffs them machine-independently in CI).
 void BM_ChurnKernel(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const std::vector<double> rates = pull_bench_rates(n);
@@ -383,21 +388,48 @@ void BM_ChurnKernel(benchmark::State& state) {
   util::Rng tl_rng(17);
   const churn::IntervalTimeline timeline = churn::IntervalTimeline::generate(
       synth::AvailabilityModel{}, n, 0.0, 100.0, tl_rng);
-  const bool reference = state.range(1) != 0;
-  state.SetLabel(reference ? "reference" : "blocked");
+  const int mode = static_cast<int>(state.range(1));
+  churn::ChurnSchedulerConfig config;
+  bool reference = false;
+  switch (mode) {
+    case 0:
+      state.SetLabel("envelope-f32");
+      break;
+    case 1:
+      config.float32_columns = false;
+      state.SetLabel("envelope-f64");
+      break;
+    case 2:
+      config.gate_mode = churn::GateMode::kBucket;
+      config.float32_columns = false;
+      state.SetLabel("bucket-f64");
+      break;
+    default:
+      reference = true;
+      state.SetLabel("reference");
+      break;
+  }
+  churn::ChurnScheduleTotals totals;
   for (auto _ : state) {
     sim::ScheduleState sched = sim::ScheduleState::from_rates(rates);
-    churn::ChurnScheduler scheduler(sched, timeline);
-    benchmark::DoNotOptimize(
-        reference
-            ? scheduler.run_reference(
-                  tasks, churn::InterruptionPolicy::kCheckpoint)
-            : scheduler.run(tasks, churn::InterruptionPolicy::kCheckpoint));
+    churn::ChurnScheduler scheduler(sched, timeline, config);
+    totals = reference
+                 ? scheduler.run_reference(
+                       tasks, churn::InterruptionPolicy::kCheckpoint)
+                 : scheduler.run(tasks, churn::InterruptionPolicy::kCheckpoint);
+    benchmark::DoNotOptimize(totals);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  const double per_task = 1.0 / static_cast<double>(tasks.size());
+  state.counters["makespan_days"] = totals.makespan_days;
+  state.counters["swept_blocks_per_task"] =
+      static_cast<double>(totals.swept_blocks) * per_task;
+  state.counters["resolved_lanes_per_task"] =
+      static_cast<double>(totals.resolved_lanes) * per_task;
 }
 BENCHMARK(BM_ChurnKernel)
-    ->Args({10000, 0})->Args({10000, 1})->Args({100000, 0})
+    ->Args({10000, 0})->Args({10000, 1})->Args({10000, 2})->Args({10000, 3})
+    ->Args({100000, 0})->Args({100000, 1})->Args({100000, 2})
     ->Unit(benchmark::kMillisecond);
 
 // One full policy x dependence-structure grid through the parallel sweep

@@ -1,0 +1,378 @@
+// Compiled with -ffp-contract=off and -fno-trapping-math (see
+// src/CMakeLists.txt): the sweeps are branch-free FP selects that must
+// if-convert and vectorize; every value this file produces is a pruning
+// BOUND (consumers deflate by margin() before comparing), so contraction
+// could not break correctness — the flags are uniform across the churn
+// kernels for reproducibility between build configurations.
+#include "churn/block_envelope.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace resmodel::churn {
+
+namespace {
+
+template <typename Real>
+constexpr double comparison_pad() {
+  return std::is_same_v<Real, float> ? kPadF32 : kPadF64;
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+template <typename Real>
+void BoundGate::pack_lane(Columns<Real>& c, std::size_t pos, std::size_t host,
+                          const sim::ScheduleState& state,
+                          const CursorView& cursors) {
+  constexpr double kPad = comparison_pad<Real>();
+  c.inv_[pos] = static_cast<Real>(state.ect_sorted_inv[pos]);
+  // The comparison columns are PAD-INFLATED before conversion: a lane
+  // that exactly fits its session (or exactly routes to level k) must
+  // still take that arm after rounding, because that arm's value can
+  // never exceed the true completion while a deeper arm's can. The pad
+  // dwarfs both the conversion error and the w/target chain error, so
+  // the inclusion direction is guaranteed; the spurious inclusions it
+  // admits only lower the bound (sound).
+  c.sess_[pos] = static_cast<Real>(cursors.sess_rem[host] * kPad);
+  c.ready_[pos] = static_cast<Real>(cursors.ready[host]);
+  c.next_[pos] = static_cast<Real>(cursors.next_start[host]);
+  const double accr = cursors.accr[host];
+  c.accr_[pos] = static_cast<Real>(accr);
+  const double* lv = cursors.levels.data() + host * 2 * levels_;
+  for (std::size_t k = 0; k < levels_; ++k) {
+    c.c_[k][pos] = static_cast<Real>(lv[k] * kPad);
+    c.phi_[k][pos] = static_cast<Real>(lv[levels_ + k]);
+  }
+}
+
+template <typename Real>
+void BoundGate::eval_block(const Columns<Real>& c, std::size_t blk,
+                           double task, Real* lb) const noexcept {
+  const std::size_t lo = blk * kBlock;
+  const Real t = static_cast<Real>(task);
+  const Real* __restrict inv = c.inv_.data() + lo;
+  const Real* __restrict sess = c.sess_.data() + lo;
+  const Real* __restrict ready = c.ready_.data() + lo;
+  constexpr Real kInfR = std::numeric_limits<Real>::infinity();
+  Real w[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) w[i] = t * inv[i];
+  if (policy_ == InterruptionPolicy::kCheckpoint) {
+    // Same level routing as ChurnScheduler::completion_for, as a min of
+    // per-level candidates: phi is non-decreasing across levels and the
+    // deepest level is a sound bound for anything deeper, so
+    // min(target + phi_k) over the (padded) levels that hold the target
+    // IS the shallowest admissible level's value. The candidate's
+    // unselected arm is the CONSTANT +inf — a dependent select between
+    // two loads does not if-convert (gcc reports "control flow in
+    // loop"), the constant arm does, and if-conversion is what lets
+    // these sweeps vectorize at all.
+    const Real* __restrict accr = c.accr_.data() + lo;
+    Real target[kBlock];
+    Real spill[kBlock];
+    for (std::size_t i = 0; i < kBlock; ++i) target[i] = accr[i] + w[i];
+    const Real* __restrict pl = c.phi_[levels_ - 1].data() + lo;
+    for (std::size_t i = 0; i < kBlock; ++i) spill[i] = target[i] + pl[i];
+    for (std::size_t k = levels_ - 1; k-- > 0;) {
+      const Real* __restrict ck = c.c_[k].data() + lo;
+      const Real* __restrict pk = c.phi_[k].data() + lo;
+      for (std::size_t i = 0; i < kBlock; ++i) {
+        // Loads hoisted unconditionally so the select is between a
+        // register and a constant — gcc refuses to speculate a load
+        // that only appears in one ternary arm.
+        const Real tg = target[i];
+        const Real v = tg + pk[i];
+        const Real cand = tg <= ck[i] ? v : kInfR;
+        spill[i] = std::min(spill[i], cand);
+      }
+    }
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      const Real fits = ready[i] + w[i];
+      const Real sp = spill[i];
+      lb[i] = w[i] <= sess[i] ? fits : sp;
+    }
+  } else {
+    // Restart: a spilling attempt cannot complete before the next
+    // session's start plus the (contiguous) work. next_start >= ready,
+    // so min(fits-candidate, next + w) equals the routed value while
+    // keeping the unselected arm constant (if-conversion, as above).
+    const Real* __restrict nx = c.next_.data() + lo;
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      const Real rw = ready[i] + w[i];
+      const Real fits = w[i] <= sess[i] ? rw : kInfR;
+      lb[i] = std::min(fits, nx[i] + w[i]);
+    }
+  }
+}
+
+template <typename Real>
+std::pair<double, std::uint8_t> BoundGate::eval_block_min(
+    const Columns<Real>& c, std::size_t blk, double task) const noexcept {
+  Real lb[kBlock];
+  eval_block(c, blk, task, lb);
+  Real m = lb[0];
+  std::uint8_t arg = 0;
+  for (std::size_t i = 1; i < kBlock; ++i) {
+    if (lb[i] < m) {
+      m = lb[i];
+      arg = static_cast<std::uint8_t>(i);
+    }
+  }
+  return {static_cast<double>(m), arg};
+}
+
+template <typename Real>
+double BoundGate::envelope_query(const Columns<Real>& c, std::size_t blk,
+                                 double task) const noexcept {
+  const Real* kt = c.knot_t_.data() + blk * kKnotCapacity;
+  const Real* kv = c.knot_v_.data() + blk * kKnotCapacity;
+  const std::size_t m = knot_count_[blk];
+  const Real t = static_cast<Real>(task);
+  // Last knot with position <= t. Knot 0 sits at exactly 0, so the
+  // invariant kt[lo] <= t holds from the start (tasks are positive).
+  std::size_t lo = 0;
+  std::size_t hi = m;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (kt[mid] <= t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // (task - knot) can round a hair negative when Real(task) snapped up
+  // onto the knot; that only lowers the bound.
+  return static_cast<double>(kv[lo]) +
+         (task - static_cast<double>(kt[lo])) * bmin_inv_[blk];
+}
+
+template <typename Real>
+void BoundGate::rebuild_knots(Columns<Real>& c, std::size_t blk,
+                              const sim::ScheduleState& state,
+                              const CursorView& cursors) {
+  const std::size_t lo = blk * kBlock;
+  const std::size_t len = std::min(size_ - lo, kBlock);
+  const double tmax = bucket_edges_.back();
+  // Candidate knots = the block members' own breakpoints, in task-size
+  // units: the fits->spill boundary at sess_rem / inv and (checkpoint
+  // only) the level boundaries at (cum_k - accr) / inv. Positions are
+  // sample points, nothing more — the values are evaluated at the
+  // STORED (Real-rounded) positions, so any rounding here is harmless.
+  knot_scratch_.clear();
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::size_t host = state.ect_order[lo + i];
+    const double inv = state.ect_sorted_inv[lo + i];
+    const double sess = cursors.sess_rem[host];
+    if (std::isfinite(sess)) {
+      const double t = sess / inv;
+      if (t > 0.0 && t <= tmax) knot_scratch_.push_back(t);
+    }
+    if (policy_ != InterruptionPolicy::kCheckpoint) continue;
+    const double accr = cursors.accr[host];
+    const double* lv = cursors.levels.data() + host * 2 * levels_;
+    for (std::size_t k = 0; k + 1 < levels_; ++k) {
+      if (!std::isfinite(lv[k])) break;  // exhausted levels stay exhausted
+      const double t = (lv[k] - accr) / inv;
+      if (t > 0.0 && t <= tmax) knot_scratch_.push_back(t);
+    }
+  }
+  std::sort(knot_scratch_.begin(), knot_scratch_.end());
+
+  Real* kt = c.knot_t_.data() + blk * kKnotCapacity;
+  Real* kv = c.knot_v_.data() + blk * kKnotCapacity;
+  std::uint8_t* ka = knot_argmin_.data() + blk * kKnotCapacity;
+  std::size_t count = 0;
+  kt[count++] = static_cast<Real>(0.0);  // universal anchor: min ready
+  const std::size_t cands = knot_scratch_.size();
+  const std::size_t take = std::min(cands, kKnotCapacity - 1);
+  for (std::size_t j = 0; j < take; ++j) {
+    // Even stride through the sorted candidates when over capacity.
+    const std::size_t idx = cands <= kKnotCapacity - 1
+                                ? j
+                                : j * cands / take;
+    const Real t = static_cast<Real>(knot_scratch_[idx]);
+    if (t <= kt[count - 1]) continue;  // dedupe after rounding
+    kt[count++] = t;
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    const auto [v, arg] =
+        eval_block_min(c, blk, static_cast<double>(kt[k]));
+    kv[k] = static_cast<Real>(v);
+    ka[k] = arg;
+  }
+  knot_count_[blk] = static_cast<std::uint16_t>(count);
+  stale_[blk] = 0;
+}
+
+template <typename Real>
+void BoundGate::repair_knots(Columns<Real>& c, std::size_t blk,
+                             std::uint8_t lane) {
+  // Only knots whose recorded minimum came from the reassigned lane can
+  // be stale-low (the lane's completion function only moved up; every
+  // other knot's stored minimum is untouched and still sound).
+  const std::size_t base = blk * kKnotCapacity;
+  Real* kt = c.knot_t_.data() + base;
+  Real* kv = c.knot_v_.data() + base;
+  std::uint8_t* ka = knot_argmin_.data() + base;
+  const std::size_t count = knot_count_[blk];
+  for (std::size_t k = 0; k < count; ++k) {
+    if (ka[k] != lane) continue;
+    const auto [v, arg] =
+        eval_block_min(c, blk, static_cast<double>(kt[k]));
+    kv[k] = static_cast<Real>(v);
+    ka[k] = arg;
+  }
+}
+
+template <typename Real>
+void BoundGate::rebuild_coarse_row(const Columns<Real>& c, std::size_t blk) {
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    coarse_[k * blocks_ + blk] =
+        mode_ == GateMode::kEnvelope
+            ? envelope_query(c, blk, bucket_edges_[k])
+            : eval_block_min(c, blk, bucket_edges_[k]).first;
+  }
+}
+
+template <typename Real>
+void BoundGate::reset_impl(Columns<Real>& c, const sim::ScheduleState& state,
+                           const CursorView& cursors,
+                           std::span<const double> tasks) {
+  blocks_ = state.block_count();
+  size_ = state.size();
+  bmin_inv_ = state.ect_block_min_inv.data();
+  levels_ = cursors.levels_count;
+  const std::size_t padded = blocks_ * kBlock;
+  c.inv_.assign(padded, static_cast<Real>(0.0));
+  c.sess_.assign(padded, static_cast<Real>(kInf));
+  c.ready_.assign(padded, static_cast<Real>(kInf));
+  c.next_.assign(padded, static_cast<Real>(kInf));
+  c.accr_.assign(padded, static_cast<Real>(0.0));
+  for (std::size_t k = 0; k < levels_; ++k) {
+    c.c_[k].assign(padded, static_cast<Real>(kInf));
+    c.phi_[k].assign(padded, static_cast<Real>(kInf));
+  }
+  for (std::size_t pos = 0; pos < size_; ++pos) {
+    pack_lane(c, pos, state.ect_order[pos], state, cursors);
+  }
+
+  // Coarse edges: edge 0 is exactly 0 (its row entry is the min-ready
+  // bound, valid for every positive task), the rest log-spaced over the
+  // workload's size range.
+  double tmin = kInf;
+  double tmax = 0.0;
+  for (const double t : tasks) {
+    tmin = std::min(tmin, t);
+    tmax = std::max(tmax, t);
+  }
+  if (!(tmin > 0.0) || !(tmax >= tmin)) {
+    tmin = 1.0;
+    tmax = 1.0;
+  }
+  bucket_edges_.resize(kBuckets);
+  bucket_edges_[0] = 0.0;
+  const double ratio = tmax / tmin;
+  for (std::size_t k = 1; k < kBuckets; ++k) {
+    bucket_edges_[k] =
+        tmin * std::pow(ratio, static_cast<double>(k - 1) /
+                                   static_cast<double>(kBuckets - 2));
+  }
+
+  coarse_.resize(kBuckets * blocks_);
+  if (mode_ == GateMode::kEnvelope) {
+    c.knot_t_.resize(blocks_ * kKnotCapacity);
+    c.knot_v_.resize(blocks_ * kKnotCapacity);
+    knot_argmin_.resize(blocks_ * kKnotCapacity);
+    knot_count_.assign(blocks_, 0);
+    stale_.assign(blocks_, 0);
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      rebuild_knots(c, b, state, cursors);
+      rebuild_coarse_row(c, b);
+    }
+  } else {
+    for (std::size_t b = 0; b < blocks_; ++b) rebuild_coarse_row(c, b);
+  }
+}
+
+template <typename Real>
+void BoundGate::on_assign_impl(Columns<Real>& c, std::size_t host,
+                               const sim::ScheduleState& state,
+                               const CursorView& cursors) {
+  const std::size_t pos = state.ect_pos[host];
+  pack_lane(c, pos, host, state, cursors);
+  const std::size_t blk = pos / kBlock;
+  if (mode_ == GateMode::kEnvelope) {
+    if (++stale_[blk] >= kStaleLimit) {
+      // Lazy epoch: the knot positions have drifted from the block's
+      // current breakpoints; re-derive them (values included).
+      rebuild_knots(c, blk, state, cursors);
+      rebuild_coarse_row(c, blk);
+    } else {
+      repair_knots(c, blk, static_cast<std::uint8_t>(pos - blk * kBlock));
+      rebuild_coarse_row(c, blk);
+    }
+  } else {
+    rebuild_coarse_row(c, blk);
+  }
+}
+
+void BoundGate::reset(const sim::ScheduleState& state,
+                      const CursorView& cursors,
+                      std::span<const double> tasks,
+                      InterruptionPolicy policy) {
+  policy_ = policy;
+  if (float32_) {
+    reset_impl(f32_, state, cursors, tasks);
+  } else {
+    reset_impl(f64_, state, cursors, tasks);
+  }
+}
+
+void BoundGate::on_assign(std::size_t host, const sim::ScheduleState& state,
+                          const CursorView& cursors) {
+  if (float32_) {
+    on_assign_impl(f32_, host, state, cursors);
+  } else {
+    on_assign_impl(f64_, host, state, cursors);
+  }
+}
+
+std::size_t BoundGate::bucket_of(double task) const noexcept {
+  const auto it =
+      std::upper_bound(bucket_edges_.begin(), bucket_edges_.end(), task);
+  if (it == bucket_edges_.begin()) return 0;  // negative task: clamp
+  return static_cast<std::size_t>(it - bucket_edges_.begin()) - 1;
+}
+
+double BoundGate::block_bound(std::size_t blk, double task) const noexcept {
+  if (mode_ == GateMode::kEnvelope) {
+    return float32_ ? envelope_query(f32_, blk, task)
+                    : envelope_query(f64_, blk, task);
+  }
+  const std::size_t bucket = bucket_of(task);
+  return coarse_[bucket * blocks_ + blk] +
+         (task - bucket_edges_[bucket]) * bmin_inv_[blk];
+}
+
+void BoundGate::sweep_block(std::size_t blk, double task,
+                            double* lb) const noexcept {
+  if (float32_) {
+    float buf[kBlock];
+    eval_block(f32_, blk, task, buf);
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      lb[i] = static_cast<double>(buf[i]);
+    }
+  } else {
+    eval_block(f64_, blk, task, lb);
+  }
+}
+
+double BoundGate::lane_bound(std::size_t pos, double task) const noexcept {
+  double lb[kBlock];
+  sweep_block(pos / kBlock, task, lb);
+  return lb[pos % kBlock];
+}
+
+}  // namespace resmodel::churn

@@ -1,8 +1,10 @@
 // Compiled with -ffp-contract=off (src/CMakeLists.txt): the blocked and
-// reference selection loops must produce bit-identical completion times,
+// reference selection paths must produce bit-identical completion times,
 // which rules out the compiler fusing a + b * c into an fma in one loop
 // but not the other. The interval-walk primitives are shared functions,
-// so their results are identical by construction.
+// and every blocked survivor resolves through completion_for — the same
+// code the reference runs — so the results are identical by construction
+// regardless of the gate's mode or column precision.
 #include "churn/churn_scheduler.h"
 
 #include <algorithm>
@@ -76,16 +78,6 @@ RestartOutcome restart_completion(const IntervalTimeline& timeline,
 
 namespace {
 
-/// Pruning bounds and true completions are computed by different FP
-/// expressions; exact arithmetic guarantees bound <= completion but
-/// rounding can violate it by a few ulps (e.g. a final session clipped
-/// exactly at the horizon makes a spill completion equal its bound in
-/// reals). Every skip test deflates its bound by this relative margin —
-/// orders of magnitude above ulp noise, so skips stay sound by
-/// construction; the only cost is evaluating a vanishing sliver of
-/// borderline hosts the exact bound could have skipped.
-constexpr double kBoundMargin = 1.0 - 1e-12;
-
 /// One kAbandon attempt of `work` contiguous days starting at the ON
 /// instant `start_on`: either it fits the current session (completed at
 /// `at`, `burned` == work) or the session ends first (abandoned at `at`
@@ -118,11 +110,21 @@ AttemptOutcome abandon_attempt(const IntervalTimeline& timeline,
 }  // namespace
 
 ChurnScheduler::ChurnScheduler(sim::ScheduleState& state,
-                               const IntervalTimeline& timeline)
-    : state_(state), timeline_(timeline) {
+                               const IntervalTimeline& timeline,
+                               const ChurnSchedulerConfig& config)
+    : state_(state),
+      timeline_(timeline),
+      config_(config),
+      gate_(config.gate_mode, config.float32_columns) {
   if (state.size() != timeline.host_count()) {
     throw std::invalid_argument(
         "ChurnScheduler: state and timeline host counts differ");
+  }
+  if (config.lookahead_levels == 0 ||
+      config.lookahead_levels > kMaxLookaheadLevels) {
+    throw std::invalid_argument(
+        "ChurnScheduler: lookahead_levels must be in [1, " +
+        std::to_string(kMaxLookaheadLevels) + "]");
   }
   const std::size_t n = state_.size();
   ready_.resize(n);
@@ -130,14 +132,33 @@ ChurnScheduler::ChurnScheduler(sim::ScheduleState& state,
   next_start_.resize(n);
   accr_ready_.resize(n);
   sess_idx_.resize(n);
-  levels_.resize(n * kStride);
+  levels_.resize(n * 2 * config_.lookahead_levels);
   for (std::size_t h = 0; h < n; ++h) update_cursor(h);
+}
+
+ChurnScheduler::ChurnScheduler(sim::ScheduleState& state,
+                               const ChurnScheduler& seed)
+    : state_(state),
+      timeline_(seed.timeline_),
+      config_(seed.config_),
+      ready_(seed.ready_),
+      sess_rem_(seed.sess_rem_),
+      next_start_(seed.next_start_),
+      accr_ready_(seed.accr_ready_),
+      sess_idx_(seed.sess_idx_),
+      levels_(seed.levels_),
+      gate_(seed.config_.gate_mode, seed.config_.float32_columns) {
+  if (state.size() != timeline_.host_count()) {
+    throw std::invalid_argument(
+        "ChurnScheduler: state and seed host counts differ");
+  }
 }
 
 void ChurnScheduler::update_cursor(std::size_t host) noexcept {
   constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t L = config_.lookahead_levels;
   const double free = state_.free_at[host];
-  double* lv = levels_.data() + host * kStride;
+  double* lv = levels_.data() + host * 2 * L;
   if (free >= timeline_.end_day()) {
     // Beyond the horizon: permanently ON.
     ready_[host] = free;
@@ -145,7 +166,7 @@ void ChurnScheduler::update_cursor(std::size_t host) noexcept {
     next_start_[host] = kInf;
     accr_ready_[host] = 0.0;
     sess_idx_[host] = 0;
-    for (std::size_t k = 0; k < kStride; ++k) lv[k] = 0.0;
+    for (std::size_t k = 0; k < 2 * L; ++k) lv[k] = 0.0;
     return;
   }
   const std::size_t i = timeline_.advance(host, free);
@@ -158,7 +179,7 @@ void ChurnScheduler::update_cursor(std::size_t host) noexcept {
     next_start_[host] = kInf;
     accr_ready_[host] = 0.0;
     sess_idx_[host] = 0;
-    for (std::size_t k = 0; k < kStride; ++k) lv[k] = 0.0;
+    for (std::size_t k = 0; k < 2 * L; ++k) lv[k] = 0.0;
     return;
   }
   const std::span<const double> cum = timeline_.cum_ends(host);
@@ -175,14 +196,14 @@ void ChurnScheduler::update_cursor(std::size_t host) noexcept {
   // the first exhausted level catches all remaining targets.
   const double total_on = cum.back();
   const double phi_beyond = timeline_.end_day() - total_on;
-  for (std::size_t k = 0; k < kLevels; ++k) {
+  for (std::size_t k = 0; k < L; ++k) {
     const std::size_t j = i + 1 + k;
     if (j < s.size()) {
       lv[k] = cum[j];
-      lv[kLevels + k] = e[j] - cum[j];
+      lv[L + k] = e[j] - cum[j];
     } else {
       lv[k] = kInf;
-      lv[kLevels + k] = phi_beyond;
+      lv[L + k] = phi_beyond;
     }
   }
 }
@@ -207,17 +228,17 @@ double ChurnScheduler::checkpoint_spill(std::size_t host,
 double ChurnScheduler::completion_for(
     std::size_t host, double work, InterruptionPolicy policy) const noexcept {
   // Fits the current session (or the host is permanently ON): the
-  // completion is the literal `ready + work` — the same expression as
-  // the scan's lower bound, so fits-case completions and bounds agree
-  // bit for bit in both kernels.
+  // completion is the literal `ready + work` — the same expression in
+  // the blocked and reference kernels, so both agree bit for bit.
   if (policy == InterruptionPolicy::kAbandon || work <= sess_rem_[host]) {
     return ready_[host] + work;
   }
   if (policy == InterruptionPolicy::kCheckpoint) {
+    const std::size_t L = config_.lookahead_levels;
     const double target = accr_ready_[host] + work;
-    const double* lv = levels_.data() + host * kStride;
-    for (std::size_t k = 0; k < kLevels; ++k) {
-      if (target <= lv[k]) return target + lv[kLevels + k];
+    const double* lv = levels_.data() + host * 2 * L;
+    for (std::size_t k = 0; k < L; ++k) {
+      if (target <= lv[k]) return target + lv[L + k];
     }
     return checkpoint_spill(host, target);
   }
@@ -246,30 +267,13 @@ void ChurnScheduler::commit(std::size_t host, double work,
   update_cursor(host);
 }
 
-void ChurnScheduler::rebuild_gathers() {
+void ChurnScheduler::rebuild_ready_gathers() {
   state_.ensure_ect_caches();
   constexpr std::size_t kBlock = sim::ScheduleState::kBlockSize;
   const std::size_t n = state_.size();
   const std::size_t blocks = state_.block_count();
   sready_.resize(n);
-  ssess_rem_.resize(n);
-  snext_start_.resize(n);
-  saccr_.resize(n);
-  for (std::size_t k = 0; k < kLevels; ++k) {
-    scum_[k].resize(n);
-    sphi_[k].resize(n);
-  }
-  for (std::size_t j = 0; j < n; ++j) {
-    const std::uint32_t h = state_.ect_order[j];
-    sready_[j] = ready_[h];
-    ssess_rem_[j] = sess_rem_[h];
-    snext_start_[j] = next_start_[h];
-    saccr_[j] = accr_ready_[h];
-    for (std::size_t k = 0; k < kLevels; ++k) {
-      scum_[k][j] = levels_[h * kStride + k];
-      sphi_[k][j] = levels_[h * kStride + kLevels + k];
-    }
-  }
+  for (std::size_t j = 0; j < n; ++j) sready_[j] = ready_[state_.ect_order[j]];
   bmin_ready_.resize(blocks);
   for (std::size_t b = 0; b < blocks; ++b) {
     const std::size_t lo = b * kBlock;
@@ -280,116 +284,52 @@ void ChurnScheduler::rebuild_gathers() {
   }
 }
 
-void ChurnScheduler::update_gathers(std::size_t host) {
+void ChurnScheduler::update_ready_gather(std::size_t host) {
   constexpr std::size_t kBlock = sim::ScheduleState::kBlockSize;
   const std::size_t n = state_.size();
   const std::size_t pos = state_.ect_pos[host];
   sready_[pos] = ready_[host];
-  ssess_rem_[pos] = sess_rem_[host];
-  snext_start_[pos] = next_start_[host];
-  saccr_[pos] = accr_ready_[host];
-  for (std::size_t k = 0; k < kLevels; ++k) {
-    scum_[k][pos] = levels_[host * kStride + k];
-    sphi_[k][pos] = levels_[host * kStride + kLevels + k];
-  }
   const std::size_t blk = pos / kBlock;
   const std::size_t lo = blk * kBlock;
   const std::size_t hi = std::min(n, lo + kBlock);
   double m = sready_[lo];
   for (std::size_t j = lo + 1; j < hi; ++j) m = std::min(m, sready_[j]);
   bmin_ready_[blk] = m;
-  if (buckets_active_) rebuild_bucket_mins(blk);
 }
 
-std::size_t ChurnScheduler::bucket_of(double task) const noexcept {
-  const auto it = std::upper_bound(bucket_edges_.begin(), bucket_edges_.end(),
-                                   task);
-  if (it == bucket_edges_.begin()) return 0;  // task below every edge
-  return static_cast<std::size_t>(it - bucket_edges_.begin()) - 1;
-}
-
-void ChurnScheduler::setup_buckets(std::span<const double> tasks) {
-  double tmin = std::numeric_limits<double>::infinity();
-  double tmax = 0.0;
-  for (const double t : tasks) {
-    tmin = std::min(tmin, t);
-    tmax = std::max(tmax, t);
-  }
-  if (!(tmin > 0.0) || !(tmax >= tmin)) {
-    tmin = 1.0;
-    tmax = 1.0;
-  }
-  bucket_edges_.resize(kBuckets);
-  // Log-spaced edges spanning the workload; pow(ratio, 0) == 1 exactly,
-  // so edge 0 equals tmin and every task has a bucket at or below it.
-  const double ratio = tmax / tmin;
-  for (std::size_t k = 0; k < kBuckets; ++k) {
-    bucket_edges_[k] =
-        tmin * std::pow(ratio, static_cast<double>(k) /
-                                   static_cast<double>(kBuckets - 1));
-  }
-  bmin_done_.resize(state_.block_count() * kBuckets);
-  buckets_active_ = true;
-  for (std::size_t b = 0; b < state_.block_count(); ++b) {
-    rebuild_bucket_mins(b);
-  }
-}
-
-void ChurnScheduler::rebuild_bucket_mins(std::size_t blk) {
-  constexpr std::size_t kBlock = sim::ScheduleState::kBlockSize;
-  constexpr double kInf = std::numeric_limits<double>::infinity();
+void ChurnScheduler::rebuild_sorted_cursors() {
   const std::size_t n = state_.size();
-  const std::size_t lo = blk * kBlock;
-  const std::size_t len = std::min(n - lo, kBlock);
-  const double* __restrict binv = state_.ect_sorted_inv.data() + lo;
-  const double* __restrict bready = sready_.data() + lo;
-  const double* __restrict bsess = ssess_rem_.data() + lo;
-  const double* __restrict baccr = saccr_.data() + lo;
-  const double* __restrict bcum0 = scum_[0].data() + lo;
-  const double* __restrict bcum1 = scum_[1].data() + lo;
-  const double* __restrict bcum2 = scum_[2].data() + lo;
-  const double* __restrict bphi0 = sphi_[0].data() + lo;
-  const double* __restrict bphi1 = sphi_[1].data() + lo;
-  const double* __restrict bphi2 = sphi_[2].data() + lo;
-  const double* __restrict bphi3 = sphi_[3].data() + lo;
-  double v[kBlock];
-  for (std::size_t k = 0; k < kBuckets; ++k) {
-    const double e = bucket_edges_[k];
-    // Exact-or-lower-bound completion of an edge-sized task on each lane
-    // (fits and level-routed spills exact, phi_kLevels for deeper), the
-    // same blend the selection uses — vectorizable selects over
-    // unconditional loads.
-    for (std::size_t i = 0; i < len; ++i) {
-      const double w = e * binv[i];
-      const double sess = bsess[i];
-      const double r = bready[i];
-      const double c0 = bcum0[i], c1 = bcum1[i], c2 = bcum2[i];
-      const double p0 = bphi0[i], p1 = bphi1[i], p2 = bphi2[i],
-                   p3 = bphi3[i];
-      const double target = baccr[i] + w;
-      // Same min-of-candidates routing as the selection sweep (see
-      // run_ect): identical values, vectorizable form.
-      const double v0 = target <= c0 ? target + p0 : kInf;
-      const double v1 = target <= c1 ? target + p1 : kInf;
-      const double v2 = target <= c2 ? target + p2 : kInf;
-      const double spill =
-          std::min(std::min(v0, v1), std::min(v2, target + p3));
-      v[i] = w <= sess ? r + w : spill;
-    }
-    for (std::size_t i = len; i < kBlock; ++i) v[i] = kInf;
-    double acc[8];
-    for (std::size_t i = 0; i < 8; ++i) acc[i] = v[i];
-    for (std::size_t i = 8; i < kBlock; i += 8) {
-      for (std::size_t j = 0; j < 8; ++j) {
-        acc[j] = std::min(acc[j], v[i + j]);
-      }
-    }
-    double m = acc[0];
-    for (std::size_t i = 1; i < 8; ++i) m = std::min(m, acc[i]);
-    // Bucket-major layout: the per-task gate and the warm-start argmin
-    // scan read one bucket's row contiguously across blocks.
-    bmin_done_[k * state_.block_count() + blk] = m;
+  const std::size_t stride = 2 * config_.lookahead_levels;
+  sres_ready_.resize(n);
+  sres_sess_.resize(n);
+  sres_accr_.resize(n);
+  sres_levels_.resize(n * stride);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t h = state_.ect_order[j];
+    sres_ready_[j] = ready_[h];
+    sres_sess_[j] = sess_rem_[h];
+    sres_accr_[j] = accr_ready_[h];
+    const double* src = levels_.data() + h * stride;
+    double* dst = sres_levels_.data() + j * stride;
+    for (std::size_t k = 0; k < stride; ++k) dst[k] = src[k];
   }
+}
+
+void ChurnScheduler::update_sorted_cursor(std::size_t host) {
+  const std::size_t stride = 2 * config_.lookahead_levels;
+  const std::size_t pos = state_.ect_pos[host];
+  sres_ready_[pos] = ready_[host];
+  sres_sess_[pos] = sess_rem_[host];
+  sres_accr_[pos] = accr_ready_[host];
+  const double* src = levels_.data() + host * stride;
+  double* dst = sres_levels_.data() + pos * stride;
+  for (std::size_t k = 0; k < stride; ++k) dst[k] = src[k];
+}
+
+void ChurnScheduler::prime_gate_for_test(std::span<const double> tasks,
+                                         InterruptionPolicy policy) {
+  state_.ensure_ect_caches();
+  gate_.reset(state_, cursor_view(), tasks, policy);
 }
 
 template <bool kBlocked>
@@ -399,9 +339,12 @@ ChurnScheduleTotals ChurnScheduler::run_ect(std::span<const double> tasks,
   const std::size_t n = state_.size();
   if (n == 0) return totals;
   constexpr std::size_t kBlock = sim::ScheduleState::kBlockSize;
+  std::vector<double> bounds;  // level-A scratch, one entry per block
   if constexpr (kBlocked) {
-    rebuild_gathers();
-    setup_buckets(tasks);
+    state_.ensure_ect_caches();
+    gate_.reset(state_, cursor_view(), tasks, policy);
+    rebuild_sorted_cursors();
+    bounds.resize(state_.block_count());
   }
 
   [[maybe_unused]] double lb[kBlock];
@@ -420,114 +363,52 @@ ChurnScheduleTotals ChurnScheduler::run_ect(std::span<const double> tasks,
         }
       }
     } else {
+      const double margin = gate_.margin();
       const double* inv = state_.ect_sorted_inv.data();
       const double* bmin_inv = state_.ect_block_min_inv.data();
       const std::uint32_t* order = state_.ect_order.data();
       const std::size_t blocks = state_.block_count();
-      // Bucketed block gate: completions are non-decreasing in task
-      // size, so the block's precomputed per-lane-exact minimum at the
-      // bucket edge, extended by (task - edge) * block_min_inv, is a
-      // sound and gap-aware lower bound on every completion in the
-      // block. Tasks below every edge (never happens for this run's own
-      // workload) fall back to the ready-based bound.
-      const std::size_t bucket = bucket_of(task);
-      const double edge = bucket_edges_[bucket];
-      const bool bucketed = task >= edge;
-      const double over_edge = task - edge;
-      const double* bucket_row = bmin_done_.data() + bucket * blocks;
-      // Warm start: evaluate the block with the tightest bucket bound
-      // first. Without it the incumbent stays loose until the scan
-      // reaches the winner's block and every earlier block gets swept;
-      // with it the main loop's gate culls all but genuine near-ties.
-      // (Processing a block is order-independent: pruning only ever
-      // skips hosts that cannot win or tie.)
-      std::size_t warm_block = blocks;  // sentinel: no warm start
-      if (bucketed) {
-        double tightest = std::numeric_limits<double>::infinity();
-        for (std::size_t b = 0; b < blocks; ++b) {
-          const double bound = bucket_row[b] + over_edge * bmin_inv[b];
-          if (bound < tightest) {
-            tightest = bound;
-            warm_block = b;
-          }
+      const bool enveloped = gate_.mode() == GateMode::kEnvelope;
+      // Level A: the coarse bucket row — one contiguous read per task.
+      // Completions are non-decreasing in task size, so the row entry at
+      // the anchor edge, extended by (task - edge) * block_min_inv, lower
+      // bounds every completion in the block. The tightest block is the
+      // warm start: it is evaluated first so the incumbent is near-
+      // optimal before any other block is gated. (Processing order is
+      // result-neutral: pruning only skips hosts that cannot win or tie.)
+      const std::size_t bucket = gate_.bucket_of(task);
+      const double edge = gate_.bucket_edge(bucket);
+      const double over = task - edge;
+      const double* row = gate_.coarse_row(bucket);
+      std::size_t warm = 0;
+      double tightest = std::numeric_limits<double>::infinity();
+      for (std::size_t b = 0; b < blocks; ++b) {
+        const double bound = row[b] + over * bmin_inv[b];
+        bounds[b] = bound;
+        if (bound < tightest) {
+          tightest = bound;
+          warm = b;
         }
       }
       for (std::size_t bi = 0; bi <= blocks; ++bi) {
         // Iteration 0 is the warm-start block; the regular pass follows
         // (the warm block re-gates and prunes immediately).
-        std::size_t b;
-        if (bi == 0) {
-          if (warm_block == blocks) continue;
-          b = warm_block;
-        } else {
-          b = bi - 1;
+        const std::size_t b = bi == 0 ? warm : bi - 1;
+        if (bi != 0 && bounds[b] * margin > best_done) continue;
+        // Level B: the per-block envelope at the exact task size — an
+        // O(log knots) refinement that culls the near-misses the coarse
+        // row admits, without streaming the block's columns.
+        if (enveloped && bi != 0 &&
+            gate_.block_bound(b, task) * margin > best_done) {
+          continue;
         }
-        const double bound =
-            bucketed ? bucket_row[b] + over_edge * bmin_inv[b]
-                     : bmin_ready_[b] + task * bmin_inv[b];
-        if (bi != 0 && bound * kBoundMargin > best_done) continue;
+        gate_.sweep_block(b, task, lb);
+        ++totals.swept_blocks;
         const std::size_t lo = b * kBlock;
-        const std::size_t len = std::min(n - lo, kBlock);
-        // The fused sweep (branch-free selects over unconditional loads,
-        // vectorizable): per lane the EXACT completion wherever it is
-        // resident — fits lanes as `ready + work` (the reference's own
-        // expression), checkpoint spills level-routed as `target + phi`
-        // exactly as completion_for computes them — and a sound lower
-        // bound for the rest (deepest phi for deeper-than-kLevels
-        // checkpoint spills; next_start + work for restart spills, which
-        // forfeit accrued credit). Keeping each lane's own OFF structure
-        // attached is what prunes the leveled mid-band: any block-scalar
-        // min over 64 heavy-tailed gaps washes out to ~zero.
-        const double* __restrict bready = sready_.data() + lo;
-        const double* __restrict bsess = ssess_rem_.data() + lo;
-        const double* __restrict binv = inv + lo;
-        if (policy == InterruptionPolicy::kCheckpoint) {
-          const double* __restrict baccr = saccr_.data() + lo;
-          const double* __restrict bcum0 = scum_[0].data() + lo;
-          const double* __restrict bcum1 = scum_[1].data() + lo;
-          const double* __restrict bcum2 = scum_[2].data() + lo;
-          const double* __restrict bphi0 = sphi_[0].data() + lo;
-          const double* __restrict bphi1 = sphi_[1].data() + lo;
-          const double* __restrict bphi2 = sphi_[2].data() + lo;
-          const double* __restrict bphi3 = sphi_[3].data() + lo;
-          // Level routing as a min over per-level candidates: phi is
-          // non-decreasing across levels, so min(target + p_k) over the
-          // levels that can hold the target IS the routed value, bit for
-          // bit (fl(+) and fl(min) are monotone). Constant +inf arms
-          // if-convert where a dependent select chain does not.
-          constexpr double kInf = std::numeric_limits<double>::infinity();
-          for (std::size_t i = 0; i < len; ++i) {
-            const double work = task * binv[i];
-            const double sess = bsess[i];
-            const double r = bready[i];
-            const double c0 = bcum0[i], c1 = bcum1[i], c2 = bcum2[i];
-            const double p0 = bphi0[i], p1 = bphi1[i], p2 = bphi2[i],
-                         p3 = bphi3[i];
-            const double target = baccr[i] + work;
-            const double v0 = target <= c0 ? target + p0 : kInf;
-            const double v1 = target <= c1 ? target + p1 : kInf;
-            const double v2 = target <= c2 ? target + p2 : kInf;
-            const double spill =
-                std::min(std::min(v0, v1), std::min(v2, target + p3));
-            lb[i] = work <= sess ? r + work : spill;
-          }
-        } else {
-          const double* __restrict bnext = snext_start_.data() + lo;
-          for (std::size_t i = 0; i < len; ++i) {
-            const double work = task * binv[i];
-            const double r = bready[i];
-            const double nx = bnext[i];
-            lb[i] = (work <= bsess[i] ? r : nx) + work;
-          }
-        }
-        // Reduce to per-8-lane chunk minima (pad the tail with +inf):
-        // min is exact and order-free, the fixed-size trees vectorize,
-        // and the chunk minima let the scalar pass below skip lanes
-        // eight at a time — with ~2 surviving lanes per admitted block,
-        // iterating all 64 scalar lanes would dominate the kernel.
-        for (std::size_t i = len; i < kBlock; ++i) {
-          lb[i] = std::numeric_limits<double>::infinity();
-        }
+        // Reduce to per-8-lane chunk minima: min is exact and order-free,
+        // the fixed-size trees vectorize, and the chunk minima let the
+        // resolution pass skip lanes eight at a time (the gate pads tail
+        // lanes to +inf).
         constexpr std::size_t kChunks = kBlock / 8;
         double cmin[kChunks];
         for (std::size_t c = 0; c < kChunks; ++c) {
@@ -540,50 +421,53 @@ ChurnScheduleTotals ChurnScheduler::run_ect(std::span<const double> tasks,
         }
         double m = cmin[0];
         for (std::size_t c = 1; c < kChunks; ++c) m = std::min(m, cmin[c]);
-        if (m * kBoundMargin > best_done) continue;
+        if (m * margin > best_done) continue;
         for (std::size_t c = 0; c < kChunks; ++c) {
-          if (cmin[c] * kBoundMargin > best_done) continue;
+          if (cmin[c] * margin > best_done) continue;
           for (std::size_t i = c * 8; i < c * 8 + 8; ++i) {
-          // A lane whose deflated value exceeds the incumbent cannot win
-          // or tie: exact lanes carry their completion, bounded lanes a
-          // value their completion exceeds in exact arithmetic (the
-          // margin absorbs the rounding slack; padded lanes are +inf and
-          // stop here before touching any column).
-          if (lb[i] * kBoundMargin > best_done) continue;
-          const double work = task * inv[lo + i];
-          double done;
-          if (work <= ssess_rem_[lo + i]) {
-            done = lb[i];
-          } else if (policy == InterruptionPolicy::kCheckpoint) {
-            // The sweep value is already the exact completion unless the
-            // spill ran past the resident levels.
-            const double target = saccr_[lo + i] + work;
-            if (target <= scum_[kLevels - 1][lo + i]) {
-              done = lb[i];
+            // A lane whose deflated bound exceeds the incumbent cannot
+            // win or tie (the margin absorbs the bound chain's rounding
+            // slack). Survivors resolve through the sorted-layout DOUBLE
+            // cursor copies — value-identical to completion_for's
+            // per-host expressions (exact gathered copies, identical
+            // arithmetic), so the selection is bit-identical to the
+            // oracle no matter how the bounds were computed, without a
+            // per-host random gather on the hot path.
+            if (lb[i] * margin > best_done) continue;
+            const std::size_t sp = lo + i;
+            const std::uint32_t h = order[sp];
+            const double work = task * inv[sp];
+            double done;
+            if (work <= sres_sess_[sp]) {
+              done = sres_ready_[sp] + work;
+            } else if (policy == InterruptionPolicy::kCheckpoint) {
+              const std::size_t L = config_.lookahead_levels;
+              const double target = sres_accr_[sp] + work;
+              const double* lv = sres_levels_.data() + sp * 2 * L;
+              std::size_t k = 0;
+              while (k < L && target > lv[k]) ++k;
+              done = k < L ? target + lv[L + k]
+                           : checkpoint_spill(h, target);
             } else {
-              done = checkpoint_spill(order[lo + i], target);
+              done = restart_completion(timeline_, h, sres_ready_[sp], work)
+                         .completion;
             }
-          } else {
-            // Restart: the sweep value was the next_start + work bound;
-            // resolve the surviving lane with the session walk.
-            done =
-                restart_completion(timeline_, order[lo + i], sready_[lo + i],
-                                   work)
-                    .completion;
-          }
-          const std::uint32_t h = order[lo + i];
-          if (done < best_done) {
-            best_done = done;
-            best = h;
-          } else if (done == best_done && h < best) {
-            best = h;
-          }
+            ++totals.resolved_lanes;
+            if (done < best_done) {
+              best_done = done;
+              best = h;
+            } else if (done == best_done && h < best) {
+              best = h;
+            }
           }
         }
       }
     }
     commit(best, task * state_.inv_rates[best], policy, totals);
-    if constexpr (kBlocked) update_gathers(best);
+    if constexpr (kBlocked) {
+      update_sorted_cursor(best);
+      gate_.on_assign(best, state_, cursor_view());
+    }
   }
   return totals;
 }
@@ -595,8 +479,7 @@ ChurnScheduleTotals ChurnScheduler::run_abandon(
   const std::size_t n = state_.size();
   if (n == 0) return totals;
   constexpr std::size_t kBlock = sim::ScheduleState::kBlockSize;
-  buckets_active_ = false;  // abandon's optimistic keys don't use them
-  if constexpr (kBlocked) rebuild_gathers();
+  if constexpr (kBlocked) rebuild_ready_gathers();
 
   // FIFO of task costs: interrupted tasks re-enter at the back, so every
   // queued task is attempted before any retry. Terminates because each
@@ -626,6 +509,9 @@ ChurnScheduleTotals ChurnScheduler::run_abandon(
       const double* bmin_inv = state_.ect_block_min_inv.data();
       const std::uint32_t* order = state_.ect_order.data();
       const std::size_t blocks = state_.block_count();
+      // The block bound is monotone-sound without a margin: sready_i >=
+      // bmin_ready_b and fl(task*inv_i) >= fl(task*bmin_inv_b), and fl(+)
+      // is monotone, so the bound never exceeds any lane's key bitwise.
       for (std::size_t b = 0; b < blocks; ++b) {
         if (bmin_ready_[b] + task * bmin_inv[b] > best_done) continue;
         const std::size_t lo = b * kBlock;
@@ -663,7 +549,7 @@ ChurnScheduleTotals ChurnScheduler::run_abandon(
       queue.push_back(task);
     }
     update_cursor(best);
-    if constexpr (kBlocked) update_gathers(best);
+    if constexpr (kBlocked) update_ready_gather(best);
   }
   return totals;
 }

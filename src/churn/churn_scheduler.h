@@ -22,38 +22,34 @@
 //    interruption instant.
 //
 // Selection is minimum-completion-time over the rate-sorted blocks of
-// sim::ScheduleState, but the derate kernel's plain `ready + task*inv`
-// bound is hopeless here: the winner's completion carries OFF-gap
-// stretch, so in the leveled steady state that bound admits the whole
-// mid-band, and any per-block min over 64 heavy-tailed gaps washes out
-// to approximately the gap-free bound. The machinery that actually
-// prunes (see churn/README.md for the full derivation):
+// sim::ScheduleState. The derate kernel's plain `ready + task*inv` bound
+// is hopeless here (the winner's completion carries OFF-gap stretch, so
+// in the leveled steady state that bound admits the whole mid-band), and
+// any per-block scalar over 64 heavy-tailed gaps washes out to the
+// gap-free bound. What prunes (full derivation in churn/README.md):
 //
-//   - per-host SESSION CURSORS (ready_at, sess_rem, accrued-ON, and
-//     kLevels sessions of (cum, phi) lookahead): a checkpoint completion
-//     inside session j is exactly `target + phi_j` with phi_j = end_j -
-//     cum_j non-decreasing in j, so completions within the lookahead are
-//     O(1) formulas over resident columns and anything deeper is
-//     bounded by the deepest phi (resolved by one lower_bound over the
-//     timeline's cum column);
-//   - a FUSED EXACT SWEEP per admitted block: branch-free selects
-//     compute every lane's exact completion (fits lanes as the
-//     reference's own `ready + work`, spills level-routed as
-//     `target + phi`) or a sound bound, then 8-lane chunk minima gate
-//     the scalar pass;
-//   - TASK-SIZE-BUCKETED block minima: completions are non-decreasing
-//     in task size, so per-block minima of edge-sized completions,
-//     extended by (task - edge) * block_min_inv, give a gap-aware block
-//     gate, with the tightest-bound block evaluated first to warm the
-//     incumbent;
+//   - per-host SESSION CURSORS (ready_at, sess_rem, accrued-ON, and a
+//     configurable number of lookahead sessions of (cum, phi)): a
+//     checkpoint completion inside session j is exactly `target + phi_j`
+//     with phi_j non-decreasing in j, so completions within the
+//     lookahead are O(1) formulas over resident columns and anything
+//     deeper is bounded by the deepest phi (resolved by one lower_bound
+//     over the timeline's cum column);
+//   - a churn::BoundGate (block_envelope.h): per-block lower ENVELOPES
+//     of the piecewise-affine completion-vs-task-size functions,
+//     maintained incrementally (only the winner's knots per assignment,
+//     lazy full-rebuild epochs), packed as float32 bound columns, under
+//     a bucket-major coarse row for the cheap per-task block scan;
 //   - every cross-expression skip test deflates its bound by a relative
-//     margin orders of magnitude above ulp noise, so pruning stays
-//     sound by construction in floating point.
+//     margin orders of magnitude above the bound chain's rounding noise,
+//     so pruning stays sound by construction in floating point.
 //
-// A scalar reference kernel that evaluates EVERY host through the same
-// completion expressions is retained as the golden oracle; this file is
-// compiled with -ffp-contract=off and -fno-trapping-math (see
-// src/CMakeLists.txt), so fast and reference results are bit-identical.
+// Survivor lanes are resolved through the EXACT double cursor
+// expressions (the same code path the scalar reference runs), which is
+// what keeps the blocked kernel bit-identical to the retained full-
+// evaluation oracle regardless of gate mode or column precision. This
+// file is compiled with -ffp-contract=off and -fno-trapping-math (see
+// src/CMakeLists.txt).
 //
 // Beyond the timeline's horizon hosts count as permanently ON (see
 // interval_timeline.h); schedules that outrun the generated window stay
@@ -64,26 +60,47 @@
 #include <span>
 #include <string>
 
+#include "churn/block_envelope.h"
 #include "churn/interval_timeline.h"
 #include "sim/schedule_state.h"
 
 namespace resmodel::churn {
 
-/// What happens to a task whose host goes OFF mid-computation.
-enum class InterruptionPolicy {
-  kCheckpoint,
-  kRestart,
-  kAbandon,
-};
-
 std::string to_string(InterruptionPolicy policy);
 
 /// Totals on top of the per-host columns the scheduler updates in place.
+/// The trailing counters are deterministic kernel-shape telemetry
+/// (identical across runs of the same inputs — bench/perf_microbench
+/// exports them so tools/compare_bench.py can flag pruning regressions
+/// machine-independently); they are not part of the scheduling result.
 struct ChurnScheduleTotals {
   double makespan_days = 0.0;
   double total_cpu_days = 0.0;   ///< useful processing time
   double wasted_cpu_days = 0.0;  ///< ON time burned by interrupted attempts
   std::uint64_t interruptions = 0;
+  std::uint64_t swept_blocks = 0;    ///< blocks whose columns were streamed
+  std::uint64_t resolved_lanes = 0;  ///< lanes resolved through exact doubles
+};
+
+/// Tuning knobs for the blocked kernel. Every setting returns the same
+/// schedule bit for bit — they trade pruning power and swept bytes, not
+/// results (the lookahead depth can shift completions by ulps ACROSS
+/// depths, because deep spills resolve through a different exact
+/// expression, but blocked and reference agree exactly at equal depth).
+struct ChurnSchedulerConfig {
+  /// Resident (cum, phi) lookahead sessions per host, in [1,
+  /// kMaxLookaheadLevels]. More levels resolve deeper checkpoint spills
+  /// from columns instead of binary searches and sharpen the deep-spill
+  /// bound; fewer levels shrink the swept columns. 8 is the measured
+  /// sweet spot at 10k-100k hosts (4 leaves the deep-spill bound so
+  /// loose that ~200 blocks and ~350 lanes per task survive the gates;
+  /// 8 cuts that to ~25 / ~20; 12 buys no further shape and streams
+  /// wider columns).
+  std::size_t lookahead_levels = 8;
+  GateMode gate_mode = GateMode::kEnvelope;
+  /// Pack the swept bound columns as float32 (half the streamed bytes,
+  /// twice the SIMD width); commit-time completions stay double.
+  bool float32_columns = true;
 };
 
 /// Walks host `host`'s ON intervals from the ON instant `start_on`
@@ -117,8 +134,18 @@ RestartOutcome restart_completion(const IntervalTimeline& timeline,
 class ChurnScheduler {
  public:
   /// `state` and `timeline` must describe the same hosts (equal counts —
-  /// throws std::invalid_argument otherwise) and outlive the scheduler.
-  ChurnScheduler(sim::ScheduleState& state, const IntervalTimeline& timeline);
+  /// throws std::invalid_argument otherwise, as does an out-of-range
+  /// config.lookahead_levels) and outlive the scheduler.
+  ChurnScheduler(sim::ScheduleState& state, const IntervalTimeline& timeline,
+                 const ChurnSchedulerConfig& config = {});
+
+  /// Warm-start constructor: rebinds `seed`'s timeline and config to a
+  /// fresh `state` and COPIES the seed's cursor columns instead of
+  /// re-deriving them host by host (one binary search each). `state`
+  /// must have the same host count and the same free_at column as the
+  /// state `seed` was constructed over — sim::run_policy_sweep uses this
+  /// to share one cursor derivation across all cells of a population.
+  ChurnScheduler(sim::ScheduleState& state, const ChurnScheduler& seed);
 
   /// Blocked, pruned fast path.
   ChurnScheduleTotals run(std::span<const double> tasks,
@@ -128,16 +155,32 @@ class ChurnScheduler {
   ChurnScheduleTotals run_reference(std::span<const double> tasks,
                                     InterruptionPolicy policy);
 
+  const ChurnSchedulerConfig& config() const noexcept { return config_; }
+
   /// The ready-at cursor column (exposed for tests).
   const std::vector<double>& ready_at() const noexcept { return ready_; }
+
+  /// Test hooks: the exact completion the selection compares (same
+  /// expressions commit uses), and gate priming + access so soundness
+  /// properties (every gate bound, deflated by gate().margin(), is <=
+  /// the exact completion) can be asserted directly — including after
+  /// run() advanced the state through staleness epochs.
+  double completion_for_test(std::size_t host, double task,
+                             InterruptionPolicy policy) const noexcept {
+    return completion_for(host, task * state_.inv_rates[host], policy);
+  }
+  void prime_gate_for_test(std::span<const double> tasks,
+                           InterruptionPolicy policy);
+  const BoundGate& gate() const noexcept { return gate_; }
 
  private:
   /// True completion of `work` on `host` starting from its current
   /// cursor, under `policy` (selection only — no accounting). Fits-case
-  /// completions are the literal `ready + work` expression (so they equal
-  /// the pruning bound bit for bit); checkpoint spills resolve through
-  /// one lower_bound over the timeline's cum_ends column, restart spills
-  /// through the session walk.
+  /// completions are the literal `ready + work` expression; checkpoint
+  /// spills resolve through the resident levels or one lower_bound over
+  /// the timeline's cum_ends column, restart spills through the session
+  /// walk. Shared verbatim by the blocked survivors, the reference scan
+  /// and commit — the bit-identity anchor.
   double completion_for(std::size_t host, double work,
                         InterruptionPolicy policy) const noexcept;
 
@@ -161,37 +204,35 @@ class ChurnScheduler {
   /// columns entries).
   void update_cursor(std::size_t host) noexcept;
 
-  /// (Re)builds the sorted-layout gathers from the cursor columns.
-  void rebuild_gathers();
-  /// Refreshes the gathers + block minimum after `host`'s cursor moved.
-  void update_gathers(std::size_t host);
+  /// The gate's view of the cursor columns.
+  CursorView cursor_view() const noexcept {
+    return {ready_, sess_rem_, next_start_, accr_ready_, levels_,
+            config_.lookahead_levels};
+  }
 
-  /// Derives the log-spaced task-size bucket edges from a workload and
-  /// fills bmin_done_ for every block (run_ect setup).
-  void setup_buckets(std::span<const double> tasks);
-  /// Recomputes block `blk`'s per-bucket completion minima.
-  void rebuild_bucket_mins(std::size_t blk);
-  /// Largest bucket whose edge does not exceed `task`.
-  std::size_t bucket_of(double task) const noexcept;
+  /// (Re)builds kAbandon's sorted ready gather + per-block minima.
+  void rebuild_ready_gathers();
+  void update_ready_gather(std::size_t host);
 
-  /// Session-lookahead levels resident per host. A checkpoint completion
-  /// inside session j is `target + phi_j` with phi_j = end_j - cum_j, and
-  /// phi is NON-DECREASING in j (every OFF gap adds to it) — so caching
-  /// (cum_j, phi_j) for the next kLevels sessions resolves shallow spills
-  /// exactly from resident columns, and phi at the deepest level is a
-  /// sound, far tighter bound for anything deeper. Layout: kStride
-  /// doubles per host — [cum_1..cum_kLevels, phi_1..phi_kLevels].
-  static constexpr std::size_t kLevels = 4;
-  static constexpr std::size_t kStride = 2 * kLevels;
+  /// (Re)builds / maintains the ECT paths' sorted-layout RESOLUTION
+  /// columns: exact double copies of the cursor columns in ect_order
+  /// layout, so a surviving lane resolves from the lines the block sweep
+  /// just touched instead of a per-host random gather. The levels ride
+  /// along interleaved (stride 2 * lookahead_levels per position) so one
+  /// survivor's whole route is one or two cache lines.
+  void rebuild_sorted_cursors();
+  void update_sorted_cursor(std::size_t host);
 
   sim::ScheduleState& state_;
   const IntervalTimeline& timeline_;
+  ChurnSchedulerConfig config_;
   /// Per-host cursor columns (original host index): earliest ON instant
   /// >= free_at; ON time remaining in that session (+inf once the host is
   /// past the horizon and permanently ON); the next session's start (the
   /// horizon when no generated session remains); cumulative ON days
   /// accrued at the ready instant; the current session's index; and the
-  /// lookahead levels (kStride doubles per host).
+  /// lookahead levels (2 * lookahead_levels doubles per host:
+  /// [cum_1..cum_L, phi_1..phi_L]).
   std::vector<double> ready_;
   std::vector<double> sess_rem_;
   std::vector<double> next_start_;
@@ -199,36 +240,20 @@ class ChurnScheduler {
   std::vector<std::uint32_t> sess_idx_;
   std::vector<double> levels_;
 
-  // Blocked-path gathers, rebuilt per run (kernel-local, like the sim/
-  // kernels' sfree): the cursor columns in ect_order layout + per-block
-  // minima of the ready column. The gathered copies keep the hot band's
-  // accesses streaming instead of random across 100k hosts.
+  /// The pruning gate (packed columns + envelopes + coarse rows),
+  /// rebuilt per run_ect run; see block_envelope.h.
+  BoundGate gate_;
+
+  // kAbandon's blocked path only needs the ready column in sorted layout
+  // (its selection key is the optimistic ready + work even for spills).
   std::vector<double> sready_;
-  std::vector<double> ssess_rem_;
-  std::vector<double> snext_start_;
-  std::vector<double> saccr_;
-  /// The lookahead levels as separate sorted-layout columns (cum and phi
-  /// per level), so both the bucket sweeps and the selection sweep
-  /// stream block stripes instead of striding through an interleaved
-  /// layout. (kAbandon ignores them: its selection key is the optimistic
-  /// ready + work even for spills.)
-  std::vector<double> scum_[kLevels];
-  std::vector<double> sphi_[kLevels];
   std::vector<double> bmin_ready_;
 
-  /// Task-size-bucketed block minima — the gate that actually prunes.
-  /// Completions are non-decreasing in task size, so the min over a
-  /// block of (exact-or-lower-bound) completions evaluated at bucket
-  /// edge e lower-bounds every completion for task >= e; extending by
-  /// (task - e) * block_min_inv keeps it sound inside the bucket. Unlike
-  /// any block-scalar over gaps, the per-lane evaluation at the edge
-  /// keeps each host's own OFF structure attached before the min — this
-  /// is what a plain min-ready/min-anchor bound washes out. One block's
-  /// row is recomputed per assignment (vectorized sweeps per edge).
-  static constexpr std::size_t kBuckets = 32;
-  std::vector<double> bucket_edges_;  ///< ascending, kBuckets entries
-  std::vector<double> bmin_done_;     ///< block_count x kBuckets
-  bool buckets_active_ = false;       ///< run_ect sets, run_abandon clears
+  // ECT survivor-resolution columns (see rebuild_sorted_cursors).
+  std::vector<double> sres_ready_;
+  std::vector<double> sres_sess_;
+  std::vector<double> sres_accr_;
+  std::vector<double> sres_levels_;
 };
 
 }  // namespace resmodel::churn

@@ -5,8 +5,10 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "churn/churn_scheduler.h"
 #include "sim/schedule_state.h"
@@ -81,6 +83,8 @@ std::vector<double> base_host_rates(std::span<const HostResources> hosts) {
   return rates;
 }
 
+}  // namespace
+
 std::vector<double> base_host_rates(const HostResourcesSoA& hosts) {
   const std::size_t n = hosts.size();
   std::vector<double> rates(n);
@@ -93,6 +97,8 @@ std::vector<double> base_host_rates(const HostResourcesSoA& hosts) {
   }
   return rates;
 }
+
+namespace {
 
 // Derates `rates` in place by each host's sampled long-run ON fraction.
 // The realization forks the rng once per host, in host order — the single
@@ -178,16 +184,19 @@ std::vector<double> compute_host_rates(const HostResourcesSoA& hosts,
 namespace {
 
 // The policy dispatch shared by every entry point: everything below only
-// needs the per-host rates (plus, for the churn family, the interval
+// needs a built ScheduleState (plus, for the churn family, the interval
 // timeline). `reference_dynamics` selects the retained scalar /
 // priority_queue / full-walk kernels for the dynamic policies.
-BagOfTasksResult run_with_rates(std::vector<double> rates,
+// `cursor_seed`, when given, is a ChurnScheduler over an identically
+// fresh state whose cursor columns are copied instead of re-derived —
+// run_policy_sweep's per-population warm start.
+BagOfTasksResult run_with_state(ScheduleState state,
                                 const churn::IntervalTimeline* timeline,
                                 const BagOfTasksConfig& config,
                                 SchedulingPolicy policy, util::Rng& rng,
-                                bool reference_dynamics) {
+                                bool reference_dynamics,
+                                const churn::ChurnScheduler* cursor_seed) {
   const std::vector<double> tasks = sample_tasks(config, rng);
-  ScheduleState state = ScheduleState::from_rates(std::move(rates));
   const std::size_t host_count = state.size();
 
   if (is_churn_policy(policy)) {
@@ -198,10 +207,22 @@ BagOfTasksResult run_with_rates(std::vector<double> rates,
     } else if (policy == SchedulingPolicy::kChurnEctAbandon) {
       interruption = churn::InterruptionPolicy::kAbandon;
     }
-    churn::ChurnScheduler scheduler(state, *timeline);
+    churn::ChurnSchedulerConfig sched_config;
+    sched_config.lookahead_levels = config.churn_lookahead_levels;
+    std::optional<churn::ChurnScheduler> scheduler;
+    // The seed carries its own config; it may only stand in for a fresh
+    // derivation when the depths agree, or the cell would silently run
+    // at the seed's depth and break the cell == standalone contract.
+    if (cursor_seed != nullptr &&
+        cursor_seed->config().lookahead_levels ==
+            config.churn_lookahead_levels) {
+      scheduler.emplace(state, *cursor_seed);
+    } else {
+      scheduler.emplace(state, *timeline, sched_config);
+    }
     const churn::ChurnScheduleTotals totals =
-        reference_dynamics ? scheduler.run_reference(tasks, interruption)
-                           : scheduler.run(tasks, interruption);
+        reference_dynamics ? scheduler->run_reference(tasks, interruption)
+                           : scheduler->run(tasks, interruption);
     BagOfTasksResult result =
         finish(state.busy_days, totals.total_cpu_days, totals.makespan_days);
     result.wasted_cpu_days = totals.wasted_cpu_days;
@@ -288,6 +309,22 @@ void validate_config(const BagOfTasksConfig& config) {
       !(config.task_cost_cv > 0.0)) {
     throw std::invalid_argument("run_bag_of_tasks: degenerate config");
   }
+  if (config.churn_lookahead_levels == 0 ||
+      config.churn_lookahead_levels > churn::kMaxLookaheadLevels) {
+    throw std::invalid_argument(
+        "run_bag_of_tasks: churn_lookahead_levels must be in [1, " +
+        std::to_string(churn::kMaxLookaheadLevels) + "]");
+  }
+}
+
+BagOfTasksResult run_with_rates(std::vector<double> rates,
+                                const churn::IntervalTimeline* timeline,
+                                const BagOfTasksConfig& config,
+                                SchedulingPolicy policy, util::Rng& rng,
+                                bool reference_dynamics) {
+  return run_with_state(ScheduleState::from_rates(std::move(rates)), timeline,
+                        config, policy, rng, reference_dynamics,
+                        /*cursor_seed=*/nullptr);
 }
 
 template <typename Hosts>
@@ -325,6 +362,37 @@ BagOfTasksResult run_bag_of_tasks(const HostResourcesSoA& hosts,
                                   const BagOfTasksConfig& config,
                                   SchedulingPolicy policy, util::Rng& rng) {
   return run_any(hosts, config, policy, rng, /*reference_dynamics=*/false);
+}
+
+BagOfTasksResult run_bag_of_tasks(const HostResourcesSoA& hosts,
+                                  const AvailabilityRealization& availability,
+                                  const BagOfTasksConfig& config,
+                                  SchedulingPolicy policy, util::Rng& rng) {
+  if (hosts.empty()) {
+    throw std::invalid_argument("run_bag_of_tasks: no hosts");
+  }
+  validate_config(config);
+  std::vector<double> rates = base_host_rates(hosts);
+  if (is_churn_policy(policy)) {
+    if (!availability.timeline ||
+        availability.timeline->host_count() != rates.size()) {
+      throw std::invalid_argument(
+          "run_bag_of_tasks: availability timeline does not cover the hosts");
+    }
+    return run_with_rates(std::move(rates), availability.timeline.get(),
+                          config, policy, rng, /*reference_dynamics=*/false);
+  }
+  if (config.model_availability) {
+    if (availability.fractions.size() != rates.size()) {
+      throw std::invalid_argument(
+          "run_bag_of_tasks: availability fractions do not cover the hosts");
+    }
+    for (std::size_t h = 0; h < rates.size(); ++h) {
+      rates[h] *= std::max(0.01, availability.fractions[h]);
+    }
+  }
+  return run_with_rates(std::move(rates), nullptr, config, policy, rng,
+                        /*reference_dynamics=*/false);
 }
 
 BagOfTasksResult run_bag_of_tasks_reference(
@@ -385,53 +453,72 @@ PolicySweepResult run_policy_sweep(std::span<const SweepPopulation> populations,
   result.cells.resize(cell_count);
 
   // Every cell of one population reseeds Rng(workload_seed) and would
-  // re-derive the identical rate vector — including the expensive
-  // per-host availability histories — so the rates (and, when the churn
-  // family is present, the interval timeline drawn from the very same
-  // forks) are computed once per population here, together with the rng
-  // state each cell's task sampling resumes from. A cell stays
+  // re-derive identical warm state — the rate vector (including the
+  // expensive per-host availability histories), the rate-sorted ect_*
+  // caches, and the churn cursor columns (one timeline binary search per
+  // host) — so all of it is computed once per population here: built
+  // ScheduleStates that cells COPY (column memcpy instead of re-sort /
+  // re-derate), the interval timeline drawn from the very same forks,
+  // a ChurnScheduler whose cursor columns seed each churn cell, and the
+  // rng state each cell's task sampling resumes from. A cell stays
   // bit-identical to a standalone
   // run_bag_of_tasks(hosts, config, policy, Rng(workload_seed)): derate
   // cells resume from the flag-dependent stream, churn cells from the
   // post-realization stream (the two coincide when model_availability is
-  // set, because both paths consume the identical realization).
-  struct SharedRates {
-    std::vector<double> base_rates;
-    std::vector<double> flagged_rates;  ///< derated iff model_availability
+  // set, because both paths consume the identical realization), and the
+  // copied caches/cursors hold exactly the values a fresh derivation
+  // produces.
+  bool any_ect = any_churn;
+  for (const SchedulingPolicy policy : config.policies) {
+    if (policy == SchedulingPolicy::kDynamicEct) any_ect = true;
+  }
+  struct SharedState {
+    ScheduleState state_flagged;  ///< rates derated iff model_availability
+    ScheduleState state_base;     ///< full rates (churn cells); any_churn only
     util::Rng rng_after_flagged;
     std::shared_ptr<const churn::IntervalTimeline> timeline;
     util::Rng rng_after_avail;
+    std::optional<churn::ChurnScheduler> cursor_seed;  ///< over state_base
   };
-  std::vector<SharedRates> shared(populations.size());
+  std::vector<SharedState> shared(populations.size());
   for (std::size_t p = 0; p < populations.size(); ++p) {
-    SharedRates& pop = shared[p];
+    SharedState& pop = shared[p];
     util::Rng rng(config.workload_seed);
-    pop.base_rates = base_host_rates(populations[p].hosts);
+    std::vector<double> base_rates = base_host_rates(populations[p].hosts);
+    std::vector<double> flagged_rates;
     if (config.base.model_availability || any_churn) {
       util::Rng avail_rng = rng;
       const AvailabilityRealization real =
-          realize_availability(pop.base_rates, config.base, avail_rng);
+          realize_availability(base_rates, config.base, avail_rng);
+      flagged_rates = base_rates;
       if (config.base.model_availability) {
-        pop.flagged_rates = pop.base_rates;
-        for (std::size_t h = 0; h < pop.flagged_rates.size(); ++h) {
-          pop.flagged_rates[h] *= std::max(0.01, real.fractions[h]);
+        for (std::size_t h = 0; h < flagged_rates.size(); ++h) {
+          flagged_rates[h] *= std::max(0.01, real.fractions[h]);
         }
         rng = avail_rng;
-      } else {
-        pop.flagged_rates = pop.base_rates;
       }
       if (any_churn) pop.timeline = real.timeline;
       pop.rng_after_avail = avail_rng;
     } else {
-      pop.flagged_rates = pop.base_rates;
+      flagged_rates = base_rates;
     }
     pop.rng_after_flagged = rng;
+    if (any_churn) {
+      pop.state_base = ScheduleState::from_rates(std::move(base_rates));
+      pop.state_base.ensure_ect_caches();
+      churn::ChurnSchedulerConfig seed_config;
+      seed_config.lookahead_levels = config.base.churn_lookahead_levels;
+      pop.cursor_seed.emplace(pop.state_base, *pop.timeline, seed_config);
+    }
+    pop.state_flagged = ScheduleState::from_rates(std::move(flagged_rates));
+    if (any_ect) pop.state_flagged.ensure_ect_caches();
   }
 
   // Independent, deterministically seeded cells claimed off an atomic
   // counter — the allocator's score-phase pattern. Any thread may run any
-  // cell; none of them shares mutable state, so the grid is thread-count
-  // invariant.
+  // cell; none of them shares mutable state (the shared states and
+  // cursor seeds are read-only after the loop above), so the grid is
+  // thread-count invariant.
   std::atomic<std::size_t> next_cell{0};
   const auto worker = [&] {
     for (;;) {
@@ -444,16 +531,16 @@ PolicySweepResult run_policy_sweep(std::span<const SweepPopulation> populations,
       BagOfTasksConfig cell_config = config.base;
       cell_config.task_count = config.task_counts[cell.task_count];
       const SchedulingPolicy policy = config.policies[cell.policy];
-      const SharedRates& pop_rates = shared[cell.population];
+      const SharedState& pop_state = shared[cell.population];
       const bool churn_cell = is_churn_policy(policy);
-      util::Rng cell_rng = churn_cell ? pop_rates.rng_after_avail
-                                      : pop_rates.rng_after_flagged;
-      const std::vector<double>& rates =
-          churn_cell ? pop_rates.base_rates : pop_rates.flagged_rates;
-      cell.result = run_with_rates(
-          std::vector<double>(rates),
-          churn_cell ? pop_rates.timeline.get() : nullptr, cell_config,
-          policy, cell_rng, /*reference_dynamics=*/false);
+      util::Rng cell_rng = churn_cell ? pop_state.rng_after_avail
+                                      : pop_state.rng_after_flagged;
+      cell.result = run_with_state(
+          ScheduleState(churn_cell ? pop_state.state_base
+                                   : pop_state.state_flagged),
+          churn_cell ? pop_state.timeline.get() : nullptr, cell_config,
+          policy, cell_rng, /*reference_dynamics=*/false,
+          churn_cell ? &*pop_state.cursor_seed : nullptr);
     }
   };
 

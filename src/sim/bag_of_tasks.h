@@ -71,6 +71,15 @@ struct BagOfTasksConfig {
   /// Start interval streams in the stationary state instead of always-ON
   /// (synth::StartMode::kStationary); default off keeps existing streams.
   bool availability_stationary_start = false;
+
+  /// Resident session-lookahead depth of the churn ECT kernel, in
+  /// [1, churn::kMaxLookaheadLevels] (validated up front like the other
+  /// knobs; default = churn::ChurnSchedulerConfig's measured sweet
+  /// spot). A pure performance knob: blocked and reference kernels stay
+  /// bit-identical at any depth; results can differ by ulps ACROSS
+  /// depths because deeper spills resolve through a different exact
+  /// expression. CLI: `sweep --churn-levels=N`.
+  std::size_t churn_lookahead_levels = 8;
 };
 
 /// Scheduling policies compared in the study.
@@ -141,6 +150,14 @@ AvailabilityRealization realize_availability(std::span<const double> speed,
                                              const BagOfTasksConfig& config,
                                              util::Rng& rng);
 
+/// The base speed column — max(1, cores x whetstone) per host, no
+/// availability treatment, no rng consumption. This is BOTH the rate
+/// column the schedulers start from and the speed column
+/// realize_availability couples against; callers that draw a
+/// realization themselves (the shared-realization overload below) must
+/// use this helper so their draw matches the internal one.
+std::vector<double> base_host_rates(const HostResourcesSoA& hosts);
+
 /// Per-host processing rates in MIPS (cores x whetstone, floored at 1),
 /// derated by a sampled availability fraction when the overlay is on
 /// (per-host coupled parameters when availability_coupled is set).
@@ -169,6 +186,20 @@ BagOfTasksResult run_bag_of_tasks(std::span<const HostResources> hosts,
 /// Columnar overload: identical semantics and rng consumption, computing
 /// the per-host rates straight from the SoA columns (no AoS conversion).
 BagOfTasksResult run_bag_of_tasks(const HostResourcesSoA& hosts,
+                                  const BagOfTasksConfig& config,
+                                  SchedulingPolicy policy, util::Rng& rng);
+
+/// Shared-realization overload: schedules against a caller-supplied
+/// availability draw instead of drawing one, so variants of a pure
+/// performance knob (e.g. churn_lookahead_levels) — or any set of runs
+/// that must stay draw-comparable — consume ONE realization by
+/// construction. `rng` only samples the workload. Derate policies
+/// multiply the base rates by `availability.fractions` (requires
+/// model_availability); churn policies walk `availability.timeline`.
+/// Throws std::invalid_argument when the realization does not cover the
+/// hosts (or is missing the piece the policy needs).
+BagOfTasksResult run_bag_of_tasks(const HostResourcesSoA& hosts,
+                                  const AvailabilityRealization& availability,
                                   const BagOfTasksConfig& config,
                                   SchedulingPolicy policy, util::Rng& rng);
 

@@ -87,14 +87,18 @@ std::vector<double> random_tasks(std::size_t n, std::uint64_t seed) {
   return tasks;
 }
 
+/// Blocked-vs-reference golden check at one kernel configuration: every
+/// gate mode and column precision must reproduce the scalar oracle's
+/// schedule bit for bit (the config trades pruning power, never results).
 void expect_run_identical(std::vector<double> rates,
                           const IntervalTimeline& timeline,
                           const std::vector<double>& tasks,
-                          InterruptionPolicy policy) {
+                          InterruptionPolicy policy,
+                          const ChurnSchedulerConfig& config = {}) {
   sim::ScheduleState fast = state_from_rates(rates);
   sim::ScheduleState ref = state_from_rates(std::move(rates));
-  ChurnScheduler fast_sched(fast, timeline);
-  ChurnScheduler ref_sched(ref, timeline);
+  ChurnScheduler fast_sched(fast, timeline, config);
+  ChurnScheduler ref_sched(ref, timeline, config);
   const ChurnScheduleTotals a = fast_sched.run(tasks, policy);
   const ChurnScheduleTotals b = ref_sched.run_reference(tasks, policy);
   EXPECT_EQ(a.makespan_days, b.makespan_days);
@@ -113,14 +117,100 @@ constexpr InterruptionPolicy kAllPolicies[] = {
     InterruptionPolicy::kAbandon,
 };
 
+/// The kernel configurations the golden suites cycle through: the
+/// shipping default (envelope gate, float32 columns, 8 levels), each
+/// ablation arm, and the lookahead extremes.
+std::vector<ChurnSchedulerConfig> golden_configs() {
+  std::vector<ChurnSchedulerConfig> configs(5);
+  configs[1].float32_columns = false;
+  configs[2].gate_mode = GateMode::kBucket;
+  configs[2].float32_columns = false;
+  configs[3].lookahead_levels = 1;
+  configs[4].lookahead_levels = kMaxLookaheadLevels;
+  return configs;
+}
+
 TEST(ChurnScheduler, BlockedBitIdenticalToReference) {
   // A few hundred hosts spans multiple pruning blocks; heterogeneous
-  // rates make the bound bite.
+  // rates make the bound bite. Every gate configuration must match the
+  // oracle exactly.
   const std::vector<double> rates = random_rates(300, 31);
   const IntervalTimeline timeline = model_timeline(300, 32);
   const std::vector<double> tasks = random_tasks(900, 33);
+  for (const ChurnSchedulerConfig& config : golden_configs()) {
+    for (const InterruptionPolicy policy : kAllPolicies) {
+      expect_run_identical(rates, timeline, tasks, policy, config);
+    }
+  }
+}
+
+TEST(ChurnScheduler, GoldenDenseNearTies) {
+  // Adversarial for the gates: rates within a relative 1e-9 of each
+  // other and ONE shared timeline put hundreds of lanes inside every
+  // margin band, so the fast path must resolve (not skip) all of them
+  // to reproduce the oracle's smallest-index winner.
+  std::vector<double> rates(200);
+  for (std::size_t h = 0; h < rates.size(); ++h) {
+    rates[h] = 1000.0 * (1.0 + 1e-9 * static_cast<double>(h % 7));
+  }
+  util::Rng rng(141);
+  const synth::AvailabilityModel model;
+  util::Rng host_rng = rng.fork();
+  const auto intervals = model.generate(0.0, 60.0, host_rng);
+  const IntervalTimeline timeline = IntervalTimeline::from_intervals(
+      std::vector<std::vector<synth::AvailabilityInterval>>(200, intervals),
+      0.0, 60.0);
+  const std::vector<double> tasks = random_tasks(600, 143);
+  for (const ChurnSchedulerConfig& config : golden_configs()) {
+    for (const InterruptionPolicy policy : kAllPolicies) {
+      expect_run_identical(rates, timeline, tasks, policy, config);
+    }
+  }
+}
+
+TEST(ChurnScheduler, GoldenStaleEnvelopeEpochs) {
+  // Adversarial for the incremental envelope: a cluster of much faster
+  // hosts pulls nearly every assignment into one block, cycling its
+  // stale counter through many repair + full-rebuild epochs; the
+  // schedule must stay bit-identical throughout.
+  std::vector<double> rates = random_rates(192, 151);
+  for (std::size_t h = 100; h < 108; ++h) {
+    rates[h] = 80000.0 + 10.0 * static_cast<double>(h);
+  }
+  const IntervalTimeline timeline = model_timeline(192, 152);
+  const std::vector<double> tasks =
+      random_tasks(churn::BoundGate::kStaleLimit * 40, 153);
   for (const InterruptionPolicy policy : kAllPolicies) {
     expect_run_identical(rates, timeline, tasks, policy);
+    ChurnSchedulerConfig f64;
+    f64.float32_columns = false;
+    expect_run_identical(rates, timeline, tasks, policy, f64);
+  }
+}
+
+TEST(ChurnScheduler, LookaheadDepthIsAPerfKnob) {
+  // Depth changes which exact expression resolves a deep spill, so
+  // completions may move by ulps across depths — but never more, and
+  // each depth is individually bit-identical to its own reference
+  // (covered above). Guard the "never more" half.
+  const std::vector<double> rates = random_rates(150, 161);
+  const IntervalTimeline timeline = model_timeline(150, 162);
+  const std::vector<double> tasks = random_tasks(400, 163);
+  double makespan_at_depth1 = 0.0;
+  for (const std::size_t levels : {std::size_t{1}, std::size_t{4},
+                                   std::size_t{8}, kMaxLookaheadLevels}) {
+    sim::ScheduleState state = state_from_rates(rates);
+    ChurnSchedulerConfig config;
+    config.lookahead_levels = levels;
+    ChurnScheduler sched(state, timeline, config);
+    const ChurnScheduleTotals totals =
+        sched.run(tasks, InterruptionPolicy::kCheckpoint);
+    if (levels == 1) {
+      makespan_at_depth1 = totals.makespan_days;
+    } else {
+      EXPECT_NEAR(totals.makespan_days, makespan_at_depth1,
+                  1e-9 * makespan_at_depth1);
+    }
   }
 }
 
@@ -242,6 +332,34 @@ TEST(ChurnScheduler, ContinuesFromPreAdvancedState) {
   for (std::size_t h = 0; h < split.size(); ++h) {
     EXPECT_EQ(whole.busy_days[h], split.busy_days[h]) << "host " << h;
     EXPECT_EQ(whole.free_at[h], split.free_at[h]) << "host " << h;
+  }
+}
+
+TEST(ChurnScheduler, WarmSeedConstructorMatchesFreshDerivation) {
+  // The sweep's warm start: cursor columns copied from a seed scheduler
+  // must reproduce exactly the schedule a freshly-derived scheduler
+  // produces, for every policy.
+  const std::vector<double> rates = random_rates(170, 171);
+  const IntervalTimeline timeline = model_timeline(170, 172);
+  const std::vector<double> tasks = random_tasks(300, 173);
+  sim::ScheduleState seed_state = state_from_rates(rates);
+  const ChurnScheduler seed(seed_state, timeline);
+  for (const InterruptionPolicy policy : kAllPolicies) {
+    sim::ScheduleState fresh = state_from_rates(rates);
+    ChurnScheduler fresh_sched(fresh, timeline);
+    const ChurnScheduleTotals a = fresh_sched.run(tasks, policy);
+
+    sim::ScheduleState warmed = state_from_rates(rates);
+    ChurnScheduler warm_sched(warmed, seed);
+    const ChurnScheduleTotals b = warm_sched.run(tasks, policy);
+
+    EXPECT_EQ(a.makespan_days, b.makespan_days);
+    EXPECT_EQ(a.total_cpu_days, b.total_cpu_days);
+    EXPECT_EQ(a.wasted_cpu_days, b.wasted_cpu_days);
+    EXPECT_EQ(a.interruptions, b.interruptions);
+    for (std::size_t h = 0; h < fresh.size(); ++h) {
+      EXPECT_EQ(fresh.free_at[h], warmed.free_at[h]) << "host " << h;
+    }
   }
 }
 

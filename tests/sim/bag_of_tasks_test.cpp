@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "churn/block_envelope.h"
 #include "core/host_generator.h"
 #include "util/rng.h"
 
@@ -403,6 +405,96 @@ TEST(PolicySweep, ChurnCellsMatchStandaloneWithoutDerateFlag) {
                                              sweep.policies[pol], rng);
     expect_results_identical(grid.at(0, pol, 0).result, standalone);
   }
+}
+
+TEST(PolicySweep, ChurnLevelsKnobCellsMatchStandaloneRuns) {
+  // The lookahead-depth knob rides through the sweep's warm-state path
+  // (shared ScheduleState caches + churn cursor seed); cells at a
+  // non-default depth must still equal their standalone runs bit for
+  // bit, at any thread count.
+  std::vector<SweepPopulation> populations;
+  populations.push_back(
+      {"pop", HostResourcesSoA::from_hosts(model_hosts(80, 29))});
+  PolicySweepConfig sweep;
+  sweep.policies = {SchedulingPolicy::kChurnEctCheckpoint,
+                    SchedulingPolicy::kChurnEctRestart};
+  sweep.task_counts = {150};
+  sweep.workload_seed = 606;
+  sweep.base.churn_lookahead_levels = 2;
+  sweep.threads = 1;
+  const PolicySweepResult serial = run_policy_sweep(populations, sweep);
+  sweep.threads = 4;
+  const PolicySweepResult parallel = run_policy_sweep(populations, sweep);
+  for (std::size_t pol = 0; pol < sweep.policies.size(); ++pol) {
+    expect_results_identical(serial.at(0, pol, 0).result,
+                             parallel.at(0, pol, 0).result);
+    BagOfTasksConfig direct = sweep.base;
+    direct.task_count = 150;
+    util::Rng rng(606);
+    const auto standalone = run_bag_of_tasks(populations[0].hosts, direct,
+                                             sweep.policies[pol], rng);
+    expect_results_identical(serial.at(0, pol, 0).result, standalone);
+  }
+}
+
+TEST(BagOfTasks, RejectsOutOfRangeChurnLookaheadLevels) {
+  const auto hosts = model_hosts(20, 30);
+  util::Rng rng(9);
+  BagOfTasksConfig config;
+  config.task_count = 10;
+  config.churn_lookahead_levels = 0;
+  EXPECT_THROW(run_bag_of_tasks(hosts, config,
+                                SchedulingPolicy::kChurnEctCheckpoint, rng),
+               std::invalid_argument);
+  config.churn_lookahead_levels = churn::kMaxLookaheadLevels + 1;
+  EXPECT_THROW(run_bag_of_tasks(hosts, config,
+                                SchedulingPolicy::kChurnEctCheckpoint, rng),
+               std::invalid_argument);
+  config.churn_lookahead_levels = churn::kMaxLookaheadLevels;
+  EXPECT_NO_THROW(run_bag_of_tasks(
+      hosts, config, SchedulingPolicy::kChurnEctCheckpoint, rng));
+}
+
+TEST(BagOfTasks, SharedRealizationOverloadMatchesStandalone) {
+  // Drawing the realization once and passing it in must reproduce the
+  // draw-inside path exactly: same availability stream, same task
+  // stream, for churn and derate policies alike. This is the contract
+  // that keeps knob sweeps (e.g. churn-levels variants) draw-comparable.
+  const HostResourcesSoA hosts =
+      HostResourcesSoA::from_hosts(model_hosts(70, 31));
+  BagOfTasksConfig config;
+  config.task_count = 120;
+  config.model_availability = true;
+  for (const SchedulingPolicy policy :
+       {SchedulingPolicy::kDynamicEct, SchedulingPolicy::kChurnEctCheckpoint,
+        SchedulingPolicy::kChurnEctRestart}) {
+    util::Rng inside_rng(4242);
+    const auto inside = run_bag_of_tasks(hosts, config, policy, inside_rng);
+
+    util::Rng outside_rng(4242);
+    const std::vector<double> speed = base_host_rates(hosts);
+    const AvailabilityRealization real =
+        realize_availability(speed, config, outside_rng);
+    const auto outside =
+        run_bag_of_tasks(hosts, real, config, policy, outside_rng);
+    expect_results_identical(inside, outside);
+  }
+}
+
+TEST(BagOfTasks, SharedRealizationOverloadValidatesCoverage) {
+  const HostResourcesSoA hosts =
+      HostResourcesSoA::from_hosts(model_hosts(30, 32));
+  BagOfTasksConfig config;
+  config.task_count = 10;
+  config.model_availability = true;
+  AvailabilityRealization empty;  // no timeline, no fractions
+  util::Rng rng(5);
+  EXPECT_THROW(run_bag_of_tasks(hosts, empty, config,
+                                SchedulingPolicy::kChurnEctCheckpoint, rng),
+               std::invalid_argument);
+  EXPECT_THROW(run_bag_of_tasks(hosts, empty, config,
+                                SchedulingPolicy::kDynamicEct, rng),
+               std::invalid_argument);
 }
 
 TEST(PolicySweep, RejectsEmptyAxesAndPopulations) {

@@ -100,6 +100,14 @@ TEST(Cli, SweepChurnFlags) {
                 &out),
             kOk);
   EXPECT_NE(out.find("speed-coupled availability"), std::string::npos);
+
+  // --churn-levels tunes the kernel's lookahead depth and, like
+  // --interrupt, implies --churn.
+  ASSERT_EQ(run({"sweep", model_path, "2010-06-01", "200", "400",
+                 "--policies=ect", "--churn-levels=2"},
+                &out),
+            kOk);
+  EXPECT_NE(out.find("churn ECT (checkpoint)"), std::string::npos);
 }
 
 TEST(Cli, SweepRejectsBadChurnFlags) {
@@ -130,6 +138,17 @@ TEST(Cli, SweepRejectsBadChurnFlags) {
                  "--policies=ect", "--availability",
                  "--avail-coupling=0.5"}),
             kOk);
+  // --churn-levels is validated up front like the other knobs: zero,
+  // over-depth and garbage are all refused before any cell runs.
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "50",
+                 "--churn-levels=0"}),
+            kFailure);
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "50",
+                 "--churn-levels=99"}),
+            kFailure);
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "50",
+                 "--churn-levels=many"}),
+            kFailure);
 }
 
 TEST(Cli, SweepRejectsBadArgs) {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "boinc/simulation.h"
+#include "churn/block_envelope.h"
 #include "core/fit_pipeline.h"
 #include "core/host_generator.h"
 #include "core/prediction.h"
@@ -123,6 +124,10 @@ std::string usage_text() {
          "                    [--policies=rr,sw,pull,ect] [--threads=N]\n"
          "                    [--seed=N] [--availability] [--churn]\n"
          "                    [--interrupt=checkpoint,restart,abandon]\n"
+         "                    [--churn-levels=N]   (churn ECT lookahead\n"
+         "                     depth, 1.." +
+         std::to_string(churn::kMaxLookaheadLevels) +
+         "; implies --churn)\n"
          "                    [--avail-coupling=rho]   (rank-couples\n"
          "                     availability to host speed, rho in [-1,1])\n";
 }
@@ -439,6 +444,15 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
     } else if (arg.starts_with("--interrupt=")) {
       churn_policies = parse_interruptions(arg.substr(12));
       churn = true;  // naming interruption policies implies --churn
+    } else if (arg.starts_with("--churn-levels=")) {
+      const std::size_t levels = parse_count(arg.substr(15), "churn levels");
+      if (levels > churn::kMaxLookaheadLevels) {
+        throw std::invalid_argument(
+            "bad --churn-levels: '" + arg.substr(15) + "' (expected 1.." +
+            std::to_string(churn::kMaxLookaheadLevels) + ")");
+      }
+      sweep.base.churn_lookahead_levels = levels;
+      churn = true;  // a churn kernel knob implies --churn
     } else if (arg.starts_with("--avail-coupling=")) {
       sweep.base.availability_coupled = true;
       sweep.base.availability_coupling.speed_rho = parse_rho(arg.substr(17));
@@ -466,7 +480,7 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
     err << "sweep: expected <model.txt> <YYYY-MM-DD> <hosts> "
            "[tasks[,tasks...]] [--policies=rr,sw,pull,ect] [--threads=N] "
            "[--seed=N] [--availability] [--churn] "
-           "[--interrupt=checkpoint,restart,abandon] "
+           "[--interrupt=checkpoint,restart,abandon] [--churn-levels=N] "
            "[--avail-coupling=rho]\n";
     return kUsage;
   }

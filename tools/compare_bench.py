@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON files and flag regressions.
+
+    tools/compare_bench.py BASELINE.json NEW.json [options]
+
+Compares every benchmark present in BOTH files. By default the compared
+metrics are real_time plus every numeric per-benchmark counter the two
+entries share; --counters restricts the comparison to the named metrics
+only. A metric has REGRESSED when new > old * (1 + threshold) — all the
+exported metrics (times, swept blocks, resolved lanes, makespans) are
+higher-is-worse. Exit status: 0 clean, 1 regressions found, 2 usage /
+input error.
+
+CI note: wall times are only comparable on the same box. The Release CI
+smoke therefore diffs the DETERMINISTIC counters only (e.g.
+--counters swept_blocks_per_task,resolved_lanes_per_task,makespan_days),
+which are a pure function of the kernel's inputs and catch pruning or
+scheduling regressions on any machine; time comparisons are for
+bench_results/BENCH_*.json pairs recorded on one host.
+"""
+
+import argparse
+import json
+import sys
+
+# Per-benchmark JSON fields that are bookkeeping, never metrics.
+NON_METRIC_FIELDS = {
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "threads", "iterations", "time_unit", "family_index",
+    "per_family_instance_index", "label", "aggregate_name", "aggregate_unit",
+}
+
+
+def load_benchmarks(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read '{path}': {e}")
+    table = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        table[bench["name"]] = bench
+    if not table:
+        sys.exit(f"error: no benchmarks in '{path}'")
+    return table
+
+
+def numeric_metrics(entry):
+    return {
+        key: value
+        for key, value in entry.items()
+        if key not in NON_METRIC_FIELDS and isinstance(value, (int, float))
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="relative regression threshold (default 0.10 = +10%%)")
+    parser.add_argument(
+        "--counters", default=None,
+        help="comma-separated metric names to compare (default: real_time "
+             "plus all shared numeric counters)")
+    parser.add_argument(
+        "--require-all", action="store_true",
+        help="error out when a baseline benchmark is missing from NEW "
+             "(default: warn and skip — CI smokes exclude the 100k points)")
+    args = parser.parse_args()
+    if args.threshold <= 0:
+        sys.exit("error: --threshold must be positive")
+    named = ([c for c in args.counters.split(",") if c]
+             if args.counters is not None else None)
+    if named is not None and not named:
+        sys.exit("error: empty --counters list")
+
+    old_table = load_benchmarks(args.baseline)
+    new_table = load_benchmarks(args.new)
+
+    regressions = []
+    compared = 0
+    missing = []
+    for name, old in sorted(old_table.items()):
+        new = new_table.get(name)
+        if new is None:
+            missing.append(name)
+            continue
+        old_metrics = numeric_metrics(old)
+        new_metrics = numeric_metrics(new)
+        metrics = named if named is not None else sorted(
+            set(old_metrics) & set(new_metrics))
+        for metric in metrics:
+            if metric not in old_metrics or metric not in new_metrics:
+                continue  # named counter not exported by this benchmark
+            old_value = old_metrics[metric]
+            new_value = new_metrics[metric]
+            compared += 1
+            if old_value == 0:
+                ok = new_value == 0
+                ratio = float("inf") if not ok else 1.0
+            else:
+                ratio = new_value / old_value
+                ok = new_value <= old_value * (1.0 + args.threshold)
+            status = "ok" if ok else "REGRESSED"
+            print(f"{name:60s} {metric:28s} {old_value:14.4f} -> "
+                  f"{new_value:14.4f}  ({ratio:6.3f}x)  {status}")
+            if not ok:
+                regressions.append((name, metric, old_value, new_value))
+
+    for name in missing:
+        print(f"warning: '{name}' missing from {args.new}; skipped",
+              file=sys.stderr)
+    if missing and args.require_all:
+        sys.exit(f"error: {len(missing)} baseline benchmark(s) missing "
+                 "and --require-all set")
+    if compared == 0:
+        sys.exit("error: no shared metrics to compare")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) over "
+              f"+{args.threshold:.0%}:", file=sys.stderr)
+        for name, metric, old_value, new_value in regressions:
+            print(f"  {name} {metric}: {old_value:.4f} -> {new_value:.4f}",
+                  file=sys.stderr)
+        return 1
+    print(f"\nall {compared} compared metrics within +{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

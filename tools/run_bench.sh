@@ -54,4 +54,10 @@ if ! grep -q '"resmodel_build_type": "release"' "$out_file"; then
   exit 1
 fi
 
+# Pointer to the newest record. Date+sha filenames do not sort
+# chronologically (the sha part is arbitrary), so consumers — the CI
+# counter check, tools/compare_bench.py invocations — resolve the
+# baseline through this file instead of ls|sort.
+echo "BENCH_${stamp}_${sha}.json" > "$out_dir/LATEST"
+
 echo "wrote $out_file"
