@@ -3,6 +3,7 @@
 // the Cholesky step is cheap enough to be the default.
 #include <benchmark/benchmark.h>
 
+#include "backend/backend.h"
 #include "churn/churn_scheduler.h"
 #include "churn/interval_timeline.h"
 #include "core/fit_pipeline.h"
@@ -432,6 +433,106 @@ BENCHMARK(BM_ChurnKernel)
     ->Args({100000, 0})->Args({100000, 1})->Args({100000, 2})
     ->Unit(benchmark::kMillisecond);
 
+// --- Backend-arm pairs (src/backend/): blocked autovectorized kernels
+// vs the explicit-SIMD intrinsic arms, same inputs, bit-identical
+// results (the counters and makespans below are the cross-arm identity
+// witness tools/compare_bench.py checks). Arm arg: 0 = blocked, 1 =
+// simd (resolved against the CPU; on hardware without AVX2/AVX-512 the
+// simd request falls back to blocked and the label says so).
+
+backend::Backend bench_backend(benchmark::State& state, int arm) {
+  if (arm == 0) {
+    state.SetLabel("blocked");
+    return backend::Backend::kBlocked;
+  }
+  const backend::ResolvedBackend rb = backend::resolve(backend::Backend::kSimd);
+  state.SetLabel(rb.arm == backend::Backend::kSimd
+                     ? "simd-" + backend::to_string(rb.simd)
+                     : "simd-fallback-blocked");
+  return backend::Backend::kSimd;
+}
+
+// The ECT scan kernel per arm: prebuilt rate-sorted state copied per
+// iteration (column memcpy — the same warm start run_policy_sweep uses),
+// so the timed region is the blocked/SIMD min-reduction sweep itself. At
+// 100k hosts / 100k tasks the simd arm must be >= 1.4x the blocked arm
+// in the same Release run, with identical makespans.
+void BM_EctKernelBackend(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> rates = pull_bench_rates(n);
+  const std::vector<double> tasks = pull_bench_tasks(n);
+  sim::ScheduleState base = sim::ScheduleState::from_rates(rates);
+  base.ensure_ect_caches();
+  base.backend = bench_backend(state, static_cast<int>(state.range(1)));
+  sim::DynamicScheduleTotals totals;
+  for (auto _ : state) {
+    sim::ScheduleState sched = base;
+    totals = sim::ect_schedule_blocked(sched, tasks);
+    benchmark::DoNotOptimize(totals);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["makespan_days"] = totals.makespan_days;
+}
+BENCHMARK(BM_EctKernelBackend)
+    ->Args({10000, 0})->Args({10000, 1})
+    ->Args({100000, 0})->Args({100000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// The churn gate sweep per arm (envelope gate, float32 columns — the
+// default configuration BM_ChurnKernel measures across gate modes). Same
+// >= 1.4x acceptance at 100k/100k, with identical swept_blocks_per_task /
+// resolved_lanes_per_task / makespan_days counters across arms.
+void BM_ChurnKernelBackend(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> rates = pull_bench_rates(n);
+  const std::vector<double> tasks = pull_bench_tasks(n);
+  util::Rng tl_rng(17);
+  const churn::IntervalTimeline timeline = churn::IntervalTimeline::generate(
+      synth::AvailabilityModel{}, n, 0.0, 100.0, tl_rng);
+  churn::ChurnSchedulerConfig config;
+  config.backend = bench_backend(state, static_cast<int>(state.range(1)));
+  churn::ChurnScheduleTotals totals;
+  for (auto _ : state) {
+    sim::ScheduleState sched = sim::ScheduleState::from_rates(rates);
+    churn::ChurnScheduler scheduler(sched, timeline, config);
+    totals = scheduler.run(tasks, churn::InterruptionPolicy::kCheckpoint);
+    benchmark::DoNotOptimize(totals);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  const double per_task = 1.0 / static_cast<double>(tasks.size());
+  state.counters["makespan_days"] = totals.makespan_days;
+  state.counters["swept_blocks_per_task"] =
+      static_cast<double>(totals.swept_blocks) * per_task;
+  state.counters["resolved_lanes_per_task"] =
+      static_cast<double>(totals.resolved_lanes) * per_task;
+}
+BENCHMARK(BM_ChurnKernelBackend)
+    ->Args({10000, 0})->Args({10000, 1})
+    ->Args({100000, 0})->Args({100000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// The allocator's fused score+pack sweep per arm (the sort and selection
+// phases are shared code, so the arm delta is diluted by design — this
+// measures the end-to-end effect a caller sees).
+void BM_RoundRobinAllocationBackend(benchmark::State& state) {
+  const core::HostGenerator generator(core::paper_params());
+  util::Rng rng(8);
+  const sim::HostResourcesSoA hosts =
+      sim::HostResourcesSoA::from_batch(generator.generate_batch(
+          util::ModelDate::from_ymd(2010, 1, 1),
+          static_cast<std::size_t>(state.range(0)), rng));
+  const backend::Backend arm =
+      bench_backend(state, static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::allocate_round_robin(
+        sim::paper_applications(), hosts, /*threads=*/0, arm));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RoundRobinAllocationBackend)
+    ->Args({100000, 0})->Args({100000, 1})
+    ->Unit(benchmark::kMillisecond);
+
 // One full policy x dependence-structure grid through the parallel sweep
 // runner (the CLI `sweep` command's engine).
 void BM_PolicySweepGrid(benchmark::State& state) {
@@ -478,6 +579,19 @@ int main(int argc, char** argv) {
 #else
   benchmark::AddCustomContext("resmodel_build_type", "debug");
 #endif
+  // What the dispatch layer resolved on this machine (after any
+  // RESMODEL_SIMD cap): the default arm every kAuto caller gets, and the
+  // feature set it picked from — so a recorded BENCH_*.json says which
+  // kernels produced it.
+  {
+    namespace be = resmodel::backend;
+    const be::ResolvedBackend rb = be::resolve(be::Backend::kAuto);
+    std::string arm = be::to_string(rb.arm);
+    if (rb.arm == be::Backend::kSimd) arm += "-" + be::to_string(rb.simd);
+    benchmark::AddCustomContext("resmodel_backend", arm);
+    benchmark::AddCustomContext("resmodel_cpu_features",
+                                be::cpu_feature_string());
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -12,6 +12,13 @@
 
 namespace resmodel::churn {
 
+// The dispatch kernels assume the gate's exact block and lookahead
+// geometry (backend/kernels.h).
+static_assert(backend::kKernelBlock == BoundGate::kBlock,
+              "backend kernel block width != gate block width");
+static_assert(backend::kGateMaxLevels == kMaxLookaheadLevels,
+              "backend gate view level capacity != kMaxLookaheadLevels");
+
 namespace {
 
 template <typename Real>
@@ -51,59 +58,30 @@ void BoundGate::pack_lane(Columns<Real>& c, std::size_t pos, std::size_t host,
 template <typename Real>
 void BoundGate::eval_block(const Columns<Real>& c, std::size_t blk,
                            double task, Real* lb) const noexcept {
+  // The sweep bodies live behind the backend dispatch table now
+  // (src/backend/): the blocked arm is this function's former loop
+  // nest, verbatim, in a TU with the same flags; the SIMD arms are
+  // intrinsic twins that produce bit-identical lanes (kernels.h has the
+  // exactness rules — the level routing and if-conversion notes moved
+  // to kernels_blocked.cpp with the loops). This wrapper only assembles
+  // the block's column view.
   const std::size_t lo = blk * kBlock;
-  const Real t = static_cast<Real>(task);
-  const Real* __restrict inv = c.inv_.data() + lo;
-  const Real* __restrict sess = c.sess_.data() + lo;
-  const Real* __restrict ready = c.ready_.data() + lo;
-  constexpr Real kInfR = std::numeric_limits<Real>::infinity();
-  Real w[kBlock];
-  for (std::size_t i = 0; i < kBlock; ++i) w[i] = t * inv[i];
-  if (policy_ == InterruptionPolicy::kCheckpoint) {
-    // Same level routing as ChurnScheduler::completion_for, as a min of
-    // per-level candidates: phi is non-decreasing across levels and the
-    // deepest level is a sound bound for anything deeper, so
-    // min(target + phi_k) over the (padded) levels that hold the target
-    // IS the shallowest admissible level's value. The candidate's
-    // unselected arm is the CONSTANT +inf — a dependent select between
-    // two loads does not if-convert (gcc reports "control flow in
-    // loop"), the constant arm does, and if-conversion is what lets
-    // these sweeps vectorize at all.
-    const Real* __restrict accr = c.accr_.data() + lo;
-    Real target[kBlock];
-    Real spill[kBlock];
-    for (std::size_t i = 0; i < kBlock; ++i) target[i] = accr[i] + w[i];
-    const Real* __restrict pl = c.phi_[levels_ - 1].data() + lo;
-    for (std::size_t i = 0; i < kBlock; ++i) spill[i] = target[i] + pl[i];
-    for (std::size_t k = levels_ - 1; k-- > 0;) {
-      const Real* __restrict ck = c.c_[k].data() + lo;
-      const Real* __restrict pk = c.phi_[k].data() + lo;
-      for (std::size_t i = 0; i < kBlock; ++i) {
-        // Loads hoisted unconditionally so the select is between a
-        // register and a constant — gcc refuses to speculate a load
-        // that only appears in one ternary arm.
-        const Real tg = target[i];
-        const Real v = tg + pk[i];
-        const Real cand = tg <= ck[i] ? v : kInfR;
-        spill[i] = std::min(spill[i], cand);
-      }
-    }
-    for (std::size_t i = 0; i < kBlock; ++i) {
-      const Real fits = ready[i] + w[i];
-      const Real sp = spill[i];
-      lb[i] = w[i] <= sess[i] ? fits : sp;
-    }
+  backend::GateBlockView<Real> view;
+  view.inv = c.inv_.data() + lo;
+  view.sess = c.sess_.data() + lo;
+  view.ready = c.ready_.data() + lo;
+  view.next = c.next_.data() + lo;
+  view.accr = c.accr_.data() + lo;
+  for (std::size_t k = 0; k < levels_; ++k) {
+    view.c[k] = c.c_[k].data() + lo;
+    view.phi[k] = c.phi_[k].data() + lo;
+  }
+  view.levels = levels_;
+  view.checkpoint = policy_ == InterruptionPolicy::kCheckpoint;
+  if constexpr (std::is_same_v<Real, float>) {
+    ops_->gate_sweep_f32(view, static_cast<float>(task), lb);
   } else {
-    // Restart: a spilling attempt cannot complete before the next
-    // session's start plus the (contiguous) work. next_start >= ready,
-    // so min(fits-candidate, next + w) equals the routed value while
-    // keeping the unselected arm constant (if-conversion, as above).
-    const Real* __restrict nx = c.next_.data() + lo;
-    for (std::size_t i = 0; i < kBlock; ++i) {
-      const Real rw = ready[i] + w[i];
-      const Real fits = w[i] <= sess[i] ? rw : kInfR;
-      lb[i] = std::min(fits, nx[i] + w[i]);
-    }
+    ops_->gate_sweep_f64(view, task, lb);
   }
 }
 

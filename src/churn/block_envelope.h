@@ -63,6 +63,7 @@
 #include <utility>
 #include <vector>
 
+#include "backend/kernels.h"
 #include "sim/schedule_state.h"
 
 namespace resmodel::churn {
@@ -133,8 +134,16 @@ class BoundGate {
   /// Assignments into a block between knot-position rebuild epochs.
   static constexpr std::size_t kStaleLimit = 16;
 
-  BoundGate(GateMode mode, bool float32) noexcept
-      : mode_(mode), float32_(float32) {}
+  /// `simd` selects the kernel-ops arm the column sweeps run through
+  /// (backend::resolve — kNone is the autovectorized blocked baseline).
+  /// Every arm produces bit-identical bounds, so gate decisions and the
+  /// kernel-shape counters never depend on it.
+  explicit BoundGate(GateMode mode, bool float32,
+                     backend::SimdLevel simd =
+                         backend::SimdLevel::kNone) noexcept
+      : mode_(mode),
+        float32_(float32),
+        ops_(&backend::kernel_ops(simd)) {}
 
   GateMode mode() const noexcept { return mode_; }
   bool float32() const noexcept { return float32_; }
@@ -233,6 +242,7 @@ class BoundGate {
 
   GateMode mode_;
   bool float32_;
+  const backend::KernelOps* ops_;
   InterruptionPolicy policy_ = InterruptionPolicy::kCheckpoint;
   std::size_t levels_ = 0;
   std::size_t blocks_ = 0;

@@ -115,7 +115,9 @@ ChurnScheduler::ChurnScheduler(sim::ScheduleState& state,
     : state_(state),
       timeline_(timeline),
       config_(config),
-      gate_(config.gate_mode, config.float32_columns) {
+      resolved_(backend::resolve(config.backend)),
+      ops_(&backend::kernel_ops(resolved_.simd)),
+      gate_(config.gate_mode, config.float32_columns, resolved_.simd) {
   if (state.size() != timeline.host_count()) {
     throw std::invalid_argument(
         "ChurnScheduler: state and timeline host counts differ");
@@ -141,13 +143,16 @@ ChurnScheduler::ChurnScheduler(sim::ScheduleState& state,
     : state_(state),
       timeline_(seed.timeline_),
       config_(seed.config_),
+      resolved_(backend::resolve(seed.config_.backend)),
+      ops_(&backend::kernel_ops(resolved_.simd)),
       ready_(seed.ready_),
       sess_rem_(seed.sess_rem_),
       next_start_(seed.next_start_),
       accr_ready_(seed.accr_ready_),
       sess_idx_(seed.sess_idx_),
       levels_(seed.levels_),
-      gate_(seed.config_.gate_mode, seed.config_.float32_columns) {
+      gate_(seed.config_.gate_mode, seed.config_.float32_columns,
+            resolved_.simd) {
   if (state.size() != timeline_.host_count()) {
     throw std::invalid_argument(
         "ChurnScheduler: state and seed host counts differ");
@@ -278,9 +283,7 @@ void ChurnScheduler::rebuild_ready_gathers() {
   for (std::size_t b = 0; b < blocks; ++b) {
     const std::size_t lo = b * kBlock;
     const std::size_t hi = std::min(n, lo + kBlock);
-    double m = sready_[lo];
-    for (std::size_t j = lo + 1; j < hi; ++j) m = std::min(m, sready_[j]);
-    bmin_ready_[b] = m;
+    bmin_ready_[b] = ops_->column_min(sready_.data() + lo, hi - lo);
   }
 }
 
@@ -292,9 +295,7 @@ void ChurnScheduler::update_ready_gather(std::size_t host) {
   const std::size_t blk = pos / kBlock;
   const std::size_t lo = blk * kBlock;
   const std::size_t hi = std::min(n, lo + kBlock);
-  double m = sready_[lo];
-  for (std::size_t j = lo + 1; j < hi; ++j) m = std::min(m, sready_[j]);
-  bmin_ready_[blk] = m;
+  bmin_ready_[blk] = ops_->column_min(sready_.data() + lo, hi - lo);
 }
 
 void ChurnScheduler::rebuild_sorted_cursors() {
@@ -380,16 +381,13 @@ ChurnScheduleTotals ChurnScheduler::run_ect(std::span<const double> tasks,
       const double edge = gate_.bucket_edge(bucket);
       const double over = task - edge;
       const double* row = gate_.coarse_row(bucket);
-      std::size_t warm = 0;
-      double tightest = std::numeric_limits<double>::infinity();
-      for (std::size_t b = 0; b < blocks; ++b) {
-        const double bound = row[b] + over * bmin_inv[b];
-        bounds[b] = bound;
-        if (bound < tightest) {
-          tightest = bound;
-          warm = b;
-        }
-      }
+      // Vectorized row pass through the dispatch table; returns the
+      // FIRST index attaining the row minimum — the block the old
+      // first-strict-improvement scan warm-started on, so the sweep
+      // order (and with it the swept_blocks counter) is arm-invariant.
+      const std::size_t warm =
+          ops_->row_bounds_argmin(row, bmin_inv, over, blocks,
+                                  bounds.data());
       for (std::size_t bi = 0; bi <= blocks; ++bi) {
         // Iteration 0 is the warm-start block; the regular pass follows
         // (the warm block re-gates and prunes immediately).
@@ -486,7 +484,6 @@ ChurnScheduleTotals ChurnScheduler::run_abandon(
   // failed attempt burns one ON session of one host; past its last
   // generated session a host is permanently ON and every attempt succeeds.
   std::deque<double> queue(tasks.begin(), tasks.end());
-  [[maybe_unused]] double done_buf[kBlock];
   while (!queue.empty()) {
     const double task = queue.front();
     queue.pop_front();
@@ -516,21 +513,15 @@ ChurnScheduleTotals ChurnScheduler::run_abandon(
         if (bmin_ready_[b] + task * bmin_inv[b] > best_done) continue;
         const std::size_t lo = b * kBlock;
         const std::size_t len = std::min(n - lo, kBlock);
-        for (std::size_t i = 0; i < len; ++i) {
-          done_buf[i] = sready_[lo + i] + task * inv[lo + i];
-        }
-        double m = done_buf[0];
-        for (std::size_t i = 1; i < len; ++i) m = std::min(m, done_buf[i]);
-        if (m > best_done) continue;
-        std::uint32_t m_best = std::numeric_limits<std::uint32_t>::max();
-        for (std::size_t i = 0; i < len; ++i) {
-          if (done_buf[i] == m) m_best = std::min(m_best, order[lo + i]);
-        }
-        if (m < best_done) {
-          best_done = m;
-          best = m_best;
+        const backend::EctBlockMin r = ops_->ect_block_sweep(
+            sready_.data() + lo, inv + lo, order + lo, len, task,
+            best_done);
+        if (r.value > best_done) continue;
+        if (r.value < best_done) {
+          best_done = r.value;
+          best = r.index;
         } else {
-          best = std::min(best, m_best);
+          best = std::min(best, r.index);
         }
       }
     }
@@ -556,6 +547,11 @@ ChurnScheduleTotals ChurnScheduler::run_abandon(
 
 ChurnScheduleTotals ChurnScheduler::run(std::span<const double> tasks,
                                         InterruptionPolicy policy) {
+  // The scalar arm IS the reference oracle (its counters are zero: the
+  // full scan streams no gate columns).
+  if (resolved_.arm == backend::Backend::kScalar) {
+    return run_reference(tasks, policy);
+  }
   if (policy == InterruptionPolicy::kAbandon) return run_abandon<true>(tasks);
   return run_ect<true>(tasks, policy);
 }

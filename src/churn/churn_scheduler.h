@@ -101,6 +101,11 @@ struct ChurnSchedulerConfig {
   /// Pack the swept bound columns as float32 (half the streamed bytes,
   /// twice the SIMD width); commit-time completions stay double.
   bool float32_columns = true;
+  /// Compute backend for the column sweeps (src/backend/README.md):
+  /// kAuto picks the widest SIMD arm the CPU offers; kScalar routes
+  /// run() onto run_reference(). Like every other knob here, the
+  /// schedule is bit-identical across settings.
+  backend::Backend backend = backend::Backend::kAuto;
 };
 
 /// Walks host `host`'s ON intervals from the ON instant `start_on`
@@ -226,6 +231,10 @@ class ChurnScheduler {
   sim::ScheduleState& state_;
   const IntervalTimeline& timeline_;
   ChurnSchedulerConfig config_;
+  /// config_.backend resolved once against the CPU (declared before
+  /// gate_ so the gate can be constructed on the resolved SIMD level).
+  backend::ResolvedBackend resolved_;
+  const backend::KernelOps* ops_ = nullptr;
   /// Per-host cursor columns (original host index): earliest ON instant
   /// >= free_at; ON time remaining in that session (+inf once the host is
   /// past the horizon and permanently ON); the next session's start (the

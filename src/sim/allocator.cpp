@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
-#include <cstring>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
+
+#include "backend/kernels.h"
 
 namespace resmodel::sim {
 
@@ -18,23 +19,15 @@ namespace {
 /// the host index (low half), so ascending uint64 order IS "descending
 /// score, then ascending host index" — one integer compare, 8-byte radix
 /// scatters, and the deterministic tie-break built into the value.
+///
+/// The key transform is backend::descending_key (kernels.h): the classic
+/// sign-flip transform, complemented, so *ascending* unsigned order is
+/// *descending* float(score) order. double->float rounding is monotone,
+/// so equal doubles always share a key and unequal doubles can only
+/// collide when they round to the same float — those rare runs are
+/// repaired by refine_ties() against the exact scores. The fused
+/// score+pack sweep itself is a dispatch kernel (KernelOps::score_pack).
 constexpr std::uint64_t kIndexMask = 0xFFFFFFFFull;
-
-/// Maps a score to a 32-bit key whose *ascending* unsigned order is the
-/// *descending* float(score) order: the classic sign-flip transform
-/// (negative floats flip all bits, others flip the sign bit) gives
-/// ascending order, and complementing reverses it. double->float
-/// rounding is monotone, so equal doubles always share a key and
-/// unequal doubles can only collide when they round to the same float —
-/// those rare runs are repaired by refine_ties() against the exact
-/// scores. -0.0 is normalized onto +0.0 first.
-inline std::uint32_t descending_key(double score) noexcept {
-  const float narrowed = static_cast<float>(score + 0.0);
-  std::uint32_t bits;
-  std::memcpy(&bits, &narrowed, sizeof(bits));
-  bits = (bits & 0x80000000u) ? ~bits : (bits | 0x80000000u);
-  return ~bits;
-}
 
 /// Re-sorts every run of equal 32-bit keys by the exact rule (descending
 /// double score, ascending host index). Within a run the packed low
@@ -166,10 +159,18 @@ AllocationResult select_round_robin(std::size_t a_count, std::size_t h_count,
 
 AllocationResult allocate_round_robin(std::span<const ApplicationSpec> apps,
                                       const HostResourcesSoA& hosts,
-                                      int threads) {
+                                      int threads,
+                                      backend::Backend backend) {
   if (apps.empty()) {
     throw std::invalid_argument("allocate_round_robin: no applications");
   }
+  const backend::ResolvedBackend rb = backend::resolve(backend);
+  if (rb.arm == backend::Backend::kScalar) {
+    // The scalar arm IS the retained pow-based oracle.
+    const std::vector<HostResources> aos = hosts.to_hosts();
+    return allocate_round_robin_reference(apps, aos);
+  }
+  const backend::KernelOps& ops = backend::kernel_ops(rb.simd);
   const std::size_t a_count = apps.size();
   const std::size_t h_count = hosts.size();
   if (h_count > std::numeric_limits<std::uint32_t>::max()) {
@@ -221,15 +222,12 @@ AllocationResult allocate_round_robin(std::span<const ApplicationSpec> apps,
       std::vector<std::uint64_t>& pref = preference[a];
       score.resize(h_count);
       pref.resize(h_count);
-      // The fused sweep: five contiguous columns in, one packed entry out.
-      for (std::size_t h = 0; h < h_count; ++h) {
-        const double s = app.alpha * log_c[h] + app.beta * log_m[h] +
-                         app.gamma * log_i[h] + app.delta * log_f[h] +
-                         app.epsilon * log_d[h];
-        score[h] = s;
-        pref[h] = (static_cast<std::uint64_t>(descending_key(s)) << 32) |
-                  static_cast<std::uint64_t>(h);
-      }
+      // The fused sweep: five contiguous columns in, one packed entry
+      // out — through the dispatch table (bit-identical across arms).
+      const backend::ScoreWeights weights{
+          {app.alpha, app.beta, app.gamma, app.delta, app.epsilon}};
+      ops.score_pack(log_c, log_m, log_i, log_f, log_d, weights, h_count,
+                     score.data(), pref.data());
       sort_preferences(pref, scratch, hist, score.data());
     }
   };

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "backend/backend.h"
 #include "sim/host_soa.h"
 #include "sim/utility.h"
 
@@ -39,9 +40,14 @@ struct AllocationResult {
 /// phase runs on `threads` workers (0 = hardware concurrency); the result
 /// is identical for any thread count. Complexity O(A * N log N) via
 /// per-application key-value sorted preference lists.
-AllocationResult allocate_round_robin(std::span<const ApplicationSpec> apps,
-                                      const HostResourcesSoA& hosts,
-                                      int threads = 0);
+///
+/// `backend` selects the arm for the fused score sweep + radix-key pack
+/// (src/backend/README.md): kScalar transposes to AoS and delegates to
+/// allocate_round_robin_reference; the other arms differ only in the
+/// kernel-ops table. Allocations are identical across arms.
+AllocationResult allocate_round_robin(
+    std::span<const ApplicationSpec> apps, const HostResourcesSoA& hosts,
+    int threads = 0, backend::Backend backend = backend::Backend::kAuto);
 
 /// AoS entry point, kept for the existing tests and small callers: thin
 /// wrapper that transposes into a HostResourcesSoA and delegates.

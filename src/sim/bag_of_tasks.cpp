@@ -198,6 +198,7 @@ BagOfTasksResult run_with_state(ScheduleState state,
                                 const churn::ChurnScheduler* cursor_seed) {
   const std::vector<double> tasks = sample_tasks(config, rng);
   const std::size_t host_count = state.size();
+  state.backend = config.backend;
 
   if (is_churn_policy(policy)) {
     churn::InterruptionPolicy interruption =
@@ -209,13 +210,16 @@ BagOfTasksResult run_with_state(ScheduleState state,
     }
     churn::ChurnSchedulerConfig sched_config;
     sched_config.lookahead_levels = config.churn_lookahead_levels;
+    sched_config.backend = config.backend;
     std::optional<churn::ChurnScheduler> scheduler;
     // The seed carries its own config; it may only stand in for a fresh
-    // derivation when the depths agree, or the cell would silently run
-    // at the seed's depth and break the cell == standalone contract.
+    // derivation when the depth and backend agree, or the cell would
+    // silently run at the seed's settings and break the cell ==
+    // standalone contract.
     if (cursor_seed != nullptr &&
         cursor_seed->config().lookahead_levels ==
-            config.churn_lookahead_levels) {
+            config.churn_lookahead_levels &&
+        cursor_seed->config().backend == config.backend) {
       scheduler.emplace(state, *cursor_seed);
     } else {
       scheduler.emplace(state, *timeline, sched_config);
@@ -281,9 +285,14 @@ BagOfTasksResult run_with_state(ScheduleState state,
     }
 
     case SchedulingPolicy::kDynamicPull: {
+      // The scalar arm means "the retained reference oracles" across the
+      // board, so it selects the priority_queue pull kernel too (the ECT
+      // and churn paths route themselves via state.backend / the
+      // scheduler config).
       const DynamicScheduleTotals totals =
-          reference_dynamics ? pull_schedule_reference(state, tasks)
-                             : pull_schedule_dary(state, tasks);
+          reference_dynamics || config.backend == backend::Backend::kScalar
+              ? pull_schedule_reference(state, tasks)
+              : pull_schedule_dary(state, tasks);
       return finish(state.busy_days, totals.total_cpu_days,
                     totals.makespan_days);
     }
@@ -508,6 +517,7 @@ PolicySweepResult run_policy_sweep(std::span<const SweepPopulation> populations,
       pop.state_base.ensure_ect_caches();
       churn::ChurnSchedulerConfig seed_config;
       seed_config.lookahead_levels = config.base.churn_lookahead_levels;
+      seed_config.backend = config.base.backend;
       pop.cursor_seed.emplace(pop.state_base, *pop.timeline, seed_config);
     }
     pop.state_flagged = ScheduleState::from_rates(std::move(flagged_rates));

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend.h"
 #include "churn/coupled_availability.h"
 #include "churn/interval_timeline.h"
 #include "sim/host_soa.h"
@@ -80,6 +81,13 @@ struct BagOfTasksConfig {
   /// depths because deeper spills resolve through a different exact
   /// expression. CLI: `sweep --churn-levels=N`.
   std::size_t churn_lookahead_levels = 8;
+
+  /// Kernel-dispatch arm for the dynamic hot loops (src/backend/): kAuto
+  /// picks the widest SIMD level the CPU (and RESMODEL_SIMD) allows,
+  /// kScalar routes the dynamic policies onto the retained reference
+  /// kernels. Pure performance knob — every arm is bit-identical, so
+  /// results never depend on it. CLI: `sweep --backend=...`.
+  backend::Backend backend = backend::Backend::kAuto;
 };
 
 /// Scheduling policies compared in the study.

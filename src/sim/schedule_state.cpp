@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "backend/kernels.h"
+
 namespace resmodel::sim {
 
 ScheduleState ScheduleState::from_rates(std::vector<double> rates) {
@@ -63,6 +65,16 @@ void ScheduleState::ensure_ect_caches() {
 
 DynamicScheduleTotals ect_schedule_blocked(ScheduleState& state,
                                            std::span<const double> tasks) {
+  // Backend dispatch (src/backend/README.md): kScalar routes onto the
+  // reference oracle; the other arms share this driver and differ only
+  // in the kernel-ops table the sweeps go through. Every arm returns
+  // the same schedule bit for bit.
+  const backend::ResolvedBackend rb = backend::resolve(state.backend);
+  if (rb.arm == backend::Backend::kScalar) {
+    return ect_schedule_reference(state, tasks);
+  }
+  const backend::KernelOps& ops = backend::kernel_ops(rb.simd);
+
   constexpr std::size_t kBlock = ScheduleState::kBlockSize;
   state.ensure_ect_caches();
   const std::size_t n = state.size();
@@ -83,45 +95,40 @@ DynamicScheduleTotals ect_schedule_blocked(ScheduleState& state,
   for (std::size_t b = 0; b < blocks; ++b) {
     const std::size_t lo = b * kBlock;
     const std::size_t hi = std::min(n, lo + kBlock);
-    double m = sfree[lo];
-    for (std::size_t j = lo + 1; j < hi; ++j) m = std::min(m, sfree[j]);
-    bmin_free[b] = m;
+    bmin_free[b] = ops.column_min(sfree.data() + lo, hi - lo);
   }
 
-  double done[kBlock];
+  std::vector<double> bounds(blocks);  // per-task gate scratch
   for (const double task : tasks) {
     std::uint32_t best = 0;  // original host index of the incumbent
     double best_done = std::numeric_limits<double>::infinity();
-    for (std::size_t b = 0; b < blocks; ++b) {
-      // Lower bound on every completion time in the block: no host is
-      // freer than the block's min free_at nor faster than its min
-      // inv_rate, and monotone rounding keeps the combination a true
-      // floating-point lower bound. Strict >, so a block that could
-      // still *tie* the incumbent is scanned and the smallest original
-      // host index among the tied winners is kept — the scalar loop's
-      // pick.
-      if (bmin_free[b] + task * bmin_inv[b] > best_done) continue;
+    // Per-block lower bound on every completion time inside it: no host
+    // is freer than the block's min free_at nor faster than its min
+    // inv_rate, and monotone rounding keeps the combination a true
+    // floating-point lower bound. Computed for the whole row up front
+    // (one vectorizable pass) and compared with strict >, so a block
+    // that could still *tie* the incumbent is scanned and the smallest
+    // original host index among the tied winners is kept — the scalar
+    // loop's pick. The row minimum's block is swept first (warm start):
+    // the incumbent is near-optimal before any other block is gated,
+    // and processing order is result-neutral because pruning only skips
+    // hosts that cannot win or tie.
+    const std::uint32_t warm =
+        ops.row_bounds_argmin(bmin_free.data(), bmin_inv, task, blocks,
+                              bounds.data());
+    for (std::size_t bi = 0; bi <= blocks; ++bi) {
+      const std::size_t b = bi == 0 ? warm : bi - 1;
+      if (bi != 0 && (b == warm || bounds[b] > best_done)) continue;
       const std::size_t lo = b * kBlock;
       const std::size_t len = std::min(n - lo, kBlock);
-      // Materialize, then min-reduce: both loops are branch-free streams
-      // over contiguous doubles that the autovectorizer handles, and the
-      // buffered values make the equality searches below exact by
-      // construction (no recomputation that could round differently).
-      for (std::size_t i = 0; i < len; ++i) {
-        done[i] = sfree[lo + i] + task * inv[lo + i];
-      }
-      double m = done[0];
-      for (std::size_t i = 1; i < len; ++i) m = std::min(m, done[i]);
-      if (m > best_done) continue;
-      std::uint32_t m_best = std::numeric_limits<std::uint32_t>::max();
-      for (std::size_t i = 0; i < len; ++i) {
-        if (done[i] == m) m_best = std::min(m_best, order[lo + i]);
-      }
-      if (m < best_done) {
-        best_done = m;
-        best = m_best;
+      const backend::EctBlockMin r = ops.ect_block_sweep(
+          sfree.data() + lo, inv + lo, order + lo, len, task, best_done);
+      if (r.value > best_done) continue;
+      if (r.value < best_done) {
+        best_done = r.value;
+        best = r.index;
       } else {
-        best = std::min(best, m_best);
+        best = std::min(best, r.index);
       }
     }
     const double days = task * state.inv_rates[best];
@@ -134,9 +141,7 @@ DynamicScheduleTotals ect_schedule_blocked(ScheduleState& state,
     const std::size_t blk = pos / kBlock;
     const std::size_t lo = blk * kBlock;
     const std::size_t hi = std::min(n, lo + kBlock);
-    double m = sfree[lo];
-    for (std::size_t j = lo + 1; j < hi; ++j) m = std::min(m, sfree[j]);
-    bmin_free[blk] = m;
+    bmin_free[blk] = ops.column_min(sfree.data() + lo, hi - lo);
   }
   return totals;
 }

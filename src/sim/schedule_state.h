@@ -32,6 +32,8 @@
 #include <span>
 #include <vector>
 
+#include "backend/backend.h"
+
 namespace resmodel::sim {
 
 /// Totals a dynamic scheduling kernel reports on top of the per-host
@@ -59,6 +61,12 @@ struct ScheduleState {
   /// long enough to amortize the bound test, short enough that one slow
   /// host cannot hide a block of fast ones.
   static constexpr std::size_t kBlockSize = 64;
+
+  /// Compute backend for the blocked kernels (src/backend/README.md):
+  /// kAuto picks the widest SIMD arm the CPU offers, kScalar routes
+  /// ect_schedule_blocked onto the reference oracle. Every setting
+  /// returns the same schedule bit for bit.
+  backend::Backend backend = backend::Backend::kAuto;
 
   std::vector<double> rates;
   std::vector<double> inv_rates;

@@ -172,6 +172,62 @@ TEST(Cli, SweepRejectsBadArgs) {
             kFailure);
 }
 
+TEST(Cli, BackendsPrintsDispatchTable) {
+  std::string out;
+  ASSERT_EQ(run({"backends"}, &out), kOk);
+  EXPECT_NE(out.find("cpu features:"), std::string::npos);
+  // Every requested arm appears with its resolution; scalar and blocked
+  // always resolve to themselves regardless of the CPU.
+  EXPECT_NE(out.find("auto"), std::string::npos);
+  EXPECT_NE(out.find("scalar"), std::string::npos);
+  EXPECT_NE(out.find("blocked"), std::string::npos);
+  EXPECT_NE(out.find("simd"), std::string::npos);
+  std::string err;
+  EXPECT_EQ(run({"backends", "extra"}, nullptr, &err), kUsage);
+  EXPECT_NE(err.find("no arguments"), std::string::npos);
+}
+
+TEST(Cli, SweepBackendFlag) {
+  const std::string model_path = temp_path("cli_sweep_backend_model.txt");
+  {
+    std::ofstream model_out(model_path);
+    model_out << core::paper_params().serialize();
+  }
+  // Every arm must accept the grid and produce identical makespans — the
+  // bit-identity contract surfaced at the CLI level (same seed, same
+  // hosts, only the kernel arm differs).
+  std::string auto_out, scalar_out, blocked_out, simd_out;
+  ASSERT_EQ(run({"sweep", model_path, "2010-06-01", "200", "400",
+                 "--policies=ect,pull", "--churn", "--seed=7",
+                 "--backend=auto"},
+                &auto_out),
+            kOk);
+  ASSERT_EQ(run({"sweep", model_path, "2010-06-01", "200", "400",
+                 "--policies=ect,pull", "--churn", "--seed=7",
+                 "--backend=scalar"},
+                &scalar_out),
+            kOk);
+  ASSERT_EQ(run({"sweep", model_path, "2010-06-01", "200", "400",
+                 "--policies=ect,pull", "--churn", "--seed=7",
+                 "--backend=blocked"},
+                &blocked_out),
+            kOk);
+  ASSERT_EQ(run({"sweep", model_path, "2010-06-01", "200", "400",
+                 "--policies=ect,pull", "--churn", "--seed=7",
+                 "--backend=simd"},
+                &simd_out),
+            kOk);
+  EXPECT_EQ(auto_out, scalar_out);
+  EXPECT_EQ(auto_out, blocked_out);
+  EXPECT_EQ(auto_out, simd_out);
+  std::string err;
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "50",
+                 "--backend=quantum"},
+                nullptr, &err),
+            kFailure);
+  EXPECT_NE(err.find("bad --backend"), std::string::npos);
+}
+
 TEST(Cli, SynthRejectsBadArgs) {
   EXPECT_EQ(run({"synth"}), kUsage);
   EXPECT_EQ(run({"synth", temp_path("x.csv"), "notanumber"}), kFailure);

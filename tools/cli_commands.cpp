@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "backend/backend.h"
 #include "boinc/simulation.h"
 #include "churn/block_envelope.h"
 #include "core/fit_pipeline.h"
@@ -129,7 +130,39 @@ std::string usage_text() {
          std::to_string(churn::kMaxLookaheadLevels) +
          "; implies --churn)\n"
          "                    [--avail-coupling=rho]   (rank-couples\n"
-         "                     availability to host speed, rho in [-1,1])\n";
+         "                     availability to host speed, rho in [-1,1])\n"
+         "                    [--backend=" +
+         backend::backend_names() +
+         "]   (kernel arm for\n"
+         "                     the dynamic policies; results are\n"
+         "                     bit-identical across arms)\n"
+         "  resmodel backends    print CPU SIMD features and what each\n"
+         "                       requested backend resolves to\n";
+}
+
+int cmd_backends(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  if (!args.empty()) {
+    err << "backends: expected no arguments\n";
+    return kUsage;
+  }
+  // cpu_feature_string reflects effective_cpu(), i.e. detection AFTER the
+  // RESMODEL_SIMD cap — what dispatch actually sees, not raw CPUID.
+  out << "cpu features: " << backend::cpu_feature_string()
+      << " (RESMODEL_SIMD=off|avx2|avx512|native caps detection)\n";
+  util::Table table({"Requested", "Resolves to"});
+  for (const backend::Backend b :
+       {backend::Backend::kAuto, backend::Backend::kScalar,
+        backend::Backend::kBlocked, backend::Backend::kSimd}) {
+    const backend::ResolvedBackend rb = backend::resolve(b);
+    std::string resolved = backend::to_string(rb.arm);
+    if (rb.arm == backend::Backend::kSimd) {
+      resolved += " (" + backend::to_string(rb.simd) + ")";
+    }
+    table.add_row({backend::to_string(b), std::move(resolved)});
+  }
+  table.print(out);
+  return kOk;
 }
 
 int cmd_synth(const std::vector<std::string>& args, std::ostream& out,
@@ -456,6 +489,15 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
     } else if (arg.starts_with("--avail-coupling=")) {
       sweep.base.availability_coupled = true;
       sweep.base.availability_coupling.speed_rho = parse_rho(arg.substr(17));
+    } else if (arg.starts_with("--backend=")) {
+      const std::string value = arg.substr(10);
+      const auto backend = backend::parse_backend(value);
+      if (!backend) {
+        throw std::invalid_argument("bad --backend: '" + value +
+                                    "' (expected " +
+                                    backend::backend_names() + ")");
+      }
+      sweep.base.backend = *backend;
     } else if (arg.starts_with("--")) {
       err << "sweep: unknown flag: '" << arg << "'\n";
       return kUsage;
@@ -481,7 +523,8 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
            "[tasks[,tasks...]] [--policies=rr,sw,pull,ect] [--threads=N] "
            "[--seed=N] [--availability] [--churn] "
            "[--interrupt=checkpoint,restart,abandon] [--churn-levels=N] "
-           "[--avail-coupling=rho]\n";
+           "[--avail-coupling=rho] [--backend=" +
+               backend::backend_names() + "]\n";
     return kUsage;
   }
   const core::ModelParams params = load_model(positional[0]);
@@ -563,6 +606,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "predict") return cmd_predict(rest, out, err);
     if (command == "validate") return cmd_validate(rest, out, err);
     if (command == "sweep") return cmd_sweep(rest, out, err);
+    if (command == "backends") return cmd_backends(rest, out, err);
   } catch (const std::exception& e) {
     err << command << ": " << e.what() << '\n';
     return kFailure;

@@ -11,12 +11,15 @@
 //   predict <model.txt> <year>             predicted composition
 //   validate <model.txt> <trace.csv> <date>     generated-vs-actual check
 //   sweep <model.txt> <date> <hosts> [tasks]    parallel policy sweep
+//   backends                               CPU SIMD features + dispatch
 //
 // sweep runs the bag-of-tasks policy x host-model x task-count grid
 // (sim::run_policy_sweep) over populations synthesized from the fitted
 // model under both the published (Cholesky) and an independence
 // dependence structure — the scheduling-conclusions ablation as a CLI
-// command.
+// command. Its --backend= flag selects the kernel-dispatch arm
+// (src/backend/); backends prints what the current CPU (and the
+// RESMODEL_SIMD mask) lets each request resolve to.
 //
 // generate and validate accept --correlation=cholesky|independent|empirical
 // to swap the dependence structure (src/model/); empirical generation also
@@ -54,6 +57,8 @@ int cmd_validate(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err);
 int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
+int cmd_backends(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
 
 /// The usage text printed on bad invocations.
 std::string usage_text();

@@ -2,6 +2,15 @@
 """Diff two google-benchmark JSON files and flag regressions.
 
     tools/compare_bench.py BASELINE.json NEW.json [options]
+    tools/compare_bench.py bench_results/ NEW.json [options]
+
+BASELINE may be a results directory (e.g. bench_results/): it resolves
+through the LATEST pointer file when present, otherwise the newest
+parseable BENCH_*.json by mtime. Corrupt non-target files encountered
+during that scan — including a stale LATEST pointee — are warned about
+and skipped, never fatal; only the file finally chosen (or an
+explicitly named one) must parse. Tombstoned ``*.corrupt`` files are
+ignored entirely.
 
 Compares every benchmark present in BOTH files. By default the compared
 metrics are real_time plus every numeric per-benchmark counter the two
@@ -21,6 +30,7 @@ bench_results/BENCH_*.json pairs recorded on one host.
 
 import argparse
 import json
+import os
 import sys
 
 # Per-benchmark JSON fields that are bookkeeping, never metrics.
@@ -31,20 +41,60 @@ NON_METRIC_FIELDS = {
 }
 
 
-def load_benchmarks(path):
+def try_load_benchmarks(path):
+    """Parse one benchmark JSON file; return (table, error_string)."""
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"error: cannot read '{path}': {e}")
+        return None, f"cannot read '{path}': {e}"
     table = {}
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
         table[bench["name"]] = bench
     if not table:
-        sys.exit(f"error: no benchmarks in '{path}'")
+        return None, f"no benchmarks in '{path}'"
+    return table, None
+
+
+def load_benchmarks(path):
+    table, error = try_load_benchmarks(path)
+    if table is None:
+        sys.exit(f"error: {error}")
     return table
+
+
+def resolve_baseline_dir(directory):
+    """Pick the baseline record inside a bench_results-style directory.
+
+    LATEST wins when it points at a parseable file; otherwise fall back
+    to the newest parseable BENCH_*.json by mtime. Corrupt files along
+    the way (non-targets) are warn-and-skip — only a directory with no
+    usable record at all is fatal. ``*.corrupt`` tombstones are never
+    candidates.
+    """
+    latest_pointer = os.path.join(directory, "LATEST")
+    if os.path.isfile(latest_pointer):
+        with open(latest_pointer) as f:
+            pointee = os.path.join(directory, f.read().strip())
+        table, error = try_load_benchmarks(pointee)
+        if table is not None:
+            return pointee, table
+        print(f"warning: LATEST pointee skipped: {error}", file=sys.stderr)
+
+    candidates = sorted(
+        (entry.path for entry in os.scandir(directory)
+         if entry.is_file() and entry.name.startswith("BENCH_")
+         and entry.name.endswith(".json")),
+        key=os.path.getmtime, reverse=True)
+    for candidate in candidates:
+        table, error = try_load_benchmarks(candidate)
+        if table is not None:
+            return candidate, table
+        print(f"warning: skipped corrupt '{candidate}': {error}",
+              file=sys.stderr)
+    sys.exit(f"error: no usable BENCH_*.json in '{directory}'")
 
 
 def numeric_metrics(entry):
@@ -58,7 +108,10 @@ def numeric_metrics(entry):
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument(
+        "baseline",
+        help="baseline BENCH_*.json, or a results directory resolved "
+             "via LATEST / newest parseable record")
     parser.add_argument("new", help="candidate BENCH_*.json")
     parser.add_argument(
         "--threshold", type=float, default=0.10,
@@ -79,7 +132,11 @@ def main():
     if named is not None and not named:
         sys.exit("error: empty --counters list")
 
-    old_table = load_benchmarks(args.baseline)
+    if os.path.isdir(args.baseline):
+        baseline_path, old_table = resolve_baseline_dir(args.baseline)
+        print(f"baseline: {baseline_path}")
+    else:
+        old_table = load_benchmarks(args.baseline)
     new_table = load_benchmarks(args.new)
 
     regressions = []

@@ -54,6 +54,19 @@ if ! grep -q '"resmodel_build_type": "release"' "$out_file"; then
   exit 1
 fi
 
+# Cross-backend/cross-machine trajectories are only comparable when the
+# record says which dispatch arm ran and on what silicon; refuse to keep
+# a run missing the provenance keys (emitted by perf_microbench itself).
+for key in resmodel_backend resmodel_cpu_features; do
+  if ! grep -q "\"$key\": " "$out_file"; then
+    rm -f "$out_file"
+    echo "error: recorded run lacks the '$key' context key;" \
+         "discarded $out_file" >&2
+    exit 1
+  fi
+  grep -o "\"$key\": \"[^\"]*\"" "$out_file" | head -1
+done
+
 # Pointer to the newest record. Date+sha filenames do not sort
 # chronologically (the sha part is arbitrary), so consumers — the CI
 # counter check, tools/compare_bench.py invocations — resolve the
