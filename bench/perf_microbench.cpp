@@ -330,6 +330,53 @@ BENCHMARK(BM_BagOfTasksChurn)
     ->Args({100000, 100000, 0})
     ->Unit(benchmark::kMillisecond);
 
+// The fault-tolerant distribution layer: 2-of-3 quorum replication with
+// deadline re-issue over a population with 14% faulty hosts (crash /
+// straggler / corrupter). Beyond the wall time, this exports the outcome
+// counters as deterministic metrics — in particular lost_tasks, the
+// zero-silently-lost-tasks invariant (issued minus the three resolution
+// codes), which the CI counter gate holds at exactly zero.
+void BM_BagOfTasksReplicated(benchmark::State& state) {
+  const sim::HostResourcesSoA hosts =
+      scheduling_hosts(static_cast<std::size_t>(state.range(0)));
+  sim::BagOfTasksConfig config;
+  config.task_count = static_cast<std::size_t>(state.range(1));
+  config.replication.enabled = true;
+  config.replication.quorum = 2;
+  config.replication.replicas = 3;
+  config.replication.deadline_days = 4.0;
+  config.fault_mix.crash_fraction = 0.06;
+  config.fault_mix.straggler_fraction = 0.04;
+  config.fault_mix.corrupter_fraction = 0.04;
+  const sim::SchedulingPolicy policy =
+      state.range(2) == 0 ? sim::SchedulingPolicy::kDynamicEct
+                          : sim::SchedulingPolicy::kChurnEctCheckpoint;
+  state.SetLabel(state.range(2) == 0 ? "ect" : "churn-checkpoint");
+  sim::BagOfTasksResult result;
+  for (auto _ : state) {
+    util::Rng rng(99);
+    result = sim::run_bag_of_tasks(hosts, config, policy, rng);
+    benchmark::DoNotOptimize(result);
+  }
+  const sim::ReplicationOutcome& o = result.replication;
+  state.counters["tasks_issued"] = static_cast<double>(o.tasks_issued);
+  state.counters["tasks_validated"] = static_cast<double>(o.tasks_validated);
+  state.counters["tasks_invalid"] = static_cast<double>(o.tasks_invalid);
+  state.counters["tasks_missed_deadline"] =
+      static_cast<double>(o.tasks_missed_deadline);
+  state.counters["lost_tasks"] = static_cast<double>(
+      o.tasks_issued -
+      (o.tasks_validated + o.tasks_invalid + o.tasks_missed_deadline));
+  state.counters["reissues"] = static_cast<double>(o.reissues);
+  state.counters["wasted_replica_cpu_days"] = o.wasted_replica_cpu_days;
+  state.counters["makespan_days"] = result.makespan_days;
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+}
+BENCHMARK(BM_BagOfTasksReplicated)
+    ->Args({10000, 10000, 0})->Args({10000, 10000, 1})
+    ->Args({100000, 100000, 0})->Args({100000, 100000, 1})
+    ->Unit(benchmark::kMillisecond);
+
 // kDynamicPull: the flat 4-ary heap vs the std::priority_queue oracle,
 // benchmarked at the kernel level on a prebuilt ScheduleState and task
 // vector — end-to-end runs bury the heap delta under task sampling and

@@ -2,13 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "stats/distributions.h"
 
 namespace resmodel::boinc {
 
+void ClientConfig::validate() const {
+  if (!(mean_contact_interval_days > 0.0)) {
+    throw std::invalid_argument(
+        "ClientConfig: mean_contact_interval_days must be positive");
+  }
+  if (!(benchmark_jitter_sigma >= 0.0)) {
+    throw std::invalid_argument(
+        "ClientConfig: benchmark_jitter_sigma must be non-negative");
+  }
+  if (!(disk_drift_sigma >= 0.0)) {
+    throw std::invalid_argument(
+        "ClientConfig: disk_drift_sigma must be non-negative");
+  }
+  if (!(work_request_seconds >= 0.0)) {
+    throw std::invalid_argument(
+        "ClientConfig: work_request_seconds must be non-negative");
+  }
+  if (!(straggler_slowdown >= 1.0)) {
+    throw std::invalid_argument(
+        "ClientConfig: straggler_slowdown must be >= 1");
+  }
+}
+
 VirtualClient::VirtualClient(trace::HostRecord spec, ClientConfig config,
-                             util::Rng rng) noexcept
+                             util::Rng rng)
     : spec_(spec),
       config_(config),
       rng_(rng),
@@ -16,6 +40,7 @@ VirtualClient::VirtualClient(trace::HostRecord spec, ClientConfig config,
       current_disk_avail_gb_(spec.disk_avail_gb),
       last_contact_day_done_(static_cast<double>(spec.created_day)),
       on_interval_end_(static_cast<double>(spec.created_day)) {
+  config_.validate();
   if (config_.model_availability) {
     config_.availability.validate();
     // The first contact happens while the host is up: start an ON
@@ -34,6 +59,11 @@ void VirtualClient::defer_to_available() {
   const stats::LogNormalDist off_dist(config_.availability.off_lognormal_mu,
                                       config_.availability.off_lognormal_sigma);
   while (next_contact_day_ > on_interval_end_) {
+    // Crossing an ON-session boundary kills whatever a crash-faulty
+    // client had in flight. The loss is recorded here but applied at the
+    // start of the next make_request, after the previous contact's grant
+    // has landed via handle_reply.
+    session_died_since_last_contact_ = true;
     const double off_len = std::max(1e-6, off_dist.sample(rng_));
     const double on_start = on_interval_end_ + off_len;
     const double on_len = std::max(1e-6, on_dist.sample(rng_));
@@ -46,6 +76,18 @@ SchedulerRequest VirtualClient::make_request() {
   SchedulerRequest request;
   request.host_id = spec_.id;
   request.day = static_cast<std::int32_t>(std::floor(next_contact_day_));
+
+  // A crash-faulty client that died since the last contact lost its whole
+  // queue: nothing completes, and the server is told how much to write
+  // off. Honest/straggler/corrupter clients survive session boundaries
+  // (BOINC checkpoints across restarts; crash clients model hosts that
+  // don't).
+  if (config_.fault == sim::FaultType::kCrash &&
+      session_died_since_last_contact_) {
+    request.lost_work_units = queued_units_;
+    queued_units_ = 0;
+  }
+  session_died_since_last_contact_ = false;
 
   // Re-measure: fixed hardware, jittered benchmarks, drifting disk.
   HostMeasurement& m = request.measurement;
@@ -68,12 +110,25 @@ SchedulerRequest VirtualClient::make_request() {
 
   // Work completed since the last contact: everything that fit in the
   // elapsed wall time at the host's speed (bounded by the local queue).
+  // Stragglers benchmark fast but run slow: the measurement above keeps
+  // its jittered-true value while actual throughput is derated.
   const double elapsed_days = next_contact_day_ - last_contact_day_done_;
-  const double units_per_day = m.n_cores * spec_.whetstone_mips / 4000.0;
+  double units_per_day = m.n_cores * spec_.whetstone_mips / 4000.0;
+  if (config_.fault == sim::FaultType::kStraggler) {
+    units_per_day /= config_.straggler_slowdown;
+  }
   const auto doable = static_cast<std::uint32_t>(
       std::clamp(elapsed_days * units_per_day, 0.0, 1e6));
   request.completed_work_units = std::min(doable, queued_units_);
   queued_units_ -= request.completed_work_units;
+
+  if (request.completed_work_units > 0) {
+    const std::uint64_t payload =
+        result_payload(spec_.id, request.completed_work_units);
+    request.result_digest = config_.fault == sim::FaultType::kCorrupter
+                                ? sim::corrupted_digest(payload, spec_.id)
+                                : sim::canonical_digest(payload);
+  }
 
   request.requested_work_seconds = config_.work_request_seconds;
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "boinc/messages.h"
+#include "sim/fault_model.h"
 #include "synth/availability.h"
 #include "trace/host_record.h"
 #include "util/rng.h"
@@ -28,14 +29,28 @@ struct ClientConfig {
   /// interval is deferred to the start of the next ON interval.
   bool model_availability = false;
   synth::AvailabilityParams availability;
+
+  /// Injected behaviour (sim/fault_model.h). kCrash loses the whole
+  /// queued batch whenever an ON session ends before the next contact
+  /// (requires model_availability — without the session structure there
+  /// is nothing to die); kStraggler completes work `straggler_slowdown`
+  /// times slower than its benchmarks advertise; kCorrupter reports a
+  /// wrong result digest for every non-empty batch.
+  sim::FaultType fault = sim::FaultType::kHonest;
+  double straggler_slowdown = 1.0;  ///< >= 1; only read for kStraggler
+
+  /// Throws std::invalid_argument on negative jitter/drift sigmas, a
+  /// non-positive contact interval, negative requested seconds, or a
+  /// straggler slowdown below 1.
+  void validate() const;
 };
 
 class VirtualClient {
  public:
   /// `spec` carries the host's true hardware and its lifetime window
   /// (created_day / last_contact_day are interpreted as birth/death days).
-  VirtualClient(trace::HostRecord spec, ClientConfig config,
-                util::Rng rng) noexcept;
+  /// Validates `config` (throws std::invalid_argument).
+  VirtualClient(trace::HostRecord spec, ClientConfig config, util::Rng rng);
 
   std::uint64_t id() const noexcept { return spec_.id; }
 
@@ -68,6 +83,10 @@ class VirtualClient {
   std::uint32_t queued_units_ = 0;
   double last_contact_day_done_ = 0.0;
   double on_interval_end_ = 0.0;  ///< end of the current ON interval
+  /// Set when defer_to_available crosses an ON-session boundary; a kCrash
+  /// client applies the loss at the START of the next make_request (the
+  /// grant from the previous contact has already landed by then).
+  bool session_died_since_last_contact_ = false;
 };
 
 }  // namespace resmodel::boinc

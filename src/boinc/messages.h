@@ -34,6 +34,13 @@ struct SchedulerRequest {
   double requested_work_seconds = 0.0;
   /// Work units completed since the previous contact.
   std::uint32_t completed_work_units = 0;
+  /// Digest over the completed batch (sim/fault_model.h's canonical
+  /// digest of (host_id, completed count); corrupter clients ship a
+  /// wrong one). 0 when completed_work_units == 0 — nothing to validate.
+  std::uint64_t result_digest = 0;
+  /// Queued units the client lost to a session death since the previous
+  /// contact (crash clients; the server writes these off, never credits).
+  std::uint32_t lost_work_units = 0;
 };
 
 /// Server -> client: the scheduler reply.
@@ -44,6 +51,17 @@ struct SchedulerReply {
   double granted_credit = 0.0;
   /// Server-suggested delay before the next contact (days).
   double next_contact_delay_days = 0.0;
+  /// Whether the reported batch's digest matched the canonical one
+  /// (true when nothing was reported). Invalid batches earn no credit.
+  bool result_valid = true;
 };
+
+/// The digest payload both sides derive independently: the host and the
+/// size of the completed batch. The canonical digest of this payload is
+/// what an honest client ships and what the server expects.
+inline std::uint64_t result_payload(std::uint64_t host_id,
+                                    std::uint32_t completed) noexcept {
+  return host_id ^ (static_cast<std::uint64_t>(completed) << 32);
+}
 
 }  // namespace resmodel::boinc

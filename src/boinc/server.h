@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
+#include <utility>
 
 #include "boinc/messages.h"
 #include "trace/trace_store.h"
@@ -24,6 +26,11 @@ struct ServerConfig {
   double credit_per_unit = 10.0;
   /// Suggested contact cadence (days).
   double contact_interval_days = 2.0;
+  /// Report deadline for granted units, in days after the grant. Units a
+  /// host still holds past the deadline are written off server-side
+  /// (freeing queue room for a re-grant) and earn no credit if reported
+  /// later. 0 disables deadlines — grants never expire.
+  double report_deadline_days = 0.0;
 };
 
 class ProjectServer {
@@ -44,6 +51,16 @@ class ProjectServer {
   double total_credit_granted() const noexcept {
     return total_credit_granted_;
   }
+  /// Units written off because a host reported them lost (crash faults).
+  std::uint64_t total_units_lost() const noexcept { return total_units_lost_; }
+  /// Units written off because their report deadline passed.
+  std::uint64_t total_units_expired() const noexcept {
+    return total_units_expired_;
+  }
+  /// Completed units rejected for a digest mismatch (corrupter faults).
+  std::uint64_t total_invalid_result_units() const noexcept {
+    return total_invalid_result_units_;
+  }
 
   /// The periodic public dump: one record per host with its most recent
   /// measurements and first/last contact days.
@@ -54,13 +71,24 @@ class ProjectServer {
     trace::HostRecord record;
     std::uint32_t queued_units = 0;
     double credit = 0.0;
+    /// Outstanding grants, FIFO: {expiry_day, units}. Completions, loss
+    /// write-offs, and expiries all consume from the front — the oldest
+    /// grant is always the first to finish or die.
+    std::deque<std::pair<double, std::uint32_t>> grants;
   };
+
+  /// Pops `units` from the front of `state.grants`, keeping queued_units
+  /// in sync. Returns the number actually consumed.
+  static std::uint32_t consume_grants(HostState& state, std::uint32_t units);
 
   ServerConfig config_;
   std::unordered_map<std::uint64_t, HostState> records_;
   std::uint64_t total_contacts_ = 0;
   std::uint64_t total_units_granted_ = 0;
   double total_credit_granted_ = 0.0;
+  std::uint64_t total_units_lost_ = 0;
+  std::uint64_t total_units_expired_ = 0;
+  std::uint64_t total_invalid_result_units_ = 0;
 };
 
 }  // namespace resmodel::boinc

@@ -27,6 +27,8 @@ struct EventLater {
 }  // namespace
 
 CollectionResult run_collection(const CollectionConfig& config) {
+  config.fault_mix.validate();
+  config.client.validate();
   const synth::PopulationConfig& pop = config.population;
   util::Rng rng(pop.seed ^ 0x9e3779b97f4a7c15ULL);
   const core::HostGenerator generator(pop.model);
@@ -61,7 +63,17 @@ CollectionResult run_collection(const CollectionConfig& config) {
           synth::finish_host(pop, hw.host(i), date, next_id++, rng);
       // The spec's last_contact_day is the host's death day; the client
       // stops contacting after it.
-      clients.emplace_back(spec, config.client, rng.fork());
+      ClientConfig cc = config.client;
+      if (config.fault_mix.any()) {
+        // Fault fork first, client fork second — both from the arrival
+        // stream, so the client's own rng only shifts when faults are on.
+        util::Rng fault_rng = rng.fork();
+        const sim::FaultDraw draw =
+            sim::sample_fault(config.fault_mix, fault_rng);
+        cc.fault = draw.type;
+        cc.straggler_slowdown = draw.slowdown;
+      }
+      clients.emplace_back(spec, cc, rng.fork());
       events.push({static_cast<double>(day), clients.size() - 1});
     }
 
@@ -86,6 +98,9 @@ CollectionResult run_collection(const CollectionConfig& config) {
   result.total_contacts = server.total_contacts();
   result.total_units_granted = server.total_units_granted();
   result.total_credit_granted = server.total_credit_granted();
+  result.total_units_lost = server.total_units_lost();
+  result.total_units_expired = server.total_units_expired();
+  result.total_invalid_result_units = server.total_invalid_result_units();
 
   if (config.allocate_final_utility) {
     // The §VII step on the freshly collected trace: columnar snapshot in,

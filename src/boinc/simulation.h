@@ -21,6 +21,13 @@ struct CollectionConfig {
   ClientConfig client;
   ServerConfig server;
 
+  /// Per-host fault mix (sim/fault_model.h). Each arriving host draws a
+  /// fault type from a dedicated rng fork, overriding the client
+  /// template's `fault`/`straggler_slowdown`. When the mix is all-zero
+  /// no fork is consumed and the client template is used verbatim, so
+  /// fault-free runs reproduce the pre-fault event stream exactly.
+  sim::FaultMixConfig fault_mix;
+
   /// When true, the run ends with the §VII utility step: the collected
   /// trace's plausible snapshot at the latest populated day of the window
   /// is allocated across the Table-IX applications through the columnar
@@ -35,6 +42,10 @@ struct CollectionResult {
   std::uint64_t total_contacts = 0;
   std::uint64_t total_units_granted = 0;
   double total_credit_granted = 0.0;
+  /// Robustness counters (nonzero only with faults/deadlines enabled).
+  std::uint64_t total_units_lost = 0;      ///< crash write-offs
+  std::uint64_t total_units_expired = 0;   ///< deadline write-offs
+  std::uint64_t total_invalid_result_units = 0;  ///< digest mismatches
 
   /// Filled when CollectionConfig::allocate_final_utility is set: the
   /// round-robin allocation of the end-of-window snapshot to

@@ -334,24 +334,16 @@ void ChurnScheduler::prime_gate_for_test(std::span<const double> tasks,
 }
 
 template <bool kBlocked>
-ChurnScheduleTotals ChurnScheduler::run_ect(std::span<const double> tasks,
-                                            InterruptionPolicy policy) {
-  ChurnScheduleTotals totals;
+std::uint32_t ChurnScheduler::select_ect(double task,
+                                         InterruptionPolicy policy,
+                                         ChurnScheduleTotals& totals,
+                                         std::vector<double>& bounds) {
   const std::size_t n = state_.size();
-  if (n == 0) return totals;
   constexpr std::size_t kBlock = sim::ScheduleState::kBlockSize;
-  std::vector<double> bounds;  // level-A scratch, one entry per block
-  if constexpr (kBlocked) {
-    state_.ensure_ect_caches();
-    gate_.reset(state_, cursor_view(), tasks, policy);
-    rebuild_sorted_cursors();
-    bounds.resize(state_.block_count());
-  }
-
   [[maybe_unused]] double lb[kBlock];
-  for (const double task : tasks) {
-    std::uint32_t best = 0;
-    double best_done = std::numeric_limits<double>::infinity();
+  std::uint32_t best = 0;
+  double best_done = std::numeric_limits<double>::infinity();
+  {
     if constexpr (!kBlocked) {
       // The oracle: walk EVERY host's intervals, first-strict-improvement
       // pick (== smallest index among the argmin set).
@@ -461,6 +453,27 @@ ChurnScheduleTotals ChurnScheduler::run_ect(std::span<const double> tasks,
         }
       }
     }
+  }
+  return best;
+}
+
+template <bool kBlocked>
+ChurnScheduleTotals ChurnScheduler::run_ect(std::span<const double> tasks,
+                                            InterruptionPolicy policy) {
+  ChurnScheduleTotals totals;
+  const std::size_t n = state_.size();
+  if (n == 0) return totals;
+  std::vector<double> bounds;  // level-A scratch, one entry per block
+  if constexpr (kBlocked) {
+    state_.ensure_ect_caches();
+    gate_.reset(state_, cursor_view(), tasks, policy);
+    rebuild_sorted_cursors();
+    bounds.resize(state_.block_count());
+  }
+
+  for (const double task : tasks) {
+    const std::uint32_t best = select_ect<kBlocked>(task, policy, totals,
+                                                    bounds);
     commit(best, task * state_.inv_rates[best], policy, totals);
     if constexpr (kBlocked) {
       update_sorted_cursor(best);
@@ -471,28 +484,15 @@ ChurnScheduleTotals ChurnScheduler::run_ect(std::span<const double> tasks,
 }
 
 template <bool kBlocked>
-ChurnScheduleTotals ChurnScheduler::run_abandon(
-    std::span<const double> tasks) {
-  ChurnScheduleTotals totals;
+std::uint32_t ChurnScheduler::select_ready(double task) const {
   const std::size_t n = state_.size();
-  if (n == 0) return totals;
   constexpr std::size_t kBlock = sim::ScheduleState::kBlockSize;
-  if constexpr (kBlocked) rebuild_ready_gathers();
-
-  // FIFO of task costs: interrupted tasks re-enter at the back, so every
-  // queued task is attempted before any retry. Terminates because each
-  // failed attempt burns one ON session of one host; past its last
-  // generated session a host is permanently ON and every attempt succeeds.
-  std::deque<double> queue(tasks.begin(), tasks.end());
-  while (!queue.empty()) {
-    const double task = queue.front();
-    queue.pop_front();
-
-    // Selection key = ready + task*inv, the exact optimistic completion
-    // of a single attempt — no interval walk needed until the attempt is
-    // resolved.
-    std::uint32_t best = 0;
-    double best_done = std::numeric_limits<double>::infinity();
+  // Selection key = ready + task*inv, the exact optimistic completion
+  // of a single attempt — no interval walk needed until the attempt is
+  // resolved.
+  std::uint32_t best = 0;
+  double best_done = std::numeric_limits<double>::infinity();
+  {
     if constexpr (!kBlocked) {
       for (std::size_t h = 0; h < n; ++h) {
         const double done = ready_[h] + task * state_.inv_rates[h];
@@ -525,7 +525,28 @@ ChurnScheduleTotals ChurnScheduler::run_abandon(
         }
       }
     }
+  }
+  return best;
+}
 
+template <bool kBlocked>
+ChurnScheduleTotals ChurnScheduler::run_abandon(
+    std::span<const double> tasks) {
+  ChurnScheduleTotals totals;
+  const std::size_t n = state_.size();
+  if (n == 0) return totals;
+  if constexpr (kBlocked) rebuild_ready_gathers();
+
+  // FIFO of task costs: interrupted tasks re-enter at the back, so every
+  // queued task is attempted before any retry. Terminates because each
+  // failed attempt burns one ON session of one host; past its last
+  // generated session a host is permanently ON and every attempt succeeds.
+  std::deque<double> queue(tasks.begin(), tasks.end());
+  while (!queue.empty()) {
+    const double task = queue.front();
+    queue.pop_front();
+
+    const std::uint32_t best = select_ready<kBlocked>(task);
     const double work = task * state_.inv_rates[best];
     const AttemptOutcome attempt =
         abandon_attempt(timeline_, best, ready_[best], work);
@@ -560,6 +581,108 @@ ChurnScheduleTotals ChurnScheduler::run_reference(
     std::span<const double> tasks, InterruptionPolicy policy) {
   if (policy == InterruptionPolicy::kAbandon) return run_abandon<false>(tasks);
   return run_ect<false>(tasks, policy);
+}
+
+void ChurnScheduler::begin_stepping(std::span<const double> tasks,
+                                    InterruptionPolicy policy,
+                                    std::span<const double> slowdown,
+                                    bool force_reference) {
+  step_policy_ = policy;
+  step_totals_ = {};
+  step_tasks_.assign(tasks.begin(), tasks.end());
+  step_slowdown_.assign(slowdown.begin(), slowdown.end());
+  // Same routing rule as run() / run_reference(): the scalar arm (or an
+  // explicit reference request) steps through the full-scan oracle
+  // selection, every other arm through the blocked one.
+  step_blocked_ =
+      !force_reference && resolved_.arm != backend::Backend::kScalar;
+  if (!step_blocked_) return;
+  state_.ensure_ect_caches();
+  if (policy == InterruptionPolicy::kAbandon) {
+    rebuild_ready_gathers();
+  } else {
+    gate_.reset(state_, cursor_view(), step_tasks_, policy);
+    rebuild_sorted_cursors();
+    step_bounds_.resize(state_.block_count());
+  }
+}
+
+ChurnScheduler::StepOutcome ChurnScheduler::step(double task) {
+  StepOutcome out;
+  if (step_policy_ == InterruptionPolicy::kAbandon) {
+    const std::uint32_t best = step_blocked_ ? select_ready<true>(task)
+                                             : select_ready<false>(task);
+    const double slowdown =
+        step_slowdown_.empty() ? 1.0 : step_slowdown_[best];
+    const double work = task * state_.inv_rates[best] * slowdown;
+    out.host = best;
+    out.start = ready_[best];
+    const AttemptOutcome attempt =
+        abandon_attempt(timeline_, best, ready_[best], work);
+    state_.busy_days[best] += attempt.burned;
+    state_.free_at[best] = attempt.at;
+    out.completion = attempt.at;
+    out.worked_days = attempt.burned;
+    out.completed = attempt.completed;
+    out.session_crossed = !attempt.completed;
+    if (attempt.completed) {
+      step_totals_.total_cpu_days += work;
+      step_totals_.makespan_days =
+          std::max(step_totals_.makespan_days, attempt.at);
+    } else {
+      step_totals_.wasted_cpu_days += attempt.burned;
+      ++step_totals_.interruptions;
+    }
+    update_cursor(best);
+    if (step_blocked_) update_ready_gather(best);
+    return out;
+  }
+
+  // kCheckpoint / kRestart: select on the nominal rate, commit the
+  // slowed-down execution. The gate's bounds cover the nominal
+  // completions the selection compares, so pruning soundness is
+  // untouched by the commit-side inflation; on_assign re-keys the
+  // winner from its post-commit cursor as usual.
+  const std::uint32_t best =
+      step_blocked_
+          ? select_ect<true>(task, step_policy_, step_totals_, step_bounds_)
+          : select_ect<false>(task, step_policy_, step_totals_, step_bounds_);
+  const double slowdown = step_slowdown_.empty() ? 1.0 : step_slowdown_[best];
+  const double work = task * state_.inv_rates[best] * slowdown;
+  out.host = best;
+  out.start = ready_[best];
+  // sess_rem_ is the current session's remaining ON time (+inf past the
+  // horizon): the execution crosses a session boundary iff the scaled
+  // work overflows it — exactly the checkpoint-spill / restart-burn
+  // trigger, and the crash model's loss condition.
+  out.session_crossed = work > sess_rem_[best];
+  const double busy_before = state_.busy_days[best];
+  commit(best, work, step_policy_, step_totals_);
+  out.completion = state_.free_at[best];
+  out.worked_days = state_.busy_days[best] - busy_before;
+  out.completed = true;
+  if (step_blocked_) {
+    update_sorted_cursor(best);
+    gate_.on_assign(best, state_, cursor_view());
+  }
+  return out;
+}
+
+void ChurnScheduler::advance_time(double now) {
+  const std::size_t n = state_.size();
+  for (std::size_t h = 0; h < n; ++h) {
+    if (state_.free_at[h] < now) {
+      state_.free_at[h] = now;
+      update_cursor(h);
+    }
+  }
+  if (!step_blocked_) return;
+  if (step_policy_ == InterruptionPolicy::kAbandon) {
+    rebuild_ready_gathers();
+  } else {
+    gate_.reset(state_, cursor_view(), step_tasks_, step_policy_);
+    rebuild_sorted_cursors();
+  }
 }
 
 }  // namespace resmodel::churn

@@ -160,6 +160,55 @@ class ChurnScheduler {
   ChurnScheduleTotals run_reference(std::span<const double> tasks,
                                     InterruptionPolicy policy);
 
+  /// One stepped assignment (the begin_stepping/step driving mode used by
+  /// sim/replication.cpp): which host won the selection, when its work
+  /// began accruing, when the host freed, how much ON time it burned, and
+  /// the two facts the fault layer needs — whether the attempt completed
+  /// (false only under kAbandon when the session died first) and whether
+  /// the execution crossed at least one ON-session boundary (the crash
+  /// model's trigger).
+  struct StepOutcome {
+    std::uint32_t host = 0;
+    double start = 0.0;
+    double completion = 0.0;
+    double worked_days = 0.0;
+    bool completed = true;
+    bool session_crossed = false;
+  };
+
+  /// Arms the stepped driving mode: step() hands out one assignment at a
+  /// time with exactly the selection run()/run_reference() would make
+  /// (blocked when the resolved backend is non-scalar and
+  /// `force_reference` is off, the full-scan oracle otherwise — same
+  /// bit-identity contract). `tasks` is the task population the gate's
+  /// bucket edges are built over (it is retained for gate re-resets on
+  /// advance_time); individual step() calls may pass any task drawn from
+  /// it, in any order and multiplicity. `slowdown`, when non-empty, is a
+  /// per-host execution derate column (>= 1, copied): the straggler
+  /// model's "benchmarks fast, runs slow" — selection always uses the
+  /// NOMINAL rates, commit charges work * slowdown[winner].
+  void begin_stepping(std::span<const double> tasks,
+                      InterruptionPolicy policy,
+                      std::span<const double> slowdown = {},
+                      bool force_reference = false);
+
+  /// Selects the minimum-completion host for `task` (nominal rates),
+  /// then commits the actual execution at work * slowdown[winner].
+  /// Accounting accrues into step_totals().
+  StepOutcome step(double task);
+
+  /// Clamps every host's free_at up to `now` (hosts idle before a
+  /// re-issue round's start are free AT its start, not before) and
+  /// refreshes the cursors and blocked structures. Sound for the
+  /// replication engine's use because all work stepped after this call
+  /// starts at or after `now`.
+  void advance_time(double now);
+
+  /// Host-side accounting accrued by step() since begin_stepping.
+  const ChurnScheduleTotals& step_totals() const noexcept {
+    return step_totals_;
+  }
+
   const ChurnSchedulerConfig& config() const noexcept { return config_; }
 
   /// The ready-at cursor column (exposed for tests).
@@ -197,6 +246,18 @@ class ChurnScheduler {
   /// Applies an assignment: busy/free/ready/cursor updates + totals.
   void commit(std::size_t host, double work, InterruptionPolicy policy,
               ChurnScheduleTotals& totals);
+
+  /// The per-task minimum-completion selection of run_ect, shared
+  /// verbatim with step(): returns the winning host without committing.
+  /// `bounds` is the level-A scratch row (blocked arm only).
+  template <bool kBlocked>
+  std::uint32_t select_ect(double task, InterruptionPolicy policy,
+                           ChurnScheduleTotals& totals,
+                           std::vector<double>& bounds);
+  /// kAbandon's per-task selection (key = ready + task*inv), shared
+  /// verbatim between run_abandon and step().
+  template <bool kBlocked>
+  std::uint32_t select_ready(double task) const;
 
   template <bool kBlocked>
   ChurnScheduleTotals run_ect(std::span<const double> tasks,
@@ -263,6 +324,14 @@ class ChurnScheduler {
   std::vector<double> sres_sess_;
   std::vector<double> sres_accr_;
   std::vector<double> sres_levels_;
+
+  // Stepped driving mode (begin_stepping/step/advance_time).
+  InterruptionPolicy step_policy_ = InterruptionPolicy::kCheckpoint;
+  bool step_blocked_ = false;
+  std::vector<double> step_tasks_;     ///< retained for advance_time resets
+  std::vector<double> step_slowdown_;  ///< per-host derate; empty = all 1
+  std::vector<double> step_bounds_;    ///< level-A scratch for select_ect
+  ChurnScheduleTotals step_totals_;
 };
 
 }  // namespace resmodel::churn

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "churn/churn_scheduler.h"
+#include "sim/replication.h"
 #include "sim/schedule_state.h"
 #include "stats/distributions.h"
 
@@ -200,6 +201,26 @@ BagOfTasksResult run_with_state(ScheduleState state,
   const std::size_t host_count = state.size();
   state.backend = config.backend;
 
+  // Fault profiles are drawn AFTER the task costs, and only when the mix
+  // actually injects faults — a replication-only run (or an all-honest
+  // mix) therefore schedules the identical sampled workload a plain run
+  // does, which is what the 1-of-1-no-fault == plain equivalence tests
+  // pin down.
+  FaultProfiles faults;
+  if (config.replicated_run()) {
+    config.replication.validate();
+    if (config.fault_mix.any()) {
+      faults = sample_fault_profiles(host_count, config.fault_mix, rng);
+    } else {
+      faults.type.assign(host_count, FaultType::kHonest);
+      faults.slowdown.assign(host_count, 1.0);
+    }
+    if (timeline == nullptr) {
+      throw std::invalid_argument(
+          "run_bag_of_tasks: replicated run needs an interval timeline");
+    }
+  }
+
   if (is_churn_policy(policy)) {
     churn::InterruptionPolicy interruption =
         churn::InterruptionPolicy::kCheckpoint;
@@ -224,6 +245,11 @@ BagOfTasksResult run_with_state(ScheduleState state,
     } else {
       scheduler.emplace(state, *timeline, sched_config);
     }
+    if (config.replicated_run()) {
+      return run_replicated_churn(*scheduler, state, tasks, faults,
+                                  config.replication, interruption,
+                                  reference_dynamics);
+    }
     const churn::ChurnScheduleTotals totals =
         reference_dynamics ? scheduler->run_reference(tasks, interruption)
                            : scheduler->run(tasks, interruption);
@@ -232,6 +258,21 @@ BagOfTasksResult run_with_state(ScheduleState state,
     result.wasted_cpu_days = totals.wasted_cpu_days;
     result.interruptions = totals.interruptions;
     return result;
+  }
+
+  if (config.replicated_run()) {
+    // The non-churn replicated arm: only kDynamicEct has a completion-
+    // time model to validate deadlines against. Static striping and pull
+    // have no per-replica completion estimate — graceful refusal beats a
+    // silently meaningless quorum.
+    if (policy != SchedulingPolicy::kDynamicEct) {
+      throw std::invalid_argument(
+          "run_bag_of_tasks: replication/fault injection requires an "
+          "ECT-family policy (dynamic ECT or churn ECT)");
+    }
+    return run_replicated_ect(state, *timeline, tasks, faults,
+                              config.replication, config.backend,
+                              reference_dynamics);
   }
 
   switch (policy) {
@@ -324,6 +365,10 @@ void validate_config(const BagOfTasksConfig& config) {
         "run_bag_of_tasks: churn_lookahead_levels must be in [1, " +
         std::to_string(churn::kMaxLookaheadLevels) + "]");
   }
+  if (config.replicated_run()) {
+    config.replication.validate();
+    config.fault_mix.validate();
+  }
 }
 
 BagOfTasksResult run_with_rates(std::vector<double> rates,
@@ -352,6 +397,22 @@ BagOfTasksResult run_any(const Hosts& hosts, const BagOfTasksConfig& config,
     std::vector<double> rates = base_host_rates(hosts);
     const AvailabilityRealization real =
         realize_availability(rates, config, rng);
+    return run_with_rates(std::move(rates), real.timeline.get(), config,
+                          policy, rng, reference_dynamics);
+  }
+  if (config.replicated_run()) {
+    // kDynamicEct under replication: the rates derate exactly as the
+    // plain path (iff model_availability), but the SAME realization's
+    // timeline rides along for the crash model — one draw, consumed
+    // identically to the churn branch above.
+    std::vector<double> rates = base_host_rates(hosts);
+    const AvailabilityRealization real =
+        realize_availability(rates, config, rng);
+    if (config.model_availability) {
+      for (std::size_t h = 0; h < rates.size(); ++h) {
+        rates[h] *= std::max(0.01, real.fractions[h]);
+      }
+    }
     return run_with_rates(std::move(rates), real.timeline.get(), config,
                           policy, rng, reference_dynamics);
   }
@@ -400,7 +461,18 @@ BagOfTasksResult run_bag_of_tasks(const HostResourcesSoA& hosts,
       rates[h] *= std::max(0.01, availability.fractions[h]);
     }
   }
-  return run_with_rates(std::move(rates), nullptr, config, policy, rng,
+  const churn::IntervalTimeline* timeline = nullptr;
+  if (config.replicated_run()) {
+    // Replicated kDynamicEct needs the realization's timeline for the
+    // crash model even when the rates are not derated.
+    if (!availability.timeline ||
+        availability.timeline->host_count() != rates.size()) {
+      throw std::invalid_argument(
+          "run_bag_of_tasks: availability timeline does not cover the hosts");
+    }
+    timeline = availability.timeline.get();
+  }
+  return run_with_rates(std::move(rates), timeline, config, policy, rng,
                         /*reference_dynamics=*/false);
 }
 
@@ -436,12 +508,22 @@ PolicySweepResult run_policy_sweep(std::span<const SweepPopulation> populations,
     probe.task_count = task_count;
     validate_config(probe);
   }
+  const bool replicated = config.base.replicated_run();
   bool any_churn = false;
   for (const SchedulingPolicy policy : config.policies) {
     switch (policy) {
       case SchedulingPolicy::kStaticRoundRobin:
       case SchedulingPolicy::kStaticSpeedWeighted:
       case SchedulingPolicy::kDynamicPull:
+        // Up-front refusal (a throw inside a spawned worker would land in
+        // std::terminate): the replicated engine only composes with the
+        // ECT-family policies.
+        if (replicated) {
+          throw std::invalid_argument(
+              "run_policy_sweep: replication/fault injection requires "
+              "ECT-family policies (dynamic ECT or churn ECT)");
+        }
+        break;
       case SchedulingPolicy::kDynamicEct:
         break;
       case SchedulingPolicy::kChurnEctCheckpoint:
@@ -495,7 +577,7 @@ PolicySweepResult run_policy_sweep(std::span<const SweepPopulation> populations,
     util::Rng rng(config.workload_seed);
     std::vector<double> base_rates = base_host_rates(populations[p].hosts);
     std::vector<double> flagged_rates;
-    if (config.base.model_availability || any_churn) {
+    if (config.base.model_availability || any_churn || replicated) {
       util::Rng avail_rng = rng;
       const AvailabilityRealization real =
           realize_availability(base_rates, config.base, avail_rng);
@@ -506,7 +588,9 @@ PolicySweepResult run_policy_sweep(std::span<const SweepPopulation> populations,
         }
         rng = avail_rng;
       }
-      if (any_churn) pop.timeline = real.timeline;
+      // Replicated kDynamicEct cells consult the timeline too (crash
+      // model), not just the churn cells.
+      if (any_churn || replicated) pop.timeline = real.timeline;
       pop.rng_after_avail = avail_rng;
     } else {
       flagged_rates = base_rates;
@@ -543,12 +627,16 @@ PolicySweepResult run_policy_sweep(std::span<const SweepPopulation> populations,
       const SchedulingPolicy policy = config.policies[cell.policy];
       const SharedState& pop_state = shared[cell.population];
       const bool churn_cell = is_churn_policy(policy);
-      util::Rng cell_rng = churn_cell ? pop_state.rng_after_avail
-                                      : pop_state.rng_after_flagged;
+      // Replicated cells (churn or not) resume from the post-realization
+      // stream, exactly like a standalone replicated run; when
+      // model_availability is set the two resume points coincide.
+      const bool timeline_cell = churn_cell || replicated;
+      util::Rng cell_rng = timeline_cell ? pop_state.rng_after_avail
+                                         : pop_state.rng_after_flagged;
       cell.result = run_with_state(
           ScheduleState(churn_cell ? pop_state.state_base
                                    : pop_state.state_flagged),
-          churn_cell ? pop_state.timeline.get() : nullptr, cell_config,
+          timeline_cell ? pop_state.timeline.get() : nullptr, cell_config,
           policy, cell_rng, /*reference_dynamics=*/false,
           churn_cell ? &*pop_state.cursor_seed : nullptr);
     }

@@ -38,6 +38,7 @@
 #include "backend/backend.h"
 #include "churn/coupled_availability.h"
 #include "churn/interval_timeline.h"
+#include "sim/fault_model.h"
 #include "sim/host_soa.h"
 #include "sim/utility.h"
 #include "synth/availability.h"
@@ -88,6 +89,24 @@ struct BagOfTasksConfig {
   /// kernels. Pure performance knob — every arm is bit-identical, so
   /// results never depend on it. CLI: `sweep --backend=...`.
   backend::Backend backend = backend::Backend::kAuto;
+
+  /// Fault-tolerant work distribution (sim/replication.h): k-of-n quorum
+  /// replication with deadline re-issue, and the per-host fault mix the
+  /// population is injected with. A replicated run activates when either
+  /// is armed (replication.enabled or any fault fraction > 0) and is
+  /// restricted to the ECT-family policies (kDynamicEct + kChurnEct*) —
+  /// the static and pull policies have no completion-time model to
+  /// validate deadlines against, and throw. Fault profiles are sampled
+  /// from one rng fork per host AFTER the task costs (and only when the
+  /// mix is non-trivial), so a replication-only run schedules the
+  /// identical workload a plain run does. CLI: `sweep --replication=k/n
+  /// --deadline-days=D --fault-mix=crash:p,straggler:p,corrupt:p`.
+  ReplicationConfig replication;
+  FaultMixConfig fault_mix;
+
+  bool replicated_run() const noexcept {
+    return replication.enabled || fault_mix.any();
+  }
 };
 
 /// Scheduling policies compared in the study.
@@ -135,6 +154,12 @@ struct BagOfTasksResult {
   /// (restart/abandon) and how many interruptions occurred.
   double wasted_cpu_days = 0.0;
   std::uint64_t interruptions = 0;
+  /// Replicated runs only (config.replicated_run()): the quorum /
+  /// deadline / fault outcome counters. For those runs total_cpu_days
+  /// counts every replica's committed work and makespan_days is the
+  /// host-side makespan; the validation clock (last_validation_day,
+  /// re-issue latency percentiles) lives here.
+  ReplicationOutcome replication;
 };
 
 /// One availability draw for a host population: the per-host ON/OFF

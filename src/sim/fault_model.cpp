@@ -1,0 +1,100 @@
+#include "sim/fault_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace resmodel::sim {
+
+void FaultMixConfig::validate() const {
+  if (crash_fraction < 0.0 || straggler_fraction < 0.0 ||
+      corrupter_fraction < 0.0) {
+    throw std::invalid_argument("fault fractions must be non-negative");
+  }
+  if (!(faulty_fraction() <= 1.0)) {  // !(<=) also rejects NaN
+    throw std::invalid_argument("fault fractions must sum to at most 1");
+  }
+  if (!(straggler_slowdown_min >= 1.0) ||
+      !(straggler_slowdown_max >= straggler_slowdown_min) ||
+      !std::isfinite(straggler_slowdown_max)) {
+    throw std::invalid_argument(
+        "straggler slowdown range must satisfy 1 <= min <= max < inf");
+  }
+}
+
+FaultDraw sample_fault(const FaultMixConfig& mix, util::Rng& rng) {
+  FaultDraw draw;
+  const double u = rng.uniform();
+  if (u < mix.crash_fraction) {
+    draw.type = FaultType::kCrash;
+  } else if (u < mix.crash_fraction + mix.straggler_fraction) {
+    draw.type = FaultType::kStraggler;
+    draw.slowdown =
+        rng.uniform(mix.straggler_slowdown_min, mix.straggler_slowdown_max);
+  } else if (u < mix.faulty_fraction()) {
+    draw.type = FaultType::kCorrupter;
+  }
+  return draw;
+}
+
+FaultProfiles sample_fault_profiles(std::size_t hosts,
+                                    const FaultMixConfig& mix,
+                                    util::Rng& rng) {
+  mix.validate();
+  FaultProfiles profiles;
+  profiles.type.resize(hosts, FaultType::kHonest);
+  profiles.slowdown.resize(hosts, 1.0);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    util::Rng host_rng = rng.fork();
+    const FaultDraw draw = sample_fault(mix, host_rng);
+    profiles.type[h] = draw.type;
+    profiles.slowdown[h] = draw.slowdown;
+  }
+  return profiles;
+}
+
+namespace {
+
+// SplitMix64 finalizer: a 64-bit bijection, so distinct inputs give
+// distinct outputs.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t canonical_digest(std::uint64_t payload) noexcept {
+  return mix64(payload);
+}
+
+std::uint64_t corrupted_digest(std::uint64_t payload,
+                               std::uint64_t host_salt) noexcept {
+  // XOR with an odd, salt-derived delta: never zero, so the result always
+  // differs from the canonical digest; distinct salts yield distinct
+  // odd deltas (mix64 is a bijection and |1 only merges even/odd pairs),
+  // making inter-corrupter collisions for one payload vanishingly rare.
+  return canonical_digest(payload) ^ (mix64(host_salt) | 1ULL);
+}
+
+void ReplicationConfig::validate() const {
+  if (replicas < 1 || replicas > 32) {
+    throw std::invalid_argument("replication: replicas must be in [1, 32]");
+  }
+  if (quorum < 1 || quorum > replicas) {
+    throw std::invalid_argument(
+        "replication: quorum must be in [1, replicas]");
+  }
+  if (!(deadline_days > 0.0)) {  // rejects 0, negatives and NaN; inf ok
+    throw std::invalid_argument("replication: deadline_days must be > 0");
+  }
+  if (!(backoff >= 1.0) || !std::isfinite(backoff)) {
+    throw std::invalid_argument("replication: backoff must be >= 1");
+  }
+  if (max_retries > 32) {
+    throw std::invalid_argument("replication: max_retries must be <= 32");
+  }
+}
+
+}  // namespace resmodel::sim

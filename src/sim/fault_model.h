@@ -1,0 +1,202 @@
+// Fault injection and robustness-policy vocabulary for the work
+// distribution layer.
+//
+// The real system behind the paper survives unreliable volunteer hosts
+// through redundancy and validation; this header names the failure modes
+// the reproduction injects and the server-side policies that absorb them:
+//
+//  - FaultType / FaultMixConfig / sample_fault_profiles: per-host
+//    behaviours (crash / straggler / corrupter) sampled from seeded
+//    util::Rng forks in host order — the same consumption discipline as
+//    every other per-host draw in the tree, so injected runs are
+//    bit-reproducible and thread-count invariant under run_policy_sweep.
+//  - canonical_digest / corrupted_digest: the result-validation model. A
+//    correct replica of a work item produces THE canonical digest of its
+//    payload; a corrupter produces a per-host wrong one (guaranteed to
+//    differ), so k matching digests == k correct results.
+//  - ReplicationConfig: k-of-n quorum replication with deadline re-issue
+//    under exponential backoff and a max-retry cap (the engine lives in
+//    sim/replication.h).
+//  - ReplicationOutcome: the outcome counters threaded through
+//    BagOfTasksResult and the sweep grid. Every issued task resolves to
+//    exactly one of validated / invalid / missed-deadline — never
+//    silently dropped (tasks_issued == the sum, asserted by the engine
+//    and the tests).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace resmodel::sim {
+
+/// Per-host fault behaviour of a virtual client.
+enum class FaultType : std::uint8_t {
+  kHonest,     ///< completes on time, correct digest
+  kCrash,      ///< session dies mid-task: work crossing an ON-session
+               ///< boundary of the churn::IntervalTimeline realization is
+               ///< lost and never reported
+  kStraggler,  ///< rate derate spike: runs `slowdown` x slower than the
+               ///< speed the scheduler selected it on
+  kCorrupter,  ///< completes on time but returns a wrong result digest
+};
+
+/// Population-level fault mix. Fractions partition the hosts (the
+/// remainder is honest); the straggler slowdown factor is drawn uniformly
+/// per straggler host.
+struct FaultMixConfig {
+  double crash_fraction = 0.0;
+  double straggler_fraction = 0.0;
+  double corrupter_fraction = 0.0;
+  double straggler_slowdown_min = 4.0;
+  double straggler_slowdown_max = 16.0;
+
+  bool any() const noexcept {
+    return crash_fraction > 0.0 || straggler_fraction > 0.0 ||
+           corrupter_fraction > 0.0;
+  }
+  double faulty_fraction() const noexcept {
+    return crash_fraction + straggler_fraction + corrupter_fraction;
+  }
+  /// Throws std::invalid_argument on negative fractions, a sum above 1,
+  /// or a slowdown range outside [1, inf) / with max < min.
+  void validate() const;
+};
+
+/// One host's sampled behaviour. `slowdown` is 1 for every type but
+/// kStraggler.
+struct FaultDraw {
+  FaultType type = FaultType::kHonest;
+  double slowdown = 1.0;
+};
+
+/// Draws one host's behaviour: one uniform for the type, plus one uniform
+/// for the slowdown iff the host is a straggler. Callers that need a
+/// fixed per-host consumption must hand each host its own fork — which is
+/// exactly what sample_fault_profiles does.
+FaultDraw sample_fault(const FaultMixConfig& mix, util::Rng& rng);
+
+/// Per-host fault columns (index h across both columns is one host).
+struct FaultProfiles {
+  std::vector<FaultType> type;
+  std::vector<double> slowdown;  ///< 1.0 unless type[h] == kStraggler
+
+  std::size_t size() const noexcept { return type.size(); }
+};
+
+/// Samples the whole population: forks `rng` once per host IN HOST ORDER
+/// and draws that host's behaviour from the fork — the fork isolates the
+/// per-host consumption, so the profile column is independent of how many
+/// draws any individual host makes and invariant under sweep threading.
+/// Validates `mix` first.
+FaultProfiles sample_fault_profiles(std::size_t hosts,
+                                    const FaultMixConfig& mix,
+                                    util::Rng& rng);
+
+/// The canonical result digest of a work item's payload (a SplitMix64
+/// finalizer — any fixed 64-bit mixing function works; correctness only
+/// needs "equal payloads agree, corrupted digests differ").
+std::uint64_t canonical_digest(std::uint64_t payload) noexcept;
+
+/// A corrupter's digest for the same payload: differs from the canonical
+/// digest for EVERY (payload, host_salt) pair, and from other corrupters'
+/// digests for distinct salts — so corrupt replicas can never form a
+/// matching quorum with correct ones (nor, for distinct hosts, with each
+/// other).
+std::uint64_t corrupted_digest(std::uint64_t payload,
+                               std::uint64_t host_salt) noexcept;
+
+/// Server-side robustness policy: per-task n-way replication with
+/// k-of-n quorum validation of result digests, deadline timeouts with
+/// re-issue under exponential backoff, and a max-retry cap.
+struct ReplicationConfig {
+  /// Master switch — the replicated engine also activates when the
+  /// fault mix injects any faulty hosts (see
+  /// BagOfTasksConfig::replicated_run()).
+  bool enabled = false;
+  std::uint32_t replicas = 1;  ///< n: replicas issued per task per round
+  std::uint32_t quorum = 1;    ///< k: matching correct digests to validate
+  /// Report deadline of the FIRST round, in days; round r's window is
+  /// deadline_days * backoff^r (the re-issue backoff), and round r+1 is
+  /// issued the instant round r's window closes. +inf = no deadline:
+  /// a single round whose results all count, no re-issue.
+  double deadline_days = std::numeric_limits<double>::infinity();
+  double backoff = 2.0;          ///< window growth per retry, >= 1
+  std::uint32_t max_retries = 4; ///< re-issue rounds after the first
+
+  bool has_deadline() const noexcept {
+    return deadline_days != std::numeric_limits<double>::infinity();
+  }
+  /// Throws std::invalid_argument unless 1 <= quorum <= replicas <= 32,
+  /// deadline_days > 0, backoff >= 1 and max_retries <= 32.
+  void validate() const;
+};
+
+/// Why a task failed to validate (the graceful-degradation reason code;
+/// kNone for validated tasks).
+enum class TaskFailReason : std::uint8_t {
+  kNone,
+  /// Retries exhausted with >= quorum results returned in time but no
+  /// quorum of MATCHING correct digests — corruption dominated. Counted
+  /// as tasks_invalid.
+  kQuorumConflict,
+  /// Retries exhausted with fewer than quorum results returned inside
+  /// their deadlines (crashes / stragglers). Counted as
+  /// tasks_missed_deadline.
+  kDeadlineExhausted,
+};
+
+/// Outcome accounting of one replicated run. Task-level counters
+/// partition the issued tasks exactly:
+///   tasks_issued == tasks_validated + tasks_invalid +
+///                   tasks_missed_deadline
+/// and replica-level counters partition the issued replicas:
+///   replicas_issued == replicas_correct + replicas_corrupt +
+///                      replicas_crashed + replicas_missed_deadline +
+///                      replicas_duplicate_host.
+struct ReplicationOutcome {
+  std::uint64_t tasks_issued = 0;
+  std::uint64_t tasks_validated = 0;
+  /// Failed with TaskFailReason::kQuorumConflict.
+  std::uint64_t tasks_invalid = 0;
+  /// Failed with TaskFailReason::kDeadlineExhausted.
+  std::uint64_t tasks_missed_deadline = 0;
+
+  std::uint64_t replicas_issued = 0;
+  std::uint64_t replicas_correct = 0;  ///< in-deadline, canonical digest
+  std::uint64_t replicas_corrupt = 0;  ///< in-deadline, wrong digest
+  std::uint64_t replicas_crashed = 0;  ///< lost to an ON-session death
+  /// Completed after their round's deadline — the result is discarded
+  /// (the work unit may already have been re-issued), BOINC-style.
+  std::uint64_t replicas_missed_deadline = 0;
+  /// Landed on a host that already returned a counted result for the
+  /// same task — counted once toward the quorum, the duplicate ignored.
+  std::uint64_t replicas_duplicate_host = 0;
+
+  /// Task re-issue events (one per task per extra round).
+  std::uint64_t reissues = 0;
+  /// CPU-days burned beyond one useful copy per validated task: total
+  /// replica processing time minus, for each validated task, the time
+  /// its earliest counted correct replica spent. The redundancy +
+  /// fault overhead of the run.
+  double wasted_replica_cpu_days = 0.0;
+  /// Validation-latency percentiles (days from first issue to the
+  /// quorum-completing result) over tasks that needed >= 1 re-issue;
+  /// zero when no re-issued task validated.
+  double reissue_latency_p50_days = 0.0;
+  double reissue_latency_p90_days = 0.0;
+  double reissue_latency_p99_days = 0.0;
+  /// Day the last task validated (0 when none did).
+  double last_validation_day = 0.0;
+
+  /// The zero-silently-lost-tasks invariant.
+  bool conserves_tasks() const noexcept {
+    return tasks_issued ==
+           tasks_validated + tasks_invalid + tasks_missed_deadline;
+  }
+};
+
+}  // namespace resmodel::sim

@@ -166,5 +166,161 @@ TEST(VirtualClient, NoWorkReportedWithoutGrants) {
   }
 }
 
+TEST(VirtualClient, OffIntervalDeferralAcrossDeathDayKillsHost) {
+  // A contact that lands in an OFF interval straddling the death day is
+  // deferred past last_contact_day: the host must report dead rather
+  // than contact from beyond the grave, and the deferred day must still
+  // be ordered after every prior contact.
+  ClientConfig config = default_config();
+  config.model_availability = true;
+  // Near-permanent outages: median e^4 ~ 55 days off vs 1-day sessions,
+  // so a short-lived host is all but guaranteed to defer past its death.
+  config.availability.off_lognormal_mu = 4.0;
+  trace::HostRecord spec = spec_host();
+  spec.last_contact_day = 110;  // 10-day life
+  bool saw_deferred_death = false;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    VirtualClient client(spec, config, util::Rng(seed));
+    double prev = -1.0;
+    int contacts = 0;
+    while (client.alive() && contacts < 500) {
+      ASSERT_GT(client.next_contact_day(), prev);
+      prev = client.next_contact_day();
+      (void)client.make_request();
+      ++contacts;
+    }
+    ASSERT_FALSE(client.alive());
+    ASSERT_LT(contacts, 500);
+    // The killing deferral: the next (never-made) contact is beyond the
+    // death day, strictly later than the last real contact.
+    if (client.next_contact_day() > spec.last_contact_day + 1.0) {
+      EXPECT_GT(client.next_contact_day(), prev - 1e-12);
+      saw_deferred_death = true;
+    }
+  }
+  EXPECT_TRUE(saw_deferred_death);
+}
+
+TEST(VirtualClient, ZeroRequestedWorkSecondsIsValidAndRequestsNothing) {
+  ClientConfig config = default_config();
+  config.work_request_seconds = 0.0;
+  VirtualClient client(spec_host(), config, util::Rng(12));
+  for (int i = 0; i < 5 && client.alive(); ++i) {
+    EXPECT_DOUBLE_EQ(client.make_request().requested_work_seconds, 0.0);
+  }
+}
+
+TEST(VirtualClient, ConfigValidationRejectsBadSigmasAndIntervals) {
+  const auto reject = [](ClientConfig config) {
+    EXPECT_THROW(VirtualClient(spec_host(), config, util::Rng(1)),
+                 std::invalid_argument);
+  };
+  ClientConfig negative_jitter = default_config();
+  negative_jitter.benchmark_jitter_sigma = -0.01;
+  reject(negative_jitter);
+  ClientConfig negative_drift = default_config();
+  negative_drift.disk_drift_sigma = -1e-9;
+  reject(negative_drift);
+  ClientConfig zero_interval = default_config();
+  zero_interval.mean_contact_interval_days = 0.0;
+  reject(zero_interval);
+  ClientConfig negative_request = default_config();
+  negative_request.work_request_seconds = -1.0;
+  reject(negative_request);
+  ClientConfig sub_unit_slowdown = default_config();
+  sub_unit_slowdown.straggler_slowdown = 0.5;
+  reject(sub_unit_slowdown);
+  // NaN sigmas must not sneak past the comparisons.
+  ClientConfig nan_sigma = default_config();
+  nan_sigma.benchmark_jitter_sigma = std::nan("");
+  reject(nan_sigma);
+}
+
+TEST(VirtualClient, HonestClientShipsCanonicalDigest) {
+  VirtualClient client(spec_host(), default_config(), util::Rng(13));
+  (void)client.make_request();
+  SchedulerReply reply;
+  reply.granted_work_units = 8;
+  client.handle_reply(reply);
+  while (client.alive()) {
+    const SchedulerRequest r = client.make_request();
+    if (r.completed_work_units == 0) {
+      EXPECT_EQ(r.result_digest, 0u);
+      continue;
+    }
+    EXPECT_EQ(r.result_digest,
+              sim::canonical_digest(
+                  result_payload(r.host_id, r.completed_work_units)));
+    break;
+  }
+}
+
+TEST(VirtualClient, CorrupterClientShipsWrongDigest) {
+  ClientConfig config = default_config();
+  config.fault = sim::FaultType::kCorrupter;
+  VirtualClient client(spec_host(), config, util::Rng(13));
+  (void)client.make_request();
+  SchedulerReply reply;
+  reply.granted_work_units = 8;
+  client.handle_reply(reply);
+  while (client.alive()) {
+    const SchedulerRequest r = client.make_request();
+    if (r.completed_work_units == 0) continue;
+    EXPECT_NE(r.result_digest,
+              sim::canonical_digest(
+                  result_payload(r.host_id, r.completed_work_units)));
+    break;
+  }
+}
+
+TEST(VirtualClient, StragglerCompletesSlowerThanHonestTwin) {
+  // Same seed, same grants: the straggler's cumulative completions must
+  // lag the honest client's at every contact (ties allowed early on).
+  const auto total_completed = [](ClientConfig config) {
+    VirtualClient client(spec_host(), config, util::Rng(21));
+    (void)client.make_request();
+    SchedulerReply reply;
+    reply.granted_work_units = 16;
+    std::uint32_t completed = 0;
+    for (int i = 0; i < 40 && client.alive(); ++i) {
+      client.handle_reply(reply);  // keep the queue topped up
+      completed += client.make_request().completed_work_units;
+    }
+    return completed;
+  };
+  ClientConfig honest = default_config();
+  ClientConfig slow = default_config();
+  slow.fault = sim::FaultType::kStraggler;
+  slow.straggler_slowdown = 8.0;
+  EXPECT_LT(total_completed(slow), total_completed(honest));
+  EXPECT_GT(total_completed(slow), 0u);
+}
+
+TEST(VirtualClient, CrashClientLosesQueueAcrossSessionDeath) {
+  ClientConfig config = default_config();
+  config.model_availability = true;
+  config.fault = sim::FaultType::kCrash;
+  // Short sessions and long outages force session deaths between
+  // contacts.
+  config.availability.on_weibull_lambda = 0.5;
+  config.availability.off_lognormal_mu = 0.5;
+  trace::HostRecord spec = spec_host();
+  spec.last_contact_day = 2000;
+  VirtualClient client(spec, config, util::Rng(31));
+  SchedulerReply reply;
+  reply.granted_work_units = 16;
+  std::uint64_t lost = 0;
+  for (int i = 0; i < 400 && client.alive(); ++i) {
+    client.handle_reply(reply);
+    const SchedulerRequest r = client.make_request();
+    lost += r.lost_work_units;
+    // A crash report is all-or-nothing: the batch that died completes 0.
+    if (r.lost_work_units > 0) {
+      EXPECT_EQ(r.completed_work_units, 0u);
+    }
+  }
+  EXPECT_GT(lost, 0u);
+}
+
 }  // namespace
 }  // namespace resmodel::boinc

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/fault_model.h"
+
 namespace resmodel::boinc {
 namespace {
 
@@ -27,6 +29,10 @@ SchedulerRequest request_for(std::uint64_t id, int day,
   r.measurement = typical_measurement();
   r.requested_work_seconds = work_seconds;
   r.completed_work_units = completed;
+  // Honest by default: ship the canonical digest for non-empty batches.
+  if (completed > 0) {
+    r.result_digest = sim::canonical_digest(result_payload(id, completed));
+  }
   return r;
 }
 
@@ -121,6 +127,89 @@ TEST(ProjectServer, ReplySuggestsContactInterval) {
   ProjectServer server(config);
   const SchedulerReply reply = server.handle_request(request_for(1, 0));
   EXPECT_DOUBLE_EQ(reply.next_contact_delay_days, 3.5);
+}
+
+TEST(ProjectServer, RejectsMismatchedDigestWithoutCredit) {
+  ServerConfig config;
+  config.credit_per_unit = 10.0;
+  config.max_queued_units = 8;
+  ProjectServer server(config);
+  server.handle_request(request_for(1, 0, 4 * 86400.0));  // grant 4
+  SchedulerRequest bad = request_for(1, 4, 0.0, 4);
+  bad.result_digest =
+      sim::corrupted_digest(result_payload(1, 4), /*host_salt=*/1);
+  const SchedulerReply reply = server.handle_request(bad);
+  EXPECT_FALSE(reply.result_valid);
+  EXPECT_DOUBLE_EQ(reply.granted_credit, 0.0);
+  EXPECT_EQ(server.total_invalid_result_units(), 4u);
+  // The invalid units still left the queue: room reopens for new grants.
+  const SchedulerReply regrant =
+      server.handle_request(request_for(1, 5, 4 * 86400.0));
+  EXPECT_EQ(regrant.granted_work_units, 4u);
+}
+
+TEST(ProjectServer, EmptyBatchIsAlwaysValid) {
+  ProjectServer server;
+  const SchedulerReply reply = server.handle_request(request_for(1, 0));
+  EXPECT_TRUE(reply.result_valid);
+}
+
+TEST(ProjectServer, WritesOffReportedLostUnits) {
+  ServerConfig config;
+  config.max_queued_units = 8;
+  ProjectServer server(config);
+  server.handle_request(request_for(1, 0, 4 * 86400.0));  // grant 4
+  SchedulerRequest crash = request_for(1, 2);
+  crash.lost_work_units = 4;
+  const SchedulerReply reply = server.handle_request(crash);
+  EXPECT_TRUE(reply.result_valid);
+  EXPECT_EQ(server.total_units_lost(), 4u);
+  // Written-off units free the queue immediately: the same contact's
+  // grant already had room again.
+  EXPECT_EQ(reply.granted_work_units, 1u);  // 2 cores x 2000/4000 x 1 day
+}
+
+TEST(ProjectServer, ExpiresGrantsPastReportDeadline) {
+  ServerConfig config;
+  config.max_queued_units = 4;
+  config.report_deadline_days = 3.0;
+  ProjectServer server(config);
+  server.handle_request(request_for(1, 0, 4 * 86400.0));  // grant 4, due day 3
+  // Day 2: still within deadline, nothing expires, queue full.
+  const SchedulerReply r2 = server.handle_request(request_for(1, 2));
+  EXPECT_EQ(server.total_units_expired(), 0u);
+  EXPECT_EQ(r2.granted_work_units, 0u);
+  // Day 5: the day-0 grant is past due — written off, room reopens.
+  const SchedulerReply r5 =
+      server.handle_request(request_for(1, 5, 4 * 86400.0));
+  EXPECT_EQ(server.total_units_expired(), 4u);
+  EXPECT_EQ(r5.granted_work_units, 4u);
+}
+
+TEST(ProjectServer, LateReportAfterExpiryEarnsNothing) {
+  ServerConfig config;
+  config.max_queued_units = 4;
+  config.report_deadline_days = 2.0;
+  ProjectServer server(config);
+  server.handle_request(request_for(1, 0, 4 * 86400.0));  // grant 4, due day 2
+  // Day 10, empty-handed contact: the grant expires server-side.
+  (void)server.handle_request(request_for(1, 10, 0.0));
+  EXPECT_EQ(server.total_units_expired(), 4u);
+  // Day 11: the host finally reports the stale batch — no queued units
+  // back it, so no credit.
+  const SchedulerReply late =
+      server.handle_request(request_for(1, 11, 0.0, 4));
+  EXPECT_DOUBLE_EQ(late.granted_credit, 0.0);
+}
+
+TEST(ProjectServer, ZeroDeadlineNeverExpires) {
+  ServerConfig config;
+  config.max_queued_units = 4;
+  config.report_deadline_days = 0.0;
+  ProjectServer server(config);
+  server.handle_request(request_for(1, 0, 4 * 86400.0));
+  (void)server.handle_request(request_for(1, 100000));
+  EXPECT_EQ(server.total_units_expired(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,160 @@
+#include "sim/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace resmodel::sim {
+namespace {
+
+TEST(FaultMixConfig, ValidatesFractionsAndSlowdownRange) {
+  FaultMixConfig ok;
+  ok.crash_fraction = 0.3;
+  ok.straggler_fraction = 0.3;
+  ok.corrupter_fraction = 0.4;  // sum exactly 1 is legal
+  EXPECT_NO_THROW(ok.validate());
+
+  FaultMixConfig negative;
+  negative.crash_fraction = -0.1;
+  EXPECT_THROW(negative.validate(), std::invalid_argument);
+
+  FaultMixConfig oversum;
+  oversum.crash_fraction = 0.6;
+  oversum.straggler_fraction = 0.6;
+  EXPECT_THROW(oversum.validate(), std::invalid_argument);
+
+  FaultMixConfig nan_fraction;
+  nan_fraction.corrupter_fraction = std::nan("");
+  EXPECT_THROW(nan_fraction.validate(), std::invalid_argument);
+
+  FaultMixConfig bad_slowdown;
+  bad_slowdown.straggler_fraction = 0.1;
+  bad_slowdown.straggler_slowdown_min = 0.5;  // below 1
+  EXPECT_THROW(bad_slowdown.validate(), std::invalid_argument);
+
+  FaultMixConfig inverted_range;
+  inverted_range.straggler_fraction = 0.1;
+  inverted_range.straggler_slowdown_min = 8.0;
+  inverted_range.straggler_slowdown_max = 4.0;
+  EXPECT_THROW(inverted_range.validate(), std::invalid_argument);
+}
+
+TEST(FaultMixConfig, AnyAndFaultyFraction) {
+  FaultMixConfig mix;
+  EXPECT_FALSE(mix.any());
+  mix.straggler_fraction = 0.25;
+  EXPECT_TRUE(mix.any());
+  EXPECT_DOUBLE_EQ(mix.faulty_fraction(), 0.25);
+}
+
+TEST(SampleFaultProfiles, FrequenciesMatchTheMix) {
+  FaultMixConfig mix;
+  mix.crash_fraction = 0.10;
+  mix.straggler_fraction = 0.20;
+  mix.corrupter_fraction = 0.05;
+  util::Rng rng(42);
+  const FaultProfiles profiles = sample_fault_profiles(20000, mix, rng);
+  ASSERT_EQ(profiles.size(), 20000u);
+  ASSERT_EQ(profiles.slowdown.size(), 20000u);
+  std::size_t crash = 0, straggler = 0, corrupter = 0;
+  for (std::size_t h = 0; h < profiles.size(); ++h) {
+    switch (profiles.type[h]) {
+      case FaultType::kCrash: ++crash; break;
+      case FaultType::kStraggler: ++straggler; break;
+      case FaultType::kCorrupter: ++corrupter; break;
+      case FaultType::kHonest: break;
+    }
+    if (profiles.type[h] == FaultType::kStraggler) {
+      EXPECT_GE(profiles.slowdown[h], mix.straggler_slowdown_min);
+      EXPECT_LE(profiles.slowdown[h], mix.straggler_slowdown_max);
+    } else {
+      EXPECT_DOUBLE_EQ(profiles.slowdown[h], 1.0);
+    }
+  }
+  EXPECT_NEAR(crash / 20000.0, 0.10, 0.01);
+  EXPECT_NEAR(straggler / 20000.0, 0.20, 0.015);
+  EXPECT_NEAR(corrupter / 20000.0, 0.05, 0.01);
+}
+
+TEST(SampleFaultProfiles, DeterministicAndForkIsolated) {
+  FaultMixConfig mix;
+  mix.crash_fraction = 0.2;
+  mix.straggler_fraction = 0.2;
+  util::Rng a(7), b(7);
+  const FaultProfiles pa = sample_fault_profiles(500, mix, a);
+  const FaultProfiles pb = sample_fault_profiles(500, mix, b);
+  EXPECT_EQ(pa.type, pb.type);
+  EXPECT_EQ(pa.slowdown, pb.slowdown);
+  // Fork isolation: the parent streams must agree afterwards too.
+  EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Digests, CanonicalIsInjectiveOnSmallPayloads) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t p = 0; p < 1000; ++p) {
+    EXPECT_TRUE(seen.insert(canonical_digest(p)).second);
+  }
+}
+
+TEST(Digests, CorruptedAlwaysDiffersFromCanonical) {
+  for (std::uint64_t payload : {0ull, 1ull, 42ull, 0xffffffffffffffffull}) {
+    for (std::uint64_t salt = 0; salt < 64; ++salt) {
+      EXPECT_NE(corrupted_digest(payload, salt), canonical_digest(payload));
+    }
+  }
+}
+
+TEST(Digests, DistinctCorruptersDisagree) {
+  // Two corrupters of the same payload must not accidentally form a
+  // quorum with each other.
+  const std::uint64_t payload = 1234567;
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t salt = 1; salt <= 200; ++salt) {
+    EXPECT_TRUE(seen.insert(corrupted_digest(payload, salt)).second);
+  }
+}
+
+TEST(ReplicationConfig, ValidatesQuorumAndDeadline) {
+  ReplicationConfig ok;
+  ok.replicas = 3;
+  ok.quorum = 2;
+  EXPECT_NO_THROW(ok.validate());
+
+  ReplicationConfig quorum_over_replicas;
+  quorum_over_replicas.replicas = 2;
+  quorum_over_replicas.quorum = 3;
+  EXPECT_THROW(quorum_over_replicas.validate(), std::invalid_argument);
+
+  ReplicationConfig zero_quorum;
+  zero_quorum.quorum = 0;
+  EXPECT_THROW(zero_quorum.validate(), std::invalid_argument);
+
+  ReplicationConfig too_many;
+  too_many.replicas = 33;
+  too_many.quorum = 1;
+  EXPECT_THROW(too_many.validate(), std::invalid_argument);
+
+  ReplicationConfig bad_deadline;
+  bad_deadline.deadline_days = 0.0;
+  EXPECT_THROW(bad_deadline.validate(), std::invalid_argument);
+
+  ReplicationConfig bad_backoff;
+  bad_backoff.backoff = 0.5;
+  EXPECT_THROW(bad_backoff.validate(), std::invalid_argument);
+}
+
+TEST(ReplicationOutcome, ConservationPredicate) {
+  ReplicationOutcome o;
+  o.tasks_issued = 10;
+  o.tasks_validated = 7;
+  o.tasks_invalid = 2;
+  o.tasks_missed_deadline = 1;
+  EXPECT_TRUE(o.conserves_tasks());
+  o.tasks_missed_deadline = 0;  // one task silently vanished
+  EXPECT_FALSE(o.conserves_tasks());
+}
+
+}  // namespace
+}  // namespace resmodel::sim

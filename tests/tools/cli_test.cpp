@@ -228,6 +228,85 @@ TEST(Cli, SweepBackendFlag) {
   EXPECT_NE(err.find("bad --backend"), std::string::npos);
 }
 
+TEST(Cli, SweepReplicationFlags) {
+  const std::string model_path = temp_path("cli_sweep_repl_model.txt");
+  {
+    std::ofstream model_out(model_path);
+    model_out << core::paper_params().serialize();
+  }
+  // The full robustness surface: quorum replication, deadline re-issue,
+  // fault mix. Default policies narrow to the ECT family and the outcome
+  // table is emitted.
+  std::string out;
+  ASSERT_EQ(run({"sweep", model_path, "2010-06-01", "200", "400",
+                 "--replication=2/3", "--deadline-days=4", "--backoff=1.5",
+                 "--retries=2", "--fault-mix=crash:0.1,corrupt:0.05",
+                 "--seed=7"},
+                &out),
+            kOk);
+  EXPECT_NE(out.find("replication outcomes (2-of-3 quorum"), std::string::npos);
+  EXPECT_NE(out.find("Reissues"), std::string::npos);
+  EXPECT_EQ(out.find("round robin"), std::string::npos);  // narrowed grid
+  // Deterministic: the identical invocation reproduces the identical
+  // tables, counters included.
+  std::string again;
+  ASSERT_EQ(run({"sweep", model_path, "2010-06-01", "200", "400",
+                 "--replication=2/3", "--deadline-days=4", "--backoff=1.5",
+                 "--retries=2", "--fault-mix=crash:0.1,corrupt:0.05",
+                 "--seed=7"},
+                &again),
+            kOk);
+  EXPECT_EQ(out, again);
+  // Composes with churn (the churn columns join the narrowed grid).
+  std::string churn_out;
+  ASSERT_EQ(run({"sweep", model_path, "2010-06-01", "150", "300",
+                 "--churn", "--replication=2/3", "--fault-mix=crash:0.1",
+                 "--seed=7"},
+                &churn_out),
+            kOk);
+  EXPECT_NE(churn_out.find("churn ECT (checkpoint)"), std::string::npos);
+  EXPECT_NE(churn_out.find("replication outcomes"), std::string::npos);
+}
+
+TEST(Cli, SweepRejectsBadReplicationFlags) {
+  const std::string model_path = temp_path("cli_sweep_repl_bad_model.txt");
+  {
+    std::ofstream model_out(model_path);
+    model_out << core::paper_params().serialize();
+  }
+  std::string err;
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "50",
+                 "--replication=3"},
+                nullptr, &err),
+            kFailure);
+  EXPECT_NE(err.find("bad --replication"), std::string::npos);
+  // Quorum above the replica count is caught by config validation.
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "50",
+                 "--replication=4/3"},
+                nullptr, &err),
+            kFailure);
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "50",
+                 "--fault-mix=gremlin:0.1"},
+                nullptr, &err),
+            kFailure);
+  EXPECT_NE(err.find("bad --fault-mix"), std::string::npos);
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "50",
+                 "--fault-mix=crash:0.7,corrupt:0.7"},
+                nullptr, &err),
+            kFailure);
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "50",
+                 "--deadline-days=-1"},
+                nullptr, &err),
+            kFailure);
+  EXPECT_NE(err.find("bad --deadline-days"), std::string::npos);
+  // Static policies cannot honor replication deadlines: explicit
+  // --policies=rr with replication is refused by the sweep.
+  EXPECT_EQ(run({"sweep", model_path, "2010-06-01", "100", "50",
+                 "--policies=rr", "--replication=2/3"},
+                nullptr, &err),
+            kFailure);
+}
+
 TEST(Cli, SynthRejectsBadArgs) {
   EXPECT_EQ(run({"synth"}), kUsage);
   EXPECT_EQ(run({"synth", temp_path("x.csv"), "notanumber"}), kFailure);

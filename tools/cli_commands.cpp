@@ -136,6 +136,14 @@ std::string usage_text() {
          "]   (kernel arm for\n"
          "                     the dynamic policies; results are\n"
          "                     bit-identical across arms)\n"
+         "                    [--replication=k/n]   (issue n replicas per\n"
+         "                     task, validate on a k-of-n digest quorum)\n"
+         "                    [--deadline-days=D] [--backoff=B] "
+         "[--retries=N]\n"
+         "                     (re-issue rounds: round r's window is\n"
+         "                     D*B^r days, at most N re-issues)\n"
+         "                    [--fault-mix=crash:p,straggler:p,corrupt:p]\n"
+         "                     (per-host fault injection fractions)\n"
          "  resmodel backends    print CPU SIMD features and what each\n"
          "                       requested backend resolves to\n";
 }
@@ -436,6 +444,60 @@ double parse_rho(const std::string& value) {
   return rho;
 }
 
+double parse_positive_double(const std::string& value, const char* what) {
+  std::size_t pos = 0;
+  const double v = std::stod(value, &pos);
+  if (pos != value.size() || !(v > 0.0)) {
+    throw std::invalid_argument(std::string("bad ") + what + ": '" + value +
+                                "' (expected a positive number)");
+  }
+  return v;
+}
+
+/// "k/n" -> quorum k of n replicas (e.g. --replication=2/3).
+void parse_replication(const std::string& spec, sim::ReplicationConfig& rep) {
+  const std::size_t slash = spec.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument("bad --replication: '" + spec +
+                                "' (expected k/n, e.g. 2/3)");
+  }
+  rep.quorum = static_cast<std::uint32_t>(
+      parse_count(spec.substr(0, slash), "replication quorum"));
+  rep.replicas = static_cast<std::uint32_t>(
+      parse_count(spec.substr(slash + 1), "replication count"));
+  rep.enabled = true;
+}
+
+/// "crash:0.05,straggler:0.03,corrupt:0.02" — any subset, any order.
+sim::FaultMixConfig parse_fault_mix(const std::string& spec) {
+  sim::FaultMixConfig mix;
+  std::stringstream ss(spec);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    const std::size_t colon = token.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument(
+          "bad --fault-mix entry '" + token +
+          "' (expected kind:fraction, kind in crash|straggler|corrupt)");
+    }
+    const std::string kind = token.substr(0, colon);
+    const double fraction =
+        parse_positive_double(token.substr(colon + 1), "fault fraction");
+    if (kind == "crash") {
+      mix.crash_fraction = fraction;
+    } else if (kind == "straggler") {
+      mix.straggler_fraction = fraction;
+    } else if (kind == "corrupt") {
+      mix.corrupter_fraction = fraction;
+    } else {
+      throw std::invalid_argument("bad --fault-mix kind '" + kind +
+                                  "' (expected crash|straggler|corrupt)");
+    }
+  }
+  mix.validate();
+  return mix;
+}
+
 }  // namespace
 
 int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
@@ -449,6 +511,7 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
   };
   sweep.task_counts = {10000};
   bool churn = false;
+  bool policies_explicit = false;
   // Default churn policy set when --churn is given without --interrupt.
   std::vector<sim::SchedulingPolicy> churn_policies = {
       sim::SchedulingPolicy::kChurnEctCheckpoint,
@@ -459,6 +522,29 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
   for (const std::string& arg : args) {
     if (arg.starts_with("--policies=")) {
       sweep.policies = parse_policies(arg.substr(11));
+      policies_explicit = true;
+    } else if (arg.starts_with("--replication=")) {
+      parse_replication(arg.substr(14), sweep.base.replication);
+    } else if (arg.starts_with("--deadline-days=")) {
+      sweep.base.replication.deadline_days =
+          parse_positive_double(arg.substr(16), "--deadline-days");
+      sweep.base.replication.enabled = true;
+    } else if (arg.starts_with("--backoff=")) {
+      sweep.base.replication.backoff =
+          parse_positive_double(arg.substr(10), "--backoff");
+      sweep.base.replication.enabled = true;
+    } else if (arg.starts_with("--retries=")) {
+      // 0 is legitimate (no re-issue), so parse digits directly.
+      const std::string value = arg.substr(10);
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::invalid_argument("bad --retries: '" + value + "'");
+      }
+      sweep.base.replication.max_retries =
+          static_cast<std::uint32_t>(std::stoul(value));
+      sweep.base.replication.enabled = true;
+    } else if (arg.starts_with("--fault-mix=")) {
+      sweep.base.fault_mix = parse_fault_mix(arg.substr(12));
     } else if (arg.starts_with("--threads=")) {
       sweep.threads = static_cast<int>(parse_count(arg.substr(10), "threads"));
     } else if (arg.starts_with("--seed=")) {
@@ -505,6 +591,13 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
       positional.push_back(arg);
     }
   }
+  const bool replicated = sweep.base.replicated_run();
+  if (replicated && !policies_explicit) {
+    // Replication only composes with the dynamic-ECT family (static and
+    // pull hand out work once and never watch deadlines); narrow the
+    // default grid rather than erroring out of the default.
+    sweep.policies = {sim::SchedulingPolicy::kDynamicEct};
+  }
   if (churn) {
     sweep.policies.insert(sweep.policies.end(), churn_policies.begin(),
                           churn_policies.end());
@@ -524,7 +617,9 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
            "[--seed=N] [--availability] [--churn] "
            "[--interrupt=checkpoint,restart,abandon] [--churn-levels=N] "
            "[--avail-coupling=rho] [--backend=" +
-               backend::backend_names() + "]\n";
+               backend::backend_names() +
+           "] [--replication=k/n] [--deadline-days=D] [--backoff=B] "
+           "[--retries=N] [--fault-mix=crash:p,straggler:p,corrupt:p]\n";
     return kUsage;
   }
   const core::ModelParams params = load_model(positional[0]);
@@ -586,6 +681,41 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
     out << "churn cells: " << interruptions << " interruptions, "
         << util::Table::num(wasted_cpu, 1) << " CPU-days of burned attempts "
            "across the grid\n";
+  }
+  if (replicated) {
+    const sim::ReplicationConfig& rep = sweep.base.replication;
+    out << "replication outcomes (" << rep.quorum << "-of-" << rep.replicas
+        << " quorum";
+    if (rep.has_deadline()) {
+      out << ", deadline " << util::Table::num(rep.deadline_days, 1)
+          << "d, backoff x" << util::Table::num(rep.backoff, 1) << ", "
+          << rep.max_retries << " retries";
+    }
+    out << "):\n";
+    util::Table table({"Population", "Policy", "Tasks", "Issued", "Valid",
+                       "Invalid", "Missed", "Reissues", "Wasted cpu-d",
+                       "p50/p90/p99 reissue-d"});
+    for (std::size_t p = 0; p < populations.size(); ++p) {
+      for (std::size_t pol = 0; pol < sweep.policies.size(); ++pol) {
+        for (std::size_t t = 0; t < sweep.task_counts.size(); ++t) {
+          const sim::ReplicationOutcome& o =
+              grid.at(p, pol, t).result.replication;
+          table.add_row(
+              {populations[p].name, to_string(sweep.policies[pol]),
+               std::to_string(sweep.task_counts[t]),
+               std::to_string(o.tasks_issued),
+               std::to_string(o.tasks_validated),
+               std::to_string(o.tasks_invalid),
+               std::to_string(o.tasks_missed_deadline),
+               std::to_string(o.reissues),
+               util::Table::num(o.wasted_replica_cpu_days, 1),
+               util::Table::num(o.reissue_latency_p50_days, 2) + "/" +
+                   util::Table::num(o.reissue_latency_p90_days, 2) + "/" +
+                   util::Table::num(o.reissue_latency_p99_days, 2)});
+        }
+      }
+    }
+    table.print(out);
   }
   return kOk;
 }

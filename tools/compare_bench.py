@@ -41,6 +41,16 @@ NON_METRIC_FIELDS = {
 }
 
 
+def fail(message):
+    """Usage / input error: print and exit 2, as the module doc promises.
+
+    (sys.exit(str) would exit 1, conflating input errors with genuine
+    regressions — CI gates tell the two apart by status code.)
+    """
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
 def try_load_benchmarks(path):
     """Parse one benchmark JSON file; return (table, error_string)."""
     try:
@@ -61,7 +71,7 @@ def try_load_benchmarks(path):
 def load_benchmarks(path):
     table, error = try_load_benchmarks(path)
     if table is None:
-        sys.exit(f"error: {error}")
+        fail(error)
     return table
 
 
@@ -88,13 +98,22 @@ def resolve_baseline_dir(directory):
          if entry.is_file() and entry.name.startswith("BENCH_")
          and entry.name.endswith(".json")),
         key=os.path.getmtime, reverse=True)
+    skipped = 0
     for candidate in candidates:
         table, error = try_load_benchmarks(candidate)
         if table is not None:
             return candidate, table
+        skipped += 1
         print(f"warning: skipped corrupt '{candidate}': {error}",
               file=sys.stderr)
-    sys.exit(f"error: no usable BENCH_*.json in '{directory}'")
+    # Zero parseable records is an input error, not a clean run: exit 2
+    # with an unambiguous message so a CI gate pointed at an empty or
+    # fully corrupt baseline directory fails loudly instead of passing.
+    if skipped:
+        fail(f"baseline directory '{directory}' has {skipped} BENCH_*.json "
+             "record(s) but none parse — every candidate was corrupt")
+    fail(f"baseline directory '{directory}' contains no BENCH_*.json "
+         "records at all")
 
 
 def numeric_metrics(entry):
@@ -126,11 +145,11 @@ def main():
              "(default: warn and skip — CI smokes exclude the 100k points)")
     args = parser.parse_args()
     if args.threshold <= 0:
-        sys.exit("error: --threshold must be positive")
+        fail("--threshold must be positive")
     named = ([c for c in args.counters.split(",") if c]
              if args.counters is not None else None)
     if named is not None and not named:
-        sys.exit("error: empty --counters list")
+        fail("empty --counters list")
 
     if os.path.isdir(args.baseline):
         baseline_path, old_table = resolve_baseline_dir(args.baseline)
@@ -173,10 +192,10 @@ def main():
         print(f"warning: '{name}' missing from {args.new}; skipped",
               file=sys.stderr)
     if missing and args.require_all:
-        sys.exit(f"error: {len(missing)} baseline benchmark(s) missing "
-                 "and --require-all set")
+        fail(f"{len(missing)} baseline benchmark(s) missing "
+             "and --require-all set")
     if compared == 0:
-        sys.exit("error: no shared metrics to compare")
+        fail("no shared metrics to compare")
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) over "

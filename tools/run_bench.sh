@@ -41,16 +41,22 @@ stamp="$(date -u +%Y%m%d)"
 sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo nogit)"
 out_file="$out_dir/BENCH_${stamp}_${sha}.json"
 
+# The record is written to a .tmp and only renamed into place once every
+# validation below has passed: a benchmark crash, a full disk, or a ^C
+# mid-run can no longer leave a truncated BENCH_*.json behind for later
+# baselines to trip over (one such corrupt record shipped in bb2d309).
+tmp_file="$out_file.tmp"
+trap 'rm -f "$tmp_file"' EXIT
+
 "$build_dir/bench/perf_microbench" \
   --benchmark_format=json \
-  --benchmark_out="$out_file" \
+  --benchmark_out="$tmp_file" \
   --benchmark_out_format=json \
   "$@"
 
-if ! grep -q '"resmodel_build_type": "release"' "$out_file"; then
-  rm -f "$out_file"
+if ! grep -q '"resmodel_build_type": "release"' "$tmp_file"; then
   echo "error: recorded run was not a Release build of resmodel;" \
-       "discarded $out_file" >&2
+       "discarded it" >&2
   exit 1
 fi
 
@@ -58,14 +64,23 @@ fi
 # record says which dispatch arm ran and on what silicon; refuse to keep
 # a run missing the provenance keys (emitted by perf_microbench itself).
 for key in resmodel_backend resmodel_cpu_features; do
-  if ! grep -q "\"$key\": " "$out_file"; then
-    rm -f "$out_file"
+  if ! grep -q "\"$key\": " "$tmp_file"; then
     echo "error: recorded run lacks the '$key' context key;" \
-         "discarded $out_file" >&2
+         "discarded it" >&2
     exit 1
   fi
-  grep -o "\"$key\": \"[^\"]*\"" "$out_file" | head -1
+  grep -o "\"$key\": \"[^\"]*\"" "$tmp_file" | head -1
 done
+
+# The record must be whole, parseable JSON before it earns its real name.
+if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$tmp_file"
+then
+  echo "error: recorded run is not valid JSON; discarded it" >&2
+  exit 1
+fi
+
+mv "$tmp_file" "$out_file"
+trap - EXIT
 
 # Pointer to the newest record. Date+sha filenames do not sort
 # chronologically (the sha part is arbitrary), so consumers — the CI
