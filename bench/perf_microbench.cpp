@@ -18,6 +18,8 @@
 #include "stats/fitting.h"
 #include "stats/kstest.h"
 #include "stats/matrix.h"
+#include "store/adapters.h"
+#include "store/snapshot.h"
 #include "synth/population.h"
 #include "util/rng.h"
 
@@ -611,6 +613,75 @@ void BM_PearsonCorrelation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PearsonCorrelation);
+
+// --- columnar snapshot store (src/store/): pack / unpack / verify ----------
+// Throughput of the durable artifact path `resmodel pack/unpack` uses;
+// SetBytesProcessed reports logical column bytes (44 B/host), so bytes/s
+// is comparable across shard sizes and row counts.
+
+core::GeneratedHostBatch snapshot_bench_population(std::size_t n) {
+  util::Rng rng(0xBE7C);
+  core::GeneratedHostBatch batch;
+  batch.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.n_cores[i] = 1 + static_cast<int>(rng.uniform_index(16));
+    batch.memory_per_core_mb[i] =
+        static_cast<double>(rng.uniform_index(1u << 20)) / 256.0;
+    batch.memory_mb[i] = batch.memory_per_core_mb[i] * batch.n_cores[i];
+    batch.whetstone_mips[i] = static_cast<double>(rng.uniform_index(1u << 22));
+    batch.dhrystone_mips[i] = static_cast<double>(rng.uniform_index(1u << 22));
+    batch.disk_avail_gb[i] =
+        static_cast<double>(rng.uniform_index(1u << 18)) / 4.0;
+  }
+  return batch;
+}
+
+constexpr std::size_t kSnapshotBytesPerHost = sizeof(int) + 5 * sizeof(double);
+
+void BM_SnapshotPackPopulation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::GeneratedHostBatch batch = snapshot_bench_population(n);
+  const std::string path = "/tmp/resmodel_bench_pack.snap";
+  for (auto _ : state) {
+    store::write_population_snapshot(path, batch, /*shard_rows=*/1u << 18);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * n * kSnapshotBytesPerHost));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotPackPopulation)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotUnpackPopulation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string path = "/tmp/resmodel_bench_unpack.snap";
+  store::write_population_snapshot(path, snapshot_bench_population(n),
+                                   1u << 18);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store::read_population_snapshot(path));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * n * kSnapshotBytesPerHost));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotUnpackPopulation)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotVerify(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::string path = "/tmp/resmodel_bench_verify.snap";
+  store::write_population_snapshot(path, snapshot_bench_population(n),
+                                   1u << 18);
+  for (auto _ : state) {
+    store::SnapshotReader reader(path);
+    benchmark::DoNotOptimize(reader.verify());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * n * kSnapshotBytesPerHost));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotVerify)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

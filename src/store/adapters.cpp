@@ -1,0 +1,341 @@
+#include "store/adapters.h"
+
+#include <cstring>
+
+#include "trace/host_record.h"
+
+namespace resmodel::store {
+
+namespace {
+
+static_assert(sizeof(int) == 4, "population n_cores column assumes 32-bit int");
+
+template <typename T>
+std::span<const std::byte> bytes_of(const std::vector<T>& v) {
+  return std::as_bytes(std::span<const T>(v));
+}
+
+/// Locates `name` in `snapshot`, enforcing dtype and row count. Unpack
+/// never guesses: a missing/mistyped/short column is kSchemaMismatch.
+const Column& require_column(const Snapshot& snapshot, std::string_view name,
+                             DType dtype) {
+  const Column* col = snapshot.find(name);
+  if (!col) {
+    throw StoreError(StoreErrc::kSchemaMismatch, "",
+                     "missing column '" + std::string(name) + "' in kind '" +
+                         snapshot.kind + "'");
+  }
+  if (col->spec.dtype != dtype) {
+    throw StoreError(StoreErrc::kSchemaMismatch, "",
+                     "column '" + std::string(name) + "' has dtype " +
+                         to_string(col->spec.dtype) + ", expected " +
+                         to_string(dtype));
+  }
+  if (col->rows != snapshot.rows ||
+      col->data.size() != col->rows * dtype_size(dtype)) {
+    throw StoreError(StoreErrc::kSchemaMismatch, "",
+                     "column '" + std::string(name) + "' has " +
+                         std::to_string(col->rows) + " rows, snapshot has " +
+                         std::to_string(snapshot.rows));
+  }
+  return *col;
+}
+
+void require_kind(const Snapshot& snapshot, std::string_view kind) {
+  if (snapshot.kind != kind) {
+    throw StoreError(StoreErrc::kSchemaMismatch, "",
+                     "snapshot kind '" + snapshot.kind + "', expected '" +
+                         std::string(kind) + "'");
+  }
+}
+
+template <typename E>
+E checked_enum(std::uint8_t raw, int count, const char* what,
+               std::uint64_t row) {
+  if (raw >= count) {
+    throw StoreError(StoreErrc::kSchemaMismatch, "",
+                     std::string(what) + " value " + std::to_string(raw) +
+                         " out of range at row " + std::to_string(row));
+  }
+  return static_cast<E>(raw);
+}
+
+/// The 13 trace columns materialized for one span of hosts, in
+/// trace_schema() order.
+struct TraceColumns {
+  std::vector<std::uint64_t> id;
+  std::vector<std::int32_t> created_day;
+  std::vector<std::int32_t> last_contact_day;
+  std::vector<std::int32_t> n_cores;
+  std::vector<double> memory_mb;
+  std::vector<double> dhrystone_mips;
+  std::vector<double> whetstone_mips;
+  std::vector<double> disk_avail_gb;
+  std::vector<double> disk_total_gb;
+  std::vector<std::uint8_t> cpu;
+  std::vector<std::uint8_t> os;
+  std::vector<std::uint8_t> gpu;
+  std::vector<double> gpu_memory_mb;
+
+  explicit TraceColumns(std::span<const trace::HostRecord> hosts) {
+    const std::size_t n = hosts.size();
+    id.reserve(n);
+    created_day.reserve(n);
+    last_contact_day.reserve(n);
+    n_cores.reserve(n);
+    memory_mb.reserve(n);
+    dhrystone_mips.reserve(n);
+    whetstone_mips.reserve(n);
+    disk_avail_gb.reserve(n);
+    disk_total_gb.reserve(n);
+    cpu.reserve(n);
+    os.reserve(n);
+    gpu.reserve(n);
+    gpu_memory_mb.reserve(n);
+    for (const trace::HostRecord& h : hosts) {
+      id.push_back(h.id);
+      created_day.push_back(h.created_day);
+      last_contact_day.push_back(h.last_contact_day);
+      n_cores.push_back(h.n_cores);
+      memory_mb.push_back(h.memory_mb);
+      dhrystone_mips.push_back(h.dhrystone_mips);
+      whetstone_mips.push_back(h.whetstone_mips);
+      disk_avail_gb.push_back(h.disk_avail_gb);
+      disk_total_gb.push_back(h.disk_total_gb);
+      cpu.push_back(static_cast<std::uint8_t>(h.cpu));
+      os.push_back(static_cast<std::uint8_t>(h.os));
+      gpu.push_back(static_cast<std::uint8_t>(h.gpu));
+      gpu_memory_mb.push_back(h.gpu_memory_mb);
+    }
+  }
+
+  std::vector<std::span<const std::byte>> spans() const {
+    return {bytes_of(id),          bytes_of(created_day),
+            bytes_of(last_contact_day), bytes_of(n_cores),
+            bytes_of(memory_mb),   bytes_of(dhrystone_mips),
+            bytes_of(whetstone_mips),   bytes_of(disk_avail_gb),
+            bytes_of(disk_total_gb),    bytes_of(cpu),
+            bytes_of(os),          bytes_of(gpu),
+            bytes_of(gpu_memory_mb)};
+  }
+};
+
+std::vector<std::span<const std::byte>> population_spans(
+    const core::GeneratedHostBatch& batch) {
+  return {bytes_of(batch.n_cores),        bytes_of(batch.memory_per_core_mb),
+          bytes_of(batch.memory_mb),      bytes_of(batch.whetstone_mips),
+          bytes_of(batch.dhrystone_mips), bytes_of(batch.disk_avail_gb)};
+}
+
+Snapshot pack_from_writerless(std::string kind,
+                              std::vector<ColumnSpec> schema,
+                              std::vector<std::span<const std::byte>> spans,
+                              std::uint64_t rows) {
+  Snapshot snap;
+  snap.kind = std::move(kind);
+  snap.rows = rows;
+  snap.columns.reserve(schema.size());
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    Column col;
+    col.spec = schema[i];
+    col.rows = rows;
+    col.data.assign(spans[i].begin(), spans[i].end());
+    snap.columns.push_back(std::move(col));
+  }
+  return snap;
+}
+
+}  // namespace
+
+std::vector<ColumnSpec> trace_schema() {
+  return {{"id", DType::kU64},
+          {"created_day", DType::kI32},
+          {"last_contact_day", DType::kI32},
+          {"n_cores", DType::kI32},
+          {"memory_mb", DType::kF64},
+          {"dhrystone_mips", DType::kF64},
+          {"whetstone_mips", DType::kF64},
+          {"disk_avail_gb", DType::kF64},
+          {"disk_total_gb", DType::kF64},
+          {"cpu", DType::kU8},
+          {"os", DType::kU8},
+          {"gpu", DType::kU8},
+          {"gpu_memory_mb", DType::kF64}};
+}
+
+std::vector<ColumnSpec> population_schema() {
+  return {{"n_cores", DType::kI32},
+          {"memory_per_core_mb", DType::kF64},
+          {"memory_mb", DType::kF64},
+          {"whetstone_mips", DType::kF64},
+          {"dhrystone_mips", DType::kF64},
+          {"disk_avail_gb", DType::kF64}};
+}
+
+Snapshot pack_trace(const trace::TraceStore& store) {
+  TraceColumns cols(store.hosts());
+  return pack_from_writerless(kTraceKind, trace_schema(), cols.spans(),
+                              store.size());
+}
+
+trace::TraceStore unpack_trace(const Snapshot& snapshot) {
+  require_kind(snapshot, kTraceKind);
+  const auto id = require_column(snapshot, "id", DType::kU64)
+                      .as<std::uint64_t>();
+  const auto created =
+      require_column(snapshot, "created_day", DType::kI32).as<std::int32_t>();
+  const auto last = require_column(snapshot, "last_contact_day", DType::kI32)
+                        .as<std::int32_t>();
+  const auto cores =
+      require_column(snapshot, "n_cores", DType::kI32).as<std::int32_t>();
+  const auto mem =
+      require_column(snapshot, "memory_mb", DType::kF64).as<double>();
+  const auto dhry =
+      require_column(snapshot, "dhrystone_mips", DType::kF64).as<double>();
+  const auto whet =
+      require_column(snapshot, "whetstone_mips", DType::kF64).as<double>();
+  const auto disk_a =
+      require_column(snapshot, "disk_avail_gb", DType::kF64).as<double>();
+  const auto disk_t =
+      require_column(snapshot, "disk_total_gb", DType::kF64).as<double>();
+  const auto cpu =
+      require_column(snapshot, "cpu", DType::kU8).as<std::uint8_t>();
+  const auto os = require_column(snapshot, "os", DType::kU8).as<std::uint8_t>();
+  const auto gpu =
+      require_column(snapshot, "gpu", DType::kU8).as<std::uint8_t>();
+  const auto gpu_mem =
+      require_column(snapshot, "gpu_memory_mb", DType::kF64).as<double>();
+
+  trace::TraceStore store;
+  store.reserve(snapshot.rows);
+  for (std::uint64_t i = 0; i < snapshot.rows; ++i) {
+    trace::HostRecord h;
+    h.id = id[i];
+    h.created_day = created[i];
+    h.last_contact_day = last[i];
+    h.n_cores = cores[i];
+    h.memory_mb = mem[i];
+    h.dhrystone_mips = dhry[i];
+    h.whetstone_mips = whet[i];
+    h.disk_avail_gb = disk_a[i];
+    h.disk_total_gb = disk_t[i];
+    h.cpu = checked_enum<trace::CpuFamily>(cpu[i], trace::kCpuFamilyCount,
+                                           "cpu family", i);
+    h.os = checked_enum<trace::OsFamily>(os[i], trace::kOsFamilyCount,
+                                         "os family", i);
+    h.gpu = checked_enum<trace::GpuType>(gpu[i], trace::kGpuTypeCount,
+                                         "gpu type", i);
+    h.gpu_memory_mb = gpu_mem[i];
+    store.add(h);
+  }
+  return store;
+}
+
+Snapshot pack_population(const core::GeneratedHostBatch& batch) {
+  return pack_from_writerless(kPopulationKind, population_schema(),
+                              population_spans(batch), batch.size());
+}
+
+core::GeneratedHostBatch unpack_population(const Snapshot& snapshot) {
+  require_kind(snapshot, kPopulationKind);
+  const auto cores =
+      require_column(snapshot, "n_cores", DType::kI32).as<std::int32_t>();
+  const auto mem_pc =
+      require_column(snapshot, "memory_per_core_mb", DType::kF64).as<double>();
+  const auto mem =
+      require_column(snapshot, "memory_mb", DType::kF64).as<double>();
+  const auto whet =
+      require_column(snapshot, "whetstone_mips", DType::kF64).as<double>();
+  const auto dhry =
+      require_column(snapshot, "dhrystone_mips", DType::kF64).as<double>();
+  const auto disk =
+      require_column(snapshot, "disk_avail_gb", DType::kF64).as<double>();
+
+  core::GeneratedHostBatch batch;
+  batch.n_cores.assign(cores.begin(), cores.end());
+  batch.memory_per_core_mb.assign(mem_pc.begin(), mem_pc.end());
+  batch.memory_mb.assign(mem.begin(), mem.end());
+  batch.whetstone_mips.assign(whet.begin(), whet.end());
+  batch.dhrystone_mips.assign(dhry.begin(), dhry.end());
+  batch.disk_avail_gb.assign(disk.begin(), disk.end());
+  return batch;
+}
+
+void append_trace_shard(SnapshotWriter& writer,
+                        std::span<const trace::HostRecord> hosts) {
+  if (hosts.empty()) {
+    throw StoreError(StoreErrc::kInvalidArgument, "",
+                     "append_trace_shard: empty shard");
+  }
+  if (writer.schema() != trace_schema()) {
+    throw StoreError(StoreErrc::kInvalidArgument, "",
+                     "append_trace_shard: writer schema is not trace.v1");
+  }
+  TraceColumns cols(hosts);
+  writer.append_shard(cols.spans(), hosts.size());
+}
+
+void append_population_shard(SnapshotWriter& writer,
+                             const core::GeneratedHostBatch& batch) {
+  if (batch.empty()) {
+    throw StoreError(StoreErrc::kInvalidArgument, "",
+                     "append_population_shard: empty shard");
+  }
+  if (writer.schema() != population_schema()) {
+    throw StoreError(
+        StoreErrc::kInvalidArgument, "",
+        "append_population_shard: writer schema is not population.v1");
+  }
+  writer.append_shard(population_spans(batch), batch.size());
+}
+
+void write_trace_snapshot(const std::string& path,
+                          const trace::TraceStore& store,
+                          std::uint64_t shard_rows, WriterOptions opts) {
+  SnapshotWriter writer(path, kTraceKind, trace_schema(), opts);
+  const std::span<const trace::HostRecord> hosts = store.hosts();
+  const std::uint64_t step = shard_rows == 0 ? hosts.size() : shard_rows;
+  for (std::uint64_t at = 0; at < hosts.size(); at += step) {
+    const std::uint64_t n = std::min<std::uint64_t>(step, hosts.size() - at);
+    append_trace_shard(writer, hosts.subspan(at, n));
+  }
+  writer.finish();
+}
+
+trace::TraceStore read_trace_snapshot(const std::string& path) {
+  SnapshotReader reader(path);
+  return unpack_trace(reader.read_all());
+}
+
+void write_population_snapshot(const std::string& path,
+                               const core::GeneratedHostBatch& batch,
+                               std::uint64_t shard_rows, WriterOptions opts) {
+  SnapshotWriter writer(path, kPopulationKind, population_schema(), opts);
+  const std::uint64_t n = batch.size();
+  const std::uint64_t step = shard_rows == 0 ? n : shard_rows;
+  for (std::uint64_t at = 0; at < n; at += step) {
+    const std::uint64_t len = std::min<std::uint64_t>(step, n - at);
+    core::GeneratedHostBatch shard;
+    shard.n_cores.assign(batch.n_cores.begin() + at,
+                         batch.n_cores.begin() + at + len);
+    shard.memory_per_core_mb.assign(batch.memory_per_core_mb.begin() + at,
+                                    batch.memory_per_core_mb.begin() + at + len);
+    shard.memory_mb.assign(batch.memory_mb.begin() + at,
+                           batch.memory_mb.begin() + at + len);
+    shard.whetstone_mips.assign(batch.whetstone_mips.begin() + at,
+                                batch.whetstone_mips.begin() + at + len);
+    shard.dhrystone_mips.assign(batch.dhrystone_mips.begin() + at,
+                                batch.dhrystone_mips.begin() + at + len);
+    shard.disk_avail_gb.assign(batch.disk_avail_gb.begin() + at,
+                               batch.disk_avail_gb.begin() + at + len);
+    append_population_shard(writer, shard);
+  }
+  writer.finish();
+}
+
+core::GeneratedHostBatch read_population_snapshot(const std::string& path) {
+  SnapshotReader reader(path);
+  return unpack_population(reader.read_all());
+}
+
+}  // namespace resmodel::store

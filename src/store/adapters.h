@@ -1,0 +1,60 @@
+// Pack/unpack adapters: the repo's two durable artifact families —
+// trace::TraceStore host records and core::GeneratedHostBatch synthetic
+// populations — mapped onto snapshot column blocks (SoA columns map 1:1
+// onto column blocks, so packing is a columnarization pass and unpacking
+// is a couple of memcpys per column).
+//
+// Kinds are versioned strings checked on unpack: a snapshot of the wrong
+// kind or with a mangled schema produces StoreError(kSchemaMismatch),
+// never a misinterpreted column.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/host_generator.h"
+#include "store/snapshot.h"
+#include "trace/trace_store.h"
+
+namespace resmodel::store {
+
+inline constexpr const char* kTraceKind = "trace.v1";
+inline constexpr const char* kPopulationKind = "population.v1";
+
+/// The column schemas (fixed order; names are part of the format).
+std::vector<ColumnSpec> trace_schema();
+std::vector<ColumnSpec> population_schema();
+
+/// Whole-store materialization (small/medium artifacts).
+Snapshot pack_trace(const trace::TraceStore& store);
+trace::TraceStore unpack_trace(const Snapshot& snapshot);
+
+Snapshot pack_population(const core::GeneratedHostBatch& batch);
+core::GeneratedHostBatch unpack_population(const Snapshot& snapshot);
+
+/// Streaming append of one shard to a writer opened with the matching
+/// schema — the bounded-RSS path generators use (see `resmodel pack
+/// --generate`). Throws StoreError(kInvalidArgument) on schema mismatch
+/// or an empty shard.
+void append_trace_shard(SnapshotWriter& writer,
+                        std::span<const trace::HostRecord> hosts);
+void append_population_shard(SnapshotWriter& writer,
+                             const core::GeneratedHostBatch& batch);
+
+/// File round-trips. shard_rows == 0 writes one shard; otherwise the
+/// data is split into ceil(n / shard_rows) shards so readers can stream.
+void write_trace_snapshot(const std::string& path,
+                          const trace::TraceStore& store,
+                          std::uint64_t shard_rows = 0,
+                          WriterOptions opts = {});
+trace::TraceStore read_trace_snapshot(const std::string& path);
+
+void write_population_snapshot(const std::string& path,
+                               const core::GeneratedHostBatch& batch,
+                               std::uint64_t shard_rows = 0,
+                               WriterOptions opts = {});
+core::GeneratedHostBatch read_population_snapshot(const std::string& path);
+
+}  // namespace resmodel::store

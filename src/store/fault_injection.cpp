@@ -1,0 +1,189 @@
+#include "store/fault_injection.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace resmodel::store {
+
+FaultPlan FaultPlan::sample(util::Rng& rng, std::uint64_t expected_bytes) {
+  FaultPlan plan;
+  switch (rng.uniform_index(3)) {
+    case 0: plan.kind = Kind::kNoSpace; break;
+    case 1: plan.kind = Kind::kIoError; break;
+    default: plan.kind = Kind::kCrash; break;
+  }
+  plan.at_byte = rng.uniform_index(expected_bytes + 1);
+  return plan;
+}
+
+namespace {
+
+/// Enacts one FaultPlan on top of a real file. The fault triggers on the
+/// append whose byte range crosses plan.at_byte: the prefix up to the
+/// trigger offset is genuinely written (that is the torn tail), the rest
+/// never reaches the disk.
+class FaultyWritableFile final : public WritableFile {
+ public:
+  FaultyWritableFile(std::unique_ptr<WritableFile> base, std::string path,
+                     const FaultPlan& plan, bool* fired,
+                     std::uint64_t* appended)
+      : base_(std::move(base)),
+        path_(std::move(path)),
+        plan_(plan),
+        fired_(fired),
+        appended_(appended) {}
+
+  void append(const void* data, std::size_t n) override {
+    if (*fired_ && plan_.kind == FaultPlan::Kind::kCrash) {
+      // A "dead" process writes nothing more; callers that swallowed the
+      // crash exception and kept appending must not resurrect the file.
+      logical_ += n;
+      return;
+    }
+    const std::uint64_t begin = *appended_;
+    const std::uint64_t end = begin + n;
+    if (plan_.kind == FaultPlan::Kind::kNone || end <= plan_.at_byte) {
+      base_->append(data, n);
+      *appended_ = end;
+      logical_ += n;
+      return;
+    }
+    // This append crosses the trigger: short-write the surviving prefix.
+    const std::size_t prefix =
+        static_cast<std::size_t>(plan_.at_byte > begin ? plan_.at_byte - begin
+                                                       : 0);
+    if (prefix > 0) base_->append(data, prefix);
+    *appended_ = begin + prefix;
+    logical_ += n;
+    *fired_ = true;
+    switch (plan_.kind) {
+      case FaultPlan::Kind::kNoSpace:
+        throw StoreError(StoreErrc::kNoSpace, path_,
+                         "injected ENOSPC after " +
+                             std::to_string(*appended_) + " bytes");
+      case FaultPlan::Kind::kIoError:
+        throw StoreError(StoreErrc::kIoError, path_,
+                         "injected EIO after " + std::to_string(*appended_) +
+                             " bytes");
+      default:
+        throw StoreError(StoreErrc::kSimulatedCrash, path_,
+                         "injected crash after " +
+                             std::to_string(*appended_) + " bytes");
+    }
+  }
+
+  void sync() override {
+    if (!(*fired_ && plan_.kind == FaultPlan::Kind::kCrash)) base_->sync();
+  }
+
+  void close() override { base_->close(); }
+
+  std::uint64_t logical_size() const noexcept override { return logical_; }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  std::string path_;
+  FaultPlan plan_;
+  bool* fired_;
+  std::uint64_t* appended_;
+  std::uint64_t logical_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<WritableFile> FaultyFileSystem::create(
+    const std::string& path) {
+  return std::make_unique<FaultyWritableFile>(base_->create(path), path,
+                                              plan_, &fired_, &appended_);
+}
+
+void FaultyFileSystem::rename(const std::string& from, const std::string& to) {
+  if (plan_.kind == FaultPlan::Kind::kCrash && !fired_ &&
+      plan_.at_byte >= appended_) {
+    // The appends never reached the trigger offset; the crash lands at
+    // the commit boundary instead — after the data was synced but before
+    // the rename published it. The .tmp survives, the destination must
+    // not change.
+    fired_ = true;
+    throw StoreError(StoreErrc::kSimulatedCrash, to,
+                     "injected crash at commit (before rename)");
+  }
+  if (fired_ && plan_.kind == FaultPlan::Kind::kCrash) {
+    throw StoreError(StoreErrc::kSimulatedCrash, to,
+                     "injected crash: process already dead");
+  }
+  base_->rename(from, to);
+}
+
+void FaultyFileSystem::remove(const std::string& path) noexcept {
+  if (fired_ && plan_.kind == FaultPlan::Kind::kCrash) {
+    // A crashed process cannot clean up its .tmp either; leaving it
+    // behind is exactly the litter a real crash leaves.
+    return;
+  }
+  base_->remove(path);
+}
+
+CorruptionPlan CorruptionPlan::sample(util::Rng& rng,
+                                      std::uint64_t file_bytes) {
+  CorruptionPlan plan;
+  switch (rng.uniform_index(3)) {
+    case 0: plan.kind = Kind::kTruncate; break;
+    case 1: plan.kind = Kind::kZeroTail; break;
+    default: plan.kind = Kind::kBitFlip; break;
+  }
+  if (plan.kind == Kind::kBitFlip) {
+    plan.at = rng.uniform_index(std::max<std::uint64_t>(1, file_bytes * 8));
+  } else {
+    // Positions 0 and file_bytes-1 are both legal: truncate-to-zero and
+    // drop-last-byte are the extreme torn writes.
+    plan.at = rng.uniform_index(std::max<std::uint64_t>(1, file_bytes));
+  }
+  return plan;
+}
+
+void corrupt_file(const std::string& path, const CorruptionPlan& plan) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    throw StoreError(StoreErrc::kCannotOpen, path, "corrupt_file: open");
+  }
+  std::vector<unsigned char> bytes;
+  unsigned char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + got);
+  }
+  std::fclose(f);
+
+  switch (plan.kind) {
+    case CorruptionPlan::Kind::kTruncate:
+      bytes.resize(std::min<std::uint64_t>(plan.at, bytes.size()));
+      break;
+    case CorruptionPlan::Kind::kZeroTail:
+      if (plan.at < bytes.size()) {
+        std::fill(bytes.begin() + static_cast<std::ptrdiff_t>(plan.at),
+                  bytes.end(), 0);
+      }
+      break;
+    case CorruptionPlan::Kind::kBitFlip:
+      if (!bytes.empty()) {
+        const std::uint64_t byte = (plan.at / 8) % bytes.size();
+        bytes[byte] ^= static_cast<unsigned char>(1u << (plan.at % 8));
+      }
+      break;
+  }
+
+  f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    throw StoreError(StoreErrc::kCannotOpen, path, "corrupt_file: reopen");
+  }
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    std::fclose(f);
+    throw StoreError(StoreErrc::kIoError, path, "corrupt_file: rewrite");
+  }
+  std::fclose(f);
+}
+
+}  // namespace resmodel::store

@@ -1,0 +1,97 @@
+// Deterministic I/O fault injection for the snapshot store.
+//
+// Two fault families mirror the two ways real storage betrays a writer:
+//
+//  1. Writer-visible faults (FaultPlan + FaultyFileSystem): the file API
+//     itself fails mid-write — ENOSPC, EIO, or a process/power "crash" at
+//     a byte offset (appends past the offset silently vanish, then the
+//     operation dies). These drive the crash-safety half of the recovery
+//     contract: the writer must surface a typed error and the destination
+//     file must stay byte-for-byte what it was before.
+//
+//  2. Published-file corruption (CorruptionPlan + corrupt_file): damage
+//     that lands after a successful publication — a torn tail the disk
+//     never persisted, a truncation, a flipped bit of rot. These drive
+//     the reader half: every damaged block must be detected and
+//     accounted, every intact block must still load.
+//
+// Determinism rule (same contract as sim/fault_model): plans are sampled
+// from an explicit util::Rng the caller forks per scenario, consume a
+// fixed number of draws, and contain plain offsets — so a (seed,
+// scenario-index) pair replays the identical fault on any machine and
+// thread count, and the CI grid is reproducible bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "store/io.h"
+#include "util/rng.h"
+
+namespace resmodel::store {
+
+/// One writer-visible fault. kind == kNone is a clean passthrough.
+struct FaultPlan {
+  enum class Kind : std::uint8_t {
+    kNone,       ///< no fault
+    kNoSpace,    ///< append crossing at_byte: short-writes then ENOSPC
+    kIoError,    ///< append crossing at_byte: short-writes then EIO
+    kCrash,      ///< bytes past at_byte vanish; the op then "dies"
+                 ///< (StoreErrc::kSimulatedCrash). If the writer reaches
+                 ///< commit first, the crash fires before the rename.
+  };
+
+  Kind kind = Kind::kNone;
+  std::uint64_t at_byte = 0;  ///< trigger offset within the written stream
+
+  /// Samples a plan: kind uniform over the three faulting kinds,
+  /// at_byte uniform in [0, expected_bytes]. Consumes exactly two draws.
+  static FaultPlan sample(util::Rng& rng, std::uint64_t expected_bytes);
+};
+
+/// Wraps a real FileSystem; the next create() returns a file that
+/// enacts `plan`. rename() also crashes when a kCrash plan's offset was
+/// never reached during appends (crash-at-commit). One plan applies per
+/// FaultyFileSystem instance — scenarios construct a fresh one each.
+class FaultyFileSystem final : public FileSystem {
+ public:
+  FaultyFileSystem(FileSystem& base, FaultPlan plan)
+      : base_(&base), plan_(plan) {}
+
+  std::unique_ptr<WritableFile> create(const std::string& path) override;
+  void rename(const std::string& from, const std::string& to) override;
+  void remove(const std::string& path) noexcept override;
+
+  /// True once the plan's fault actually fired (a clean run under a
+  /// large at_byte never triggers).
+  bool fault_fired() const noexcept { return fired_; }
+
+ private:
+  FileSystem* base_;
+  FaultPlan plan_;
+  std::uint64_t appended_ = 0;
+  bool fired_ = false;
+};
+
+/// One post-publication corruption applied to an existing file's bytes.
+struct CorruptionPlan {
+  enum class Kind : std::uint8_t {
+    kTruncate,  ///< drop everything from byte `at` on (torn/short write)
+    kZeroTail,  ///< keep the length, zero bytes [at, end) (lost sectors)
+    kBitFlip,   ///< flip bit (at % 8) of byte (at / 8 % file size)
+  };
+
+  Kind kind = Kind::kTruncate;
+  std::uint64_t at = 0;
+
+  /// Kind uniform over the three, position uniform over the file (for
+  /// kBitFlip, over its bits). Consumes exactly two draws.
+  static CorruptionPlan sample(util::Rng& rng, std::uint64_t file_bytes);
+};
+
+/// Applies `plan` in place. Throws StoreError(kCannotOpen / kIoError) if
+/// the file cannot be rewritten.
+void corrupt_file(const std::string& path, const CorruptionPlan& plan);
+
+}  // namespace resmodel::store

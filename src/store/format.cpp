@@ -1,0 +1,36 @@
+#include "store/format.h"
+
+namespace resmodel::store {
+
+std::string to_string(DType t) {
+  switch (t) {
+    case DType::kF64: return "f64";
+    case DType::kF32: return "f32";
+    case DType::kI32: return "i32";
+    case DType::kI64: return "i64";
+    case DType::kU64: return "u64";
+    case DType::kU8: return "u8";
+  }
+  return "dtype(" + std::to_string(static_cast<std::uint32_t>(t)) + ")";
+}
+
+std::string to_string(StoreErrc errc) {
+  switch (errc) {
+    case StoreErrc::kCannotOpen: return "cannot-open";
+    case StoreErrc::kIoError: return "io-error";
+    case StoreErrc::kNoSpace: return "no-space";
+    case StoreErrc::kBadMagic: return "bad-magic";
+    case StoreErrc::kBadVersion: return "bad-version";
+    case StoreErrc::kBadEndianness: return "bad-endianness";
+    case StoreErrc::kHeaderCorrupt: return "header-corrupt";
+    case StoreErrc::kTruncated: return "truncated";
+    case StoreErrc::kFooterCorrupt: return "footer-corrupt";
+    case StoreErrc::kBlockCorrupt: return "block-corrupt";
+    case StoreErrc::kSchemaMismatch: return "schema-mismatch";
+    case StoreErrc::kInvalidArgument: return "invalid-argument";
+    case StoreErrc::kSimulatedCrash: return "simulated-crash";
+  }
+  return "errc(" + std::to_string(static_cast<int>(errc)) + ")";
+}
+
+}  // namespace resmodel::store

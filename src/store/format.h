@@ -1,0 +1,109 @@
+// On-disk constants and typed errors of the columnar snapshot format.
+//
+// Layout (all integers little-endian; the writer refuses to run on a
+// big-endian host, see SnapshotWriter):
+//
+//   [file header]                  magic, version, endian tag, kind,
+//                                  column table (names + dtypes)
+//   [block]*                       one per (shard, column), in shard-major
+//                                  order: block header, payload, CRC32C
+//   [footer]                       block index + totals + metadata, CRC'd
+//   [trailer]  (last 24 bytes)     footer offset, footer length, magic
+//
+// The trailer lets a reader locate the footer with one seek and detect
+// truncation without scanning; each block is additionally self-delimiting
+// (own magic + lengths + checksum) so a reader that finds the footer
+// damaged can still recover every intact block by a forward scan.
+// See src/store/README.md for the full recovery contract.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace resmodel::store {
+
+/// File magic, first 8 bytes: "RESMSNP1".
+inline constexpr std::uint64_t kFileMagic = 0x31504E534D534552ull;
+/// Trailer magic, last 8 bytes of the file: "RESMFTR1".
+inline constexpr std::uint64_t kTrailerMagic = 0x31525446'4D534552ull;
+/// Per-block magic ("RSBK").
+inline constexpr std::uint32_t kBlockMagic = 0x4B425352u;
+/// Current format version. Readers reject anything newer.
+inline constexpr std::uint32_t kFormatVersion = 1;
+/// Endianness tag: written as the native u32 0x01020304; a little-endian
+/// file therefore starts the field with byte 0x04. A reader seeing the
+/// byteswapped value knows the file came from (or is being read on) an
+/// incompatible host.
+inline constexpr std::uint32_t kEndianTag = 0x01020304u;
+
+/// Fixed sizes (bytes) of the framing pieces.
+inline constexpr std::size_t kTrailerBytes = 24;  // offset + length + magic
+inline constexpr std::size_t kBlockHeaderBytes = 32;  // magic, col, shard,
+                                                      // rows, payload len
+
+/// Element types a column block can carry.
+enum class DType : std::uint32_t {
+  kF64 = 0,
+  kF32 = 1,
+  kI32 = 2,
+  kI64 = 3,
+  kU64 = 4,
+  kU8 = 5,
+};
+
+inline std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::kF64: return 8;
+    case DType::kF32: return 4;
+    case DType::kI32: return 4;
+    case DType::kI64: return 8;
+    case DType::kU64: return 8;
+    case DType::kU8: return 1;
+  }
+  throw std::invalid_argument("store: unknown dtype " +
+                              std::to_string(static_cast<std::uint32_t>(t)));
+}
+
+std::string to_string(DType t);
+
+/// Every way a snapshot operation can fail, as a closed enum so callers
+/// (and the recovery report) can branch on the cause instead of parsing
+/// message strings.
+enum class StoreErrc {
+  kCannotOpen,        ///< open/create failed (missing file, permissions)
+  kIoError,           ///< read/write/sync failed mid-operation (EIO)
+  kNoSpace,           ///< write failed with no space (ENOSPC)
+  kBadMagic,          ///< file does not start with the snapshot magic
+  kBadVersion,        ///< written by a future format version
+  kBadEndianness,     ///< endian tag mismatches this host
+  kHeaderCorrupt,     ///< header frame fails its checksum / is malformed
+  kTruncated,         ///< file ends before the trailer / inside a block
+  kFooterCorrupt,     ///< trailer or footer present but fails its checksum
+  kBlockCorrupt,      ///< a block header or payload fails its checksum
+  kSchemaMismatch,    ///< column names/dtypes/kind differ from expectation
+  kInvalidArgument,   ///< caller error (bad shard shape, empty schema, ...)
+  kSimulatedCrash,    ///< fault injection: process "died" mid-write
+};
+
+std::string to_string(StoreErrc errc);
+
+/// The typed exception of the store layer. `errc()` identifies the cause;
+/// `path()` the file involved (may be empty for in-memory operations).
+class StoreError : public std::runtime_error {
+ public:
+  StoreError(StoreErrc errc, std::string path, const std::string& detail)
+      : std::runtime_error("store[" + store::to_string(errc) + "] " +
+                           (path.empty() ? "" : path + ": ") + detail),
+        errc_(errc),
+        path_(std::move(path)) {}
+
+  StoreErrc errc() const noexcept { return errc_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  StoreErrc errc_;
+  std::string path_;
+};
+
+}  // namespace resmodel::store

@@ -1,0 +1,143 @@
+#include "store/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace resmodel::store {
+
+namespace {
+
+std::string errno_detail(const char* op) {
+  return std::string(op) + " failed: " + std::strerror(errno);
+}
+
+/// POSIX fd-backed file. Appends retry on EINTR and loop over short
+/// writes; ENOSPC is surfaced as its own errc because the snapshot
+/// property suite injects it specifically.
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override { PosixWritableFile::close(); }
+
+  void append(const void* data, std::size_t n) override {
+    const char* p = static_cast<const char*>(data);
+    std::size_t remaining = n;
+    while (remaining > 0) {
+      const ssize_t written = ::write(fd_, p, remaining);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        const StoreErrc errc =
+            errno == ENOSPC ? StoreErrc::kNoSpace : StoreErrc::kIoError;
+        throw StoreError(errc, path_, errno_detail("write"));
+      }
+      p += written;
+      remaining -= static_cast<std::size_t>(written);
+    }
+    logical_ += n;
+  }
+
+  void sync() override {
+    if (::fsync(fd_) != 0) {
+      throw StoreError(StoreErrc::kIoError, path_, errno_detail("fsync"));
+    }
+  }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  std::uint64_t logical_size() const noexcept override { return logical_; }
+
+ private:
+  int fd_;
+  std::string path_;
+  std::uint64_t logical_ = 0;
+};
+
+class RealFileSystem final : public FileSystem {
+ public:
+  std::unique_ptr<WritableFile> create(const std::string& path) override {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      throw StoreError(StoreErrc::kCannotOpen, path, errno_detail("open"));
+    }
+    return std::make_unique<PosixWritableFile>(fd, path);
+  }
+
+  void rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      throw StoreError(StoreErrc::kIoError, to, errno_detail("rename"));
+    }
+    // Durability of the rename itself: fsync the containing directory,
+    // else a crash can roll the directory entry back even though the
+    // data blocks were synced.
+    const std::size_t slash = to.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : to.substr(0, slash == 0 ? 1 : slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+      ::fsync(dfd);  // best effort: some filesystems reject directory fsync
+      ::close(dfd);
+    }
+  }
+
+  void remove(const std::string& path) noexcept override {
+    ::unlink(path.c_str());
+  }
+};
+
+}  // namespace
+
+FileSystem& FileSystem::real() {
+  static RealFileSystem fs;
+  return fs;
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path, FileSystem& fs)
+    : fs_(&fs), path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  file_ = fs_->create(tmp_path_);
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!done_) abort();
+}
+
+void AtomicFileWriter::append(const void* data, std::size_t n) {
+  file_->append(data, n);
+}
+
+std::uint64_t AtomicFileWriter::offset() const noexcept {
+  return file_->logical_size();
+}
+
+void AtomicFileWriter::commit() {
+  try {
+    file_->sync();
+    file_->close();
+    fs_->rename(tmp_path_, path_);
+  } catch (...) {
+    abort();
+    throw;
+  }
+  done_ = true;
+}
+
+void AtomicFileWriter::abort() noexcept {
+  if (done_) return;
+  file_->close();
+  fs_->remove(tmp_path_);
+  done_ = true;
+}
+
+}  // namespace resmodel::store

@@ -1,0 +1,109 @@
+// The file-API seam of the store layer, and the crash-safe writer built
+// on it.
+//
+// Every byte the snapshot writer emits goes through a WritableFile
+// obtained from a FileSystem. Production code uses FileSystem::real()
+// (POSIX fd I/O with genuine fsync); the fault-injection layer
+// (store/fault_injection.h) substitutes a wrapper that fails writes,
+// drops tails, or "crashes" at a seeded byte offset — which is what lets
+// the recovery property suite drive thousands of deterministic failure
+// scenarios through the exact production write path.
+//
+// AtomicFileWriter generalizes the write-to-.tmp / validate / atomic-mv
+// discipline tools/run_bench.sh adopted in PR 7 into a reusable C++
+// primitive: appends accumulate in `<path>.tmp`; commit() fsyncs the
+// data, renames over `<path>`, and fsyncs the parent directory; any
+// abandonment (exception, injected crash, early destruction) removes the
+// .tmp and leaves the destination byte-for-byte untouched.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "store/format.h"
+
+namespace resmodel::store {
+
+/// Append-only file handle. All failures are reported as StoreError
+/// (kIoError / kNoSpace / kSimulatedCrash) — never errno side channels.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `n` bytes. On failure, bytes up to the failure point may
+  /// have been written (a short write) — the typed error tells the
+  /// caller the operation did not complete.
+  virtual void append(const void* data, std::size_t n) = 0;
+
+  /// Durability barrier (fsync).
+  virtual void sync() = 0;
+
+  /// Closes the handle; idempotent. Further appends are a caller bug.
+  virtual void close() = 0;
+
+  /// Logical bytes appended so far (what the caller handed in, which
+  /// under fault injection can exceed what physically reached the file).
+  virtual std::uint64_t logical_size() const noexcept = 0;
+};
+
+/// The operations the snapshot writer needs from a filesystem. The
+/// interface is deliberately tiny — create, atomic rename, remove — so a
+/// fault-injecting implementation can interpose on every durability-
+/// relevant transition.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Creates (truncating) `path` for appending.
+  /// Throws StoreError(kCannotOpen) on failure.
+  virtual std::unique_ptr<WritableFile> create(const std::string& path) = 0;
+
+  /// Atomically renames `from` onto `to` and fsyncs the parent directory.
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+
+  /// Best-effort unlink; missing files are not an error.
+  virtual void remove(const std::string& path) noexcept = 0;
+
+  /// The production POSIX implementation (process-wide singleton).
+  static FileSystem& real();
+};
+
+/// Crash-safe publication of one file. See the header comment.
+class AtomicFileWriter {
+ public:
+  /// Starts writing to `path + ".tmp"`. `fs` must outlive the writer.
+  explicit AtomicFileWriter(std::string path,
+                            FileSystem& fs = FileSystem::real());
+
+  /// Removes the .tmp if commit() was never reached.
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  void append(const void* data, std::size_t n);
+
+  /// Bytes appended so far == the offset the next append lands at.
+  std::uint64_t offset() const noexcept;
+
+  /// fsync + close + rename onto the destination. After this returns the
+  /// new content is durably in place; after it throws, the destination
+  /// is guaranteed untouched (the partial .tmp is removed).
+  void commit();
+
+  /// Explicitly abandon: close and remove the .tmp. Idempotent.
+  void abort() noexcept;
+
+  const std::string& path() const noexcept { return path_; }
+  const std::string& tmp_path() const noexcept { return tmp_path_; }
+
+ private:
+  FileSystem* fs_;
+  std::string path_;
+  std::string tmp_path_;
+  std::unique_ptr<WritableFile> file_;
+  bool done_ = false;
+};
+
+}  // namespace resmodel::store

@@ -1,8 +1,8 @@
 #include "trace/csv_io.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
-#include <stdexcept>
 
 #include "util/csv.h"
 
@@ -16,37 +16,64 @@ const std::vector<std::string> kHeader = {
     "disk_total_gb", "cpu",       "os",               "gpu",
     "gpu_memory_mb"};
 
-double parse_double(const std::string& s, const char* what) {
+/// Everything a field parser needs to point the finger: which file,
+/// which logical row (header = 1), which column.
+struct RowContext {
+  const std::string& path;
+  std::size_t line;
+};
+
+double parse_double(const RowContext& ctx, const std::string& s,
+                    const char* what) {
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
   if (end == s.c_str() || *end != '\0') {
-    throw std::runtime_error(std::string("trace csv: bad ") + what + ": '" +
-                             s + "'");
+    throw CsvError(ctx.path, ctx.line,
+                   std::string("bad ") + what + ": '" + s + "'");
+  }
+  if (!std::isfinite(v)) {
+    throw CsvError(ctx.path, ctx.line,
+                   std::string("non-finite ") + what + ": '" + s + "'");
   }
   return v;
 }
 
-long long parse_int(const std::string& s, const char* what) {
+long long parse_int(const RowContext& ctx, const std::string& s,
+                    const char* what) {
   char* end = nullptr;
   const long long v = std::strtoll(s.c_str(), &end, 10);
   if (end == s.c_str() || *end != '\0') {
-    throw std::runtime_error(std::string("trace csv: bad ") + what + ": '" +
-                             s + "'");
+    throw CsvError(ctx.path, ctx.line,
+                   std::string("bad ") + what + ": '" + s + "'");
   }
   return v;
 }
 
 template <typename Enum>
-Enum parse_enum(const std::string& s, int count, const char* what) {
-  const long long v = parse_int(s, what);
+Enum parse_enum(const RowContext& ctx, const std::string& s, int count,
+                const char* what) {
+  const long long v = parse_int(ctx, s, what);
   if (v < 0 || v >= count) {
-    throw std::runtime_error(std::string("trace csv: out-of-range ") + what +
-                             ": '" + s + "'");
+    throw CsvError(ctx.path, ctx.line,
+                   std::string("out-of-range ") + what + ": '" + s + "'");
   }
   return static_cast<Enum>(v);
 }
 
+/// CsvReader throws plain runtime_error on broken quoting; rewrap with
+/// the position of the row being read.
+bool read_row_at(util::CsvReader& reader, util::CsvRow& row,
+                 const std::string& path, std::size_t line) {
+  try {
+    return reader.read_row(row);
+  } catch (const std::exception& e) {
+    throw CsvError(path, line, e.what());
+  }
+}
+
 }  // namespace
+
+const std::vector<std::string>& csv_header() { return kHeader; }
 
 void write_csv(const TraceStore& store, std::ostream& out) {
   util::CsvWriter writer(out);
@@ -78,32 +105,38 @@ void write_csv_file(const TraceStore& store, const std::string& path) {
   write_csv(store, out);
 }
 
-TraceStore read_csv(std::istream& in) {
+TraceStore read_csv(std::istream& in, const std::string& path) {
   util::CsvReader reader(in);
   util::CsvRow row;
-  if (!reader.read_row(row) || row != kHeader) {
-    throw std::runtime_error("trace csv: missing or wrong header");
+  std::size_t line = 1;
+  if (!read_row_at(reader, row, path, line) || row != kHeader) {
+    throw CsvError(path, line, "missing or wrong header");
   }
   TraceStore store;
-  while (reader.read_row(row)) {
+  while (read_row_at(reader, row, path, line + 1)) {
+    ++line;
+    const RowContext ctx{path, line};
     if (row.size() != kHeader.size()) {
-      throw std::runtime_error("trace csv: wrong field count");
+      throw CsvError(path, line,
+                     "wrong field count: got " + std::to_string(row.size()) +
+                         ", expected " + std::to_string(kHeader.size()));
     }
     HostRecord h;
-    h.id = static_cast<std::uint64_t>(parse_int(row[0], "id"));
-    h.created_day = static_cast<std::int32_t>(parse_int(row[1], "created_day"));
+    h.id = static_cast<std::uint64_t>(parse_int(ctx, row[0], "id"));
+    h.created_day =
+        static_cast<std::int32_t>(parse_int(ctx, row[1], "created_day"));
     h.last_contact_day =
-        static_cast<std::int32_t>(parse_int(row[2], "last_contact_day"));
-    h.n_cores = static_cast<std::int32_t>(parse_int(row[3], "n_cores"));
-    h.memory_mb = parse_double(row[4], "memory_mb");
-    h.dhrystone_mips = parse_double(row[5], "dhrystone");
-    h.whetstone_mips = parse_double(row[6], "whetstone");
-    h.disk_avail_gb = parse_double(row[7], "disk_avail_gb");
-    h.disk_total_gb = parse_double(row[8], "disk_total_gb");
-    h.cpu = parse_enum<CpuFamily>(row[9], kCpuFamilyCount, "cpu");
-    h.os = parse_enum<OsFamily>(row[10], kOsFamilyCount, "os");
-    h.gpu = parse_enum<GpuType>(row[11], kGpuTypeCount, "gpu");
-    h.gpu_memory_mb = parse_double(row[12], "gpu_memory_mb");
+        static_cast<std::int32_t>(parse_int(ctx, row[2], "last_contact_day"));
+    h.n_cores = static_cast<std::int32_t>(parse_int(ctx, row[3], "n_cores"));
+    h.memory_mb = parse_double(ctx, row[4], "memory_mb");
+    h.dhrystone_mips = parse_double(ctx, row[5], "dhrystone");
+    h.whetstone_mips = parse_double(ctx, row[6], "whetstone");
+    h.disk_avail_gb = parse_double(ctx, row[7], "disk_avail_gb");
+    h.disk_total_gb = parse_double(ctx, row[8], "disk_total_gb");
+    h.cpu = parse_enum<CpuFamily>(ctx, row[9], kCpuFamilyCount, "cpu");
+    h.os = parse_enum<OsFamily>(ctx, row[10], kOsFamilyCount, "os");
+    h.gpu = parse_enum<GpuType>(ctx, row[11], kGpuTypeCount, "gpu");
+    h.gpu_memory_mb = parse_double(ctx, row[12], "gpu_memory_mb");
     store.add(h);
   }
   return store;
@@ -114,7 +147,7 @@ TraceStore read_csv_file(const std::string& path) {
   if (!in) {
     throw std::runtime_error("trace csv: cannot open for reading: " + path);
   }
-  return read_csv(in);
+  return read_csv(in, path);
 }
 
 }  // namespace resmodel::trace

@@ -3,20 +3,49 @@
 // CSV row per host, stable column order, round-trip exact.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "trace/trace_store.h"
 
 namespace resmodel::trace {
 
+/// Malformed trace CSV: carries the file (or "<stream>") and the 1-based
+/// logical row number where parsing failed — the header is line 1, data
+/// row i is line 1+i. Derives from std::runtime_error so existing
+/// catch-all sites keep working; new callers can catch the type and read
+/// path()/line() directly.
+class CsvError : public std::runtime_error {
+ public:
+  CsvError(std::string path, std::size_t line, const std::string& detail)
+      : std::runtime_error("trace csv " + path + ":" + std::to_string(line) +
+                           ": " + detail),
+        path_(std::move(path)),
+        line_(line) {}
+
+  const std::string& path() const noexcept { return path_; }
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::string path_;
+  std::size_t line_;
+};
+
+/// The column header write_csv emits and read_csv requires, in order.
+const std::vector<std::string>& csv_header();
+
 /// Writes the full store (header + one row per host).
 void write_csv(const TraceStore& store, std::ostream& out);
 void write_csv_file(const TraceStore& store, const std::string& path);
 
-/// Reads a trace written by write_csv. Throws std::runtime_error on
-/// malformed input (wrong header, bad field counts, unparsable numbers).
-TraceStore read_csv(std::istream& in);
+/// Reads a trace written by write_csv. Throws CsvError on malformed
+/// input (wrong header, bad field counts, unparsable or non-finite
+/// numbers, out-of-range enums, broken quoting), pinpointing the file
+/// and line. `path` only labels error messages for the stream overload.
+TraceStore read_csv(std::istream& in, const std::string& path = "<stream>");
 TraceStore read_csv_file(const std::string& path);
 
 }  // namespace resmodel::trace

@@ -1,0 +1,144 @@
+#include "store/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "store/fault_injection.h"
+
+namespace resmodel::store {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return "<absent>";
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(AtomicFileWriter, CommitPublishesExactBytes) {
+  const std::string path = temp_path("atomic_commit.bin");
+  std::remove(path.c_str());
+  {
+    AtomicFileWriter writer(path);
+    writer.append("hello ", 6);
+    EXPECT_EQ(writer.offset(), 6u);
+    writer.append("world", 5);
+    EXPECT_EQ(writer.offset(), 11u);
+    // Until commit, the destination must not exist...
+    EXPECT_EQ(read_file(path), "<absent>");
+    // ...but the .tmp is being filled.
+    EXPECT_NE(read_file(writer.tmp_path()), "<absent>");
+    writer.commit();
+  }
+  EXPECT_EQ(read_file(path), "hello world");
+  EXPECT_EQ(read_file(path + ".tmp"), "<absent>");
+}
+
+TEST(AtomicFileWriter, AbortLeavesPreviousContentUntouched) {
+  const std::string path = temp_path("atomic_abort.bin");
+  {
+    AtomicFileWriter writer(path);
+    writer.append("old", 3);
+    writer.commit();
+  }
+  {
+    AtomicFileWriter writer(path);
+    writer.append("NEW-DATA", 8);
+    writer.abort();
+  }
+  EXPECT_EQ(read_file(path), "old");
+  EXPECT_EQ(read_file(path + ".tmp"), "<absent>");
+}
+
+TEST(AtomicFileWriter, DestructionWithoutCommitAborts) {
+  const std::string path = temp_path("atomic_dtor.bin");
+  {
+    AtomicFileWriter writer(path);
+    writer.append("old", 3);
+    writer.commit();
+  }
+  {
+    AtomicFileWriter writer(path);
+    writer.append("doomed", 6);
+  }
+  EXPECT_EQ(read_file(path), "old");
+  EXPECT_EQ(read_file(path + ".tmp"), "<absent>");
+}
+
+TEST(AtomicFileWriter, InjectedNoSpaceSurfacesTypedErrorAndPreserves) {
+  const std::string path = temp_path("atomic_enospc.bin");
+  {
+    AtomicFileWriter writer(path);
+    writer.append("precious", 8);
+    writer.commit();
+  }
+  FaultPlan plan;
+  plan.kind = FaultPlan::Kind::kNoSpace;
+  plan.at_byte = 4;
+  FaultyFileSystem fs(FileSystem::real(), plan);
+  bool threw = false;
+  try {
+    AtomicFileWriter writer(path, fs);
+    writer.append("0123456789", 10);  // crosses byte 4 -> short write + throw
+    writer.commit();
+  } catch (const StoreError& e) {
+    threw = true;
+    EXPECT_EQ(e.errc(), StoreErrc::kNoSpace);
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_TRUE(fs.fault_fired());
+  EXPECT_EQ(read_file(path), "precious");
+  EXPECT_EQ(read_file(path + ".tmp"), "<absent>");
+}
+
+TEST(AtomicFileWriter, CrashAtCommitLeavesTmpButNotDestination) {
+  const std::string path = temp_path("atomic_crash.bin");
+  {
+    AtomicFileWriter writer(path);
+    writer.append("precious", 8);
+    writer.commit();
+  }
+  FaultPlan plan;
+  plan.kind = FaultPlan::Kind::kCrash;
+  plan.at_byte = 1u << 30;  // never reached during appends -> dies at rename
+  FaultyFileSystem fs(FileSystem::real(), plan);
+  bool threw = false;
+  std::string tmp;
+  try {
+    AtomicFileWriter writer(path, fs);
+    tmp = writer.tmp_path();
+    writer.append("torn", 4);
+    writer.commit();
+  } catch (const StoreError& e) {
+    threw = true;
+    EXPECT_EQ(e.errc(), StoreErrc::kSimulatedCrash);
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(read_file(path), "precious");
+  // A crashed process cannot clean up: the .tmp litter stays, like after
+  // a real power cut.
+  EXPECT_EQ(read_file(tmp), "torn");
+  std::remove(tmp.c_str());
+}
+
+TEST(AtomicFileWriter, UnwritableDirectoryIsTypedCannotOpen) {
+  try {
+    AtomicFileWriter writer("/nonexistent-dir-xyz/file.bin");
+    FAIL() << "expected StoreError";
+  } catch (const StoreError& e) {
+    EXPECT_EQ(e.errc(), StoreErrc::kCannotOpen);
+    EXPECT_NE(e.path().find("/nonexistent-dir-xyz/"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace resmodel::store

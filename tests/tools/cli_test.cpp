@@ -476,5 +476,171 @@ TEST(Cli, GenerateEmpiricalNeedsTrace) {
   EXPECT_NE(err.find("--trace"), std::string::npos);
 }
 
+// --- pack / unpack / verify -------------------------------------------------
+
+TEST(Cli, PackUnpackTraceRoundTripsWithMatchingDigests) {
+  const std::string csv = temp_path("cli_pack_trace.csv");
+  const std::string snap = temp_path("cli_pack_trace.snap");
+  const std::string back = temp_path("cli_pack_trace_back.csv");
+  ASSERT_EQ(run({"synth", csv, "400", "11"}), kOk);
+
+  std::string pack_out;
+  ASSERT_EQ(run({"pack", csv, snap, "--shard=97"}, &pack_out), kOk);
+  EXPECT_NE(pack_out.find("column digests:"), std::string::npos);
+
+  std::string verify_out;
+  ASSERT_EQ(run({"verify", snap, "--digests"}, &verify_out), kOk);
+  EXPECT_NE(verify_out.find("verify: OK"), std::string::npos);
+  EXPECT_NE(verify_out.find("kind: trace.v1"), std::string::npos);
+
+  std::string unpack_out;
+  ASSERT_EQ(run({"unpack", snap, back}, &unpack_out), kOk);
+  // pack and unpack print identical digest blocks — the bit-identity
+  // proof scripts diff.
+  const auto digest_block = [](const std::string& text) {
+    return text.substr(text.find("column digests:"));
+  };
+  const std::string pack_digests = digest_block(pack_out);
+  EXPECT_EQ(pack_digests.substr(0, pack_digests.find("unpacked")),
+            digest_block(unpack_out).substr(
+                0, digest_block(unpack_out).find("unpacked")));
+
+  // And the CSV itself round-trips byte-for-byte.
+  std::ifstream a(csv), b(back);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(Cli, PackGenerateThenDigestOnlyUnpack) {
+  const std::string trace_path = temp_path("cli_packgen_trace.csv");
+  const std::string model_path = temp_path("cli_packgen_model.txt");
+  const std::string snap = temp_path("cli_packgen.snap");
+  ASSERT_EQ(run({"synth", trace_path, "500", "13"}), kOk);
+  ASSERT_EQ(run({"fit", trace_path, model_path}), kOk);
+
+  std::string pack_out;
+  ASSERT_EQ(run({"pack", "--generate", model_path, "2009-06-01", "5000", snap,
+                 "--shard=1024", "--seed=21"},
+                &pack_out),
+            kOk);
+  EXPECT_NE(pack_out.find("5000 generated hosts in 5 shard(s)"),
+            std::string::npos);
+
+  std::string unpack_out;
+  ASSERT_EQ(run({"unpack", snap, "--digest-only"}, &unpack_out), kOk);
+  EXPECT_NE(unpack_out.find("kind: population.v1"), std::string::npos);
+  const std::string pack_digests =
+      pack_out.substr(pack_out.find("column digests:"));
+  EXPECT_NE(unpack_out.find(pack_digests), std::string::npos);
+
+  // Same invocation -> bit-identical file -> identical digest lines.
+  std::string again;
+  ASSERT_EQ(run({"pack", "--generate", model_path, "2009-06-01", "5000", snap,
+                 "--shard=1024", "--seed=21"},
+                &again),
+            kOk);
+  EXPECT_EQ(again.substr(again.find("column digests:")), pack_digests);
+}
+
+TEST(Cli, UnpackPopulationCsvRePacksIdentically) {
+  const std::string trace_path = temp_path("cli_popcsv_trace.csv");
+  const std::string model_path = temp_path("cli_popcsv_model.txt");
+  const std::string snap1 = temp_path("cli_popcsv_1.snap");
+  const std::string csv = temp_path("cli_popcsv.csv");
+  const std::string snap2 = temp_path("cli_popcsv_2.snap");
+  ASSERT_EQ(run({"synth", trace_path, "500", "17"}), kOk);
+  ASSERT_EQ(run({"fit", trace_path, model_path}), kOk);
+  std::string first;
+  ASSERT_EQ(run({"pack", "--generate", model_path, "2010-01-01", "2000", snap1,
+                 "--shard=512"},
+                &first),
+            kOk);
+  ASSERT_EQ(run({"unpack", snap1, csv}), kOk);
+  // Text CSV -> snapshot again: doubles survive because both CSV writers
+  // print with round-trip precision.
+  std::string second;
+  ASSERT_EQ(run({"pack", csv, snap2, "--shard=512"}, &second), kOk);
+  EXPECT_EQ(first.substr(first.find("column digests:")),
+            second.substr(second.find("column digests:")));
+}
+
+TEST(Cli, VerifyReportsDamageAndExitsNonzero) {
+  const std::string csv = temp_path("cli_damage.csv");
+  const std::string snap = temp_path("cli_damage.snap");
+  ASSERT_EQ(run({"synth", csv, "300", "19"}), kOk);
+  ASSERT_EQ(run({"pack", csv, snap, "--shard=64"}), kOk);
+  // Flip one byte inside the block region (past the ~100-byte header).
+  {
+    std::fstream f(snap, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(600);
+    char b;
+    f.seekg(600);
+    f.get(b);
+    f.seekp(600);
+    f.put(static_cast<char>(b ^ 0x40));
+  }
+  std::string out, err;
+  EXPECT_EQ(run({"verify", snap}, &out, &err), kFailure);
+  EXPECT_NE(out.find("lost block:"), std::string::npos);
+  EXPECT_NE(err.find("verify: DAMAGED"), std::string::npos);
+
+  // Strict unpack refuses; --recover loads the rest and reports.
+  std::string serr;
+  EXPECT_EQ(run({"unpack", snap, temp_path("cli_damage_strict.csv")}, nullptr,
+                &serr),
+            kFailure);
+  EXPECT_NE(serr.find("store["), std::string::npos);
+  std::string rout;
+  EXPECT_EQ(run({"unpack", snap, temp_path("cli_damage_rec.csv"),
+                 "--recover"},
+                &rout),
+            kFailure);
+  EXPECT_NE(rout.find("lost block:"), std::string::npos);
+}
+
+TEST(Cli, StoreCommandsReportMissingAndMalformedInputsTyped) {
+  std::string err;
+  // Missing snapshot: typed cannot-open naming the path, exit 2.
+  EXPECT_EQ(run({"verify", "/nonexistent/f.snap"}, nullptr, &err), kFailure);
+  EXPECT_NE(err.find("cannot-open"), std::string::npos);
+  EXPECT_NE(err.find("/nonexistent/f.snap"), std::string::npos);
+
+  EXPECT_EQ(run({"unpack", "/nonexistent/f.snap"}, nullptr, &err), kFailure);
+
+  // Missing csv input to pack.
+  EXPECT_EQ(run({"pack", "/nonexistent/f.csv", temp_path("x.snap")}, nullptr,
+                &err),
+            kFailure);
+  EXPECT_NE(err.find("/nonexistent/f.csv"), std::string::npos);
+
+  // A csv that is neither trace nor population.
+  const std::string weird = temp_path("cli_weird.csv");
+  std::ofstream(weird) << "alpha,beta\n1,2\n";
+  EXPECT_EQ(run({"pack", weird, temp_path("y.snap")}, nullptr, &err),
+            kFailure);
+  EXPECT_NE(err.find("neither a trace nor a population"), std::string::npos);
+
+  // A trace csv with a corrupt row: CsvError with file:line reaches the
+  // user and exits nonzero.
+  const std::string corrupt = temp_path("cli_corrupt.csv");
+  ASSERT_EQ(run({"synth", corrupt, "300", "23"}), kOk);
+  {
+    std::ofstream f(corrupt, std::ios::app);
+    f << "1,2,3\n";
+  }
+  EXPECT_EQ(run({"pack", corrupt, temp_path("z.snap")}, nullptr, &err),
+            kFailure);
+  EXPECT_NE(err.find(corrupt + ":"), std::string::npos);
+  EXPECT_NE(err.find("field count"), std::string::npos);
+
+  // Usage errors for the new verbs.
+  EXPECT_EQ(run({"pack"}, nullptr, &err), kUsage);
+  EXPECT_EQ(run({"unpack"}, nullptr, &err), kUsage);
+  EXPECT_EQ(run({"verify"}, nullptr, &err), kUsage);
+  EXPECT_EQ(run({"verify", "a", "--frobnicate"}, nullptr, &err), kUsage);
+}
+
 }  // namespace
 }  // namespace resmodel::cli

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <functional>
 #include <sstream>
 
 namespace resmodel::trace {
@@ -119,6 +121,132 @@ TEST(TraceCsv, FileRoundTrip) {
 TEST(TraceCsv, MissingFileThrows) {
   EXPECT_THROW(read_csv_file("/nonexistent/path/file.csv"),
                std::runtime_error);
+}
+
+// --- typed CsvError: the path and 1-based line must pinpoint the damage ---
+
+/// Serialized two-host store with `mutate` applied to the raw text.
+std::string corrupted_fixture(
+    const std::function<void(std::string&)>& mutate) {
+  TraceStore store;
+  store.add(sample_host());
+  HostRecord other = sample_host();
+  other.id = 43;
+  store.add(other);
+  std::stringstream buffer;
+  write_csv(store, buffer);
+  std::string text = buffer.str();
+  mutate(text);
+  return text;
+}
+
+TEST(TraceCsvError, WrongHeaderReportsLineOne) {
+  std::istringstream in("id,oops\n");
+  try {
+    read_csv(in, "fixture.csv");
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& e) {
+    EXPECT_EQ(e.path(), "fixture.csv");
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_NE(std::string(e.what()).find("fixture.csv:1"), std::string::npos);
+  }
+}
+
+TEST(TraceCsvError, WrongFieldCountReportsRowLine) {
+  // Append a short row as the 4th line (header + 2 hosts + junk).
+  const std::string text =
+      corrupted_fixture([](std::string& t) { t += "1,2,3\n"; });
+  std::istringstream in(text);
+  try {
+    read_csv(in, "fixture.csv");
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& e) {
+    EXPECT_EQ(e.line(), 4u);
+    EXPECT_NE(std::string(e.what()).find("field count"), std::string::npos);
+  }
+}
+
+TEST(TraceCsvError, BadNumberNamesColumnAndLine) {
+  // Corrupt host 43's memory field — data row 2, so line 3.
+  const std::string text = corrupted_fixture([](std::string& t) {
+    const auto pos = t.rfind("4096.5");
+    ASSERT_NE(pos, std::string::npos);
+    t.replace(pos, 6, "notnum");
+  });
+  std::istringstream in(text);
+  try {
+    read_csv(in, "fixture.csv");
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("memory_mb"), std::string::npos);
+  }
+}
+
+TEST(TraceCsvError, RejectsNonFiniteValues) {
+  const std::string text = corrupted_fixture([](std::string& t) {
+    const auto pos = t.find("4096.5");
+    ASSERT_NE(pos, std::string::npos);
+    t.replace(pos, 6, "inf");
+  });
+  std::istringstream in(text);
+  try {
+    read_csv(in, "fixture.csv");
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos);
+  }
+}
+
+TEST(TraceCsvError, BrokenQuotingIsWrappedWithPosition) {
+  // An unterminated quote swallows the rest of the input; the error must
+  // still be a CsvError naming the row where the quote opened.
+  const std::string text =
+      corrupted_fixture([](std::string& t) { t += "\"unterminated\n"; });
+  std::istringstream in(text);
+  EXPECT_THROW(read_csv(in, "fixture.csv"), CsvError);
+}
+
+TEST(TraceCsvError, FileErrorsCarryThePath) {
+  const std::string path = ::testing::TempDir() + "/corrupt_trace.csv";
+  TraceStore store;
+  store.add(sample_host());
+  write_csv_file(store, path);
+  // Truncate the data row mid-field.
+  {
+    std::ifstream in(path);
+    std::stringstream all;
+    all << in.rdbuf();
+    std::string text = all.str();
+    // Cut inside the data row, keeping the header line intact.
+    const auto header_end = text.find('\n');
+    ASSERT_NE(header_end, std::string::npos);
+    text.resize(header_end + 6);
+    std::ofstream out(path);
+    out << text;
+  }
+  try {
+    read_csv_file(path);
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& e) {
+    EXPECT_EQ(e.path(), path);
+    EXPECT_GE(e.line(), 2u);
+  }
+}
+
+TEST(TraceCsvError, HeaderAccessorMatchesWrittenHeader) {
+  TraceStore store;
+  std::stringstream buffer;
+  write_csv(store, buffer);
+  std::string first_line;
+  std::getline(buffer, first_line);
+  std::string joined;
+  for (const std::string& col : csv_header()) {
+    if (!joined.empty()) joined += ',';
+    joined += col;
+  }
+  EXPECT_EQ(first_line, joined);
 }
 
 }  // namespace

@@ -5,6 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <algorithm>
+#include <cstdio>
+
 #include "backend/backend.h"
 #include "boinc/simulation.h"
 #include "churn/block_envelope.h"
@@ -15,8 +18,12 @@
 #include "model/factory.h"
 #include "sim/bag_of_tasks.h"
 #include "sim/baseline_models.h"
+#include "store/adapters.h"
+#include "store/snapshot.h"
 #include "synth/population.h"
 #include "trace/csv_io.h"
+#include "util/checksum.h"
+#include "util/csv.h"
 #include "util/table.h"
 
 namespace resmodel::cli {
@@ -145,7 +152,22 @@ std::string usage_text() {
          "                    [--fault-mix=crash:p,straggler:p,corrupt:p]\n"
          "                     (per-host fault injection fractions)\n"
          "  resmodel backends    print CPU SIMD features and what each\n"
-         "                       requested backend resolves to\n";
+         "                       requested backend resolves to\n"
+         "  resmodel pack     <in.csv> <out.snap> [--shard=N]\n"
+         "                    (trace or population csv, auto-detected, ->\n"
+         "                     checksummed columnar snapshot)\n"
+         "  resmodel pack     --generate <model.txt> <YYYY-MM-DD> <count>\n"
+         "                    <out.snap> [--shard=N] [--seed=N]\n"
+         "                    (synthesize straight to a sharded snapshot;\n"
+         "                     bounded memory at any count)\n"
+         "  resmodel unpack   <in.snap> [out.csv] [--digest-only] "
+         "[--recover]\n"
+         "                    (--digest-only: checksum walk + digest lines\n"
+         "                     only; --recover: load what is intact,\n"
+         "                     zero-fill and itemize damaged blocks)\n"
+         "  resmodel verify   <in.snap> [--digests]\n"
+         "                    (exit 0 = every block intact; damage is\n"
+         "                     listed block by block)\n";
 }
 
 int cmd_backends(const std::vector<std::string>& args, std::ostream& out,
@@ -720,6 +742,401 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
   return kOk;
 }
 
+namespace {
+
+/// Digits-only u64 (0 allowed, unlike parse_count).
+std::uint64_t parse_u64(const std::string& value, const char* what) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument(std::string("bad ") + what + ": '" + value +
+                                "'");
+  }
+  return std::stoull(value);
+}
+
+std::string hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", v);
+  return buf;
+}
+
+void print_digests(std::ostream& out,
+                   const std::vector<store::ColumnSpec>& schema,
+                   const std::vector<std::uint32_t>& digests,
+                   const std::vector<bool>* intact = nullptr) {
+  out << "column digests:\n";
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    out << "  " << schema[i].name << ' ';
+    if (intact && !(*intact)[i]) {
+      out << "LOST";
+    } else {
+      out << hex32(digests[i]);
+    }
+    out << '\n';
+  }
+}
+
+/// The generated-population CSV round-trip format: all six SoA columns,
+/// doubles printed with round-trip precision (unlike the analysis export
+/// cmd_generate writes, which drops memory_per_core_mb and uses default
+/// precision).
+const std::vector<std::string> kPopulationCsvHeader = {
+    "cores",          "memory_per_core_mb", "memory_mb",
+    "whetstone_mips", "dhrystone_mips",     "disk_avail_gb"};
+
+void write_population_rows(const core::GeneratedHostBatch& batch,
+                           util::CsvWriter& writer) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    writer.write_row({
+        util::CsvWriter::field(static_cast<long long>(batch.n_cores[i])),
+        util::CsvWriter::field(batch.memory_per_core_mb[i]),
+        util::CsvWriter::field(batch.memory_mb[i]),
+        util::CsvWriter::field(batch.whetstone_mips[i]),
+        util::CsvWriter::field(batch.dhrystone_mips[i]),
+        util::CsvWriter::field(batch.disk_avail_gb[i]),
+    });
+  }
+}
+
+core::GeneratedHostBatch read_population_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open population csv: " + path);
+  util::CsvReader reader(in);
+  util::CsvRow row;
+  if (!reader.read_row(row) || row != kPopulationCsvHeader) {
+    throw std::runtime_error("population csv " + path +
+                             ":1: missing or wrong header");
+  }
+  core::GeneratedHostBatch batch;
+  std::size_t line = 1;
+  while (reader.read_row(row)) {
+    ++line;
+    if (row.size() != kPopulationCsvHeader.size()) {
+      throw std::runtime_error("population csv " + path + ":" +
+                               std::to_string(line) + ": wrong field count");
+    }
+    const auto bad = [&](const char* what, const std::string& s) {
+      return std::runtime_error("population csv " + path + ":" +
+                                std::to_string(line) + ": bad " + what +
+                                ": '" + s + "'");
+    };
+    const auto num = [&](const std::string& s, const char* what) {
+      char* end = nullptr;
+      const double v = std::strtod(s.c_str(), &end);
+      if (end == s.c_str() || *end != '\0') throw bad(what, s);
+      return v;
+    };
+    char* end = nullptr;
+    const long long cores = std::strtoll(row[0].c_str(), &end, 10);
+    if (end == row[0].c_str() || *end != '\0') throw bad("cores", row[0]);
+    batch.n_cores.push_back(static_cast<int>(cores));
+    batch.memory_per_core_mb.push_back(num(row[1], "memory_per_core_mb"));
+    batch.memory_mb.push_back(num(row[2], "memory_mb"));
+    batch.whetstone_mips.push_back(num(row[3], "whetstone_mips"));
+    batch.dhrystone_mips.push_back(num(row[4], "dhrystone_mips"));
+    batch.disk_avail_gb.push_back(num(row[5], "disk_avail_gb"));
+  }
+  return batch;
+}
+
+core::GeneratedHostBatch population_slice(const core::GeneratedHostBatch& b,
+                                          std::size_t at, std::size_t len) {
+  core::GeneratedHostBatch s;
+  const auto cut = [&](auto& dst, const auto& src) {
+    dst.assign(src.begin() + static_cast<std::ptrdiff_t>(at),
+               src.begin() + static_cast<std::ptrdiff_t>(at + len));
+  };
+  cut(s.n_cores, b.n_cores);
+  cut(s.memory_per_core_mb, b.memory_per_core_mb);
+  cut(s.memory_mb, b.memory_mb);
+  cut(s.whetstone_mips, b.whetstone_mips);
+  cut(s.dhrystone_mips, b.dhrystone_mips);
+  cut(s.disk_avail_gb, b.disk_avail_gb);
+  return s;
+}
+
+/// Per-shard generation seed: a SplitMix64 step over (seed, shard) so
+/// `pack --generate` shards are independent deterministic streams — the
+/// output file is a pure function of (model, date, count, seed, shard
+/// size), regardless of thread count.
+std::uint64_t shard_seed(std::uint64_t seed, std::uint64_t shard) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (shard + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Peeks the header row to tell a trace CSV from a population CSV.
+enum class CsvKind { kTrace, kPopulation, kUnknown };
+CsvKind detect_csv_kind(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open csv: " + path);
+  util::CsvReader reader(in);
+  util::CsvRow row;
+  if (!reader.read_row(row)) return CsvKind::kUnknown;
+  if (row == trace::csv_header()) return CsvKind::kTrace;
+  if (row == kPopulationCsvHeader) return CsvKind::kPopulation;
+  return CsvKind::kUnknown;
+}
+
+void print_read_report(std::ostream& out, const store::SnapshotReader& reader,
+                       const store::ReadReport& report) {
+  out << "blocks: " << report.blocks_loaded << '/' << report.blocks_expected
+      << " intact, footer "
+      << (report.footer_intact ? "intact" : "lost (forward scan used)")
+      << '\n';
+  for (const store::LostBlock& lost : report.lost) {
+    const auto& schema = reader.schema();
+    const std::string name = lost.column < schema.size()
+                                 ? schema[lost.column].name
+                                 : "#" + std::to_string(lost.column);
+    out << "lost block: column " << name << ", shard " << lost.shard << " ("
+        << lost.rows << " rows): " << to_string(lost.reason) << '\n';
+  }
+  if (report.rows_lost > 0) {
+    out << "rows lost (block-level): " << report.rows_lost << '\n';
+  }
+  if (report.tail_bytes_unscanned > 0) {
+    out << "tail bytes unscanned: " << report.tail_bytes_unscanned << '\n';
+  }
+}
+
+}  // namespace
+
+int cmd_pack(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  bool generate = false;
+  std::uint64_t shard = 0;
+  std::uint64_t seed = 0x7e57ab1e;
+  std::vector<std::string> positional;
+  for (const std::string& arg : args) {
+    if (arg == "--generate") {
+      generate = true;
+    } else if (arg.starts_with("--shard=")) {
+      shard = parse_u64(arg.substr(8), "--shard");
+    } else if (arg.starts_with("--seed=")) {
+      seed = parse_u64(arg.substr(7), "--seed");
+    } else if (arg.starts_with("--")) {
+      err << "pack: unknown flag: '" << arg << "'\n";
+      return kUsage;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (generate) {
+    if (positional.size() != 4) {
+      err << "pack: expected --generate <model.txt> <YYYY-MM-DD> <count> "
+             "<out.snap> [--shard=N] [--seed=N]\n";
+      return kUsage;
+    }
+    const core::ModelParams params = load_model(positional[0]);
+    const util::ModelDate date = util::ModelDate::parse(positional[1]);
+    const std::uint64_t count = parse_count(positional[2], "count");
+    const std::string& out_path = positional[3];
+    if (shard == 0) shard = 1u << 20;  // 1 Mi hosts/shard bounds RSS
+    const core::HostGenerator generator(params);
+
+    store::SnapshotWriter writer(out_path, store::kPopulationKind,
+                                 store::population_schema());
+    std::uint64_t written = 0;
+    for (std::uint64_t s = 0; written < count; ++s) {
+      const std::uint64_t n = std::min<std::uint64_t>(shard, count - written);
+      const core::GeneratedHostBatch batch = generator.generate_batch_parallel(
+          date, static_cast<std::size_t>(n), shard_seed(seed, s));
+      store::append_population_shard(writer, batch);
+      written += n;
+    }
+    writer.finish({{"source", "generated"},
+                   {"model", positional[0]},
+                   {"date", date.to_string()},
+                   {"seed", std::to_string(seed)},
+                   {"shard_rows", std::to_string(shard)}});
+    out << "packed " << writer.rows_written() << " generated hosts in "
+        << writer.shards_written() << " shard(s) -> " << out_path << '\n';
+    print_digests(out, writer.schema(), writer.column_digests());
+    return kOk;
+  }
+
+  if (positional.size() != 2) {
+    err << "pack: expected <in.csv> <out.snap> [--shard=N], or --generate "
+           "<model.txt> <YYYY-MM-DD> <count> <out.snap>\n";
+    return kUsage;
+  }
+  const std::string& in_path = positional[0];
+  const std::string& out_path = positional[1];
+  const CsvKind kind = detect_csv_kind(in_path);
+  if (kind == CsvKind::kUnknown) {
+    err << "pack: " << in_path
+        << " is neither a trace nor a population csv (unrecognized "
+           "header)\n";
+    return kFailure;
+  }
+
+  if (kind == CsvKind::kTrace) {
+    const trace::TraceStore store = trace::read_csv_file(in_path);
+    store::SnapshotWriter writer(out_path, store::kTraceKind,
+                                 store::trace_schema());
+    const std::span<const trace::HostRecord> hosts = store.hosts();
+    const std::uint64_t step = shard == 0 ? std::max<std::uint64_t>(
+                                                1, hosts.size())
+                                          : shard;
+    for (std::uint64_t at = 0; at < hosts.size(); at += step) {
+      const std::uint64_t n = std::min<std::uint64_t>(step, hosts.size() - at);
+      store::append_trace_shard(
+          writer, hosts.subspan(static_cast<std::size_t>(at),
+                                static_cast<std::size_t>(n)));
+    }
+    writer.finish({{"source", in_path}});
+    out << "packed " << writer.rows_written() << " trace hosts in "
+        << writer.shards_written() << " shard(s) -> " << out_path << '\n';
+    print_digests(out, writer.schema(), writer.column_digests());
+  } else {
+    const core::GeneratedHostBatch batch = read_population_csv(in_path);
+    store::SnapshotWriter writer(out_path, store::kPopulationKind,
+                                 store::population_schema());
+    const std::uint64_t step =
+        shard == 0 ? std::max<std::uint64_t>(1, batch.size()) : shard;
+    for (std::uint64_t at = 0; at < batch.size(); at += step) {
+      const std::uint64_t n = std::min<std::uint64_t>(step, batch.size() - at);
+      store::append_population_shard(
+          writer, population_slice(batch, static_cast<std::size_t>(at),
+                                   static_cast<std::size_t>(n)));
+    }
+    writer.finish({{"source", in_path}});
+    out << "packed " << writer.rows_written() << " population hosts in "
+        << writer.shards_written() << " shard(s) -> " << out_path << '\n';
+    print_digests(out, writer.schema(), writer.column_digests());
+  }
+  return kOk;
+}
+
+int cmd_unpack(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  bool digest_only = false;
+  bool recover = false;
+  std::vector<std::string> positional;
+  for (const std::string& arg : args) {
+    if (arg == "--digest-only") {
+      digest_only = true;
+    } else if (arg == "--recover") {
+      recover = true;
+    } else if (arg.starts_with("--")) {
+      err << "unpack: unknown flag: '" << arg << "'\n";
+      return kUsage;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty() || positional.size() > 2 ||
+      (digest_only && positional.size() != 1)) {
+    err << "unpack: expected <in.snap> [out.csv] [--digest-only] "
+           "[--recover]\n";
+    return kUsage;
+  }
+  const std::string& in_path = positional[0];
+
+  store::SnapshotReader reader(in_path);
+  out << "kind: " << reader.kind() << '\n';
+
+  if (digest_only) {
+    // Checksum walk without materializing columns — the bounded-RSS
+    // bit-identity check against pack's digest lines.
+    const store::SnapshotReader::VerifyResult v = reader.verify();
+    out << "rows: "
+        << (reader.footer_intact() ? std::to_string(reader.rows())
+                                   : std::string("unknown (footer lost)"))
+        << '\n';
+    print_read_report(out, reader, v.report);
+    print_digests(out, reader.schema(), v.column_digests, &v.column_intact);
+    return v.report.complete ? kOk : kFailure;
+  }
+
+  store::Snapshot snapshot;
+  store::ReadReport report;
+  if (recover) {
+    snapshot = reader.read_recovering(report);
+    print_read_report(out, reader, report);
+  } else {
+    snapshot = reader.read_all();
+    report.blocks_expected = report.blocks_loaded = 0;
+  }
+  out << "rows: " << snapshot.rows << '\n';
+
+  // Digests over what was actually materialized (zero-filled holes
+  // digest as zero-filled — the report above itemizes them).
+  {
+    std::vector<std::uint32_t> digests(snapshot.columns.size(), 0);
+    for (std::size_t i = 0; i < snapshot.columns.size(); ++i) {
+      digests[i] = util::crc32c(snapshot.columns[i].data.data(),
+                                snapshot.columns[i].data.size());
+    }
+    print_digests(out, reader.schema(), digests);
+  }
+
+  if (positional.size() == 2) {
+    const std::string& csv_path = positional[1];
+    if (snapshot.kind == store::kTraceKind) {
+      trace::write_csv_file(store::unpack_trace(snapshot), csv_path);
+    } else if (snapshot.kind == store::kPopulationKind) {
+      const core::GeneratedHostBatch batch =
+          store::unpack_population(snapshot);
+      std::ofstream csv(csv_path);
+      if (!csv) {
+        throw std::runtime_error("cannot write population csv: " + csv_path);
+      }
+      util::CsvWriter writer(csv);
+      writer.write_row(kPopulationCsvHeader);
+      write_population_rows(batch, writer);
+    } else {
+      err << "unpack: unknown snapshot kind '" << snapshot.kind << "'\n";
+      return kFailure;
+    }
+    out << "unpacked " << snapshot.rows << " rows -> " << csv_path << '\n';
+  }
+  return recover && !report.complete ? kFailure : kOk;
+}
+
+int cmd_verify(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err) {
+  bool digests = false;
+  std::vector<std::string> positional;
+  for (const std::string& arg : args) {
+    if (arg == "--digests") {
+      digests = true;
+    } else if (arg.starts_with("--")) {
+      err << "verify: unknown flag: '" << arg << "'\n";
+      return kUsage;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 1) {
+    err << "verify: expected <in.snap> [--digests]\n";
+    return kUsage;
+  }
+  store::SnapshotReader reader(positional[0]);
+  const store::SnapshotReader::VerifyResult v = reader.verify();
+  out << "kind: " << reader.kind() << '\n';
+  if (reader.footer_intact()) {
+    out << "rows: " << reader.rows() << " in " << reader.shard_count()
+        << " shard(s)\n";
+  } else {
+    out << "rows: unknown (footer lost)\n";
+  }
+  print_read_report(out, reader, v.report);
+  if (digests) {
+    print_digests(out, reader.schema(), v.column_digests, &v.column_intact);
+  }
+  if (v.report.complete) {
+    out << "verify: OK\n";
+    return kOk;
+  }
+  err << "verify: DAMAGED (" << v.report.lost.size() << " lost block(s), "
+      << v.report.rows_lost << " rows lost)\n";
+  return kFailure;
+}
+
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err) {
   if (args.empty()) {
@@ -737,6 +1154,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "validate") return cmd_validate(rest, out, err);
     if (command == "sweep") return cmd_sweep(rest, out, err);
     if (command == "backends") return cmd_backends(rest, out, err);
+    if (command == "pack") return cmd_pack(rest, out, err);
+    if (command == "unpack") return cmd_unpack(rest, out, err);
+    if (command == "verify") return cmd_verify(rest, out, err);
   } catch (const std::exception& e) {
     err << command << ": " << e.what() << '\n';
     return kFailure;

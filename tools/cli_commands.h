@@ -12,6 +12,15 @@
 //   validate <model.txt> <trace.csv> <date>     generated-vs-actual check
 //   sweep <model.txt> <date> <hosts> [tasks]    parallel policy sweep
 //   backends                               CPU SIMD features + dispatch
+//   pack <in.csv> <out.snap>               CSV -> columnar snapshot
+//   pack --generate <model.txt> <date> <n> <out.snap>   synthesize direct
+//                                          to a sharded snapshot (bounded
+//                                          RSS at any population size)
+//   unpack <in.snap> [out.csv]             snapshot -> CSV / digest check
+//   verify <in.snap>                       checksum walk + damage report
+//
+// pack/unpack both print per-column CRC32C digest lines; diffing them is
+// the bit-identity proof for a round trip (see src/store/README.md).
 //
 // sweep runs the bag-of-tasks policy x host-model x task-count grid
 // (sim::run_policy_sweep) over populations synthesized from the fitted
@@ -59,6 +68,12 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
 int cmd_backends(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err);
+int cmd_pack(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
+int cmd_unpack(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err);
+int cmd_verify(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err);
 
 /// The usage text printed on bad invocations.
 std::string usage_text();

@@ -87,11 +87,21 @@ def resolve_baseline_dir(directory):
     latest_pointer = os.path.join(directory, "LATEST")
     if os.path.isfile(latest_pointer):
         with open(latest_pointer) as f:
-            pointee = os.path.join(directory, f.read().strip())
-        table, error = try_load_benchmarks(pointee)
-        if table is not None:
-            return pointee, table
-        print(f"warning: LATEST pointee skipped: {error}", file=sys.stderr)
+            name = f.read().strip()
+        pointee = os.path.join(directory, name)
+        if not name or not os.path.isfile(pointee):
+            # Dangling pointer (names a file that no longer exists, e.g.
+            # after a manual prune) — distinct from a corrupt pointee so
+            # the warning says what actually happened.
+            print(f"warning: LATEST points at nonexistent file "
+                  f"'{name or '<empty>'}'; falling back to newest "
+                  "parseable record", file=sys.stderr)
+        else:
+            table, error = try_load_benchmarks(pointee)
+            if table is not None:
+                return pointee, table
+            print(f"warning: LATEST pointee skipped: {error}",
+                  file=sys.stderr)
 
     candidates = sorted(
         (entry.path for entry in os.scandir(directory)
