@@ -49,7 +49,17 @@ VirtualClient::VirtualClient(trace::HostRecord spec, ClientConfig config,
                                      config_.availability.on_weibull_lambda);
     on_interval_end_ =
         next_contact_day_ + std::max(1e-6, on_dist.sample(rng_));
+    draw_session_benchmarks();
   }
+}
+
+void VirtualClient::draw_session_benchmarks() {
+  session_dhrystone_mips_ =
+      spec_.dhrystone_mips *
+      std::exp(rng_.normal(0.0, config_.benchmark_jitter_sigma));
+  session_whetstone_mips_ =
+      spec_.whetstone_mips *
+      std::exp(rng_.normal(0.0, config_.benchmark_jitter_sigma));
 }
 
 void VirtualClient::defer_to_available() {
@@ -58,18 +68,23 @@ void VirtualClient::defer_to_available() {
                                    config_.availability.on_weibull_lambda);
   const stats::LogNormalDist off_dist(config_.availability.off_lognormal_mu,
                                       config_.availability.off_lognormal_sigma);
+  bool crossed = false;
   while (next_contact_day_ > on_interval_end_) {
     // Crossing an ON-session boundary kills whatever a crash-faulty
     // client had in flight. The loss is recorded here but applied at the
     // start of the next make_request, after the previous contact's grant
     // has landed via handle_reply.
     session_died_since_last_contact_ = true;
+    crossed = true;
     const double off_len = std::max(1e-6, off_dist.sample(rng_));
     const double on_start = on_interval_end_ + off_len;
     const double on_len = std::max(1e-6, on_dist.sample(rng_));
     if (next_contact_day_ < on_start) next_contact_day_ = on_start;
     on_interval_end_ = on_start + on_len;
   }
+  // The next contact runs in a fresh session: the restarted client
+  // re-benchmarks once, and every contact of that session reuses the pair.
+  if (crossed) draw_session_benchmarks();
 }
 
 SchedulerRequest VirtualClient::make_request() {
@@ -89,14 +104,24 @@ SchedulerRequest VirtualClient::make_request() {
   }
   session_died_since_last_contact_ = false;
 
-  // Re-measure: fixed hardware, jittered benchmarks, drifting disk.
+  // Re-measure: fixed hardware, jittered benchmarks, drifting disk. With
+  // the availability model the benchmark pair is the current session's
+  // cached measurement; without it (no session structure) the jitter is
+  // drawn per contact, as before.
   HostMeasurement& m = request.measurement;
   m.n_cores = spec_.n_cores;
   m.memory_mb = spec_.memory_mb;
-  m.dhrystone_mips = spec_.dhrystone_mips *
-                     std::exp(rng_.normal(0.0, config_.benchmark_jitter_sigma));
-  m.whetstone_mips = spec_.whetstone_mips *
-                     std::exp(rng_.normal(0.0, config_.benchmark_jitter_sigma));
+  if (config_.model_availability) {
+    m.dhrystone_mips = session_dhrystone_mips_;
+    m.whetstone_mips = session_whetstone_mips_;
+  } else {
+    m.dhrystone_mips =
+        spec_.dhrystone_mips *
+        std::exp(rng_.normal(0.0, config_.benchmark_jitter_sigma));
+    m.whetstone_mips =
+        spec_.whetstone_mips *
+        std::exp(rng_.normal(0.0, config_.benchmark_jitter_sigma));
+  }
   current_disk_avail_gb_ *=
       std::exp(rng_.normal(0.0, config_.disk_drift_sigma));
   current_disk_avail_gb_ =

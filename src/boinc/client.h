@@ -1,8 +1,12 @@
 // The worker side: a virtual host with fixed hardware that periodically
 // contacts the server, re-measuring itself each time. Benchmarks jitter
-// per measurement (background load) and available disk performs a slow
-// random walk, so the server's record reflects the *latest* measurement,
-// exactly as in the real system.
+// with background load and available disk performs a slow random walk, so
+// the server's record reflects the *latest* measurement, exactly as in the
+// real system. Under the availability model the benchmark pair is drawn
+// once per ON session (BOINC re-runs benchmarks at client restart, not per
+// scheduler RPC): every contact inside one session reports the same
+// scores, and a session crossing redraws them. Without the availability
+// model there are no sessions and the jitter stays per-contact.
 #pragma once
 
 #include "boinc/messages.h"
@@ -17,7 +21,8 @@ namespace resmodel::boinc {
 struct ClientConfig {
   /// Mean days between scheduler contacts (exponential).
   double mean_contact_interval_days = 2.0;
-  /// Log-sigma of the per-measurement benchmark jitter.
+  /// Log-sigma of the benchmark jitter: per ON session under the
+  /// availability model, per contact without it.
   double benchmark_jitter_sigma = 0.03;
   /// Log-sigma of the per-contact available-disk random walk.
   double disk_drift_sigma = 0.02;
@@ -75,11 +80,20 @@ class VirtualClient {
   /// an ON interval (no-op unless config_.model_availability).
   void defer_to_available();
 
+  /// Draws the session benchmark pair (dhrystone then whetstone, one
+  /// log-normal jitter each) for the ON session just entered.
+  void draw_session_benchmarks();
+
   trace::HostRecord spec_;
   ClientConfig config_;
   util::Rng rng_;
   double next_contact_day_ = 0.0;
   double current_disk_avail_gb_ = 0.0;
+  /// The benchmark scores of the current ON session (availability mode
+  /// only): drawn at construction and redrawn by defer_to_available
+  /// whenever the session boundary is crossed.
+  double session_dhrystone_mips_ = 0.0;
+  double session_whetstone_mips_ = 0.0;
   std::uint32_t queued_units_ = 0;
   double last_contact_day_done_ = 0.0;
   double on_interval_end_ = 0.0;  ///< end of the current ON interval

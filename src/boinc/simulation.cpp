@@ -26,24 +26,22 @@ struct EventLater {
 
 }  // namespace
 
-CollectionResult run_collection(const CollectionConfig& config) {
+std::vector<ArrivedClient> build_arrivals(const CollectionConfig& config) {
   config.fault_mix.validate();
   config.client.validate();
   const synth::PopulationConfig& pop = config.population;
   util::Rng rng(pop.seed ^ 0x9e3779b97f4a7c15ULL);
   const core::HostGenerator generator(pop.model);
 
-  ProjectServer server(config.server);
-  std::vector<VirtualClient> clients;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events;
-
+  std::vector<ArrivedClient> clients;
   const double gamma_factor =
       std::exp(std::lgamma(1.0 + 1.0 / pop.lifetime_k));
   const std::int32_t end_day = pop.sim_end.day_index();
   std::uint64_t next_id = 1;
 
-  // Day loop spawns arrivals; the event queue drives contacts between
-  // arrivals. Processing order within a day does not matter to the trace.
+  // Contact events never consume the master stream (each client draws
+  // only from its own fork), so materializing every arrival up front
+  // consumes `rng` exactly as the historical interleaved day loop did.
   for (std::int32_t day = pop.sim_start.day_index(); day <= end_day; ++day) {
     const util::ModelDate date = util::ModelDate::from_day_index(day);
     const double t = date.t();
@@ -59,36 +57,60 @@ CollectionResult run_collection(const CollectionConfig& config) {
     const core::GeneratedHostBatch hw = generator.generate_batch(
         synth::effective_hardware_date(pop, date), arrivals, rng);
     for (std::uint64_t i = 0; i < arrivals; ++i) {
-      trace::HostRecord spec =
-          synth::finish_host(pop, hw.host(i), date, next_id++, rng);
+      ArrivedClient client;
       // The spec's last_contact_day is the host's death day; the client
       // stops contacting after it.
-      ClientConfig cc = config.client;
+      client.spec = synth::finish_host(pop, hw.host(i), date, next_id++, rng);
       if (config.fault_mix.any()) {
         // Fault fork first, client fork second — both from the arrival
         // stream, so the client's own rng only shifts when faults are on.
         util::Rng fault_rng = rng.fork();
         const sim::FaultDraw draw =
             sim::sample_fault(config.fault_mix, fault_rng);
-        cc.fault = draw.type;
-        cc.straggler_slowdown = draw.slowdown;
+        client.fault = draw.type;
+        client.straggler_slowdown = draw.slowdown;
       }
-      clients.emplace_back(spec, cc, rng.fork());
-      events.push({static_cast<double>(day), clients.size() - 1});
+      client.rng = rng.fork();
+      clients.push_back(std::move(client));
     }
+  }
+  return clients;
+}
 
-    // Drain every contact scheduled up to the end of this day.
-    while (!events.empty() && events.top().day < day + 1) {
-      const Event ev = events.top();
-      events.pop();
-      VirtualClient& client = clients[ev.client_index];
-      if (ev.day > end_day || !client.alive()) continue;
-      const SchedulerRequest request = client.make_request();
-      const SchedulerReply reply = server.handle_request(request);
-      client.handle_reply(reply);
-      if (client.alive()) {
-        events.push({client.next_contact_day(), ev.client_index});
-      }
+CollectionResult run_collection(const CollectionConfig& config) {
+  const std::vector<ArrivedClient> arrivals = build_arrivals(config);
+  const synth::PopulationConfig& pop = config.population;
+
+  ProjectServer server(config.server);
+  std::vector<VirtualClient> clients;
+  clients.reserve(arrivals.size());
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  const std::int32_t end_day = pop.sim_end.day_index();
+
+  for (const ArrivedClient& arrival : arrivals) {
+    ClientConfig cc = config.client;
+    cc.fault = arrival.fault;
+    cc.straggler_slowdown = arrival.straggler_slowdown;
+    clients.emplace_back(arrival.spec, cc, arrival.rng);
+    events.push({static_cast<double>(arrival.spec.created_day),
+                 clients.size() - 1});
+  }
+
+  // Drain every contact inside the window. Clients are independent (each
+  // one's grants/credit depend only on its own stream and the server's
+  // per-host state), so the processing order of same-day events cannot
+  // change any per-client outcome — only the (exact, integer-valued)
+  // credit summation order.
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    VirtualClient& client = clients[ev.client_index];
+    if (ev.day > end_day || !client.alive()) continue;
+    const SchedulerRequest request = client.make_request();
+    const SchedulerReply reply = server.handle_request(request);
+    client.handle_reply(reply);
+    if (client.alive()) {
+      events.push({client.next_contact_day(), ev.client_index});
     }
   }
 

@@ -6,6 +6,8 @@
 // collect -> dump -> fit -> generate loop can run end to end.
 #pragma once
 
+#include <vector>
+
 #include "boinc/client.h"
 #include "boinc/server.h"
 #include "sim/allocator.h"
@@ -54,7 +56,31 @@ struct CollectionResult {
   std::size_t final_allocation_hosts = 0;
 };
 
+/// One client of the arrival process: the host spec (created_day /
+/// last_contact_day are the birth/death days), the behaviour drawn from
+/// the fault mix, and the client's private rng stream. The shared
+/// ClientConfig template plus (fault, straggler_slowdown) reconstructs the
+/// per-client config.
+struct ArrivedClient {
+  trace::HostRecord spec;
+  sim::FaultType fault = sim::FaultType::kHonest;
+  double straggler_slowdown = 1.0;
+  util::Rng rng;
+};
+
+/// Materializes the arrival process of the configured window: the
+/// day-batched Poisson arrivals, hardware draws, fault draws and
+/// per-client rng forks, consuming the master stream exactly as
+/// run_collection does. The returned clients (in creation order) are
+/// bit-identical to the ones run_collection constructs — the engine
+/// (src/engine/) and the oracle share this path, so their populations
+/// cannot drift apart. Validates the fault mix and client template.
+std::vector<ArrivedClient> build_arrivals(const CollectionConfig& config);
+
 /// Runs the full collection window. Deterministic for a fixed config.
+/// Retained as the golden reference oracle for engine::run_service_engine
+/// (see src/engine/README.md): single-threaded, one VirtualClient and one
+/// ProjectServer exchange per event, trivially auditable.
 CollectionResult run_collection(const CollectionConfig& config);
 
 }  // namespace resmodel::boinc

@@ -1,0 +1,383 @@
+#include "engine/client_shard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "boinc/messages.h"
+#include "stats/distributions.h"
+
+namespace resmodel::engine {
+
+ClientShard::ClientShard(const ShardParams& params,
+                         std::span<const boinc::ArrivedClient> clients,
+                         std::uint32_t global_base)
+    : params_(params), global_base_(global_base) {
+  params_.client.validate();
+  if (params_.client.model_availability) {
+    params_.client.availability.validate();
+  }
+
+  const std::size_t n = clients.size();
+  if (n > 0xffffffffULL) {
+    throw std::invalid_argument("ClientShard: shard exceeds 2^32 clients");
+  }
+  id_.reserve(n);
+  created_day_.reserve(n);
+  death_day_.reserve(n);
+  n_cores_.reserve(n);
+  memory_mb_.reserve(n);
+  spec_dhrystone_.reserve(n);
+  spec_whetstone_.reserve(n);
+  disk_total_.reserve(n);
+  cpu_.reserve(n);
+  os_.reserve(n);
+  gpu_.reserve(n);
+  gpu_memory_mb_.reserve(n);
+  fault_.reserve(n);
+  slowdown_.reserve(n);
+  rng_.reserve(n);
+  next_contact_.reserve(n);
+  last_done_.reserve(n);
+  on_end_.reserve(n);
+  disk_cur_.reserve(n);
+  session_dhrystone_.assign(n, 0.0);
+  session_whetstone_.assign(n, 0.0);
+  client_queued_.assign(n, 0);
+  session_died_.assign(n, 0);
+  contacted_.assign(n, 0);
+  rec_first_day_.assign(n, 0);
+  rec_last_day_.assign(n, 0);
+  meas_dhrystone_.assign(n, 0.0);
+  meas_whetstone_.assign(n, 0.0);
+  meas_disk_.assign(n, 0.0);
+  server_queued_.assign(n, 0);
+  credit_.assign(n, 0.0);
+  grants_.resize(n);
+  n_contacts_.assign(n, 0);
+  n_granted_.assign(n, 0);
+  n_reported_.assign(n, 0);
+  n_invalid_.assign(n, 0);
+  n_lost_.assign(n, 0);
+  n_expired_.assign(n, 0);
+  if (params_.emit_day_records) record_seq_.assign(n, 0);
+
+  for (const boinc::ArrivedClient& c : clients) {
+    if (!(c.straggler_slowdown >= 1.0)) {
+      throw std::invalid_argument("ClientShard: straggler slowdown < 1");
+    }
+    id_.push_back(c.spec.id);
+    created_day_.push_back(c.spec.created_day);
+    death_day_.push_back(static_cast<double>(c.spec.last_contact_day));
+    n_cores_.push_back(c.spec.n_cores);
+    memory_mb_.push_back(c.spec.memory_mb);
+    spec_dhrystone_.push_back(c.spec.dhrystone_mips);
+    spec_whetstone_.push_back(c.spec.whetstone_mips);
+    disk_total_.push_back(c.spec.disk_total_gb);
+    cpu_.push_back(c.spec.cpu);
+    os_.push_back(c.spec.os);
+    gpu_.push_back(c.spec.gpu);
+    gpu_memory_mb_.push_back(c.spec.gpu_memory_mb);
+    fault_.push_back(c.fault);
+    slowdown_.push_back(c.straggler_slowdown);
+    rng_.push_back(c.rng);
+    next_contact_.push_back(static_cast<double>(c.spec.created_day));
+    last_done_.push_back(static_cast<double>(c.spec.created_day));
+    on_end_.push_back(static_cast<double>(c.spec.created_day));
+    disk_cur_.push_back(c.spec.disk_avail_gb);
+  }
+
+  // Replay the VirtualClient constructor's draws: the first ON interval,
+  // then the birth session's benchmark pair.
+  if (params_.client.model_availability) {
+    const stats::WeibullDist on_dist(
+        params_.client.availability.on_weibull_k,
+        params_.client.availability.on_weibull_lambda);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      on_end_[i] =
+          next_contact_[i] + std::max(1e-6, on_dist.sample(rng_[i]));
+      draw_session_benchmarks(i);
+    }
+  }
+
+  std::vector<Event> births;
+  births.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    births.push_back({next_contact_[i], i});
+  }
+  heap_.build(std::move(births));
+}
+
+void ClientShard::draw_session_benchmarks(std::uint32_t i) {
+  session_dhrystone_[i] =
+      spec_dhrystone_[i] *
+      std::exp(rng_[i].normal(0.0, params_.client.benchmark_jitter_sigma));
+  session_whetstone_[i] =
+      spec_whetstone_[i] *
+      std::exp(rng_[i].normal(0.0, params_.client.benchmark_jitter_sigma));
+}
+
+std::uint32_t ClientShard::consume_grants(std::uint32_t i,
+                                          std::uint32_t units) {
+  const std::uint32_t consumed = std::min(units, server_queued_[i]);
+  server_queued_[i] -= consumed;
+  GrantFifo& fifo = grants_[i];
+  std::uint32_t left = consumed;
+  while (left > 0 && !fifo.empty()) {
+    std::uint32_t& granted = fifo.front().second;
+    const std::uint32_t take = std::min(left, granted);
+    granted -= take;
+    left -= take;
+    if (granted == 0) fifo.pop_front();
+  }
+  return consumed;
+}
+
+void ClientShard::contact_step(std::uint32_t i, double t) {
+  const boinc::ClientConfig& cc = params_.client;
+  const boinc::ServerConfig& sc = params_.server;
+  util::Rng& rng = rng_[i];
+  const std::int32_t day = static_cast<std::int32_t>(std::floor(t));
+
+  // --- Client side: VirtualClient::make_request. ---
+  std::uint32_t lost_units = 0;
+  if (fault_[i] == sim::FaultType::kCrash && session_died_[i]) {
+    lost_units = client_queued_[i];
+    client_queued_[i] = 0;
+  }
+  session_died_[i] = 0;
+
+  double m_dhrystone, m_whetstone;
+  if (cc.model_availability) {
+    m_dhrystone = session_dhrystone_[i];
+    m_whetstone = session_whetstone_[i];
+  } else {
+    m_dhrystone = spec_dhrystone_[i] *
+                  std::exp(rng.normal(0.0, cc.benchmark_jitter_sigma));
+    m_whetstone = spec_whetstone_[i] *
+                  std::exp(rng.normal(0.0, cc.benchmark_jitter_sigma));
+  }
+  disk_cur_[i] *= std::exp(rng.normal(0.0, cc.disk_drift_sigma));
+  disk_cur_[i] = std::clamp(disk_cur_[i], 0.01, disk_total_[i]);
+
+  const double elapsed_days = t - last_done_[i];
+  double client_units_per_day = n_cores_[i] * spec_whetstone_[i] / 4000.0;
+  if (fault_[i] == sim::FaultType::kStraggler) {
+    client_units_per_day /= slowdown_[i];
+  }
+  const auto doable = static_cast<std::uint32_t>(
+      std::clamp(elapsed_days * client_units_per_day, 0.0, 1e6));
+  const std::uint32_t completed = std::min(doable, client_queued_[i]);
+  client_queued_[i] -= completed;
+
+  bool result_valid = true;
+  if (completed > 0) {
+    const std::uint64_t payload = boinc::result_payload(id_[i], completed);
+    const std::uint64_t digest = fault_[i] == sim::FaultType::kCorrupter
+                                     ? sim::corrupted_digest(payload, id_[i])
+                                     : sim::canonical_digest(payload);
+    result_valid = digest == sim::canonical_digest(payload);
+  }
+
+  last_done_[i] = t;
+  next_contact_[i] = t + rng.exponential(1.0 / cc.mean_contact_interval_days);
+  if (cc.model_availability) {
+    // VirtualClient::defer_to_available.
+    const stats::WeibullDist on_dist(cc.availability.on_weibull_k,
+                                     cc.availability.on_weibull_lambda);
+    const stats::LogNormalDist off_dist(cc.availability.off_lognormal_mu,
+                                        cc.availability.off_lognormal_sigma);
+    bool crossed = false;
+    while (next_contact_[i] > on_end_[i]) {
+      session_died_[i] = 1;
+      crossed = true;
+      const double off_len = std::max(1e-6, off_dist.sample(rng));
+      const double on_start = on_end_[i] + off_len;
+      const double on_len = std::max(1e-6, on_dist.sample(rng));
+      if (next_contact_[i] < on_start) next_contact_[i] = on_start;
+      on_end_[i] = on_start + on_len;
+    }
+    if (crossed) draw_session_benchmarks(i);
+  }
+
+  // --- Server side: ProjectServer::handle_request. ---
+  ++totals_.contacts;
+  ++n_contacts_[i];
+  if (!contacted_[i]) {
+    contacted_[i] = 1;
+    rec_first_day_[i] = day;
+    rec_last_day_[i] = day;
+  } else {
+    rec_last_day_[i] = std::max(rec_last_day_[i], day);
+  }
+  meas_dhrystone_[i] = m_dhrystone;
+  meas_whetstone_[i] = m_whetstone;
+  meas_disk_[i] = disk_cur_[i];
+
+  const std::uint32_t credited = consume_grants(i, completed);
+  if (result_valid) {
+    const double granted_credit = credited * sc.credit_per_unit;
+    credit_[i] += granted_credit;
+    totals_.credit_granted += granted_credit;
+    totals_.units_reported += credited;
+    n_reported_[i] += credited;
+  } else {
+    totals_.units_invalid += credited;
+    n_invalid_[i] += credited;
+  }
+
+  const std::uint32_t written_off = consume_grants(i, lost_units);
+  totals_.units_lost += written_off;
+  n_lost_[i] += written_off;
+
+  std::uint32_t expired = 0;
+  GrantFifo& fifo = grants_[i];
+  while (!fifo.empty() && fifo.front().first < day) {
+    const std::uint32_t units = fifo.front().second;
+    expired += units;
+    server_queued_[i] -= std::min(server_queued_[i], units);
+    fifo.pop_front();
+  }
+  totals_.units_expired += expired;
+  n_expired_[i] += expired;
+
+  const double server_units_per_day =
+      n_cores_[i] * m_whetstone / sc.work_unit_cost_mips_days;
+  const double requested_days = cc.work_request_seconds / 86400.0;
+  const auto wanted = static_cast<std::uint32_t>(
+      std::clamp(server_units_per_day * requested_days, 0.0, 1e6));
+  const std::uint32_t room = sc.max_queued_units > server_queued_[i]
+                                 ? sc.max_queued_units - server_queued_[i]
+                                 : 0;
+  const std::uint32_t granted = std::min(wanted, room);
+  server_queued_[i] += granted;
+  totals_.units_granted += granted;
+  n_granted_[i] += granted;
+  if (granted > 0) {
+    const double expiry = sc.report_deadline_days > 0.0
+                              ? day + sc.report_deadline_days
+                              : std::numeric_limits<double>::infinity();
+    fifo.entries.emplace_back(expiry, granted);
+  }
+
+  // --- Reply lands: VirtualClient::handle_reply. ---
+  client_queued_[i] += granted;
+
+  if (params_.emit_day_records) {
+    const std::uint32_t client = global_base_ + i;
+    std::uint32_t& seq = record_seq_[i];
+    if (credited > 0) {
+      day_records_.push_back(
+          {client, seq++, credited, DayRecordKind::kReport, result_valid});
+    }
+    if (written_off > 0) {
+      day_records_.push_back(
+          {client, seq++, written_off, DayRecordKind::kLoss, false});
+    }
+    if (expired > 0) {
+      day_records_.push_back(
+          {client, seq++, expired, DayRecordKind::kExpiry, false});
+    }
+    if (granted > 0) {
+      day_records_.push_back(
+          {client, seq++, granted, DayRecordKind::kGrant, false});
+    }
+  }
+}
+
+void ClientShard::drain(double day_end) {
+  std::uint32_t in_batch = 0;
+  while (!heap_.empty() && heap_.min().day < day_end) {
+    const Event ev = heap_.min();
+    if (have_prev_event_ && !fires_before(prev_event_, ev)) {
+      throw std::logic_error(
+          "ClientShard: event order regressed — the heap popped an event "
+          "at or before the previous (day, client)");
+    }
+    prev_event_ = ev;
+    have_prev_event_ = true;
+
+    // The oracle's liveness check: events past the window or the client's
+    // death day are dropped, and a dead client is never rescheduled.
+    if (ev.day <= params_.limit_day && ev.day <= death_day_[ev.client]) {
+      contact_step(ev.client, ev.day);
+      if (next_contact_[ev.client] <= death_day_[ev.client]) {
+        heap_.replace_min({next_contact_[ev.client], ev.client});
+      } else {
+        heap_.pop_min();
+      }
+      if (++in_batch == params_.batch_size) {
+        check_conservation();
+        ++totals_.batches_drained;
+        in_batch = 0;
+      }
+    } else {
+      heap_.pop_min();
+    }
+  }
+  if (in_batch > 0) {
+    check_conservation();
+    ++totals_.batches_drained;
+  }
+}
+
+std::uint64_t ClientShard::queued_units() const noexcept {
+  std::uint64_t queued = 0;
+  for (const std::uint32_t q : server_queued_) queued += q;
+  return queued;
+}
+
+void ClientShard::check_conservation() const {
+  const std::uint64_t accounted = totals_.units_reported +
+                                  totals_.units_invalid + totals_.units_lost +
+                                  totals_.units_expired + queued_units();
+  if (totals_.units_granted != accounted) {
+    throw std::logic_error(
+        "ClientShard: unit conservation violated — granted units do not "
+        "equal reported + invalid + lost + expired + queued");
+  }
+}
+
+std::vector<DayRecord> ClientShard::take_day_records() {
+  std::vector<DayRecord> out = std::move(day_records_);
+  day_records_.clear();
+  return out;
+}
+
+void ClientShard::append_trace(trace::TraceStore& store) const {
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (!contacted_[i]) continue;
+    trace::HostRecord rec;
+    rec.id = id_[i];
+    rec.created_day = rec_first_day_[i];
+    rec.last_contact_day = rec_last_day_[i];
+    rec.n_cores = n_cores_[i];
+    rec.memory_mb = memory_mb_[i];
+    rec.dhrystone_mips = meas_dhrystone_[i];
+    rec.whetstone_mips = meas_whetstone_[i];
+    rec.disk_avail_gb = meas_disk_[i];
+    rec.disk_total_gb = disk_total_[i];
+    rec.cpu = cpu_[i];
+    rec.os = os_[i];
+    rec.gpu = gpu_[i];
+    rec.gpu_memory_mb = gpu_memory_mb_[i];
+    store.add(rec);
+  }
+}
+
+ClientAccount ClientShard::account(std::size_t i) const {
+  ClientAccount acc;
+  acc.id = id_.at(i);
+  acc.contacts = n_contacts_[i];
+  acc.units_granted = n_granted_[i];
+  acc.units_reported = n_reported_[i];
+  acc.units_invalid = n_invalid_[i];
+  acc.units_lost = n_lost_[i];
+  acc.units_expired = n_expired_[i];
+  acc.units_in_flight = server_queued_[i];
+  acc.credit = credit_[i];
+  return acc;
+}
+
+}  // namespace resmodel::engine

@@ -1,0 +1,111 @@
+// The virtual-time event heap of the service engine (src/engine/): one
+// scheduled scheduler-contact per client, drained in deterministic
+// virtual-time order.
+//
+// Same flat 4-ary layout as sim::PullHeap (one cache line of children,
+// half the depth of a binary heap), but with the engine's stricter
+// ordering contract: ties in virtual time break on the client index, so
+// the pop sequence is a TOTAL order — independent of insertion history,
+// which is what makes a shard's drain order (and therefore its day-record
+// stream) a pure function of the client population. A client has at most
+// one scheduled contact, so two live events can never compare equal.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace resmodel::engine {
+
+/// One scheduled contact: the virtual day it fires and the (shard-local)
+/// index of the client making it.
+struct Event {
+  double day = 0.0;
+  std::uint32_t client = 0;
+};
+
+/// Strict total order of the event protocol: earlier virtual time first,
+/// lower client index on ties.
+inline bool fires_before(const Event& a, const Event& b) noexcept {
+  return a.day < b.day || (a.day == b.day && a.client < b.client);
+}
+
+/// Flat 4-ary min-heap of Events under fires_before.
+class EventHeap {
+ public:
+  EventHeap() = default;
+
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+  void reserve(std::size_t n) { events_.reserve(n); }
+  void clear() noexcept { events_.clear(); }
+
+  /// The next event to fire. Call only while !empty().
+  const Event& min() const noexcept { return events_.front(); }
+
+  void push(Event e) {
+    events_.push_back(e);
+    sift_up(events_.size() - 1);
+  }
+
+  Event pop_min() noexcept {
+    const Event top = events_.front();
+    events_.front() = events_.back();
+    events_.pop_back();
+    if (!events_.empty()) sift_down(0);
+    return top;
+  }
+
+  /// pop_min + push fused into one sift-down from the root — the common
+  /// drain step (the popped client re-enters with its next contact).
+  void replace_min(Event e) noexcept {
+    events_.front() = e;
+    sift_down(0);
+  }
+
+  /// Replaces the contents with `events` and heapifies (Floyd, O(n)) —
+  /// how a shard seeds the heap with its clients' birth contacts.
+  void build(std::vector<Event> events) noexcept {
+    events_ = std::move(events);
+    if (events_.size() < 2) return;
+    for (std::size_t i = (events_.size() - 2) / kArity + 1; i-- > 0;) {
+      sift_down(i);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kArity = 4;
+
+  void sift_up(std::size_t i) noexcept {
+    const Event e = events_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!fires_before(e, events_[parent])) break;
+      events_[i] = events_[parent];
+      i = parent;
+    }
+    events_[i] = e;
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const Event e = events_[i];
+    const std::size_t n = events_.size();
+    for (;;) {
+      const std::size_t first = i * kArity + 1;
+      if (first >= n) break;
+      const std::size_t last = std::min(first + kArity, n);
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (fires_before(events_[c], events_[best])) best = c;
+      }
+      if (!fires_before(events_[best], e)) break;
+      events_[i] = events_[best];
+      i = best;
+    }
+    events_[i] = e;
+  }
+
+  std::vector<Event> events_;
+};
+
+}  // namespace resmodel::engine

@@ -1,0 +1,175 @@
+#include "engine/quorum.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace resmodel::engine {
+
+QuorumCoordinator::QuorumCoordinator(const sim::ReplicationConfig& config,
+                                     std::size_t clients)
+    : config_(config), fifos_(clients) {
+  config_.validate();
+}
+
+std::uint32_t QuorumCoordinator::pop_unit(std::uint32_t client) {
+  UnitFifo& fifo = fifos_.at(client);
+  if (fifo.head == fifo.tasks.size()) {
+    throw std::logic_error(
+        "QuorumCoordinator: a contact resolved more units than the client "
+        "had in flight");
+  }
+  const std::uint32_t task = fifo.tasks[fifo.head];
+  if (++fifo.head == fifo.tasks.size()) {
+    fifo.tasks.clear();
+    fifo.head = 0;
+  } else if (fifo.head >= 64) {
+    fifo.tasks.erase(fifo.tasks.begin(),
+                     fifo.tasks.begin() + static_cast<std::ptrdiff_t>(fifo.head));
+    fifo.head = 0;
+  }
+  return task;
+}
+
+void QuorumCoordinator::resolve(std::uint32_t task) {
+  if (returned_[task] >= config_.quorum) {
+    state_[task] = TaskState::kInvalid;
+    ++outcome_.tasks_invalid;
+  } else {
+    state_[task] = TaskState::kMissedDeadline;
+    ++outcome_.tasks_missed_deadline;
+  }
+}
+
+void QuorumCoordinator::apply_day(std::vector<DayRecord> records) {
+  // (client, seq) totally orders a day's records: seq preserves each
+  // client's own contact order and the client index fixes the cross-client
+  // order — both independent of which shard drained whom.
+  std::sort(records.begin(), records.end(),
+            [](const DayRecord& a, const DayRecord& b) noexcept {
+              return a.client < b.client ||
+                     (a.client == b.client && a.seq < b.seq);
+            });
+
+  // Pass 1: size the day's task range from its total granted units.
+  std::uint64_t day_units = 0;
+  for (const DayRecord& r : records) {
+    if (r.kind == DayRecordKind::kGrant) day_units += r.units;
+  }
+  const std::uint32_t base = static_cast<std::uint32_t>(assigned_.size());
+  const std::uint64_t day_tasks =
+      (day_units + config_.replicas - 1) / config_.replicas;
+  if (base + day_tasks > 0xffffffffULL) {
+    throw std::logic_error("QuorumCoordinator: task id space exhausted");
+  }
+  const std::uint32_t stripe = static_cast<std::uint32_t>(day_tasks);
+  const std::size_t total = assigned_.size() + day_tasks;
+  assigned_.resize(total);
+  accounted_.resize(total);
+  returned_.resize(total);
+  correct_count_.resize(total);
+  state_.resize(total, TaskState::kOpen);
+  correct_hosts_.resize(total * config_.replicas);
+  outcome_.tasks_issued += day_tasks;
+
+  // Pass 2: replay. Grants stripe consecutive units across the day's
+  // fresh tasks; reports/losses/expiries resolve the owning client's
+  // oldest in-flight units, mirroring the server's FIFO consumption.
+  std::vector<std::uint32_t> touched;
+  touched.reserve(records.size());
+  std::uint64_t unit_cursor = 0;
+  for (const DayRecord& r : records) {
+    switch (r.kind) {
+      case DayRecordKind::kGrant:
+        for (std::uint32_t u = 0; u < r.units; ++u) {
+          const std::uint32_t task =
+              base + static_cast<std::uint32_t>(unit_cursor % stripe);
+          ++unit_cursor;
+          ++assigned_[task];
+          fifos_[r.client].tasks.push_back(task);
+          ++outcome_.replicas_issued;
+          touched.push_back(task);
+        }
+        break;
+      case DayRecordKind::kReport:
+        for (std::uint32_t u = 0; u < r.units; ++u) {
+          const std::uint32_t task = pop_unit(r.client);
+          ++accounted_[task];
+          ++returned_[task];
+          touched.push_back(task);
+          if (!r.valid) {
+            ++outcome_.replicas_corrupt;
+            continue;
+          }
+          // Duplicate-host check over the counted correct results only:
+          // a corrupt result never counts toward the quorum, so it never
+          // blocks the same host's later correct one.
+          const std::uint32_t* slots =
+              correct_hosts_.data() +
+              static_cast<std::size_t>(task) * config_.replicas;
+          bool duplicate = false;
+          for (std::uint8_t c = 0; c < correct_count_[task]; ++c) {
+            if (slots[c] == r.client) {
+              duplicate = true;
+              break;
+            }
+          }
+          if (duplicate) {
+            ++outcome_.replicas_duplicate_host;
+            continue;
+          }
+          correct_hosts_[static_cast<std::size_t>(task) * config_.replicas +
+                         correct_count_[task]] = r.client;
+          ++correct_count_[task];
+          ++outcome_.replicas_correct;
+          if (state_[task] == TaskState::kOpen &&
+              correct_count_[task] >= config_.quorum) {
+            state_[task] = TaskState::kValidated;
+            ++outcome_.tasks_validated;
+          }
+        }
+        break;
+      case DayRecordKind::kLoss:
+        for (std::uint32_t u = 0; u < r.units; ++u) {
+          const std::uint32_t task = pop_unit(r.client);
+          ++accounted_[task];
+          ++outcome_.replicas_crashed;
+          touched.push_back(task);
+        }
+        break;
+      case DayRecordKind::kExpiry:
+        for (std::uint32_t u = 0; u < r.units; ++u) {
+          const std::uint32_t task = pop_unit(r.client);
+          ++accounted_[task];
+          ++outcome_.replicas_missed_deadline;
+          touched.push_back(task);
+        }
+        break;
+    }
+  }
+
+  // Pass 3: failure classification, deferred past the replay because a
+  // later grant in the SAME day can still add replicas to a task whose
+  // earlier replicas all resolved.
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const std::uint32_t task : touched) {
+    if (state_[task] == TaskState::kOpen &&
+        accounted_[task] == assigned_[task]) {
+      resolve(task);
+    }
+  }
+}
+
+QuorumOutcome QuorumCoordinator::finish() const {
+  QuorumOutcome out = outcome_;
+  for (const TaskState s : state_) {
+    if (s == TaskState::kOpen) ++out.tasks_pending;
+  }
+  out.replicas_in_flight =
+      out.replicas_issued -
+      (out.replicas_correct + out.replicas_corrupt + out.replicas_crashed +
+       out.replicas_missed_deadline + out.replicas_duplicate_host);
+  return out;
+}
+
+}  // namespace resmodel::engine

@@ -1,0 +1,234 @@
+#include "engine/service_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "core/host_generator.h"
+#include "synth/population.h"
+
+namespace resmodel::engine {
+
+namespace {
+
+int resolve_workers(int threads, std::size_t jobs) {
+  int n = threads > 0 ? threads
+                      : static_cast<int>(std::thread::hardware_concurrency());
+  if (n < 1) n = 1;
+  return static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(n), std::max<std::size_t>(jobs, 1)));
+}
+
+/// Runs fn(job) over jobs [0, count) on a pool of `threads` workers
+/// (calling thread included). Any worker exception is rethrown on the
+/// calling thread after the pool joins.
+template <typename Fn>
+void parallel_for(std::size_t count, int threads, Fn&& fn) {
+  if (count == 0) return;
+  const int n_workers = resolve_workers(threads, count);
+  if (n_workers == 1) {
+    for (std::size_t job = 0; job < count; ++job) fn(job);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(n_workers));
+  const auto worker = [&](int w) noexcept {
+    try {
+      for (std::size_t job; (job = next.fetch_add(1)) < count;) fn(job);
+    } catch (...) {
+      errors[static_cast<std::size_t>(w)] = std::current_exception();
+      // Starve the remaining workers so the pool winds down promptly.
+      next.store(count);
+    }
+  };
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(n_workers - 1));
+    for (int w = 1; w < n_workers; ++w) pool.emplace_back(worker, w);
+    worker(0);
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+/// Cohort mode: a fixed-size population at one hardware date, every
+/// client born on day 0 and alive through the horizon. The master stream
+/// forks once per client IN CLIENT ORDER before any per-client work, so
+/// the (parallel) wrap-up below is thread-count invariant.
+std::vector<boinc::ArrivedClient> build_cohort(const EngineConfig& config) {
+  config.collection.fault_mix.validate();
+  config.collection.client.validate();
+  const synth::PopulationConfig& pop = config.collection.population;
+  const std::uint64_t n = config.cohort_clients;
+
+  util::Rng master(pop.seed ^ 0xd1b54a32d192ed03ULL);
+  const core::HostGenerator generator(pop.model);
+  const util::ModelDate hw_date = pop.sim_end;
+  const std::uint64_t hw_seed = master.next();
+  const core::GeneratedHostBatch hw = generator.generate_batch_parallel(
+      hw_date, n, hw_seed, config.threads);
+
+  std::vector<util::Rng> forks;
+  forks.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) forks.push_back(master.fork());
+
+  const std::int32_t death_day =
+      static_cast<std::int32_t>(std::floor(config.cohort_horizon_days));
+  std::vector<boinc::ArrivedClient> clients(n);
+  constexpr std::uint64_t kChunk = 4096;
+  const std::uint64_t chunks = (n + kChunk - 1) / kChunk;
+  parallel_for(chunks, config.threads, [&](std::size_t chunk) {
+    const std::uint64_t begin = chunk * kChunk;
+    const std::uint64_t end = std::min(begin + kChunk, n);
+    for (std::uint64_t i = begin; i < end; ++i) {
+      util::Rng rng = forks[i];
+      boinc::ArrivedClient& client = clients[i];
+      client.spec = synth::finish_host(pop, hw.host(i), hw_date, i + 1, rng);
+      client.spec.created_day = 0;
+      client.spec.last_contact_day = death_day;
+      if (config.collection.fault_mix.any()) {
+        util::Rng fault_rng = rng.fork();
+        const sim::FaultDraw draw =
+            sim::sample_fault(config.collection.fault_mix, fault_rng);
+        client.fault = draw.type;
+        client.straggler_slowdown = draw.slowdown;
+      }
+      client.rng = rng.fork();
+    }
+  });
+  return clients;
+}
+
+}  // namespace
+
+void EngineConfig::validate() const {
+  if (shards == 0) {
+    throw std::invalid_argument("EngineConfig: shards must be >= 1");
+  }
+  if (batch_size == 0) {
+    throw std::invalid_argument("EngineConfig: batch_size must be >= 1");
+  }
+  if (cohort_clients > 0 && !(cohort_horizon_days > 0.0)) {
+    throw std::invalid_argument(
+        "EngineConfig: cohort mode needs cohort_horizon_days > 0");
+  }
+  if (replication.enabled) replication.validate();
+}
+
+EngineResult run_service_engine(const EngineConfig& config) {
+  config.validate();
+
+  const bool cohort = config.cohort_clients > 0;
+  const std::vector<boinc::ArrivedClient> population =
+      cohort ? build_cohort(config)
+             : boinc::build_arrivals(config.collection);
+  const double limit_day =
+      cohort ? config.cohort_horizon_days
+             : static_cast<double>(
+                   config.collection.population.sim_end.day_index());
+  const std::int32_t first_day =
+      cohort ? 0 : config.collection.population.sim_start.day_index();
+
+  ShardParams params;
+  params.client = config.collection.client;
+  params.server = config.collection.server;
+  params.limit_day = limit_day;
+  params.batch_size = config.batch_size;
+  params.emit_day_records = config.replication.enabled;
+  if (config.replication.enabled && config.replication.has_deadline()) {
+    params.server.report_deadline_days = config.replication.deadline_days;
+  }
+
+  const std::size_t n = population.size();
+  const std::size_t n_shards =
+      std::min<std::size_t>(config.shards, std::max<std::size_t>(n, 1));
+  std::vector<ClientShard> shards;
+  shards.reserve(n_shards);
+  const std::span<const boinc::ArrivedClient> all(population);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    const std::size_t begin = s * n / n_shards;
+    const std::size_t end = (s + 1) * n / n_shards;
+    shards.emplace_back(params, all.subspan(begin, end - begin),
+                        static_cast<std::uint32_t>(begin));
+  }
+
+  EngineResult result;
+  result.hosts_created = n;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!config.replication.enabled) {
+    // Fast path: no cross-shard coupling, each shard drains its whole
+    // horizon independently.
+    parallel_for(shards.size(), config.threads, [&](std::size_t s) {
+      shards[s].drain(std::numeric_limits<double>::infinity());
+    });
+  } else {
+    // Day barriers: drain one virtual day everywhere, then replay the
+    // merged day records through the quorum coordinator.
+    QuorumCoordinator coordinator(config.replication, n);
+    const std::int32_t last_day =
+        static_cast<std::int32_t>(std::floor(limit_day));
+    for (std::int32_t day = first_day; day <= last_day; ++day) {
+      parallel_for(shards.size(), config.threads, [&](std::size_t s) {
+        shards[s].drain(static_cast<double>(day) + 1.0);
+      });
+      std::vector<DayRecord> records;
+      for (ClientShard& shard : shards) {
+        std::vector<DayRecord> taken = shard.take_day_records();
+        records.insert(records.end(), taken.begin(), taken.end());
+      }
+      if (!records.empty()) coordinator.apply_day(std::move(records));
+    }
+    // Discard events scheduled past the window so every heap is empty.
+    parallel_for(shards.size(), config.threads, [&](std::size_t s) {
+      shards[s].drain(std::numeric_limits<double>::infinity());
+    });
+    result.quorum = coordinator.finish();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Fold in shard order == global client order (shards are contiguous).
+  for (const ClientShard& shard : shards) {
+    const ShardTotals& t = shard.totals();
+    result.total_contacts += t.contacts;
+    result.total_units_granted += t.units_granted;
+    result.total_units_reported += t.units_reported;
+    result.total_credit_granted += t.credit_granted;
+    result.total_units_lost += t.units_lost;
+    result.total_units_expired += t.units_expired;
+    result.total_invalid_result_units += t.units_invalid;
+    result.batches_drained += t.batches_drained;
+    result.units_in_flight += shard.queued_units();
+  }
+
+  result.trace.reserve(n);
+  for (const ClientShard& shard : shards) {
+    shard.append_trace(result.trace);
+  }
+
+  if (config.record_per_client) {
+    result.per_client.reserve(n);
+    for (const ClientShard& shard : shards) {
+      for (std::size_t i = 0; i < shard.size(); ++i) {
+        result.per_client.push_back(shard.account(i));
+      }
+    }
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  result.requests_per_second =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.total_contacts) / result.wall_seconds
+          : 0.0;
+  return result;
+}
+
+}  // namespace resmodel::engine

@@ -1,0 +1,121 @@
+// The sharded, event-driven virtual-time service engine: the scale path
+// of the BOINC-style measurement substrate (boinc/).
+//
+// run_service_engine partitions the client population into contiguous
+// shards (engine/client_shard.h), drains their virtual-time event heaps
+// on a worker pool, and folds the shards' columns back into one result
+// in global client order. Per-host server state is independent across
+// hosts, so the outcome is bit-identical to the single-queue oracle
+// boinc::run_collection and invariant in the shard and thread counts —
+// the equivalence the engine tests pin down.
+//
+// Two population modes:
+//  - arrival mode (default): the full §IV arrival process via
+//    boinc::build_arrivals — the oracle-comparable configuration;
+//  - cohort mode (cohort_clients > 0): a fixed-size cohort synthesized
+//    at one hardware date, all born on day 0 and alive for
+//    cohort_horizon_days — the O(clients)-controlled scale/bench shape
+//    ("N clients x D virtual days").
+//
+// With replication enabled the engine adds the quorum overlay
+// (engine/quorum.h): shards drain one virtual day at a time and the
+// coordinator replays every shard's day records at the barrier. The
+// replication deadline then overrides the server's report deadline, so
+// expiries land exactly when the quorum policy says replicas die.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "boinc/simulation.h"
+#include "engine/client_shard.h"
+#include "engine/quorum.h"
+#include "sim/fault_model.h"
+#include "trace/trace_store.h"
+
+namespace resmodel::engine {
+
+struct EngineConfig {
+  /// Client/server templates, fault mix, and (arrival mode) the
+  /// population window — shared verbatim with the oracle.
+  boinc::CollectionConfig collection;
+
+  /// > 0 switches to cohort mode: this many clients, hardware drawn from
+  /// collection.population's model at its sim_end date, all created on
+  /// day 0 with death day cohort_horizon_days.
+  std::uint64_t cohort_clients = 0;
+  double cohort_horizon_days = 0.0;
+
+  /// Contiguous client partitions drained independently. Results are
+  /// invariant in this (and in threads); it only sets the parallel grain.
+  std::uint32_t shards = 1;
+  /// Worker threads; <= 0 uses the hardware concurrency.
+  int threads = 1;
+  /// Contacts per conservation recount inside a shard.
+  std::uint32_t batch_size = 4096;
+
+  /// k-of-n quorum overlay; disabled => the barrier-free fast path.
+  sim::ReplicationConfig replication;
+
+  /// Record per-client closing accounts in EngineResult::per_client
+  /// (O(clients) memory — meant for tests, not the 1M bench).
+  bool record_per_client = false;
+
+  /// Throws std::invalid_argument on shards/batch_size of 0, a cohort
+  /// without a positive horizon, or an invalid replication config.
+  void validate() const;
+};
+
+struct EngineResult {
+  /// The server's public dump, in global client order (the oracle's dump
+  /// iterates a hash map — compare sorted by host id).
+  trace::TraceStore trace;
+  std::size_t hosts_created = 0;
+
+  std::uint64_t total_contacts = 0;
+  std::uint64_t total_units_granted = 0;
+  std::uint64_t total_units_reported = 0;
+  double total_credit_granted = 0.0;
+  std::uint64_t total_units_lost = 0;
+  std::uint64_t total_units_expired = 0;
+  std::uint64_t total_invalid_result_units = 0;
+  /// Units still queued server-side when the window closed.
+  std::uint64_t units_in_flight = 0;
+
+  std::uint64_t batches_drained = 0;
+
+  /// Quorum overlay outcome; all-zero when replication is disabled.
+  QuorumOutcome quorum;
+
+  /// Wall time of the drain phase (population build excluded) and the
+  /// scheduler-request throughput it implies.
+  double wall_seconds = 0.0;
+  double requests_per_second = 0.0;
+
+  /// Per-client closing accounts in global client order
+  /// (EngineConfig::record_per_client only).
+  std::vector<ClientAccount> per_client;
+
+  /// granted == reported + invalid + lost + expired + in-flight.
+  bool conserves_units() const noexcept {
+    return units_unaccounted() == 0;
+  }
+  /// Absolute conservation gap, 0 when the books balance — exported as a
+  /// zero-gated bench counter.
+  std::uint64_t units_unaccounted() const noexcept {
+    const std::uint64_t accounted = total_units_reported +
+                                    total_invalid_result_units +
+                                    total_units_lost + total_units_expired +
+                                    units_in_flight;
+    return total_units_granted > accounted ? total_units_granted - accounted
+                                           : accounted - total_units_granted;
+  }
+};
+
+/// Runs the engine end to end: build population, shard, drain, fold.
+/// Deterministic for a fixed config; bit-identical across shard and
+/// thread counts. Throws std::invalid_argument on bad config and
+/// std::logic_error if a drain invariant is violated.
+EngineResult run_service_engine(const EngineConfig& config);
+
+}  // namespace resmodel::engine

@@ -159,6 +159,52 @@ TEST(VirtualClient, AvailabilityStretchesContactIntervals) {
   EXPECT_GT(mean_gap(with_avail, 11), 1.25 * mean_gap(plain, 11));
 }
 
+TEST(VirtualClient, BenchmarksConstantWithinAvailabilitySession) {
+  // Under the availability model the client benchmarks once per ON
+  // session, not per contact: with sessions much longer than the contact
+  // interval, consecutive contacts must repeat the exact benchmark pair,
+  // and the value must still change across session boundaries eventually.
+  ClientConfig config = default_config();
+  config.model_availability = true;
+  config.mean_contact_interval_days = 0.5;
+  // Near-deterministic ~20-day sessions (Weibull k=5) with ~1-day gaps.
+  config.availability.on_weibull_k = 5.0;
+  config.availability.on_weibull_lambda = 20.0;
+  config.availability.off_lognormal_mu = 0.0;
+  config.availability.off_lognormal_sigma = 0.3;
+  trace::HostRecord spec = spec_host();
+  spec.last_contact_day = 3000;
+  VirtualClient client(spec, config, util::Rng(17));
+  int repeats = 0, changes = 0;
+  double prev_dhry = 0.0, prev_whet = 0.0;
+  for (int i = 0; i < 300 && client.alive(); ++i) {
+    const SchedulerRequest r = client.make_request();
+    if (i > 0) {
+      const bool same = r.measurement.dhrystone_mips == prev_dhry &&
+                        r.measurement.whetstone_mips == prev_whet;
+      // The pair moves together or not at all — never one without the
+      // other.
+      EXPECT_EQ(r.measurement.dhrystone_mips == prev_dhry,
+                r.measurement.whetstone_mips == prev_whet);
+      same ? ++repeats : ++changes;
+    }
+    prev_dhry = r.measurement.dhrystone_mips;
+    prev_whet = r.measurement.whetstone_mips;
+  }
+  // ~40 contacts per session: repeats dominate, but boundaries redraw.
+  EXPECT_GT(repeats, 10 * changes);
+  EXPECT_GT(changes, 0);
+}
+
+TEST(VirtualClient, PerContactJitterWithoutAvailabilityModel) {
+  // Without the session structure the jitter stays per-contact: two
+  // consecutive measurements are (almost surely) distinct.
+  VirtualClient client(spec_host(), default_config(), util::Rng(18));
+  const double first = client.make_request().measurement.dhrystone_mips;
+  const double second = client.make_request().measurement.dhrystone_mips;
+  EXPECT_NE(first, second);
+}
+
 TEST(VirtualClient, NoWorkReportedWithoutGrants) {
   VirtualClient client(spec_host(), default_config(), util::Rng(8));
   for (int i = 0; i < 5 && client.alive(); ++i) {

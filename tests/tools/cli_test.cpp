@@ -642,5 +642,119 @@ TEST(Cli, StoreCommandsReportMissingAndMalformedInputsTyped) {
   EXPECT_EQ(run({"verify", "a", "--frobnicate"}, nullptr, &err), kUsage);
 }
 
+// Drops the wall-clock "timing:" line, leaving serve's deterministic
+// counter block — the same stripping the CI determinism gate applies.
+std::string without_timing(const std::string& text) {
+  std::istringstream in(text);
+  std::string kept, line;
+  while (std::getline(in, line)) {
+    if (line.rfind("timing:", 0) == 0) continue;
+    kept += line;
+    kept += '\n';
+  }
+  return kept;
+}
+
+TEST(Cli, ServeRunsCohortAndReportsBalancedCounters) {
+  std::string out;
+  ASSERT_EQ(run({"serve", "--clients=400", "--days=5", "--shards=2",
+                 "--seed=9"},
+                &out),
+            kOk);
+  EXPECT_NE(out.find("serve: 400 clients"), std::string::npos);
+  EXPECT_NE(out.find("contacts: "), std::string::npos);
+  EXPECT_NE(out.find("unaccounted=0"), std::string::npos);
+  EXPECT_NE(out.find("timing:"), std::string::npos);
+  EXPECT_NE(out.find("requests/s"), std::string::npos);
+}
+
+TEST(Cli, ServeCountersAreShardInvariant) {
+  std::string one, three;
+  ASSERT_EQ(run({"serve", "--clients=300", "--days=4", "--shards=1",
+                 "--seed=3", "--availability",
+                 "--fault-mix=crash:0.2,corrupt:0.2"},
+                &one),
+            kOk);
+  ASSERT_EQ(run({"serve", "--clients=300", "--days=4", "--shards=3",
+                 "--seed=3", "--availability",
+                 "--fault-mix=crash:0.2,corrupt:0.2"},
+                &three),
+            kOk);
+  // Shard count appears in the banner; everything after it must match.
+  const std::string a = without_timing(one);
+  const std::string b = without_timing(three);
+  EXPECT_EQ(a.substr(a.find('\n')), b.substr(b.find('\n')));
+}
+
+TEST(Cli, ServeReportsQuorumCounters) {
+  std::string out;
+  ASSERT_EQ(run({"serve", "--clients=200", "--days=6", "--shards=2",
+                 "--replication=2/3", "--deadline-days=1.5",
+                 "--fault-mix=corrupt:0.3"},
+                &out),
+            kOk);
+  EXPECT_NE(out.find("quorum tasks: issued="), std::string::npos);
+  EXPECT_NE(out.find("quorum replicas: issued="), std::string::npos);
+}
+
+TEST(Cli, ServeRejectsBadArgs) {
+  std::string err;
+  // Missing required arguments.
+  EXPECT_EQ(run({"serve"}, nullptr, &err), kUsage);
+  EXPECT_NE(err.find("--clients=N"), std::string::npos);
+  EXPECT_EQ(run({"serve", "--clients=100"}, nullptr, &err), kUsage);
+  EXPECT_EQ(run({"serve", "--days=7"}, nullptr, &err), kUsage);
+
+  // Zero and negative counts are rejected everywhere a count is taken —
+  // including the stoul-wraparound case ("-3" must not parse as huge).
+  EXPECT_EQ(run({"serve", "--clients=0", "--days=7"}, nullptr, &err),
+            kFailure);
+  EXPECT_EQ(run({"serve", "--clients=-3", "--days=7"}, nullptr, &err),
+            kFailure);
+  EXPECT_EQ(run({"serve", "--clients=100", "--days=7", "--shards=0"},
+                nullptr, &err),
+            kFailure);
+  EXPECT_NE(err.find("--shards"), std::string::npos);
+  EXPECT_EQ(run({"serve", "--clients=100", "--days=7", "--shards=-1"},
+                nullptr, &err),
+            kFailure);
+  EXPECT_EQ(run({"serve", "--clients=100", "--days=0"}, nullptr, &err),
+            kFailure);
+  EXPECT_EQ(run({"serve", "--clients=100", "--days=7", "--batch=0"},
+                nullptr, &err),
+            kFailure);
+
+  // Policy flags that need each other or valid specs.
+  EXPECT_EQ(run({"serve", "--clients=100", "--days=7", "--deadline-days=2"},
+                nullptr, &err),
+            kUsage);
+  EXPECT_NE(err.find("--replication"), std::string::npos);
+  EXPECT_EQ(run({"serve", "--clients=100", "--days=7", "--replication=5/2"},
+                nullptr, &err),
+            kUsage);
+  EXPECT_EQ(run({"serve", "--clients=100", "--days=7",
+                 "--fault-mix=crash:0.7,corrupt:0.7"},
+                nullptr, &err),
+            kFailure);
+  EXPECT_EQ(run({"serve", "--clients=100", "--days=7", "--frobnicate"},
+                nullptr, &err),
+            kUsage);
+}
+
+TEST(Cli, PackRejectsExplicitZeroShard) {
+  const std::string trace_path = temp_path("cli_shard0.csv");
+  ASSERT_EQ(run({"synth", trace_path, "200", "7"}), kOk);
+  std::string err;
+  EXPECT_EQ(run({"pack", trace_path, temp_path("cli_shard0.snap"),
+                 "--shard=0"},
+                nullptr, &err),
+            kFailure);
+  EXPECT_NE(err.find("--shard"), std::string::npos);
+  EXPECT_EQ(run({"pack", trace_path, temp_path("cli_shard0.snap"),
+                 "--shard=-5"},
+                nullptr, &err),
+            kFailure);
+}
+
 }  // namespace
 }  // namespace resmodel::cli

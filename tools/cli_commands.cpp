@@ -15,6 +15,7 @@
 #include "core/host_generator.h"
 #include "core/prediction.h"
 #include "core/validation.h"
+#include "engine/service_engine.h"
 #include "model/factory.h"
 #include "sim/bag_of_tasks.h"
 #include "sim/baseline_models.h"
@@ -31,12 +32,27 @@ namespace resmodel::cli {
 namespace {
 
 std::size_t parse_count(const std::string& s, const char* what) {
-  std::size_t pos = 0;
-  const unsigned long v = std::stoul(s, &pos);
-  if (pos != s.size() || v == 0) {
+  // Digits-only: std::stoul would wrap a negative string ("-3") around to
+  // a huge accepted value instead of rejecting it.
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
     throw std::invalid_argument(std::string("bad ") + what + ": '" + s + "'");
   }
+  const unsigned long long v = std::stoull(s);
+  if (v == 0) {
+    throw std::invalid_argument(std::string("bad ") + what + ": '" + s +
+                                "' (expected a positive count)");
+  }
   return static_cast<std::size_t>(v);
+}
+
+/// Digits-only u64 (0 allowed, unlike parse_count).
+std::uint64_t parse_u64(const std::string& value, const char* what) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument(std::string("bad ") + what + ": '" + value +
+                                "'");
+  }
+  return std::stoull(value);
 }
 
 /// Flags shared by the host-synthesis commands. Everything that is not a
@@ -151,6 +167,15 @@ std::string usage_text() {
          "                     D*B^r days, at most N re-issues)\n"
          "                    [--fault-mix=crash:p,straggler:p,corrupt:p]\n"
          "                     (per-host fault injection fractions)\n"
+         "  resmodel serve    --clients=N --days=D [--shards=S]\n"
+         "                    [--threads=T] [--seed=N] [--batch=N]\n"
+         "                    [--mean-contact-days=D] [--availability]\n"
+         "                    [--fault-mix=crash:p,straggler:p,corrupt:p]\n"
+         "                    [--replication=k/n] [--deadline-days=D]\n"
+         "                    (sharded virtual-time service engine over an\n"
+         "                     N-client cohort; counters are deterministic\n"
+         "                     and shard/thread-invariant — only the final\n"
+         "                     'timing:' line varies between runs)\n"
          "  resmodel backends    print CPU SIMD features and what each\n"
          "                       requested backend resolves to\n"
          "  resmodel pack     <in.csv> <out.snap> [--shard=N]\n"
@@ -742,17 +767,126 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
   return kOk;
 }
 
-namespace {
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  engine::EngineConfig config;
+  config.collection.client.mean_contact_interval_days = 2.0;
+  bool have_clients = false;
+  bool have_days = false;
+  double deadline_days = 0.0;
 
-/// Digits-only u64 (0 allowed, unlike parse_count).
-std::uint64_t parse_u64(const std::string& value, const char* what) {
-  if (value.empty() ||
-      value.find_first_not_of("0123456789") != std::string::npos) {
-    throw std::invalid_argument(std::string("bad ") + what + ": '" + value +
-                                "'");
+  for (const std::string& arg : args) {
+    if (arg.starts_with("--clients=")) {
+      config.cohort_clients = parse_count(arg.substr(10), "--clients");
+      have_clients = true;
+    } else if (arg.starts_with("--days=")) {
+      config.cohort_horizon_days =
+          parse_positive_double(arg.substr(7), "--days");
+      have_days = true;
+    } else if (arg.starts_with("--shards=")) {
+      // parse_count: zero and negative shard counts are usage errors.
+      config.shards = static_cast<std::uint32_t>(
+          std::min<std::size_t>(parse_count(arg.substr(9), "--shards"),
+                                0xffffffffu));
+    } else if (arg.starts_with("--threads=")) {
+      config.threads =
+          static_cast<int>(parse_u64(arg.substr(10), "--threads"));
+    } else if (arg.starts_with("--seed=")) {
+      config.collection.population.seed = parse_u64(arg.substr(7), "--seed");
+    } else if (arg.starts_with("--batch=")) {
+      config.batch_size = static_cast<std::uint32_t>(
+          std::min<std::size_t>(parse_count(arg.substr(8), "--batch"),
+                                0xffffffffu));
+    } else if (arg.starts_with("--mean-contact-days=")) {
+      config.collection.client.mean_contact_interval_days =
+          parse_positive_double(arg.substr(20), "--mean-contact-days");
+    } else if (arg == "--availability") {
+      config.collection.client.model_availability = true;
+    } else if (arg.starts_with("--fault-mix=")) {
+      config.collection.fault_mix = parse_fault_mix(arg.substr(12));
+    } else if (arg.starts_with("--replication=")) {
+      parse_replication(arg.substr(14), config.replication);
+    } else if (arg.starts_with("--deadline-days=")) {
+      deadline_days =
+          parse_positive_double(arg.substr(16), "--deadline-days");
+    } else {
+      err << "serve: unknown argument: '" << arg << "'\n";
+      return kUsage;
+    }
   }
-  return std::stoull(value);
+  if (!have_clients || !have_days) {
+    err << "serve: expected --clients=N --days=D [--shards=S] [--threads=T]"
+           " [--seed=N] [--batch=N] [--mean-contact-days=D]"
+           " [--availability] [--fault-mix=...] [--replication=k/n]"
+           " [--deadline-days=D]\n";
+    return kUsage;
+  }
+  if (deadline_days > 0.0) {
+    if (!config.replication.enabled) {
+      err << "serve: --deadline-days needs --replication=k/n\n";
+      return kUsage;
+    }
+    config.replication.deadline_days = deadline_days;
+  }
+  // Surface config errors as usage problems before any work happens.
+  try {
+    config.validate();
+    config.collection.fault_mix.validate();
+    config.collection.client.validate();
+  } catch (const std::invalid_argument& e) {
+    err << "serve: " << e.what() << '\n';
+    return kUsage;
+  }
+
+  const engine::EngineResult result = engine::run_service_engine(config);
+
+  // Everything except the final "timing:" line is deterministic for a
+  // fixed config — CI diffs runs after stripping that one line.
+  out << "serve: " << result.hosts_created << " clients, "
+      << util::Table::num(config.cohort_horizon_days, 1) << " virtual days, "
+      << config.shards << " shard(s)\n";
+  out << "contacts: " << result.total_contacts << '\n';
+  out << "units: granted=" << result.total_units_granted
+      << " reported=" << result.total_units_reported
+      << " invalid=" << result.total_invalid_result_units
+      << " lost=" << result.total_units_lost
+      << " expired=" << result.total_units_expired
+      << " in_flight=" << result.units_in_flight
+      << " unaccounted=" << result.units_unaccounted() << '\n';
+  out << "credit: " << util::Table::num(result.total_credit_granted, 1)
+      << '\n';
+  if (config.replication.enabled) {
+    const engine::QuorumOutcome& q = result.quorum;
+    out << "quorum tasks: issued=" << q.tasks_issued
+        << " validated=" << q.tasks_validated
+        << " invalid=" << q.tasks_invalid
+        << " missed=" << q.tasks_missed_deadline
+        << " pending=" << q.tasks_pending << '\n';
+    out << "quorum replicas: issued=" << q.replicas_issued
+        << " correct=" << q.replicas_correct
+        << " corrupt=" << q.replicas_corrupt
+        << " crashed=" << q.replicas_crashed
+        << " missed=" << q.replicas_missed_deadline
+        << " duplicate=" << q.replicas_duplicate_host
+        << " in_flight=" << q.replicas_in_flight << '\n';
+    if (!q.conserves_tasks() || !q.conserves_replicas()) {
+      err << "serve: quorum accounting does not balance\n";
+      return kFailure;
+    }
+  }
+  if (!result.conserves_units()) {
+    err << "serve: unit accounting does not balance\n";
+    return kFailure;
+  }
+  // Batch count rides with timing: it depends on the shard split, not on
+  // the simulated outcome, so it stays out of the deterministic block.
+  out << "timing: " << util::Table::num(result.wall_seconds, 3) << " s, "
+      << util::Table::num(result.requests_per_second, 0) << " requests/s, "
+      << result.batches_drained << " batch(es)\n";
+  return kOk;
 }
+
+namespace {
 
 std::string hex32(std::uint32_t v) {
   char buf[16];
@@ -913,7 +1047,9 @@ int cmd_pack(const std::vector<std::string>& args, std::ostream& out,
     if (arg == "--generate") {
       generate = true;
     } else if (arg.starts_with("--shard=")) {
-      shard = parse_u64(arg.substr(8), "--shard");
+      // parse_count (not parse_u64): --shard=0 used to silently mean
+      // "auto"; an explicit zero or negative row count is now rejected.
+      shard = parse_count(arg.substr(8), "--shard");
     } else if (arg.starts_with("--seed=")) {
       seed = parse_u64(arg.substr(7), "--seed");
     } else if (arg.starts_with("--")) {
@@ -1153,6 +1289,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "predict") return cmd_predict(rest, out, err);
     if (command == "validate") return cmd_validate(rest, out, err);
     if (command == "sweep") return cmd_sweep(rest, out, err);
+    if (command == "serve") return cmd_serve(rest, out, err);
     if (command == "backends") return cmd_backends(rest, out, err);
     if (command == "pack") return cmd_pack(rest, out, err);
     if (command == "unpack") return cmd_unpack(rest, out, err);

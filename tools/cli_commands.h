@@ -11,6 +11,10 @@
 //   predict <model.txt> <year>             predicted composition
 //   validate <model.txt> <trace.csv> <date>     generated-vs-actual check
 //   sweep <model.txt> <date> <hosts> [tasks]    parallel policy sweep
+//   serve --clients=N --days=D [...]       sharded virtual-time service
+//                                          engine over an N-client cohort
+//                                          (src/engine/); deterministic
+//                                          counters + one timing line
 //   backends                               CPU SIMD features + dispatch
 //   pack <in.csv> <out.snap>               CSV -> columnar snapshot
 //   pack --generate <model.txt> <date> <n> <out.snap>   synthesize direct
@@ -65,6 +69,8 @@ int cmd_predict(const std::vector<std::string>& args, std::ostream& out,
 int cmd_validate(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err);
 int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
 int cmd_backends(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err);
