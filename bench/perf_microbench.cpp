@@ -3,8 +3,12 @@
 // the Cholesky step is cheap enough to be the default.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "backend/backend.h"
 #include "churn/churn_scheduler.h"
+#include "engine/checkpoint.h"
 #include "churn/interval_timeline.h"
 #include "core/fit_pipeline.h"
 #include "core/host_generator.h"
@@ -422,6 +426,135 @@ void BM_EngineServe(benchmark::State& state) {
 BENCHMARK(BM_EngineServe)
     ->Args({100000, 7, 1})->Args({100000, 7, 8})->Args({1000000, 7, 8})
     ->Unit(benchmark::kMillisecond);
+
+// The BM_EngineServe cohort with checkpointing riding the day barriers
+// (epoch every 2 virtual days): the serve-throughput price of crash
+// safety, read against BM_EngineServe/100000/7/8 in the same run.
+// Separate name on purpose — adding args to BM_EngineServe would change
+// its recorded-baseline names and break compare_bench.py matching.
+void BM_EngineServeCheckpointed(benchmark::State& state) {
+  engine::EngineConfig config;
+  config.cohort_clients = static_cast<std::uint64_t>(state.range(0));
+  config.cohort_horizon_days = static_cast<double>(state.range(1));
+  config.shards = static_cast<std::uint32_t>(state.range(2));
+  config.threads = 0;
+  config.collection.population.seed = 424242;
+  config.collection.client.mean_contact_interval_days = 1.0;
+  config.collection.client.model_availability = true;
+  config.collection.fault_mix.crash_fraction = 0.06;
+  config.collection.fault_mix.straggler_fraction = 0.04;
+  config.collection.fault_mix.corrupter_fraction = 0.04;
+  config.checkpoint_path = "/tmp/resmodel_bench_serve_ck.snap";
+  config.checkpoint_every_days = 2;
+  engine::EngineResult result;
+  for (auto _ : state) {
+    result = engine::run_service_engine(config);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["engine_requests"] =
+      static_cast<double>(result.total_contacts);
+  state.counters["engine_units_unaccounted"] =
+      static_cast<double>(result.units_unaccounted());
+  state.counters["checkpoint_epochs"] =
+      static_cast<double>(result.checkpoints_written);
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(result.total_contacts));
+  std::remove(config.checkpoint_path.c_str());
+}
+BENCHMARK(BM_EngineServeCheckpointed)
+    ->Args({100000, 7, 8})->Unit(benchmark::kMillisecond);
+
+/// Publishes a mid-run (day 3 of 7) checkpoint of the BM_EngineServe
+/// cohort and returns its path — shared setup for the checkpoint-write
+/// and resume benchmarks below.
+std::string engine_bench_checkpoint(std::int64_t clients,
+                                    engine::EngineConfig* out_config) {
+  engine::EngineConfig config;
+  config.cohort_clients = static_cast<std::uint64_t>(clients);
+  config.cohort_horizon_days = 7.0;
+  config.shards = 8;
+  config.threads = 0;
+  config.collection.population.seed = 424242;
+  config.collection.client.mean_contact_interval_days = 1.0;
+  config.collection.client.model_availability = true;
+  config.collection.fault_mix.crash_fraction = 0.06;
+  config.collection.fault_mix.straggler_fraction = 0.04;
+  config.collection.fault_mix.corrupter_fraction = 0.04;
+  if (out_config) *out_config = config;
+  engine::EngineConfig killed = config;
+  killed.checkpoint_path =
+      "/tmp/resmodel_bench_engine_ck_" + std::to_string(clients) + ".snap";
+  killed.checkpoint_every_days = 4;
+  killed.stop_after_day = 3;
+  engine::run_service_engine(killed);
+  return killed.checkpoint_path;
+}
+
+// Serialization + atomic publish of the complete 100k-client engine
+// state (MB/s is the headline: bytes = the published snapshot's size).
+void BM_EngineCheckpoint(benchmark::State& state) {
+  const std::string path =
+      engine_bench_checkpoint(state.range(0), nullptr);
+  engine::CheckpointState ck = engine::load_checkpoint(path);
+  const std::string out = path + ".rewrite";
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    engine::write_checkpoint(out, ck.meta, ck.shards, ck.coordinator.get());
+    benchmark::DoNotOptimize(out);
+  }
+  {
+    std::ifstream in(out, std::ios::binary | std::ios::ate);
+    bytes = static_cast<std::uint64_t>(in.tellg());
+  }
+  state.counters["checkpoint_bytes"] = static_cast<double>(bytes);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+  std::remove(out.c_str());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_EngineCheckpoint)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+// Resume latency: reconstruct the full run from the mid-run checkpoint
+// and drain the remaining virtual days. engine_resume_divergence is the
+// summed absolute distance between the resumed run's final counters and
+// an uninterrupted run's — recorded at 0 and pinned there by the CI
+// zero-baseline counter gate (bit-identity as a benchmark counter).
+void BM_EngineResume(benchmark::State& state) {
+  engine::EngineConfig uninterrupted;
+  const std::string path =
+      engine_bench_checkpoint(state.range(0), &uninterrupted);
+  const engine::EngineResult reference =
+      engine::run_service_engine(uninterrupted);
+  engine::EngineConfig resume;
+  resume.resume_path = path;
+  resume.threads = 0;
+  engine::EngineResult result;
+  for (auto _ : state) {
+    result = engine::run_service_engine(resume);
+    benchmark::DoNotOptimize(result);
+  }
+  const auto dist = [](std::uint64_t a, std::uint64_t b) {
+    return static_cast<double>(a > b ? a - b : b - a);
+  };
+  const double divergence =
+      dist(result.total_contacts, reference.total_contacts) +
+      dist(result.total_units_granted, reference.total_units_granted) +
+      dist(result.total_units_reported, reference.total_units_reported) +
+      dist(result.total_units_lost, reference.total_units_lost) +
+      dist(result.total_units_expired, reference.total_units_expired) +
+      dist(result.total_invalid_result_units,
+           reference.total_invalid_result_units) +
+      dist(result.units_in_flight, reference.units_in_flight) +
+      (result.total_credit_granted == reference.total_credit_granted ? 0.0
+                                                                     : 1.0);
+  state.counters["engine_resume_divergence"] = divergence;
+  state.counters["engine_requests"] =
+      static_cast<double>(result.total_contacts);
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(result.total_contacts));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_EngineResume)->Arg(100000)->Unit(benchmark::kMillisecond);
 
 // kDynamicPull: the flat 4-ary heap vs the std::priority_queue oracle,
 // benchmarked at the kernel level on a prebuilt ScheduleState and task

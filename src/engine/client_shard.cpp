@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "boinc/messages.h"
+#include "engine/state_codec.h"
 #include "stats/distributions.h"
 
 namespace resmodel::engine {
@@ -107,6 +108,253 @@ ClientShard::ClientShard(const ShardParams& params,
     births.push_back({next_contact_[i], i});
   }
   heap_.build(std::move(births));
+}
+
+void ClientShard::serialize_state(std::vector<std::byte>& out) const {
+  if (!day_records_.empty()) {
+    throw std::logic_error(
+        "ClientShard: serialize_state with untaken day records — "
+        "checkpoints must land on a day barrier after take_day_records()");
+  }
+  const std::uint64_t n = size();
+  StateWriter w(out);
+  w.put_u32(global_base_);
+  w.put_u64(n);
+
+  w.put_vector(id_);
+  w.put_vector(created_day_);
+  w.put_vector(death_day_);
+  w.put_vector(n_cores_);
+  w.put_vector(memory_mb_);
+  w.put_vector(spec_dhrystone_);
+  w.put_vector(spec_whetstone_);
+  w.put_vector(disk_total_);
+  w.put_vector(cpu_);
+  w.put_vector(os_);
+  w.put_vector(gpu_);
+  w.put_vector(gpu_memory_mb_);
+  w.put_vector(fault_);
+  w.put_vector(slowdown_);
+
+  // Rng streams: six words per client (util::Rng::State), flattened.
+  // A raw memcpy of the Rng objects would drag padding bytes along;
+  // the explicit State keeps the layout a documented format.
+  std::vector<std::uint64_t> rng_words;
+  rng_words.reserve(n * 6);
+  for (const util::Rng& rng : rng_) {
+    const util::Rng::State st = rng.save();
+    rng_words.push_back(st.s[0]);
+    rng_words.push_back(st.s[1]);
+    rng_words.push_back(st.s[2]);
+    rng_words.push_back(st.s[3]);
+    rng_words.push_back(st.cached_normal_bits);
+    rng_words.push_back(st.has_cached_normal);
+  }
+  w.put_vector(rng_words);
+
+  w.put_vector(next_contact_);
+  w.put_vector(last_done_);
+  w.put_vector(on_end_);
+  w.put_vector(disk_cur_);
+  w.put_vector(session_dhrystone_);
+  w.put_vector(session_whetstone_);
+  w.put_vector(client_queued_);
+  w.put_vector(session_died_);
+
+  w.put_vector(contacted_);
+  w.put_vector(rec_first_day_);
+  w.put_vector(rec_last_day_);
+  w.put_vector(meas_dhrystone_);
+  w.put_vector(meas_whetstone_);
+  w.put_vector(meas_disk_);
+  w.put_vector(server_queued_);
+  w.put_vector(credit_);
+
+  // Grant FIFOs, live entries only, columnar: per-client counts then the
+  // concatenated (expiry, units) streams. Head-cursor compaction state is
+  // deliberately NOT captured — it never affects what the FIFO yields.
+  std::vector<std::uint32_t> grant_counts;
+  std::vector<double> grant_expiry;
+  std::vector<std::uint32_t> grant_units;
+  grant_counts.reserve(n);
+  for (const GrantFifo& fifo : grants_) {
+    grant_counts.push_back(
+        static_cast<std::uint32_t>(fifo.entries.size() - fifo.head));
+    for (std::size_t e = fifo.head; e < fifo.entries.size(); ++e) {
+      grant_expiry.push_back(fifo.entries[e].first);
+      grant_units.push_back(fifo.entries[e].second);
+    }
+  }
+  w.put_vector(grant_counts);
+  w.put_vector(grant_expiry);
+  w.put_vector(grant_units);
+
+  w.put_vector(n_contacts_);
+  w.put_vector(n_granted_);
+  w.put_vector(n_reported_);
+  w.put_vector(n_invalid_);
+  w.put_vector(n_lost_);
+  w.put_vector(n_expired_);
+  w.put_vector(record_seq_);
+
+  // Heap membership, one bit per client. Every live event's day equals
+  // its client's next_contact_, and pop order is a total order over the
+  // contents, so build() from the flagged clients reproduces the exact
+  // drain sequence.
+  std::vector<std::uint8_t> in_heap(n, 0);
+  for (const Event& ev : heap_.events()) in_heap[ev.client] = 1;
+  w.put_vector(in_heap);
+
+  w.put_f64(prev_event_.day);
+  w.put_u32(prev_event_.client);
+  w.put_u8(have_prev_event_ ? 1 : 0);
+
+  w.put_u64(totals_.contacts);
+  w.put_u64(totals_.units_granted);
+  w.put_u64(totals_.units_reported);
+  w.put_u64(totals_.units_invalid);
+  w.put_u64(totals_.units_lost);
+  w.put_u64(totals_.units_expired);
+  w.put_f64(totals_.credit_granted);
+  w.put_u64(totals_.batches_drained);
+}
+
+ClientShard::ClientShard(const ShardParams& params,
+                         std::span<const std::byte> state)
+    : params_(params) {
+  params_.client.validate();
+  if (params_.client.model_availability) {
+    params_.client.availability.validate();
+  }
+
+  StateReader r(state);
+  global_base_ = r.get_u32();
+  const std::uint64_t n = r.get_u64();
+  if (n > 0xffffffffULL) {
+    throw std::runtime_error("ClientShard state blob: shard exceeds 2^32");
+  }
+  const auto exact = [n]<typename T>(std::vector<T> v, const char* what) {
+    if (v.size() != n) {
+      throw std::runtime_error(std::string("ClientShard state blob: '") +
+                               what + "' has " + std::to_string(v.size()) +
+                               " rows, expected " + std::to_string(n));
+    }
+    return v;
+  };
+
+  id_ = exact(r.get_vector<std::uint64_t>(n), "id");
+  created_day_ = exact(r.get_vector<std::int32_t>(n), "created_day");
+  death_day_ = exact(r.get_vector<double>(n), "death_day");
+  n_cores_ = exact(r.get_vector<std::int32_t>(n), "n_cores");
+  memory_mb_ = exact(r.get_vector<double>(n), "memory_mb");
+  spec_dhrystone_ = exact(r.get_vector<double>(n), "spec_dhrystone");
+  spec_whetstone_ = exact(r.get_vector<double>(n), "spec_whetstone");
+  disk_total_ = exact(r.get_vector<double>(n), "disk_total");
+  cpu_ = exact(r.get_vector<trace::CpuFamily>(n), "cpu");
+  os_ = exact(r.get_vector<trace::OsFamily>(n), "os");
+  gpu_ = exact(r.get_vector<trace::GpuType>(n), "gpu");
+  gpu_memory_mb_ = exact(r.get_vector<double>(n), "gpu_memory_mb");
+  fault_ = exact(r.get_vector<sim::FaultType>(n), "fault");
+  slowdown_ = exact(r.get_vector<double>(n), "slowdown");
+
+  const std::vector<std::uint64_t> rng_words =
+      r.get_vector<std::uint64_t>(n * 6);
+  if (rng_words.size() != n * 6) {
+    throw std::runtime_error("ClientShard state blob: rng column has " +
+                             std::to_string(rng_words.size()) +
+                             " words, expected " + std::to_string(n * 6));
+  }
+  rng_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    util::Rng::State st;
+    st.s = {rng_words[i * 6 + 0], rng_words[i * 6 + 1], rng_words[i * 6 + 2],
+            rng_words[i * 6 + 3]};
+    st.cached_normal_bits = rng_words[i * 6 + 4];
+    st.has_cached_normal = rng_words[i * 6 + 5];
+    util::Rng rng;
+    rng.restore(st);
+    rng_.push_back(rng);
+  }
+
+  next_contact_ = exact(r.get_vector<double>(n), "next_contact");
+  last_done_ = exact(r.get_vector<double>(n), "last_done");
+  on_end_ = exact(r.get_vector<double>(n), "on_end");
+  disk_cur_ = exact(r.get_vector<double>(n), "disk_cur");
+  session_dhrystone_ = exact(r.get_vector<double>(n), "session_dhrystone");
+  session_whetstone_ = exact(r.get_vector<double>(n), "session_whetstone");
+  client_queued_ = exact(r.get_vector<std::uint32_t>(n), "client_queued");
+  session_died_ = exact(r.get_vector<std::uint8_t>(n), "session_died");
+
+  contacted_ = exact(r.get_vector<std::uint8_t>(n), "contacted");
+  rec_first_day_ = exact(r.get_vector<std::int32_t>(n), "rec_first_day");
+  rec_last_day_ = exact(r.get_vector<std::int32_t>(n), "rec_last_day");
+  meas_dhrystone_ = exact(r.get_vector<double>(n), "meas_dhrystone");
+  meas_whetstone_ = exact(r.get_vector<double>(n), "meas_whetstone");
+  meas_disk_ = exact(r.get_vector<double>(n), "meas_disk");
+  server_queued_ = exact(r.get_vector<std::uint32_t>(n), "server_queued");
+  credit_ = exact(r.get_vector<double>(n), "credit");
+
+  const std::vector<std::uint32_t> grant_counts =
+      exact(r.get_vector<std::uint32_t>(n), "grant_counts");
+  std::uint64_t total_grants = 0;
+  for (const std::uint32_t c : grant_counts) total_grants += c;
+  const std::vector<double> grant_expiry =
+      r.get_vector<double>(total_grants);
+  const std::vector<std::uint32_t> grant_units =
+      r.get_vector<std::uint32_t>(total_grants);
+  if (grant_expiry.size() != total_grants ||
+      grant_units.size() != total_grants) {
+    throw std::runtime_error(
+        "ClientShard state blob: grant streams disagree with counts");
+  }
+  grants_.resize(n);
+  std::uint64_t cursor = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    GrantFifo& fifo = grants_[i];
+    fifo.entries.reserve(grant_counts[i]);
+    for (std::uint32_t e = 0; e < grant_counts[i]; ++e, ++cursor) {
+      fifo.entries.emplace_back(grant_expiry[cursor], grant_units[cursor]);
+    }
+  }
+
+  n_contacts_ = exact(r.get_vector<std::uint32_t>(n), "n_contacts");
+  n_granted_ = exact(r.get_vector<std::uint32_t>(n), "n_granted");
+  n_reported_ = exact(r.get_vector<std::uint32_t>(n), "n_reported");
+  n_invalid_ = exact(r.get_vector<std::uint32_t>(n), "n_invalid");
+  n_lost_ = exact(r.get_vector<std::uint32_t>(n), "n_lost");
+  n_expired_ = exact(r.get_vector<std::uint32_t>(n), "n_expired");
+  record_seq_ = r.get_vector<std::uint32_t>(n);
+  if (params_.emit_day_records && record_seq_.size() != n) {
+    throw std::runtime_error(
+        "ClientShard state blob: record_seq missing for a quorum run");
+  }
+
+  const std::vector<std::uint8_t> in_heap =
+      exact(r.get_vector<std::uint8_t>(n), "in_heap");
+  std::vector<Event> live;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (in_heap[i]) live.push_back({next_contact_[i], i});
+  }
+  heap_.build(std::move(live));
+
+  prev_event_.day = r.get_f64();
+  prev_event_.client = r.get_u32();
+  have_prev_event_ = r.get_u8() != 0;
+
+  totals_.contacts = r.get_u64();
+  totals_.units_granted = r.get_u64();
+  totals_.units_reported = r.get_u64();
+  totals_.units_invalid = r.get_u64();
+  totals_.units_lost = r.get_u64();
+  totals_.units_expired = r.get_u64();
+  totals_.credit_granted = r.get_f64();
+  totals_.batches_drained = r.get_u64();
+  r.expect_end();
+
+  // The blob predates any damage the store could detect, but a cheap
+  // consistency recount catches format drift before a drain would
+  // silently diverge.
+  check_conservation();
 }
 
 void ClientShard::draw_session_benchmarks(std::uint32_t i) {

@@ -18,6 +18,7 @@
 //    units_granted == reported + invalid + lost + expired + queued.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -82,6 +83,22 @@ class ClientShard {
   ClientShard(const ShardParams& params,
               std::span<const boinc::ArrivedClient> clients,
               std::uint32_t global_base);
+
+  /// Reconstructs a shard from a serialize_state() blob (engine
+  /// checkpoint resume). No construction draws are replayed — every
+  /// column, rng stream, heap membership bit and counter is restored
+  /// verbatim, so the rebuilt shard drains bit-identically to the one
+  /// that was serialized. Throws std::runtime_error on a structurally
+  /// inconsistent blob (the checkpoint loader wraps it into a typed
+  /// StoreError).
+  ClientShard(const ShardParams& params, std::span<const std::byte> state);
+
+  /// Appends the shard's complete resumable state to `out` (see
+  /// src/engine/README.md for the checkpoint protocol). Only legal at a
+  /// day barrier with no untaken day records (std::logic_error
+  /// otherwise — a checkpoint between take_day_records() calls would
+  /// drop quorum records on resume).
+  void serialize_state(std::vector<std::byte>& out) const;
 
   std::size_t size() const noexcept { return id_.size(); }
   bool drained() const noexcept { return heap_.empty(); }

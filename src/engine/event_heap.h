@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -42,6 +43,13 @@ class EventHeap {
 
   /// The next event to fire. Call only while !empty().
   const Event& min() const noexcept { return events_.front(); }
+
+  /// The live events in heap (NOT fire) order. The pop sequence is a
+  /// total order over the contents, so a heap rebuilt via build() from
+  /// these events — in any order — drains identically; this is what lets
+  /// a checkpoint store one membership bit per client instead of the
+  /// heap's internal layout.
+  std::span<const Event> events() const noexcept { return events_; }
 
   void push(Event e) {
     events_.push_back(e);

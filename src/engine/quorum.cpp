@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "engine/state_codec.h"
 
 namespace resmodel::engine {
 
@@ -9,6 +12,111 @@ QuorumCoordinator::QuorumCoordinator(const sim::ReplicationConfig& config,
                                      std::size_t clients)
     : config_(config), fifos_(clients) {
   config_.validate();
+}
+
+QuorumCoordinator::QuorumCoordinator(const sim::ReplicationConfig& config,
+                                     std::size_t clients,
+                                     std::span<const std::byte> state)
+    : config_(config) {
+  config_.validate();
+
+  StateReader r(state);
+  const std::uint64_t tasks = r.get_u64();
+  const auto exact = [&]<typename T>(std::uint64_t n, const char* what) {
+    std::vector<T> v = r.get_vector<T>(n);
+    if (v.size() != n) {
+      throw std::runtime_error(std::string("QuorumCoordinator state blob: '") +
+                               what + "' has " + std::to_string(v.size()) +
+                               " rows, expected " + std::to_string(n));
+    }
+    return v;
+  };
+  assigned_ = exact.template operator()<std::uint8_t>(tasks, "assigned");
+  accounted_ = exact.template operator()<std::uint8_t>(tasks, "accounted");
+  returned_ = exact.template operator()<std::uint8_t>(tasks, "returned");
+  correct_count_ =
+      exact.template operator()<std::uint8_t>(tasks, "correct_count");
+  state_ = exact.template operator()<TaskState>(tasks, "state");
+  correct_hosts_ = exact.template operator()<std::uint32_t>(
+      tasks * config_.replicas, "correct_hosts");
+
+  const std::uint64_t n_clients = r.get_u64();
+  if (n_clients != clients) {
+    throw std::runtime_error("QuorumCoordinator state blob: " +
+                             std::to_string(n_clients) +
+                             " clients, run header says " +
+                             std::to_string(clients));
+  }
+  const std::vector<std::uint32_t> fifo_counts =
+      exact.template operator()<std::uint32_t>(n_clients, "fifo_counts");
+  std::uint64_t total_units = 0;
+  for (const std::uint32_t c : fifo_counts) total_units += c;
+  const std::vector<std::uint32_t> fifo_tasks =
+      exact.template operator()<std::uint32_t>(total_units, "fifo_tasks");
+  fifos_.resize(clients);
+  std::uint64_t cursor = 0;
+  for (std::uint64_t i = 0; i < n_clients; ++i) {
+    UnitFifo& fifo = fifos_[i];
+    fifo.tasks.assign(fifo_tasks.begin() + static_cast<std::ptrdiff_t>(cursor),
+                      fifo_tasks.begin() +
+                          static_cast<std::ptrdiff_t>(cursor + fifo_counts[i]));
+    cursor += fifo_counts[i];
+  }
+
+  outcome_.tasks_issued = r.get_u64();
+  outcome_.tasks_validated = r.get_u64();
+  outcome_.tasks_invalid = r.get_u64();
+  outcome_.tasks_missed_deadline = r.get_u64();
+  outcome_.tasks_pending = r.get_u64();
+  outcome_.replicas_issued = r.get_u64();
+  outcome_.replicas_correct = r.get_u64();
+  outcome_.replicas_corrupt = r.get_u64();
+  outcome_.replicas_crashed = r.get_u64();
+  outcome_.replicas_missed_deadline = r.get_u64();
+  outcome_.replicas_duplicate_host = r.get_u64();
+  outcome_.replicas_in_flight = r.get_u64();
+  r.expect_end();
+}
+
+void QuorumCoordinator::serialize_state(std::vector<std::byte>& out) const {
+  StateWriter w(out);
+  w.put_u64(assigned_.size());
+  w.put_vector(assigned_);
+  w.put_vector(accounted_);
+  w.put_vector(returned_);
+  w.put_vector(correct_count_);
+  w.put_vector(state_);
+  w.put_vector(correct_hosts_);
+
+  // Unit FIFOs, live entries only, columnar — same shape as the server's
+  // grant FIFOs in ClientShard::serialize_state.
+  w.put_u64(fifos_.size());
+  std::vector<std::uint32_t> fifo_counts;
+  std::vector<std::uint32_t> fifo_tasks;
+  fifo_counts.reserve(fifos_.size());
+  for (const UnitFifo& fifo : fifos_) {
+    fifo_counts.push_back(
+        static_cast<std::uint32_t>(fifo.tasks.size() - fifo.head));
+    fifo_tasks.insert(fifo_tasks.end(),
+                      fifo.tasks.begin() +
+                          static_cast<std::ptrdiff_t>(fifo.head),
+                      fifo.tasks.end());
+  }
+  w.put_vector(fifo_counts);
+  w.put_vector(fifo_tasks);
+
+  w.put_u64(outcome_.tasks_issued);
+  w.put_u64(outcome_.tasks_validated);
+  w.put_u64(outcome_.tasks_invalid);
+  w.put_u64(outcome_.tasks_missed_deadline);
+  w.put_u64(outcome_.tasks_pending);
+  w.put_u64(outcome_.replicas_issued);
+  w.put_u64(outcome_.replicas_correct);
+  w.put_u64(outcome_.replicas_corrupt);
+  w.put_u64(outcome_.replicas_crashed);
+  w.put_u64(outcome_.replicas_missed_deadline);
+  w.put_u64(outcome_.replicas_duplicate_host);
+  w.put_u64(outcome_.replicas_in_flight);
 }
 
 std::uint32_t QuorumCoordinator::pop_unit(std::uint32_t client) {

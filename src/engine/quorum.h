@@ -28,7 +28,9 @@
 // the end of the window stay pending.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "sim/fault_model.h"
@@ -103,6 +105,17 @@ class QuorumCoordinator {
   /// Validates `config` (throws std::invalid_argument).
   QuorumCoordinator(const sim::ReplicationConfig& config,
                     std::size_t clients);
+
+  /// Reconstructs a coordinator from a serialize_state() blob (engine
+  /// checkpoint resume). Throws std::runtime_error on a structurally
+  /// inconsistent blob.
+  QuorumCoordinator(const sim::ReplicationConfig& config, std::size_t clients,
+                    std::span<const std::byte> state);
+
+  /// Appends the coordinator's complete in-flight round state — task
+  /// columns, per-client unit FIFOs, outcome counters — to `out`. Legal
+  /// at any day barrier (apply_day leaves no intra-day state behind).
+  void serialize_state(std::vector<std::byte>& out) const;
 
   /// Merges and replays one day's records from every shard (any order;
   /// replay sorts by (client, seq)). `records` is consumed.

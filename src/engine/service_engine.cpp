@@ -6,10 +6,14 @@
 #include <cmath>
 #include <exception>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "core/host_generator.h"
+#include "engine/checkpoint.h"
 #include "synth/population.h"
 
 namespace resmodel::engine {
@@ -120,77 +124,165 @@ void EngineConfig::validate() const {
         "EngineConfig: cohort mode needs cohort_horizon_days > 0");
   }
   if (replication.enabled) replication.validate();
+  if (checkpoint_every_days == 0) {
+    throw std::invalid_argument(
+        "EngineConfig: checkpoint_every_days must be >= 1");
+  }
+  if (checkpoint_fault.kind != store::FaultPlan::Kind::kNone &&
+      checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "EngineConfig: checkpoint_fault needs a checkpoint_path");
+  }
+  if (checkpoint_fault.kind != store::FaultPlan::Kind::kNone &&
+      checkpoint_fault_epoch == 0) {
+    throw std::invalid_argument(
+        "EngineConfig: checkpoint_fault_epoch is 1-based");
+  }
 }
 
 EngineResult run_service_engine(const EngineConfig& config) {
   config.validate();
 
-  const bool cohort = config.cohort_clients > 0;
-  const std::vector<boinc::ArrivedClient> population =
-      cohort ? build_cohort(config)
-             : boinc::build_arrivals(config.collection);
-  const double limit_day =
-      cohort ? config.cohort_horizon_days
-             : static_cast<double>(
-                   config.collection.population.sim_end.day_index());
-  const std::int32_t first_day =
-      cohort ? 0 : config.collection.population.sim_start.day_index();
-
-  ShardParams params;
-  params.client = config.collection.client;
-  params.server = config.collection.server;
-  params.limit_day = limit_day;
-  params.batch_size = config.batch_size;
-  params.emit_day_records = config.replication.enabled;
-  if (config.replication.enabled && config.replication.has_deadline()) {
-    params.server.report_deadline_days = config.replication.deadline_days;
-  }
-
-  const std::size_t n = population.size();
-  const std::size_t n_shards =
-      std::min<std::size_t>(config.shards, std::max<std::size_t>(n, 1));
-  std::vector<ClientShard> shards;
-  shards.reserve(n_shards);
-  const std::span<const boinc::ArrivedClient> all(population);
-  for (std::size_t s = 0; s < n_shards; ++s) {
-    const std::size_t begin = s * n / n_shards;
-    const std::size_t end = (s + 1) * n / n_shards;
-    shards.emplace_back(params, all.subspan(begin, end - begin),
-                        static_cast<std::uint32_t>(begin));
-  }
-
   EngineResult result;
+  const bool resuming = !config.resume_path.empty();
+  const bool checkpointing = !config.checkpoint_path.empty();
+
+  // Shared run state, built fresh or restored from the checkpoint.
+  CheckpointMeta meta;
+  std::vector<ClientShard> shards;
+  std::unique_ptr<QuorumCoordinator> coordinator;
+
+  if (resuming) {
+    // The checkpoint's run header carries the whole behavioural config;
+    // population-shape fields of `config` are ignored by contract (the
+    // CLI rejects the conflicting flags outright).
+    CheckpointState state = load_checkpoint(config.resume_path);
+    meta = state.meta;
+    shards = std::move(state.shards);
+    coordinator = std::move(state.coordinator);
+    result.resumed_from_day = meta.resume_day;
+  } else {
+    const bool cohort = config.cohort_clients > 0;
+    const std::vector<boinc::ArrivedClient> population =
+        cohort ? build_cohort(config)
+               : boinc::build_arrivals(config.collection);
+    const double limit_day =
+        cohort ? config.cohort_horizon_days
+               : static_cast<double>(
+                     config.collection.population.sim_end.day_index());
+
+    meta.params.client = config.collection.client;
+    meta.params.server = config.collection.server;
+    meta.params.limit_day = limit_day;
+    meta.params.batch_size = config.batch_size;
+    meta.params.emit_day_records = config.replication.enabled;
+    if (config.replication.enabled && config.replication.has_deadline()) {
+      meta.params.server.report_deadline_days =
+          config.replication.deadline_days;
+    }
+    meta.replication = config.replication;
+    meta.first_day =
+        cohort ? 0 : config.collection.population.sim_start.day_index();
+    meta.resume_day = meta.first_day;
+    meta.clients_total = population.size();
+    meta.display_shards = config.shards;
+    meta.cohort_clients = config.cohort_clients;
+    meta.cohort_horizon_days = config.cohort_horizon_days;
+    meta.seed = config.collection.population.seed;
+
+    const std::size_t n = population.size();
+    const std::size_t n_shards =
+        std::min<std::size_t>(config.shards, std::max<std::size_t>(n, 1));
+    meta.n_shards = static_cast<std::uint32_t>(n_shards);
+    shards.reserve(n_shards);
+    const std::span<const boinc::ArrivedClient> all(population);
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      const std::size_t begin = s * n / n_shards;
+      const std::size_t end = (s + 1) * n / n_shards;
+      shards.emplace_back(meta.params, all.subspan(begin, end - begin),
+                          static_cast<std::uint32_t>(begin));
+    }
+    if (config.replication.enabled) {
+      coordinator =
+          std::make_unique<QuorumCoordinator>(config.replication, n);
+    }
+  }
+
+  const std::size_t n = meta.clients_total;
   result.hosts_created = n;
 
+  // The day-stepped loop is bit-identical to the barrier-free fast path
+  // (only the batch flush cadence differs, and batches_drained is
+  // outside the determinism contract); the fast path is kept for runs
+  // that need none of the barrier features.
+  const bool day_stepped = meta.replication.enabled || checkpointing ||
+                           config.stop_after_day >= 0;
+
   const auto t0 = std::chrono::steady_clock::now();
-  if (!config.replication.enabled) {
+  if (!day_stepped) {
     // Fast path: no cross-shard coupling, each shard drains its whole
     // horizon independently.
     parallel_for(shards.size(), config.threads, [&](std::size_t s) {
       shards[s].drain(std::numeric_limits<double>::infinity());
     });
   } else {
-    // Day barriers: drain one virtual day everywhere, then replay the
-    // merged day records through the quorum coordinator.
-    QuorumCoordinator coordinator(config.replication, n);
     const std::int32_t last_day =
-        static_cast<std::int32_t>(std::floor(limit_day));
-    for (std::int32_t day = first_day; day <= last_day; ++day) {
+        static_cast<std::int32_t>(std::floor(meta.params.limit_day));
+    std::uint64_t epoch = 0;  // checkpoint writes attempted this process
+    for (std::int32_t day = meta.resume_day; day <= last_day; ++day) {
       parallel_for(shards.size(), config.threads, [&](std::size_t s) {
         shards[s].drain(static_cast<double>(day) + 1.0);
       });
-      std::vector<DayRecord> records;
-      for (ClientShard& shard : shards) {
-        std::vector<DayRecord> taken = shard.take_day_records();
-        records.insert(records.end(), taken.begin(), taken.end());
+      if (coordinator) {
+        // Day barrier: replay the merged day records through the quorum
+        // coordinator. Also what makes a checkpoint here consistent —
+        // the shards carry no pending records and the coordinator has
+        // absorbed everything up to `day`.
+        std::vector<DayRecord> records;
+        for (ClientShard& shard : shards) {
+          std::vector<DayRecord> taken = shard.take_day_records();
+          records.insert(records.end(), taken.begin(), taken.end());
+        }
+        if (!records.empty()) coordinator->apply_day(std::move(records));
       }
-      if (!records.empty()) coordinator.apply_day(std::move(records));
+      const bool stop_here =
+          config.stop_after_day >= 0 && day >= config.stop_after_day;
+      // Cadence counts from the run's first day, not the resume day, so
+      // an interrupted run and its resumed half publish checkpoints at
+      // the same virtual days.
+      const bool cadence_hit =
+          (day - meta.first_day + 1) %
+              static_cast<std::int32_t>(config.checkpoint_every_days) ==
+          0;
+      // A cadence checkpoint on the final day would be dead weight (the
+      // run finishes immediately after), but a stop-triggered one is
+      // always written — it is the state the "killed" run resumes from.
+      if (checkpointing && (stop_here || (cadence_hit && day < last_day))) {
+        ++epoch;
+        meta.resume_day = day + 1;
+        store::FileSystem* fs = nullptr;
+        std::optional<store::FaultyFileSystem> faulty;
+        if (config.checkpoint_fault.kind != store::FaultPlan::Kind::kNone &&
+            epoch == config.checkpoint_fault_epoch) {
+          faulty.emplace(store::FileSystem::real(), config.checkpoint_fault);
+          fs = &*faulty;
+        }
+        write_checkpoint(config.checkpoint_path, meta, shards,
+                         coordinator.get(), fs);
+        ++result.checkpoints_written;
+      }
+      if (stop_here) {
+        result.halted = true;
+        break;
+      }
     }
-    // Discard events scheduled past the window so every heap is empty.
-    parallel_for(shards.size(), config.threads, [&](std::size_t s) {
-      shards[s].drain(std::numeric_limits<double>::infinity());
-    });
-    result.quorum = coordinator.finish();
+    if (!result.halted) {
+      // Discard events scheduled past the window so every heap is empty.
+      parallel_for(shards.size(), config.threads, [&](std::size_t s) {
+        shards[s].drain(std::numeric_limits<double>::infinity());
+      });
+      if (coordinator) result.quorum = coordinator->finish();
+    }
   }
   const auto t1 = std::chrono::steady_clock::now();
 

@@ -22,15 +22,25 @@
 // coordinator replays every shard's day records at the barrier. The
 // replication deadline then overrides the server's report deadline, so
 // expiries land exactly when the quorum policy says replicas die.
+//
+// Checkpointing (engine/checkpoint.h) rides the same day barriers: with
+// a checkpoint path set the engine day-steps too, atomically publishing
+// the complete resumable state every checkpoint_every_days, and a
+// resume_path reconstructs the shards (and coordinator) from the
+// snapshot and continues the drain bit-identically to a run that was
+// never interrupted.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "boinc/simulation.h"
 #include "engine/client_shard.h"
 #include "engine/quorum.h"
 #include "sim/fault_model.h"
+#include "store/fault_injection.h"
 #include "trace/trace_store.h"
 
 namespace resmodel::engine {
@@ -61,8 +71,37 @@ struct EngineConfig {
   /// (O(clients) memory — meant for tests, not the 1M bench).
   bool record_per_client = false;
 
+  // --- Checkpoint/resume (engine/checkpoint.h). ---
+
+  /// Non-empty enables epoch snapshots: the complete engine state is
+  /// written here (atomically) every checkpoint_every_days virtual days,
+  /// at the day barrier. Forces the day-stepped drain.
+  std::string checkpoint_path;
+  std::uint32_t checkpoint_every_days = 1;
+
+  /// Non-empty resumes a run from a checkpoint instead of building a
+  /// population: cohort/arrival/replication config comes from the
+  /// checkpoint's run header (the corresponding fields here are
+  /// ignored). Throws StoreError if the checkpoint is damaged.
+  std::string resume_path;
+
+  /// >= 0: stop cleanly after this virtual day's barrier (a forced
+  /// checkpoint is written first when checkpoint_path is set) and return
+  /// with EngineResult::halted — the deterministic stand-in for a
+  /// mid-run kill in tests and the CI kill-and-resume leg.
+  std::int32_t stop_after_day = -1;
+
+  /// Fault injected into the checkpoint_fault_epoch'th checkpoint write
+  /// (1-based) via store::FaultyFileSystem — the write throws a typed
+  /// StoreError and the run dies, with the previously published
+  /// checkpoint guaranteed untouched. kNone = no injection.
+  store::FaultPlan checkpoint_fault;
+  std::uint64_t checkpoint_fault_epoch = 1;
+
   /// Throws std::invalid_argument on shards/batch_size of 0, a cohort
-  /// without a positive horizon, or an invalid replication config.
+  /// without a positive horizon, an invalid replication config,
+  /// checkpoint_every_days of 0, or a checkpoint fault without a
+  /// checkpoint path.
   void validate() const;
 };
 
@@ -86,6 +125,14 @@ struct EngineResult {
 
   /// Quorum overlay outcome; all-zero when replication is disabled.
   QuorumOutcome quorum;
+
+  /// Checkpoints published by this process (resume epochs excluded).
+  std::uint64_t checkpoints_written = 0;
+  /// True when the run stopped at EngineConfig::stop_after_day — the
+  /// counters above are the partial books of the simulated prefix.
+  bool halted = false;
+  /// First virtual day simulated after a resume; -1 for a fresh run.
+  std::int32_t resumed_from_day = -1;
 
   /// Wall time of the drain phase (population build excluded) and the
   /// scheduler-request throughput it implies.

@@ -1,0 +1,123 @@
+// Length-checked little-endian byte codec for engine checkpoint blobs.
+//
+// Every piece of engine state that goes into an engine_state.v1 snapshot
+// (run header, ClientShard columns, QuorumCoordinator columns) is framed
+// with this pair: StateWriter appends raw LE scalars and size-prefixed
+// trivially-copyable vectors to a byte buffer, StateReader walks them
+// back in the same order. Doubles travel as their IEEE-754 bit patterns
+// (a memcpy, not a decimal round trip), so a serialize → restore cycle
+// reproduces every value bit for bit — the foundation of the engine's
+// checkpoint/resume bit-identity contract.
+//
+// The store layer already CRC-checks each blob, so a structurally short
+// or oversized blob here means a format/version mismatch, not rot;
+// StateReader throws std::runtime_error with a description and the
+// checkpoint loader wraps it into a typed StoreError(kSchemaMismatch).
+//
+// Host requirements match the store's: little-endian, IEC 559 doubles
+// (the snapshot writer refuses big-endian hosts at write time).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace resmodel::engine {
+
+class StateWriter {
+ public:
+  explicit StateWriter(std::vector<std::byte>& out) : out_(out) {}
+
+  void put_u8(std::uint8_t v) { put_raw(&v, 1); }
+  void put_u32(std::uint32_t v) { put_raw(&v, sizeof v); }
+  void put_i32(std::int32_t v) { put_raw(&v, sizeof v); }
+  void put_u64(std::uint64_t v) { put_raw(&v, sizeof v); }
+  void put_f64(double v) { put_raw(&v, sizeof v); }
+
+  /// Size-prefixed vector of a trivially copyable scalar/enum type.
+  template <typename T>
+  void put_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put_u64(v.size());
+    if (!v.empty()) put_raw(v.data(), v.size() * sizeof(T));
+  }
+
+  void put_raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    out_.insert(out_.end(), p, p + n);
+  }
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+class StateReader {
+ public:
+  explicit StateReader(std::span<const std::byte> in) : in_(in) {}
+
+  std::uint8_t get_u8() { return get_scalar<std::uint8_t>("u8"); }
+  std::uint32_t get_u32() { return get_scalar<std::uint32_t>("u32"); }
+  std::int32_t get_i32() { return get_scalar<std::int32_t>("i32"); }
+  std::uint64_t get_u64() { return get_scalar<std::uint64_t>("u64"); }
+  double get_f64() { return get_scalar<double>("f64"); }
+
+  /// Reads a size-prefixed vector written by put_vector. `max_elems`
+  /// bounds the allocation so a mangled count cannot OOM the process.
+  template <typename T>
+  std::vector<T> get_vector(std::uint64_t max_elems) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t n = get_u64();
+    if (n > max_elems) {
+      throw std::runtime_error("engine state blob: vector of " +
+                               std::to_string(n) + " elements exceeds bound " +
+                               std::to_string(max_elems));
+    }
+    std::vector<T> v(static_cast<std::size_t>(n));
+    if (n > 0) get_raw(v.data(), v.size() * sizeof(T));
+    return v;
+  }
+
+  void get_raw(void* out, std::size_t n) {
+    if (in_.size() - pos_ < n) {
+      throw std::runtime_error("engine state blob truncated: need " +
+                               std::to_string(n) + " bytes at offset " +
+                               std::to_string(pos_) + " of " +
+                               std::to_string(in_.size()));
+    }
+    std::memcpy(out, in_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  /// Every blob must be consumed exactly; trailing bytes mean the writer
+  /// and reader disagree about the format.
+  void expect_end() const {
+    if (pos_ != in_.size()) {
+      throw std::runtime_error("engine state blob: " +
+                               std::to_string(in_.size() - pos_) +
+                               " unconsumed trailing bytes");
+    }
+  }
+
+ private:
+  template <typename T>
+  T get_scalar(const char* what) {
+    T v;
+    if (in_.size() - pos_ < sizeof v) {
+      throw std::runtime_error(std::string("engine state blob truncated ") +
+                               "reading " + what + " at offset " +
+                               std::to_string(pos_));
+    }
+    std::memcpy(&v, in_.data() + pos_, sizeof v);
+    pos_ += sizeof v;
+    return v;
+  }
+
+  std::span<const std::byte> in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace resmodel::engine

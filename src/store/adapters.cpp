@@ -172,6 +172,14 @@ std::vector<ColumnSpec> population_schema() {
           {"disk_avail_gb", DType::kF64}};
 }
 
+std::vector<ColumnSpec> engine_state_schema() {
+  // One opaque byte blob per snapshot shard (rows == blob bytes). The
+  // framing inside the blob belongs to src/engine/state_codec.h; the
+  // store only guarantees each blob round-trips bit-identically or is
+  // itemized as lost.
+  return {{"shard_state", DType::kU8}};
+}
+
 Snapshot pack_trace(const trace::TraceStore& store) {
   TraceColumns cols(store.hosts());
   return pack_from_writerless(kTraceKind, trace_schema(), cols.spans(),

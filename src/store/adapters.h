@@ -22,10 +22,18 @@ namespace resmodel::store {
 
 inline constexpr const char* kTraceKind = "trace.v1";
 inline constexpr const char* kPopulationKind = "population.v1";
+/// Engine checkpoint (src/engine/checkpoint.h): one self-framed state
+/// blob per snapshot shard — shard 0 the run header, shards 1..S the
+/// engine's ClientShards, one optional trailing shard the quorum
+/// coordinator. A single u8 column carries the blobs, so the store's
+/// per-(shard, column) CRC32C blocks give shard-granular damage
+/// itemization on recovery. See src/store/README.md.
+inline constexpr const char* kEngineStateKind = "engine_state.v1";
 
 /// The column schemas (fixed order; names are part of the format).
 std::vector<ColumnSpec> trace_schema();
 std::vector<ColumnSpec> population_schema();
+std::vector<ColumnSpec> engine_state_schema();
 
 /// Whole-store materialization (small/medium artifacts).
 Snapshot pack_trace(const trace::TraceStore& store);

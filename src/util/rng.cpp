@@ -1,5 +1,6 @@
 #include "util/rng.h"
 
+#include <bit>
 #include <cmath>
 #include <numbers>
 
@@ -81,6 +82,20 @@ double Rng::exponential(double lambda) noexcept {
 
 Rng Rng::fork() noexcept {
   return Rng(next() ^ 0x6a09e667f3bcc909ULL);
+}
+
+Rng::State Rng::save() const noexcept {
+  State state;
+  state.s = s_;
+  state.cached_normal_bits = std::bit_cast<std::uint64_t>(cached_normal_);
+  state.has_cached_normal = has_cached_normal_ ? 1 : 0;
+  return state;
+}
+
+void Rng::restore(const State& state) noexcept {
+  s_ = state.s;
+  cached_normal_ = std::bit_cast<double>(state.cached_normal_bits);
+  has_cached_normal_ = state.has_cached_normal != 0;
 }
 
 }  // namespace resmodel::util

@@ -69,6 +69,27 @@ class Rng {
   /// a fresh seed. Useful for giving each simulated entity its own stream.
   Rng fork() noexcept;
 
+  /// The complete resumable state of a stream: the four xoshiro256++
+  /// state words plus the Box–Muller cache (normal() hands out variates
+  /// in pairs — dropping the cached second one would shift every
+  /// subsequent draw, so it is part of the stream, not an optimization
+  /// detail). Six 64-bit words total; the double is carried as its IEEE
+  /// bit pattern so a round trip through storage is exact.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    std::uint64_t cached_normal_bits = 0;
+    std::uint64_t has_cached_normal = 0;  ///< 0 or 1
+
+    bool operator==(const State&) const = default;
+  };
+
+  /// Captures the stream state. save() then restore() on any Rng yields
+  /// a generator producing the identical output sequence.
+  State save() const noexcept;
+
+  /// Overwrites this generator with a previously captured state.
+  void restore(const State& state) noexcept;
+
  private:
   std::array<std::uint64_t, 4> s_{};
   double cached_normal_ = 0.0;

@@ -741,6 +741,126 @@ TEST(Cli, ServeRejectsBadArgs) {
             kUsage);
 }
 
+TEST(Cli, ServeResumeConflictsWithPopulationShapeFlags) {
+  // --resume takes the whole run config from the checkpoint header;
+  // every population-shape flag alongside it is a usage error that
+  // names the offenders.
+  std::string err;
+  EXPECT_EQ(run({"serve", "--resume=x.snap", "--clients=100"}, nullptr,
+                &err),
+            kUsage);
+  EXPECT_NE(err.find("--resume"), std::string::npos);
+  EXPECT_NE(err.find("--clients"), std::string::npos);
+
+  err.clear();
+  EXPECT_EQ(run({"serve", "--resume=x.snap", "--days=7", "--seed=3",
+                 "--fault-mix=crash:0.1"},
+                nullptr, &err),
+            kUsage);
+  EXPECT_NE(err.find("--days"), std::string::npos);
+  EXPECT_NE(err.find("--seed"), std::string::npos);
+  EXPECT_NE(err.find("--fault-mix"), std::string::npos);
+
+  err.clear();
+  EXPECT_EQ(run({"serve", "--resume=x.snap", "--shards=4"}, nullptr, &err),
+            kUsage);
+  EXPECT_EQ(run({"serve", "--resume=x.snap", "--replication=2/3"}, nullptr,
+                &err),
+            kUsage);
+  EXPECT_EQ(run({"serve", "--resume=x.snap", "--availability"}, nullptr,
+                &err),
+            kUsage);
+
+  // --threads only sets the parallel grain — allowed with --resume (the
+  // missing file is then a runtime failure, not a usage error).
+  EXPECT_EQ(run({"serve", "--resume=" + temp_path("absent.snap"),
+                 "--threads=2"},
+                nullptr, &err),
+            kFailure);
+}
+
+TEST(Cli, ServeCheckpointFlagValidation) {
+  std::string err;
+  EXPECT_EQ(run({"serve", "--clients=100", "--days=3",
+                 "--checkpoint-every-days=2"},
+                nullptr, &err),
+            kUsage);
+  EXPECT_NE(err.find("--checkpoint-every-days needs --checkpoint"),
+            std::string::npos);
+  EXPECT_EQ(run({"serve", "--clients=100", "--days=3", "--checkpoint="},
+                nullptr, &err),
+            kUsage);
+  EXPECT_EQ(run({"serve", "--resume="}, nullptr, &err), kUsage);
+  // A fault plan without a checkpoint to write is a config error.
+  EXPECT_EQ(run({"serve", "--clients=100", "--days=3",
+                 "--checkpoint-fault=eio@1"},
+                nullptr, &err),
+            kUsage);
+  // Malformed fault specs.
+  EXPECT_EQ(run({"serve", "--clients=100", "--days=3",
+                 "--checkpoint=" + temp_path("cf.snap"),
+                 "--checkpoint-fault=eio"},
+                nullptr, &err),
+            kFailure);
+  EXPECT_EQ(run({"serve", "--clients=100", "--days=3",
+                 "--checkpoint=" + temp_path("cf.snap"),
+                 "--checkpoint-fault=frobnicate@1"},
+                nullptr, &err),
+            kFailure);
+}
+
+TEST(Cli, ServeCheckpointKillResumeRoundTrip) {
+  const std::vector<std::string> shape = {
+      "--clients=300",  "--days=8", "--shards=3", "--seed=17",
+      "--availability", "--fault-mix=crash:0.1,straggler:0.1"};
+
+  std::vector<std::string> full = {"serve"};
+  full.insert(full.end(), shape.begin(), shape.end());
+  std::string uninterrupted;
+  ASSERT_EQ(run(full, &uninterrupted), kOk);
+
+  const std::string ck = temp_path("cli_roundtrip.snap");
+  std::vector<std::string> killed = full;
+  killed.push_back("--checkpoint=" + ck);
+  killed.push_back("--checkpoint-every-days=3");
+  killed.push_back("--stop-after-day=4");
+  std::string halted;
+  ASSERT_EQ(run(killed, &halted), kOk);
+  EXPECT_NE(halted.find("halted: after day 4"), std::string::npos);
+  EXPECT_EQ(halted.find("contacts:"), std::string::npos);
+
+  std::string resumed;
+  ASSERT_EQ(run({"serve", "--resume=" + ck}, &resumed), kOk);
+  // The resumed run's deterministic block is byte-identical to the
+  // uninterrupted run's — banner (clients/days/shards) included.
+  EXPECT_EQ(without_timing(resumed), without_timing(uninterrupted));
+}
+
+TEST(Cli, ServeCheckpointFaultKillsRunButKeepsPublishedEpoch) {
+  const std::vector<std::string> shape = {"--clients=250", "--days=8",
+                                          "--seed=5", "--replication=2/3",
+                                          "--fault-mix=corrupt:0.2"};
+  std::vector<std::string> full = {"serve"};
+  full.insert(full.end(), shape.begin(), shape.end());
+  std::string uninterrupted;
+  ASSERT_EQ(run(full, &uninterrupted), kOk);
+
+  const std::string ck = temp_path("cli_faulted.snap");
+  std::vector<std::string> faulted = full;
+  faulted.push_back("--checkpoint=" + ck);
+  faulted.push_back("--checkpoint-every-days=2");
+  faulted.push_back("--checkpoint-fault=crash-commit@2");
+  std::string out, err;
+  EXPECT_EQ(run(faulted, &out, &err), kFailure);
+  EXPECT_NE(err.find("serve: store["), std::string::npos);
+
+  // Epoch 1 survived the injected death of epoch 2's commit: resume from
+  // it and land on the uninterrupted run's exact counters.
+  std::string resumed;
+  ASSERT_EQ(run({"serve", "--resume=" + ck}, &resumed), kOk);
+  EXPECT_EQ(without_timing(resumed), without_timing(uninterrupted));
+}
+
 TEST(Cli, PackRejectsExplicitZeroShard) {
   const std::string trace_path = temp_path("cli_shard0.csv");
   ASSERT_EQ(run({"synth", trace_path, "200", "7"}), kOk);

@@ -139,6 +139,80 @@ TEST(Rng, ForkProducesIndependentStream) {
   EXPECT_EQ(same, 0);
 }
 
+TEST(Rng, SaveRestoreRoundTripsTheStream) {
+  Rng rng(47);
+  for (int i = 0; i < 17; ++i) rng.next();
+  const Rng::State state = rng.save();
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 256; ++i) expected.push_back(rng.next());
+  rng.restore(state);
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_EQ(rng.next(), expected[i]) << "diverged at draw " << i;
+  }
+}
+
+TEST(Rng, SaveRestoreIntoFreshObjectIsEquivalent) {
+  Rng original(53);
+  for (int i = 0; i < 9; ++i) original.uniform();
+  const Rng::State state = original.save();
+  Rng fresh(0);
+  fresh.restore(state);
+  EXPECT_EQ(fresh.save(), state);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(fresh.next(), original.next());
+  }
+}
+
+TEST(Rng, SaveRestorePreservesForkLineage) {
+  // fork() consumes one draw from the parent; a restored parent must
+  // fork the identical child stream — the engine restores per-client
+  // rngs that were all forked from one population stream.
+  Rng parent(59);
+  const Rng::State state = parent.save();
+  Rng child_a = parent.fork();
+  parent.restore(state);
+  Rng child_b = parent.fork();
+  for (int i = 0; i < 128; ++i) {
+    ASSERT_EQ(child_a.next(), child_b.next());
+  }
+}
+
+TEST(Rng, SaveCapturesBoxMullerCacheAfterOddNormalCount) {
+  // normal() produces pairs and caches the second value: after an odd
+  // number of draws the cache is hot, and a state capture that dropped
+  // it would shift every later normal by one. Mixed draw sequences
+  // must round-trip bit-exactly.
+  for (const int odd_draws : {1, 3, 7}) {
+    Rng rng(61);
+    for (int i = 0; i < odd_draws; ++i) rng.normal();
+    const Rng::State state = rng.save();
+    std::vector<double> expected;
+    for (int i = 0; i < 32; ++i) expected.push_back(rng.normal());
+    std::vector<std::uint64_t> raw;
+    for (int i = 0; i < 8; ++i) raw.push_back(rng.next());
+    rng.restore(state);
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_EQ(rng.normal(), expected[i])
+          << odd_draws << " prior draws, diverged at normal " << i;
+    }
+    for (int i = 0; i < 8; ++i) ASSERT_EQ(rng.next(), raw[i]);
+  }
+}
+
+TEST(Rng, RestoreClearsAStaleBoxMullerCache) {
+  // Restoring a cold-cache state into an rng whose cache is hot must
+  // not leak the stale cached normal into the restored stream.
+  Rng rng(67);
+  const Rng::State cold = rng.save();
+  Rng hot(67);
+  hot.normal();  // cache now holds the pair's second value
+  hot.restore(cold);
+  Rng reference(67);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(hot.normal(), reference.normal());
+  }
+}
+
 TEST(Rng, SatisfiesUniformRandomBitGenerator) {
   static_assert(std::uniform_random_bit_generator<Rng>);
   Rng rng(43);

@@ -15,6 +15,7 @@
 #include "core/host_generator.h"
 #include "core/prediction.h"
 #include "core/validation.h"
+#include "engine/checkpoint.h"
 #include "engine/service_engine.h"
 #include "model/factory.h"
 #include "sim/bag_of_tasks.h"
@@ -176,6 +177,23 @@ std::string usage_text() {
          "                     N-client cohort; counters are deterministic\n"
          "                     and shard/thread-invariant — only the final\n"
          "                     'timing:' line varies between runs)\n"
+         "                    [--checkpoint=PATH] "
+         "[--checkpoint-every-days=D]\n"
+         "                     (atomically publish the complete resumable\n"
+         "                     engine state every D virtual days)\n"
+         "                    [--stop-after-day=N]   (halt cleanly after\n"
+         "                     day N's barrier — deterministic kill)\n"
+         "                    [--checkpoint-fault="
+         "enospc|eio|crash-byte|crash-commit[:BYTE]@EPOCH]\n"
+         "                     (inject a store fault into the EPOCH'th\n"
+         "                     checkpoint write; the previous published\n"
+         "                     checkpoint survives untouched)\n"
+         "  resmodel serve    --resume=PATH [--threads=T]\n"
+         "                    [--checkpoint=PATH] [...]\n"
+         "                    (continue a checkpointed run bit-identically\n"
+         "                     to one never interrupted; population-shape\n"
+         "                     flags conflict — config comes from the\n"
+         "                     checkpoint's run header)\n"
          "  resmodel backends    print CPU SIMD features and what each\n"
          "                       requested backend resolves to\n"
          "  resmodel pack     <in.csv> <out.snap> [--shard=N]\n"
@@ -767,58 +785,153 @@ int cmd_sweep(const std::vector<std::string>& args, std::ostream& out,
   return kOk;
 }
 
+/// Parses a --checkpoint-fault spec: KIND[:BYTE]@EPOCH with KIND one of
+/// enospc | eio | crash-byte | crash-commit. crash-commit is a kCrash
+/// plan whose offset is never reached during appends, so the simulated
+/// death fires at the rename — after the full tmp file was written,
+/// before publication.
+store::FaultPlan parse_checkpoint_fault(const std::string& text,
+                                        std::uint64_t& epoch) {
+  const std::size_t at = text.rfind('@');
+  if (at == std::string::npos) {
+    throw std::invalid_argument(
+        "bad --checkpoint-fault: '" + text +
+        "' (expected enospc|eio|crash-byte|crash-commit[:BYTE]@EPOCH)");
+  }
+  epoch = parse_count(text.substr(at + 1), "--checkpoint-fault epoch");
+  std::string kind = text.substr(0, at);
+  std::uint64_t at_byte = 65536;
+  bool have_byte = false;
+  const std::size_t colon = kind.find(':');
+  if (colon != std::string::npos) {
+    at_byte = parse_u64(kind.substr(colon + 1), "--checkpoint-fault byte");
+    have_byte = true;
+    kind = kind.substr(0, colon);
+  }
+  store::FaultPlan plan;
+  plan.at_byte = at_byte;
+  if (kind == "enospc") {
+    plan.kind = store::FaultPlan::Kind::kNoSpace;
+  } else if (kind == "eio") {
+    plan.kind = store::FaultPlan::Kind::kIoError;
+  } else if (kind == "crash-byte") {
+    plan.kind = store::FaultPlan::Kind::kCrash;
+  } else if (kind == "crash-commit") {
+    plan.kind = store::FaultPlan::Kind::kCrash;
+    if (!have_byte) plan.at_byte = ~std::uint64_t{0};
+  } else {
+    throw std::invalid_argument("bad --checkpoint-fault kind: '" + kind +
+                                "'");
+  }
+  return plan;
+}
+
 int cmd_serve(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err) {
   engine::EngineConfig config;
   config.collection.client.mean_contact_interval_days = 2.0;
   bool have_clients = false;
   bool have_days = false;
+  bool have_every = false;
   double deadline_days = 0.0;
+  // Flags that shape the run (population, window, behaviour): all of
+  // them conflict with --resume, whose configuration comes from the
+  // checkpoint's run header.
+  std::vector<std::string> shape_flags;
 
   for (const std::string& arg : args) {
     if (arg.starts_with("--clients=")) {
       config.cohort_clients = parse_count(arg.substr(10), "--clients");
       have_clients = true;
+      shape_flags.push_back("--clients");
     } else if (arg.starts_with("--days=")) {
       config.cohort_horizon_days =
           parse_positive_double(arg.substr(7), "--days");
       have_days = true;
+      shape_flags.push_back("--days");
     } else if (arg.starts_with("--shards=")) {
       // parse_count: zero and negative shard counts are usage errors.
       config.shards = static_cast<std::uint32_t>(
           std::min<std::size_t>(parse_count(arg.substr(9), "--shards"),
                                 0xffffffffu));
+      shape_flags.push_back("--shards");
     } else if (arg.starts_with("--threads=")) {
       config.threads =
           static_cast<int>(parse_u64(arg.substr(10), "--threads"));
     } else if (arg.starts_with("--seed=")) {
       config.collection.population.seed = parse_u64(arg.substr(7), "--seed");
+      shape_flags.push_back("--seed");
     } else if (arg.starts_with("--batch=")) {
       config.batch_size = static_cast<std::uint32_t>(
           std::min<std::size_t>(parse_count(arg.substr(8), "--batch"),
                                 0xffffffffu));
+      shape_flags.push_back("--batch");
     } else if (arg.starts_with("--mean-contact-days=")) {
       config.collection.client.mean_contact_interval_days =
           parse_positive_double(arg.substr(20), "--mean-contact-days");
+      shape_flags.push_back("--mean-contact-days");
     } else if (arg == "--availability") {
       config.collection.client.model_availability = true;
+      shape_flags.push_back("--availability");
     } else if (arg.starts_with("--fault-mix=")) {
       config.collection.fault_mix = parse_fault_mix(arg.substr(12));
+      shape_flags.push_back("--fault-mix");
     } else if (arg.starts_with("--replication=")) {
       parse_replication(arg.substr(14), config.replication);
+      shape_flags.push_back("--replication");
     } else if (arg.starts_with("--deadline-days=")) {
       deadline_days =
           parse_positive_double(arg.substr(16), "--deadline-days");
+      shape_flags.push_back("--deadline-days");
+    } else if (arg.starts_with("--checkpoint=")) {
+      config.checkpoint_path = arg.substr(13);
+      if (config.checkpoint_path.empty()) {
+        err << "serve: --checkpoint needs a path\n";
+        return kUsage;
+      }
+    } else if (arg.starts_with("--checkpoint-every-days=")) {
+      config.checkpoint_every_days = static_cast<std::uint32_t>(
+          std::min<std::size_t>(
+              parse_count(arg.substr(24), "--checkpoint-every-days"),
+              0xffffffffu));
+      have_every = true;
+    } else if (arg.starts_with("--resume=")) {
+      config.resume_path = arg.substr(9);
+      if (config.resume_path.empty()) {
+        err << "serve: --resume needs a path\n";
+        return kUsage;
+      }
+    } else if (arg.starts_with("--stop-after-day=")) {
+      config.stop_after_day = static_cast<std::int32_t>(
+          std::min<std::uint64_t>(
+              parse_u64(arg.substr(17), "--stop-after-day"), 0x7fffffffu));
+    } else if (arg.starts_with("--checkpoint-fault=")) {
+      config.checkpoint_fault = parse_checkpoint_fault(
+          arg.substr(19), config.checkpoint_fault_epoch);
     } else {
       err << "serve: unknown argument: '" << arg << "'\n";
       return kUsage;
     }
   }
-  if (!have_clients || !have_days) {
+  const bool resuming = !config.resume_path.empty();
+  if (resuming && !shape_flags.empty()) {
+    err << "serve: --resume takes the run's configuration from the "
+           "checkpoint header; remove";
+    for (const std::string& flag : shape_flags) err << ' ' << flag;
+    err << '\n';
+    return kUsage;
+  }
+  if (!resuming && (!have_clients || !have_days)) {
     err << "serve: expected --clients=N --days=D [--shards=S] [--threads=T]"
            " [--seed=N] [--batch=N] [--mean-contact-days=D]"
            " [--availability] [--fault-mix=...] [--replication=k/n]"
-           " [--deadline-days=D]\n";
+           " [--deadline-days=D] [--checkpoint=PATH]"
+           " [--checkpoint-every-days=D] [--stop-after-day=N]"
+           " [--checkpoint-fault=KIND@EPOCH] | --resume=PATH\n";
+    return kUsage;
+  }
+  if (have_every && config.checkpoint_path.empty()) {
+    err << "serve: --checkpoint-every-days needs --checkpoint=PATH\n";
     return kUsage;
   }
   if (deadline_days > 0.0) {
@@ -838,13 +951,37 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out,
     return kUsage;
   }
 
+  // The provenance the deterministic header line prints: the config for
+  // a fresh run, the checkpoint's run header for a resumed one (so both
+  // print byte-identical blocks — the CI kill-and-resume gate diffs
+  // them).
+  double display_days = config.cohort_horizon_days;
+  std::uint32_t display_shards = config.shards;
+  bool with_replication = config.replication.enabled;
+  if (resuming) {
+    const engine::CheckpointMeta meta =
+        engine::read_checkpoint_meta(config.resume_path);
+    display_days = meta.cohort_horizon_days;
+    display_shards = meta.display_shards;
+    with_replication = meta.replication.enabled;
+  }
+
   const engine::EngineResult result = engine::run_service_engine(config);
+
+  if (result.halted) {
+    // The deterministic stand-in for a mid-run kill: report where the
+    // run stopped and what survives, nothing else — partial counters
+    // are noise the resume leg will finish properly.
+    out << "halted: after day " << config.stop_after_day << ", "
+        << result.checkpoints_written << " checkpoint(s) written\n";
+    return kOk;
+  }
 
   // Everything except the final "timing:" line is deterministic for a
   // fixed config — CI diffs runs after stripping that one line.
   out << "serve: " << result.hosts_created << " clients, "
-      << util::Table::num(config.cohort_horizon_days, 1) << " virtual days, "
-      << config.shards << " shard(s)\n";
+      << util::Table::num(display_days, 1) << " virtual days, "
+      << display_shards << " shard(s)\n";
   out << "contacts: " << result.total_contacts << '\n';
   out << "units: granted=" << result.total_units_granted
       << " reported=" << result.total_units_reported
@@ -855,7 +992,7 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out,
       << " unaccounted=" << result.units_unaccounted() << '\n';
   out << "credit: " << util::Table::num(result.total_credit_granted, 1)
       << '\n';
-  if (config.replication.enabled) {
+  if (with_replication) {
     const engine::QuorumOutcome& q = result.quorum;
     out << "quorum tasks: issued=" << q.tasks_issued
         << " validated=" << q.tasks_validated
